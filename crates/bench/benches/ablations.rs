@@ -1,0 +1,47 @@
+//! Ablation benches for the design choices DESIGN.md calls out: each
+//! g-2PL optimization toggled independently on the Fig-3 hot spot, plus
+//! the c-2PL extension. Criterion reports the simulated cell's wall time;
+//! the repro binary's `headline` artifact reports the modelled response
+//! times.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use g2pl_bench::bench_cell;
+use g2pl_core::prelude::*;
+use g2pl_fwdlist::OrderingRule;
+use std::hint::black_box;
+
+fn variants() -> Vec<(&'static str, ProtocolKind)> {
+    let with = |f: fn(&mut G2plOpts)| {
+        let mut o = G2plOpts::default();
+        f(&mut o);
+        ProtocolKind::G2pl(o)
+    };
+    vec![
+        ("g2pl_paper", ProtocolKind::g2pl_paper()),
+        ("g2pl_no_mr1w", with(|o| o.mr1w = false)),
+        ("g2pl_no_avoidance", with(|o| o.ordering = OrderingRule::fifo())),
+        ("g2pl_expand_reads", with(|o| o.expand_reads = true)),
+        ("g2pl_flcap5", with(|o| o.fl_cap = Some(5))),
+        ("g2pl_coalesce_readers", with(|o| o.ordering.coalesce_readers = true)),
+        ("s2pl", ProtocolKind::S2pl),
+        ("c2pl", ProtocolKind::C2pl),
+    ]
+}
+
+fn ablations(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablations");
+    group.sample_size(10);
+    for (name, protocol) in variants() {
+        let cfg = bench_cell(protocol, 500, 400);
+        group.bench_function(name, |b| {
+            b.iter(|| {
+                let m = run(black_box(&cfg));
+                black_box((m.mean_response(), m.abort_pct()))
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, ablations);
+criterion_main!(benches);

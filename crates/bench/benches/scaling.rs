@@ -1,0 +1,46 @@
+//! Scaling benches: simulator wall-time as the modelled system grows.
+//!
+//! These measure the *simulator's* cost (events processed per second),
+//! complementing the modelled metrics the `repro` binary reports. The
+//! deadlock machinery is the interesting axis: waits-for search cost
+//! grows with the client population, and these benches catch regressions
+//! in the lazy-search implementation.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use g2pl_core::prelude::*;
+use std::hint::black_box;
+
+fn client_scaling(c: &mut Criterion) {
+    let mut group = c.benchmark_group("client_scaling");
+    group.sample_size(10);
+    for clients in [10u32, 50, 150] {
+        for protocol in [ProtocolKind::S2pl, ProtocolKind::g2pl_paper()] {
+            let mut cfg = EngineConfig::table1(protocol, clients, 500, 0.25);
+            cfg.warmup_txns = 50;
+            cfg.measured_txns = 400;
+            let label = format!("{}/{clients}", cfg.protocol.label());
+            group.bench_with_input(BenchmarkId::from_parameter(label), &cfg, |b, cfg| {
+                b.iter(|| black_box(run(black_box(cfg))).committed_total)
+            });
+        }
+    }
+    group.finish();
+}
+
+fn item_pool_scaling(c: &mut Criterion) {
+    let mut group = c.benchmark_group("item_pool_scaling");
+    group.sample_size(10);
+    for items in [5u32, 25, 100] {
+        let mut cfg = EngineConfig::table1(ProtocolKind::g2pl_paper(), 50, 500, 0.25);
+        cfg.num_items = items;
+        cfg.warmup_txns = 50;
+        cfg.measured_txns = 400;
+        group.bench_with_input(BenchmarkId::from_parameter(items), &cfg, |b, cfg| {
+            b.iter(|| black_box(run(black_box(cfg))).committed_total)
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, client_scaling, item_pool_scaling);
+criterion_main!(benches);

@@ -1,0 +1,86 @@
+//! Microbenchmarks of the substrates: event calendar, lock table,
+//! wait-for-graph cycle detection, and forward-list ordering.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use g2pl_fwdlist::window::PendingReq;
+use g2pl_fwdlist::{FlEntry, OrderingRule, PrecedenceDag};
+use g2pl_lockmgr::{LockMode, LockTable, WaitForGraph};
+use g2pl_simcore::{Calendar, ClientId, ItemId, SimTime, TxnId};
+use std::hint::black_box;
+
+fn calendar(c: &mut Criterion) {
+    c.bench_function("calendar/schedule_pop_10k", |b| {
+        b.iter(|| {
+            let mut cal: Calendar<u64> = Calendar::new();
+            for i in 0..10_000u64 {
+                cal.schedule(SimTime::new((i * 37) % 1000 + cal.now().units()), i);
+            }
+            let mut sum = 0u64;
+            while let Some((_, e)) = cal.pop() {
+                sum = sum.wrapping_add(e);
+            }
+            black_box(sum)
+        })
+    });
+}
+
+fn lock_table(c: &mut Criterion) {
+    c.bench_function("lockmgr/acquire_release_1k_txns", |b| {
+        b.iter(|| {
+            let mut lt = LockTable::new();
+            for t in 0..1_000u32 {
+                let txn = TxnId::new(t);
+                for i in 0..5u32 {
+                    let mode = if (t + i) % 3 == 0 {
+                        LockMode::Exclusive
+                    } else {
+                        LockMode::Shared
+                    };
+                    lt.acquire(txn, ItemId::new((t + i) % 25), mode);
+                }
+                if t >= 10 {
+                    black_box(lt.release_all(TxnId::new(t - 10)));
+                }
+            }
+            black_box(lt.is_quiescent())
+        })
+    });
+}
+
+fn wfg_cycles(c: &mut Criterion) {
+    c.bench_function("wfg/find_cycle_200_nodes", |b| {
+        let mut g = WaitForGraph::new();
+        for i in 0..200u32 {
+            g.add_edge(TxnId::new(i), TxnId::new((i + 1) % 200));
+            g.add_edge(TxnId::new(i), TxnId::new((i * 7 + 3) % 200));
+        }
+        b.iter(|| black_box(g.find_cycle_from(TxnId::new(0))))
+    });
+}
+
+fn ordering(c: &mut Criterion) {
+    c.bench_function("fwdlist/order_window_50", |b| {
+        b.iter(|| {
+            let mut dag = PrecedenceDag::new();
+            let pending: Vec<PendingReq> = (0..50u32)
+                .map(|i| PendingReq {
+                    entry: FlEntry::new(
+                        TxnId::new(i),
+                        ClientId::new(i),
+                        if i % 3 == 0 {
+                            LockMode::Exclusive
+                        } else {
+                            LockMode::Shared
+                        },
+                    ),
+                    arrival: u64::from(i),
+                    restarts: 0,
+                })
+                .collect();
+            black_box(OrderingRule::default().order(pending, &mut dag))
+        })
+    });
+}
+
+criterion_group!(benches, calendar, lock_table, wfg_cycles, ordering);
+criterion_main!(benches);

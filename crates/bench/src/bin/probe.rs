@@ -1,0 +1,14 @@
+use g2pl_core::prelude::*;
+use std::time::Instant;
+
+fn main() {
+    for p in [ProtocolKind::S2pl, ProtocolKind::g2pl_paper()] {
+        let label = p.label();
+        let mut cfg = EngineConfig::table1(p, 150, 500, 0.25);
+        cfg.warmup_txns = 500;
+        cfg.measured_txns = 5000;
+        let t = Instant::now();
+        let m = run(&cfg);
+        println!("{label}: {:.1}s wall, resp={:.0}, abort%={:.1}, msgs={}", t.elapsed().as_secs_f64(), m.mean_response(), m.abort_pct(), m.net.messages());
+    }
+}

@@ -1,0 +1,169 @@
+//! `repro` — regenerate every table and figure of the paper.
+//!
+//! ```text
+//! repro [--scale smoke|default|full] [--out DIR] <artifact>...
+//!
+//! artifacts: table1 table2 fig1 fig2 fig3 fig4 fig5 fig6 fig7 fig8 fig9
+//!            fig10 fig11 fig12 fig13 fig14 fig15 headline all
+//! ```
+//!
+//! Markdown goes to stdout; with `--out DIR`, each figure's raw data is
+//! also written as `DIR/<id>.csv`; `--ascii` appends a terminal chart
+//! under each table.
+
+use g2pl_core::experiments::{self, Scale};
+use g2pl_core::extensions;
+use g2pl_core::figure::FigureData;
+use std::io::Write as _;
+use std::path::PathBuf;
+
+const ALL: [&str; 18] = [
+    "table1", "table2", "fig1", "fig2", "fig3", "fig4", "fig5", "fig6", "fig7", "fig8",
+    "fig9", "fig10", "fig11", "fig12", "fig13", "fig14", "fig15", "headline",
+];
+
+/// Extension studies beyond the paper's figures (see
+/// `g2pl_core::extensions`). Included in `ext` but not in `all`, which
+/// regenerates exactly the paper.
+const EXTS: [&str; 10] = [
+    "ext-protocols", "ext-skew", "ext-bandwidth", "ext-abort-effect",
+    "ext-window-hold", "ext-ordering", "ext-victims", "ext-read-expansion",
+    "ext-log-retention", "ext-server-cpu",
+];
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: repro [--scale smoke|default|full] [--out DIR] <artifact>...\n\
+         artifacts: {} all\n\
+         extensions: {} ext scorecard",
+        ALL.join(" "),
+        EXTS.join(" ")
+    );
+    std::process::exit(2);
+}
+
+fn emit_figure(fig: &FigureData, out_dir: &Option<PathBuf>) {
+    println!("{}", fig.to_markdown());
+    if std::env::args().any(|a| a == "--ascii") {
+        println!("```\n{}```\n", fig.to_ascii(64, 16));
+    }
+    if let Some(dir) = out_dir {
+        std::fs::create_dir_all(dir).expect("create output directory");
+        let path = dir.join(format!("{}.csv", fig.id));
+        let mut f = std::fs::File::create(&path).expect("create csv");
+        f.write_all(fig.to_csv().as_bytes()).expect("write csv");
+        eprintln!("wrote {}", path.display());
+    }
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut scale = Scale::Default;
+    let mut out_dir: Option<PathBuf> = None;
+    let mut artifacts: Vec<String> = Vec::new();
+
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--scale" => {
+                i += 1;
+                scale = match args.get(i).map(String::as_str) {
+                    Some("smoke") => Scale::Smoke,
+                    Some("default") => Scale::Default,
+                    Some("full") => Scale::Full,
+                    _ => usage(),
+                };
+            }
+            "--out" => {
+                i += 1;
+                out_dir = Some(PathBuf::from(args.get(i).unwrap_or_else(|| usage())));
+            }
+            "--ascii" => {} // handled in emit_figure
+            "all" => artifacts.extend(ALL.iter().map(|s| s.to_string())),
+            "ext" => artifacts.extend(EXTS.iter().map(|s| s.to_string())),
+            "scorecard" => artifacts.push("scorecard".to_string()),
+            a if ALL.contains(&a) || EXTS.contains(&a) => artifacts.push(a.to_string()),
+            _ => usage(),
+        }
+        i += 1;
+    }
+    if artifacts.is_empty() {
+        usage();
+    }
+
+    for a in &artifacts {
+        let started = std::time::Instant::now();
+        match a.as_str() {
+            "table1" => println!("{}", experiments::table1()),
+            "table2" => println!("{}", experiments::table2()),
+            "fig1" => println!("{}", experiments::fig1()),
+            "fig2" => emit_figure(
+                &experiments::fig_response_vs_latency("fig2", 0.0, scale),
+                &out_dir,
+            ),
+            "fig3" => emit_figure(
+                &experiments::fig_response_vs_latency("fig3", 0.6, scale),
+                &out_dir,
+            ),
+            "fig4" => emit_figure(
+                &experiments::fig_response_vs_latency("fig4", 1.0, scale),
+                &out_dir,
+            ),
+            "fig5" => emit_figure(&experiments::fig_response_vs_pr("fig5", 1, scale), &out_dir),
+            "fig6" => emit_figure(
+                &experiments::fig_response_vs_pr("fig6", 250, scale),
+                &out_dir,
+            ),
+            "fig7" => emit_figure(
+                &experiments::fig_response_vs_pr("fig7", 750, scale),
+                &out_dir,
+            ),
+            "fig8" => emit_figure(
+                &experiments::fig_aborts_vs_latency("fig8", 0.6, scale),
+                &out_dir,
+            ),
+            "fig9" => emit_figure(
+                &experiments::fig_aborts_vs_latency("fig9", 0.8, scale),
+                &out_dir,
+            ),
+            "fig10" => emit_figure(&experiments::fig10(scale), &out_dir),
+            "fig11" => emit_figure(&experiments::fig11(scale), &out_dir),
+            "fig12" => emit_figure(
+                &experiments::fig_response_vs_clients("fig12", 0.25, scale),
+                &out_dir,
+            ),
+            "fig13" => emit_figure(
+                &experiments::fig_aborts_vs_clients("fig13", 0.25, scale),
+                &out_dir,
+            ),
+            "fig14" => emit_figure(
+                &experiments::fig_response_vs_clients("fig14", 0.75, scale),
+                &out_dir,
+            ),
+            "fig15" => emit_figure(
+                &experiments::fig_aborts_vs_clients("fig15", 0.75, scale),
+                &out_dir,
+            ),
+            "headline" => println!("{}", experiments::headline(scale)),
+            "ext-protocols" => emit_figure(&extensions::ext_protocols(scale), &out_dir),
+            "ext-skew" => emit_figure(&extensions::ext_skew(scale), &out_dir),
+            "ext-bandwidth" => emit_figure(&extensions::ext_bandwidth(scale), &out_dir),
+            "ext-abort-effect" => emit_figure(&extensions::ext_abort_effect(scale), &out_dir),
+            "ext-window-hold" => emit_figure(&extensions::ext_window_hold(scale), &out_dir),
+            "ext-ordering" => emit_figure(&extensions::ext_ordering(scale), &out_dir),
+            "ext-victims" => emit_figure(&extensions::ext_victims(scale), &out_dir),
+            "ext-read-expansion" => {
+                emit_figure(&extensions::ext_read_expansion(scale), &out_dir)
+            }
+            "ext-log-retention" => {
+                emit_figure(&extensions::ext_log_retention(scale), &out_dir)
+            }
+            "ext-server-cpu" => {
+                emit_figure(&extensions::ext_server_cpu(scale), &out_dir)
+            }
+            "scorecard" => println!("{}", g2pl_core::scorecard::run_scorecard(scale)),
+            _ => unreachable!("validated above"),
+        }
+        eprintln!("[{a}: {:.1}s]", started.elapsed().as_secs_f64());
+    }
+}

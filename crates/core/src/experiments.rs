@@ -1,0 +1,455 @@
+//! The experiment registry: one function per table/figure of the paper.
+//!
+//! Every function regenerates the data behind one artifact of the
+//! evaluation (§5) at a chosen [`Scale`]. The `repro` binary in
+//! `g2pl-bench` is a thin CLI over this module; integration tests assert
+//! the qualitative *shapes* (who wins, where the crossover falls) at
+//! smoke scale.
+//!
+//! | id | paper artifact |
+//! |----|----------------|
+//! | `table1` | simulation parameters |
+//! | `table2` | networking environments |
+//! | `fig1`   | example execution, 3 exclusive transactions |
+//! | `fig2`–`fig4` | response time vs latency, pr ∈ {0.0, 0.6, 1.0} |
+//! | `fig5`–`fig7` | response time vs read probability (ss-LAN, MAN, l-WAN) |
+//! | `fig8`–`fig9` | abort %, vs latency, pr ∈ {0.6, 0.8} |
+//! | `fig10` | abort % vs latency, read-only system |
+//! | `fig11` | abort % vs forward-list length cap, read-only ss-LAN |
+//! | `fig12`–`fig15` | response time / abort % vs number of clients, s-WAN |
+//! | `headline` | the 20–25% response-time improvement claim |
+
+use crate::figure::{FigureData, Series};
+use crate::runner::run_replicated;
+use g2pl_netmodel::NetworkEnv;
+use g2pl_protocols::{run, EngineConfig, ProtocolKind, TraceEvent};
+use std::fmt::Write as _;
+
+/// How much compute to spend per experiment.
+///
+/// The paper ran 50 000 measured transactions per replication and 5
+/// replications per point (34 CPU-hours per curve in 1997). The shapes
+/// stabilise far earlier; `Smoke` is enough for CI assertions, `Full`
+/// matches the paper's methodology.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Scale {
+    /// ~1k measured transactions, 2 replications: seconds per figure.
+    Smoke,
+    /// ~5k measured transactions, 3 replications: default for `repro`.
+    Default,
+    /// 50k measured transactions, 5 replications: the paper's methodology.
+    Full,
+}
+
+impl Scale {
+    /// (warm-up transactions, measured transactions, replications).
+    pub fn params(self) -> (u64, u64, u32) {
+        match self {
+            Scale::Smoke => (200, 1_000, 2),
+            Scale::Default => (500, 5_000, 3),
+            Scale::Full => (2_000, 50_000, 5),
+        }
+    }
+}
+
+/// The latency sweep of Figs 2–4 and 8–9 (Table 2 environments).
+pub const LATENCY_SWEEP: [u64; 6] = [1, 50, 100, 250, 500, 750];
+
+/// The read-probability sweep of Figs 5–7.
+pub const PR_SWEEP: [f64; 11] = [0.0, 0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8, 0.9, 1.0];
+
+/// The client-count sweep of Figs 12–15.
+pub const CLIENT_SWEEP: [u32; 6] = [10, 25, 50, 75, 100, 150];
+
+fn base_cfg(protocol: ProtocolKind, clients: u32, latency: u64, pr: f64, scale: Scale) -> EngineConfig {
+    let (warmup, measured, _) = scale.params();
+    let mut cfg = EngineConfig::table1(protocol, clients, latency, pr);
+    cfg.warmup_txns = warmup;
+    cfg.measured_txns = measured;
+    cfg
+}
+
+/// Metric to extract from a replicated run.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum Metric {
+    Response,
+    AbortPct,
+}
+
+/// Sweep an x-axis for both protocols and collect one metric.
+#[allow(clippy::too_many_arguments)]
+fn sweep(
+    id: &str,
+    title: &str,
+    x_label: &str,
+    metric: Metric,
+    xs: &[f64],
+    scale: Scale,
+    protocols: &[ProtocolKind],
+    mut cfg_of: impl FnMut(ProtocolKind, f64) -> EngineConfig,
+) -> FigureData {
+    let (_, _, reps) = scale.params();
+    let series = protocols
+        .iter()
+        .map(|p| {
+            let points = xs
+                .iter()
+                .map(|&x| {
+                    let cfg = cfg_of(p.clone(), x);
+                    let r = run_replicated(&cfg, reps);
+                    let ci = match metric {
+                        Metric::Response => r.response_ci(),
+                        Metric::AbortPct => r.abort_pct_ci(),
+                    };
+                    (x, ci.mean, ci.half_width)
+                })
+                .collect();
+            Series {
+                label: p.label().to_string(),
+                points,
+            }
+        })
+        .collect();
+    FigureData {
+        id: id.into(),
+        title: title.into(),
+        x_label: x_label.into(),
+        y_label: match metric {
+            Metric::Response => "mean response time".into(),
+            Metric::AbortPct => "% aborted".into(),
+        },
+        series,
+    }
+}
+
+const BOTH: &[ProtocolKind] = &[
+    ProtocolKind::G2pl(g2pl_paper_opts()),
+    ProtocolKind::S2pl,
+];
+
+/// `G2plOpts::default()` as a const-friendly constructor.
+const fn g2pl_paper_opts() -> g2pl_protocols::G2plOpts {
+    g2pl_protocols::G2plOpts {
+        ordering: g2pl_fwdlist::OrderingRule {
+            base: g2pl_fwdlist::order::BaseOrder::Fifo,
+            consistent: true,
+            coalesce_readers: false,
+        },
+        mr1w: true,
+        expand_reads: false,
+        fl_cap: None,
+        dispatch_delay: None,
+    }
+}
+
+// ---- tables ----
+
+/// Table 1: the simulation parameters, as configured in this
+/// reproduction.
+pub fn table1() -> String {
+    let cfg = EngineConfig::table1(ProtocolKind::S2pl, 50, 500, 0.6);
+    let mut out = String::new();
+    let _ = writeln!(out, "### Table 1 — Simulation parameters");
+    let _ = writeln!(out, "| Parameter | Value |");
+    let _ = writeln!(out, "|---|---|");
+    let _ = writeln!(out, "| Number of servers | 1 |");
+    let _ = writeln!(out, "| Number of clients | varying (50 in Figs 2–11) |");
+    let _ = writeln!(out, "| Number of hot data items | {} |", cfg.num_items);
+    let _ = writeln!(out, "| Transaction execution pattern | Sequential |");
+    let _ = writeln!(
+        out,
+        "| Items accessed per transaction | {}–{} (uniform) |",
+        cfg.profile.min_items, cfg.profile.max_items
+    );
+    let _ = writeln!(out, "| Percentage of read accesses | 0.00–1.00 |");
+    let _ = writeln!(out, "| Network latency | 1–750 time units (Table 2) |");
+    let _ = writeln!(
+        out,
+        "| Computation time per operation | {}–{} time units |",
+        cfg.profile.think_min, cfg.profile.think_max
+    );
+    let _ = writeln!(
+        out,
+        "| Idle time between transactions | {}–{} time units |",
+        cfg.profile.idle_min, cfg.profile.idle_max
+    );
+    let _ = writeln!(out, "| Multiprogramming level at clients | 1 |");
+    out
+}
+
+/// Table 2: the simulated networking environments.
+pub fn table2() -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "### Table 2 — Networking environments simulated");
+    let _ = writeln!(out, "| Network type | Abbrev. | Latency |");
+    let _ = writeln!(out, "|---|---|---|");
+    for env in NetworkEnv::ALL {
+        let _ = writeln!(
+            out,
+            "| {} | {} | {} |",
+            env.name(),
+            env.abbrev(),
+            env.latency()
+        );
+    }
+    out
+}
+
+// ---- figure 1: the worked example ----
+
+/// Fig 1: deterministic trace of three single-item exclusive
+/// transactions under both protocols, plus the timelines and the relative
+/// improvement.
+///
+/// Setup: 3 clients, 1 item, every access exclusive, think time pinned to
+/// 1 unit, idle pinned so that all three first requests are issued
+/// simultaneously, latency 2 units — the paper's example configuration.
+pub fn fig1() -> String {
+    fn trace_of(protocol: ProtocolKind) -> (Vec<TraceEvent>, Vec<u64>, u64) {
+        let mut cfg = EngineConfig::table1(protocol, 3, 2, 0.0);
+        cfg.num_items = 1;
+        cfg.profile.min_items = 1;
+        cfg.profile.max_items = 1;
+        cfg.profile.think_min = 1;
+        cfg.profile.think_max = 1;
+        // Pin the start-up idle so all three requests leave at t = 2.
+        cfg.profile.idle_min = 2;
+        cfg.profile.idle_max = 2;
+        cfg.warmup_txns = 0;
+        cfg.measured_txns = 3;
+        cfg.trace_events = true;
+        let m = run(&cfg);
+        let trace = m.trace.expect("trace enabled");
+        let mut commits: Vec<u64> = trace
+            .iter()
+            .filter(|e| e.kind == g2pl_protocols::TraceKind::Committed)
+            .map(|e| e.at.units())
+            .take(3)
+            .collect();
+        commits.sort_unstable();
+        let last = commits.last().copied().unwrap_or(0);
+        (trace, commits, last)
+    }
+
+    let (gt, gc, glast) = trace_of(ProtocolKind::g2pl_paper());
+    let (st, sc, slast) = trace_of(ProtocolKind::S2pl);
+
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "### Fig 1 — Example execution: 3 clients, exclusive access, latency 2, processing 1"
+    );
+    let _ = writeln!(out, "\n**g-2PL timeline** (all requests leave at t=2):\n```");
+    for e in gt.iter().take(40) {
+        let _ = writeln!(out, "{e}");
+    }
+    let _ = writeln!(out, "```");
+    let _ = writeln!(out, "\n**s-2PL timeline:**\n```");
+    for e in st.iter().take(40) {
+        let _ = writeln!(out, "{e}");
+    }
+    let _ = writeln!(out, "```");
+    let _ = writeln!(out, "\ncommit instants: g-2PL {gc:?}, s-2PL {sc:?}");
+    let g_span = glast - 2;
+    let s_span = slast - 2;
+    let improvement = 100.0 * (s_span as f64 - g_span as f64) / s_span as f64;
+    let _ = writeln!(
+        out,
+        "total execution (first request → last commit): g-2PL {g_span} vs s-2PL {s_span} \
+         units → {improvement:.1}% reduction"
+    );
+    let _ = writeln!(
+        out,
+        "(the paper's idealised example, with all three requests landing in one pre-existing \
+         collection window, gives 12 vs 15 units = 20%; our simulated start-up serves the \
+         first request from an empty window, so the first hop costs one extra round trip)"
+    );
+    out
+}
+
+// ---- figures 2–4: response time vs latency ----
+
+/// Figs 2–4: mean response time vs network latency, 50 clients, 25 items.
+pub fn fig_response_vs_latency(id: &str, pr: f64, scale: Scale) -> FigureData {
+    sweep(
+        id,
+        &format!("Mean transaction response time vs network latency, pr={pr}"),
+        "network latency",
+        Metric::Response,
+        &LATENCY_SWEEP.map(|l| l as f64),
+        scale,
+        BOTH,
+        |p, latency| base_cfg(p, 50, latency as u64, pr, scale),
+    )
+}
+
+// ---- figures 5–7: response time vs read probability ----
+
+/// Figs 5–7: mean response time vs read probability at a fixed latency.
+pub fn fig_response_vs_pr(id: &str, latency: u64, scale: Scale) -> FigureData {
+    let env = NetworkEnv::nearest(g2pl_simcore::SimTime::new(latency));
+    sweep(
+        id,
+        &format!("Mean response time vs read probability in {env} (latency {latency})"),
+        "read probability",
+        Metric::Response,
+        &PR_SWEEP,
+        scale,
+        BOTH,
+        |p, pr| base_cfg(p, 50, latency, pr, scale),
+    )
+}
+
+// ---- figures 8–9: abort % vs latency ----
+
+/// Figs 8–9: percentage of transactions aborted vs network latency.
+pub fn fig_aborts_vs_latency(id: &str, pr: f64, scale: Scale) -> FigureData {
+    sweep(
+        id,
+        &format!("Percentage of transactions aborted vs latency, pr={pr}, 50 clients, 25 items"),
+        "network latency",
+        Metric::AbortPct,
+        &LATENCY_SWEEP.map(|l| l as f64),
+        scale,
+        BOTH,
+        |p, latency| base_cfg(p, 50, latency as u64, pr, scale),
+    )
+}
+
+// ---- figure 10: read-only deadlocks ----
+
+/// Fig 10: abort % vs latency in a read-only system (g-2PL's unique
+/// read-only deadlocks; s-2PL never aborts here).
+pub fn fig10(scale: Scale) -> FigureData {
+    let latencies: [f64; 6] = [1.0, 2.0, 4.0, 6.0, 8.0, 10.0];
+    sweep(
+        "fig10",
+        "Percentage of transactions aborted vs latency, read-only system",
+        "network latency",
+        Metric::AbortPct,
+        &latencies,
+        scale,
+        BOTH,
+        |p, latency| base_cfg(p, 50, latency as u64, 1.0, scale),
+    )
+}
+
+// ---- figure 11: forward-list length cap ----
+
+/// Fig 11: abort % vs forward-list length cap, read-only ss-LAN.
+pub fn fig11(scale: Scale) -> FigureData {
+    let caps: [u64; 8] = [1, 2, 3, 4, 5, 6, 8, 10];
+    let (_, _, reps) = scale.params();
+    let points = caps
+        .iter()
+        .map(|&cap| {
+            let opts = g2pl_protocols::G2plOpts {
+                fl_cap: Some(cap as usize),
+                ..Default::default()
+            };
+            let cfg = base_cfg(ProtocolKind::G2pl(opts), 50, 1, 1.0, scale);
+            let r = run_replicated(&cfg, reps);
+            let ci = r.abort_pct_ci();
+            (cap as f64, ci.mean, ci.half_width)
+        })
+        .collect();
+    FigureData {
+        id: "fig11".into(),
+        title: "Percentage of transactions aborted vs forward-list length, pr=1.0, ss-LAN"
+            .into(),
+        x_label: "forward list length cap".into(),
+        y_label: "% aborted".into(),
+        series: vec![Series {
+            label: "g-2PL".into(),
+            points,
+        }],
+    }
+}
+
+// ---- figures 12–15: scaling with client count ----
+
+/// Figs 12/14: mean response time vs number of clients in the s-WAN.
+pub fn fig_response_vs_clients(id: &str, pr: f64, scale: Scale) -> FigureData {
+    sweep(
+        id,
+        &format!("Mean response time vs number of clients: 25 items, pr={pr}, s-WAN"),
+        "number of clients",
+        Metric::Response,
+        &CLIENT_SWEEP.map(|c| c as f64),
+        scale,
+        BOTH,
+        |p, clients| base_cfg(p, clients as u32, 500, pr, scale),
+    )
+}
+
+/// Figs 13/15: abort % vs number of clients in the s-WAN.
+pub fn fig_aborts_vs_clients(id: &str, pr: f64, scale: Scale) -> FigureData {
+    sweep(
+        id,
+        &format!("Percentage aborted vs number of clients: 25 items, pr={pr}, s-WAN"),
+        "number of clients",
+        Metric::AbortPct,
+        &CLIENT_SWEEP.map(|c| c as f64),
+        scale,
+        BOTH,
+        |p, clients| base_cfg(p, clients as u32, 500, pr, scale),
+    )
+}
+
+// ---- the headline claim ----
+
+/// The headline claim: "20–25% improvement in the response time of the
+/// g-2PL protocol over that of the s-2PL protocol" in the presence of
+/// updates. Computed over the WAN latencies of the fig-3 configuration
+/// (pr = 0.6).
+pub fn headline(scale: Scale) -> String {
+    let fig = fig_response_vs_latency("headline", 0.6, scale);
+    let g = fig.series("g-2PL").expect("g-2PL series");
+    let s = fig.series("s-2PL").expect("s-2PL series");
+    let mut out = String::new();
+    let _ = writeln!(out, "### Headline — response-time improvement, pr=0.6");
+    let _ = writeln!(out, "| latency | s-2PL | g-2PL | improvement |");
+    let _ = writeln!(out, "|---|---|---|---|");
+    let mut improvements = Vec::new();
+    for &(x, sy, _) in &s.points {
+        let gy = g.y_at(x).expect("same sweep");
+        let imp = 100.0 * (sy - gy) / sy;
+        improvements.push(imp);
+        let _ = writeln!(out, "| {x} | {sy:.0} | {gy:.0} | {imp:.1}% |");
+    }
+    let min = improvements.iter().copied().fold(f64::INFINITY, f64::min);
+    let max = improvements.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+    let _ = writeln!(
+        out,
+        "\nobserved improvement range: {min:.1}%–{max:.1}% (paper: 19.50%–26.92%)"
+    );
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scale_params_grow() {
+        let (w1, m1, r1) = Scale::Smoke.params();
+        let (w2, m2, r2) = Scale::Full.params();
+        assert!(w1 < w2 && m1 < m2 && r1 < r2);
+    }
+
+    #[test]
+    fn tables_render() {
+        let t1 = table1();
+        assert!(t1.contains("| Number of hot data items | 25 |"));
+        let t2 = table2();
+        assert!(t2.contains("ss-LAN"));
+        assert!(t2.contains("| Large Wide Area Network | l-WAN | 750 |"));
+    }
+
+    #[test]
+    fn fig1_reports_improvement() {
+        let s = fig1();
+        assert!(s.contains("g-2PL timeline"));
+        assert!(s.contains("% reduction"), "{s}");
+    }
+}

@@ -1,0 +1,371 @@
+//! Extension experiments beyond the paper's figures.
+//!
+//! The paper's conclusion lists future work — comparing against more
+//! caching protocols, exploring forward-list ordering disciplines, and
+//! the read-only optimization — and its §2 and footnote 1 make claims
+//! (message size stops mattering; window tuning gains little) that it
+//! never plots. Each function here regenerates one such study:
+//!
+//! | id | study |
+//! |----|-------|
+//! | `ext-protocols` | s-2PL vs g-2PL vs c-2PL across the read-probability sweep |
+//! | `ext-skew` | Zipf access skew: the hotter the hot set, the bigger the grouping win |
+//! | `ext-bandwidth` | finite bandwidth: g-2PL's bigger messages vs fewer rounds |
+//! | `ext-abort-effect` | the reproduction finding: instant vs messaged abort recovery |
+//! | `ext-window-hold` | footnote 1: holding windows open buys little |
+//! | `ext-ordering` | forward-list ordering disciplines |
+//! | `ext-victims` | deadlock victim policies |
+//! | `ext-read-expansion` | the §3.3 read-expansion variant at high read probabilities |
+//! | `ext-log-retention` | WAL log-space high-water marks (§1's recovery substrate) |
+//! | `ext-server-cpu` | §3.3's "server computation overlaps communication" claim |
+
+use crate::experiments::{Scale, PR_SWEEP};
+use crate::figure::{FigureData, Series};
+use crate::runner::run_replicated;
+use g2pl_lockmgr::VictimPolicy;
+use g2pl_protocols::{AbortEffect, EngineConfig, G2plOpts, LatencyCfg, ProtocolKind};
+use g2pl_workload::AccessDistribution;
+
+fn base(protocol: ProtocolKind, latency: u64, pr: f64, scale: Scale) -> EngineConfig {
+    let (warmup, measured, _) = scale.params();
+    let mut cfg = EngineConfig::table1(protocol, 50, latency, pr);
+    cfg.warmup_txns = warmup;
+    cfg.measured_txns = measured;
+    cfg
+}
+
+fn g2pl_with(f: impl FnOnce(&mut G2plOpts)) -> ProtocolKind {
+    let mut opts = G2plOpts::default();
+    f(&mut opts);
+    ProtocolKind::G2pl(opts)
+}
+
+fn series_over<F>(label: &str, xs: &[f64], reps: u32, mut cfg_of: F) -> Series
+where
+    F: FnMut(f64) -> EngineConfig,
+{
+    Series {
+        label: label.to_string(),
+        points: xs
+            .iter()
+            .map(|&x| {
+                let ci = run_replicated(&cfg_of(x), reps).response_ci();
+                (x, ci.mean, ci.half_width)
+            })
+            .collect(),
+    }
+}
+
+/// Three-way protocol comparison over the read-probability sweep in the
+/// MAN — the "compare with more caching protocols" future-work item.
+/// c-2PL converges towards s-2PL at low read probabilities (callbacks eat
+/// the cache) and beats both on read-mostly hot data.
+pub fn ext_protocols(scale: Scale) -> FigureData {
+    let (_, _, reps) = scale.params();
+    let series = [
+        ProtocolKind::g2pl_paper(),
+        ProtocolKind::S2pl,
+        ProtocolKind::C2pl,
+    ]
+    .into_iter()
+    .map(|p| {
+        let label = p.label().to_string();
+        let s = series_over(&label, &PR_SWEEP, reps, |pr| base(p.clone(), 250, pr, scale));
+        s
+    })
+    .collect();
+    FigureData {
+        id: "ext-protocols".into(),
+        title: "s-2PL vs g-2PL vs c-2PL across read probabilities, MAN".into(),
+        x_label: "read probability".into(),
+        y_label: "mean response time".into(),
+        series,
+    }
+}
+
+/// Access-skew study: a Zipf-distributed item choice concentrates load on
+/// a few scorching items. The paper predicts "the more a certain data
+/// item is requested … more is the performance gain" for g-2PL.
+pub fn ext_skew(scale: Scale) -> FigureData {
+    let (_, _, reps) = scale.params();
+    let thetas = [0.0, 0.4, 0.8, 1.2, 1.6];
+    let mk = |p: ProtocolKind| {
+        move |theta: f64| {
+            let mut cfg = base(p.clone(), 500, 0.25, scale);
+            cfg.profile.access = AccessDistribution::Zipf { theta };
+            cfg
+        }
+    };
+    FigureData {
+        id: "ext-skew".into(),
+        title: "Zipf access skew vs response time, pr=0.25, s-WAN".into(),
+        x_label: "zipf theta".into(),
+        y_label: "mean response time".into(),
+        series: vec![
+            series_over("g-2PL", &thetas, reps, mk(ProtocolKind::g2pl_paper())),
+            series_over("s-2PL", &thetas, reps, mk(ProtocolKind::S2pl)),
+        ],
+    }
+}
+
+/// Finite-bandwidth study (§2's claim): at low data rates the
+/// transmission term dominates and g-2PL's bigger messages (data
+/// migration plus forward lists) cost real time; as the rate grows the
+/// latency term takes over and the round savings win.
+pub fn ext_bandwidth(scale: Scale) -> FigureData {
+    let (_, _, reps) = scale.params();
+    // Bytes of payload transferred per simulation time unit.
+    let rates = [64.0, 256.0, 1024.0, 4096.0, 16384.0];
+    let mk = |p: ProtocolKind| {
+        move |rate: f64| {
+            let mut cfg = base(p.clone(), 250, 0.25, scale);
+            cfg.latency = LatencyCfg::Bandwidth {
+                latency: 250,
+                bytes_per_unit: rate as u64,
+            };
+            cfg
+        }
+    };
+    FigureData {
+        id: "ext-bandwidth".into(),
+        title: "Finite bandwidth: response time vs data rate, pr=0.25, MAN".into(),
+        x_label: "bytes per time unit".into(),
+        y_label: "mean response time".into(),
+        series: vec![
+            series_over("g-2PL", &rates, reps, mk(ProtocolKind::g2pl_paper())),
+            series_over("s-2PL", &rates, reps, mk(ProtocolKind::S2pl)),
+        ],
+    }
+}
+
+/// The reproduction finding: abort-effect semantics across the latency
+/// sweep at pr = 0.6. `g-2PL (instant)` reproduces the paper; `g-2PL
+/// (messaged)` charges the real notice + migration cost of each deadlock
+/// abort and loses its advantage at high contention.
+pub fn ext_abort_effect(scale: Scale) -> FigureData {
+    let (_, _, reps) = scale.params();
+    let latencies = [50.0, 250.0, 500.0, 750.0];
+    let instant = |l: f64| base(ProtocolKind::g2pl_paper(), l as u64, 0.6, scale);
+    let messaged = |l: f64| {
+        let mut cfg = base(ProtocolKind::g2pl_paper(), l as u64, 0.6, scale);
+        cfg.abort_effect = AbortEffect::Messaged;
+        cfg
+    };
+    let s2pl = |l: f64| base(ProtocolKind::S2pl, l as u64, 0.6, scale);
+    FigureData {
+        id: "ext-abort-effect".into(),
+        title: "Abort-effect semantics: instant (paper) vs messaged (faithful), pr=0.6".into(),
+        x_label: "network latency".into(),
+        y_label: "mean response time".into(),
+        series: vec![
+            series_over("g-2PL (instant)", &latencies, reps, instant),
+            series_over("g-2PL (messaged)", &latencies, reps, messaged),
+            series_over("s-2PL", &latencies, reps, s2pl),
+        ],
+    }
+}
+
+/// Footnote 1: holding a returned item for up to two latencies to gather
+/// a bigger window "does not produce significant performance gains".
+pub fn ext_window_hold(scale: Scale) -> FigureData {
+    let (_, _, reps) = scale.params();
+    let holds = [0.0, 125.0, 250.0, 500.0, 1000.0];
+    let mk = move |hold: f64| {
+        let protocol = g2pl_with(|o| {
+            o.dispatch_delay = if hold > 0.0 { Some(hold as u64) } else { None };
+        });
+        base(protocol, 500, 0.25, scale)
+    };
+    FigureData {
+        id: "ext-window-hold".into(),
+        title: "Collection-window hold time vs response, pr=0.25, s-WAN (footnote 1)".into(),
+        x_label: "window hold (time units)".into(),
+        y_label: "mean response time".into(),
+        series: vec![series_over("g-2PL", &holds, reps, mk)],
+    }
+}
+
+/// Forward-list ordering disciplines (§6 future work: "the various
+/// ordering disciplines in forming the forward lists").
+pub fn ext_ordering(scale: Scale) -> FigureData {
+    use g2pl_fwdlist::order::BaseOrder;
+    let (_, _, reps) = scale.params();
+    let variants: Vec<(&str, ProtocolKind)> = vec![
+        ("fifo+avoidance (paper)", ProtocolKind::g2pl_paper()),
+        (
+            "fifo only",
+            g2pl_with(|o| o.ordering = g2pl_fwdlist::OrderingRule::fifo()),
+        ),
+        (
+            "aging",
+            g2pl_with(|o| o.ordering.base = BaseOrder::Aging),
+        ),
+        (
+            "coalesce readers",
+            g2pl_with(|o| o.ordering.coalesce_readers = true),
+        ),
+    ];
+    let prs = [0.0, 0.3, 0.6, 0.9];
+    let series = variants
+        .into_iter()
+        .map(|(label, p)| series_over(label, &prs, reps, |pr| base(p.clone(), 250, pr, scale)))
+        .collect();
+    FigureData {
+        id: "ext-ordering".into(),
+        title: "Forward-list ordering disciplines, MAN".into(),
+        x_label: "read probability".into(),
+        y_label: "mean response time".into(),
+        series,
+    }
+}
+
+/// Deadlock victim policies for both protocols at the contended cell.
+pub fn ext_victims(scale: Scale) -> FigureData {
+    let (_, _, reps) = scale.params();
+    let policies = [
+        ("youngest", VictimPolicy::Youngest),
+        ("oldest", VictimPolicy::Oldest),
+        ("fewest-locks", VictimPolicy::FewestLocks),
+    ];
+    let prs = [0.0, 0.3, 0.6];
+    let mut series = Vec::new();
+    for p in [ProtocolKind::g2pl_paper(), ProtocolKind::S2pl] {
+        for (name, policy) in policies {
+            let label = format!("{} / {name}", p.label());
+            series.push(series_over(&label, &prs, reps, |pr| {
+                let mut cfg = base(p.clone(), 500, pr, scale);
+                cfg.victim = policy;
+                cfg
+            }));
+        }
+    }
+    FigureData {
+        id: "ext-victims".into(),
+        title: "Victim policies vs response time, s-WAN".into(),
+        x_label: "read probability".into(),
+        y_label: "mean response time".into(),
+        series,
+    }
+}
+
+/// The §3.3 read-expansion variant ("expanding a dispatched forward list
+/// to include new read requests"), which the paper leaves as future work:
+/// it removes the read penalty at high read probabilities.
+pub fn ext_read_expansion(scale: Scale) -> FigureData {
+    let (_, _, reps) = scale.params();
+    let prs = [0.6, 0.8, 0.9, 1.0];
+    FigureData {
+        id: "ext-read-expansion".into(),
+        title: "Read-expansion variant at high read probabilities, MAN".into(),
+        x_label: "read probability".into(),
+        y_label: "mean response time".into(),
+        series: vec![
+            series_over("g-2PL", &prs, reps, |pr| {
+                base(ProtocolKind::g2pl_paper(), 250, pr, scale)
+            }),
+            series_over("g-2PL + read expansion", &prs, reps, |pr| {
+                base(g2pl_with(|o| o.expand_reads = true), 250, pr, scale)
+            }),
+            series_over("s-2PL", &prs, reps, |pr| {
+                base(ProtocolKind::S2pl, 250, pr, scale)
+            }),
+        ],
+    }
+}
+
+/// Server CPU sensitivity (§3.3's overlap claim): the paper argues the
+/// forward-list reordering computations overlap communication and "do
+/// not increase the transaction blocking time". Sweeping a serial
+/// per-message server CPU cost shows how much headroom that claim has —
+/// and where the server finally becomes the bottleneck for each
+/// protocol (s-2PL pushes roughly 3 messages per transaction through the
+/// server; g-2PL offloads data migration to the clients).
+pub fn ext_server_cpu(scale: Scale) -> FigureData {
+    let (_, _, reps) = scale.params();
+    let costs = [0.0, 1.0, 2.0, 5.0, 10.0, 20.0];
+    let mk = |p: ProtocolKind| {
+        move |cost: f64| {
+            let mut cfg = base(p.clone(), 500, 0.6, scale);
+            cfg.server_cpu_per_op = cost as u64;
+            cfg
+        }
+    };
+    FigureData {
+        id: "ext-server-cpu".into(),
+        title: "Server CPU cost per message vs response, pr=0.6, s-WAN".into(),
+        x_label: "server cpu per message (time units)".into(),
+        y_label: "mean response time".into(),
+        series: vec![
+            series_over("g-2PL", &costs, reps, mk(ProtocolKind::g2pl_paper())),
+            series_over("s-2PL", &costs, reps, mk(ProtocolKind::S2pl)),
+        ],
+    }
+}
+
+/// WAL log retention (the §1 recovery substrate): the worst per-site
+/// live-log high-water mark, versus latency. Under s-2PL a committed
+/// version is permanent as soon as the commit message lands, so logs stay
+/// shallow; under g-2PL the version only becomes permanent when the item
+/// finishes migrating home, so sites must provision log space that grows
+/// with the forward-list pipelines.
+pub fn ext_log_retention(scale: Scale) -> FigureData {
+    let (_, _, reps) = scale.params();
+    let latencies = [50.0, 250.0, 500.0, 750.0];
+    let mk = |p: ProtocolKind| {
+        move |l: f64| {
+            let mut cfg = base(p.clone(), l as u64, 0.25, scale);
+            cfg.enable_wal = true;
+            cfg
+        }
+    };
+    let series = [ProtocolKind::g2pl_paper(), ProtocolKind::S2pl]
+        .into_iter()
+        .map(|p| {
+            let label = p.label().to_string();
+            let cfg_of = mk(p);
+            Series {
+                label,
+                points: latencies
+                    .iter()
+                    .map(|&l| {
+                        let r = run_replicated(&cfg_of(l), reps);
+                        let vals: Vec<f64> = r
+                            .runs
+                            .iter()
+                            .map(|m| {
+                                m.wal
+                                    .expect("wal enabled")
+                                    .high_water_bytes_max as f64
+                                    / 1024.0
+                            })
+                            .collect();
+                        let ci = g2pl_stats::Replications::from_values(&vals).interval_95();
+                        (l, ci.mean, ci.half_width)
+                    })
+                    .collect(),
+            }
+        })
+        .collect();
+    FigureData {
+        id: "ext-log-retention".into(),
+        title: "Worst per-site live WAL (KiB) vs latency, pr=0.25".into(),
+        x_label: "network latency".into(),
+        y_label: "live log high-water (KiB)".into(),
+        series,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn extension_figures_have_expected_series() {
+        // Construct the figures at the cheapest possible size by probing
+        // their metadata without running: we only validate the builders
+        // produce well-formed configs via a tiny run of one cell each.
+        let f = ext_window_hold(Scale::Smoke);
+        assert_eq!(f.series.len(), 1);
+        assert_eq!(f.series[0].points.len(), 5);
+    }
+}

@@ -1,0 +1,239 @@
+//! Figure/table data containers and text rendering.
+//!
+//! Every experiment produces a [`FigureData`]: named series of
+//! `(x, y, ci)` points, plus axis labels — enough to regenerate any plot
+//! of the paper as a markdown table, a CSV file, or a quick ASCII chart.
+
+use serde::Serialize;
+use std::fmt::Write as _;
+
+/// One plotted series (e.g. "g-2PL" or "s-2PL").
+#[derive(Clone, Debug, Serialize)]
+pub struct Series {
+    /// Legend label.
+    pub label: String,
+    /// `(x, y, ci_half_width)` triples in x order.
+    pub points: Vec<(f64, f64, f64)>,
+}
+
+impl Series {
+    /// The y value at the given x, if present.
+    pub fn y_at(&self, x: f64) -> Option<f64> {
+        self.points
+            .iter()
+            .find(|p| (p.0 - x).abs() < 1e-9)
+            .map(|p| p.1)
+    }
+}
+
+/// The data behind one figure or table of the paper.
+#[derive(Clone, Debug, Serialize)]
+pub struct FigureData {
+    /// Experiment id, e.g. "fig2".
+    pub id: String,
+    /// Human title, e.g. the paper's caption.
+    pub title: String,
+    /// X-axis label.
+    pub x_label: String,
+    /// Y-axis label.
+    pub y_label: String,
+    /// The series, in legend order.
+    pub series: Vec<Series>,
+}
+
+impl FigureData {
+    /// Find a series by label.
+    pub fn series(&self, label: &str) -> Option<&Series> {
+        self.series.iter().find(|s| s.label == label)
+    }
+
+    /// All distinct x values, in order of first appearance.
+    pub fn xs(&self) -> Vec<f64> {
+        let mut xs: Vec<f64> = Vec::new();
+        for s in &self.series {
+            for &(x, _, _) in &s.points {
+                if !xs.iter().any(|&v| (v - x).abs() < 1e-9) {
+                    xs.push(x);
+                }
+            }
+        }
+        xs
+    }
+
+    /// Render as a GitHub-flavoured markdown table, one row per x, one
+    /// column per series (`mean ± ci`).
+    pub fn to_markdown(&self) -> String {
+        let mut out = String::new();
+        let _ = writeln!(out, "### {} — {}", self.id, self.title);
+        let _ = write!(out, "| {} |", self.x_label);
+        for s in &self.series {
+            let _ = write!(out, " {} ({}) |", s.label, self.y_label);
+        }
+        let _ = writeln!(out);
+        let _ = write!(out, "|---|");
+        for _ in &self.series {
+            let _ = write!(out, "---|");
+        }
+        let _ = writeln!(out);
+        for x in self.xs() {
+            let _ = write!(out, "| {x} |");
+            for s in &self.series {
+                match s.points.iter().find(|p| (p.0 - x).abs() < 1e-9) {
+                    Some(&(_, y, ci)) if ci > 0.0 => {
+                        let _ = write!(out, " {y:.1} ± {ci:.1} |");
+                    }
+                    Some(&(_, y, _)) => {
+                        let _ = write!(out, " {y:.1} |");
+                    }
+                    None => {
+                        let _ = write!(out, " — |");
+                    }
+                }
+            }
+            let _ = writeln!(out);
+        }
+        out
+    }
+
+    /// Render as a quick ASCII chart (one glyph per series), for eyeball
+    /// verification in a terminal. Linear axes, rows top-down from the
+    /// maximum y.
+    pub fn to_ascii(&self, width: usize, height: usize) -> String {
+        assert!(width >= 8 && height >= 4, "chart too small to draw");
+        let xs = self.xs();
+        if xs.is_empty() {
+            return format!("({}: no data)\n", self.id);
+        }
+        let (xmin, xmax) = (
+            xs.iter().copied().fold(f64::INFINITY, f64::min),
+            xs.iter().copied().fold(f64::NEG_INFINITY, f64::max),
+        );
+        let ymax = self
+            .series
+            .iter()
+            .flat_map(|s| s.points.iter().map(|p| p.1))
+            .fold(f64::NEG_INFINITY, f64::max)
+            .max(1e-12);
+        let glyphs = ['*', '+', 'o', 'x', '#', '@'];
+        let mut grid = vec![vec![' '; width]; height];
+        for (si, s) in self.series.iter().enumerate() {
+            let glyph = glyphs[si % glyphs.len()];
+            for &(x, y, _) in &s.points {
+                let col = if xmax > xmin {
+                    ((x - xmin) / (xmax - xmin) * (width - 1) as f64).round() as usize
+                } else {
+                    0
+                };
+                let row = ((1.0 - y / ymax) * (height - 1) as f64).round() as usize;
+                let row = row.min(height - 1);
+                let col = col.min(width - 1);
+                grid[row][col] = glyph;
+            }
+        }
+        let mut out = String::new();
+        let _ = writeln!(out, "{} — {} (ymax {:.3e})", self.id, self.title, ymax);
+        for row in grid {
+            let _ = writeln!(out, "|{}", row.into_iter().collect::<String>());
+        }
+        let _ = writeln!(out, "+{}", "-".repeat(width));
+        let _ = writeln!(out, " x: {xmin} .. {xmax} ({})", self.x_label);
+        for (si, s) in self.series.iter().enumerate() {
+            let _ = writeln!(out, "   {} {}", glyphs[si % glyphs.len()], s.label);
+        }
+        out
+    }
+
+    /// Render as CSV: `x,series,y,ci` rows.
+    pub fn to_csv(&self) -> String {
+        let mut out = String::from("x,series,y,ci\n");
+        for s in &self.series {
+            for &(x, y, ci) in &s.points {
+                let _ = writeln!(out, "{x},{},{y},{ci}", s.label);
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn fig() -> FigureData {
+        FigureData {
+            id: "figX".into(),
+            title: "test figure".into(),
+            x_label: "latency".into(),
+            y_label: "resp".into(),
+            series: vec![
+                Series {
+                    label: "g-2PL".into(),
+                    points: vec![(1.0, 10.0, 0.5), (50.0, 100.0, 2.0)],
+                },
+                Series {
+                    label: "s-2PL".into(),
+                    points: vec![(1.0, 12.0, 0.0), (50.0, 130.0, 3.0)],
+                },
+            ],
+        }
+    }
+
+    #[test]
+    fn xs_collects_unique_in_order() {
+        assert_eq!(fig().xs(), vec![1.0, 50.0]);
+    }
+
+    #[test]
+    fn series_lookup() {
+        let f = fig();
+        assert!(f.series("g-2PL").is_some());
+        assert!(f.series("nope").is_none());
+        assert_eq!(f.series("s-2PL").unwrap().y_at(50.0), Some(130.0));
+        assert_eq!(f.series("s-2PL").unwrap().y_at(2.0), None);
+    }
+
+    #[test]
+    fn markdown_contains_all_cells() {
+        let md = fig().to_markdown();
+        assert!(md.contains("| latency |"));
+        assert!(md.contains("10.0 ± 0.5"));
+        assert!(md.contains("12.0 |"), "zero-ci cell printed bare: {md}");
+        assert!(md.contains("130.0 ± 3.0"));
+    }
+
+    #[test]
+    fn ascii_chart_renders_all_series() {
+        let a = fig().to_ascii(40, 10);
+        assert!(a.contains('*') && a.contains('+'), "{a}");
+        assert!(a.contains("g-2PL"));
+        assert!(a.contains("x: 1 .. 50"));
+        assert_eq!(a.lines().filter(|l| l.starts_with('|')).count(), 10);
+    }
+
+    #[test]
+    #[should_panic(expected = "too small")]
+    fn ascii_chart_rejects_tiny_canvas() {
+        fig().to_ascii(4, 2);
+    }
+
+    #[test]
+    fn ascii_chart_handles_empty_figure() {
+        let f = FigureData {
+            id: "empty".into(),
+            title: "".into(),
+            x_label: "".into(),
+            y_label: "".into(),
+            series: vec![],
+        };
+        assert!(f.to_ascii(20, 5).contains("no data"));
+    }
+
+    #[test]
+    fn csv_has_header_and_rows() {
+        let csv = fig().to_csv();
+        let lines: Vec<&str> = csv.lines().collect();
+        assert_eq!(lines[0], "x,series,y,ci");
+        assert_eq!(lines.len(), 5);
+        assert!(lines.contains(&"50,g-2PL,100,2"));
+    }
+}

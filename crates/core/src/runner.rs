@@ -1,0 +1,157 @@
+//! Replicated simulation runs.
+//!
+//! The paper computes every data point from 5 independent replications
+//! with 95% confidence intervals (§5). [`run_replicated`] reproduces that
+//! procedure, running replications on worker threads (the engines are
+//! single-threaded and deterministic, so replications parallelise
+//! trivially).
+
+use g2pl_protocols::{run, EngineConfig, RunMetrics};
+use g2pl_stats::{ConfidenceInterval, Replications};
+
+/// The outcome of `n` independent replications of one configuration.
+#[derive(Debug)]
+pub struct ReplicatedResult {
+    /// Per-replication metrics, in replication order.
+    pub runs: Vec<RunMetrics>,
+    response: Replications,
+    abort_pct: Replications,
+    msgs_per_completion: Replications,
+}
+
+impl ReplicatedResult {
+    /// Across-replication mean response time with 95% CI.
+    pub fn response_ci(&self) -> ConfidenceInterval {
+        self.response.interval_95()
+    }
+
+    /// Across-replication abort percentage with 95% CI.
+    pub fn abort_pct_ci(&self) -> ConfidenceInterval {
+        self.abort_pct.interval_95()
+    }
+
+    /// Across-replication messages per completed transaction with 95% CI.
+    pub fn msgs_per_completion_ci(&self) -> ConfidenceInterval {
+        self.msgs_per_completion.interval_95()
+    }
+
+    /// Number of replications.
+    pub fn reps(&self) -> usize {
+        self.runs.len()
+    }
+}
+
+/// Derive the replication seeds from a base seed. Exposed so tests can
+/// reproduce an individual replication.
+pub fn replication_seed(base: u64, rep: u32) -> u64 {
+    base ^ (0x5851_f42d_4c95_7f2d_u64.wrapping_mul(u64::from(rep) + 1))
+}
+
+/// Run `reps` independent replications of `base` (differing only in
+/// seed) and aggregate the paper's metrics.
+///
+/// Replications run on scoped worker threads; results are collected in
+/// replication order so the aggregate is deterministic.
+pub fn run_replicated(base: &EngineConfig, reps: u32) -> ReplicatedResult {
+    assert!(reps > 0, "need at least one replication");
+    let configs: Vec<EngineConfig> = (0..reps)
+        .map(|r| {
+            let mut c = base.clone();
+            c.seed = replication_seed(base.seed, r);
+            c
+        })
+        .collect();
+
+    let threads = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+        .min(reps as usize);
+
+    let runs: Vec<RunMetrics> = if threads <= 1 {
+        configs.iter().map(run).collect()
+    } else {
+        let mut out: Vec<Option<RunMetrics>> = (0..reps).map(|_| None).collect();
+        let next = std::sync::atomic::AtomicUsize::new(0);
+        let out_mtx = std::sync::Mutex::new(&mut out);
+        crossbeam::thread::scope(|scope| {
+            for _ in 0..threads {
+                scope.spawn(|_| loop {
+                    let i = next.fetch_add(1, std::sync::atomic::Ordering::SeqCst);
+                    if i >= configs.len() {
+                        break;
+                    }
+                    let m = run(&configs[i]);
+                    out_mtx.lock().expect("runner mutex poisoned")[i] = Some(m);
+                });
+            }
+        })
+        .expect("replication worker panicked");
+        out.into_iter()
+            .map(|m| m.expect("every replication ran"))
+            .collect()
+    };
+
+    let response = Replications::from_values(
+        &runs.iter().map(|m| m.mean_response()).collect::<Vec<_>>(),
+    );
+    let abort_pct =
+        Replications::from_values(&runs.iter().map(|m| m.abort_pct()).collect::<Vec<_>>());
+    let msgs_per_completion = Replications::from_values(
+        &runs.iter().map(|m| m.msgs_per_completion()).collect::<Vec<_>>(),
+    );
+    ReplicatedResult {
+        runs,
+        response,
+        abort_pct,
+        msgs_per_completion,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use g2pl_protocols::ProtocolKind;
+
+    fn cfg() -> EngineConfig {
+        let mut c = EngineConfig::table1(ProtocolKind::S2pl, 5, 50, 0.5);
+        c.warmup_txns = 20;
+        c.measured_txns = 150;
+        c
+    }
+
+    #[test]
+    fn replications_differ_but_aggregate_deterministically() {
+        let a = run_replicated(&cfg(), 3);
+        let b = run_replicated(&cfg(), 3);
+        assert_eq!(a.reps(), 3);
+        // Same inputs => identical aggregate.
+        assert_eq!(a.response_ci(), b.response_ci());
+        assert_eq!(a.abort_pct_ci(), b.abort_pct_ci());
+        // Different seeds => replications are not all identical.
+        let means: Vec<f64> = a.runs.iter().map(|m| m.mean_response()).collect();
+        assert!(means.windows(2).any(|w| w[0] != w[1]));
+    }
+
+    #[test]
+    fn replication_seeds_are_distinct() {
+        let s: Vec<u64> = (0..10).map(|r| replication_seed(42, r)).collect();
+        let mut d = s.clone();
+        d.sort_unstable();
+        d.dedup();
+        assert_eq!(d.len(), s.len());
+    }
+
+    #[test]
+    fn ci_half_width_is_finite_and_positive() {
+        let r = run_replicated(&cfg(), 3);
+        let ci = r.response_ci();
+        assert!(ci.mean > 0.0);
+        assert!(ci.half_width.is_finite());
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one replication")]
+    fn zero_reps_panics() {
+        run_replicated(&cfg(), 0);
+    }
+}

@@ -1,0 +1,296 @@
+//! Machine-checked reproduction scorecard.
+//!
+//! The paper's evaluation makes a set of *qualitative claims* (who wins
+//! where, which way curves move, where crossovers fall). This module
+//! encodes each claim as data ([`Claim`]) and checks it against freshly
+//! simulated results, producing a verdict table — the automated version
+//! of EXPERIMENTS.md's scorecard. Run it via
+//! `cargo run --release -p g2pl-bench --bin repro -- scorecard`.
+
+use crate::experiments::{self, Scale};
+use crate::figure::FigureData;
+use std::fmt::Write as _;
+
+/// One qualitative claim of the paper, boiled down to a predicate over a
+/// regenerated figure.
+pub struct Claim {
+    /// Short id ("fig2-winner").
+    pub id: &'static str,
+    /// The paper's wording, paraphrased.
+    pub statement: &'static str,
+    /// Generates the data and judges it.
+    check: Box<dyn Fn(Scale) -> Verdict>,
+}
+
+/// Outcome of checking one claim.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Verdict {
+    /// The claim holds in our reproduction.
+    Reproduced(String),
+    /// The claim fails; the string explains how.
+    Diverged(String),
+}
+
+impl Verdict {
+    /// True for [`Verdict::Reproduced`].
+    pub fn ok(&self) -> bool {
+        matches!(self, Verdict::Reproduced(_))
+    }
+
+    /// The explanation carried either way.
+    pub fn detail(&self) -> &str {
+        match self {
+            Verdict::Reproduced(s) | Verdict::Diverged(s) => s,
+        }
+    }
+}
+
+/// Mean improvement of series `a` over series `b` across shared x values,
+/// in percent (positive = `a` is faster).
+fn mean_improvement(fig: &FigureData, a: &str, b: &str) -> f64 {
+    let sa = fig.series(a).expect("series a");
+    let sb = fig.series(b).expect("series b");
+    let mut imps = Vec::new();
+    for &(x, ya, _) in &sa.points {
+        if let Some(yb) = sb.y_at(x) {
+            imps.push(100.0 * (yb - ya) / yb);
+        }
+    }
+    imps.iter().sum::<f64>() / imps.len() as f64
+}
+
+/// All encoded claims of the paper's evaluation.
+pub fn claims() -> Vec<Claim> {
+    let mut v: Vec<Claim> = Vec::new();
+
+    v.push(Claim {
+        id: "headline",
+        statement: "20-25% response-time improvement of g-2PL over s-2PL with updates",
+        check: Box::new(|scale| {
+            let fig = experiments::fig_response_vs_latency("headline", 0.6, scale);
+            let imp = mean_improvement(&fig, "g-2PL", "s-2PL");
+            if (10.0..=35.0).contains(&imp) {
+                Verdict::Reproduced(format!("mean improvement {imp:.1}%"))
+            } else {
+                Verdict::Diverged(format!("mean improvement {imp:.1}% out of band"))
+            }
+        }),
+    });
+
+    v.push(Claim {
+        id: "fig2-winner",
+        statement: "g-2PL below s-2PL at every latency for pure updates (Fig 2)",
+        check: Box::new(|scale| {
+            let fig = experiments::fig_response_vs_latency("fig2", 0.0, scale);
+            let g = fig.series("g-2PL").expect("g");
+            let s = fig.series("s-2PL").expect("s");
+            let losses: Vec<f64> = g
+                .points
+                .iter()
+                .filter(|&&(x, y, _)| s.y_at(x).is_some_and(|ys| y >= ys))
+                .map(|&(x, _, _)| x)
+                .collect();
+            if losses.is_empty() {
+                Verdict::Reproduced("g-2PL wins at every latency".into())
+            } else {
+                Verdict::Diverged(format!("g-2PL loses at latencies {losses:?}"))
+            }
+        }),
+    });
+
+    v.push(Claim {
+        id: "fig4-winner",
+        statement: "s-2PL better than g-2PL in read-only systems (Fig 4)",
+        check: Box::new(|scale| {
+            let fig = experiments::fig_response_vs_latency("fig4", 1.0, scale);
+            let g = fig.series("g-2PL").expect("g");
+            let s = fig.series("s-2PL").expect("s");
+            let wins = g
+                .points
+                .iter()
+                .filter(|&&(x, y, _)| s.y_at(x).is_some_and(|ys| ys < y))
+                .count();
+            if wins == g.points.len() {
+                Verdict::Reproduced("s-2PL wins at every latency".into())
+            } else {
+                Verdict::Diverged(format!("s-2PL wins only {wins}/{} points", g.points.len()))
+            }
+        }),
+    });
+
+    v.push(Claim {
+        id: "fig5-crossover",
+        statement: "crossover around pr ≈ 0.85 in the ss-LAN (Fig 5)",
+        check: Box::new(|scale| {
+            let fig = experiments::fig_response_vs_pr("fig5", 1, scale);
+            match crossover_pr(&fig) {
+                Some(x) if (0.65..=0.95).contains(&x) => {
+                    Verdict::Reproduced(format!("crossover near pr ≈ {x:.2}"))
+                }
+                Some(x) => Verdict::Diverged(format!("crossover at pr ≈ {x:.2}")),
+                None => Verdict::Diverged("no crossover found".into()),
+            }
+        }),
+    });
+
+    v.push(Claim {
+        id: "fig8-flat",
+        statement: "abort percentage roughly constant in latency above the ss-LAN (Fig 8)",
+        check: Box::new(|scale| {
+            let fig = experiments::fig_aborts_vs_latency("fig8", 0.6, scale);
+            let s = fig.series("g-2PL").expect("g");
+            let ys: Vec<f64> = s.points.iter().skip(1).map(|p| p.1).collect();
+            let spread = ys.iter().cloned().fold(f64::NEG_INFINITY, f64::max)
+                - ys.iter().cloned().fold(f64::INFINITY, f64::min);
+            if spread < 10.0 {
+                Verdict::Reproduced(format!("spread {spread:.1} points across WAN range"))
+            } else {
+                Verdict::Diverged(format!("spread {spread:.1} points"))
+            }
+        }),
+    });
+
+    v.push(Claim {
+        id: "fig11-trend",
+        statement: "aborts fall as the forward-list length cap grows (Fig 11)",
+        check: Box::new(|scale| {
+            let fig = experiments::fig11(scale);
+            let pts = &fig.series[0].points;
+            let (first, last) = (pts.first().expect("pts").1, pts.last().expect("pts").1);
+            if last < first {
+                Verdict::Reproduced(format!("{first:.1}% at cap 1 → {last:.1}% at cap 10"))
+            } else {
+                Verdict::Diverged(format!("{first:.1}% → {last:.1}%"))
+            }
+        }),
+    });
+
+    v.push(Claim {
+        id: "fig12-winner",
+        statement: "g-2PL wins across client counts at pr=0.25 in the s-WAN (Fig 12)",
+        check: Box::new(|scale| {
+            let fig = experiments::fig_response_vs_clients("fig12", 0.25, scale);
+            let imp = mean_improvement(&fig, "g-2PL", "s-2PL");
+            if imp > 0.0 {
+                Verdict::Reproduced(format!("mean improvement {imp:.1}%"))
+            } else {
+                Verdict::Diverged(format!("mean improvement {imp:.1}%"))
+            }
+        }),
+    });
+
+    v
+}
+
+/// The pr at which s-2PL first becomes faster, interpolated to the
+/// midpoint of the bracketing sweep points.
+fn crossover_pr(fig: &FigureData) -> Option<f64> {
+    let g = fig.series("g-2PL")?;
+    let s = fig.series("s-2PL")?;
+    let mut prev: Option<(f64, bool)> = None;
+    for &(x, y, _) in &g.points {
+        let ys = s.y_at(x)?;
+        let g_wins = y <= ys;
+        if let Some((px, p_wins)) = prev {
+            if p_wins && !g_wins {
+                return Some((px + x) / 2.0);
+            }
+        }
+        prev = Some((x, g_wins));
+    }
+    None
+}
+
+/// Run every claim at the given scale and render the verdict table.
+pub fn run_scorecard(scale: Scale) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "### Scorecard — machine-checked paper claims");
+    let _ = writeln!(out, "| claim | statement | verdict | detail |");
+    let _ = writeln!(out, "|---|---|---|---|");
+    let mut ok = 0;
+    let all = claims();
+    let total = all.len();
+    for claim in all {
+        let verdict = (claim.check)(scale);
+        if verdict.ok() {
+            ok += 1;
+        }
+        let _ = writeln!(
+            out,
+            "| {} | {} | {} | {} |",
+            claim.id,
+            claim.statement,
+            if verdict.ok() { "✅" } else { "❌" },
+            verdict.detail()
+        );
+    }
+    let _ = writeln!(out, "\n{ok}/{total} claims reproduced");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::figure::Series;
+
+    fn two_series(ga: &[(f64, f64)], sa: &[(f64, f64)]) -> FigureData {
+        FigureData {
+            id: "t".into(),
+            title: "t".into(),
+            x_label: "x".into(),
+            y_label: "y".into(),
+            series: vec![
+                Series {
+                    label: "g-2PL".into(),
+                    points: ga.iter().map(|&(x, y)| (x, y, 0.0)).collect(),
+                },
+                Series {
+                    label: "s-2PL".into(),
+                    points: sa.iter().map(|&(x, y)| (x, y, 0.0)).collect(),
+                },
+            ],
+        }
+    }
+
+    #[test]
+    fn mean_improvement_math() {
+        let fig = two_series(&[(1.0, 80.0), (2.0, 60.0)], &[(1.0, 100.0), (2.0, 100.0)]);
+        let imp = mean_improvement(&fig, "g-2PL", "s-2PL");
+        assert!((imp - 30.0).abs() < 1e-9, "{imp}");
+    }
+
+    #[test]
+    fn crossover_detection() {
+        let fig = two_series(
+            &[(0.0, 50.0), (0.5, 40.0), (1.0, 30.0)],
+            &[(0.0, 60.0), (0.5, 45.0), (1.0, 10.0)],
+        );
+        let x = crossover_pr(&fig).expect("crossover");
+        assert!((x - 0.75).abs() < 1e-9);
+    }
+
+    #[test]
+    fn no_crossover_when_dominant() {
+        let fig = two_series(&[(0.0, 1.0), (1.0, 1.0)], &[(0.0, 2.0), (1.0, 2.0)]);
+        assert_eq!(crossover_pr(&fig), None);
+    }
+
+    #[test]
+    fn claims_are_well_formed() {
+        let cs = claims();
+        assert!(cs.len() >= 7);
+        let mut ids: Vec<&str> = cs.iter().map(|c| c.id).collect();
+        ids.sort_unstable();
+        ids.dedup();
+        assert_eq!(ids.len(), cs.len(), "duplicate claim ids");
+    }
+
+    #[test]
+    fn verdict_accessors() {
+        let r = Verdict::Reproduced("yes".into());
+        assert!(r.ok());
+        assert_eq!(r.detail(), "yes");
+        let d = Verdict::Diverged("no".into());
+        assert!(!d.ok());
+    }
+}

@@ -1,0 +1,217 @@
+//! Temporal validation of recorded event traces.
+//!
+//! The engines can record a [`g2pl_protocols::TraceEvent`] stream
+//! (`trace_events: true`). This module checks protocol-level temporal
+//! properties over such a stream, independently of the engine logic that
+//! produced it — a second pair of eyes on the message choreography:
+//!
+//! * **P1 (causality)** — every grant is preceded by a matching request
+//!   from the same transaction for the same item;
+//! * **P2 (completeness)** — a committed transaction received exactly as
+//!   many grants as it issued requests, all before its commit;
+//! * **P3 (uniqueness)** — no transaction commits twice, aborts twice, or
+//!   both commits and aborts;
+//! * **P4 (possession)** — a forward of an item is preceded by that
+//!   transaction's grant or data arrival for the item;
+//! * **P5 (strictness)** — a committed transaction forwards data only at
+//!   or after its commit instant.
+
+use g2pl_protocols::{TraceEvent, TraceKind};
+use g2pl_simcore::{ItemId, SimTime, TxnId};
+use std::collections::{HashMap, HashSet};
+
+/// Validate a trace; returns a description of the first violation.
+pub fn check_trace(events: &[TraceEvent]) -> Result<(), String> {
+    let mut requested: HashMap<(TxnId, ItemId), u64> = HashMap::new();
+    let mut granted: HashMap<(TxnId, ItemId), u64> = HashMap::new();
+    let mut arrived: HashSet<(TxnId, ItemId)> = HashSet::new();
+    let mut req_count: HashMap<TxnId, u64> = HashMap::new();
+    let mut grant_count: HashMap<TxnId, u64> = HashMap::new();
+    let mut committed: HashMap<TxnId, SimTime> = HashMap::new();
+    let mut aborted: HashSet<TxnId> = HashSet::new();
+    let mut last_t = SimTime::ZERO;
+
+    for e in events {
+        if e.at < last_t {
+            return Err(format!("trace times go backwards at {e}"));
+        }
+        last_t = e.at;
+        match e.kind {
+            TraceKind::RequestSent => {
+                let (txn, item) = ids(e)?;
+                *requested.entry((txn, item)).or_insert(0) += 1;
+                *req_count.entry(txn).or_insert(0) += 1;
+            }
+            TraceKind::DataArrived => {
+                let (txn, item) = ids(e)?;
+                arrived.insert((txn, item));
+            }
+            TraceKind::Granted => {
+                let (txn, item) = ids(e)?;
+                let reqs = requested.get(&(txn, item)).copied().unwrap_or(0);
+                let grants = granted.entry((txn, item)).or_insert(0);
+                *grants += 1;
+                if *grants > reqs {
+                    return Err(format!("P1: grant without request at {e}"));
+                }
+                *grant_count.entry(txn).or_insert(0) += 1;
+                if committed.contains_key(&txn) {
+                    return Err(format!("P2: grant after commit at {e}"));
+                }
+            }
+            TraceKind::Committed => {
+                let txn = e.txn.ok_or_else(|| format!("commit without txn: {e}"))?;
+                if committed.insert(txn, e.at).is_some() {
+                    return Err(format!("P3: double commit at {e}"));
+                }
+                if aborted.contains(&txn) {
+                    return Err(format!("P3: commit after abort at {e}"));
+                }
+                let r = req_count.get(&txn).copied().unwrap_or(0);
+                let g = grant_count.get(&txn).copied().unwrap_or(0);
+                if r != g {
+                    return Err(format!(
+                        "P2: {txn} committed with {g} grants for {r} requests"
+                    ));
+                }
+            }
+            TraceKind::Aborted => {
+                let txn = e.txn.ok_or_else(|| format!("abort without txn: {e}"))?;
+                if !aborted.insert(txn) {
+                    return Err(format!("P3: double abort at {e}"));
+                }
+                if committed.contains_key(&txn) {
+                    return Err(format!("P3: abort after commit at {e}"));
+                }
+            }
+            TraceKind::Forwarded => {
+                let (txn, item) = ids(e)?;
+                let has_grant = granted.get(&(txn, item)).copied().unwrap_or(0) > 0;
+                if !has_grant && !arrived.contains(&(txn, item)) {
+                    return Err(format!("P4: forward without possession at {e}"));
+                }
+                if let Some(&c) = committed.get(&txn) {
+                    if e.at < c {
+                        return Err(format!("P5: committed data forwarded early at {e}"));
+                    }
+                }
+            }
+            TraceKind::CacheHit => {
+                let (txn, item) = ids(e)?;
+                arrived.insert((txn, item));
+            }
+            TraceKind::Dispatched | TraceKind::ReleasedAtServer => {}
+        }
+    }
+    Ok(())
+}
+
+fn ids(e: &TraceEvent) -> Result<(TxnId, ItemId), String> {
+    match (e.txn, e.item) {
+        (Some(t), Some(i)) => Ok((t, i)),
+        _ => Err(format!("event missing txn/item: {e}")),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use g2pl_protocols::{run, EngineConfig, ProtocolKind};
+    use g2pl_simcore::SiteId;
+
+    fn ev(at: u64, kind: TraceKind, txn: u32, item: Option<u32>) -> TraceEvent {
+        TraceEvent {
+            at: SimTime::new(at),
+            kind,
+            txn: Some(TxnId::new(txn)),
+            item: item.map(ItemId::new),
+            site: SiteId::Server,
+        }
+    }
+
+    #[test]
+    fn engine_traces_validate() {
+        for protocol in [
+            ProtocolKind::S2pl,
+            ProtocolKind::g2pl_paper(),
+            ProtocolKind::C2pl,
+        ] {
+            let mut cfg = EngineConfig::table1(protocol, 8, 50, 0.4);
+            cfg.warmup_txns = 0;
+            cfg.measured_txns = 300;
+            cfg.trace_events = true;
+            cfg.drain = true;
+            let m = run(&cfg);
+            let label = m.protocol;
+            check_trace(m.trace.as_ref().expect("trace on"))
+                .unwrap_or_else(|e| panic!("{label}: {e}"));
+        }
+    }
+
+    #[test]
+    fn c2pl_cache_hits_grant_without_request() {
+        // Cache hits are local grants with no request — P1 must accept
+        // them... they do not occur: c-2PL grants cached reads without a
+        // RequestSent event, so the checker would flag them. Verify the
+        // engine emits consistent traces anyway (covered above) and that
+        // a hand-built grant-without-request is rejected:
+        let trace = vec![ev(1, TraceKind::Granted, 1, Some(0))];
+        assert!(check_trace(&trace).unwrap_err().contains("P1"));
+    }
+
+    #[test]
+    fn rejects_double_commit() {
+        let trace = vec![
+            ev(1, TraceKind::Committed, 1, None),
+            ev(2, TraceKind::Committed, 1, None),
+        ];
+        assert!(check_trace(&trace).unwrap_err().contains("P3"));
+    }
+
+    #[test]
+    fn rejects_commit_after_abort() {
+        let trace = vec![
+            ev(1, TraceKind::Aborted, 1, None),
+            ev(2, TraceKind::Committed, 1, None),
+        ];
+        assert!(check_trace(&trace).unwrap_err().contains("P3"));
+    }
+
+    #[test]
+    fn rejects_unbalanced_commit() {
+        let trace = vec![
+            ev(0, TraceKind::RequestSent, 1, Some(0)),
+            ev(2, TraceKind::RequestSent, 1, Some(1)),
+            ev(3, TraceKind::Granted, 1, Some(0)),
+            ev(4, TraceKind::Committed, 1, None),
+        ];
+        let err = check_trace(&trace).unwrap_err();
+        assert!(err.contains("P2"), "{err}");
+    }
+
+    #[test]
+    fn rejects_forward_without_possession() {
+        let trace = vec![ev(1, TraceKind::Forwarded, 1, Some(0))];
+        assert!(check_trace(&trace).unwrap_err().contains("P4"));
+    }
+
+    #[test]
+    fn rejects_time_regression() {
+        let trace = vec![
+            ev(5, TraceKind::RequestSent, 1, Some(0)),
+            ev(3, TraceKind::RequestSent, 2, Some(1)),
+        ];
+        assert!(check_trace(&trace).unwrap_err().contains("backwards"));
+    }
+
+    #[test]
+    fn accepts_well_formed_sequence() {
+        let trace = vec![
+            ev(0, TraceKind::RequestSent, 1, Some(0)),
+            ev(2, TraceKind::Granted, 1, Some(0)),
+            ev(4, TraceKind::Committed, 1, None),
+            ev(4, TraceKind::Forwarded, 1, Some(0)),
+        ];
+        assert!(check_trace(&trace).is_ok());
+    }
+}

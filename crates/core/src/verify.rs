@@ -1,0 +1,277 @@
+//! Offline serializability and strictness checking.
+//!
+//! Both s-2PL and g-2PL must produce strict, (conflict-)serializable
+//! executions — that is the whole point of a locking protocol. The
+//! engines optionally record, per committed transaction, the version of
+//! every item it read and the version it installed for every item it
+//! wrote; [`check_serializable`] rebuilds the version-order conflict
+//! graph from that record and verifies it is acyclic.
+//!
+//! Conflict edges, per item:
+//! * **ww**: the writer of version `v` precedes the writer of the next
+//!   higher version;
+//! * **wr**: the writer of version `v` precedes every reader of `v`;
+//! * **rw**: every reader of version `v` precedes the writer of the next
+//!   higher version.
+//!
+//! Versions install densely (1, 2, 3, …) per item, so the checker also
+//! validates the write chain itself.
+
+use g2pl_protocols::History;
+use g2pl_simcore::{ItemId, TxnId, Version};
+use std::collections::{BTreeMap, HashMap, HashSet};
+
+/// Check that a committed history is conflict-serializable and its
+/// version chains are well-formed. Returns a description of the first
+/// violation found.
+pub fn check_serializable(history: &History) -> Result<(), String> {
+    // Per item: version -> writer, and version -> readers.
+    let mut writers: HashMap<ItemId, BTreeMap<Version, TxnId>> = HashMap::new();
+    let mut readers: HashMap<ItemId, BTreeMap<Version, Vec<TxnId>>> = HashMap::new();
+
+    for rec in history.records() {
+        let mut seen: HashSet<ItemId> = HashSet::new();
+        for acc in &rec.accesses {
+            if !seen.insert(acc.item) {
+                return Err(format!(
+                    "{} accesses {} twice in one transaction",
+                    rec.txn, acc.item
+                ));
+            }
+            if acc.mode.is_write() {
+                if acc.version == 0 {
+                    return Err(format!(
+                        "{} claims to have installed version 0 of {}",
+                        rec.txn, acc.item
+                    ));
+                }
+                if let Some(prev) = writers
+                    .entry(acc.item)
+                    .or_default()
+                    .insert(acc.version, rec.txn)
+                {
+                    return Err(format!(
+                        "two writers ({prev} and {}) installed version {} of {}",
+                        rec.txn, acc.version, acc.item
+                    ));
+                }
+            } else {
+                readers
+                    .entry(acc.item)
+                    .or_default()
+                    .entry(acc.version)
+                    .or_default()
+                    .push(rec.txn);
+            }
+        }
+    }
+
+    // Validate write chains: versions must be dense from 1.
+    for (item, chain) in &writers {
+        for (i, (&v, _)) in chain.iter().enumerate() {
+            if v != (i + 1) as Version {
+                return Err(format!(
+                    "write chain of {item} has a gap: expected version {}, found {v}",
+                    i + 1
+                ));
+            }
+        }
+    }
+
+    // Validate reads observe existing versions.
+    for (item, by_version) in &readers {
+        let max_written = writers
+            .get(item)
+            .and_then(|c| c.keys().next_back().copied())
+            .unwrap_or(0);
+        for (&v, txns) in by_version {
+            if v > max_written {
+                return Err(format!(
+                    "{:?} read version {v} of {item}, but only {max_written} were written",
+                    txns
+                ));
+            }
+        }
+    }
+
+    // Build the conflict graph and check acyclicity with Kahn's
+    // algorithm.
+    let mut succ: HashMap<TxnId, HashSet<TxnId>> = HashMap::new();
+    let mut add = |a: TxnId, b: TxnId| {
+        if a != b {
+            succ.entry(a).or_default().insert(b);
+        }
+    };
+    for (item, chain) in &writers {
+        let empty = BTreeMap::new();
+        let item_readers = readers.get(item).unwrap_or(&empty);
+        let versions: Vec<(Version, TxnId)> = chain.iter().map(|(&v, &t)| (v, t)).collect();
+        for w in versions.windows(2) {
+            add(w[0].1, w[1].1); // ww
+        }
+        for &(v, writer) in &versions {
+            if let Some(rs) = item_readers.get(&v) {
+                for &r in rs {
+                    add(writer, r); // wr
+                }
+            }
+            // Readers of the previous version precede this writer.
+            if let Some(rs) = item_readers.get(&(v - 1)) {
+                for &r in rs {
+                    add(r, writer); // rw
+                }
+            }
+        }
+    }
+    // Items that were only read never generate edges.
+
+    let mut indeg: HashMap<TxnId, usize> = HashMap::new();
+    let mut nodes: HashSet<TxnId> = HashSet::new();
+    for (&n, ss) in &succ {
+        nodes.insert(n);
+        for &s in ss {
+            nodes.insert(s);
+            *indeg.entry(s).or_insert(0) += 1;
+        }
+    }
+    let mut ready: Vec<TxnId> = nodes
+        .iter()
+        .copied()
+        .filter(|n| indeg.get(n).copied().unwrap_or(0) == 0)
+        .collect();
+    let mut removed = 0usize;
+    while let Some(n) = ready.pop() {
+        removed += 1;
+        if let Some(ss) = succ.get(&n) {
+            for &s in ss {
+                let d = indeg.get_mut(&s).expect("edge target has indegree");
+                *d -= 1;
+                if *d == 0 {
+                    ready.push(s);
+                }
+            }
+        }
+    }
+    if removed != nodes.len() {
+        return Err(format!(
+            "conflict graph has a cycle among {} of {} transactions",
+            nodes.len() - removed,
+            nodes.len()
+        ));
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use g2pl_protocols::CommitRecord;
+    use g2pl_protocols::history::AccessRecord;
+    use g2pl_simcore::SimTime;
+    use g2pl_workload::AccessMode;
+
+    fn rec(txn: u32, at: u64, accesses: &[(u32, AccessMode, Version)]) -> CommitRecord {
+        CommitRecord {
+            txn: TxnId::new(txn),
+            at: SimTime::new(at),
+            accesses: accesses
+                .iter()
+                .map(|&(i, mode, version)| AccessRecord {
+                    item: ItemId::new(i),
+                    mode,
+                    version,
+                })
+                .collect(),
+        }
+    }
+
+    use AccessMode::{Read, Write};
+
+    #[test]
+    fn empty_history_is_serializable() {
+        assert!(check_serializable(&History::new()).is_ok());
+    }
+
+    #[test]
+    fn serial_writes_pass() {
+        let mut h = History::new();
+        h.push(rec(1, 10, &[(0, Write, 1)]));
+        h.push(rec(2, 20, &[(0, Write, 2)]));
+        h.push(rec(3, 30, &[(0, Read, 2)]));
+        assert!(check_serializable(&h).is_ok());
+    }
+
+    #[test]
+    fn duplicate_version_fails() {
+        let mut h = History::new();
+        h.push(rec(1, 10, &[(0, Write, 1)]));
+        h.push(rec(2, 20, &[(0, Write, 1)]));
+        let err = check_serializable(&h).unwrap_err();
+        assert!(err.contains("two writers"), "{err}");
+    }
+
+    #[test]
+    fn version_gap_fails() {
+        let mut h = History::new();
+        h.push(rec(1, 10, &[(0, Write, 2)]));
+        let err = check_serializable(&h).unwrap_err();
+        assert!(err.contains("gap"), "{err}");
+    }
+
+    #[test]
+    fn read_of_unwritten_version_fails() {
+        let mut h = History::new();
+        h.push(rec(1, 10, &[(0, Read, 3)]));
+        let err = check_serializable(&h).unwrap_err();
+        assert!(err.contains("read version 3"), "{err}");
+    }
+
+    #[test]
+    fn nonserializable_cycle_fails() {
+        // T1 reads x@0 and writes y@1; T2 reads y@0 and writes x@1.
+        // rw edges: T1 -> T2 (T1 read x@0, T2 wrote x@1)
+        //           T2 -> T1 (T2 read y@0, T1 wrote y@1) — a cycle.
+        let mut h = History::new();
+        h.push(rec(1, 10, &[(0, Read, 0), (1, Write, 1)]));
+        h.push(rec(2, 20, &[(1, Read, 0), (0, Write, 1)]));
+        let err = check_serializable(&h).unwrap_err();
+        assert!(err.contains("cycle"), "{err}");
+    }
+
+    #[test]
+    fn concurrent_readers_are_fine() {
+        let mut h = History::new();
+        h.push(rec(1, 10, &[(0, Write, 1)]));
+        h.push(rec(2, 20, &[(0, Read, 1)]));
+        h.push(rec(3, 20, &[(0, Read, 1)]));
+        h.push(rec(4, 30, &[(0, Write, 2)]));
+        assert!(check_serializable(&h).is_ok());
+    }
+
+    #[test]
+    fn double_access_in_one_txn_fails() {
+        let mut h = History::new();
+        h.push(rec(1, 10, &[(0, Read, 0), (0, Write, 1)]));
+        let err = check_serializable(&h).unwrap_err();
+        assert!(err.contains("twice"), "{err}");
+    }
+
+    #[test]
+    fn engine_histories_verify() {
+        use g2pl_protocols::{run, EngineConfig, ProtocolKind};
+        for protocol in [
+            ProtocolKind::S2pl,
+            ProtocolKind::g2pl_paper(),
+            ProtocolKind::C2pl,
+        ] {
+            let mut cfg = EngineConfig::table1(protocol, 8, 50, 0.5);
+            cfg.warmup_txns = 20;
+            cfg.measured_txns = 300;
+            cfg.record_history = true;
+            let m = run(&cfg);
+            let label = m.protocol;
+            check_serializable(m.history.as_ref().expect("history on"))
+                .unwrap_or_else(|e| panic!("{label}: {e}"));
+        }
+    }
+}

@@ -1,0 +1,221 @@
+//! The global transaction precedence DAG (§3.3).
+//!
+//! "The forward list for each data item can be represented by a
+//! transaction precedence graph… In order to ensure linear ordering,
+//! transaction precedence graphs need to be made consistent. That is, two
+//! transactions Ti and Tj must follow the same order in every precedence
+//! graph involving Ti and Tj."
+//!
+//! We maintain the *union* of all per-item precedence graphs as one DAG.
+//! Every window close orders its pending requests by a linear extension of
+//! this DAG and inserts the resulting edges, so the union stays acyclic by
+//! construction and any two dispatched forward lists order any two
+//! transactions consistently — which eliminates deadlocks among
+//! transactions whose conflicting requests land in the same collection
+//! windows.
+
+use g2pl_simcore::TxnId;
+use std::collections::{HashMap, HashSet};
+
+/// An acyclic precedence relation over active transactions.
+#[derive(Clone, Debug, Default)]
+pub struct PrecedenceDag {
+    succ: HashMap<TxnId, HashSet<TxnId>>,
+    pred: HashMap<TxnId, HashSet<TxnId>>,
+}
+
+impl PrecedenceDag {
+    /// Empty DAG.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Record that `before` precedes `after` in some forward list.
+    ///
+    /// # Panics
+    /// Panics (in debug builds) if the edge would create a cycle — the
+    /// window-close ordering must only add edges along a linear extension,
+    /// so a cycle here is an engine bug, not an input condition.
+    pub fn add_order(&mut self, before: TxnId, after: TxnId) {
+        assert_ne!(before, after, "a transaction cannot precede itself");
+        debug_assert!(
+            !self.precedes(after, before),
+            "adding {before:?} -> {after:?} would create a precedence cycle"
+        );
+        self.succ.entry(before).or_default().insert(after);
+        self.pred.entry(after).or_default().insert(before);
+    }
+
+    /// True when `a` (transitively) precedes `b`.
+    pub fn precedes(&self, a: TxnId, b: TxnId) -> bool {
+        if a == b {
+            return false;
+        }
+        // DFS from a.
+        let mut stack = vec![a];
+        let mut seen = HashSet::new();
+        while let Some(t) = stack.pop() {
+            if let Some(next) = self.succ.get(&t) {
+                for &n in next {
+                    if n == b {
+                        return true;
+                    }
+                    if seen.insert(n) {
+                        stack.push(n);
+                    }
+                }
+            }
+        }
+        false
+    }
+
+    /// Remove a finished transaction, preserving transitive constraints:
+    /// every predecessor becomes a direct predecessor of every successor.
+    ///
+    /// Keeping the closure matters: if `a < t` and `t < b` were fixed by
+    /// dispatched lists, then after `t` commits the serialization order
+    /// between the still-active `a` and `b` is already determined and
+    /// future windows must not order them the other way.
+    pub fn remove_txn(&mut self, txn: TxnId) {
+        let preds = self.pred.remove(&txn).unwrap_or_default();
+        let succs = self.succ.remove(&txn).unwrap_or_default();
+        for &p in &preds {
+            if let Some(s) = self.succ.get_mut(&p) {
+                s.remove(&txn);
+            }
+        }
+        for &s in &succs {
+            if let Some(p) = self.pred.get_mut(&s) {
+                p.remove(&txn);
+            }
+        }
+        for &p in &preds {
+            for &s in &succs {
+                if p != s {
+                    self.succ.entry(p).or_default().insert(s);
+                    self.pred.entry(s).or_default().insert(p);
+                }
+            }
+        }
+    }
+
+    /// Number of transactions with at least one constraint.
+    pub fn constrained_count(&self) -> usize {
+        let mut nodes: HashSet<TxnId> = self.succ.keys().copied().collect();
+        nodes.extend(self.pred.keys().copied());
+        nodes.len()
+    }
+
+    /// Verify acyclicity by Kahn's algorithm (test/debug helper; the DAG
+    /// is acyclic by construction in production use).
+    pub fn is_acyclic(&self) -> bool {
+        let mut indeg: HashMap<TxnId, usize> = HashMap::new();
+        let mut nodes: HashSet<TxnId> = HashSet::new();
+        for (&n, succs) in &self.succ {
+            nodes.insert(n);
+            for &s in succs {
+                nodes.insert(s);
+                *indeg.entry(s).or_insert(0) += 1;
+            }
+        }
+        let mut ready: Vec<TxnId> = nodes
+            .iter()
+            .copied()
+            .filter(|n| indeg.get(n).copied().unwrap_or(0) == 0)
+            .collect();
+        let mut removed = 0usize;
+        while let Some(n) = ready.pop() {
+            removed += 1;
+            if let Some(succs) = self.succ.get(&n) {
+                for &s in succs {
+                    let d = indeg.get_mut(&s).expect("edge target has indegree");
+                    *d -= 1;
+                    if *d == 0 {
+                        ready.push(s);
+                    }
+                }
+            }
+        }
+        removed == nodes.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(i: u32) -> TxnId {
+        TxnId::new(i)
+    }
+
+    #[test]
+    fn direct_and_transitive_precedence() {
+        let mut d = PrecedenceDag::new();
+        d.add_order(t(1), t(2));
+        d.add_order(t(2), t(3));
+        assert!(d.precedes(t(1), t(2)));
+        assert!(d.precedes(t(1), t(3)));
+        assert!(!d.precedes(t(3), t(1)));
+        assert!(!d.precedes(t(1), t(1)));
+        assert!(d.is_acyclic());
+    }
+
+    #[test]
+    fn removal_preserves_transitive_constraints() {
+        let mut d = PrecedenceDag::new();
+        d.add_order(t(1), t(2));
+        d.add_order(t(2), t(3));
+        d.remove_txn(t(2));
+        assert!(d.precedes(t(1), t(3)), "closure edge must survive removal");
+        assert!(!d.precedes(t(1), t(2)));
+        assert!(!d.precedes(t(2), t(3)));
+        assert!(d.is_acyclic());
+    }
+
+    #[test]
+    fn removal_of_unknown_txn_is_noop() {
+        let mut d = PrecedenceDag::new();
+        d.add_order(t(1), t(2));
+        d.remove_txn(t(99));
+        assert!(d.precedes(t(1), t(2)));
+    }
+
+    #[test]
+    fn diamond_closure() {
+        let mut d = PrecedenceDag::new();
+        d.add_order(t(1), t(2));
+        d.add_order(t(1), t(3));
+        d.add_order(t(2), t(4));
+        d.add_order(t(3), t(4));
+        d.remove_txn(t(2));
+        d.remove_txn(t(3));
+        assert!(d.precedes(t(1), t(4)));
+        assert!(d.is_acyclic());
+    }
+
+    #[test]
+    fn constrained_count_tracks_nodes() {
+        let mut d = PrecedenceDag::new();
+        assert_eq!(d.constrained_count(), 0);
+        d.add_order(t(1), t(2));
+        assert_eq!(d.constrained_count(), 2);
+        d.add_order(t(2), t(3));
+        assert_eq!(d.constrained_count(), 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot precede itself")]
+    fn self_order_panics() {
+        let mut d = PrecedenceDag::new();
+        d.add_order(t(1), t(1));
+    }
+
+    #[test]
+    #[cfg(debug_assertions)]
+    #[should_panic(expected = "precedence cycle")]
+    fn cycle_insertion_panics_in_debug() {
+        let mut d = PrecedenceDag::new();
+        d.add_order(t(1), t(2));
+        d.add_order(t(2), t(1));
+    }
+}

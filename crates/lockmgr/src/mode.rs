@@ -1,0 +1,81 @@
+//! Lock modes and the compatibility matrix.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// A lock mode: shared (read) or exclusive (write).
+///
+/// §3.1: "locks are distinguished into read (shared) and write (exclusive)
+/// types and a client cannot acquire a write lock on a data item until the
+/// clients reading the data have released their shared locks and vice
+/// versa."
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum LockMode {
+    /// Shared / read lock: compatible with other shared locks.
+    Shared,
+    /// Exclusive / write lock: compatible with nothing.
+    Exclusive,
+}
+
+impl LockMode {
+    /// Standard two-mode compatibility: S‖S only.
+    pub fn compatible(self, other: LockMode) -> bool {
+        matches!((self, other), (LockMode::Shared, LockMode::Shared))
+    }
+
+    /// True for [`LockMode::Shared`].
+    pub fn is_shared(self) -> bool {
+        self == LockMode::Shared
+    }
+
+    /// True for [`LockMode::Exclusive`].
+    pub fn is_exclusive(self) -> bool {
+        self == LockMode::Exclusive
+    }
+
+    /// The least upper bound of two modes (S ∨ X = X), used when a
+    /// transaction re-requests an item it already holds.
+    pub fn max(self, other: LockMode) -> LockMode {
+        if self.is_exclusive() || other.is_exclusive() {
+            LockMode::Exclusive
+        } else {
+            LockMode::Shared
+        }
+    }
+}
+
+impl fmt::Display for LockMode {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            LockMode::Shared => "S",
+            LockMode::Exclusive => "X",
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use LockMode::{Exclusive, Shared};
+
+    #[test]
+    fn compatibility_matrix() {
+        assert!(Shared.compatible(Shared));
+        assert!(!Shared.compatible(Exclusive));
+        assert!(!Exclusive.compatible(Shared));
+        assert!(!Exclusive.compatible(Exclusive));
+    }
+
+    #[test]
+    fn lub() {
+        assert_eq!(Shared.max(Shared), Shared);
+        assert_eq!(Shared.max(Exclusive), Exclusive);
+        assert_eq!(Exclusive.max(Shared), Exclusive);
+        assert_eq!(Exclusive.max(Exclusive), Exclusive);
+    }
+
+    #[test]
+    fn display() {
+        assert_eq!(format!("{Shared}/{Exclusive}"), "S/X");
+    }
+}

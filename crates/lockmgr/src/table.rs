@@ -1,0 +1,404 @@
+//! The lock table: per-item holder sets and FIFO wait queues.
+
+use crate::mode::LockMode;
+use g2pl_simcore::{ItemId, TxnId};
+use std::collections::{HashMap, VecDeque};
+
+/// Result of a lock acquisition attempt.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum AcquireOutcome {
+    /// The lock was granted immediately (or was already held in a
+    /// sufficient mode).
+    Granted,
+    /// The request conflicts with current holders or queued-ahead waiters
+    /// and was enqueued.
+    Queued,
+}
+
+#[derive(Clone, Debug, Default)]
+struct ItemLock {
+    holders: Vec<(TxnId, LockMode)>,
+    queue: VecDeque<(TxnId, LockMode)>,
+}
+
+impl ItemLock {
+    fn holder_mode(&self, txn: TxnId) -> Option<LockMode> {
+        self.holders.iter().find(|(t, _)| *t == txn).map(|&(_, m)| m)
+    }
+
+    fn grantable(&self, txn: TxnId, mode: LockMode) -> bool {
+        self.holders
+            .iter()
+            .all(|&(t, m)| t == txn || m.compatible(mode))
+    }
+}
+
+/// A strict-2PL lock table.
+///
+/// Grants are FIFO-fair: a shared request queues behind an earlier queued
+/// exclusive request even when it would be compatible with the current
+/// holders, preventing writer starvation (the behaviour of textbook
+/// queue-based lock managers, and the one the paper's s-2PL baseline
+/// assumes when it says conflicting requests are "enqueued").
+#[derive(Clone, Debug, Default)]
+pub struct LockTable {
+    items: HashMap<ItemId, ItemLock>,
+    held: HashMap<TxnId, Vec<ItemId>>,
+    /// Reverse index: the item each transaction is queued on (at most one
+    /// under the sequential client model; the most recent wins otherwise).
+    queued: HashMap<TxnId, ItemId>,
+}
+
+impl LockTable {
+    /// An empty lock table.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Attempt to acquire `item` in `mode` for `txn`.
+    ///
+    /// Re-requesting an item already held in a sufficient mode returns
+    /// [`AcquireOutcome::Granted`] without any state change. An upgrade
+    /// (S held, X requested) is granted in place when `txn` is the only
+    /// holder and nothing is queued, and queued at the *front* otherwise.
+    pub fn acquire(&mut self, txn: TxnId, item: ItemId, mode: LockMode) -> AcquireOutcome {
+        let lock = self.items.entry(item).or_default();
+
+        if let Some(held_mode) = lock.holder_mode(txn) {
+            if held_mode.max(mode) == held_mode {
+                return AcquireOutcome::Granted; // already sufficient
+            }
+            // Upgrade S -> X.
+            if lock.holders.len() == 1 && lock.queue.is_empty() {
+                lock.holders[0].1 = LockMode::Exclusive;
+                return AcquireOutcome::Granted;
+            }
+            lock.queue.push_front((txn, mode));
+            self.queued.insert(txn, item);
+            return AcquireOutcome::Queued;
+        }
+
+        if lock.queue.is_empty() && lock.grantable(txn, mode) {
+            lock.holders.push((txn, mode));
+            self.held.entry(txn).or_default().push(item);
+            AcquireOutcome::Granted
+        } else {
+            lock.queue.push_back((txn, mode));
+            self.queued.insert(txn, item);
+            AcquireOutcome::Queued
+        }
+    }
+
+    /// The item `txn` is currently queued on, if any.
+    pub fn queued_on(&self, txn: TxnId) -> Option<ItemId> {
+        self.queued.get(&txn).copied()
+    }
+
+    /// Release every lock held by `txn` and remove any of its queued
+    /// requests, granting whatever becomes grantable.
+    ///
+    /// Returns the newly granted `(item, txn, mode)` triples, in grant
+    /// order.
+    pub fn release_all(&mut self, txn: TxnId) -> Vec<(ItemId, TxnId, LockMode)> {
+        let mut woken = Vec::new();
+        self.queued.remove(&txn);
+        // Remove the transaction's queued requests FIRST: promoting a
+        // released item before purging the queues could re-grant the
+        // finished transaction its own stale queued request. Sorted so
+        // the wake-up order (and thus the whole simulation) is
+        // deterministic regardless of hash-map iteration order.
+        let mut queued_on: Vec<ItemId> = self
+            .items
+            .iter()
+            .filter(|(_, l)| l.queue.iter().any(|&(t, _)| t == txn))
+            .map(|(&i, _)| i)
+            .collect();
+        queued_on.sort_unstable();
+        for &item in &queued_on {
+            let lock = self.items.get_mut(&item).expect("just observed");
+            lock.queue.retain(|&(t, _)| t != txn);
+        }
+        let items = self.held.remove(&txn).unwrap_or_default();
+        for item in items {
+            let lock = self.items.get_mut(&item).expect("held item has lock state");
+            lock.holders.retain(|&(t, _)| t != txn);
+            Self::promote(&mut self.queued, &mut self.held, lock, item, &mut woken);
+        }
+        // The queue removals themselves can unblock requests queued
+        // behind the departed transaction.
+        for item in queued_on {
+            let lock = self.items.get_mut(&item).expect("just observed");
+            Self::promote(&mut self.queued, &mut self.held, lock, item, &mut woken);
+        }
+        woken
+    }
+
+    fn promote(
+        queued: &mut HashMap<TxnId, ItemId>,
+        held: &mut HashMap<TxnId, Vec<ItemId>>,
+        lock: &mut ItemLock,
+        item: ItemId,
+        woken: &mut Vec<(ItemId, TxnId, LockMode)>,
+    ) {
+        while let Some(&(t, m)) = lock.queue.front() {
+            // Upgrades re-check against remaining holders (t itself may
+            // still hold S).
+            if !lock.grantable(t, m) {
+                break;
+            }
+            lock.queue.pop_front();
+            queued.remove(&t);
+            if let Some(pos) = lock.holders.iter().position(|&(h, _)| h == t) {
+                lock.holders[pos].1 = lock.holders[pos].1.max(m);
+            } else {
+                lock.holders.push((t, m));
+                held.entry(t).or_default().push(item);
+            }
+            woken.push((item, t, m));
+            if m.is_exclusive() {
+                break;
+            }
+        }
+    }
+
+    /// Current holders of `item`, with their modes.
+    pub fn holders(&self, item: ItemId) -> &[(TxnId, LockMode)] {
+        self.items.get(&item).map(|l| l.holders.as_slice()).unwrap_or(&[])
+    }
+
+    /// Queued waiters on `item`, in queue order.
+    pub fn waiters(&self, item: ItemId) -> impl Iterator<Item = (TxnId, LockMode)> + '_ {
+        self.items
+            .get(&item)
+            .into_iter()
+            .flat_map(|l| l.queue.iter().copied())
+    }
+
+    /// Items currently held by `txn` (in acquisition order).
+    pub fn held_by(&self, txn: TxnId) -> &[ItemId] {
+        self.held.get(&txn).map(Vec::as_slice).unwrap_or(&[])
+    }
+
+    /// Mode in which `txn` holds `item`, if it does.
+    pub fn mode_of(&self, txn: TxnId, item: ItemId) -> Option<LockMode> {
+        self.items.get(&item).and_then(|l| l.holder_mode(txn))
+    }
+
+    /// True when no locks are held and no requests queued (quiescence
+    /// check for drain tests).
+    pub fn is_quiescent(&self) -> bool {
+        self.items
+            .values()
+            .all(|l| l.holders.is_empty() && l.queue.is_empty())
+    }
+
+    /// Every `(txn, item)` pair currently waiting in some queue, in
+    /// deterministic (item, queue-position) order. Used to rebuild the
+    /// wait-for graph on demand at detection time.
+    pub fn all_waiters(&self) -> Vec<(TxnId, ItemId)> {
+        let mut out: Vec<(TxnId, ItemId)> = self
+            .items
+            .iter()
+            .flat_map(|(&item, lock)| lock.queue.iter().map(move |&(t, _)| (t, item)))
+            .collect();
+        out.sort_unstable_by_key(|&(t, i)| (i, t));
+        out
+    }
+
+    /// The transactions `txn` is waiting for on `item`: every incompatible
+    /// current holder plus every queued-ahead waiter (FIFO queues make a
+    /// request wait on whatever precedes it).
+    ///
+    /// Returns an empty vector when `txn` is not queued on `item`.
+    pub fn waits_for(&self, txn: TxnId, item: ItemId) -> Vec<TxnId> {
+        let Some(lock) = self.items.get(&item) else {
+            return Vec::new();
+        };
+        let Some(pos) = lock.queue.iter().position(|&(t, _)| t == txn) else {
+            return Vec::new();
+        };
+        let my_mode = lock.queue[pos].1;
+        let mut out: Vec<TxnId> = lock
+            .holders
+            .iter()
+            .filter(|&&(t, m)| t != txn && !m.compatible(my_mode))
+            .map(|&(t, _)| t)
+            .collect();
+        for &(t, m) in lock.queue.iter().take(pos) {
+            // Queued-ahead conflicting requests also block us under FIFO.
+            if t != txn && (!m.compatible(my_mode) || out.contains(&t)) {
+                out.push(t);
+            }
+        }
+        out.sort_unstable();
+        out.dedup();
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use LockMode::{Exclusive, Shared};
+
+    fn t(i: u32) -> TxnId {
+        TxnId::new(i)
+    }
+    fn x(i: u32) -> ItemId {
+        ItemId::new(i)
+    }
+
+    #[test]
+    fn shared_locks_coexist() {
+        let mut lt = LockTable::new();
+        assert_eq!(lt.acquire(t(1), x(0), Shared), AcquireOutcome::Granted);
+        assert_eq!(lt.acquire(t(2), x(0), Shared), AcquireOutcome::Granted);
+        assert_eq!(lt.holders(x(0)).len(), 2);
+    }
+
+    #[test]
+    fn exclusive_blocks_everything() {
+        let mut lt = LockTable::new();
+        assert_eq!(lt.acquire(t(1), x(0), Exclusive), AcquireOutcome::Granted);
+        assert_eq!(lt.acquire(t(2), x(0), Shared), AcquireOutcome::Queued);
+        assert_eq!(lt.acquire(t(3), x(0), Exclusive), AcquireOutcome::Queued);
+    }
+
+    #[test]
+    fn fifo_fairness_no_reader_overtaking() {
+        let mut lt = LockTable::new();
+        lt.acquire(t(1), x(0), Shared);
+        assert_eq!(lt.acquire(t(2), x(0), Exclusive), AcquireOutcome::Queued);
+        // A third reader must not jump the queued writer.
+        assert_eq!(lt.acquire(t(3), x(0), Shared), AcquireOutcome::Queued);
+    }
+
+    #[test]
+    fn release_grants_next_in_fifo_order() {
+        let mut lt = LockTable::new();
+        lt.acquire(t(1), x(0), Exclusive);
+        lt.acquire(t(2), x(0), Shared);
+        lt.acquire(t(3), x(0), Shared);
+        lt.acquire(t(4), x(0), Exclusive);
+        let woken = lt.release_all(t(1));
+        // Both leading readers wake together; the writer stays queued.
+        assert_eq!(
+            woken,
+            vec![(x(0), t(2), Shared), (x(0), t(3), Shared)]
+        );
+        let woken = lt.release_all(t(2));
+        assert!(woken.is_empty());
+        let woken = lt.release_all(t(3));
+        assert_eq!(woken, vec![(x(0), t(4), Exclusive)]);
+    }
+
+    #[test]
+    fn release_all_covers_multiple_items() {
+        let mut lt = LockTable::new();
+        lt.acquire(t(1), x(0), Exclusive);
+        lt.acquire(t(1), x(1), Exclusive);
+        lt.acquire(t(2), x(0), Shared);
+        lt.acquire(t(3), x(1), Shared);
+        let mut woken = lt.release_all(t(1));
+        woken.sort_by_key(|&(i, _, _)| i);
+        assert_eq!(woken, vec![(x(0), t(2), Shared), (x(1), t(3), Shared)]);
+        assert!(lt.held_by(t(1)).is_empty());
+    }
+
+    #[test]
+    fn abort_of_queued_txn_unblocks_queue() {
+        let mut lt = LockTable::new();
+        lt.acquire(t(1), x(0), Shared);
+        lt.acquire(t(2), x(0), Exclusive); // queued
+        lt.acquire(t(3), x(0), Shared); // queued behind writer
+        // Abort the queued writer: the reader should now be grantable.
+        let woken = lt.release_all(t(2));
+        assert_eq!(woken, vec![(x(0), t(3), Shared)]);
+    }
+
+    #[test]
+    fn rerequest_same_mode_is_granted() {
+        let mut lt = LockTable::new();
+        lt.acquire(t(1), x(0), Shared);
+        assert_eq!(lt.acquire(t(1), x(0), Shared), AcquireOutcome::Granted);
+        assert_eq!(lt.holders(x(0)).len(), 1);
+    }
+
+    #[test]
+    fn sole_holder_upgrade_succeeds_in_place() {
+        let mut lt = LockTable::new();
+        lt.acquire(t(1), x(0), Shared);
+        assert_eq!(lt.acquire(t(1), x(0), Exclusive), AcquireOutcome::Granted);
+        assert_eq!(lt.mode_of(t(1), x(0)), Some(Exclusive));
+    }
+
+    #[test]
+    fn contended_upgrade_waits_for_other_readers() {
+        let mut lt = LockTable::new();
+        lt.acquire(t(1), x(0), Shared);
+        lt.acquire(t(2), x(0), Shared);
+        assert_eq!(lt.acquire(t(1), x(0), Exclusive), AcquireOutcome::Queued);
+        let woken = lt.release_all(t(2));
+        assert_eq!(woken, vec![(x(0), t(1), Exclusive)]);
+        assert_eq!(lt.mode_of(t(1), x(0)), Some(Exclusive));
+    }
+
+    #[test]
+    fn waits_for_includes_holders_and_queued_ahead() {
+        let mut lt = LockTable::new();
+        lt.acquire(t(1), x(0), Exclusive);
+        lt.acquire(t(2), x(0), Exclusive);
+        lt.acquire(t(3), x(0), Exclusive);
+        assert_eq!(lt.waits_for(t(3), x(0)), vec![t(1), t(2)]);
+        assert_eq!(lt.waits_for(t(2), x(0)), vec![t(1)]);
+        assert!(lt.waits_for(t(1), x(0)).is_empty()); // holder, not waiter
+    }
+
+    #[test]
+    fn waits_for_shared_ignores_compatible_holders() {
+        let mut lt = LockTable::new();
+        lt.acquire(t(1), x(0), Shared);
+        lt.acquire(t(2), x(0), Exclusive);
+        lt.acquire(t(3), x(0), Shared);
+        // t3 (S) waits on the queued-ahead writer t2; t1 (S holder) is
+        // compatible but t2 is between them.
+        assert_eq!(lt.waits_for(t(3), x(0)), vec![t(2)]);
+    }
+
+    #[test]
+    fn queued_on_tracks_waits() {
+        let mut lt = LockTable::new();
+        lt.acquire(t(1), x(0), Exclusive);
+        assert_eq!(lt.queued_on(t(1)), None, "holders are not queued");
+        lt.acquire(t(2), x(0), Shared);
+        assert_eq!(lt.queued_on(t(2)), Some(x(0)));
+        lt.release_all(t(1));
+        assert_eq!(lt.queued_on(t(2)), None, "granted waiters leave the index");
+        lt.acquire(t(3), x(0), Exclusive);
+        assert_eq!(lt.queued_on(t(3)), Some(x(0)));
+        lt.release_all(t(3));
+        assert_eq!(lt.queued_on(t(3)), None, "aborted waiters leave the index");
+    }
+
+    #[test]
+    fn all_waiters_lists_queued_requests() {
+        let mut lt = LockTable::new();
+        lt.acquire(t(1), x(0), Exclusive);
+        lt.acquire(t(2), x(0), Shared);
+        lt.acquire(t(3), x(1), Exclusive);
+        lt.acquire(t(4), x(1), Exclusive);
+        assert_eq!(lt.all_waiters(), vec![(t(2), x(0)), (t(4), x(1))]);
+        lt.release_all(t(1));
+        assert_eq!(lt.all_waiters(), vec![(t(4), x(1))]);
+    }
+
+    #[test]
+    fn quiescence() {
+        let mut lt = LockTable::new();
+        assert!(lt.is_quiescent());
+        lt.acquire(t(1), x(0), Shared);
+        assert!(!lt.is_quiescent());
+        lt.release_all(t(1));
+        assert!(lt.is_quiescent());
+    }
+}

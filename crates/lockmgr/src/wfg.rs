@@ -1,0 +1,220 @@
+//! Wait-for-graph deadlock detection.
+//!
+//! §4: "In the s-2PL implementation, deadlocks are detected by computing
+//! wait-for-graphs and aborting the transactions necessary to remove the
+//! deadlocks. … deadlock detection is initiated when a lock cannot be
+//! granted." The same machinery detects g-2PL's cross-window (read-only)
+//! deadlocks of §3.3.
+
+use g2pl_simcore::TxnId;
+use std::collections::HashMap;
+
+/// A directed waits-for graph over transactions.
+///
+/// Edges mean "source waits for target". The graph is rebuilt (or edited)
+/// by the protocol engines; [`WaitForGraph::find_cycle_from`] runs a DFS
+/// from the transaction whose blocked request triggered detection, which
+/// is sufficient: any deadlock created by a new edge necessarily contains
+/// that edge's source.
+#[derive(Clone, Debug, Default)]
+pub struct WaitForGraph {
+    edges: HashMap<TxnId, Vec<TxnId>>,
+}
+
+impl WaitForGraph {
+    /// An empty graph.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Add the edge `from → to` ("from waits for to"). Parallel edges are
+    /// collapsed; self-loops are ignored (a transaction never waits for
+    /// itself in a well-formed lock manager, and a self-loop would be a
+    /// spurious "deadlock" of size one).
+    pub fn add_edge(&mut self, from: TxnId, to: TxnId) {
+        if from == to {
+            return;
+        }
+        let v = self.edges.entry(from).or_default();
+        if !v.contains(&to) {
+            v.push(to);
+        }
+    }
+
+    /// Remove every edge into and out of `txn` (it committed or aborted).
+    pub fn remove_txn(&mut self, txn: TxnId) {
+        self.edges.remove(&txn);
+        for v in self.edges.values_mut() {
+            v.retain(|&t| t != txn);
+        }
+    }
+
+    /// Remove all edges out of `txn` (its request was granted; it no
+    /// longer waits, but others may still wait for it).
+    pub fn clear_outgoing(&mut self, txn: TxnId) {
+        self.edges.remove(&txn);
+    }
+
+    /// Successors of `txn`.
+    pub fn out_edges(&self, txn: TxnId) -> &[TxnId] {
+        self.edges.get(&txn).map(Vec::as_slice).unwrap_or(&[])
+    }
+
+    /// Number of transactions with outgoing edges.
+    pub fn waiting_count(&self) -> usize {
+        self.edges.len()
+    }
+
+    /// Find a cycle reachable from `start`, returning its member
+    /// transactions (in cycle order, starting from the transaction where
+    /// the DFS closed the loop). Returns `None` when `start` cannot reach
+    /// a cycle.
+    pub fn find_cycle_from(&self, start: TxnId) -> Option<Vec<TxnId>> {
+        // Iterative DFS with an explicit path stack (colouring: on_path).
+        let mut on_path: Vec<TxnId> = Vec::new();
+        let mut visited: HashMap<TxnId, bool> = HashMap::new(); // true = done
+        // Stack frames: (node, next-child index).
+        let mut stack: Vec<(TxnId, usize)> = vec![(start, 0)];
+        on_path.push(start);
+        visited.insert(start, false);
+
+        while let Some(&mut (node, ref mut child)) = stack.last_mut() {
+            let succs = self.out_edges(node);
+            if *child < succs.len() {
+                let next = succs[*child];
+                *child += 1;
+                match visited.get(&next) {
+                    Some(false) => {
+                        // Back edge: `next` is on the current path — cycle.
+                        let pos = on_path
+                            .iter()
+                            .position(|&t| t == next)
+                            .expect("on-path node is on path");
+                        return Some(on_path[pos..].to_vec());
+                    }
+                    Some(true) => {} // already fully explored
+                    None => {
+                        visited.insert(next, false);
+                        on_path.push(next);
+                        stack.push((next, 0));
+                    }
+                }
+            } else {
+                visited.insert(node, true);
+                stack.pop();
+                on_path.pop();
+            }
+        }
+        None
+    }
+
+    /// Find any cycle in the whole graph (used by tests and by periodic
+    /// global detection policies).
+    pub fn find_any_cycle(&self) -> Option<Vec<TxnId>> {
+        let mut starts: Vec<TxnId> = self.edges.keys().copied().collect();
+        starts.sort_unstable(); // deterministic iteration
+        for s in starts {
+            if let Some(c) = self.find_cycle_from(s) {
+                return Some(c);
+            }
+        }
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(i: u32) -> TxnId {
+        TxnId::new(i)
+    }
+
+    #[test]
+    fn no_cycle_in_dag() {
+        let mut g = WaitForGraph::new();
+        g.add_edge(t(1), t(2));
+        g.add_edge(t(2), t(3));
+        g.add_edge(t(1), t(3));
+        assert!(g.find_cycle_from(t(1)).is_none());
+        assert!(g.find_any_cycle().is_none());
+    }
+
+    #[test]
+    fn two_cycle_detected() {
+        let mut g = WaitForGraph::new();
+        g.add_edge(t(1), t(2));
+        g.add_edge(t(2), t(1));
+        let c = g.find_cycle_from(t(1)).expect("cycle");
+        assert_eq!(c.len(), 2);
+        assert!(c.contains(&t(1)) && c.contains(&t(2)));
+    }
+
+    #[test]
+    fn long_cycle_detected_from_any_member() {
+        let mut g = WaitForGraph::new();
+        for i in 0..5u32 {
+            g.add_edge(t(i), t((i + 1) % 5));
+        }
+        for i in 0..5u32 {
+            let c = g.find_cycle_from(t(i)).expect("cycle");
+            assert_eq!(c.len(), 5);
+        }
+    }
+
+    #[test]
+    fn cycle_not_reachable_from_outside_branch() {
+        let mut g = WaitForGraph::new();
+        g.add_edge(t(1), t(2)); // tail into the cycle
+        g.add_edge(t(2), t(3));
+        g.add_edge(t(3), t(2)); // cycle 2<->3
+        let c = g.find_cycle_from(t(1)).expect("reachable cycle");
+        assert_eq!(c.len(), 2);
+        assert!(!c.contains(&t(1)), "tail node is not part of the cycle");
+    }
+
+    #[test]
+    fn self_loop_ignored() {
+        let mut g = WaitForGraph::new();
+        g.add_edge(t(1), t(1));
+        assert!(g.find_cycle_from(t(1)).is_none());
+    }
+
+    #[test]
+    fn remove_txn_breaks_cycle() {
+        let mut g = WaitForGraph::new();
+        g.add_edge(t(1), t(2));
+        g.add_edge(t(2), t(1));
+        g.remove_txn(t(2));
+        assert!(g.find_any_cycle().is_none());
+        assert!(g.out_edges(t(1)).is_empty());
+    }
+
+    #[test]
+    fn clear_outgoing_keeps_incoming() {
+        let mut g = WaitForGraph::new();
+        g.add_edge(t(1), t(2));
+        g.add_edge(t(2), t(1));
+        g.clear_outgoing(t(2));
+        assert!(g.find_any_cycle().is_none());
+        assert_eq!(g.out_edges(t(1)), &[t(2)]);
+    }
+
+    #[test]
+    fn parallel_edges_collapse() {
+        let mut g = WaitForGraph::new();
+        g.add_edge(t(1), t(2));
+        g.add_edge(t(1), t(2));
+        assert_eq!(g.out_edges(t(1)).len(), 1);
+    }
+
+    #[test]
+    fn diamond_is_not_a_cycle() {
+        let mut g = WaitForGraph::new();
+        g.add_edge(t(1), t(2));
+        g.add_edge(t(1), t(3));
+        g.add_edge(t(2), t(4));
+        g.add_edge(t(3), t(4));
+        assert!(g.find_any_cycle().is_none());
+    }
+}

@@ -1,0 +1,144 @@
+//! The networking environments of Table 2.
+//!
+//! | Network type | Latency (units) |
+//! |---|---|
+//! | Single-segment LAN (ss-LAN) | 1 |
+//! | Multi-segment LAN (ms-LAN)  | 50 |
+//! | Campus Area Network (CAN)   | 100 |
+//! | Metropolitan Area Network (MAN) | 250 |
+//! | Small WAN (s-WAN)           | 500 |
+//! | Large WAN (l-WAN)           | 750 |
+//!
+//! With the paper's example conversion of 1 unit = 0.5 ms these span
+//! 0.5 ms (one Ethernet segment) to 375 ms (satellite-grade WAN).
+
+use g2pl_simcore::SimTime;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// One of the six simulated networking environments of Table 2.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum NetworkEnv {
+    /// Single-segment local area network: latency 1 unit.
+    SsLan,
+    /// Multi-segment local area network: latency 50 units.
+    MsLan,
+    /// Campus area network: latency 100 units.
+    Can,
+    /// Metropolitan area network: latency 250 units.
+    Man,
+    /// Small wide area network: latency 500 units.
+    SWan,
+    /// Large wide area network: latency 750 units.
+    LWan,
+}
+
+impl NetworkEnv {
+    /// All environments, ordered by latency (the sweep order of Figs 2–4).
+    pub const ALL: [NetworkEnv; 6] = [
+        NetworkEnv::SsLan,
+        NetworkEnv::MsLan,
+        NetworkEnv::Can,
+        NetworkEnv::Man,
+        NetworkEnv::SWan,
+        NetworkEnv::LWan,
+    ];
+
+    /// One-way network latency of this environment (Table 2).
+    pub fn latency(self) -> SimTime {
+        let units = match self {
+            NetworkEnv::SsLan => 1,
+            NetworkEnv::MsLan => 50,
+            NetworkEnv::Can => 100,
+            NetworkEnv::Man => 250,
+            NetworkEnv::SWan => 500,
+            NetworkEnv::LWan => 750,
+        };
+        SimTime::new(units)
+    }
+
+    /// The paper's abbreviation for this environment.
+    pub fn abbrev(self) -> &'static str {
+        match self {
+            NetworkEnv::SsLan => "ss-LAN",
+            NetworkEnv::MsLan => "ms-LAN",
+            NetworkEnv::Can => "CAN",
+            NetworkEnv::Man => "MAN",
+            NetworkEnv::SWan => "s-WAN",
+            NetworkEnv::LWan => "l-WAN",
+        }
+    }
+
+    /// Long descriptive name, as printed in Table 2.
+    pub fn name(self) -> &'static str {
+        match self {
+            NetworkEnv::SsLan => "Single Segment Local Area Network",
+            NetworkEnv::MsLan => "Multi-Segment Local Area Network",
+            NetworkEnv::Can => "Campus Area Network",
+            NetworkEnv::Man => "Metropolitan Area Network",
+            NetworkEnv::SWan => "Small Wide Area Network",
+            NetworkEnv::LWan => "Large Wide Area Network",
+        }
+    }
+
+    /// The environment whose Table 2 latency is closest to `latency`
+    /// (ties resolve to the smaller environment).
+    pub fn nearest(latency: SimTime) -> NetworkEnv {
+        Self::ALL
+            .into_iter()
+            .min_by_key(|e| {
+                let l = e.latency().units();
+                let d = l.abs_diff(latency.units());
+                (d, l)
+            })
+            .expect("ALL is non-empty")
+    }
+}
+
+impl fmt::Display for NetworkEnv {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.abbrev())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table2_latencies() {
+        let expect = [1, 50, 100, 250, 500, 750];
+        for (env, l) in NetworkEnv::ALL.into_iter().zip(expect) {
+            assert_eq!(env.latency(), SimTime::new(l), "{env}");
+        }
+    }
+
+    #[test]
+    fn all_is_sorted_by_latency() {
+        let ls: Vec<u64> = NetworkEnv::ALL.iter().map(|e| e.latency().units()).collect();
+        let mut sorted = ls.clone();
+        sorted.sort_unstable();
+        assert_eq!(ls, sorted);
+    }
+
+    #[test]
+    fn nearest_roundtrips_exact_values() {
+        for env in NetworkEnv::ALL {
+            assert_eq!(NetworkEnv::nearest(env.latency()), env);
+        }
+    }
+
+    #[test]
+    fn nearest_picks_closest() {
+        assert_eq!(NetworkEnv::nearest(SimTime::new(60)), NetworkEnv::MsLan);
+        assert_eq!(NetworkEnv::nearest(SimTime::new(90)), NetworkEnv::Can);
+        assert_eq!(NetworkEnv::nearest(SimTime::new(10_000)), NetworkEnv::LWan);
+        assert_eq!(NetworkEnv::nearest(SimTime::ZERO), NetworkEnv::SsLan);
+    }
+
+    #[test]
+    fn display_uses_abbreviation() {
+        assert_eq!(format!("{}", NetworkEnv::SWan), "s-WAN");
+        assert_eq!(NetworkEnv::Can.name(), "Campus Area Network");
+    }
+}

@@ -1,0 +1,252 @@
+//! Per-message delay models.
+
+use g2pl_simcore::{RngStream, SimTime, SiteId};
+
+/// A model mapping one message send to a delivery delay.
+///
+/// The paper's simulation assumes "the network latency between any two
+/// sites (server-client, client-client) and in either direction is the
+/// same" — [`ConstantLatency`]. The other implementations support the
+/// sensitivity ablations in `g2pl-bench`.
+pub trait LatencyModel: Send + Sync {
+    /// Delay experienced by a message of `size_bytes` from `from` to `to`.
+    ///
+    /// `rng` feeds models with stochastic components; deterministic models
+    /// ignore it.
+    fn delay(
+        &self,
+        from: SiteId,
+        to: SiteId,
+        size_bytes: u64,
+        rng: &mut RngStream,
+    ) -> SimTime;
+
+    /// The nominal one-way latency, used for reporting and round-count
+    /// estimates. Defaults to the delay of an empty server→server message
+    /// pattern is meaningless, so implementors override where sensible.
+    fn nominal(&self) -> SimTime;
+}
+
+/// The paper's model: every message takes exactly `latency` units,
+/// independent of size, direction, and endpoints.
+#[derive(Clone, Copy, Debug)]
+pub struct ConstantLatency {
+    latency: SimTime,
+}
+
+impl ConstantLatency {
+    /// Constant one-way delay of `latency` units.
+    pub fn new(latency: SimTime) -> Self {
+        ConstantLatency { latency }
+    }
+}
+
+impl LatencyModel for ConstantLatency {
+    fn delay(&self, _: SiteId, _: SiteId, _: u64, _: &mut RngStream) -> SimTime {
+        self.latency
+    }
+
+    fn nominal(&self) -> SimTime {
+        self.latency
+    }
+}
+
+/// Constant base latency plus uniform jitter in `[0, jitter]`, modelling
+/// switching-delay variance.
+#[derive(Clone, Copy, Debug)]
+pub struct JitteredLatency {
+    base: SimTime,
+    jitter: u64,
+}
+
+impl JitteredLatency {
+    /// Base one-way delay plus uniform extra delay up to `jitter` units.
+    pub fn new(base: SimTime, jitter: u64) -> Self {
+        JitteredLatency { base, jitter }
+    }
+}
+
+impl LatencyModel for JitteredLatency {
+    fn delay(&self, _: SiteId, _: SiteId, _: u64, rng: &mut RngStream) -> SimTime {
+        self.base.after(SimTime::new(rng.uniform_incl(0, self.jitter)))
+    }
+
+    fn nominal(&self) -> SimTime {
+        // Expected value, rounded down.
+        self.base.after(SimTime::new(self.jitter / 2))
+    }
+}
+
+/// Per-pair latency matrix for asymmetric topologies (e.g. clients spread
+/// over sites at different distances from the server).
+///
+/// Site indexing: the server is index 0, client `i` is index `i + 1`.
+#[derive(Clone, Debug)]
+pub struct MatrixLatency {
+    n: usize,
+    matrix: Vec<SimTime>,
+}
+
+impl MatrixLatency {
+    /// A symmetric all-equal matrix over `num_clients` clients (plus the
+    /// server), which can then be tuned per pair with [`Self::set`].
+    pub fn uniform(num_clients: usize, latency: SimTime) -> Self {
+        let n = num_clients + 1;
+        MatrixLatency {
+            n,
+            matrix: vec![latency; n * n],
+        }
+    }
+
+    fn idx(&self, site: SiteId) -> usize {
+        match site {
+            SiteId::Server => 0,
+            SiteId::Client(c) => c.index() + 1,
+        }
+    }
+
+    /// Set the one-way latency for `from → to` (directional).
+    pub fn set(&mut self, from: SiteId, to: SiteId, latency: SimTime) {
+        let (f, t) = (self.idx(from), self.idx(to));
+        assert!(f < self.n && t < self.n, "site out of range");
+        self.matrix[f * self.n + t] = latency;
+    }
+
+    /// Set both directions at once.
+    pub fn set_symmetric(&mut self, a: SiteId, b: SiteId, latency: SimTime) {
+        self.set(a, b, latency);
+        self.set(b, a, latency);
+    }
+}
+
+impl LatencyModel for MatrixLatency {
+    fn delay(&self, from: SiteId, to: SiteId, _: u64, _: &mut RngStream) -> SimTime {
+        let (f, t) = (self.idx(from), self.idx(to));
+        assert!(f < self.n && t < self.n, "site out of range");
+        self.matrix[f * self.n + t]
+    }
+
+    fn nominal(&self) -> SimTime {
+        // Median entry as the representative latency.
+        let mut v = self.matrix.clone();
+        v.sort_unstable();
+        v[v.len() / 2]
+    }
+}
+
+/// Latency plus transmission time: `latency + ceil(size / bytes_per_unit)`.
+///
+/// §2 argues transmission time vanishes as data rates grow; this model
+/// lets the benches *quantify* that claim by sweeping `bytes_per_unit`
+/// from slow-network to gigabit values and watching the g-2PL advantage
+/// (which trades larger messages for fewer rounds) appear.
+#[derive(Clone, Copy, Debug)]
+pub struct BandwidthLatency {
+    latency: SimTime,
+    bytes_per_unit: u64,
+}
+
+impl BandwidthLatency {
+    /// Propagation `latency` plus `size / bytes_per_unit` transmission.
+    ///
+    /// # Panics
+    /// Panics if `bytes_per_unit == 0`.
+    pub fn new(latency: SimTime, bytes_per_unit: u64) -> Self {
+        assert!(bytes_per_unit > 0, "bandwidth must be positive");
+        BandwidthLatency {
+            latency,
+            bytes_per_unit,
+        }
+    }
+}
+
+impl LatencyModel for BandwidthLatency {
+    fn delay(&self, _: SiteId, _: SiteId, size_bytes: u64, _: &mut RngStream) -> SimTime {
+        let tx = size_bytes.div_ceil(self.bytes_per_unit);
+        self.latency.after(SimTime::new(tx))
+    }
+
+    fn nominal(&self) -> SimTime {
+        self.latency
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use g2pl_simcore::ClientId;
+
+    fn rng() -> RngStream {
+        RngStream::new(1)
+    }
+
+    #[test]
+    fn constant_ignores_everything() {
+        let m = ConstantLatency::new(SimTime::new(250));
+        let mut r = rng();
+        assert_eq!(
+            m.delay(SiteId::Server, SiteId::Client(ClientId::new(0)), 0, &mut r),
+            SimTime::new(250)
+        );
+        assert_eq!(
+            m.delay(
+                SiteId::Client(ClientId::new(3)),
+                SiteId::Client(ClientId::new(7)),
+                1_000_000,
+                &mut r
+            ),
+            SimTime::new(250)
+        );
+        assert_eq!(m.nominal(), SimTime::new(250));
+    }
+
+    #[test]
+    fn jitter_stays_in_band() {
+        let m = JitteredLatency::new(SimTime::new(100), 20);
+        let mut r = rng();
+        for _ in 0..500 {
+            let d = m
+                .delay(SiteId::Server, SiteId::Client(ClientId::new(0)), 0, &mut r)
+                .units();
+            assert!((100..=120).contains(&d), "delay {d} out of band");
+        }
+        assert_eq!(m.nominal(), SimTime::new(110));
+    }
+
+    #[test]
+    fn matrix_is_directional() {
+        let c0 = SiteId::Client(ClientId::new(0));
+        let mut m = MatrixLatency::uniform(2, SimTime::new(10));
+        m.set(SiteId::Server, c0, SimTime::new(99));
+        let mut r = rng();
+        assert_eq!(m.delay(SiteId::Server, c0, 0, &mut r), SimTime::new(99));
+        assert_eq!(m.delay(c0, SiteId::Server, 0, &mut r), SimTime::new(10));
+    }
+
+    #[test]
+    fn matrix_symmetric_setter() {
+        let c0 = SiteId::Client(ClientId::new(0));
+        let c1 = SiteId::Client(ClientId::new(1));
+        let mut m = MatrixLatency::uniform(2, SimTime::new(10));
+        m.set_symmetric(c0, c1, SimTime::new(55));
+        let mut r = rng();
+        assert_eq!(m.delay(c0, c1, 0, &mut r), SimTime::new(55));
+        assert_eq!(m.delay(c1, c0, 0, &mut r), SimTime::new(55));
+    }
+
+    #[test]
+    fn bandwidth_adds_transmission_time() {
+        let m = BandwidthLatency::new(SimTime::new(100), 1000);
+        let mut r = rng();
+        // Empty message: pure latency.
+        assert_eq!(
+            m.delay(SiteId::Server, SiteId::Server, 0, &mut r),
+            SimTime::new(100)
+        );
+        // 2500 bytes at 1000 B/unit: ceil = 3 extra units.
+        assert_eq!(
+            m.delay(SiteId::Server, SiteId::Server, 2500, &mut r),
+            SimTime::new(103)
+        );
+    }
+}

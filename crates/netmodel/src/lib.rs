@@ -1,0 +1,30 @@
+//! # g2pl-netmodel
+//!
+//! The network substrate of the g-2PL reproduction.
+//!
+//! §2 of the paper decomposes end-to-end delay into *transmission time*
+//! (bytes / bandwidth) and *network latency* (propagation plus switching
+//! delay). Its central observation is that in a gigabit WAN the latency
+//! component dominates and is distance-bound, so protocols must minimise
+//! *rounds* of sequential message passing rather than bytes.
+//!
+//! This crate models exactly that decomposition:
+//!
+//! * [`latency::LatencyModel`] — pluggable per-message delay models:
+//!   the paper's uniform constant latency ([`latency::ConstantLatency`]),
+//!   a jittered variant, a per-pair matrix, and a bandwidth-aware model
+//!   that adds `size / bandwidth` transmission time for ablations;
+//! * [`env::NetworkEnv`] — the six Table 2 environments (ss-LAN … l-WAN);
+//! * [`accounting::NetAccounting`] — message / byte / per-kind counters so
+//!   experiments can report the message-complexity claims of §3.2
+//!   (3m rounds for s-2PL vs 2m+1 for g-2PL).
+
+pub mod accounting;
+pub mod env;
+pub mod latency;
+
+pub use accounting::NetAccounting;
+pub use env::NetworkEnv;
+pub use latency::{
+    BandwidthLatency, ConstantLatency, JitteredLatency, LatencyModel, MatrixLatency,
+};

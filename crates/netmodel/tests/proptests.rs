@@ -1,0 +1,96 @@
+//! Property-based tests of the network models.
+
+use g2pl_netmodel::{
+    BandwidthLatency, ConstantLatency, JitteredLatency, LatencyModel, MatrixLatency,
+    NetAccounting, NetworkEnv,
+};
+use g2pl_simcore::{ClientId, RngStream, SimTime, SiteId};
+use proptest::prelude::*;
+
+fn site(raw: u32, clients: u32) -> SiteId {
+    if raw % (clients + 1) == 0 {
+        SiteId::Server
+    } else {
+        SiteId::Client(ClientId::new(raw % (clients + 1) - 1))
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    /// Constant latency is invariant in endpoints and size.
+    #[test]
+    fn constant_is_constant(l in 0u64..10_000, a in 0u32..20, b in 0u32..20, sz in 0u64..1u64<<30) {
+        let m = ConstantLatency::new(SimTime::new(l));
+        let mut rng = RngStream::new(1);
+        prop_assert_eq!(m.delay(site(a, 19), site(b, 19), sz, &mut rng), SimTime::new(l));
+        prop_assert_eq!(m.nominal(), SimTime::new(l));
+    }
+
+    /// Jitter never leaves its band.
+    #[test]
+    fn jitter_band(base in 0u64..1000, jitter in 0u64..500, seed in any::<u64>()) {
+        let m = JitteredLatency::new(SimTime::new(base), jitter);
+        let mut rng = RngStream::new(seed);
+        for _ in 0..50 {
+            let d = m.delay(SiteId::Server, SiteId::Server, 0, &mut rng).units();
+            prop_assert!(d >= base && d <= base + jitter);
+        }
+    }
+
+    /// Bandwidth delay is monotone in message size and at least the
+    /// propagation latency.
+    #[test]
+    fn bandwidth_monotone(l in 0u64..1000, bpu in 1u64..100_000, s1 in 0u64..1u64<<20, s2 in 0u64..1u64<<20) {
+        let m = BandwidthLatency::new(SimTime::new(l), bpu);
+        let mut rng = RngStream::new(3);
+        let (lo, hi) = if s1 <= s2 { (s1, s2) } else { (s2, s1) };
+        let dlo = m.delay(SiteId::Server, SiteId::Server, lo, &mut rng);
+        let dhi = m.delay(SiteId::Server, SiteId::Server, hi, &mut rng);
+        prop_assert!(dlo <= dhi);
+        prop_assert!(dlo >= SimTime::new(l));
+    }
+
+    /// A symmetric-set matrix answers symmetrically; untouched pairs keep
+    /// the uniform default.
+    #[test]
+    fn matrix_settings_stick(default in 0u64..100, special in 0u64..100, a in 0u32..8, b in 0u32..8) {
+        prop_assume!(a != b);
+        let mut m = MatrixLatency::uniform(8, SimTime::new(default));
+        let (sa, sb) = (SiteId::Client(ClientId::new(a)), SiteId::Client(ClientId::new(b)));
+        m.set_symmetric(sa, sb, SimTime::new(special));
+        let mut rng = RngStream::new(4);
+        prop_assert_eq!(m.delay(sa, sb, 0, &mut rng), SimTime::new(special));
+        prop_assert_eq!(m.delay(sb, sa, 0, &mut rng), SimTime::new(special));
+        prop_assert_eq!(m.delay(sa, SiteId::Server, 0, &mut rng), SimTime::new(default));
+    }
+
+    /// Accounting totals always equal the sum over kinds and directions.
+    #[test]
+    fn accounting_conserves(msgs in proptest::collection::vec((0u32..10, 0u32..10, 0u64..10_000), 0..100)) {
+        let mut acct = NetAccounting::new();
+        let kinds = ["a", "b", "c"];
+        for (i, &(from, to, size)) in msgs.iter().enumerate() {
+            acct.record(site(from, 9), site(to, 9), kinds[i % 3], size);
+        }
+        prop_assert_eq!(acct.messages(), msgs.len() as u64);
+        let by_kind: u64 = acct.kinds().map(|(_, c)| c).sum();
+        prop_assert_eq!(by_kind, msgs.len() as u64);
+        let bytes: u64 = msgs.iter().map(|&(_, _, s)| s).sum();
+        prop_assert_eq!(acct.bytes(), bytes);
+        prop_assert!(acct.client_to_client_share() >= 0.0);
+        prop_assert!(acct.client_to_client_share() <= 1.0);
+    }
+
+    /// `NetworkEnv::nearest` returns the true nearest environment.
+    #[test]
+    fn nearest_is_truly_nearest(latency in 0u64..2000) {
+        let got = NetworkEnv::nearest(SimTime::new(latency));
+        let best = NetworkEnv::ALL
+            .into_iter()
+            .map(|e| e.latency().units().abs_diff(latency))
+            .min()
+            .unwrap();
+        prop_assert_eq!(got.latency().units().abs_diff(latency), best);
+    }
+}

@@ -1,0 +1,1415 @@
+//! The group two-phase locking (g-2PL) engine — the paper's contribution.
+//!
+//! # Protocol mechanics (§3.2–3.4)
+//!
+//! The server owns every item's *home* state. While an item is checked
+//! out, new requests for it accumulate in its collection window. When the
+//! item comes home, the window closes: pending requests are ordered into a
+//! forward list (FL) — consistently with the global precedence DAG when
+//! deadlock avoidance is on — and the item is dispatched to the list's
+//! first segment. From then on the item migrates client-to-client: every
+//! committing (or aborted) holder forwards the item + FL to the next
+//! segment, merging its lock release with the successor's lock grant; the
+//! final holder returns the item to the server, which closes the next
+//! window.
+//!
+//! Reader groups (maximal runs of shared entries) hold the item
+//! concurrently; each reader sends its release to the writer that follows
+//! the group (or to the server when the group is the list's tail). Under
+//! MR1W (§3.4) that writer receives the data *together with* the readers
+//! and computes concurrently, but may not pass its updates on until every
+//! reader of the group has released.
+//!
+//! # Deadlocks
+//!
+//! Same-window deadlocks are *avoided* by the consistent-reordering rule
+//! (§3.3). Cross-window deadlocks — including the read-only kind the
+//! paper highlights — are *detected* on a waits-for graph built from the
+//! item states and resolved by aborting a victim.
+//!
+//! ## Abort semantics
+//!
+//! The server's abort decision is authoritative at decision time: the
+//! victim is marked `Aborting` immediately (excluding it from further
+//! waits-for analysis), and any data that reaches its client afterwards
+//! passes straight through instead of being granted — so a victim can
+//! never "escape" by committing while the notice is in flight. How
+//! quickly the abort's *effects* propagate (the notice, the migration of
+//! the victim's held items) is governed by [`AbortEffect`]; see that
+//! type for why the default matches the paper's instant-abort simulator
+//! and what the faithful message accounting changes.
+
+use crate::config::{AbortEffect, EngineConfig, G2plOpts, ProtocolKind};
+use crate::history::{AccessRecord, CommitRecord, History};
+use crate::metrics::{Collector, RunMetrics, WalReport};
+use crate::runtime::{
+    ClientCore, ClientPhase, Ev, Message, Net, ServerCpu, TimerKind, TxnStatus, TxnTable,
+};
+use crate::s2pl::{lock_mode, CTRL_BYTES, EVENT_BUDGET};
+use crate::tracelog::{TraceKind, TraceLog};
+use g2pl_fwdlist::window::PendingReq;
+use g2pl_fwdlist::{CollectionWindow, FlEntry, ForwardList, PrecedenceDag, Segment};
+use g2pl_lockmgr::LockMode;
+use g2pl_simcore::{Calendar, ClientId, ItemId, SimTime, SiteId, TxnId, Version};
+use g2pl_wal::{LogRecord, SiteLog};
+use g2pl_workload::{AccessMode, TxnGenerator};
+use std::collections::HashMap;
+use std::rc::Rc;
+
+/// Per-entry size of a forward list inside a message, in bytes.
+const FL_ENTRY_BYTES: u64 = 16;
+
+/// State of one dispatched forward list.
+struct OutState {
+    fl: Rc<ForwardList>,
+    /// Oracle flag per entry: has this entry forwarded/released its hold?
+    completed: Vec<bool>,
+    /// True while every entry of the list is a reader (enables the
+    /// read-expansion variant).
+    all_readers: bool,
+    /// Releases still expected from a trailing reader group (0 when the
+    /// list ends in a writer).
+    final_releases_left: usize,
+}
+
+/// Server-side state of one item.
+struct ItemState {
+    version: Version,
+    out: Option<OutState>,
+    window: CollectionWindow,
+    /// True while the item is home but its window close is deferred by a
+    /// pending `WindowTimer` (the `dispatch_delay` mode).
+    holding: bool,
+    /// Committed writers of this item whose versions have not yet come
+    /// home — their sites' WAL records stay live until then.
+    unpermanent_writers: Vec<TxnId>,
+}
+
+/// Client-side state of one forward-list entry: the item copy (or the
+/// anticipation of it) held at a client for one transaction.
+struct Hold {
+    fl: Rc<ForwardList>,
+    pos: usize,
+    mode: LockMode,
+    version: Version,
+    data_arrived: bool,
+    releases_recv: usize,
+    releases_expected: usize,
+    granted: bool,
+    forwarded: bool,
+}
+
+impl Hold {
+    fn new(fl: Rc<ForwardList>, pos: usize) -> Self {
+        let mode = fl.entry(pos).mode;
+        let releases_expected = if mode.is_exclusive() && pos > 0 && fl.entry(pos - 1).mode.is_shared()
+        {
+            match fl.segment_of(pos - 1) {
+                Segment::Readers(r) => r.len(),
+                Segment::Writer(_) => unreachable!("pos - 1 is shared"),
+            }
+        } else {
+            0
+        };
+        Hold {
+            fl,
+            pos,
+            mode,
+            version: 0,
+            data_arrived: false,
+            releases_recv: 0,
+            releases_expected,
+            granted: false,
+            forwarded: false,
+        }
+    }
+
+    /// All gate messages received: the hold can be forwarded onward once
+    /// the transaction finishes.
+    fn gates_passed(&self) -> bool {
+        self.data_arrived && self.releases_recv >= self.releases_expected
+    }
+
+    /// Whether the owning transaction may be granted access (MR1W lets a
+    /// writer start on data arrival, before the reader releases).
+    fn grant_ready(&self, mr1w: bool) -> bool {
+        if mr1w && self.mode.is_exclusive() {
+            self.data_arrived
+        } else {
+            self.gates_passed()
+        }
+    }
+}
+
+/// The g-2PL simulation engine.
+pub struct G2plEngine {
+    cfg: EngineConfig,
+    opts: G2plOpts,
+    cal: Calendar<Ev>,
+    net: Net,
+    server_cpu: ServerCpu,
+    clients: Vec<ClientCore>,
+    table: TxnTable,
+    items: Vec<ItemState>,
+    holds: HashMap<(ItemId, TxnId), Hold>,
+    /// Reverse index: the items on whose *dispatched* forward list each
+    /// transaction still has an uncompleted entry. Drives the lazy
+    /// waits-for search without rebuilding a global graph per event.
+    entries_of: HashMap<TxnId, Vec<ItemId>>,
+    /// Per-client knowledge of dead forward-list entries, fed by GPrune
+    /// multicasts; consulted when forwarding to skip aborted writers.
+    pruned: Vec<std::collections::HashSet<(ItemId, TxnId)>>,
+    dag: PrecedenceDag,
+    pending_of: HashMap<TxnId, ItemId>,
+    arrival_seq: u64,
+    generator: TxnGenerator,
+    collector: Collector,
+    history: Option<History>,
+    trace: TraceLog,
+    wal: Option<Vec<SiteLog>>,
+    admitting: bool,
+    max_fl_len: usize,
+    window_closes: u64,
+}
+
+impl G2plEngine {
+    /// Build an engine for `cfg` (whose protocol must be g-2PL).
+    pub fn new(cfg: EngineConfig) -> Self {
+        let ProtocolKind::G2pl(opts) = cfg.protocol.clone() else {
+            panic!("G2plEngine requires a g-2PL configuration");
+        };
+        let generator = TxnGenerator::new(cfg.profile.clone(), cfg.num_items);
+        let replay = cfg.replay.clone().map(std::rc::Rc::new);
+        let clients = (0..cfg.num_clients)
+            .map(|i| match &replay {
+                Some(t) => ClientCore::with_replay(ClientId::new(i), cfg.seed, std::rc::Rc::clone(t)),
+                None => ClientCore::new(ClientId::new(i), cfg.seed),
+            })
+            .collect();
+        let items = (0..cfg.num_items)
+            .map(|_| ItemState {
+                version: 0,
+                out: None,
+                window: CollectionWindow::new(),
+                holding: false,
+                unpermanent_writers: Vec::new(),
+            })
+            .collect();
+        G2plEngine {
+            net: Net::new(cfg.latency.build(), cfg.seed),
+            server_cpu: ServerCpu::new(cfg.server_cpu_per_op),
+            cal: Calendar::new(),
+            clients,
+            table: TxnTable::new(),
+            items,
+            holds: HashMap::new(),
+            entries_of: HashMap::new(),
+            pruned: (0..cfg.num_clients).map(|_| Default::default()).collect(),
+            dag: PrecedenceDag::new(),
+            pending_of: HashMap::new(),
+            arrival_seq: 0,
+            generator,
+            collector: Collector::with_histogram(
+                cfg.warmup_txns,
+                cfg.measured_txns,
+                cfg.latency.nominal().max(2) / 2,
+            ),
+            history: cfg.record_history.then(History::new),
+            trace: TraceLog::new(cfg.trace_events),
+            wal: cfg.enable_wal.then(|| {
+                (0..cfg.num_clients)
+                    .map(|_| SiteLog::new(cfg.item_size_bytes))
+                    .collect()
+            }),
+            admitting: true,
+            max_fl_len: 0,
+            window_closes: 0,
+            opts,
+            cfg,
+        }
+    }
+
+    /// Run to completion and report metrics.
+    pub fn run(mut self) -> RunMetrics {
+        for i in 0..self.cfg.num_clients {
+            let c = &mut self.clients[i as usize];
+            let idle = self.cfg.profile.draw_idle(&mut c.time_rng);
+            self.cal.schedule(idle, Ev::Timer {
+                client: ClientId::new(i),
+                kind: TimerKind::IdleDone,
+            });
+        }
+
+        let mut events: u64 = 0;
+        while let Some((now, ev)) = self.cal.pop() {
+            events += 1;
+            assert!(events < EVENT_BUDGET, "event budget exhausted: livelock?");
+            match ev {
+                Ev::Timer { client, kind } => self.on_timer(now, client, kind),
+                Ev::WindowTimer { item } => self.on_window_timer(now, item),
+                Ev::ServerProc { msg } => self.on_server_msg(now, msg),
+                Ev::Deliver { to, msg } => match to {
+                    SiteId::Server => {
+                        let d = self.server_cpu.service(now);
+                        if d == g2pl_simcore::SimTime::ZERO {
+                            self.on_server_msg(now, msg);
+                        } else {
+                            self.cal.schedule_in(d, Ev::ServerProc { msg });
+                        }
+                    }
+                    SiteId::Client(c) => self.on_client_msg(now, c, msg),
+                },
+            }
+            if self.collector.done() {
+                if !self.cfg.drain {
+                    break;
+                }
+                self.admitting = false;
+            }
+        }
+
+        if self.cfg.drain {
+            for (i, item) in self.items.iter().enumerate() {
+                assert!(item.out.is_none(), "item x{i} not home after drain");
+                assert!(item.window.is_empty(), "window of x{i} not empty after drain");
+            }
+            assert!(
+                self.holds.values().all(|h| h.forwarded || !h.data_arrived),
+                "data arrived at a hold but was never passed on"
+            );
+            if let Some(wal) = &self.wal {
+                assert!(
+                    wal.iter().all(SiteLog::is_empty),
+                    "WAL records survived a drain: every version is home"
+                );
+            }
+        }
+
+        RunMetrics {
+            protocol: "g-2PL",
+            response: self.collector.response,
+            aborts: self.collector.aborts,
+            read_only_aborts: self.collector.read_only_aborts,
+            committed_total: self.collector.committed_total,
+            aborted_total: self.collector.aborted_total,
+            net: self.net.acct,
+            end_time: self.cal.now(),
+            history: self.history,
+            trace: if self.trace.enabled() {
+                Some(self.trace.into_events())
+            } else {
+                None
+            },
+            max_fl_len: self.max_fl_len,
+            window_closes: self.window_closes,
+            access_wait: self.collector.access_wait,
+            abort_waste: self.collector.abort_waste,
+            abort_depth: self.collector.abort_depth,
+            response_by_size: self.collector.response_by_size,
+            response_hist: self.collector.response_hist,
+            wal: self.wal.map(|sites| {
+                let mut r = WalReport::default();
+                for site in &sites {
+                    r.absorb(site.metrics(), site.live_records());
+                }
+                r
+            }),
+        }
+    }
+
+    // ---- client side ----
+
+    fn on_timer(&mut self, now: SimTime, client: ClientId, kind: TimerKind) {
+        match kind {
+            TimerKind::IdleDone => {
+                if !self.admitting {
+                    return;
+                }
+                let c = &mut self.clients[client.index()];
+                let txn = c.begin_txn(&self.generator, &mut self.table, now);
+                if let Some(wal) = &mut self.wal {
+                    wal[client.index()].append(LogRecord::Begin { txn });
+                }
+                let (item, mode) = c.txn().spec.access(0);
+                self.send_request(now, client, txn, item, mode);
+            }
+            TimerKind::ThinkDone(txn) => {
+                let c = &self.clients[client.index()];
+                let Some(active) = &c.txn else { return };
+                if active.id != txn || active.phase != ClientPhase::Thinking {
+                    return; // stale timer
+                }
+                let granted = active.granted;
+                if granted < active.spec.len() {
+                    let (item, mode) = active.spec.access(granted);
+                    {
+                        let t = self.clients[client.index()].txn_mut();
+                        t.phase = ClientPhase::WaitingGrant(granted);
+                        t.request_sent_at = now;
+                    }
+                    self.send_request(now, client, txn, item, mode);
+                } else {
+                    self.try_commit(now, client, txn);
+                }
+            }
+        }
+    }
+
+    /// Commit if every hold's gates have passed; otherwise enter
+    /// `CommitWait` until the last MR1W reader release arrives. Without
+    /// this certification step a writer that ran concurrently with the
+    /// readers of the previous version could leak its *other* writes
+    /// before those readers finish, producing non-serializable
+    /// executions.
+    fn try_commit(&mut self, now: SimTime, client: ClientId, txn: TxnId) {
+        let ready = {
+            let active = self.clients[client.index()].txn();
+            active
+                .spec
+                .accesses
+                .iter()
+                .all(|&(item, _)| {
+                    self.holds
+                        .get(&(item, txn))
+                        .is_some_and(|h| h.gates_passed())
+                })
+        };
+        if ready {
+            self.commit(now, client, txn);
+        } else {
+            self.clients[client.index()].txn_mut().phase = ClientPhase::CommitWait;
+        }
+    }
+
+    fn send_request(
+        &mut self,
+        now: SimTime,
+        client: ClientId,
+        txn: TxnId,
+        item: ItemId,
+        mode: AccessMode,
+    ) {
+        self.trace
+            .record(now, TraceKind::RequestSent, Some(txn), Some(item), client.into());
+        self.net.send(
+            &mut self.cal,
+            client.into(),
+            SiteId::Server,
+            "g2pl.lock_request",
+            CTRL_BYTES,
+            Message::GLockReq {
+                txn,
+                client,
+                item,
+                mode: lock_mode(mode),
+            },
+        );
+    }
+
+    fn commit(&mut self, now: SimTime, client: ClientId, txn: TxnId) {
+        let active = self.clients[client.index()]
+            .txn
+            .take()
+            .expect("committing client has a transaction");
+        debug_assert_eq!(active.id, txn);
+        self.table.set_status(txn, TxnStatus::Committed);
+        self.collector
+            .on_commit_sized(now.since(active.start), active.spec.len());
+        self.trace
+            .record(now, TraceKind::Committed, Some(txn), None, client.into());
+
+        if let Some(h) = &mut self.history {
+            let accesses = active
+                .spec
+                .accesses
+                .iter()
+                .zip(&active.versions)
+                .map(|(&(item, mode), &observed)| AccessRecord {
+                    item,
+                    mode,
+                    version: if mode.is_write() { observed + 1 } else { observed },
+                })
+                .collect();
+            h.push(CommitRecord {
+                txn,
+                at: now,
+                accesses,
+            });
+        }
+
+        if let Some(wal) = &mut self.wal {
+            let log = &mut wal[client.index()];
+            for (&(item, mode), &observed) in
+                active.spec.accesses.iter().zip(&active.versions)
+            {
+                if mode.is_write() {
+                    log.append(LogRecord::Update {
+                        txn,
+                        item,
+                        old: observed,
+                        new: observed + 1,
+                    });
+                    // The new version is only on this site until the item
+                    // migrates home.
+                    self.items[item.index()].unpermanent_writers.push(txn);
+                }
+            }
+            log.append(LogRecord::Commit { txn });
+        }
+
+        // Forward (or arm the gated forward of) every held item. §3.2:
+        // "When a transaction commits, the client sends the new version of
+        // the committed data items to the clients next on the respective
+        // forward lists."
+        for &(item, _) in &active.spec.accesses {
+            self.try_forward(now, item, txn);
+        }
+        // The committed transaction no longer constrains future windows.
+        self.dag.remove_txn(txn);
+
+        let idle = self
+            .cfg
+            .profile
+            .draw_idle(&mut self.clients[client.index()].time_rng);
+        self.cal.schedule_in(idle, Ev::Timer {
+            client,
+            kind: TimerKind::IdleDone,
+        });
+    }
+
+    /// Forward the hold of `(item, txn)` if all gates have passed and the
+    /// transaction is finished (committed, aborting, or aborted).
+    fn try_forward(&mut self, now: SimTime, item: ItemId, txn: TxnId) {
+        let status = self.table.status(txn);
+        let Some(hold) = self.holds.get_mut(&(item, txn)) else {
+            return; // data not yet arrived; pass-through happens on arrival
+        };
+        if hold.forwarded || !hold.gates_passed() || status == TxnStatus::Active {
+            return;
+        }
+        hold.forwarded = true;
+        let fl = Rc::clone(&hold.fl);
+        let pos = hold.pos;
+        let mode = hold.mode;
+        let out_version = if mode.is_exclusive() && status == TxnStatus::Committed {
+            hold.version + 1
+        } else {
+            hold.version
+        };
+        let client = fl.entry(pos).client;
+        let instant = self.cfg.abort_effect == AbortEffect::Instant
+            && status != TxnStatus::Committed;
+
+        // Oracle completion flag for deadlock analysis.
+        if let Some(out) = &mut self.items[item.index()].out {
+            if let Some(p) = out.fl.position_of(txn) {
+                out.completed[p] = true;
+            }
+        }
+        if let Some(v) = self.entries_of.get_mut(&txn) {
+            v.retain(|&i| i != item);
+        }
+        self.trace
+            .record(now, TraceKind::Forwarded, Some(txn), Some(item), client.into());
+
+        if mode.is_shared() {
+            // Readers release to the writer after their group, or to the
+            // server when the group is the list's tail.
+            let group = fl.segment_of(pos);
+            let to_writer = fl.next_writer_at_or_after(group.end());
+            let (to_site, to_pos, bytes) = match to_writer {
+                Some(w) => {
+                    // Under MR1W the writer already has the data, so the
+                    // release is a pure token; otherwise it carries data.
+                    let bytes = if self.opts.mr1w {
+                        CTRL_BYTES
+                    } else {
+                        CTRL_BYTES + self.cfg.item_size_bytes
+                    };
+                    (SiteId::Client(fl.entry(w).client), Some(w), bytes)
+                }
+                None => (SiteId::Server, None, CTRL_BYTES + self.cfg.item_size_bytes),
+            };
+            let msg = Message::GReaderRelease {
+                item,
+                version: out_version,
+                fl,
+                from_pos: pos,
+                to_pos,
+            };
+            if instant {
+                self.net.send_with_delay(
+                    &mut self.cal,
+                    client.into(),
+                    to_site,
+                    "g2pl.reader_release",
+                    bytes,
+                    msg,
+                    SimTime::ZERO,
+                );
+            } else {
+                self.net.send(
+                    &mut self.cal,
+                    client.into(),
+                    to_site,
+                    "g2pl.reader_release",
+                    bytes,
+                    msg,
+                );
+            }
+        } else {
+            // Writers dispatch the next segment, or return the item home.
+            // Consecutive successor *writers* known (via GPrune) to be
+            // dead are skipped: forwarding through an aborted client
+            // would waste a full serial network hop. Dead readers cost
+            // nothing serial (copies travel in parallel and their
+            // release is an immediate pass-through), and skipping them
+            // would break the release accounting, so only writers are
+            // skipped.
+            let mut next = pos + 1;
+            while next < fl.len()
+                && fl.entry(next).mode.is_exclusive()
+                && self.pruned[client.index()].contains(&(item, fl.entry(next).txn))
+            {
+                next += 1;
+            }
+            match fl.segment_at(next) {
+                Some(_) => self.send_segment_delayed(
+                    now,
+                    client.into(),
+                    item,
+                    out_version,
+                    &fl,
+                    next,
+                    instant,
+                ),
+                None => {
+                    let msg = Message::GReturn {
+                        item,
+                        version: out_version,
+                    };
+                    if instant {
+                        self.net.send_with_delay(
+                            &mut self.cal,
+                            client.into(),
+                            SiteId::Server,
+                            "g2pl.return",
+                            CTRL_BYTES + self.cfg.item_size_bytes,
+                            msg,
+                            SimTime::ZERO,
+                        );
+                    } else {
+                        self.net.send(
+                            &mut self.cal,
+                            client.into(),
+                            SiteId::Server,
+                            "g2pl.return",
+                            CTRL_BYTES + self.cfg.item_size_bytes,
+                            msg,
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    /// Ship data to every member of the segment starting at `seg_start`,
+    /// plus — under MR1W — the writer that follows a reader group.
+    fn send_segment(
+        &mut self,
+        now: SimTime,
+        from: SiteId,
+        item: ItemId,
+        version: Version,
+        fl: &Rc<ForwardList>,
+        seg_start: usize,
+    ) {
+        self.send_segment_delayed(now, from, item, version, fl, seg_start, false);
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn send_segment_delayed(
+        &mut self,
+        now: SimTime,
+        from: SiteId,
+        item: ItemId,
+        version: Version,
+        fl: &Rc<ForwardList>,
+        seg_start: usize,
+        instant: bool,
+    ) {
+        let seg = fl
+            .segment_at(seg_start)
+            .expect("send_segment called past the end of the list");
+        let data_bytes =
+            CTRL_BYTES + self.cfg.item_size_bytes + fl.len() as u64 * FL_ENTRY_BYTES;
+        let mut targets: Vec<usize> = seg.range().collect();
+        if let (Segment::Readers(r), true) = (&seg, self.opts.mr1w) {
+            if let Some(w) = fl.next_writer_at_or_after(r.end) {
+                targets.push(w);
+            }
+        }
+        for pos in targets {
+            let to = fl.entry(pos).client;
+            self.trace.record(
+                now,
+                TraceKind::Dispatched,
+                Some(fl.entry(pos).txn),
+                Some(item),
+                to.into(),
+            );
+            let msg = Message::GData {
+                item,
+                version,
+                fl: Rc::clone(fl),
+                pos,
+            };
+            if instant {
+                self.net.send_with_delay(
+                    &mut self.cal,
+                    from,
+                    to.into(),
+                    "g2pl.data",
+                    data_bytes,
+                    msg,
+                    SimTime::ZERO,
+                );
+            } else {
+                self.net
+                    .send(&mut self.cal, from, to.into(), "g2pl.data", data_bytes, msg);
+            }
+        }
+    }
+
+    fn on_client_msg(&mut self, now: SimTime, client: ClientId, msg: Message) {
+        match msg {
+            Message::GData {
+                item,
+                version,
+                fl,
+                pos,
+            } => {
+                let txn = fl.entry(pos).txn;
+                debug_assert_eq!(fl.entry(pos).client, client);
+                self.trace
+                    .record(now, TraceKind::DataArrived, Some(txn), Some(item), client.into());
+                let hold = self
+                    .holds
+                    .entry((item, txn))
+                    .or_insert_with(|| Hold::new(Rc::clone(&fl), pos));
+                hold.data_arrived = true;
+                hold.version = version;
+                self.after_gate_update(now, client, item, txn);
+            }
+            Message::GReaderRelease {
+                item,
+                version,
+                fl,
+                to_pos,
+                ..
+            } => {
+                let w = to_pos.expect("client-bound release has a writer position");
+                let txn = fl.entry(w).txn;
+                debug_assert_eq!(fl.entry(w).client, client);
+                let hold = self
+                    .holds
+                    .entry((item, txn))
+                    .or_insert_with(|| Hold::new(Rc::clone(&fl), w));
+                hold.releases_recv += 1;
+                if !self.opts.mr1w {
+                    // The release carries the data in the non-MR1W flavor.
+                    hold.data_arrived = true;
+                    hold.version = version;
+                }
+                debug_assert!(
+                    hold.releases_recv <= hold.releases_expected,
+                    "more releases than readers for {item} at {txn}"
+                );
+                self.after_gate_update(now, client, item, txn);
+            }
+            Message::GAbortNotice { txn } => self.on_abort_notice(now, client, txn),
+            Message::GPrune { item, txn } => {
+                self.pruned[client.index()].insert((item, txn));
+            }
+            other => unreachable!("g-2PL client cannot receive {other:?}"),
+        }
+    }
+
+    /// A gate message (data or reader release) for `(item, txn)` arrived:
+    /// grant the transaction if it is now ready, or forward the hold if
+    /// the transaction has already finished.
+    fn after_gate_update(&mut self, now: SimTime, client: ClientId, item: ItemId, txn: TxnId) {
+        if self.table.status(txn) != TxnStatus::Active {
+            self.try_forward(now, item, txn);
+            return;
+        }
+        let hold = self.holds.get_mut(&(item, txn)).expect("just updated");
+        if hold.granted {
+            // Already granted: this gate message can only be a reader
+            // release completing a pending MR1W commit certification.
+            if self.clients[client.index()]
+                .txn
+                .as_ref()
+                .is_some_and(|a| a.id == txn && a.phase == ClientPhase::CommitWait)
+            {
+                self.try_commit(now, client, txn);
+            }
+            return;
+        }
+        if !hold.grant_ready(self.opts.mr1w) {
+            return;
+        }
+        hold.granted = true;
+        let version = hold.version;
+        let c = &mut self.clients[client.index()];
+        let active = c.txn_mut();
+        debug_assert_eq!(active.id, txn, "hold grant for a foreign transaction");
+        debug_assert_eq!(
+            active.spec.access(active.granted).0,
+            item,
+            "grant out of request order"
+        );
+        active.versions.push(version);
+        active.granted += 1;
+        active.phase = ClientPhase::Thinking;
+        let wait = now.since(active.request_sent_at);
+        self.collector.on_access_wait(wait);
+        self.trace
+            .record(now, TraceKind::Granted, Some(txn), Some(item), client.into());
+        let think = self.cfg.profile.draw_think(&mut c.time_rng);
+        self.cal.schedule_in(think, Ev::Timer {
+            client,
+            kind: TimerKind::ThinkDone(txn),
+        });
+    }
+
+    fn on_abort_notice(&mut self, now: SimTime, client: ClientId, txn: TxnId) {
+        match self.table.status(txn) {
+            TxnStatus::Committed => return, // the commit won the race
+            TxnStatus::Aborted => return,
+            TxnStatus::Active | TxnStatus::Aborting => {}
+        }
+        self.table.set_status(txn, TxnStatus::Aborted);
+        if let Some(wal) = &mut self.wal {
+            wal[client.index()].append(LogRecord::Abort { txn });
+        }
+        self.trace
+            .record(now, TraceKind::Aborted, Some(txn), None, client.into());
+
+        let c = &mut self.clients[client.index()];
+        if c.txn.as_ref().is_some_and(|a| a.id == txn) {
+            let active = c.txn.take().expect("just checked");
+            self.collector.on_abort_diag(
+                active.spec.is_read_only(),
+                now.since(active.start),
+                active.granted,
+            );
+            let idle = self
+                .cfg
+                .profile
+                .draw_idle(&mut self.clients[client.index()].time_rng);
+            self.cal.schedule_in(idle, Ev::Timer {
+                client,
+                kind: TimerKind::IdleDone,
+            });
+            // Pass every satisfied hold straight through; unsatisfied
+            // ones pass through when their gates fill.
+            for &(item, _) in &active.spec.accesses {
+                self.try_forward(now, item, txn);
+            }
+        }
+    }
+
+    // ---- server side ----
+
+    fn on_server_msg(&mut self, now: SimTime, msg: Message) {
+        match msg {
+            Message::GLockReq {
+                txn,
+                client,
+                item,
+                mode,
+            } => {
+                if self.table.status(txn) != TxnStatus::Active {
+                    return; // stale request
+                }
+                self.on_request(now, txn, client, item, mode);
+            }
+            Message::GReturn { item, version } => {
+                self.trace
+                    .record(now, TraceKind::ReleasedAtServer, None, Some(item), SiteId::Server);
+                let st = &mut self.items[item.index()];
+                debug_assert!(st.out.is_some(), "return for an item already home");
+                st.version = version;
+                let out = st.out.take().expect("just checked");
+                self.clear_entry_index(&out, item);
+                self.mark_writers_permanent(item);
+                self.close_window(now, item);
+            }
+            Message::GReaderRelease {
+                item,
+                version,
+                to_pos: None,
+                ..
+            } => {
+                self.trace
+                    .record(now, TraceKind::ReleasedAtServer, None, Some(item), SiteId::Server);
+                let st = &mut self.items[item.index()];
+                let out = st.out.as_mut().expect("release for an item already home");
+                debug_assert!(out.final_releases_left > 0);
+                out.final_releases_left -= 1;
+                if out.final_releases_left == 0 {
+                    st.version = version;
+                    let out = st.out.take().expect("item is out");
+                    self.clear_entry_index(&out, item);
+                    self.mark_writers_permanent(item);
+                    self.close_window(now, item);
+                }
+            }
+            other => unreachable!("g-2PL server cannot receive {other:?}"),
+        }
+    }
+
+    fn on_request(
+        &mut self,
+        now: SimTime,
+        txn: TxnId,
+        client: ClientId,
+        item: ItemId,
+        mode: LockMode,
+    ) {
+        let entry = FlEntry::new(txn, client, mode);
+        let arrival = self.arrival_seq;
+        self.arrival_seq += 1;
+        let st = &mut self.items[item.index()];
+        match &mut st.out {
+            None if st.holding => {
+                // The window-close of a returned item is deferred: join
+                // the window; the pending WindowTimer will dispatch.
+                st.window.push(PendingReq {
+                    entry,
+                    arrival,
+                    restarts: 0,
+                });
+                self.pending_of.insert(txn, item);
+            }
+            None => {
+                // Item at home: the window is empty by invariant, so this
+                // request forms a degenerate single-entry forward list and
+                // is dispatched immediately ("initially at start-up time
+                // and during periods of extremely light loading, the
+                // forward-list will contain a single client").
+                debug_assert!(st.window.is_empty(), "home item with pending window");
+                self.dispatch(
+                    now,
+                    item,
+                    vec![PendingReq {
+                        entry,
+                        arrival,
+                        restarts: 0,
+                    }],
+                );
+            }
+            Some(out) if self.opts.expand_reads && mode.is_shared() && out.all_readers => {
+                // Read-expansion variant (§3.3): the dispatched list is
+                // all-readers, so the server still holds the current
+                // version and can join the new reader onto the dispatched
+                // list immediately.
+                let fl = Rc::make_mut(&mut out.fl);
+                let pos = fl.len();
+                fl.push(entry);
+                out.completed.push(false);
+                out.final_releases_left += 1;
+                self.entries_of.entry(txn).or_default().push(item);
+                let fl = Rc::clone(&out.fl);
+                let version = st.version;
+                let data_bytes =
+                    CTRL_BYTES + self.cfg.item_size_bytes + fl.len() as u64 * FL_ENTRY_BYTES;
+                self.trace
+                    .record(now, TraceKind::Dispatched, Some(txn), Some(item), client.into());
+                self.net.send(
+                    &mut self.cal,
+                    SiteId::Server,
+                    client.into(),
+                    "g2pl.data",
+                    data_bytes,
+                    Message::GData {
+                        item,
+                        version,
+                        fl,
+                        pos,
+                    },
+                );
+            }
+            Some(_) => {
+                st.window.push(PendingReq {
+                    entry,
+                    arrival,
+                    restarts: 0,
+                });
+                self.pending_of.insert(txn, item);
+                // §4: detection runs when a request cannot be granted.
+                self.detect_deadlocks_from(now, &[txn]);
+            }
+        }
+    }
+
+    /// The item is home: every committed version of it is now permanent
+    /// at the server, so the writers' sites may garbage-collect.
+    fn mark_writers_permanent(&mut self, item: ItemId) {
+        let writers = std::mem::take(&mut self.items[item.index()].unpermanent_writers);
+        if let Some(wal) = &mut self.wal {
+            for txn in writers {
+                let site = self.table.info(txn).client;
+                wal[site.index()].mark_permanent(txn, item);
+            }
+        }
+    }
+
+    /// Close the (possibly empty) window of a just-returned item, or
+    /// defer the close when `dispatch_delay` is configured.
+    fn close_window(&mut self, now: SimTime, item: ItemId) {
+        let st = &mut self.items[item.index()];
+        debug_assert!(st.out.is_none());
+        if let Some(delay) = self.opts.dispatch_delay {
+            if !st.holding {
+                st.holding = true;
+                self.cal
+                    .schedule_in(SimTime::new(delay), Ev::WindowTimer { item });
+            }
+            return;
+        }
+        if st.window.is_empty() {
+            return; // item stays home
+        }
+        let pending = st.window.drain(self.opts.fl_cap);
+        self.dispatch(now, item, pending);
+    }
+
+    /// The deferred window close fires: dispatch whatever has gathered.
+    fn on_window_timer(&mut self, now: SimTime, item: ItemId) {
+        let st = &mut self.items[item.index()];
+        debug_assert!(st.holding);
+        st.holding = false;
+        if st.out.is_some() {
+            // Impossible by construction (the item cannot leave home while
+            // holding), but stay defensive.
+            return;
+        }
+        if st.window.is_empty() {
+            return; // nothing gathered: the item simply sits home now
+        }
+        let pending = st.window.drain(self.opts.fl_cap);
+        self.dispatch(now, item, pending);
+    }
+
+    /// Order `pending` into a forward list and send the item out.
+    fn dispatch(&mut self, now: SimTime, item: ItemId, pending: Vec<PendingReq>) {
+        for req in &pending {
+            self.pending_of.remove(&req.entry.txn);
+        }
+        let fl = self.opts.ordering.order(pending, &mut self.dag);
+        debug_assert!(!fl.is_empty());
+        self.window_closes += 1;
+        self.max_fl_len = self.max_fl_len.max(fl.len());
+
+        let final_releases = match fl.segments().last() {
+            Some(Segment::Readers(r)) => r.len(),
+            _ => 0,
+        };
+        let all_readers = fl.entries().iter().all(|e| e.mode.is_shared());
+        let fl = Rc::new(fl);
+        for e in fl.entries() {
+            self.entries_of.entry(e.txn).or_default().push(item);
+        }
+        let st = &mut self.items[item.index()];
+        let version = st.version;
+        st.out = Some(OutState {
+            fl: Rc::clone(&fl),
+            completed: vec![false; fl.len()],
+            all_readers,
+            final_releases_left: final_releases,
+        });
+        self.send_segment(now, SiteId::Server, item, version, &fl, 0);
+
+        // A dispatch creates new waits-for edges (the list's internal
+        // order, plus whatever was already pending against these
+        // transactions elsewhere), so it can close a cycle just like an
+        // enqueue can — detection must run here too, or a deadlocked
+        // group sits blocked until an unrelated request happens to probe
+        // it. Every new edge involves a member of the just-dispatched
+        // list or a request still pending on this item, so probing those
+        // transactions covers all newly possible cycles.
+        let mut starts: Vec<TxnId> = fl.entries().iter().map(|e| e.txn).collect();
+        starts.extend(
+            self.items[item.index()]
+                .window
+                .pending()
+                .iter()
+                .map(|r| r.entry.txn),
+        );
+        self.detect_deadlocks_from(now, &starts);
+    }
+
+    // ---- deadlock analysis ----
+
+    /// Remove every entry-index record of a finished forward list.
+    fn clear_entry_index(&mut self, out: &OutState, item: ItemId) {
+        for e in out.fl.entries() {
+            if let Some(v) = self.entries_of.get_mut(&e.txn) {
+                v.retain(|&i| i != item);
+                if v.is_empty() {
+                    self.entries_of.remove(&e.txn);
+                }
+            }
+        }
+    }
+
+    /// The transactions `t` is currently waiting for:
+    /// * a pending request waits for every uncompleted live entry of the
+    ///   item's dispatched list;
+    /// * an ungranted/ungated dispatched entry waits for every
+    ///   uncompleted live entry before it (readers skip their own group;
+    ///   an MR1W writer's *commit* is certified against its reader group,
+    ///   so it still waits on the group).
+    ///
+    /// Computed on demand so cycle detection explores only the reachable
+    /// part of the waits-for relation instead of materialising the whole
+    /// graph per event.
+    fn waits_of(&self, t: TxnId) -> Vec<TxnId> {
+        let mut out: Vec<TxnId> = Vec::new();
+        if !self.table.is_live(t) {
+            return out;
+        }
+        if let Some(&x) = self.pending_of.get(&t) {
+            if let Some(o) = &self.items[x.index()].out {
+                for (j, e) in o.fl.entries().iter().enumerate() {
+                    if !o.completed[j] && self.table.is_live(e.txn) {
+                        out.push(e.txn);
+                    }
+                }
+            }
+        }
+        if let Some(items) = self.entries_of.get(&t) {
+            for &item in items {
+                let Some(o) = &self.items[item.index()].out else { continue };
+                let Some(i) = o.fl.position_of(t) else { continue };
+                if o.completed[i] {
+                    continue;
+                }
+                if self
+                    .holds
+                    .get(&(item, t))
+                    .is_some_and(|h| h.gates_passed())
+                {
+                    continue; // neither grant nor commit waits here
+                }
+                let skip_from = if o.fl.entry(i).mode.is_shared() {
+                    o.fl.segment_of(i).range().start
+                } else {
+                    i
+                };
+                for j in 0..skip_from {
+                    if !o.completed[j] {
+                        let other = o.fl.entry(j).txn;
+                        if self.table.is_live(other) {
+                            out.push(other);
+                        }
+                    }
+                }
+            }
+        }
+        out.sort_unstable();
+        out.dedup();
+        out
+    }
+
+    /// DFS over the implicit waits-for relation, returning a cycle
+    /// reachable from `start` if one exists.
+    fn find_cycle_lazy(&self, start: TxnId) -> Option<Vec<TxnId>> {
+        crate::s2pl::find_cycle_with(start, |t| self.waits_of(t))
+    }
+
+    /// Find and break every deadlock reachable from the given start
+    /// transactions, re-probing a start until it is cycle-free.
+    fn detect_deadlocks_from(&mut self, now: SimTime, starts: &[TxnId]) {
+        for &start in starts {
+            loop {
+                if !self.table.is_live(start) {
+                    break;
+                }
+                let Some(cycle) = self.find_cycle_lazy(start) else { break };
+                let victim = self.cfg.victim.choose(&cycle, |t| {
+                    self.entries_of.get(&t).map_or(0, Vec::len)
+                });
+                self.abort_victim(now, victim);
+            }
+        }
+    }
+
+    fn abort_victim(&mut self, _now: SimTime, victim: TxnId) {
+        debug_assert_eq!(self.table.status(victim), TxnStatus::Active);
+        self.table.set_status(victim, TxnStatus::Aborting);
+        if let Some(item) = self.pending_of.remove(&victim) {
+            self.items[item.index()].window.remove_txn(victim);
+        }
+        self.dag.remove_txn(victim);
+        let client = self.table.info(victim).client;
+        if self.cfg.abort_effect == AbortEffect::Instant {
+            self.net.send_with_delay(
+                &mut self.cal,
+                SiteId::Server,
+                client.into(),
+                "g2pl.abort_notice",
+                CTRL_BYTES,
+                Message::GAbortNotice { txn: victim },
+                SimTime::ZERO,
+            );
+        } else {
+            self.net.send(
+                &mut self.cal,
+                SiteId::Server,
+                client.into(),
+                "g2pl.abort_notice",
+                CTRL_BYTES,
+                Message::GAbortNotice { txn: victim },
+            );
+        }
+        // Multicast prune notices for the victim's not-yet-served entries
+        // on dispatched forward lists, so upstream forwarders skip them.
+        // The server knows every list it dispatched; the extra messages
+        // are parallel control traffic, not sequential rounds. Pointless
+        // under instant-abort semantics, where dead entries already cost
+        // nothing.
+        if self.cfg.abort_effect == AbortEffect::Instant {
+            return;
+        }
+        for (idx, st) in self.items.iter().enumerate() {
+            let item = ItemId::new(idx as u32);
+            let Some(out) = &st.out else { continue };
+            let Some(pos) = out.fl.position_of(victim) else { continue };
+            if out.completed[pos] {
+                continue;
+            }
+            let targets: Vec<ClientId> = out
+                .fl
+                .entries()
+                .iter()
+                .map(|e| e.client)
+                .filter(|&c| c != client)
+                .collect();
+            for to in targets {
+                self.net.send(
+                    &mut self.cal,
+                    SiteId::Server,
+                    to.into(),
+                    "g2pl.prune",
+                    CTRL_BYTES,
+                    Message::GPrune { item, txn: victim },
+                );
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cfg(clients: u32, latency: u64, pr: f64) -> EngineConfig {
+        let mut c = EngineConfig::table1(ProtocolKind::g2pl_paper(), clients, latency, pr);
+        c.warmup_txns = 50;
+        c.measured_txns = 300;
+        c.drain = true;
+        c
+    }
+
+    #[test]
+    fn single_client_never_aborts() {
+        let m = G2plEngine::new(cfg(1, 10, 0.5)).run();
+        assert_eq!(m.aborted_total, 0);
+        assert!(m.committed_total >= 350);
+        assert!(m.response.mean() > 0.0);
+    }
+
+    #[test]
+    fn single_item_single_access_response_is_rtt_plus_think() {
+        // One client, one item: the item is always home when requested,
+        // so the singleton dispatch gives response = 2L + one think.
+        let mut c = cfg(1, 100, 0.0);
+        c.num_items = 1;
+        c.profile.min_items = 1;
+        c.profile.max_items = 1;
+        let m = G2plEngine::new(c).run();
+        assert!(m.response.min().unwrap() >= 201.0);
+        assert!(m.response.max().unwrap() <= 203.0);
+    }
+
+    #[test]
+    fn contended_update_run_completes() {
+        let m = G2plEngine::new(cfg(10, 50, 0.2)).run();
+        assert_eq!(m.aborts.trials(), 300);
+        assert!(m.committed_total > 0);
+        assert!(m.window_closes > 0);
+        assert!(m.max_fl_len >= 1);
+    }
+
+    #[test]
+    fn forward_lists_grow_under_contention() {
+        // Many clients hammering few items must produce multi-entry
+        // lists and client-to-client migration.
+        let mut c = cfg(20, 200, 0.0);
+        c.num_items = 2;
+        c.profile.max_items = 2;
+        let m = G2plEngine::new(c).run();
+        assert!(
+            m.max_fl_len >= 3,
+            "expected grouped dispatches, max fl = {}",
+            m.max_fl_len
+        );
+        assert!(m.net.client_to_client_share() > 0.1);
+    }
+
+    #[test]
+    fn determinism_same_seed_same_metrics() {
+        let a = G2plEngine::new(cfg(5, 100, 0.5)).run();
+        let b = G2plEngine::new(cfg(5, 100, 0.5)).run();
+        assert_eq!(a.response.mean(), b.response.mean());
+        assert_eq!(a.committed_total, b.committed_total);
+        assert_eq!(a.aborted_total, b.aborted_total);
+        assert_eq!(a.net.messages(), b.net.messages());
+    }
+
+    #[test]
+    fn read_only_aborts_are_read_only_deadlocks() {
+        // §3.3: g-2PL has a unique read-only deadlock; every abort in a
+        // read-only system must be of a read-only transaction.
+        let m = G2plEngine::new(cfg(20, 1, 1.0)).run();
+        assert_eq!(m.read_only_aborts, m.aborts.hits());
+    }
+
+    #[test]
+    fn mr1w_off_still_correct() {
+        let mut c = cfg(10, 50, 0.6);
+        if let ProtocolKind::G2pl(o) = &mut c.protocol {
+            o.mr1w = false;
+        }
+        let m = G2plEngine::new(c).run();
+        assert_eq!(m.aborts.trials(), 300);
+    }
+
+    #[test]
+    fn avoidance_off_still_correct() {
+        let mut c = cfg(10, 50, 0.3);
+        if let ProtocolKind::G2pl(o) = &mut c.protocol {
+            o.ordering = g2pl_fwdlist::OrderingRule::fifo();
+        }
+        let m = G2plEngine::new(c).run();
+        assert_eq!(m.aborts.trials(), 300);
+    }
+
+    #[test]
+    fn expand_reads_eliminates_read_only_aborts() {
+        let mut c = cfg(20, 1, 1.0);
+        if let ProtocolKind::G2pl(o) = &mut c.protocol {
+            o.expand_reads = true;
+        }
+        let m = G2plEngine::new(c).run();
+        assert_eq!(
+            m.aborted_total, 0,
+            "read expansion removes read-only dependencies"
+        );
+    }
+
+    #[test]
+    fn fl_cap_bounds_dispatched_lists() {
+        let mut c = cfg(20, 200, 0.0);
+        c.num_items = 2;
+        c.profile.max_items = 2;
+        if let ProtocolKind::G2pl(o) = &mut c.protocol {
+            o.fl_cap = Some(3);
+        }
+        let m = G2plEngine::new(c).run();
+        assert!(m.max_fl_len <= 3, "cap violated: {}", m.max_fl_len);
+    }
+
+    #[test]
+    fn dispatch_delay_batches_requests() {
+        // Holding returned items open gathers larger windows than
+        // immediate dispatch under the same workload.
+        let mut immediate = cfg(20, 100, 0.0);
+        immediate.num_items = 2;
+        immediate.profile.max_items = 2;
+        let mut held = immediate.clone();
+        if let ProtocolKind::G2pl(o) = &mut held.protocol {
+            o.dispatch_delay = Some(200);
+        }
+        let mi = G2plEngine::new(immediate).run();
+        let mh = G2plEngine::new(held).run();
+        assert!(
+            mh.window_closes < mi.window_closes,
+            "held windows must close less often: {} vs {}",
+            mh.window_closes,
+            mi.window_closes
+        );
+        assert_eq!(mh.aborts.trials(), 300, "held run still completes");
+    }
+
+    #[test]
+    fn messaged_aborts_send_prune_notices() {
+        let mut c = cfg(20, 100, 0.2);
+        c.abort_effect = crate::config::AbortEffect::Messaged;
+        let m = G2plEngine::new(c).run();
+        assert!(m.aborted_total > 0, "contended run should abort");
+        assert!(
+            m.net.of_kind("g2pl.prune") > 0,
+            "aborts with dispatched entries should multicast prunes"
+        );
+    }
+
+    #[test]
+    fn instant_aborts_skip_prune_notices() {
+        let m = G2plEngine::new(cfg(20, 100, 0.2)).run();
+        assert!(m.aborted_total > 0);
+        assert_eq!(m.net.of_kind("g2pl.prune"), 0);
+    }
+
+    #[test]
+    fn instant_beats_messaged_under_contention() {
+        let instant = cfg(20, 500, 0.2);
+        let mut messaged = instant.clone();
+        messaged.abort_effect = crate::config::AbortEffect::Messaged;
+        let mi = G2plEngine::new(instant).run();
+        let mm = G2plEngine::new(messaged).run();
+        assert!(
+            mi.response.mean() < mm.response.mean(),
+            "instant {} should beat messaged {}",
+            mi.response.mean(),
+            mm.response.mean()
+        );
+    }
+
+    #[test]
+    fn history_versions_form_per_item_chains() {
+        let mut c = cfg(8, 50, 0.5);
+        c.record_history = true;
+        let m = G2plEngine::new(c).run();
+        let h = m.history.expect("history recorded");
+        assert!(!h.is_empty());
+        // Per item, committed write versions must be strictly increasing
+        // in commit order (strict 2PL serializes writers).
+        let mut last: HashMap<ItemId, Version> = HashMap::new();
+        for rec in h.records() {
+            for acc in &rec.accesses {
+                if acc.mode.is_write() {
+                    let prev = last.insert(acc.item, acc.version);
+                    assert!(
+                        prev.is_none_or(|p| acc.version > p),
+                        "non-monotone write versions on {}",
+                        acc.item
+                    );
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,107 @@
+//! Committed-transaction histories for offline correctness checking.
+//!
+//! Both protocols must produce serializable, strict executions. Engines
+//! optionally record, per committed transaction, the version of every item
+//! it read and the version it installed for every item it wrote; the
+//! checker in `g2pl-core::verify` rebuilds the version-order conflict
+//! graph from this record and asserts acyclicity.
+
+use g2pl_simcore::{ItemId, SimTime, TxnId, Version};
+use g2pl_workload::AccessMode;
+use serde::{Deserialize, Serialize};
+
+/// One access of a committed transaction.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct AccessRecord {
+    /// The item accessed.
+    pub item: ItemId,
+    /// Read or write.
+    pub mode: AccessMode,
+    /// For reads: the version observed. For writes: the version
+    /// *installed* (observed version + 1).
+    pub version: Version,
+}
+
+/// The commit record of one transaction.
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CommitRecord {
+    /// The committed transaction.
+    pub txn: TxnId,
+    /// Commit instant (client-local).
+    pub at: SimTime,
+    /// Every access, in issue order.
+    pub accesses: Vec<AccessRecord>,
+}
+
+/// An ordered log of commit records.
+#[derive(Clone, Debug, Default, Serialize, Deserialize)]
+pub struct History {
+    records: Vec<CommitRecord>,
+}
+
+impl History {
+    /// Empty history.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Append a commit record. Records arrive in commit-event order.
+    pub fn push(&mut self, rec: CommitRecord) {
+        debug_assert!(
+            self.records.last().is_none_or(|r| r.at <= rec.at),
+            "commit records must arrive in time order"
+        );
+        self.records.push(rec);
+    }
+
+    /// All records, in commit order.
+    pub fn records(&self) -> &[CommitRecord] {
+        &self.records
+    }
+
+    /// Number of committed transactions recorded.
+    pub fn len(&self) -> usize {
+        self.records.len()
+    }
+
+    /// True when no commits were recorded.
+    pub fn is_empty(&self) -> bool {
+        self.records.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn push_and_read_back() {
+        let mut h = History::new();
+        h.push(CommitRecord {
+            txn: TxnId::new(1),
+            at: SimTime::new(10),
+            accesses: vec![AccessRecord {
+                item: ItemId::new(0),
+                mode: AccessMode::Write,
+                version: 1,
+            }],
+        });
+        assert_eq!(h.len(), 1);
+        assert!(!h.is_empty());
+        assert_eq!(h.records()[0].txn, TxnId::new(1));
+    }
+
+    #[test]
+    #[cfg(debug_assertions)]
+    #[should_panic(expected = "time order")]
+    fn out_of_order_commit_panics_in_debug() {
+        let mut h = History::new();
+        let rec = |at| CommitRecord {
+            txn: TxnId::new(0),
+            at: SimTime::new(at),
+            accesses: vec![],
+        };
+        h.push(rec(10));
+        h.push(rec(5));
+    }
+}

@@ -1,0 +1,53 @@
+//! # g2pl-protocols
+//!
+//! Event-driven implementations of the protocols studied in the paper:
+//!
+//! * **s-2PL** ([`s2pl`]) — the server-based strict two-phase locking
+//!   baseline of §3.1: clients request items one at a time, the server
+//!   locks and ships them, all locks release in one message at commit,
+//!   deadlocks are *detected* with a wait-for graph and resolved by
+//!   aborting a victim.
+//! * **g-2PL** ([`g2pl`]) — the paper's contribution (§3.2–3.4): the
+//!   server batches pending requests into forward lists during collection
+//!   windows; data migrates client-to-client, merging lock release with
+//!   the next lock grant; window-close reordering against a global
+//!   precedence DAG *avoids* same-window deadlocks; the MR1W optimization
+//!   lets one writer run concurrently with the preceding reader group.
+//!   The read-expansion variant sketched in §3.3 (join new readers onto a
+//!   dispatched all-reader list) is available behind an option.
+//! * **c-2PL** ([`c2pl`]) — the caching variant mentioned in §3.1 as an
+//!   extension: clients retain shared locks and data across transaction
+//!   boundaries; conflicting writes trigger server callbacks.
+//!
+//! All engines share one deterministic harness ([`runtime`]): a
+//! [`g2pl_simcore::Calendar`] of message deliveries and client timers, a
+//! pluggable latency model, Table-1 workload streams, and a metrics
+//! collector with warm-up elimination. Given the same [`EngineConfig`]
+//! and seed, every engine is bit-for-bit reproducible.
+
+pub mod c2pl;
+pub mod config;
+pub mod g2pl;
+pub mod history;
+pub mod metrics;
+pub mod runtime;
+pub mod s2pl;
+pub mod tracelog;
+
+pub use config::{AbortEffect, EngineConfig, G2plOpts, LatencyCfg, ProtocolKind};
+pub use history::{CommitRecord, History};
+pub use metrics::RunMetrics;
+pub use tracelog::{TraceEvent, TraceKind};
+
+/// Run one simulation of the configured protocol and return its metrics.
+///
+/// This is the single entry point the experiment harness in `g2pl-core`
+/// uses; it dispatches on [`EngineConfig::protocol`].
+pub fn run(config: &EngineConfig) -> RunMetrics {
+    config.validate().unwrap_or_else(|e| panic!("invalid config: {e}"));
+    match &config.protocol {
+        ProtocolKind::S2pl => s2pl::S2plEngine::new(config.clone()).run(),
+        ProtocolKind::G2pl(_) => g2pl::G2plEngine::new(config.clone()).run(),
+        ProtocolKind::C2pl => c2pl::C2plEngine::new(config.clone()).run(),
+    }
+}

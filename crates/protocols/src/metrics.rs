@@ -1,0 +1,248 @@
+//! Per-run metrics and the measurement collector.
+
+use crate::history::History;
+use crate::tracelog::TraceEvent;
+use g2pl_netmodel::NetAccounting;
+use g2pl_wal::LogMetrics;
+use g2pl_simcore::SimTime;
+use g2pl_stats::{Counter, Histogram, RunningStats, WarmupFilter};
+use serde::Serialize;
+
+/// Everything one simulation run reports.
+#[derive(Clone, Debug, Serialize)]
+pub struct RunMetrics {
+    /// Protocol label ("s-2PL", "g-2PL", "c-2PL").
+    pub protocol: &'static str,
+    /// Response-time statistics over *measured committed* transactions
+    /// (start = transaction creation, end = client-local commit).
+    pub response: RunningStats,
+    /// Measured abort ratio: aborted / (aborted + committed) among
+    /// measured completions — the quantity plotted in Figs 8–11, 13, 15.
+    pub aborts: Counter,
+    /// Aborts of read-only transactions among measured completions
+    /// (the g-2PL read-deadlock signal of Fig 10).
+    pub read_only_aborts: u64,
+    /// Total committed transactions over the whole run (incl. warm-up).
+    pub committed_total: u64,
+    /// Total aborted transactions over the whole run (incl. warm-up).
+    pub aborted_total: u64,
+    /// Network message/byte counters over the whole run.
+    pub net: NetAccounting,
+    /// Simulation clock at the end of the run.
+    pub end_time: SimTime,
+    /// Commit history for serializability checking, when enabled.
+    pub history: Option<History>,
+    /// Fine-grained event trace, when enabled.
+    pub trace: Option<Vec<TraceEvent>>,
+    /// Observed maximum forward-list length at dispatch (g-2PL only; 0
+    /// otherwise).
+    pub max_fl_len: usize,
+    /// Number of window closes (g-2PL dispatches; 0 for s-2PL).
+    pub window_closes: u64,
+    /// Per-access wait time (request sent → access granted), over every
+    /// grant in the run — the queueing-delay diagnostic.
+    pub access_wait: RunningStats,
+    /// Lifetime of aborted transactions (creation → abort): the work a
+    /// deadlock abort throws away.
+    pub abort_waste: RunningStats,
+    /// Number of items the victim had been granted when aborted.
+    pub abort_depth: RunningStats,
+    /// Response-time statistics bucketed by transaction size (index =
+    /// number of items; index 0 unused).
+    pub response_by_size: Vec<RunningStats>,
+    /// Write-ahead-log accounting, when `enable_wal` was set.
+    pub wal: Option<WalReport>,
+    /// Response-time histogram over measured commits (bucket width scales
+    /// with the configured latency), for tail percentiles.
+    pub response_hist: Histogram,
+}
+
+/// Aggregated WAL statistics across every client site.
+#[derive(Clone, Copy, Debug, Default, Serialize)]
+pub struct WalReport {
+    /// Total log bytes appended across sites.
+    pub bytes_written: u64,
+    /// Total synchronous forces (one per commit).
+    pub forces: u64,
+    /// The worst per-site live-bytes high-water mark — the log space a
+    /// site must provision. Grows with how long committed versions stay
+    /// un-permanent at the server (much longer under g-2PL migration).
+    pub high_water_bytes_max: u64,
+    /// The worst per-site live-record high-water mark.
+    pub high_water_records_max: usize,
+    /// Live records left across sites at run end (0 after a drain).
+    pub end_live_records: usize,
+}
+
+impl WalReport {
+    /// Fold one site's metrics into the aggregate.
+    pub fn absorb(&mut self, m: LogMetrics, live_records: usize) {
+        self.bytes_written += m.bytes_written;
+        self.forces += m.forces;
+        self.high_water_bytes_max = self.high_water_bytes_max.max(m.high_water_bytes);
+        self.high_water_records_max = self.high_water_records_max.max(m.high_water_records);
+        self.end_live_records += live_records;
+    }
+}
+
+impl RunMetrics {
+    /// Mean response time of measured committed transactions.
+    pub fn mean_response(&self) -> f64 {
+        self.response.mean()
+    }
+
+    /// Abort percentage among measured completions.
+    pub fn abort_pct(&self) -> f64 {
+        self.aborts.percentage()
+    }
+
+    /// Approximate response-time quantile (0..=1) over measured commits.
+    pub fn response_quantile(&self, q: f64) -> Option<f64> {
+        self.response_hist.quantile(q)
+    }
+
+    /// Messages per measured completion (throughput-normalised message
+    /// cost).
+    pub fn msgs_per_completion(&self) -> f64 {
+        let n = self.aborts.trials();
+        if n == 0 {
+            0.0
+        } else {
+            self.net.messages() as f64 / n as f64
+        }
+    }
+}
+
+/// Streaming measurement collector used by every engine: applies warm-up
+/// elimination and decides when the run is done.
+#[derive(Debug)]
+pub struct Collector {
+    filter: WarmupFilter,
+    /// Response-time histogram over measured commits.
+    pub response_hist: Histogram,
+    /// Per-access wait times (request → grant), all grants.
+    pub access_wait: RunningStats,
+    /// Aborted-transaction lifetimes.
+    pub abort_waste: RunningStats,
+    /// Items granted to victims at abort time.
+    pub abort_depth: RunningStats,
+    /// Response by transaction size (item count).
+    pub response_by_size: Vec<RunningStats>,
+    /// Response times of measured commits.
+    pub response: RunningStats,
+    /// Measured completion outcomes (hit = aborted).
+    pub aborts: Counter,
+    /// Measured aborts of read-only transactions.
+    pub read_only_aborts: u64,
+    /// All commits, including warm-up.
+    pub committed_total: u64,
+    /// All aborts, including warm-up.
+    pub aborted_total: u64,
+}
+
+impl Collector {
+    /// Discard `warmup` completions, then measure the next `measured`.
+    /// `hist_bucket` sets the response-histogram bucket width (e.g. half
+    /// the network latency).
+    pub fn with_histogram(warmup: u64, measured: u64, hist_bucket: u64) -> Self {
+        Collector {
+            filter: WarmupFilter::new(warmup, Some(measured)),
+            response_hist: Histogram::new(hist_bucket.max(1) as f64, 4096),
+            access_wait: RunningStats::new(),
+            abort_waste: RunningStats::new(),
+            abort_depth: RunningStats::new(),
+            response_by_size: vec![RunningStats::new(); 9],
+            response: RunningStats::new(),
+            aborts: Counter::new(),
+            read_only_aborts: 0,
+            committed_total: 0,
+            aborted_total: 0,
+        }
+    }
+
+    /// Discard `warmup` completions, then measure the next `measured`.
+    pub fn new(warmup: u64, measured: u64) -> Self {
+        Self::with_histogram(warmup, measured, 1)
+    }
+
+    /// Record a commit with the given response time; `size` is the
+    /// transaction's item count.
+    pub fn on_commit_sized(&mut self, response: SimTime, size: usize) {
+        self.committed_total += 1;
+        if self.filter.admit() {
+            self.response.record(response.as_f64());
+            self.response_hist.record(response.as_f64());
+            if size < self.response_by_size.len() {
+                self.response_by_size[size].record(response.as_f64());
+            }
+            self.aborts.miss();
+        }
+    }
+
+    /// Record a commit with the given response time.
+    pub fn on_commit(&mut self, response: SimTime) {
+        self.on_commit_sized(response, 0);
+    }
+
+    /// Record one access wait (request sent → granted).
+    pub fn on_access_wait(&mut self, wait: SimTime) {
+        self.access_wait.record(wait.as_f64());
+    }
+
+    /// Record an abort with diagnostics: the victim's lifetime and how
+    /// many items it had been granted.
+    pub fn on_abort_diag(&mut self, read_only: bool, waste: SimTime, depth: usize) {
+        self.abort_waste.record(waste.as_f64());
+        self.abort_depth.record(depth as f64);
+        self.on_abort(read_only);
+    }
+
+    /// Record an abort; `read_only` marks a read-only transaction.
+    pub fn on_abort(&mut self, read_only: bool) {
+        self.aborted_total += 1;
+        if self.filter.admit() {
+            self.aborts.hit();
+            if read_only {
+                self.read_only_aborts += 1;
+            }
+        }
+    }
+
+    /// True once the measurement window is full.
+    pub fn done(&self) -> bool {
+        self.filter.is_complete()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn collector_applies_warmup() {
+        let mut c = Collector::new(2, 3);
+        c.on_commit(SimTime::new(100)); // warm-up
+        c.on_abort(false); // warm-up
+        c.on_commit(SimTime::new(10));
+        c.on_commit(SimTime::new(20));
+        c.on_abort(true);
+        assert!(c.done());
+        assert_eq!(c.response.count(), 2);
+        assert_eq!(c.response.mean(), 15.0);
+        assert_eq!(c.aborts.trials(), 3);
+        assert_eq!(c.aborts.hits(), 1);
+        assert_eq!(c.read_only_aborts, 1);
+        assert_eq!(c.committed_total, 3);
+        assert_eq!(c.aborted_total, 2);
+    }
+
+    #[test]
+    fn completions_past_window_are_ignored_by_measurement() {
+        let mut c = Collector::new(0, 1);
+        c.on_commit(SimTime::new(5));
+        assert!(c.done());
+        c.on_commit(SimTime::new(500));
+        assert_eq!(c.response.count(), 1);
+        assert_eq!(c.committed_total, 2, "totals still accumulate");
+    }
+}

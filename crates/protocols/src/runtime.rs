@@ -1,0 +1,523 @@
+//! Shared simulation plumbing for all protocol engines: events, messages,
+//! the network sender, per-client state, and the global transaction table.
+
+use g2pl_fwdlist::ForwardList;
+use g2pl_lockmgr::LockMode;
+use g2pl_netmodel::{LatencyModel, NetAccounting};
+use g2pl_simcore::{Calendar, ClientId, ItemId, RngStream, SimTime, SiteId, TxnId, Version};
+use g2pl_workload::{Trace, TxnGenerator, TxnSpec};
+use std::rc::Rc;
+
+/// Client-side timers.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum TimerKind {
+    /// The inter-transaction idle period ended: start the next
+    /// transaction.
+    IdleDone,
+    /// The per-operation think time of this transaction ended: issue the
+    /// next request or commit. Carrying the transaction id makes stale
+    /// timers (from a transaction aborted while the timer was pending)
+    /// self-identifying.
+    ThinkDone(TxnId),
+}
+
+/// Protocol messages. One enum serves every engine; each engine handles
+/// its own subset and treats the rest as unreachable.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Message {
+    // ---- s-2PL / c-2PL ----
+    /// Client → server: lock + data request for one item.
+    SLockReq {
+        /// Requesting transaction.
+        txn: TxnId,
+        /// Requesting client.
+        client: ClientId,
+        /// Requested item.
+        item: ItemId,
+        /// Requested mode.
+        mode: LockMode,
+    },
+    /// Server → client: lock granted, data shipped.
+    SGrant {
+        /// Granted transaction.
+        txn: TxnId,
+        /// Granted item.
+        item: ItemId,
+        /// Version shipped.
+        version: Version,
+    },
+    /// Client → server: commit; releases every lock and returns dirty
+    /// data in a single message (§3.1 shrinking phase).
+    SCommit {
+        /// Committing transaction.
+        txn: TxnId,
+        /// Items written, with the installed versions.
+        writes: Vec<(ItemId, Version)>,
+        /// Items only read.
+        reads: Vec<ItemId>,
+    },
+    /// Server → client: the transaction was chosen as a deadlock victim.
+    SAbortNotice {
+        /// Aborted transaction.
+        txn: TxnId,
+    },
+    /// Server → client (c-2PL): recall the cached copy of an item.
+    Callback {
+        /// Item to drop from the cache.
+        item: ItemId,
+    },
+    /// Client → server (c-2PL): cache entry dropped.
+    CallbackAck {
+        /// Responding client.
+        client: ClientId,
+        /// Item dropped.
+        item: ItemId,
+    },
+
+    // ---- g-2PL ----
+    /// Client → server: lock + data request for one item.
+    GLockReq {
+        /// Requesting transaction.
+        txn: TxnId,
+        /// Requesting client.
+        client: ClientId,
+        /// Requested item.
+        item: ItemId,
+        /// Requested mode.
+        mode: LockMode,
+    },
+    /// Data + forward list arriving at the entry at `pos` (from the
+    /// server at dispatch, or from the previous writer during migration).
+    GData {
+        /// The migrating item.
+        item: ItemId,
+        /// The version carried.
+        version: Version,
+        /// The dispatched forward list (travels with the data, §3.2).
+        fl: Rc<ForwardList>,
+        /// Receiving entry's position in `fl`.
+        pos: usize,
+    },
+    /// A reader's release: to the next writer on the list (carrying the
+    /// data in the non-MR1W protocol, a pure token under MR1W), or to the
+    /// server when the reader group is the final segment.
+    GReaderRelease {
+        /// The item released.
+        item: ItemId,
+        /// The version the reader held.
+        version: Version,
+        /// The dispatched forward list.
+        fl: Rc<ForwardList>,
+        /// Releasing entry's position.
+        from_pos: usize,
+        /// Receiving writer's position, or `None` when sent to the server.
+        to_pos: Option<usize>,
+    },
+    /// Final entry → server: the item comes home with its final version.
+    GReturn {
+        /// The returning item.
+        item: ItemId,
+        /// Final version of this window.
+        version: Version,
+    },
+    /// Server → client: the transaction was chosen as a deadlock victim.
+    GAbortNotice {
+        /// Aborted transaction.
+        txn: TxnId,
+    },
+    /// Server → client: the given transaction's entry on `item`'s
+    /// dispatched forward list is dead (its transaction aborted before
+    /// the data reached it); forwarders that have learnt this skip the
+    /// entry instead of paying a serial hop through an aborted client.
+    GPrune {
+        /// Item whose forward list contains the dead entry.
+        item: ItemId,
+        /// The aborted transaction.
+        txn: TxnId,
+    },
+}
+
+/// A calendar event.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Ev {
+    /// A message arrives at a site.
+    Deliver {
+        /// Destination site.
+        to: SiteId,
+        /// Payload.
+        msg: Message,
+    },
+    /// A client timer fires.
+    Timer {
+        /// The client whose timer fires.
+        client: ClientId,
+        /// Which timer.
+        kind: TimerKind,
+    },
+    /// A server-side window-hold timer expired: close the item's window
+    /// now (g-2PL `dispatch_delay` mode).
+    WindowTimer {
+        /// The held item.
+        item: ItemId,
+    },
+    /// The server CPU finished processing a message that had queued
+    /// behind earlier work (only when `server_cpu_per_op > 0`).
+    ServerProc {
+        /// The message whose processing completes now.
+        msg: Message,
+    },
+}
+
+/// A serial server CPU: each message costs `per_op` units of processing,
+/// and messages queue when they arrive faster than they are served.
+///
+/// §3.3 argues the forward-list reordering "computations are done while
+/// the server is waiting for the data items to be returned" and so "do
+/// not increase the transaction blocking time". The default cost of 0
+/// models exactly that; a nonzero cost lets the `ext-server-cpu`
+/// ablation check how much headroom the claim really has.
+#[derive(Clone, Copy, Debug)]
+pub struct ServerCpu {
+    free_at: SimTime,
+    per_op: SimTime,
+}
+
+impl ServerCpu {
+    /// A CPU costing `per_op` units per processed message (0 = free).
+    pub fn new(per_op: u64) -> Self {
+        ServerCpu {
+            free_at: SimTime::ZERO,
+            per_op: SimTime::new(per_op),
+        }
+    }
+
+    /// Charge one message arriving at `now`; returns the delay until its
+    /// processing completes (0 when the CPU is free and costless).
+    pub fn service(&mut self, now: SimTime) -> SimTime {
+        if self.per_op == SimTime::ZERO {
+            return SimTime::ZERO;
+        }
+        let start = if self.free_at > now { self.free_at } else { now };
+        self.free_at = start.after(self.per_op);
+        self.free_at.since(now)
+    }
+}
+
+/// The network: latency model + accounting + the send primitive.
+pub struct Net {
+    model: Box<dyn LatencyModel>,
+    rng: RngStream,
+    /// Message/byte counters (public: engines move it into the metrics).
+    pub acct: NetAccounting,
+}
+
+impl Net {
+    /// A network over `model`, with randomness derived from `seed`.
+    pub fn new(model: Box<dyn LatencyModel>, seed: u64) -> Self {
+        Net {
+            model,
+            rng: RngStream::derive(seed, "net"),
+            acct: NetAccounting::new(),
+        }
+    }
+
+    /// Send `msg` from `from` to `to`, scheduling its delivery on `cal`.
+    /// `kind` labels the message for accounting; `size` is its payload
+    /// size in bytes.
+    pub fn send(
+        &mut self,
+        cal: &mut Calendar<Ev>,
+        from: SiteId,
+        to: SiteId,
+        kind: &'static str,
+        size: u64,
+        msg: Message,
+    ) {
+        self.acct.record(from, to, kind, size);
+        let delay = self.model.delay(from, to, size, &mut self.rng);
+        cal.schedule_in(delay, Ev::Deliver { to, msg });
+    }
+
+    /// Like [`Net::send`] but with an explicit delay, bypassing the
+    /// latency model. Used only by diagnostic/ablation modes.
+    #[allow(clippy::too_many_arguments)]
+    pub fn send_with_delay(
+        &mut self,
+        cal: &mut Calendar<Ev>,
+        from: SiteId,
+        to: SiteId,
+        kind: &'static str,
+        size: u64,
+        msg: Message,
+        delay: SimTime,
+    ) {
+        self.acct.record(from, to, kind, size);
+        cal.schedule_in(delay, Ev::Deliver { to, msg });
+    }
+}
+
+/// Lifecycle status of a transaction.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum TxnStatus {
+    /// Running (possibly blocked).
+    Active,
+    /// Chosen as a deadlock victim; the abort notice is in flight. The
+    /// transaction may still escape by committing first (see the g-2PL
+    /// engine's race discussion).
+    Aborting,
+    /// Committed.
+    Committed,
+    /// Aborted.
+    Aborted,
+}
+
+/// Global (oracle) per-transaction bookkeeping.
+#[derive(Clone, Debug)]
+pub struct TxnInfo {
+    /// The client running the transaction.
+    pub client: ClientId,
+    /// Current status.
+    pub status: TxnStatus,
+    /// Whether the transaction's spec is read-only.
+    pub read_only: bool,
+}
+
+/// Dense table of every transaction created during a run.
+#[derive(Clone, Debug, Default)]
+pub struct TxnTable {
+    infos: Vec<TxnInfo>,
+}
+
+impl TxnTable {
+    /// Empty table.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Register a new transaction; ids are dense and age-ordered.
+    pub fn create(&mut self, client: ClientId, read_only: bool) -> TxnId {
+        let id = TxnId::new(self.infos.len() as u32);
+        self.infos.push(TxnInfo {
+            client,
+            status: TxnStatus::Active,
+            read_only,
+        });
+        id
+    }
+
+    /// Info for `txn`.
+    pub fn info(&self, txn: TxnId) -> &TxnInfo {
+        &self.infos[txn.index()]
+    }
+
+    /// Current status of `txn`.
+    pub fn status(&self, txn: TxnId) -> TxnStatus {
+        self.infos[txn.index()].status
+    }
+
+    /// Set the status of `txn`.
+    pub fn set_status(&mut self, txn: TxnId, status: TxnStatus) {
+        self.infos[txn.index()].status = status;
+    }
+
+    /// Whether `txn` counts as live for deadlock analysis (active and not
+    /// already being aborted).
+    pub fn is_live(&self, txn: TxnId) -> bool {
+        self.status(txn) == TxnStatus::Active
+    }
+
+    /// Number of transactions ever created.
+    pub fn len(&self) -> usize {
+        self.infos.len()
+    }
+
+    /// True when no transaction was created yet.
+    pub fn is_empty(&self) -> bool {
+        self.infos.is_empty()
+    }
+}
+
+/// What a client is currently doing within its transaction.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ClientPhase {
+    /// Waiting for the grant of the access at index `.0`.
+    WaitingGrant(usize),
+    /// Thinking after a grant (a `ThinkDone` timer is pending).
+    Thinking,
+    /// All accesses granted and processing done, but the commit is gated
+    /// on outstanding MR1W reader releases (two-copy-version
+    /// certification: a writer that ran concurrently with the readers of
+    /// the previous version may only commit after they all released).
+    CommitWait,
+    /// Between transactions (an `IdleDone` timer is pending) or stopped.
+    Idle,
+}
+
+/// The transaction a client is currently executing.
+#[derive(Clone, Debug)]
+pub struct ActiveTxn {
+    /// Transaction id.
+    pub id: TxnId,
+    /// The access list.
+    pub spec: TxnSpec,
+    /// How many accesses have been granted.
+    pub granted: usize,
+    /// Creation instant (response time starts here).
+    pub start: SimTime,
+    /// Version observed (reads) or installed (writes) per granted access,
+    /// parallel to `spec.accesses[..granted]`.
+    pub versions: Vec<Version>,
+    /// Current phase.
+    pub phase: ClientPhase,
+    /// When the outstanding request was sent (valid in `WaitingGrant`);
+    /// used for the per-access wait diagnostic.
+    pub request_sent_at: SimTime,
+}
+
+/// Per-client state shared by all engines.
+pub struct ClientCore {
+    /// This client's id.
+    pub id: ClientId,
+    /// The in-flight transaction, if any.
+    pub txn: Option<ActiveTxn>,
+    /// Workload stream: transaction specs.
+    pub spec_rng: RngStream,
+    /// Workload stream: think/idle durations.
+    pub time_rng: RngStream,
+    /// Recorded spec sequence to replay instead of drawing, if any.
+    pub replay: Option<Rc<Trace>>,
+    /// Next replay position for this client.
+    pub replay_idx: usize,
+}
+
+impl ClientCore {
+    /// Build the per-client state for `id`, deriving its random streams
+    /// from the run's master seed.
+    pub fn new(id: ClientId, seed: u64) -> Self {
+        ClientCore {
+            id,
+            txn: None,
+            spec_rng: RngStream::derive(seed, &format!("spec-client-{}", id.0)),
+            time_rng: RngStream::derive(seed, &format!("time-client-{}", id.0)),
+            replay: None,
+            replay_idx: 0,
+        }
+    }
+
+    /// Like [`ClientCore::new`], replaying specs from `trace` (clients
+    /// beyond the trace's width fall back to generated specs).
+    pub fn with_replay(id: ClientId, seed: u64, trace: Rc<Trace>) -> Self {
+        let mut c = Self::new(id, seed);
+        if id.0 < trace.clients() {
+            c.replay = Some(trace);
+        }
+        c
+    }
+
+    /// Produce the next transaction spec: the recorded one when
+    /// replaying (cycling past the end), a fresh draw otherwise.
+    fn next_spec(&mut self, generator: &TxnGenerator) -> TxnSpec {
+        if let Some(trace) = &self.replay {
+            let per_client = trace.total_txns() / trace.clients() as usize;
+            if per_client > 0 {
+                let spec = trace
+                    .get(self.id, self.replay_idx % per_client)
+                    .expect("index within per-client length")
+                    .clone();
+                self.replay_idx += 1;
+                return spec;
+            }
+        }
+        generator.draw(&mut self.spec_rng)
+    }
+
+    /// Draw the next spec and open a transaction at time `now`.
+    pub fn begin_txn(&mut self, generator: &TxnGenerator, table: &mut TxnTable, now: SimTime) -> TxnId {
+        debug_assert!(self.txn.is_none(), "client {} already has a transaction", self.id);
+        let spec = self.next_spec(generator);
+        let id = table.create(self.id, spec.is_read_only());
+        self.txn = Some(ActiveTxn {
+            id,
+            spec,
+            granted: 0,
+            start: now,
+            versions: Vec::new(),
+            phase: ClientPhase::WaitingGrant(0),
+            request_sent_at: now,
+        });
+        id
+    }
+
+    /// The active transaction (panics if none — engine invariant).
+    pub fn txn(&self) -> &ActiveTxn {
+        self.txn.as_ref().expect("client has an active transaction")
+    }
+
+    /// Mutable active transaction.
+    pub fn txn_mut(&mut self) -> &mut ActiveTxn {
+        self.txn.as_mut().expect("client has an active transaction")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use g2pl_netmodel::ConstantLatency;
+    use g2pl_workload::TxnProfile;
+
+    #[test]
+    fn net_send_schedules_after_latency() {
+        let mut cal: Calendar<Ev> = Calendar::new();
+        let mut net = Net::new(Box::new(ConstantLatency::new(SimTime::new(7))), 1);
+        net.send(
+            &mut cal,
+            SiteId::Server,
+            SiteId::Client(ClientId::new(0)),
+            "grant",
+            64,
+            Message::SAbortNotice { txn: TxnId::new(0) },
+        );
+        let (at, ev) = cal.pop().expect("delivery scheduled");
+        assert_eq!(at, SimTime::new(7));
+        assert!(matches!(ev, Ev::Deliver { .. }));
+        assert_eq!(net.acct.messages(), 1);
+        assert_eq!(net.acct.bytes(), 64);
+    }
+
+    #[test]
+    fn txn_table_ids_are_age_ordered() {
+        let mut t = TxnTable::new();
+        let a = t.create(ClientId::new(0), true);
+        let b = t.create(ClientId::new(1), false);
+        assert!(a < b);
+        assert_eq!(t.len(), 2);
+        assert!(t.info(a).read_only);
+        assert!(t.is_live(b));
+        t.set_status(b, TxnStatus::Aborting);
+        assert!(!t.is_live(b));
+    }
+
+    #[test]
+    fn client_begin_txn_draws_from_spec_stream() {
+        let gen = TxnGenerator::new(TxnProfile::table1(0.5), 25);
+        let mut table = TxnTable::new();
+        let mut c = ClientCore::new(ClientId::new(3), 42);
+        let id = c.begin_txn(&gen, &mut table, SimTime::new(5));
+        assert_eq!(table.info(id).client, ClientId::new(3));
+        assert_eq!(c.txn().start, SimTime::new(5));
+        assert_eq!(c.txn().granted, 0);
+        assert!(matches!(c.txn().phase, ClientPhase::WaitingGrant(0)));
+    }
+
+    #[test]
+    fn same_seed_clients_draw_identical_specs() {
+        let gen = TxnGenerator::new(TxnProfile::table1(0.5), 25);
+        let mut t1 = TxnTable::new();
+        let mut t2 = TxnTable::new();
+        let mut a = ClientCore::new(ClientId::new(0), 9);
+        let mut b = ClientCore::new(ClientId::new(0), 9);
+        a.begin_txn(&gen, &mut t1, SimTime::ZERO);
+        b.begin_txn(&gen, &mut t2, SimTime::ZERO);
+        assert_eq!(a.txn().spec, b.txn().spec);
+    }
+}

@@ -1,0 +1,623 @@
+//! The server-based strict two-phase locking (s-2PL) baseline of §3.1.
+//!
+//! Protocol summary (per transaction, best case): one lock-request round,
+//! one grant round shipping the data, and one commit round returning every
+//! dirty item and releasing all locks — the "three rounds" the paper
+//! counts, or `2n + 1` rounds for `n` sequentially requested items.
+//! Deadlocks are detected with a wait-for graph, rebuilt from the lock
+//! table whenever a request cannot be granted (§4), and resolved by
+//! aborting a victim chosen by the configured policy.
+
+use crate::config::EngineConfig;
+use crate::history::{AccessRecord, CommitRecord, History};
+use crate::metrics::{Collector, RunMetrics, WalReport};
+use crate::runtime::{
+    ClientCore, ClientPhase, Ev, Message, Net, ServerCpu, TimerKind, TxnStatus, TxnTable,
+};
+use crate::tracelog::{TraceKind, TraceLog};
+use g2pl_lockmgr::{AcquireOutcome, LockMode, LockTable};
+use g2pl_simcore::{Calendar, ClientId, ItemId, SimTime, SiteId, TxnId, Version};
+use g2pl_wal::{LogRecord, SiteLog};
+use g2pl_workload::{AccessMode, TxnGenerator};
+
+/// Control-message payload size in bytes (requests, notices).
+pub(crate) const CTRL_BYTES: u64 = 64;
+
+/// Hard cap on processed events — a deterministic simulation exceeding
+/// this has livelocked, and panicking beats spinning forever.
+pub(crate) const EVENT_BUDGET: u64 = 2_000_000_000;
+
+pub(crate) fn lock_mode(mode: AccessMode) -> LockMode {
+    match mode {
+        AccessMode::Read => LockMode::Shared,
+        AccessMode::Write => LockMode::Exclusive,
+    }
+}
+
+/// Lazy DFS over the lock table's waits-for relation, returning a cycle
+/// reachable from `start` if one exists. Successors of a transaction are
+/// the holders and queued-ahead conflictors of the item it is queued on.
+pub(crate) fn find_cycle_in_locks(locks: &LockTable, start: TxnId) -> Option<Vec<TxnId>> {
+    find_cycle_with(start, |t| {
+        locks
+            .queued_on(t)
+            .map(|item| locks.waits_for(t, item))
+            .unwrap_or_default()
+    })
+}
+
+/// Generic lazy cycle search over an implicit successor relation.
+pub(crate) fn find_cycle_with(
+    start: TxnId,
+    mut succ: impl FnMut(TxnId) -> Vec<TxnId>,
+) -> Option<Vec<TxnId>> {
+    use std::collections::HashMap;
+    let mut succs: HashMap<TxnId, Vec<TxnId>> = HashMap::new();
+    let mut state: HashMap<TxnId, bool> = HashMap::new(); // false = on path
+    let mut path: Vec<TxnId> = vec![start];
+    let mut stack: Vec<(TxnId, usize)> = vec![(start, 0)];
+    state.insert(start, false);
+    while let Some(&mut (node, ref mut child)) = stack.last_mut() {
+        let node_succs = succs.entry(node).or_insert_with(|| succ(node));
+        if *child < node_succs.len() {
+            let next = node_succs[*child];
+            *child += 1;
+            match state.get(&next) {
+                Some(false) => {
+                    let pos = path
+                        .iter()
+                        .position(|&t| t == next)
+                        .expect("on-path node is on path");
+                    return Some(path[pos..].to_vec());
+                }
+                Some(true) => {}
+                None => {
+                    state.insert(next, false);
+                    path.push(next);
+                    stack.push((next, 0));
+                }
+            }
+        } else {
+            state.insert(node, true);
+            stack.pop();
+            path.pop();
+        }
+    }
+    None
+}
+
+/// The s-2PL simulation engine.
+pub struct S2plEngine {
+    cfg: EngineConfig,
+    cal: Calendar<Ev>,
+    net: Net,
+    server_cpu: ServerCpu,
+    clients: Vec<ClientCore>,
+    table: TxnTable,
+    locks: LockTable,
+    versions: Vec<Version>,
+    generator: TxnGenerator,
+    collector: Collector,
+    history: Option<History>,
+    trace: TraceLog,
+    wal: Option<Vec<SiteLog>>,
+    admitting: bool,
+}
+
+impl S2plEngine {
+    /// Build an engine for `cfg`.
+    pub fn new(cfg: EngineConfig) -> Self {
+        let generator = TxnGenerator::new(cfg.profile.clone(), cfg.num_items);
+        let replay = cfg.replay.clone().map(std::rc::Rc::new);
+        let clients = (0..cfg.num_clients)
+            .map(|i| match &replay {
+                Some(t) => ClientCore::with_replay(ClientId::new(i), cfg.seed, std::rc::Rc::clone(t)),
+                None => ClientCore::new(ClientId::new(i), cfg.seed),
+            })
+            .collect();
+        S2plEngine {
+            net: Net::new(cfg.latency.build(), cfg.seed),
+            server_cpu: ServerCpu::new(cfg.server_cpu_per_op),
+            cal: Calendar::new(),
+            clients,
+            table: TxnTable::new(),
+            locks: LockTable::new(),
+            versions: vec![0; cfg.num_items as usize],
+            generator,
+            collector: Collector::with_histogram(
+                cfg.warmup_txns,
+                cfg.measured_txns,
+                cfg.latency.nominal().max(2) / 2,
+            ),
+            history: cfg.record_history.then(History::new),
+            trace: TraceLog::new(cfg.trace_events),
+            wal: cfg.enable_wal.then(|| {
+                (0..cfg.num_clients)
+                    .map(|_| SiteLog::new(cfg.item_size_bytes))
+                    .collect()
+            }),
+            admitting: true,
+            cfg,
+        }
+    }
+
+    /// Run to completion and report metrics.
+    pub fn run(mut self) -> RunMetrics {
+        // Stagger client start-up by one idle draw each, as the model's
+        // "replaced after some idle time" rule implies for the very first
+        // transaction too.
+        for i in 0..self.cfg.num_clients {
+            let c = &mut self.clients[i as usize];
+            let idle = self.cfg.profile.draw_idle(&mut c.time_rng);
+            self.cal.schedule(idle, Ev::Timer {
+                client: ClientId::new(i),
+                kind: TimerKind::IdleDone,
+            });
+        }
+
+        let mut events: u64 = 0;
+        while let Some((now, ev)) = self.cal.pop() {
+            events += 1;
+            assert!(events < EVENT_BUDGET, "event budget exhausted: livelock?");
+            match ev {
+                Ev::Timer { client, kind } => self.on_timer(now, client, kind),
+                Ev::WindowTimer { .. } => unreachable!("window timers are g-2PL only"),
+                Ev::ServerProc { msg } => self.on_server_msg(now, msg),
+                Ev::Deliver { to, msg } => match to {
+                    SiteId::Server => {
+                        let d = self.server_cpu.service(now);
+                        if d == g2pl_simcore::SimTime::ZERO {
+                            self.on_server_msg(now, msg);
+                        } else {
+                            self.cal.schedule_in(d, Ev::ServerProc { msg });
+                        }
+                    }
+                    SiteId::Client(c) => self.on_client_msg(now, c, msg),
+                },
+            }
+            if self.collector.done() {
+                if !self.cfg.drain {
+                    break;
+                }
+                self.admitting = false;
+            }
+        }
+
+        if self.cfg.drain {
+            assert!(self.locks.is_quiescent(), "locks leaked after drain");
+            if let Some(wal) = &self.wal {
+                assert!(
+                    wal.iter().all(SiteLog::is_empty),
+                    "WAL records survived a drain: every version is home"
+                );
+            }
+        }
+
+        RunMetrics {
+            protocol: "s-2PL",
+            response: self.collector.response,
+            aborts: self.collector.aborts,
+            read_only_aborts: self.collector.read_only_aborts,
+            committed_total: self.collector.committed_total,
+            aborted_total: self.collector.aborted_total,
+            net: self.net.acct,
+            end_time: self.cal.now(),
+            history: self.history,
+            trace: if self.trace.enabled() {
+                Some(self.trace.into_events())
+            } else {
+                None
+            },
+            max_fl_len: 0,
+            window_closes: 0,
+            access_wait: self.collector.access_wait,
+            abort_waste: self.collector.abort_waste,
+            abort_depth: self.collector.abort_depth,
+            response_by_size: self.collector.response_by_size,
+            response_hist: self.collector.response_hist,
+            wal: self.wal.map(|sites| {
+                let mut r = WalReport::default();
+                for site in &sites {
+                    r.absorb(site.metrics(), site.live_records());
+                }
+                r
+            }),
+        }
+    }
+
+    // ---- client side ----
+
+    fn on_timer(&mut self, now: SimTime, client: ClientId, kind: TimerKind) {
+        match kind {
+            TimerKind::IdleDone => {
+                if !self.admitting {
+                    return;
+                }
+                let c = &mut self.clients[client.index()];
+                let txn = c.begin_txn(&self.generator, &mut self.table, now);
+                if let Some(wal) = &mut self.wal {
+                    wal[client.index()].append(LogRecord::Begin { txn });
+                }
+                let (item, mode) = c.txn().spec.access(0);
+                self.send_request(now, client, txn, item, mode);
+            }
+            TimerKind::ThinkDone(txn) => {
+                let c = &self.clients[client.index()];
+                let Some(active) = &c.txn else { return };
+                if active.id != txn || active.phase != ClientPhase::Thinking {
+                    return; // stale timer of an aborted transaction
+                }
+                let granted = active.granted;
+                if granted < active.spec.len() {
+                    let (item, mode) = active.spec.access(granted);
+                    {
+                        let t = self.clients[client.index()].txn_mut();
+                        t.phase = ClientPhase::WaitingGrant(granted);
+                        t.request_sent_at = now;
+                    }
+                    self.send_request(now, client, txn, item, mode);
+                } else {
+                    self.commit(now, client, txn);
+                }
+            }
+        }
+    }
+
+    fn send_request(
+        &mut self,
+        now: SimTime,
+        client: ClientId,
+        txn: TxnId,
+        item: ItemId,
+        mode: AccessMode,
+    ) {
+        self.trace
+            .record(now, TraceKind::RequestSent, Some(txn), Some(item), client.into());
+        self.net.send(
+            &mut self.cal,
+            client.into(),
+            SiteId::Server,
+            "s2pl.lock_request",
+            CTRL_BYTES,
+            Message::SLockReq {
+                txn,
+                client,
+                item,
+                mode: lock_mode(mode),
+            },
+        );
+    }
+
+    fn commit(&mut self, now: SimTime, client: ClientId, txn: TxnId) {
+        let c = &mut self.clients[client.index()];
+        let active = c.txn.take().expect("committing client has a transaction");
+        debug_assert_eq!(active.id, txn);
+        self.table.set_status(txn, TxnStatus::Committed);
+        self.collector
+            .on_commit_sized(now.since(active.start), active.spec.len());
+        self.trace
+            .record(now, TraceKind::Committed, Some(txn), None, client.into());
+
+        let mut writes = Vec::new();
+        let mut reads = Vec::new();
+        let mut records = Vec::new();
+        for (idx, &(item, mode)) in active.spec.accesses.iter().enumerate() {
+            let observed = active.versions[idx];
+            match mode {
+                AccessMode::Write => {
+                    writes.push((item, observed + 1));
+                    records.push(AccessRecord {
+                        item,
+                        mode,
+                        version: observed + 1,
+                    });
+                }
+                AccessMode::Read => {
+                    reads.push(item);
+                    records.push(AccessRecord {
+                        item,
+                        mode,
+                        version: observed,
+                    });
+                }
+            }
+        }
+        if let Some(h) = &mut self.history {
+            h.push(CommitRecord {
+                txn,
+                at: now,
+                accesses: records,
+            });
+        }
+
+        if let Some(wal) = &mut self.wal {
+            let log = &mut wal[client.index()];
+            for &(item, new) in &writes {
+                log.append(LogRecord::Update {
+                    txn,
+                    item,
+                    old: new - 1,
+                    new,
+                });
+            }
+            log.append(LogRecord::Commit { txn });
+        }
+
+        // One message carries every dirty item plus the release (§3.1).
+        let bytes = CTRL_BYTES + writes.len() as u64 * self.cfg.item_size_bytes;
+        self.net.send(
+            &mut self.cal,
+            client.into(),
+            SiteId::Server,
+            "s2pl.commit_release",
+            bytes,
+            Message::SCommit { txn, writes, reads },
+        );
+
+        let idle = self.cfg.profile.draw_idle(&mut c.time_rng);
+        self.cal.schedule_in(idle, Ev::Timer {
+            client,
+            kind: TimerKind::IdleDone,
+        });
+    }
+
+    fn on_client_msg(&mut self, now: SimTime, client: ClientId, msg: Message) {
+        match msg {
+            Message::SGrant { txn, item, version } => {
+                let c = &mut self.clients[client.index()];
+                let Some(active) = &mut c.txn else {
+                    debug_assert!(false, "grant for idle client");
+                    return;
+                };
+                if active.id != txn {
+                    debug_assert!(false, "grant for stale transaction");
+                    return;
+                }
+                debug_assert!(matches!(active.phase, ClientPhase::WaitingGrant(_)));
+                debug_assert_eq!(active.spec.access(active.granted).0, item);
+                active.versions.push(version);
+                active.granted += 1;
+                active.phase = ClientPhase::Thinking;
+                let wait = now.since(active.request_sent_at);
+                self.collector.on_access_wait(wait);
+                let think = self.cfg.profile.draw_think(&mut c.time_rng);
+                self.trace
+                    .record(now, TraceKind::Granted, Some(txn), Some(item), client.into());
+                self.cal.schedule_in(think, Ev::Timer {
+                    client,
+                    kind: TimerKind::ThinkDone(txn),
+                });
+            }
+            Message::SAbortNotice { txn } => {
+                let c = &mut self.clients[client.index()];
+                let Some(active) = &c.txn else { return };
+                if active.id != txn {
+                    return;
+                }
+                let read_only = active.spec.is_read_only();
+                let waste = now.since(active.start);
+                let depth = active.granted;
+                c.txn = None;
+                self.table.set_status(txn, TxnStatus::Aborted);
+                self.collector.on_abort_diag(read_only, waste, depth);
+                if let Some(wal) = &mut self.wal {
+                    wal[client.index()].append(LogRecord::Abort { txn });
+                }
+                self.trace
+                    .record(now, TraceKind::Aborted, Some(txn), None, client.into());
+                let idle = self.cfg.profile.draw_idle(&mut self.clients[client.index()].time_rng);
+                self.cal.schedule_in(idle, Ev::Timer {
+                    client,
+                    kind: TimerKind::IdleDone,
+                });
+            }
+            other => unreachable!("s-2PL client cannot receive {other:?}"),
+        }
+    }
+
+    // ---- server side ----
+
+    fn on_server_msg(&mut self, now: SimTime, msg: Message) {
+        match msg {
+            Message::SLockReq {
+                txn,
+                client,
+                item,
+                mode,
+            } => {
+                if self.table.status(txn) != TxnStatus::Active {
+                    return; // stale request of an aborted transaction
+                }
+                match self.locks.acquire(txn, item, mode) {
+                    AcquireOutcome::Granted => self.send_grant(now, client, txn, item),
+                    AcquireOutcome::Queued => self.detect_deadlocks(now, txn),
+                }
+            }
+            Message::SCommit { txn, writes, .. } => {
+                let committer = self.table.info(txn).client;
+                for (item, version) in writes {
+                    debug_assert_eq!(
+                        version,
+                        self.versions[item.index()] + 1,
+                        "write version chain broken for {item}"
+                    );
+                    self.versions[item.index()] = version;
+                    if let Some(wal) = &mut self.wal {
+                        wal[committer.index()].mark_permanent(txn, item);
+                    }
+                }
+                self.trace
+                    .record(now, TraceKind::ReleasedAtServer, Some(txn), None, SiteId::Server);
+                let woken = self.locks.release_all(txn);
+                for (item, t, _) in woken {
+                    let c = self.table.info(t).client;
+                    self.send_grant(now, c, t, item);
+                }
+            }
+            other => unreachable!("s-2PL server cannot receive {other:?}"),
+        }
+    }
+
+    fn send_grant(&mut self, now: SimTime, client: ClientId, txn: TxnId, item: ItemId) {
+        self.trace
+            .record(now, TraceKind::Dispatched, Some(txn), Some(item), client.into());
+        self.net.send(
+            &mut self.cal,
+            SiteId::Server,
+            client.into(),
+            "s2pl.grant",
+            CTRL_BYTES + self.cfg.item_size_bytes,
+            Message::SGrant {
+                txn,
+                item,
+                version: self.versions[item.index()],
+            },
+        );
+    }
+
+    /// §4: "deadlock detection is initiated when a lock cannot be
+    /// granted." The waits-for relation is explored lazily from the
+    /// blocked transaction — successors are computed on demand from the
+    /// lock table, so only the reachable part of the graph is visited —
+    /// and victims are aborted until no cycle through `trigger` remains.
+    fn detect_deadlocks(&mut self, now: SimTime, trigger: TxnId) {
+        loop {
+            let Some(cycle) = find_cycle_in_locks(&self.locks, trigger) else {
+                return;
+            };
+            let victim = self
+                .cfg
+                .victim
+                .choose(&cycle, |t| self.locks.held_by(t).len());
+            self.abort_victim(now, victim);
+            if victim == trigger {
+                return;
+            }
+        }
+    }
+
+    fn abort_victim(&mut self, now: SimTime, victim: TxnId) {
+        debug_assert_eq!(self.table.status(victim), TxnStatus::Active);
+        self.table.set_status(victim, TxnStatus::Aborting);
+        // The server owns the authoritative copies, so it releases the
+        // victim's locks immediately; the client only learns of the abort
+        // one latency later.
+        let woken = self.locks.release_all(victim);
+        for (item, t, _) in woken {
+            let c = self.table.info(t).client;
+            self.send_grant(now, c, t, item);
+        }
+        let client = self.table.info(victim).client;
+        self.net.send(
+            &mut self.cal,
+            SiteId::Server,
+            client.into(),
+            "s2pl.abort_notice",
+            CTRL_BYTES,
+            Message::SAbortNotice { txn: victim },
+        );
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::ProtocolKind;
+
+    fn cfg(clients: u32, latency: u64, pr: f64) -> EngineConfig {
+        let mut c = EngineConfig::table1(ProtocolKind::S2pl, clients, latency, pr);
+        c.warmup_txns = 50;
+        c.measured_txns = 300;
+        c.drain = true;
+        c
+    }
+
+    #[test]
+    fn single_client_never_aborts() {
+        let mut c = cfg(1, 10, 0.5);
+        c.record_history = true;
+        let m = S2plEngine::new(c).run();
+        assert_eq!(m.aborted_total, 0, "no contention, no deadlock");
+        assert!(m.committed_total >= 350);
+        assert!(m.response.mean() > 0.0);
+    }
+
+    #[test]
+    fn single_item_single_access_response_is_rtt_plus_think() {
+        // One client, one item, exactly one access per txn: response =
+        // 2 * latency (request + grant) + one think time in [1,3].
+        let mut c = cfg(1, 100, 1.0);
+        c.num_items = 1;
+        c.profile.min_items = 1;
+        c.profile.max_items = 1;
+        let m = S2plEngine::new(c).run();
+        assert!(m.response.min().unwrap() >= 201.0);
+        assert!(m.response.max().unwrap() <= 203.0);
+    }
+
+    #[test]
+    fn contended_run_completes_with_aborts_counted() {
+        let m = S2plEngine::new(cfg(10, 50, 0.2)).run();
+        assert_eq!(
+            m.aborts.trials(),
+            300,
+            "measurement window must be exactly full"
+        );
+        assert!(m.committed_total > 0);
+        // With 10 clients on 25 hot items and 80% writes, some deadlocks
+        // must occur.
+        assert!(m.aborted_total > 0, "expected deadlock aborts");
+    }
+
+    #[test]
+    fn read_only_workload_never_deadlocks() {
+        let m = S2plEngine::new(cfg(10, 50, 1.0)).run();
+        assert_eq!(m.aborted_total, 0, "S locks are all-compatible");
+    }
+
+    #[test]
+    fn determinism_same_seed_same_metrics() {
+        let a = S2plEngine::new(cfg(5, 100, 0.5)).run();
+        let b = S2plEngine::new(cfg(5, 100, 0.5)).run();
+        assert_eq!(a.response.mean(), b.response.mean());
+        assert_eq!(a.committed_total, b.committed_total);
+        assert_eq!(a.aborted_total, b.aborted_total);
+        assert_eq!(a.net.messages(), b.net.messages());
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let a = S2plEngine::new(cfg(5, 100, 0.5)).run();
+        let mut c2 = cfg(5, 100, 0.5);
+        c2.seed ^= 0xdead_beef;
+        let b = S2plEngine::new(c2).run();
+        assert_ne!(a.response.mean(), b.response.mean());
+    }
+
+    #[test]
+    fn message_count_matches_formula_without_contention() {
+        // 1 client => zero contention and zero aborts. Each txn with n
+        // items costs n requests + n grants + 1 commit.
+        let mut c = cfg(1, 10, 0.0);
+        c.drain = true;
+        let m = S2plEngine::new(c).run();
+        let n_req = m.net.of_kind("s2pl.lock_request");
+        let n_grant = m.net.of_kind("s2pl.grant");
+        let n_commit = m.net.of_kind("s2pl.commit_release");
+        assert_eq!(n_req, n_grant);
+        assert_eq!(n_commit, m.committed_total);
+        assert_eq!(m.net.messages(), n_req + n_grant + n_commit);
+    }
+
+    #[test]
+    fn latency_dominates_response_time() {
+        let low = S2plEngine::new(cfg(5, 1, 0.5)).run();
+        let high = S2plEngine::new(cfg(5, 500, 0.5)).run();
+        assert!(
+            high.response.mean() > 50.0 * low.response.mean().max(1.0),
+            "500-unit latency should dwarf 1-unit latency: {} vs {}",
+            high.response.mean(),
+            low.response.mean()
+        );
+    }
+}

@@ -1,0 +1,154 @@
+//! Fine-grained event traces (for Fig 1-style timelines).
+
+use g2pl_simcore::{ItemId, SimTime, SiteId, TxnId};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// What happened.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub enum TraceKind {
+    /// A lock/data request left a client.
+    RequestSent,
+    /// The server granted/dispatched data toward a site.
+    Dispatched,
+    /// Data (a grant) arrived at a client for a transaction.
+    DataArrived,
+    /// A transaction was granted access (all gates satisfied).
+    Granted,
+    /// A read was served from the local inter-transaction cache with no
+    /// server interaction (c-2PL only).
+    CacheHit,
+    /// A transaction committed at its client.
+    Committed,
+    /// A transaction was aborted.
+    Aborted,
+    /// Data was forwarded client-to-client (g-2PL migration).
+    Forwarded,
+    /// A lock release / item return reached the server.
+    ReleasedAtServer,
+}
+
+/// One trace event.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TraceEvent {
+    /// When it happened.
+    pub at: SimTime,
+    /// What happened.
+    pub kind: TraceKind,
+    /// The transaction involved (if any).
+    pub txn: Option<TxnId>,
+    /// The item involved (if any).
+    pub item: Option<ItemId>,
+    /// The site where (or toward which) it happened.
+    pub site: SiteId,
+}
+
+impl fmt::Display for TraceEvent {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "t={:>5}  {:<18}", self.at.units(), format!("{:?}", self.kind))?;
+        if let Some(t) = self.txn {
+            write!(f, " {t}")?;
+        }
+        if let Some(i) = self.item {
+            write!(f, " {i}")?;
+        }
+        write!(f, " @{}", self.site)
+    }
+}
+
+/// An optional, bounded event log.
+#[derive(Clone, Debug, Default, Serialize, Deserialize)]
+pub struct TraceLog {
+    enabled: bool,
+    events: Vec<TraceEvent>,
+}
+
+/// Safety cap so an accidentally enabled trace cannot eat the heap.
+const MAX_EVENTS: usize = 1_000_000;
+
+impl TraceLog {
+    /// A log that records iff `enabled`.
+    pub fn new(enabled: bool) -> Self {
+        TraceLog {
+            enabled,
+            events: Vec::new(),
+        }
+    }
+
+    /// Record an event (no-op when disabled or full).
+    pub fn record(
+        &mut self,
+        at: SimTime,
+        kind: TraceKind,
+        txn: Option<TxnId>,
+        item: Option<ItemId>,
+        site: SiteId,
+    ) {
+        if self.enabled && self.events.len() < MAX_EVENTS {
+            self.events.push(TraceEvent {
+                at,
+                kind,
+                txn,
+                item,
+                site,
+            });
+        }
+    }
+
+    /// The recorded events in time order.
+    pub fn events(&self) -> &[TraceEvent] {
+        &self.events
+    }
+
+    /// Take the events out of the log.
+    pub fn into_events(self) -> Vec<TraceEvent> {
+        self.events
+    }
+
+    /// Whether recording is on.
+    pub fn enabled(&self) -> bool {
+        self.enabled
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disabled_log_records_nothing() {
+        let mut log = TraceLog::new(false);
+        log.record(SimTime::new(1), TraceKind::Committed, None, None, SiteId::Server);
+        assert!(log.events().is_empty());
+    }
+
+    #[test]
+    fn enabled_log_records_in_order() {
+        let mut log = TraceLog::new(true);
+        log.record(
+            SimTime::new(1),
+            TraceKind::RequestSent,
+            Some(TxnId::new(0)),
+            Some(ItemId::new(3)),
+            SiteId::Server,
+        );
+        log.record(SimTime::new(2), TraceKind::Committed, Some(TxnId::new(0)), None, SiteId::Server);
+        assert_eq!(log.events().len(), 2);
+        assert_eq!(log.events()[0].kind, TraceKind::RequestSent);
+    }
+
+    #[test]
+    fn display_is_readable() {
+        let e = TraceEvent {
+            at: SimTime::new(12),
+            kind: TraceKind::Forwarded,
+            txn: Some(TxnId::new(2)),
+            item: Some(ItemId::new(0)),
+            site: SiteId::Server,
+        };
+        let s = format!("{e}");
+        assert!(s.contains("Forwarded"));
+        assert!(s.contains("T2"));
+        assert!(s.contains("x0"));
+    }
+}

@@ -1,0 +1,253 @@
+//! The event calendar: a deterministic future-event list.
+//!
+//! A [`Calendar`] is a priority queue of `(time, seq, event)` triples. The
+//! `seq` component is a monotonically increasing insertion counter that
+//! breaks timestamp ties, so two events scheduled for the same instant pop
+//! in the order they were scheduled. This makes whole simulation runs
+//! reproducible bit-for-bit from a seed — a property every determinism
+//! test in the workspace relies on.
+//!
+//! Events can be cancelled lazily through an [`EventHandle`]: cancellation
+//! marks a slot in a side table and the pop loop skips dead entries.
+
+use crate::time::SimTime;
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+/// Opaque handle to a scheduled event, used to cancel it.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Hash)]
+pub struct EventHandle(u64);
+
+#[derive(PartialEq, Eq)]
+struct Entry<E> {
+    time: SimTime,
+    seq: u64,
+    event: E,
+}
+
+// BinaryHeap is a max-heap; order entries so the *earliest* (time, seq)
+// compares greatest via Reverse at the call sites. We implement Ord
+// directly on (time, seq) and wrap in Reverse when pushing.
+impl<E: Eq> Ord for Entry<E> {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        (self.time, self.seq).cmp(&(other.time, other.seq))
+    }
+}
+
+impl<E: Eq> PartialOrd for Entry<E> {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+/// Deterministic future-event list.
+///
+/// `E` is the simulation's event type; the calendar never interprets it.
+///
+/// # Example
+/// ```
+/// use g2pl_simcore::{Calendar, SimTime};
+///
+/// let mut cal: Calendar<&str> = Calendar::new();
+/// cal.schedule(SimTime::new(5), "b");
+/// cal.schedule(SimTime::new(3), "a");
+/// cal.schedule(SimTime::new(5), "c"); // same instant as "b": FIFO
+///
+/// assert_eq!(cal.pop(), Some((SimTime::new(3), "a")));
+/// assert_eq!(cal.pop(), Some((SimTime::new(5), "b")));
+/// assert_eq!(cal.pop(), Some((SimTime::new(5), "c")));
+/// assert_eq!(cal.pop(), None);
+/// ```
+pub struct Calendar<E> {
+    heap: BinaryHeap<Reverse<Entry<E>>>,
+    next_seq: u64,
+    /// Sorted list of cancelled sequence numbers awaiting their pop.
+    cancelled: Vec<u64>,
+    /// Time of the most recently popped event; pops must never go backwards.
+    now: SimTime,
+}
+
+impl<E: Eq> Default for Calendar<E> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<E: Eq> Calendar<E> {
+    /// An empty calendar at time zero.
+    pub fn new() -> Self {
+        Calendar {
+            heap: BinaryHeap::new(),
+            next_seq: 0,
+            cancelled: Vec::new(),
+            now: SimTime::ZERO,
+        }
+    }
+
+    /// Current simulation time: the timestamp of the last popped event.
+    #[inline]
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// Number of live (non-cancelled) scheduled events.
+    pub fn len(&self) -> usize {
+        self.heap.len() - self.cancelled.len()
+    }
+
+    /// True when no live events remain.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Schedule `event` at absolute time `at`.
+    ///
+    /// # Panics
+    /// Panics if `at` is in the past (`at < now()`): a simulator that
+    /// schedules into the past has corrupted causality.
+    pub fn schedule(&mut self, at: SimTime, event: E) -> EventHandle {
+        assert!(
+            at >= self.now,
+            "scheduling into the past: at={at:?} now={:?}",
+            self.now
+        );
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.heap.push(Reverse(Entry {
+            time: at,
+            seq,
+            event,
+        }));
+        EventHandle(seq)
+    }
+
+    /// Schedule `event` a relative delay `delay` after the current time.
+    pub fn schedule_in(&mut self, delay: SimTime, event: E) -> EventHandle {
+        self.schedule(self.now.after(delay), event)
+    }
+
+    /// Cancel a previously scheduled event. Cancelling an event that has
+    /// already fired (or was already cancelled) is a silent no-op, which is
+    /// the convenient semantics for timers raced by message arrivals.
+    pub fn cancel(&mut self, handle: EventHandle) {
+        if let Err(pos) = self.cancelled.binary_search(&handle.0) {
+            // Only remember the cancellation if the event could still be
+            // pending: sequence numbers from the future are impossible.
+            if handle.0 < self.next_seq {
+                self.cancelled.insert(pos, handle.0);
+            }
+        }
+    }
+
+    /// Pop the next live event, advancing the clock to its timestamp.
+    pub fn pop(&mut self) -> Option<(SimTime, E)> {
+        while let Some(Reverse(entry)) = self.heap.pop() {
+            if let Ok(pos) = self.cancelled.binary_search(&entry.seq) {
+                self.cancelled.remove(pos);
+                continue;
+            }
+            debug_assert!(entry.time >= self.now, "calendar time went backwards");
+            self.now = entry.time;
+            return Some((entry.time, entry.event));
+        }
+        None
+    }
+
+    /// Peek at the timestamp of the next live event without popping it.
+    pub fn next_time(&mut self) -> Option<SimTime> {
+        // Drain dead entries from the top so the peek is accurate.
+        while let Some(Reverse(entry)) = self.heap.peek() {
+            if let Ok(pos) = self.cancelled.binary_search(&entry.seq) {
+                self.cancelled.remove(pos);
+                self.heap.pop();
+            } else {
+                return Some(entry.time);
+            }
+        }
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pops_in_time_then_fifo_order() {
+        let mut cal = Calendar::new();
+        cal.schedule(SimTime::new(10), 1u32);
+        cal.schedule(SimTime::new(5), 2);
+        cal.schedule(SimTime::new(10), 3);
+        cal.schedule(SimTime::new(5), 4);
+        let order: Vec<u32> = std::iter::from_fn(|| cal.pop().map(|(_, e)| e)).collect();
+        assert_eq!(order, vec![2, 4, 1, 3]);
+    }
+
+    #[test]
+    fn clock_advances_with_pops() {
+        let mut cal = Calendar::new();
+        cal.schedule(SimTime::new(7), ());
+        assert_eq!(cal.now(), SimTime::ZERO);
+        cal.pop();
+        assert_eq!(cal.now(), SimTime::new(7));
+    }
+
+    #[test]
+    #[should_panic(expected = "scheduling into the past")]
+    fn scheduling_into_past_panics() {
+        let mut cal = Calendar::new();
+        cal.schedule(SimTime::new(5), ());
+        cal.pop();
+        cal.schedule(SimTime::new(3), ());
+    }
+
+    #[test]
+    fn cancel_skips_event() {
+        let mut cal = Calendar::new();
+        let h = cal.schedule(SimTime::new(1), "a");
+        cal.schedule(SimTime::new(2), "b");
+        cal.cancel(h);
+        assert_eq!(cal.len(), 1);
+        assert_eq!(cal.pop(), Some((SimTime::new(2), "b")));
+        assert!(cal.pop().is_none());
+    }
+
+    #[test]
+    fn cancel_after_fire_is_noop() {
+        let mut cal = Calendar::new();
+        let h = cal.schedule(SimTime::new(1), "a");
+        assert_eq!(cal.pop(), Some((SimTime::new(1), "a")));
+        cal.cancel(h); // already fired
+        cal.schedule(SimTime::new(2), "b");
+        assert_eq!(cal.pop(), Some((SimTime::new(2), "b")));
+    }
+
+    #[test]
+    fn double_cancel_is_noop() {
+        let mut cal = Calendar::new();
+        let h = cal.schedule(SimTime::new(1), "a");
+        cal.cancel(h);
+        cal.cancel(h);
+        assert!(cal.is_empty());
+        assert!(cal.pop().is_none());
+    }
+
+    #[test]
+    fn next_time_peeks_past_cancellations() {
+        let mut cal = Calendar::new();
+        let h = cal.schedule(SimTime::new(1), "a");
+        cal.schedule(SimTime::new(9), "b");
+        cal.cancel(h);
+        assert_eq!(cal.next_time(), Some(SimTime::new(9)));
+        assert_eq!(cal.pop(), Some((SimTime::new(9), "b")));
+    }
+
+    #[test]
+    fn schedule_in_is_relative_to_now() {
+        let mut cal = Calendar::new();
+        cal.schedule(SimTime::new(4), 0u8);
+        cal.pop();
+        cal.schedule_in(SimTime::new(3), 1u8);
+        assert_eq!(cal.pop(), Some((SimTime::new(7), 1u8)));
+    }
+}

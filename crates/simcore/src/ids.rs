@@ -1,0 +1,156 @@
+//! Entity identifiers shared across the workspace.
+//!
+//! All simulator entities are identified by small dense integers wrapped in
+//! newtypes, so a `TxnId` can never be confused with an `ItemId` and the
+//! per-entity state can live in plain `Vec`s indexed by the id.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+macro_rules! dense_id {
+    ($(#[$meta:meta])* $name:ident, $prefix:literal) => {
+        $(#[$meta])*
+        #[derive(
+            Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
+        )]
+        pub struct $name(pub u32);
+
+        impl $name {
+            /// Construct from a raw index.
+            #[inline]
+            pub const fn new(raw: u32) -> Self {
+                $name(raw)
+            }
+
+            /// Raw index, for use as a `Vec` subscript.
+            #[inline]
+            pub const fn index(self) -> usize {
+                self.0 as usize
+            }
+        }
+
+        impl fmt::Debug for $name {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                write!(f, concat!($prefix, "{}"), self.0)
+            }
+        }
+
+        impl fmt::Display for $name {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                write!(f, concat!($prefix, "{}"), self.0)
+            }
+        }
+
+        impl From<u32> for $name {
+            fn from(v: u32) -> Self {
+                $name(v)
+            }
+        }
+    };
+}
+
+dense_id!(
+    /// A client site. Clients are numbered `0..num_clients`.
+    ClientId,
+    "C"
+);
+
+dense_id!(
+    /// A data item in the server's (hot) database. The paper keeps the pool
+    /// deliberately small (M = 25) to emulate hot-data contention.
+    ItemId,
+    "x"
+);
+
+dense_id!(
+    /// A transaction instance. Ids are globally unique within one run and
+    /// monotonically increasing in creation order, so comparing two
+    /// `TxnId`s compares transaction ages (used by the "youngest victim"
+    /// abort policy).
+    TxnId,
+    "T"
+);
+
+/// A committed version number of a data item. The server's initial copy of
+/// every item is version 0; each committed writer increments it.
+pub type Version = u64;
+
+/// A network endpoint: the (single) data server or one of the clients.
+///
+/// The paper's model is a shared-nothing system with exactly one server
+/// (Table 1: "Number of Servers: 1"), so the server needs no id.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub enum SiteId {
+    /// The data server that owns the authoritative copy of every item.
+    Server,
+    /// A client workstation running transactions.
+    Client(ClientId),
+}
+
+impl SiteId {
+    /// True if this is the server endpoint.
+    #[inline]
+    pub fn is_server(self) -> bool {
+        matches!(self, SiteId::Server)
+    }
+
+    /// The client id, if this is a client endpoint.
+    #[inline]
+    pub fn client(self) -> Option<ClientId> {
+        match self {
+            SiteId::Server => None,
+            SiteId::Client(c) => Some(c),
+        }
+    }
+}
+
+impl fmt::Debug for SiteId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SiteId::Server => write!(f, "S"),
+            SiteId::Client(c) => write!(f, "{c:?}"),
+        }
+    }
+}
+
+impl fmt::Display for SiteId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Debug::fmt(self, f)
+    }
+}
+
+impl From<ClientId> for SiteId {
+    fn from(c: ClientId) -> Self {
+        SiteId::Client(c)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ids_are_distinct_types_with_dense_indices() {
+        let t = TxnId::new(7);
+        assert_eq!(t.index(), 7);
+        assert_eq!(format!("{t}"), "T7");
+        let i = ItemId::from(3);
+        assert_eq!(format!("{i:?}"), "x3");
+    }
+
+    #[test]
+    fn txn_id_order_is_age_order() {
+        // Lower id == created earlier == older.
+        assert!(TxnId::new(1) < TxnId::new(2));
+    }
+
+    #[test]
+    fn site_id_accessors() {
+        assert!(SiteId::Server.is_server());
+        assert_eq!(SiteId::Server.client(), None);
+        let s: SiteId = ClientId::new(4).into();
+        assert_eq!(s.client(), Some(ClientId::new(4)));
+        assert_eq!(format!("{s}"), "C4");
+        assert_eq!(format!("{}", SiteId::Server), "S");
+    }
+}

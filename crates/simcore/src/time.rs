@@ -1,0 +1,143 @@
+//! Simulation time.
+//!
+//! The paper expresses every duration in abstract "simulation time units"
+//! (Table 1) and notes that a conversion factor maps them to wall-clock
+//! time (e.g. 1 unit = 0.5 ms makes the Table 2 latencies 0.5–375 ms).
+//! We keep time as a `u64` wrapped in a newtype so that durations and
+//! instants cannot be confused with other counters.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use std::ops::{Add, AddAssign, Sub};
+
+/// An instant (or duration) in simulation time units.
+///
+/// Arithmetic is saturating-free: overflow panics in debug builds, which is
+/// the behaviour we want for a simulator (an overflowing clock is a bug,
+/// not a value).
+#[derive(
+    Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
+pub struct SimTime(pub u64);
+
+impl SimTime {
+    /// Time zero, the start of every simulation run.
+    pub const ZERO: SimTime = SimTime(0);
+
+    /// The largest representable time; used as an "infinite" sentinel.
+    pub const MAX: SimTime = SimTime(u64::MAX);
+
+    /// Construct from raw units.
+    #[inline]
+    pub const fn new(units: u64) -> Self {
+        SimTime(units)
+    }
+
+    /// Raw unit count.
+    #[inline]
+    pub const fn units(self) -> u64 {
+        self.0
+    }
+
+    /// `self + d`, as an explicit method for call-site clarity.
+    #[inline]
+    pub fn after(self, d: SimTime) -> SimTime {
+        SimTime(self.0 + d.0)
+    }
+
+    /// Duration from `earlier` to `self`.
+    ///
+    /// # Panics
+    /// Panics if `earlier > self` (a negative duration is always a bug).
+    #[inline]
+    pub fn since(self, earlier: SimTime) -> SimTime {
+        assert!(
+            earlier.0 <= self.0,
+            "negative duration: {} since {}",
+            self.0,
+            earlier.0
+        );
+        SimTime(self.0 - earlier.0)
+    }
+
+    /// Convert to `f64` units (for statistics).
+    #[inline]
+    pub fn as_f64(self) -> f64 {
+        self.0 as f64
+    }
+}
+
+impl Add for SimTime {
+    type Output = SimTime;
+    #[inline]
+    fn add(self, rhs: SimTime) -> SimTime {
+        SimTime(self.0 + rhs.0)
+    }
+}
+
+impl AddAssign for SimTime {
+    #[inline]
+    fn add_assign(&mut self, rhs: SimTime) {
+        self.0 += rhs.0;
+    }
+}
+
+impl Sub for SimTime {
+    type Output = SimTime;
+    #[inline]
+    fn sub(self, rhs: SimTime) -> SimTime {
+        self.since(rhs)
+    }
+}
+
+impl From<u64> for SimTime {
+    fn from(v: u64) -> Self {
+        SimTime(v)
+    }
+}
+
+impl fmt::Debug for SimTime {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "t{}", self.0)
+    }
+}
+
+impl fmt::Display for SimTime {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn arithmetic_roundtrips() {
+        let a = SimTime::new(10);
+        let b = SimTime::new(3);
+        assert_eq!(a + b, SimTime::new(13));
+        assert_eq!((a + b).since(a), b);
+        assert_eq!(a.after(b), a + b);
+        assert_eq!(a - b, SimTime::new(7));
+    }
+
+    #[test]
+    #[should_panic(expected = "negative duration")]
+    fn negative_duration_panics() {
+        let _ = SimTime::new(1).since(SimTime::new(2));
+    }
+
+    #[test]
+    fn ordering_matches_units() {
+        assert!(SimTime::new(1) < SimTime::new(2));
+        assert_eq!(SimTime::ZERO.units(), 0);
+        assert!(SimTime::MAX > SimTime::new(u64::MAX - 1));
+    }
+
+    #[test]
+    fn display_and_debug() {
+        assert_eq!(format!("{}", SimTime::new(42)), "42");
+        assert_eq!(format!("{:?}", SimTime::new(42)), "t42");
+    }
+}

@@ -1,0 +1,105 @@
+//! Property-based tests of the simulation kernel.
+
+use g2pl_simcore::{Calendar, RngStream, SimTime};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// Pops come out sorted by time, FIFO within a timestamp — i.e. the
+    /// calendar is a stable priority queue.
+    #[test]
+    fn calendar_is_a_stable_priority_queue(times in proptest::collection::vec(0u64..1000, 1..300)) {
+        let mut cal = Calendar::new();
+        for (i, &t) in times.iter().enumerate() {
+            cal.schedule(SimTime::new(t), i);
+        }
+        let mut popped = Vec::new();
+        while let Some((t, i)) = cal.pop() {
+            popped.push((t.units(), i));
+        }
+        prop_assert_eq!(popped.len(), times.len());
+        for w in popped.windows(2) {
+            prop_assert!(w[0].0 <= w[1].0, "time order violated");
+            if w[0].0 == w[1].0 {
+                prop_assert!(w[0].1 < w[1].1, "FIFO tie-break violated");
+            }
+        }
+    }
+
+    /// Cancelling an arbitrary subset removes exactly that subset.
+    #[test]
+    fn cancellation_removes_exact_subset(
+        times in proptest::collection::vec(0u64..100, 1..100),
+        kill_mask in proptest::collection::vec(any::<bool>(), 1..100),
+    ) {
+        let mut cal = Calendar::new();
+        let handles: Vec<_> = times
+            .iter()
+            .enumerate()
+            .map(|(i, &t)| (i, cal.schedule(SimTime::new(t), i)))
+            .collect();
+        let mut killed = Vec::new();
+        for (i, h) in &handles {
+            if *kill_mask.get(*i).unwrap_or(&false) {
+                cal.cancel(*h);
+                killed.push(*i);
+            }
+        }
+        let mut survivors = Vec::new();
+        while let Some((_, i)) = cal.pop() {
+            survivors.push(i);
+        }
+        for k in &killed {
+            prop_assert!(!survivors.contains(k), "cancelled event {k} fired");
+        }
+        prop_assert_eq!(survivors.len() + killed.len(), times.len());
+    }
+
+    /// The clock never runs backwards.
+    #[test]
+    fn clock_is_monotone(times in proptest::collection::vec(0u64..1000, 1..200)) {
+        let mut cal = Calendar::new();
+        for &t in &times {
+            cal.schedule(SimTime::new(t), ());
+        }
+        let mut last = SimTime::ZERO;
+        while let Some((t, ())) = cal.pop() {
+            prop_assert!(t >= last);
+            prop_assert_eq!(cal.now(), t);
+            last = t;
+        }
+    }
+
+    /// Derived RNG streams are deterministic and label-separated.
+    #[test]
+    fn rng_streams_deterministic(seed in any::<u64>()) {
+        let mut a = RngStream::derive(seed, "alpha");
+        let mut b = RngStream::derive(seed, "alpha");
+        for _ in 0..16 {
+            prop_assert_eq!(a.uniform_incl(0, u64::MAX / 2), b.uniform_incl(0, u64::MAX / 2));
+        }
+    }
+
+    /// `distinct(k, pool)` always returns k unique in-range values.
+    #[test]
+    fn rng_distinct_property(seed in any::<u64>(), k in 1usize..20, extra in 0usize..30) {
+        let pool = k + extra;
+        let mut rng = RngStream::new(seed);
+        let v = rng.distinct(k, pool);
+        prop_assert_eq!(v.len(), k);
+        let mut s = v.clone();
+        s.sort_unstable();
+        s.dedup();
+        prop_assert_eq!(s.len(), k);
+        prop_assert!(v.iter().all(|&x| (x as usize) < pool));
+    }
+
+    /// SimTime arithmetic round-trips.
+    #[test]
+    fn simtime_roundtrip(a in 0u64..u64::MAX / 2, b in 0u64..u64::MAX / 2) {
+        let (ta, tb) = (SimTime::new(a), SimTime::new(b));
+        prop_assert_eq!((ta + tb).since(ta), tb);
+        prop_assert_eq!(ta.after(tb), tb.after(ta));
+    }
+}

@@ -1,0 +1,188 @@
+//! Batch-means analysis for single long runs.
+//!
+//! The paper computes confidence intervals across 5 independent
+//! replications. The classical alternative for one long run is the
+//! method of batch means: split the (autocorrelated) observation stream
+//! into `b` contiguous batches, treat the batch averages as approximately
+//! independent samples, and build a Student-t interval over them. This
+//! module provides that, plus a lag-1 autocorrelation estimate to judge
+//! whether the chosen batch size has decorrelated the batches.
+
+use crate::replication::ConfidenceInterval;
+use crate::running::RunningStats;
+use crate::tdist::t_975;
+use serde::{Deserialize, Serialize};
+
+/// Streaming batch-means accumulator with a fixed batch size.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct BatchMeans {
+    batch_size: u64,
+    current_sum: f64,
+    current_n: u64,
+    batches: Vec<f64>,
+}
+
+impl BatchMeans {
+    /// Accumulate batches of `batch_size` observations each.
+    ///
+    /// # Panics
+    /// Panics if `batch_size == 0`.
+    pub fn new(batch_size: u64) -> Self {
+        assert!(batch_size > 0, "batch size must be positive");
+        BatchMeans {
+            batch_size,
+            current_sum: 0.0,
+            current_n: 0,
+            batches: Vec::new(),
+        }
+    }
+
+    /// Record one observation.
+    pub fn record(&mut self, x: f64) {
+        self.current_sum += x;
+        self.current_n += 1;
+        if self.current_n == self.batch_size {
+            self.batches.push(self.current_sum / self.batch_size as f64);
+            self.current_sum = 0.0;
+            self.current_n = 0;
+        }
+    }
+
+    /// Completed batch means, in order.
+    pub fn batches(&self) -> &[f64] {
+        &self.batches
+    }
+
+    /// Number of completed batches.
+    pub fn batch_count(&self) -> usize {
+        self.batches.len()
+    }
+
+    /// Grand mean over completed batches (0.0 when none).
+    pub fn mean(&self) -> f64 {
+        if self.batches.is_empty() {
+            0.0
+        } else {
+            self.batches.iter().sum::<f64>() / self.batches.len() as f64
+        }
+    }
+
+    /// 95% Student-t interval over the batch means. With fewer than two
+    /// completed batches the half-width is zero.
+    pub fn interval_95(&self) -> ConfidenceInterval {
+        let mut s = RunningStats::new();
+        for &b in &self.batches {
+            s.record(b);
+        }
+        if s.count() < 2 {
+            return ConfidenceInterval {
+                mean: s.mean(),
+                half_width: 0.0,
+            };
+        }
+        ConfidenceInterval {
+            mean: s.mean(),
+            half_width: t_975(s.count() - 1) * s.std_err(),
+        }
+    }
+
+    /// Lag-1 autocorrelation of the batch means; near zero means the
+    /// batch size has decorrelated the stream and the interval is
+    /// trustworthy. `None` with fewer than 3 batches.
+    pub fn lag1_autocorrelation(&self) -> Option<f64> {
+        let n = self.batches.len();
+        if n < 3 {
+            return None;
+        }
+        let mean = self.mean();
+        let var: f64 = self.batches.iter().map(|b| (b - mean).powi(2)).sum();
+        if var == 0.0 {
+            return Some(0.0);
+        }
+        let cov: f64 = self
+            .batches
+            .windows(2)
+            .map(|w| (w[0] - mean) * (w[1] - mean))
+            .sum();
+        Some(cov / var)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn batches_form_at_exact_boundaries() {
+        let mut bm = BatchMeans::new(4);
+        for i in 0..10 {
+            bm.record(i as f64);
+        }
+        // Two complete batches: mean(0..4)=1.5, mean(4..8)=5.5; 8,9 pending.
+        assert_eq!(bm.batches(), &[1.5, 5.5]);
+        assert_eq!(bm.batch_count(), 2);
+        assert_eq!(bm.mean(), 3.5);
+    }
+
+    #[test]
+    fn interval_covers_constant_stream() {
+        let mut bm = BatchMeans::new(5);
+        for _ in 0..50 {
+            bm.record(7.0);
+        }
+        let ci = bm.interval_95();
+        assert_eq!(ci.mean, 7.0);
+        assert_eq!(ci.half_width, 0.0);
+        assert_eq!(bm.lag1_autocorrelation(), Some(0.0));
+    }
+
+    #[test]
+    fn interval_shrinks_with_more_batches() {
+        let noisy = |n: usize, batch: u64| {
+            let mut bm = BatchMeans::new(batch);
+            for i in 0..n {
+                bm.record(((i * 37) % 11) as f64);
+            }
+            bm.interval_95().half_width
+        };
+        let few = noisy(100, 10);
+        let many = noisy(2000, 10);
+        assert!(many < few, "more batches should tighten the interval");
+    }
+
+    #[test]
+    fn strong_correlation_is_detected() {
+        // A slow ramp makes adjacent batch means highly correlated.
+        let mut bm = BatchMeans::new(5);
+        for i in 0..200 {
+            bm.record(i as f64);
+        }
+        let rho = bm.lag1_autocorrelation().unwrap();
+        assert!(rho > 0.8, "ramp should correlate, rho = {rho}");
+    }
+
+    #[test]
+    fn too_few_batches_no_autocorrelation() {
+        let mut bm = BatchMeans::new(10);
+        for i in 0..20 {
+            bm.record(i as f64);
+        }
+        assert_eq!(bm.batch_count(), 2);
+        assert_eq!(bm.lag1_autocorrelation(), None);
+        // Two batches allow a (wide) interval; one batch does not.
+        assert!(bm.interval_95().half_width > 0.0);
+
+        let mut one = BatchMeans::new(15);
+        for i in 0..20 {
+            one.record(i as f64);
+        }
+        assert_eq!(one.batch_count(), 1);
+        assert_eq!(one.interval_95().half_width, 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "batch size")]
+    fn zero_batch_size_panics() {
+        BatchMeans::new(0);
+    }
+}

@@ -1,0 +1,112 @@
+//! Ratio counters: hits over trials, e.g. percentage of transactions
+//! aborted (Figures 8–11, 13, 15 of the paper).
+
+use serde::{Deserialize, Serialize};
+
+/// Counts successes and failures and reports a percentage.
+#[derive(Clone, Copy, Debug, Default, Serialize, Deserialize)]
+pub struct Counter {
+    hits: u64,
+    trials: u64,
+}
+
+impl Counter {
+    /// Empty counter.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Record one trial with the given outcome.
+    pub fn record(&mut self, hit: bool) {
+        self.trials += 1;
+        if hit {
+            self.hits += 1;
+        }
+    }
+
+    /// Record a hit (increments trials too).
+    pub fn hit(&mut self) {
+        self.record(true);
+    }
+
+    /// Record a miss (increments trials too).
+    pub fn miss(&mut self) {
+        self.record(false);
+    }
+
+    /// Number of hits recorded.
+    pub fn hits(&self) -> u64 {
+        self.hits
+    }
+
+    /// Total trials recorded.
+    pub fn trials(&self) -> u64 {
+        self.trials
+    }
+
+    /// Hit fraction in `[0, 1]`; 0.0 when no trials recorded.
+    pub fn fraction(&self) -> f64 {
+        if self.trials == 0 {
+            0.0
+        } else {
+            self.hits as f64 / self.trials as f64
+        }
+    }
+
+    /// Hit percentage in `[0, 100]`.
+    pub fn percentage(&self) -> f64 {
+        self.fraction() * 100.0
+    }
+
+    /// Merge another counter into this one.
+    pub fn merge(&mut self, other: &Counter) {
+        self.hits += other.hits;
+        self.trials += other.trials;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_counter_is_zero() {
+        let c = Counter::new();
+        assert_eq!(c.fraction(), 0.0);
+        assert_eq!(c.percentage(), 0.0);
+        assert_eq!(c.trials(), 0);
+    }
+
+    #[test]
+    fn percentage_matches_counts() {
+        let mut c = Counter::new();
+        for i in 0..10 {
+            c.record(i < 4);
+        }
+        assert_eq!(c.hits(), 4);
+        assert_eq!(c.trials(), 10);
+        assert!((c.percentage() - 40.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn hit_and_miss_shorthands() {
+        let mut c = Counter::new();
+        c.hit();
+        c.miss();
+        c.miss();
+        assert_eq!(c.hits(), 1);
+        assert_eq!(c.trials(), 3);
+    }
+
+    #[test]
+    fn merge_adds_counts() {
+        let mut a = Counter::new();
+        a.hit();
+        let mut b = Counter::new();
+        b.miss();
+        b.hit();
+        a.merge(&b);
+        assert_eq!(a.hits(), 2);
+        assert_eq!(a.trials(), 3);
+    }
+}

@@ -1,0 +1,123 @@
+//! Fixed-width histograms for response-time distributions.
+
+use serde::{Deserialize, Serialize};
+
+/// A fixed-bucket-width histogram over `[0, bucket_width * buckets)`, with
+/// an overflow bucket for larger values.
+///
+/// Used to inspect response-time *shapes* (the paper only reports means,
+/// but tails explain why g-2PL's grouping helps hot items).
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct Histogram {
+    bucket_width: f64,
+    counts: Vec<u64>,
+    overflow: u64,
+    total: u64,
+}
+
+impl Histogram {
+    /// Histogram with `buckets` buckets of width `bucket_width`.
+    ///
+    /// # Panics
+    /// Panics if `bucket_width <= 0` or `buckets == 0`.
+    pub fn new(bucket_width: f64, buckets: usize) -> Self {
+        assert!(bucket_width > 0.0, "bucket width must be positive");
+        assert!(buckets > 0, "need at least one bucket");
+        Histogram {
+            bucket_width,
+            counts: vec![0; buckets],
+            overflow: 0,
+            total: 0,
+        }
+    }
+
+    /// Record one (non-negative) observation.
+    pub fn record(&mut self, value: f64) {
+        debug_assert!(value >= 0.0, "histogram values must be non-negative");
+        self.total += 1;
+        let idx = (value / self.bucket_width) as usize;
+        if idx < self.counts.len() {
+            self.counts[idx] += 1;
+        } else {
+            self.overflow += 1;
+        }
+    }
+
+    /// Total number of observations, including overflow.
+    pub fn total(&self) -> u64 {
+        self.total
+    }
+
+    /// Count in the overflow bucket.
+    pub fn overflow(&self) -> u64 {
+        self.overflow
+    }
+
+    /// Per-bucket counts (excluding overflow).
+    pub fn counts(&self) -> &[u64] {
+        &self.counts
+    }
+
+    /// Approximate `q`-quantile (0 ≤ q ≤ 1) by bucket upper edge; `None`
+    /// for an empty histogram. The overflow bucket reports `f64::INFINITY`.
+    pub fn quantile(&self, q: f64) -> Option<f64> {
+        assert!((0.0..=1.0).contains(&q), "quantile out of range: {q}");
+        if self.total == 0 {
+            return None;
+        }
+        let target = (q * self.total as f64).ceil().max(1.0) as u64;
+        let mut cum = 0;
+        for (i, &c) in self.counts.iter().enumerate() {
+            cum += c;
+            if cum >= target {
+                return Some((i + 1) as f64 * self.bucket_width);
+            }
+        }
+        Some(f64::INFINITY)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn records_into_correct_buckets() {
+        let mut h = Histogram::new(10.0, 3);
+        h.record(0.0);
+        h.record(9.99);
+        h.record(10.0);
+        h.record(25.0);
+        h.record(35.0); // overflow
+        assert_eq!(h.counts(), &[2, 1, 1]);
+        assert_eq!(h.overflow(), 1);
+        assert_eq!(h.total(), 5);
+    }
+
+    #[test]
+    fn quantiles_are_monotone() {
+        let mut h = Histogram::new(1.0, 100);
+        for i in 0..100 {
+            h.record(i as f64);
+        }
+        let q50 = h.quantile(0.5).unwrap();
+        let q90 = h.quantile(0.9).unwrap();
+        let q99 = h.quantile(0.99).unwrap();
+        assert!(q50 <= q90 && q90 <= q99);
+        assert!((q50 - 50.0).abs() <= 1.0);
+        assert!((q90 - 90.0).abs() <= 1.0);
+    }
+
+    #[test]
+    fn quantile_of_empty_is_none() {
+        let h = Histogram::new(1.0, 4);
+        assert_eq!(h.quantile(0.5), None);
+    }
+
+    #[test]
+    fn overflow_quantile_is_infinite() {
+        let mut h = Histogram::new(1.0, 2);
+        h.record(100.0);
+        assert_eq!(h.quantile(1.0), Some(f64::INFINITY));
+    }
+}

@@ -1,0 +1,172 @@
+//! Across-replication analysis.
+//!
+//! Each simulation data point in the paper is the average over 5
+//! independent replications with a 95% Student-t confidence interval; the
+//! relative precision (half-width / mean) "never exceeded 2% of the mean
+//! values". [`Replications`] reproduces that analysis for any metric.
+
+use crate::running::RunningStats;
+use crate::tdist::t_975;
+use serde::{Deserialize, Serialize};
+
+/// A symmetric confidence interval around a mean.
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub struct ConfidenceInterval {
+    /// Point estimate: the across-replication mean.
+    pub mean: f64,
+    /// Half-width of the 95% interval; the interval is `mean ± half_width`.
+    pub half_width: f64,
+}
+
+impl ConfidenceInterval {
+    /// Relative precision: half-width as a fraction of the mean
+    /// (`f64::INFINITY` when the mean is zero but the half-width is not).
+    pub fn relative_precision(&self) -> f64 {
+        if self.half_width == 0.0 {
+            0.0
+        } else if self.mean == 0.0 {
+            f64::INFINITY
+        } else {
+            (self.half_width / self.mean).abs()
+        }
+    }
+
+    /// Whether `value` falls inside the interval.
+    pub fn contains(&self, value: f64) -> bool {
+        (value - self.mean).abs() <= self.half_width
+    }
+}
+
+/// Collects one summary value per independent replication and produces the
+/// across-replication mean and 95% confidence interval.
+///
+/// # Example
+/// ```
+/// use g2pl_stats::Replications;
+/// let mut r = Replications::new();
+/// for v in [10.0, 11.0, 9.5, 10.2, 10.3] {
+///     r.record(v);
+/// }
+/// let ci = r.interval_95();
+/// assert!(ci.contains(10.2));
+/// assert!(ci.relative_precision() < 0.1);
+/// ```
+#[derive(Clone, Debug, Default, Serialize, Deserialize)]
+pub struct Replications {
+    stats: RunningStats,
+    values: Vec<f64>,
+}
+
+impl Replications {
+    /// Empty collection.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Build directly from per-replication values.
+    pub fn from_values(values: &[f64]) -> Self {
+        let mut r = Self::new();
+        for &v in values {
+            r.record(v);
+        }
+        r
+    }
+
+    /// Record one replication's summary value.
+    pub fn record(&mut self, value: f64) {
+        self.stats.record(value);
+        self.values.push(value);
+    }
+
+    /// Number of replications recorded.
+    pub fn count(&self) -> u64 {
+        self.stats.count()
+    }
+
+    /// Raw per-replication values, in recording order.
+    pub fn values(&self) -> &[f64] {
+        &self.values
+    }
+
+    /// Across-replication mean.
+    pub fn mean(&self) -> f64 {
+        self.stats.mean()
+    }
+
+    /// 95% two-sided Student-t confidence interval.
+    ///
+    /// With fewer than 2 replications the half-width is 0 (a point
+    /// estimate), matching how a single-run smoke test is reported.
+    pub fn interval_95(&self) -> ConfidenceInterval {
+        let n = self.stats.count();
+        if n < 2 {
+            return ConfidenceInterval {
+                mean: self.stats.mean(),
+                half_width: 0.0,
+            };
+        }
+        let t = t_975(n - 1);
+        ConfidenceInterval {
+            mean: self.stats.mean(),
+            half_width: t * self.stats.std_err(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn identical_values_give_zero_width() {
+        let r = Replications::from_values(&[5.0; 5]);
+        let ci = r.interval_95();
+        assert_eq!(ci.mean, 5.0);
+        assert_eq!(ci.half_width, 0.0);
+        assert_eq!(ci.relative_precision(), 0.0);
+    }
+
+    #[test]
+    fn five_reps_use_t_of_four() {
+        let r = Replications::from_values(&[1.0, 2.0, 3.0, 4.0, 5.0]);
+        let ci = r.interval_95();
+        // std dev = sqrt(2.5), std err = sqrt(2.5/5) = sqrt(0.5)
+        let expect = 2.776 * (0.5f64).sqrt();
+        assert!((ci.half_width - expect).abs() < 1e-9);
+        assert_eq!(ci.mean, 3.0);
+    }
+
+    #[test]
+    fn single_rep_is_point_estimate() {
+        let r = Replications::from_values(&[7.0]);
+        let ci = r.interval_95();
+        assert_eq!(ci.mean, 7.0);
+        assert_eq!(ci.half_width, 0.0);
+    }
+
+    #[test]
+    fn contains_is_symmetric() {
+        let ci = ConfidenceInterval {
+            mean: 10.0,
+            half_width: 2.0,
+        };
+        assert!(ci.contains(8.0));
+        assert!(ci.contains(12.0));
+        assert!(!ci.contains(12.1));
+        assert!(!ci.contains(7.9));
+    }
+
+    #[test]
+    fn relative_precision_of_zero_mean() {
+        let ci = ConfidenceInterval {
+            mean: 0.0,
+            half_width: 1.0,
+        };
+        assert!(ci.relative_precision().is_infinite());
+        let ci0 = ConfidenceInterval {
+            mean: 0.0,
+            half_width: 0.0,
+        };
+        assert_eq!(ci0.relative_precision(), 0.0);
+    }
+}

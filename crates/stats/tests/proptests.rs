@@ -1,0 +1,114 @@
+//! Property-based tests of the statistics toolkit.
+
+use g2pl_stats::{Counter, Histogram, Replications, RunningStats, WarmupFilter};
+use proptest::prelude::*;
+
+fn naive_mean_var(data: &[f64]) -> (f64, f64) {
+    let n = data.len() as f64;
+    let mean = data.iter().sum::<f64>() / n;
+    let var = if data.len() < 2 {
+        0.0
+    } else {
+        data.iter().map(|v| (v - mean).powi(2)).sum::<f64>() / (n - 1.0)
+    };
+    (mean, var)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// Welford matches the two-pass computation to floating tolerance.
+    #[test]
+    fn welford_matches_naive(data in proptest::collection::vec(-1e6f64..1e6, 1..300)) {
+        let mut s = RunningStats::new();
+        for &v in &data {
+            s.record(v);
+        }
+        let (mean, var) = naive_mean_var(&data);
+        let scale = 1.0 + mean.abs() + var.abs();
+        prop_assert!((s.mean() - mean).abs() / scale < 1e-9);
+        prop_assert!((s.variance() - var).abs() / (1.0 + var) < 1e-6);
+        prop_assert_eq!(s.count(), data.len() as u64);
+        let min = data.iter().copied().fold(f64::INFINITY, f64::min);
+        let max = data.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+        prop_assert_eq!(s.min(), Some(min));
+        prop_assert_eq!(s.max(), Some(max));
+    }
+
+    /// Merging any split equals processing the whole stream.
+    #[test]
+    fn merge_any_split(
+        data in proptest::collection::vec(-1e4f64..1e4, 2..200),
+        cut_frac in 0.0f64..1.0,
+    ) {
+        let cut = ((data.len() as f64 * cut_frac) as usize).min(data.len());
+        let mut whole = RunningStats::new();
+        for &v in &data {
+            whole.record(v);
+        }
+        let mut a = RunningStats::new();
+        let mut b = RunningStats::new();
+        for &v in &data[..cut] {
+            a.record(v);
+        }
+        for &v in &data[cut..] {
+            b.record(v);
+        }
+        a.merge(&b);
+        prop_assert_eq!(a.count(), whole.count());
+        prop_assert!((a.mean() - whole.mean()).abs() < 1e-6 * (1.0 + whole.mean().abs()));
+        prop_assert!((a.variance() - whole.variance()).abs() < 1e-4 * (1.0 + whole.variance()));
+    }
+
+    /// Confidence intervals cover the sample mean, shrink with more
+    /// replications of the same spread, and are symmetric.
+    #[test]
+    fn ci_properties(values in proptest::collection::vec(0.0f64..1e5, 2..40)) {
+        let r = Replications::from_values(&values);
+        let ci = r.interval_95();
+        let (mean, _) = naive_mean_var(&values);
+        prop_assert!((ci.mean - mean).abs() < 1e-9 * (1.0 + mean.abs()));
+        prop_assert!(ci.half_width >= 0.0);
+        prop_assert!(ci.contains(ci.mean));
+    }
+
+    /// The warm-up filter admits exactly `keep` observations.
+    #[test]
+    fn warmup_admits_exactly_keep(warmup in 0u64..50, keep in 1u64..50, total in 0u64..200) {
+        let mut f = WarmupFilter::new(warmup, Some(keep));
+        let admitted = (0..total).filter(|_| f.admit()).count() as u64;
+        let expect = total.saturating_sub(warmup).min(keep);
+        prop_assert_eq!(admitted, expect);
+        prop_assert_eq!(f.measured(), expect);
+        prop_assert_eq!(f.is_complete(), total >= warmup + keep);
+    }
+
+    /// Histogram totals are conserved and quantiles are monotone.
+    #[test]
+    fn histogram_conservation(data in proptest::collection::vec(0.0f64..1e4, 1..300)) {
+        let mut h = Histogram::new(100.0, 50);
+        for &v in &data {
+            h.record(v);
+        }
+        prop_assert_eq!(h.total(), data.len() as u64);
+        let in_buckets: u64 = h.counts().iter().sum();
+        prop_assert_eq!(in_buckets + h.overflow(), h.total());
+        let q = [0.1, 0.5, 0.9, 1.0].map(|q| h.quantile(q).unwrap());
+        prop_assert!(q.windows(2).all(|w| w[0] <= w[1]));
+    }
+
+    /// Counter fraction is always hits/trials.
+    #[test]
+    fn counter_fraction(outcomes in proptest::collection::vec(any::<bool>(), 0..300)) {
+        let mut c = Counter::new();
+        for &o in &outcomes {
+            c.record(o);
+        }
+        let hits = outcomes.iter().filter(|&&o| o).count() as u64;
+        prop_assert_eq!(c.hits(), hits);
+        prop_assert_eq!(c.trials(), outcomes.len() as u64);
+        if !outcomes.is_empty() {
+            prop_assert!((c.fraction() - hits as f64 / outcomes.len() as f64).abs() < 1e-12);
+        }
+    }
+}

@@ -1,0 +1,32 @@
+//! # g2pl-wal
+//!
+//! Per-site write-ahead logging, the recovery substrate the paper assumes
+//! without evaluating: "we assume that the sites follow the standard
+//! protocol adopted by the s-2PL protocol where each site uses WAL and
+//! garbage collects its log once the data are made permanent at the
+//! server" (§1, citing Mohan & Narang's fast inter-system page transfer
+//! protocols).
+//!
+//! The interesting protocol-dependent quantity is **log retention**: a
+//! site may only garbage-collect the records of a transaction once every
+//! version that transaction produced is *permanent at the server*. Under
+//! s-2PL that happens at commit (the commit message carries the dirty
+//! data home), so logs stay shallow. Under g-2PL a committed version
+//! migrates client-to-client and reaches the server only when the item's
+//! forward list drains — so clients must retain log records long past
+//! commit, and the log high-water mark grows with the forward-list
+//! length. The engines expose this via [`SiteLog`] bookkeeping, and the
+//! `ext-log-retention` experiment plots it.
+//!
+//! Components:
+//! * [`record::LogRecord`], [`record::Lsn`] — typed records with
+//!   monotonically increasing log sequence numbers;
+//! * [`log::SiteLog`] — one site's append-only log with force-at-commit
+//!   accounting and permanence-driven garbage collection;
+//! * [`log::LogMetrics`] — bytes written/forced, high-water marks.
+
+pub mod log;
+pub mod record;
+
+pub use log::{LogMetrics, SiteLog};
+pub use record::{LogRecord, Lsn};

@@ -1,0 +1,143 @@
+//! Item-selection distributions.
+//!
+//! The paper draws items uniformly from a small pool ("M is purposely
+//! kept small to emulate hot data access"). We additionally provide a
+//! Zipf-skewed selection so the benches can study a *mixed* hot/cold
+//! database, an extension the paper's conclusion motivates ("the more a
+//! certain data item is requested … more is the performance gain").
+
+use g2pl_simcore::RngStream;
+use serde::{Deserialize, Serialize};
+
+/// How a transaction's items are drawn from the pool of `M` items.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub enum AccessDistribution {
+    /// Uniform over the whole pool — the paper's model.
+    Uniform,
+    /// Zipf with exponent `theta` (> 0): item 0 is the hottest. Drawn by
+    /// inversion over the precomputable harmonic weights.
+    Zipf {
+        /// Skew exponent; 0 degenerates to uniform, ~0.99 is the classic
+        /// TPC-C-style hot skew.
+        theta: f64,
+    },
+}
+
+impl AccessDistribution {
+    /// Draw `k` *distinct* item indices from `0..pool`.
+    ///
+    /// # Panics
+    /// Panics if `k > pool`.
+    pub fn draw_distinct(&self, k: usize, pool: usize, rng: &mut RngStream) -> Vec<u32> {
+        assert!(k <= pool, "cannot draw {k} distinct items from {pool}");
+        match self {
+            AccessDistribution::Uniform => rng.distinct(k, pool),
+            AccessDistribution::Zipf { theta } => {
+                let weights = zipf_cdf(pool, *theta);
+                let mut out: Vec<u32> = Vec::with_capacity(k);
+                // Rejection on duplicates: k ≤ 5 and pool ≥ 25 in every
+                // paper configuration, so retries are rare.
+                while out.len() < k {
+                    let u = rng.unit_f64();
+                    let idx = weights.partition_point(|&c| c < u) as u32;
+                    let idx = idx.min(pool as u32 - 1);
+                    if !out.contains(&idx) {
+                        out.push(idx);
+                    }
+                }
+                out
+            }
+        }
+    }
+}
+
+/// Cumulative Zipf distribution over `n` ranks with exponent `theta`.
+fn zipf_cdf(n: usize, theta: f64) -> Vec<f64> {
+    assert!(n > 0, "empty pool");
+    assert!(theta >= 0.0, "negative Zipf exponent");
+    let mut cdf = Vec::with_capacity(n);
+    let mut sum = 0.0;
+    for i in 1..=n {
+        sum += 1.0 / (i as f64).powf(theta);
+        cdf.push(sum);
+    }
+    for c in cdf.iter_mut() {
+        *c /= sum;
+    }
+    cdf
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn uniform_distinct_covers_pool() {
+        let mut rng = RngStream::new(2);
+        let d = AccessDistribution::Uniform;
+        let mut seen = vec![false; 25];
+        for _ in 0..500 {
+            for i in d.draw_distinct(5, 25, &mut rng) {
+                seen[i as usize] = true;
+            }
+        }
+        assert!(seen.iter().all(|&s| s), "every item should eventually appear");
+    }
+
+    #[test]
+    fn zipf_prefers_low_ranks() {
+        let mut rng = RngStream::new(3);
+        let d = AccessDistribution::Zipf { theta: 1.0 };
+        let mut counts = vec![0u64; 25];
+        for _ in 0..5000 {
+            for i in d.draw_distinct(1, 25, &mut rng) {
+                counts[i as usize] += 1;
+            }
+        }
+        assert!(
+            counts[0] > counts[24] * 3,
+            "rank 0 ({}) should dominate rank 24 ({})",
+            counts[0],
+            counts[24]
+        );
+    }
+
+    #[test]
+    fn zipf_theta_zero_is_uniformish() {
+        let mut rng = RngStream::new(4);
+        let d = AccessDistribution::Zipf { theta: 0.0 };
+        let mut counts = vec![0u64; 10];
+        let n = 20_000;
+        for _ in 0..n {
+            for i in d.draw_distinct(1, 10, &mut rng) {
+                counts[i as usize] += 1;
+            }
+        }
+        let expect = n as f64 / 10.0;
+        for (i, &c) in counts.iter().enumerate() {
+            assert!(
+                (c as f64 - expect).abs() < expect * 0.15,
+                "rank {i} count {c} too far from {expect}"
+            );
+        }
+    }
+
+    #[test]
+    fn distinct_holds_for_zipf() {
+        let mut rng = RngStream::new(5);
+        let d = AccessDistribution::Zipf { theta: 1.2 };
+        for _ in 0..200 {
+            let mut v = d.draw_distinct(5, 25, &mut rng);
+            v.sort_unstable();
+            v.dedup();
+            assert_eq!(v.len(), 5);
+        }
+    }
+
+    #[test]
+    fn cdf_is_monotone_and_normalised() {
+        let cdf = zipf_cdf(25, 0.8);
+        assert!(cdf.windows(2).all(|w| w[0] < w[1]));
+        assert!((cdf[24] - 1.0).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,193 @@
+//! Transaction spec generation.
+
+use crate::profile::TxnProfile;
+use g2pl_simcore::{ItemId, RngStream};
+use serde::{Deserialize, Serialize};
+
+/// Whether an access reads or writes the item.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum AccessMode {
+    /// Shared access.
+    Read,
+    /// Exclusive access.
+    Write,
+}
+
+impl AccessMode {
+    /// True for [`AccessMode::Write`].
+    pub fn is_write(self) -> bool {
+        self == AccessMode::Write
+    }
+}
+
+/// The full access list of one transaction, in issue order.
+///
+/// Accesses are issued sequentially by the client (§4: "requests for data
+/// items are generated sequentially, with each request being generated
+/// only after the previous request has been granted").
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TxnSpec {
+    /// `(item, mode)` pairs in issue order; items are distinct.
+    pub accesses: Vec<(ItemId, AccessMode)>,
+}
+
+impl TxnSpec {
+    /// Number of accesses.
+    pub fn len(&self) -> usize {
+        self.accesses.len()
+    }
+
+    /// True when the spec has no accesses (never produced by the
+    /// generator; exists for completeness).
+    pub fn is_empty(&self) -> bool {
+        self.accesses.is_empty()
+    }
+
+    /// True when every access is a read.
+    pub fn is_read_only(&self) -> bool {
+        self.accesses.iter().all(|(_, m)| !m.is_write())
+    }
+
+    /// The access at issue position `idx`.
+    pub fn access(&self, idx: usize) -> (ItemId, AccessMode) {
+        self.accesses[idx]
+    }
+}
+
+/// Draws [`TxnSpec`]s according to a [`TxnProfile`] over a pool of
+/// `pool_size` items.
+#[derive(Clone, Debug)]
+pub struct TxnGenerator {
+    profile: TxnProfile,
+    pool_size: u32,
+}
+
+impl TxnGenerator {
+    /// A generator for `profile` over `pool_size` items.
+    ///
+    /// # Panics
+    /// Panics if the profile fails validation against the pool size.
+    pub fn new(profile: TxnProfile, pool_size: u32) -> Self {
+        profile
+            .validate(pool_size)
+            .unwrap_or_else(|e| panic!("invalid profile: {e}"));
+        TxnGenerator { profile, pool_size }
+    }
+
+    /// The profile this generator draws from.
+    pub fn profile(&self) -> &TxnProfile {
+        &self.profile
+    }
+
+    /// Draw one transaction spec.
+    pub fn draw(&self, rng: &mut RngStream) -> TxnSpec {
+        let k = rng.uniform_incl(self.profile.min_items as u64, self.profile.max_items as u64)
+            as usize;
+        let mut items = self
+            .profile
+            .access
+            .draw_distinct(k, self.pool_size as usize, rng);
+        if self.profile.sorted_access {
+            items.sort_unstable();
+        }
+        let accesses = items
+            .into_iter()
+            .map(|i| {
+                let mode = if rng.bernoulli(self.profile.read_prob) {
+                    AccessMode::Read
+                } else {
+                    AccessMode::Write
+                };
+                (ItemId::new(i), mode)
+            })
+            .collect();
+        TxnSpec { accesses }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn generator(pr: f64) -> TxnGenerator {
+        TxnGenerator::new(TxnProfile::table1(pr), 25)
+    }
+
+    #[test]
+    fn sizes_respect_profile_bounds() {
+        let g = generator(0.5);
+        let mut rng = RngStream::new(1);
+        let mut seen_min = false;
+        let mut seen_max = false;
+        for _ in 0..1000 {
+            let s = g.draw(&mut rng);
+            assert!((1..=5).contains(&s.len()));
+            seen_min |= s.len() == 1;
+            seen_max |= s.len() == 5;
+        }
+        assert!(seen_min && seen_max);
+    }
+
+    #[test]
+    fn items_are_distinct_and_in_pool() {
+        let g = generator(0.5);
+        let mut rng = RngStream::new(2);
+        for _ in 0..500 {
+            let s = g.draw(&mut rng);
+            let mut items: Vec<u32> = s.accesses.iter().map(|(i, _)| i.0).collect();
+            assert!(items.iter().all(|&i| i < 25));
+            items.sort_unstable();
+            items.dedup();
+            assert_eq!(items.len(), s.len());
+        }
+    }
+
+    #[test]
+    fn read_prob_extremes() {
+        let mut rng = RngStream::new(3);
+        let all_reads = generator(1.0);
+        let all_writes = generator(0.0);
+        for _ in 0..100 {
+            assert!(all_reads.draw(&mut rng).is_read_only());
+            assert!(all_writes
+                .draw(&mut rng)
+                .accesses
+                .iter()
+                .all(|(_, m)| m.is_write()));
+        }
+    }
+
+    #[test]
+    fn read_fraction_approximates_pr() {
+        let g = generator(0.6);
+        let mut rng = RngStream::new(4);
+        let mut reads = 0u64;
+        let mut total = 0u64;
+        for _ in 0..3000 {
+            for (_, m) in g.draw(&mut rng).accesses {
+                total += 1;
+                reads += u64::from(!m.is_write());
+            }
+        }
+        let frac = reads as f64 / total as f64;
+        assert!((frac - 0.6).abs() < 0.03, "read fraction {frac}");
+    }
+
+    #[test]
+    fn deterministic_under_seed() {
+        let g = generator(0.5);
+        let mut a = RngStream::new(9);
+        let mut b = RngStream::new(9);
+        for _ in 0..100 {
+            assert_eq!(g.draw(&mut a), g.draw(&mut b));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid profile")]
+    fn oversized_profile_panics() {
+        let mut p = TxnProfile::table1(0.5);
+        p.max_items = 26;
+        TxnGenerator::new(p, 25);
+    }
+}

@@ -1,0 +1,155 @@
+//! The per-client transaction profile (Table 1 of the paper).
+
+use crate::dist::AccessDistribution;
+use g2pl_simcore::{RngStream, SimTime};
+use serde::{Deserialize, Serialize};
+
+/// Statistical profile of the transactions a client runs.
+///
+/// Defaults are exactly Table 1:
+/// 1–5 items per transaction, think time 1–3 units per operation, idle
+/// time 2–10 units between transactions, uniform access over the item
+/// pool. The read probability is the experiment's sweep variable and has
+/// no meaningful default, so it is a required constructor argument.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct TxnProfile {
+    /// Minimum number of distinct items per transaction (Table 1: 1).
+    pub min_items: u32,
+    /// Maximum number of distinct items per transaction (Table 1: 5).
+    pub max_items: u32,
+    /// Probability that an individual access is a read; writes have
+    /// probability `1 - read_prob`.
+    pub read_prob: f64,
+    /// Minimum think (computation) time per operation (Table 1: 1).
+    pub think_min: u64,
+    /// Maximum think time per operation (Table 1: 3).
+    pub think_max: u64,
+    /// Minimum idle time between transactions (Table 1: 2).
+    pub idle_min: u64,
+    /// Maximum idle time between transactions (Table 1: 10).
+    pub idle_max: u64,
+    /// How items are selected from the pool.
+    pub access: AccessDistribution,
+    /// Issue accesses in ascending item order (static lock ordering).
+    /// Canonical ordering makes wait-for cycles impossible for s-2PL and
+    /// nearly so for g-2PL — an ablation for separating deadlock costs
+    /// from pipeline costs. The paper's workload does not sort.
+    pub sorted_access: bool,
+}
+
+impl TxnProfile {
+    /// The Table 1 profile with the given read probability.
+    ///
+    /// # Panics
+    /// Panics if `read_prob` is outside `[0, 1]`.
+    pub fn table1(read_prob: f64) -> Self {
+        assert!(
+            (0.0..=1.0).contains(&read_prob),
+            "read probability out of range: {read_prob}"
+        );
+        TxnProfile {
+            min_items: 1,
+            max_items: 5,
+            read_prob,
+            think_min: 1,
+            think_max: 3,
+            idle_min: 2,
+            idle_max: 10,
+            access: AccessDistribution::Uniform,
+            sorted_access: false,
+        }
+    }
+
+    /// Draw a think time.
+    pub fn draw_think(&self, rng: &mut RngStream) -> SimTime {
+        SimTime::new(rng.uniform_incl(self.think_min, self.think_max))
+    }
+
+    /// Draw an idle time.
+    pub fn draw_idle(&self, rng: &mut RngStream) -> SimTime {
+        SimTime::new(rng.uniform_incl(self.idle_min, self.idle_max))
+    }
+
+    /// Validate internal consistency; returns a description of the first
+    /// problem found.
+    pub fn validate(&self, pool_size: u32) -> Result<(), String> {
+        if self.min_items == 0 {
+            return Err("min_items must be at least 1".into());
+        }
+        if self.min_items > self.max_items {
+            return Err(format!(
+                "min_items ({}) exceeds max_items ({})",
+                self.min_items, self.max_items
+            ));
+        }
+        if self.max_items > pool_size {
+            return Err(format!(
+                "max_items ({}) exceeds item pool size ({pool_size})",
+                self.max_items
+            ));
+        }
+        if !(0.0..=1.0).contains(&self.read_prob) {
+            return Err(format!("read_prob out of [0,1]: {}", self.read_prob));
+        }
+        if self.think_min > self.think_max {
+            return Err("think_min exceeds think_max".into());
+        }
+        if self.idle_min > self.idle_max {
+            return Err("idle_min exceeds idle_max".into());
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table1_defaults() {
+        let p = TxnProfile::table1(0.6);
+        assert_eq!((p.min_items, p.max_items), (1, 5));
+        assert_eq!((p.think_min, p.think_max), (1, 3));
+        assert_eq!((p.idle_min, p.idle_max), (2, 10));
+        assert_eq!(p.read_prob, 0.6);
+        assert!(p.validate(25).is_ok());
+    }
+
+    #[test]
+    fn draws_respect_bounds() {
+        let p = TxnProfile::table1(0.5);
+        let mut rng = RngStream::new(5);
+        for _ in 0..500 {
+            let t = p.draw_think(&mut rng).units();
+            assert!((1..=3).contains(&t));
+            let i = p.draw_idle(&mut rng).units();
+            assert!((2..=10).contains(&i));
+        }
+    }
+
+    #[test]
+    fn validation_catches_bad_profiles() {
+        let mut p = TxnProfile::table1(0.5);
+        p.min_items = 0;
+        assert!(p.validate(25).is_err());
+
+        let mut p = TxnProfile::table1(0.5);
+        p.min_items = 6;
+        p.max_items = 5;
+        assert!(p.validate(25).is_err());
+
+        let mut p = TxnProfile::table1(0.5);
+        p.max_items = 30;
+        assert!(p.validate(25).is_err());
+
+        let mut p = TxnProfile::table1(0.5);
+        p.think_min = 9;
+        assert!(p.validate(25).is_err());
+    }
+
+    #[test]
+    #[should_panic(expected = "read probability")]
+    fn invalid_read_prob_panics() {
+        TxnProfile::table1(1.5);
+    }
+}

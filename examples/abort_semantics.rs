@@ -1,0 +1,80 @@
+//! The reproduction's headline finding, as a demo: the g-2PL advantage
+//! at high contention depends on how fast deadlock aborts take effect.
+//!
+//! ```text
+//! cargo run --release -p g2pl-core --example abort_semantics
+//! ```
+//!
+//! s-2PL resolves a deadlock *instantly* — the server owns both the lock
+//! table and the current committed version of every item, so the victim's
+//! locks evaporate and the next waiter is granted in the same moment. In
+//! g-2PL the only up-to-date copy of a victim's held items lives at the
+//! victim's client: a faithful message accounting pays one network
+//! latency to deliver the abort notice, then one more per item to migrate
+//! it onward. Under the paper's hot-data workload roughly 40–50% of
+//! transactions abort, so this 2L recovery path stalls the hot-item
+//! pipelines badly enough to flip the protocol comparison.
+
+use g2pl_core::prelude::*;
+
+fn measure(abort_effect: AbortEffect, sorted: bool) -> (f64, f64) {
+    let mut cfg = EngineConfig::table1(ProtocolKind::g2pl_paper(), 50, 500, 0.25);
+    cfg.abort_effect = abort_effect;
+    cfg.profile.sorted_access = sorted;
+    cfg.warmup_txns = 300;
+    cfg.measured_txns = 3_000;
+    let r = run_replicated(&cfg, 2);
+    (r.response_ci().mean, r.abort_pct_ci().mean)
+}
+
+fn s2pl(sorted: bool) -> (f64, f64) {
+    let mut cfg = EngineConfig::table1(ProtocolKind::S2pl, 50, 500, 0.25);
+    cfg.profile.sorted_access = sorted;
+    cfg.warmup_txns = 300;
+    cfg.measured_txns = 3_000;
+    let r = run_replicated(&cfg, 2);
+    (r.response_ci().mean, r.abort_pct_ci().mean)
+}
+
+fn main() {
+    println!("Abort-effect semantics (50 clients, s-WAN, pr=0.25)\n");
+
+    let (s_resp, s_ab) = s2pl(false);
+    let (gi_resp, gi_ab) = measure(AbortEffect::Instant, false);
+    let (gm_resp, gm_ab) = measure(AbortEffect::Messaged, false);
+
+    println!("{:<28} {:>10} {:>10}", "variant", "response", "aborted%");
+    println!("{:<28} {:>10.0} {:>9.1}%", "s-2PL", s_resp, s_ab);
+    println!(
+        "{:<28} {:>10.0} {:>9.1}%   ({:+.1}% vs s-2PL)",
+        "g-2PL, instant aborts (paper)",
+        gi_resp,
+        gi_ab,
+        100.0 * (gi_resp - s_resp) / s_resp
+    );
+    println!(
+        "{:<28} {:>10.0} {:>9.1}%   ({:+.1}% vs s-2PL)",
+        "g-2PL, messaged aborts",
+        gm_resp,
+        gm_ab,
+        100.0 * (gm_resp - s_resp) / s_resp
+    );
+
+    // The control: order every transaction's items canonically so no
+    // deadlock can form — the two abort semantics must then agree, and
+    // g-2PL's pipeline advantage shows through directly.
+    let (cs_resp, _) = s2pl(true);
+    let (ci_resp, ci_ab) = measure(AbortEffect::Instant, true);
+    let (cm_resp, cm_ab) = measure(AbortEffect::Messaged, true);
+    println!("\nControl with sorted (deadlock-free) access:");
+    println!("{:<28} {:>10.0}", "s-2PL", cs_resp);
+    println!("{:<28} {:>10.0} {:>9.1}%", "g-2PL, instant", ci_resp, ci_ab);
+    println!("{:<28} {:>10.0} {:>9.1}%", "g-2PL, messaged", cm_resp, cm_ab);
+    println!(
+        "\nWith deadlocks out of the picture the semantics coincide \
+         (Δ = {:.1}%), isolating the whole instant-vs-messaged gap to \
+         abort recovery — the cost the paper's unit-time simulator never \
+         charged.",
+        100.0 * (cm_resp - ci_resp) / ci_resp
+    );
+}

@@ -1,0 +1,52 @@
+//! Hot-data contention: scale the client population against a fixed pool
+//! of 25 hot items (the Fig 12–15 axis) and watch how each protocol
+//! degrades.
+//!
+//! ```text
+//! cargo run --release -p g2pl-core --example hot_data_contention -- [read_prob]
+//! ```
+//!
+//! The paper's conclusion — "g-2PL is particularly suited to control
+//! access to hot data items" — rests on the observation that the grouping
+//! effect grows with the forward-list length, i.e. with contention.
+
+use g2pl_core::prelude::*;
+
+fn main() {
+    let read_prob: f64 = std::env::args()
+        .nth(1)
+        .map(|s| s.parse().expect("read_prob must be a number in [0,1]"))
+        .unwrap_or(0.25);
+
+    println!(
+        "Hot-data contention at read probability {read_prob} \
+         (25 items, s-WAN latency 500)\n"
+    );
+    println!(
+        "{:>8} {:>12} {:>12} {:>10} {:>10} {:>12}",
+        "clients", "s-2PL resp", "g-2PL resp", "s abort%", "g abort%", "max FL len"
+    );
+
+    for clients in [10u32, 25, 50, 100, 150] {
+        let mut cells = Vec::new();
+        let mut max_fl = 0;
+        for protocol in [ProtocolKind::S2pl, ProtocolKind::g2pl_paper()] {
+            let mut cfg = EngineConfig::table1(protocol, clients, 500, read_prob);
+            cfg.warmup_txns = 200;
+            cfg.measured_txns = 2_000;
+            let r = run_replicated(&cfg, 2);
+            max_fl = max_fl.max(r.runs.iter().map(|m| m.max_fl_len).max().unwrap_or(0));
+            cells.push((r.response_ci().mean, r.abort_pct_ci().mean));
+        }
+        println!(
+            "{:>8} {:>12.0} {:>12.0} {:>9.1}% {:>9.1}% {:>12}",
+            clients, cells[0].0, cells[1].0, cells[0].1, cells[1].1, max_fl
+        );
+    }
+
+    println!(
+        "\nForward lists lengthen as clients are added: each window close finds \
+         more pending requests to group, which is exactly when g-2PL's \
+         one-hop migration pays off."
+    );
+}

@@ -1,0 +1,66 @@
+//! Protocol crossover: sweep the read probability and locate the point
+//! where s-2PL overtakes g-2PL (the Fig 5–7 phenomenon).
+//!
+//! ```text
+//! cargo run --release -p g2pl-core --example protocol_crossover -- [latency]
+//! ```
+//!
+//! g-2PL groups requests and migrates data client-to-client, which wins
+//! while writes serialize access; but it grants reads only at window
+//! boundaries, so a read-mostly workload prefers s-2PL's immediate shared
+//! grants. The paper observes the crossover around pr ≈ 0.85 in a LAN and
+//! sees it move right (towards pure reads) as the latency grows.
+
+use g2pl_core::prelude::*;
+
+fn main() {
+    let latency: u64 = std::env::args()
+        .nth(1)
+        .map(|s| s.parse().expect("latency must be a positive integer"))
+        .unwrap_or(250);
+
+    let env = NetworkEnv::nearest(SimTime::new(latency));
+    println!("Crossover sweep at latency {latency} ({env}), 50 clients, 25 items\n");
+    println!(
+        "{:>6} {:>12} {:>12} {:>10}",
+        "pr", "s-2PL", "g-2PL", "winner"
+    );
+
+    let mut crossover: Option<f64> = None;
+    let mut last_g_won = true;
+    for pr10 in 0..=10u32 {
+        let pr = f64::from(pr10) / 10.0;
+        let mut means = Vec::new();
+        for protocol in [ProtocolKind::S2pl, ProtocolKind::g2pl_paper()] {
+            let mut cfg = EngineConfig::table1(protocol, 50, latency, pr);
+            cfg.warmup_txns = 300;
+            cfg.measured_txns = 3_000;
+            means.push(run_replicated(&cfg, 2).response_ci().mean);
+        }
+        let g_wins = means[1] <= means[0];
+        if last_g_won && !g_wins && crossover.is_none() && pr10 > 0 {
+            crossover = Some(pr - 0.05);
+        }
+        last_g_won = g_wins;
+        println!(
+            "{:>6.1} {:>12.0} {:>12.0} {:>10}",
+            pr,
+            means[0],
+            means[1],
+            if g_wins { "g-2PL" } else { "s-2PL" }
+        );
+    }
+
+    match crossover {
+        Some(x) => println!(
+            "\ncrossover near pr ≈ {x:.2}: below it the update traffic rewards \
+             grouping; above it g-2PL's window-boundary read grants lose to \
+             s-2PL's immediate shared locks"
+        ),
+        None => println!(
+            "\nno crossover in this sweep — at this latency g-2PL holds its \
+             advantage across the whole read-probability range (the paper \
+             observes exactly this for WAN latencies)"
+        ),
+    }
+}

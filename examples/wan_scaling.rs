@@ -1,0 +1,56 @@
+//! WAN scaling: how both protocols degrade as the network latency grows
+//! from a single-segment LAN to a large WAN (the Fig 2–4 axis).
+//!
+//! ```text
+//! cargo run --release -p g2pl-core --example wan_scaling -- [read_prob]
+//! ```
+//!
+//! The paper's thesis is visible in the output: the *slope* of the g-2PL
+//! curve is lower than s-2PL's because grouping removes one latency-bound
+//! round per handoff, and that is exactly what matters once propagation
+//! delay dominates (§2).
+
+use g2pl_core::prelude::*;
+
+fn main() {
+    let read_prob: f64 = std::env::args()
+        .nth(1)
+        .map(|s| s.parse().expect("read_prob must be a number in [0,1]"))
+        .unwrap_or(0.25);
+
+    println!("WAN scaling at read probability {read_prob} (50 clients, 25 hot items)\n");
+    println!(
+        "{:<22} {:>8} {:>12} {:>12} {:>12}",
+        "environment", "latency", "s-2PL", "g-2PL", "improvement"
+    );
+
+    for env in NetworkEnv::ALL {
+        let mut row = Vec::new();
+        for protocol in [ProtocolKind::S2pl, ProtocolKind::g2pl_paper()] {
+            let mut cfg = EngineConfig::table1(
+                protocol,
+                50,
+                env.latency().units(),
+                read_prob,
+            );
+            cfg.warmup_txns = 300;
+            cfg.measured_txns = 3_000;
+            row.push(run_replicated(&cfg, 2).response_ci().mean);
+        }
+        let improvement = 100.0 * (row[0] - row[1]) / row[0];
+        println!(
+            "{:<22} {:>8} {:>12.0} {:>12.0} {:>11.1}%",
+            env.name(),
+            env.latency(),
+            row[0],
+            row[1],
+            improvement
+        );
+    }
+
+    println!(
+        "\nThe improvement persists (and the absolute gap grows) with latency: \
+         g-2PL's client-to-client migration replaces s-2PL's release+grant \
+         double hop on every hot-item handoff."
+    );
+}
