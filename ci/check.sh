@@ -1,0 +1,20 @@
+#!/usr/bin/env bash
+# Pre-merge gate: formatting, clippy (deny warnings), the project's own
+# determinism/invariant lint, and the full test suite. Run from anywhere;
+# CI and contributors run exactly this script (see CONTRIBUTING.md).
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "==> cargo fmt --check"
+cargo fmt --all --check
+
+echo "==> cargo clippy (deny warnings)"
+cargo clippy --workspace --all-targets -- -D warnings
+
+echo "==> g2pl-lint (L1 determinism / L2 ambient time+entropy / L3 panics)"
+cargo run -q -p g2pl-lint
+
+echo "==> cargo test"
+cargo test -q --workspace
+
+echo "ci/check.sh: all gates passed"

@@ -19,10 +19,16 @@ fn variants() -> Vec<(&'static str, ProtocolKind)> {
     vec![
         ("g2pl_paper", ProtocolKind::g2pl_paper()),
         ("g2pl_no_mr1w", with(|o| o.mr1w = false)),
-        ("g2pl_no_avoidance", with(|o| o.ordering = OrderingRule::fifo())),
+        (
+            "g2pl_no_avoidance",
+            with(|o| o.ordering = OrderingRule::fifo()),
+        ),
         ("g2pl_expand_reads", with(|o| o.expand_reads = true)),
         ("g2pl_flcap5", with(|o| o.fl_cap = Some(5))),
-        ("g2pl_coalesce_readers", with(|o| o.ordering.coalesce_readers = true)),
+        (
+            "g2pl_coalesce_readers",
+            with(|o| o.ordering.coalesce_readers = true),
+        ),
         ("s2pl", ProtocolKind::S2pl),
         ("c2pl", ProtocolKind::C2pl),
     ]
@@ -37,7 +43,7 @@ fn ablations(c: &mut Criterion) {
             b.iter(|| {
                 let m = run(black_box(&cfg));
                 black_box((m.mean_response(), m.abort_pct()))
-            })
+            });
         });
     }
     group.finish();

@@ -20,7 +20,7 @@ fn calendar(c: &mut Criterion) {
                 sum = sum.wrapping_add(e);
             }
             black_box(sum)
-        })
+        });
     });
 }
 
@@ -43,7 +43,7 @@ fn lock_table(c: &mut Criterion) {
                 }
             }
             black_box(lt.is_quiescent())
-        })
+        });
     });
 }
 
@@ -54,7 +54,7 @@ fn wfg_cycles(c: &mut Criterion) {
             g.add_edge(TxnId::new(i), TxnId::new((i + 1) % 200));
             g.add_edge(TxnId::new(i), TxnId::new((i * 7 + 3) % 200));
         }
-        b.iter(|| black_box(g.find_cycle_from(TxnId::new(0))))
+        b.iter(|| black_box(g.find_cycle_from(TxnId::new(0))));
     });
 }
 
@@ -78,7 +78,7 @@ fn ordering(c: &mut Criterion) {
                 })
                 .collect();
             black_box(OrderingRule::default().order(pending, &mut dag))
-        })
+        });
     });
 }
 

@@ -9,6 +9,12 @@ fn main() {
         cfg.measured_txns = 5000;
         let t = Instant::now();
         let m = run(&cfg);
-        println!("{label}: {:.1}s wall, resp={:.0}, abort%={:.1}, msgs={}", t.elapsed().as_secs_f64(), m.mean_response(), m.abort_pct(), m.net.messages());
+        println!(
+            "{label}: {:.1}s wall, resp={:.0}, abort%={:.1}, msgs={}",
+            t.elapsed().as_secs_f64(),
+            m.mean_response(),
+            m.abort_pct(),
+            m.net.messages()
+        );
     }
 }

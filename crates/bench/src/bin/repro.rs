@@ -1,7 +1,7 @@
 //! `repro` — regenerate every table and figure of the paper.
 //!
 //! ```text
-//! repro [--scale smoke|default|full] [--out DIR] <artifact>...
+//! repro [--scale smoke|default|full] [--out DIR] [--no-verify] <artifact>...
 //!
 //! artifacts: table1 table2 fig1 fig2 fig3 fig4 fig5 fig6 fig7 fig8 fig9
 //!            fig10 fig11 fig12 fig13 fig14 fig15 headline all
@@ -10,6 +10,12 @@
 //! Markdown goes to stdout; with `--out DIR`, each figure's raw data is
 //! also written as `DIR/<id>.csv`; `--ascii` appends a terminal chart
 //! under each table.
+//!
+//! Every data point self-verifies by default: replication 0 of each
+//! configuration is re-checked against the protocol trace properties
+//! P1–P7 and conflict-serializability, and the run aborts with
+//! diagnostics on any violation. `--no-verify` (or `--verify=off`)
+//! disables this for quick, unchecked regeneration.
 
 use g2pl_core::experiments::{self, Scale};
 use g2pl_core::extensions;
@@ -18,24 +24,32 @@ use std::io::Write as _;
 use std::path::PathBuf;
 
 const ALL: [&str; 18] = [
-    "table1", "table2", "fig1", "fig2", "fig3", "fig4", "fig5", "fig6", "fig7", "fig8",
-    "fig9", "fig10", "fig11", "fig12", "fig13", "fig14", "fig15", "headline",
+    "table1", "table2", "fig1", "fig2", "fig3", "fig4", "fig5", "fig6", "fig7", "fig8", "fig9",
+    "fig10", "fig11", "fig12", "fig13", "fig14", "fig15", "headline",
 ];
 
 /// Extension studies beyond the paper's figures (see
 /// `g2pl_core::extensions`). Included in `ext` but not in `all`, which
 /// regenerates exactly the paper.
 const EXTS: [&str; 10] = [
-    "ext-protocols", "ext-skew", "ext-bandwidth", "ext-abort-effect",
-    "ext-window-hold", "ext-ordering", "ext-victims", "ext-read-expansion",
-    "ext-log-retention", "ext-server-cpu",
+    "ext-protocols",
+    "ext-skew",
+    "ext-bandwidth",
+    "ext-abort-effect",
+    "ext-window-hold",
+    "ext-ordering",
+    "ext-victims",
+    "ext-read-expansion",
+    "ext-log-retention",
+    "ext-server-cpu",
 ];
 
 fn usage() -> ! {
     eprintln!(
-        "usage: repro [--scale smoke|default|full] [--out DIR] <artifact>...\n\
+        "usage: repro [--scale smoke|default|full] [--out DIR] [--no-verify] <artifact>...\n\
          artifacts: {} all\n\
-         extensions: {} ext scorecard",
+         extensions: {} ext scorecard\n\
+         verification of every data point is on by default; --no-verify skips it",
         ALL.join(" "),
         EXTS.join(" ")
     );
@@ -79,8 +93,10 @@ fn main() {
                 out_dir = Some(PathBuf::from(args.get(i).unwrap_or_else(|| usage())));
             }
             "--ascii" => {} // handled in emit_figure
-            "all" => artifacts.extend(ALL.iter().map(|s| s.to_string())),
-            "ext" => artifacts.extend(EXTS.iter().map(|s| s.to_string())),
+            "--no-verify" | "--verify=off" => g2pl_core::set_verify(false),
+            "--verify" | "--verify=on" => g2pl_core::set_verify(true),
+            "all" => artifacts.extend(ALL.iter().map(std::string::ToString::to_string)),
+            "ext" => artifacts.extend(EXTS.iter().map(std::string::ToString::to_string)),
             "scorecard" => artifacts.push("scorecard".to_string()),
             a if ALL.contains(&a) || EXTS.contains(&a) => artifacts.push(a.to_string()),
             _ => usage(),
@@ -153,13 +169,13 @@ fn main() {
             "ext-ordering" => emit_figure(&extensions::ext_ordering(scale), &out_dir),
             "ext-victims" => emit_figure(&extensions::ext_victims(scale), &out_dir),
             "ext-read-expansion" => {
-                emit_figure(&extensions::ext_read_expansion(scale), &out_dir)
+                emit_figure(&extensions::ext_read_expansion(scale), &out_dir);
             }
             "ext-log-retention" => {
-                emit_figure(&extensions::ext_log_retention(scale), &out_dir)
+                emit_figure(&extensions::ext_log_retention(scale), &out_dir);
             }
             "ext-server-cpu" => {
-                emit_figure(&extensions::ext_server_cpu(scale), &out_dir)
+                emit_figure(&extensions::ext_server_cpu(scale), &out_dir);
             }
             "scorecard" => println!("{}", g2pl_core::scorecard::run_scorecard(scale)),
             _ => unreachable!("validated above"),

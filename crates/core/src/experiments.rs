@@ -61,7 +61,13 @@ pub const PR_SWEEP: [f64; 11] = [0.0, 0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8, 0.
 /// The client-count sweep of Figs 12–15.
 pub const CLIENT_SWEEP: [u32; 6] = [10, 25, 50, 75, 100, 150];
 
-fn base_cfg(protocol: ProtocolKind, clients: u32, latency: u64, pr: f64, scale: Scale) -> EngineConfig {
+fn base_cfg(
+    protocol: ProtocolKind,
+    clients: u32,
+    latency: u64,
+    pr: f64,
+    scale: Scale,
+) -> EngineConfig {
     let (warmup, measured, _) = scale.params();
     let mut cfg = EngineConfig::table1(protocol, clients, latency, pr);
     cfg.warmup_txns = warmup;
@@ -122,10 +128,7 @@ fn sweep(
     }
 }
 
-const BOTH: &[ProtocolKind] = &[
-    ProtocolKind::G2pl(g2pl_paper_opts()),
-    ProtocolKind::S2pl,
-];
+const BOTH: &[ProtocolKind] = &[ProtocolKind::G2pl(g2pl_paper_opts()), ProtocolKind::S2pl];
 
 /// `G2plOpts::default()` as a const-friendly constructor.
 const fn g2pl_paper_opts() -> g2pl_protocols::G2plOpts {
@@ -239,7 +242,10 @@ pub fn fig1() -> String {
         out,
         "### Fig 1 — Example execution: 3 clients, exclusive access, latency 2, processing 1"
     );
-    let _ = writeln!(out, "\n**g-2PL timeline** (all requests leave at t=2):\n```");
+    let _ = writeln!(
+        out,
+        "\n**g-2PL timeline** (all requests leave at t=2):\n```"
+    );
     for e in gt.iter().take(40) {
         let _ = writeln!(out, "{e}");
     }
@@ -355,8 +361,7 @@ pub fn fig11(scale: Scale) -> FigureData {
         .collect();
     FigureData {
         id: "fig11".into(),
-        title: "Percentage of transactions aborted vs forward-list length, pr=1.0, ss-LAN"
-            .into(),
+        title: "Percentage of transactions aborted vs forward-list length, pr=1.0, ss-LAN".into(),
         x_label: "forward list length cap".into(),
         y_label: "% aborted".into(),
         series: vec![Series {
@@ -418,7 +423,10 @@ pub fn headline(scale: Scale) -> String {
         let _ = writeln!(out, "| {x} | {sy:.0} | {gy:.0} | {imp:.1}% |");
     }
     let min = improvements.iter().copied().fold(f64::INFINITY, f64::min);
-    let max = improvements.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+    let max = improvements
+        .iter()
+        .copied()
+        .fold(f64::NEG_INFINITY, f64::max);
     let _ = writeln!(
         out,
         "\nobserved improvement range: {min:.1}%–{max:.1}% (paper: 19.50%–26.92%)"

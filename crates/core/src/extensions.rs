@@ -70,8 +70,10 @@ pub fn ext_protocols(scale: Scale) -> FigureData {
     .into_iter()
     .map(|p| {
         let label = p.label().to_string();
-        let s = series_over(&label, &PR_SWEEP, reps, |pr| base(p.clone(), 250, pr, scale));
-        s
+
+        series_over(&label, &PR_SWEEP, reps, |pr| {
+            base(p.clone(), 250, pr, scale)
+        })
     })
     .collect();
     FigureData {
@@ -196,10 +198,7 @@ pub fn ext_ordering(scale: Scale) -> FigureData {
             "fifo only",
             g2pl_with(|o| o.ordering = g2pl_fwdlist::OrderingRule::fifo()),
         ),
-        (
-            "aging",
-            g2pl_with(|o| o.ordering.base = BaseOrder::Aging),
-        ),
+        ("aging", g2pl_with(|o| o.ordering.base = BaseOrder::Aging)),
         (
             "coalesce readers",
             g2pl_with(|o| o.ordering.coalesce_readers = true),
@@ -333,10 +332,7 @@ pub fn ext_log_retention(scale: Scale) -> FigureData {
                             .runs
                             .iter()
                             .map(|m| {
-                                m.wal
-                                    .expect("wal enabled")
-                                    .high_water_bytes_max as f64
-                                    / 1024.0
+                                m.wal.expect("wal enabled").high_water_bytes_max as f64 / 1024.0
                             })
                             .collect();
                         let ci = g2pl_stats::Replications::from_values(&vals).interval_95();

@@ -47,8 +47,8 @@ pub mod tracecheck;
 pub mod verify;
 
 pub use figure::{FigureData, Series};
-pub use runner::{run_replicated, ReplicatedResult};
-pub use tracecheck::check_trace;
+pub use runner::{run_replicated, set_verify, verify_enabled, ReplicatedResult};
+pub use tracecheck::{check_trace, check_trace_with, TraceCheckOpts};
 pub use verify::check_serializable;
 
 /// Convenient re-exports of the types most callers need.
@@ -56,9 +56,9 @@ pub mod prelude {
     pub use crate::experiments::{self, Scale};
     pub use crate::extensions;
     pub use crate::figure::{FigureData, Series};
-    pub use crate::runner::{run_replicated, ReplicatedResult};
+    pub use crate::runner::{run_replicated, set_verify, verify_enabled, ReplicatedResult};
     pub use crate::scorecard::{self, run_scorecard};
-    pub use crate::tracecheck::check_trace;
+    pub use crate::tracecheck::{check_trace, check_trace_with, TraceCheckOpts};
     pub use crate::verify::check_serializable;
     pub use g2pl_netmodel::NetworkEnv;
     pub use g2pl_protocols::{

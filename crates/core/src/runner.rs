@@ -6,8 +6,62 @@
 //! single-threaded and deterministic, so replications parallelise
 //! trivially).
 
+use crate::tracecheck::{check_trace_with, TraceCheckOpts};
+use crate::verify::check_serializable;
 use g2pl_protocols::{run, EngineConfig, RunMetrics};
 use g2pl_stats::{ConfidenceInterval, Replications};
+use std::sync::atomic::{AtomicBool, Ordering};
+
+/// Whether [`run_replicated`] self-verifies (on by default).
+static VERIFY: AtomicBool = AtomicBool::new(true);
+
+/// Turn self-verification on or off process-wide.
+///
+/// When on (the default), every [`run_replicated`] call re-runs its first
+/// replication with event tracing and history recording enabled, checks
+/// the trace against protocol properties P1–P7 and the history against
+/// conflict-serializability, and panics with diagnostics on any
+/// violation. The verified run's metrics are reused as replication 0, so
+/// the overhead is the recording and the checks, not an extra simulation.
+pub fn set_verify(on: bool) {
+    VERIFY.store(on, Ordering::SeqCst);
+}
+
+/// Whether self-verification is currently on.
+pub fn verify_enabled() -> bool {
+    VERIFY.load(Ordering::SeqCst)
+}
+
+/// Run one replication with recording on, check it, and return its
+/// metrics stripped of the recordings.
+fn run_verified(cfg: &EngineConfig) -> RunMetrics {
+    let mut vc = cfg.clone();
+    vc.trace_events = true;
+    vc.record_history = true;
+    let mut m = run(&vc);
+    let diag = |what: &str, err: &str| -> String {
+        format!(
+            "{what} violation in a {} run (clients={}, latency={}, seed={}): {err}",
+            m.protocol,
+            vc.num_clients,
+            vc.latency.nominal(),
+            vc.seed
+        )
+    };
+    if let Some(trace) = &m.trace {
+        if let Err(e) = check_trace_with(trace, TraceCheckOpts::for_config(&vc)) {
+            panic!("{}", diag("trace property", &e));
+        }
+    }
+    if let Some(history) = &m.history {
+        if let Err(e) = check_serializable(history) {
+            panic!("{}", diag("serializability", &e));
+        }
+    }
+    m.trace = None;
+    m.history = None;
+    m
+}
 
 /// The outcome of `n` independent replications of one configuration.
 #[derive(Debug)]
@@ -51,7 +105,9 @@ pub fn replication_seed(base: u64, rep: u32) -> u64 {
 /// seed) and aggregate the paper's metrics.
 ///
 /// Replications run on scoped worker threads; results are collected in
-/// replication order so the aggregate is deterministic.
+/// replication order so the aggregate is deterministic. Unless disabled
+/// with [`set_verify`], replication 0 runs with recording on and is
+/// checked against properties P1–P7 and conflict-serializability.
 pub fn run_replicated(base: &EngineConfig, reps: u32) -> ReplicatedResult {
     assert!(reps > 0, "need at least one replication");
     let configs: Vec<EngineConfig> = (0..reps)
@@ -62,42 +118,60 @@ pub fn run_replicated(base: &EngineConfig, reps: u32) -> ReplicatedResult {
         })
         .collect();
 
-    let threads = std::thread::available_parallelism()
-        .map(|n| n.get())
-        .unwrap_or(1)
-        .min(reps as usize);
-
-    let runs: Vec<RunMetrics> = if threads <= 1 {
-        configs.iter().map(run).collect()
+    // Recording is passive — it perturbs no random draw and no event —
+    // so the verified run's metrics stand in for replication 0 exactly.
+    let first: Option<RunMetrics> = verify_enabled().then(|| run_verified(&configs[0]));
+    let rest = if first.is_some() {
+        &configs[1..]
     } else {
-        let mut out: Vec<Option<RunMetrics>> = (0..reps).map(|_| None).collect();
+        &configs[..]
+    };
+
+    let threads = std::thread::available_parallelism()
+        .map_or(1, std::num::NonZero::get)
+        .min(rest.len().max(1));
+
+    let tail: Vec<RunMetrics> = if threads <= 1 {
+        rest.iter().map(run).collect()
+    } else {
+        let mut out: Vec<Option<RunMetrics>> = rest.iter().map(|_| None).collect();
         let next = std::sync::atomic::AtomicUsize::new(0);
         let out_mtx = std::sync::Mutex::new(&mut out);
-        crossbeam::thread::scope(|scope| {
+        std::thread::scope(|scope| {
             for _ in 0..threads {
-                scope.spawn(|_| loop {
+                scope.spawn(|| loop {
                     let i = next.fetch_add(1, std::sync::atomic::Ordering::SeqCst);
-                    if i >= configs.len() {
+                    if i >= rest.len() {
                         break;
                     }
-                    let m = run(&configs[i]);
+                    let m = run(&rest[i]);
                     out_mtx.lock().expect("runner mutex poisoned")[i] = Some(m);
                 });
             }
-        })
-        .expect("replication worker panicked");
+        });
         out.into_iter()
             .map(|m| m.expect("every replication ran"))
             .collect()
     };
+    let runs: Vec<RunMetrics> = first.into_iter().chain(tail).collect();
 
     let response = Replications::from_values(
-        &runs.iter().map(|m| m.mean_response()).collect::<Vec<_>>(),
+        &runs
+            .iter()
+            .map(g2pl_protocols::RunMetrics::mean_response)
+            .collect::<Vec<_>>(),
     );
-    let abort_pct =
-        Replications::from_values(&runs.iter().map(|m| m.abort_pct()).collect::<Vec<_>>());
+    let abort_pct = Replications::from_values(
+        &runs
+            .iter()
+            .map(g2pl_protocols::RunMetrics::abort_pct)
+            .collect::<Vec<_>>(),
+    );
     let msgs_per_completion = Replications::from_values(
-        &runs.iter().map(|m| m.msgs_per_completion()).collect::<Vec<_>>(),
+        &runs
+            .iter()
+            .map(g2pl_protocols::RunMetrics::msgs_per_completion)
+            .collect::<Vec<_>>(),
     );
     ReplicatedResult {
         runs,
@@ -128,7 +202,11 @@ mod tests {
         assert_eq!(a.response_ci(), b.response_ci());
         assert_eq!(a.abort_pct_ci(), b.abort_pct_ci());
         // Different seeds => replications are not all identical.
-        let means: Vec<f64> = a.runs.iter().map(|m| m.mean_response()).collect();
+        let means: Vec<f64> = a
+            .runs
+            .iter()
+            .map(g2pl_protocols::RunMetrics::mean_response)
+            .collect();
         assert!(means.windows(2).any(|w| w[0] != w[1]));
     }
 

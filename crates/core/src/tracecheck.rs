@@ -14,14 +14,72 @@
 //! * **P4 (possession)** — a forward of an item is preceded by that
 //!   transaction's grant or data arrival for the item;
 //! * **P5 (strictness)** — a committed transaction forwards data only at
-//!   or after its commit instant.
+//!   or after its commit instant;
+//! * **P6 (order consistency)** — g-2PL forward lists order any two
+//!   transactions the same way in every list both appear in (the §3.3
+//!   consistent-reordering guarantee; checked when the run used
+//!   `ordering.consistent`);
+//! * **P7 (window discipline)** — a forward list is mutated only at its
+//!   window close; the sole exception is the `expand_reads` reader join,
+//!   and only when the run enabled it.
 
-use g2pl_protocols::{TraceEvent, TraceKind};
+use g2pl_protocols::{EngineConfig, ProtocolKind, TraceEvent, TraceKind};
 use g2pl_simcore::{ItemId, SimTime, TxnId};
 use std::collections::{HashMap, HashSet};
 
-/// Validate a trace; returns a description of the first violation.
+/// What the checker may assume about the run that produced a trace.
+///
+/// P6 and P7 are properties of specific g-2PL option sets — a FIFO-ordered
+/// run legitimately produces mutually inconsistent forward lists, and an
+/// `expand_reads` run legitimately extends dispatched lists. Derive the
+/// options from the run's config with [`TraceCheckOpts::for_config`].
+#[derive(Clone, Copy, Debug)]
+pub struct TraceCheckOpts {
+    /// The run used consistent (DAG-respecting) window-close ordering, so
+    /// pairwise forward-list order must agree across items (P6).
+    pub fl_consistent: bool,
+    /// The run used the read-expansion variant, so `FlExtended` events
+    /// are legal (P7 still requires them to target a dispatched list).
+    pub expand_reads: bool,
+}
+
+impl Default for TraceCheckOpts {
+    /// The paper's evaluated g-2PL: consistent reordering, no read
+    /// expansion. This is what bare [`check_trace`] assumes.
+    fn default() -> Self {
+        TraceCheckOpts {
+            fl_consistent: true,
+            expand_reads: false,
+        }
+    }
+}
+
+impl TraceCheckOpts {
+    /// The assumptions appropriate for a run of `cfg`.
+    pub fn for_config(cfg: &EngineConfig) -> Self {
+        match &cfg.protocol {
+            ProtocolKind::G2pl(o) => TraceCheckOpts {
+                fl_consistent: o.ordering.consistent,
+                expand_reads: o.expand_reads,
+            },
+            // s-2PL / c-2PL emit no forward-list events; strict settings
+            // make any that do appear a violation.
+            ProtocolKind::S2pl | ProtocolKind::C2pl => TraceCheckOpts {
+                fl_consistent: true,
+                expand_reads: false,
+            },
+        }
+    }
+}
+
+/// Validate a trace under the default (paper g-2PL) assumptions; returns
+/// a description of the first violation.
 pub fn check_trace(events: &[TraceEvent]) -> Result<(), String> {
+    check_trace_with(events, TraceCheckOpts::default())
+}
+
+/// Validate a trace; returns a description of the first violation.
+pub fn check_trace_with(events: &[TraceEvent], opts: TraceCheckOpts) -> Result<(), String> {
     let mut requested: HashMap<(TxnId, ItemId), u64> = HashMap::new();
     let mut granted: HashMap<(TxnId, ItemId), u64> = HashMap::new();
     let mut arrived: HashSet<(TxnId, ItemId)> = HashSet::new();
@@ -29,6 +87,14 @@ pub fn check_trace(events: &[TraceEvent]) -> Result<(), String> {
     let mut grant_count: HashMap<TxnId, u64> = HashMap::new();
     let mut committed: HashMap<TxnId, SimTime> = HashMap::new();
     let mut aborted: HashSet<TxnId> = HashSet::new();
+    // Earliest forward per transaction, for the strictness check at commit.
+    let mut first_forward: HashMap<TxnId, SimTime> = HashMap::new();
+    // The most recently dispatched forward list of each item (P6/P7).
+    let mut current_fl: HashMap<ItemId, Vec<TxnId>> = HashMap::new();
+    // Item whose dispatch group (WindowClosed + FlOrdered run) is open.
+    let mut open_group: Option<ItemId> = None;
+    // Global pairwise order fixed by dispatched lists: (a, b) = a before b.
+    let mut fl_order: HashSet<(TxnId, TxnId)> = HashSet::new();
     let mut last_t = SimTime::ZERO;
 
     for e in events {
@@ -36,6 +102,11 @@ pub fn check_trace(events: &[TraceEvent]) -> Result<(), String> {
             return Err(format!("trace times go backwards at {e}"));
         }
         last_t = e.at;
+        // A dispatch group is the WindowClosed event plus the FlOrdered
+        // run that immediately follows it; any other event ends it.
+        if !matches!(e.kind, TraceKind::FlOrdered) {
+            open_group = None;
+        }
         match e.kind {
             TraceKind::RequestSent => {
                 let (txn, item) = ids(e)?;
@@ -74,6 +145,14 @@ pub fn check_trace(events: &[TraceEvent]) -> Result<(), String> {
                         "P2: {txn} committed with {g} grants for {r} requests"
                     ));
                 }
+                if let Some(&f) = first_forward.get(&txn) {
+                    if f < e.at {
+                        return Err(format!(
+                            "P5: {txn} forwarded data at t={} before committing at {e}",
+                            f.units()
+                        ));
+                    }
+                }
             }
             TraceKind::Aborted => {
                 let txn = e.txn.ok_or_else(|| format!("abort without txn: {e}"))?;
@@ -95,10 +174,63 @@ pub fn check_trace(events: &[TraceEvent]) -> Result<(), String> {
                         return Err(format!("P5: committed data forwarded early at {e}"));
                     }
                 }
+                first_forward.entry(txn).or_insert(e.at);
             }
             TraceKind::CacheHit => {
                 let (txn, item) = ids(e)?;
                 arrived.insert((txn, item));
+            }
+            TraceKind::WindowClosed => {
+                let item = e
+                    .item
+                    .ok_or_else(|| format!("window close without item: {e}"))?;
+                open_group = Some(item);
+                current_fl.insert(item, Vec::new());
+            }
+            TraceKind::FlOrdered => {
+                let (txn, item) = ids(e)?;
+                if open_group != Some(item) {
+                    return Err(format!(
+                        "P7: forward-list entry outside its window close at {e}"
+                    ));
+                }
+                // lint:allow(L3): WindowClosed inserted the list above
+                let fl = current_fl.get_mut(&item).expect("open group has a list");
+                if fl.contains(&txn) {
+                    return Err(format!("P6: {txn} appears twice in the list at {e}"));
+                }
+                if opts.fl_consistent {
+                    for &prior in fl.iter() {
+                        if fl_order.contains(&(txn, prior)) {
+                            return Err(format!(
+                                "P6: {prior} ordered after {txn} at {e}, but an \
+                                 earlier list fixed the opposite order"
+                            ));
+                        }
+                        fl_order.insert((prior, txn));
+                    }
+                }
+                fl.push(txn);
+            }
+            TraceKind::FlExtended => {
+                let (txn, item) = ids(e)?;
+                if !opts.expand_reads {
+                    return Err(format!(
+                        "P7: forward list mutated after window close at {e}"
+                    ));
+                }
+                let Some(fl) = current_fl.get_mut(&item) else {
+                    return Err(format!(
+                        "P7: reader joined an item with no dispatched list at {e}"
+                    ));
+                };
+                if fl.contains(&txn) {
+                    return Err(format!("P6: {txn} appears twice in the list at {e}"));
+                }
+                // Joined readers share the final reader group, so their
+                // position fixes no cross-item precedence — append without
+                // recording P6 pairs.
+                fl.push(txn);
             }
             TraceKind::Dispatched | TraceKind::ReleasedAtServer => {}
         }
@@ -129,6 +261,15 @@ mod tests {
         }
     }
 
+    fn traced_run(protocol: ProtocolKind) -> Vec<TraceEvent> {
+        let mut cfg = EngineConfig::table1(protocol, 8, 50, 0.4);
+        cfg.warmup_txns = 0;
+        cfg.measured_txns = 300;
+        cfg.trace_events = true;
+        cfg.drain = true;
+        run(&cfg).trace.expect("trace on")
+    }
+
     #[test]
     fn engine_traces_validate() {
         for protocol in [
@@ -136,16 +277,61 @@ mod tests {
             ProtocolKind::g2pl_paper(),
             ProtocolKind::C2pl,
         ] {
-            let mut cfg = EngineConfig::table1(protocol, 8, 50, 0.4);
-            cfg.warmup_txns = 0;
-            cfg.measured_txns = 300;
-            cfg.trace_events = true;
-            cfg.drain = true;
-            let m = run(&cfg);
-            let label = m.protocol;
-            check_trace(m.trace.as_ref().expect("trace on"))
-                .unwrap_or_else(|e| panic!("{label}: {e}"));
+            let label = format!("{protocol:?}");
+            check_trace(&traced_run(protocol)).unwrap_or_else(|e| panic!("{label}: {e}"));
         }
+    }
+
+    #[test]
+    fn g2pl_traces_contain_forward_list_events() {
+        // P6/P7 must not be vacuous: the g-2PL engine really emits the
+        // window-close choreography.
+        let trace = traced_run(ProtocolKind::g2pl_paper());
+        let closes = trace
+            .iter()
+            .filter(|e| e.kind == TraceKind::WindowClosed)
+            .count();
+        let entries = trace
+            .iter()
+            .filter(|e| e.kind == TraceKind::FlOrdered)
+            .count();
+        assert!(closes > 0, "no WindowClosed events recorded");
+        assert!(entries >= closes, "every dispatch lists at least one entry");
+    }
+
+    #[test]
+    fn fifo_engine_traces_validate_without_consistency() {
+        // The FIFO ablation produces mutually inconsistent lists by
+        // design; the checker must accept them under the right options
+        // (and the structural P7 checks still apply).
+        let opts = g2pl_protocols::G2plOpts {
+            ordering: g2pl_fwdlist::OrderingRule::fifo(),
+            ..g2pl_protocols::G2plOpts::default()
+        };
+        let trace = traced_run(ProtocolKind::G2pl(opts));
+        let check_opts = TraceCheckOpts {
+            fl_consistent: false,
+            expand_reads: false,
+        };
+        check_trace_with(&trace, check_opts).unwrap_or_else(|e| panic!("{e}"));
+    }
+
+    #[test]
+    fn expanded_read_engine_traces_validate() {
+        let opts = g2pl_protocols::G2plOpts {
+            expand_reads: true,
+            ..g2pl_protocols::G2plOpts::default()
+        };
+        let kind = ProtocolKind::G2pl(opts);
+        let mut cfg = EngineConfig::table1(kind, 8, 50, 0.9);
+        cfg.warmup_txns = 0;
+        cfg.measured_txns = 300;
+        cfg.trace_events = true;
+        cfg.drain = true;
+        let trace = run(&cfg).trace.expect("trace on");
+        let check_opts = TraceCheckOpts::for_config(&cfg);
+        assert!(check_opts.expand_reads, "opts derive from the config");
+        check_trace_with(&trace, check_opts).unwrap_or_else(|e| panic!("{e}"));
     }
 
     #[test]
@@ -213,5 +399,105 @@ mod tests {
             ev(4, TraceKind::Forwarded, 1, Some(0)),
         ];
         assert!(check_trace(&trace).is_ok());
+    }
+
+    /// A `WindowClosed` event carrying no txn, only an item.
+    fn close(at: u64, item: u32) -> TraceEvent {
+        TraceEvent {
+            at: SimTime::new(at),
+            kind: TraceKind::WindowClosed,
+            txn: None,
+            item: Some(ItemId::new(item)),
+            site: SiteId::Server,
+        }
+    }
+
+    #[test]
+    fn rejects_forward_before_own_commit() {
+        // Strictness (P5): the txn forwards its data at t=3 and only
+        // commits at t=5 — a pre-commit leak of committed state.
+        let trace = vec![
+            ev(0, TraceKind::RequestSent, 1, Some(0)),
+            ev(1, TraceKind::Granted, 1, Some(0)),
+            ev(3, TraceKind::Forwarded, 1, Some(0)),
+            ev(5, TraceKind::Committed, 1, None),
+        ];
+        let err = check_trace(&trace).unwrap_err();
+        assert!(err.contains("P5"), "{err}");
+    }
+
+    #[test]
+    fn rejects_inconsistent_forward_list_orders() {
+        // One list fixes T1 < T2 on item 0; a later list on item 1
+        // reverses the pair — exactly the §3.3 inconsistency that causes
+        // cross-item deadlocks.
+        let trace = vec![
+            close(0, 0),
+            ev(0, TraceKind::FlOrdered, 1, Some(0)),
+            ev(0, TraceKind::FlOrdered, 2, Some(0)),
+            close(4, 1),
+            ev(4, TraceKind::FlOrdered, 2, Some(1)),
+            ev(4, TraceKind::FlOrdered, 1, Some(1)),
+        ];
+        let err = check_trace(&trace).unwrap_err();
+        assert!(err.contains("P6"), "{err}");
+        // The FIFO ablation is allowed to do this.
+        let lax = TraceCheckOpts {
+            fl_consistent: false,
+            expand_reads: false,
+        };
+        assert!(check_trace_with(&trace, lax).is_ok());
+    }
+
+    #[test]
+    fn rejects_duplicate_forward_list_entry() {
+        let trace = vec![
+            close(0, 0),
+            ev(0, TraceKind::FlOrdered, 1, Some(0)),
+            ev(0, TraceKind::FlOrdered, 1, Some(0)),
+        ];
+        let err = check_trace(&trace).unwrap_err();
+        assert!(err.contains("P6"), "{err}");
+    }
+
+    #[test]
+    fn rejects_list_entry_outside_window_close() {
+        // An FlOrdered entry with no preceding WindowClosed for its item
+        // is a forward list mutated outside its window close.
+        let trace = vec![ev(1, TraceKind::FlOrdered, 1, Some(0))];
+        let err = check_trace(&trace).unwrap_err();
+        assert!(err.contains("P7"), "{err}");
+        // ... including when a *different* item's group is open:
+        let trace = vec![close(0, 1), ev(0, TraceKind::FlOrdered, 1, Some(0))];
+        let err = check_trace(&trace).unwrap_err();
+        assert!(err.contains("P7"), "{err}");
+    }
+
+    #[test]
+    fn rejects_extension_without_expand_reads() {
+        let trace = vec![
+            close(0, 0),
+            ev(0, TraceKind::FlOrdered, 1, Some(0)),
+            ev(3, TraceKind::FlExtended, 2, Some(0)),
+        ];
+        let err = check_trace(&trace).unwrap_err();
+        assert!(err.contains("P7"), "{err}");
+        // Legal when the run used the read-expansion variant.
+        let lax = TraceCheckOpts {
+            fl_consistent: true,
+            expand_reads: true,
+        };
+        assert!(check_trace_with(&trace, lax).is_ok());
+    }
+
+    #[test]
+    fn rejects_extension_of_undispatched_item() {
+        let lax = TraceCheckOpts {
+            fl_consistent: true,
+            expand_reads: true,
+        };
+        let trace = vec![ev(1, TraceKind::FlExtended, 2, Some(0))];
+        let err = check_trace_with(&trace, lax).unwrap_err();
+        assert!(err.contains("P7"), "{err}");
     }
 }

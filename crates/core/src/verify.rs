@@ -87,8 +87,7 @@ pub fn check_serializable(history: &History) -> Result<(), String> {
         for (&v, txns) in by_version {
             if v > max_written {
                 return Err(format!(
-                    "{:?} read version {v} of {item}, but only {max_written} were written",
-                    txns
+                    "{txns:?} read version {v} of {item}, but only {max_written} were written"
                 ));
             }
         }
@@ -165,8 +164,8 @@ pub fn check_serializable(history: &History) -> Result<(), String> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use g2pl_protocols::CommitRecord;
     use g2pl_protocols::history::AccessRecord;
+    use g2pl_protocols::CommitRecord;
     use g2pl_simcore::SimTime;
     use g2pl_workload::AccessMode;
 

@@ -15,13 +15,13 @@
 //! windows.
 
 use g2pl_simcore::TxnId;
-use std::collections::{HashMap, HashSet};
+use std::collections::{BTreeMap, BTreeSet};
 
 /// An acyclic precedence relation over active transactions.
 #[derive(Clone, Debug, Default)]
 pub struct PrecedenceDag {
-    succ: HashMap<TxnId, HashSet<TxnId>>,
-    pred: HashMap<TxnId, HashSet<TxnId>>,
+    succ: BTreeMap<TxnId, BTreeSet<TxnId>>,
+    pred: BTreeMap<TxnId, BTreeSet<TxnId>>,
 }
 
 impl PrecedenceDag {
@@ -53,7 +53,7 @@ impl PrecedenceDag {
         }
         // DFS from a.
         let mut stack = vec![a];
-        let mut seen = HashSet::new();
+        let mut seen = BTreeSet::new();
         while let Some(t) = stack.pop() {
             if let Some(next) = self.succ.get(&t) {
                 for &n in next {
@@ -101,7 +101,7 @@ impl PrecedenceDag {
 
     /// Number of transactions with at least one constraint.
     pub fn constrained_count(&self) -> usize {
-        let mut nodes: HashSet<TxnId> = self.succ.keys().copied().collect();
+        let mut nodes: BTreeSet<TxnId> = self.succ.keys().copied().collect();
         nodes.extend(self.pred.keys().copied());
         nodes.len()
     }
@@ -109,8 +109,8 @@ impl PrecedenceDag {
     /// Verify acyclicity by Kahn's algorithm (test/debug helper; the DAG
     /// is acyclic by construction in production use).
     pub fn is_acyclic(&self) -> bool {
-        let mut indeg: HashMap<TxnId, usize> = HashMap::new();
-        let mut nodes: HashSet<TxnId> = HashSet::new();
+        let mut indeg: BTreeMap<TxnId, usize> = BTreeMap::new();
+        let mut nodes: BTreeSet<TxnId> = BTreeSet::new();
         for (&n, succs) in &self.succ {
             nodes.insert(n);
             for &s in succs {
@@ -128,6 +128,7 @@ impl PrecedenceDag {
             removed += 1;
             if let Some(succs) = self.succ.get(&n) {
                 for &s in succs {
+                    // lint:allow(L3): every edge target was given an indegree above
                     let d = indeg.get_mut(&s).expect("edge target has indegree");
                     *d -= 1;
                     if *d == 0 {

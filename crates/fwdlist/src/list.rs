@@ -137,6 +137,7 @@ impl ForwardList {
         while start > 0 && self.entries[start - 1].mode.is_shared() {
             start -= 1;
         }
+        // lint:allow(L3): caller-checked index; segment_at(start) <= idx always exists
         self.segment_at(start).expect("idx is in range")
     }
 

@@ -47,10 +47,7 @@ impl CollectionWindow {
     /// Add a request to the window.
     pub fn push(&mut self, req: PendingReq) {
         debug_assert!(
-            !self
-                .pending
-                .iter()
-                .any(|p| p.entry.txn == req.entry.txn),
+            !self.pending.iter().any(|p| p.entry.txn == req.entry.txn),
             "duplicate pending request for {:?}",
             req.entry.txn
         );

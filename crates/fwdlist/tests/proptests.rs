@@ -2,9 +2,9 @@
 //! must produce permutations that respect the precedence DAG, keep the
 //! DAG acyclic, and stay mutually consistent across windows.
 
+use g2pl_fwdlist::order::BaseOrder;
 use g2pl_fwdlist::window::PendingReq;
 use g2pl_fwdlist::{FlEntry, ForwardList, OrderingRule, PrecedenceDag, Segment};
-use g2pl_fwdlist::order::BaseOrder;
 use g2pl_lockmgr::LockMode;
 use g2pl_simcore::{ClientId, TxnId};
 use proptest::prelude::*;
@@ -36,7 +36,11 @@ fn arb_window(max_txn: u32) -> impl Strategy<Value = Vec<PendingReq>> {
 fn arb_rule() -> impl Strategy<Value = OrderingRule> {
     (any::<bool>(), any::<bool>(), any::<bool>()).prop_map(|(aging, consistent, coalesce)| {
         OrderingRule {
-            base: if aging { BaseOrder::Aging } else { BaseOrder::Fifo },
+            base: if aging {
+                BaseOrder::Aging
+            } else {
+                BaseOrder::Fifo
+            },
             consistent,
             coalesce_readers: coalesce,
         }

@@ -1,0 +1,36 @@
+//! Fixture: clean engine code — deterministic collections, no ambient
+//! time or entropy, no panics outside tests, one justified allow.
+//! Never compiled; scanned by `tests/fixtures.rs`.
+
+use std::collections::{BTreeMap, HashMap};
+
+struct LockTable {
+    held: BTreeMap<u32, u32>,
+    cache: HashMap<u32, u32>,
+}
+
+impl LockTable {
+    fn holders_in_order(&self) -> Vec<u32> {
+        // BTreeMap iterates in key order — deterministic.
+        self.held.keys().copied().collect()
+    }
+
+    fn lookup(&self, k: u32) -> Option<u32> {
+        // Point lookups on a HashMap are order-free and fine.
+        self.cache.get(&k).copied()
+    }
+
+    fn must_hold(&self, k: u32) -> u32 {
+        // lint:allow(L3): callers establish the hold one frame up
+        *self.held.get(&k).expect("hold exists")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn panics_are_fine_in_tests() {
+        let v: Vec<u32> = vec![1];
+        assert_eq!(v.first().copied().unwrap(), 1);
+    }
+}

@@ -1,0 +1,31 @@
+//! Fixture: L1 violations — iteration over hashed collections in what
+//! would be engine decision paths. Never compiled; scanned by
+//! `tests/fixtures.rs`.
+
+use std::collections::{HashMap, HashSet};
+
+struct VictimTable {
+    waiters: HashMap<u32, u64>,
+    parked: HashSet<u32>,
+}
+
+impl VictimTable {
+    fn pick_victim(&self) -> Option<u32> {
+        // L1: iteration order decides the victim.
+        self.waiters.keys().min().copied()
+    }
+
+    fn drain_parked(&mut self) -> Vec<u32> {
+        // L1: drain order flows into the caller.
+        self.parked.drain().collect()
+    }
+
+    fn sum_costs(&self) -> u64 {
+        let mut total = 0;
+        // L1: for-loop over a HashMap.
+        for (_, cost) in &self.waiters {
+            total += cost;
+        }
+        total
+    }
+}

@@ -1,0 +1,22 @@
+//! Fixture: L2 violations — ambient time and entropy outside `simcore`.
+//! Never compiled; scanned by `tests/fixtures.rs`.
+
+use std::time::Instant;
+
+fn stamp_request() -> u128 {
+    // L2: wall-clock reads make runs irreproducible.
+    Instant::now().elapsed().as_nanos()
+}
+
+fn wall_clock_seed() -> u64 {
+    // L2: SystemTime as a seed source.
+    std::time::SystemTime::now()
+        .duration_since(std::time::UNIX_EPOCH)
+        .map(|d| d.as_secs())
+        .unwrap_or(0)
+}
+
+fn jitter() -> f64 {
+    // L2: ambient entropy.
+    rand::thread_rng().gen::<f64>()
+}

@@ -1,0 +1,25 @@
+//! Fixture: L3 violations — panicking calls in non-test engine code,
+//! plus a malformed allow marker. Never compiled; scanned by
+//! `tests/fixtures.rs`.
+
+fn first_waiter(queue: &[u32]) -> u32 {
+    // L3: unwrap in engine code.
+    queue.first().copied().unwrap()
+}
+
+fn holder(map: &std::collections::BTreeMap<u32, u32>, k: u32) -> u32 {
+    // L3: expect in engine code.
+    *map.get(&k).expect("holder must exist")
+}
+
+fn reject(mode: u8) {
+    if mode > 2 {
+        // L3: panic! in engine code.
+        panic!("bad mode {mode}");
+    }
+}
+
+fn bad_marker(queue: &[u32]) -> u32 {
+    // lint:allow(L3)
+    queue.last().copied().unwrap()
+}

@@ -1,0 +1,686 @@
+//! Determinism & protocol-invariant lints for the g-2PL engine crates.
+//!
+//! The simulator's headline guarantee is that a run's seed fully
+//! determines its trace. Three classes of source-level mistakes can break
+//! that silently, so this crate enforces them mechanically over the
+//! engine crates (`protocols`, `lockmgr`, `fwdlist`, `simcore`,
+//! `netmodel`):
+//!
+//! * **L1 — unordered-map iteration.** Iterating a `HashMap`/`HashSet`
+//!   yields an arbitrary order that varies across runs and toolchains.
+//!   In a decision path (victim selection, forward-list ordering, lock
+//!   release sweeps) that is a nondeterminism bug even when every element
+//!   is visited. Engine code must use `BTreeMap`/`BTreeSet` or sort
+//!   explicitly before iterating.
+//! * **L2 — ambient time or entropy.** `std::time::{Instant, SystemTime}`,
+//!   `rand::thread_rng`, and hashing's `RandomState` read wall-clock or
+//!   OS entropy. All time must come from the simulated clock and all
+//!   randomness from seeded [`RngStream`]s; only `simcore` (which owns
+//!   those abstractions) is exempt.
+//! * **L3 — panicking calls in engine code.** `unwrap`/`expect`/`panic!`
+//!   outside `#[cfg(test)]` turn recoverable conditions into crashes.
+//!   Deliberate invariant assertions are allowed, but must carry a
+//!   visible justification (see below).
+//!
+//! A finding on line *n* is suppressed by `// lint:allow(Lx): reason`
+//! on line *n* or *n − 1*. The reason is mandatory — an allow without
+//! one is itself reported.
+//!
+//! The analyzer is a comment/string-aware token scanner, not a full
+//! parser: precise enough for these lints (it tracks declared
+//! `HashMap`/`HashSet` bindings per file and `#[cfg(test)]` regions by
+//! brace depth) while depending on nothing outside `std`.
+//!
+//! [`RngStream`]: ../g2pl_simcore/rng/struct.RngStream.html
+
+use std::fmt;
+use std::path::{Path, PathBuf};
+
+/// Crates the lints apply to, relative to the workspace root.
+pub const ENGINE_CRATES: [&str; 5] = [
+    "crates/protocols",
+    "crates/lockmgr",
+    "crates/fwdlist",
+    "crates/simcore",
+    "crates/netmodel",
+];
+
+/// Which lint a diagnostic belongs to.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Lint {
+    /// Iteration over `HashMap`/`HashSet`.
+    L1,
+    /// Ambient time or entropy.
+    L2,
+    /// `unwrap`/`expect`/`panic!` in non-test engine code.
+    L3,
+}
+
+impl Lint {
+    fn as_str(self) -> &'static str {
+        match self {
+            Lint::L1 => "L1",
+            Lint::L2 => "L2",
+            Lint::L3 => "L3",
+        }
+    }
+}
+
+impl fmt::Display for Lint {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+/// One finding: a lint violated at a source location.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Diagnostic {
+    /// Path as given to the scanner (workspace-relative in CLI use).
+    pub file: String,
+    /// 1-based line number.
+    pub line: usize,
+    /// The violated lint.
+    pub lint: Lint,
+    /// Human-readable description of the violation.
+    pub message: String,
+}
+
+impl fmt::Display for Diagnostic {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}:{}: {}: {}",
+            self.file, self.line, self.lint, self.message
+        )
+    }
+}
+
+/// Per-file lint configuration.
+#[derive(Clone, Copy, Debug)]
+pub struct FileConfig {
+    /// Apply L2 (false for `simcore`, which owns the clock and RNG).
+    pub check_ambient: bool,
+}
+
+impl Default for FileConfig {
+    fn default() -> Self {
+        FileConfig {
+            check_ambient: true,
+        }
+    }
+}
+
+/// A source line with comments and string literals blanked out, plus the
+/// comment text (kept separately so `lint:allow` markers survive).
+struct CleanLine {
+    /// Code with comments/strings replaced by spaces; same length/columns.
+    code: String,
+    /// Text of any `//` comment on the line.
+    comment: String,
+    /// Whether this line is inside a `#[cfg(test)]` region.
+    in_test: bool,
+}
+
+/// Strip comments and strings across a whole file, tracking block
+/// comments and `#[cfg(test)]` brace regions.
+fn clean_lines(source: &str) -> Vec<CleanLine> {
+    let mut out = Vec::new();
+    let mut in_block_comment = false;
+    // (depth_at_entry) for each active #[cfg(test)] region; a pending
+    // marker waits for the region's opening brace.
+    let mut test_regions: Vec<i32> = Vec::new();
+    let mut pending_test_attr = false;
+    let mut depth: i32 = 0;
+
+    for raw in source.lines() {
+        let mut code = String::with_capacity(raw.len());
+        let mut comment = String::new();
+        let mut chars = raw.chars().peekable();
+        let mut in_string = false;
+        let mut in_char = false;
+
+        while let Some(c) = chars.next() {
+            if in_block_comment {
+                if c == '*' && chars.peek() == Some(&'/') {
+                    chars.next();
+                    in_block_comment = false;
+                    code.push_str("  ");
+                } else {
+                    code.push(' ');
+                }
+                continue;
+            }
+            if in_string {
+                if c == '\\' {
+                    chars.next();
+                    code.push_str("  ");
+                } else if c == '"' {
+                    in_string = false;
+                    code.push('"');
+                } else {
+                    code.push(' ');
+                }
+                continue;
+            }
+            if in_char {
+                if c == '\\' {
+                    chars.next();
+                    code.push_str("  ");
+                } else if c == '\'' {
+                    in_char = false;
+                    code.push('\'');
+                } else {
+                    code.push(' ');
+                }
+                continue;
+            }
+            match c {
+                '/' if chars.peek() == Some(&'/') => {
+                    comment.push('/');
+                    comment.extend(chars.by_ref());
+                    break;
+                }
+                '/' if chars.peek() == Some(&'*') => {
+                    chars.next();
+                    in_block_comment = true;
+                    code.push_str("  ");
+                }
+                '"' => {
+                    in_string = true;
+                    code.push('"');
+                }
+                // A lifetime or char literal; only treat as a char
+                // literal when it closes (e.g. 'a'), otherwise it is a
+                // lifetime tick and passes through.
+                '\'' => {
+                    let mut lookahead = chars.clone();
+                    let is_char_lit = match lookahead.next() {
+                        Some('\\') => true,
+                        Some(_) => lookahead.next() == Some('\''),
+                        None => false,
+                    };
+                    if is_char_lit {
+                        in_char = true;
+                    }
+                    code.push('\'');
+                }
+                _ => code.push(c),
+            }
+        }
+
+        // Track #[cfg(test)] regions by brace depth on cleaned code.
+        let trimmed = code.trim_start();
+        if trimmed.starts_with("#[cfg(test)]") || trimmed.starts_with("#[cfg(all(test") {
+            pending_test_attr = true;
+        }
+        for ch in code.chars() {
+            match ch {
+                '{' => {
+                    depth += 1;
+                    if pending_test_attr {
+                        test_regions.push(depth);
+                        pending_test_attr = false;
+                    }
+                }
+                '}' => {
+                    if let Some(&region) = test_regions.last() {
+                        if depth == region {
+                            test_regions.pop();
+                        }
+                    }
+                    depth -= 1;
+                }
+                _ => {}
+            }
+        }
+        out.push(CleanLine {
+            code,
+            comment,
+            in_test: pending_test_attr || !test_regions.is_empty(),
+        });
+    }
+    out
+}
+
+/// True if `code[idx]` begins a standalone word (not mid-identifier).
+fn word_at(code: &str, idx: usize, word: &str) -> bool {
+    let before_ok = idx == 0
+        || !code[..idx]
+            .chars()
+            .next_back()
+            .is_some_and(|c| c.is_alphanumeric() || c == '_');
+    let end = idx + word.len();
+    let after_ok = end >= code.len()
+        || !code[end..]
+            .chars()
+            .next()
+            .is_some_and(|c| c.is_alphanumeric() || c == '_');
+    before_ok && after_ok
+}
+
+/// All standalone occurrences of `word` in `code`.
+fn find_word(code: &str, word: &str) -> Vec<usize> {
+    let mut hits = Vec::new();
+    let mut from = 0;
+    while let Some(pos) = code[from..].find(word) {
+        let idx = from + pos;
+        if word_at(code, idx, word) {
+            hits.push(idx);
+        }
+        from = idx + word.len();
+    }
+    hits
+}
+
+/// Identifier immediately before the `.` at `dot_idx`: the last path
+/// segment of the receiver, so `self.holds.iter()` → `holds` and
+/// `seen.iter()` → `seen`. Chains ending in a call (`f().iter()`) have
+/// no identifier receiver and return `None`.
+fn receiver_ident(code: &str, dot_idx: usize) -> Option<String> {
+    let bytes = code.as_bytes();
+    let end = dot_idx;
+    let mut start = end;
+    while start > 0 {
+        let c = bytes[start - 1] as char;
+        if c.is_alphanumeric() || c == '_' {
+            start -= 1;
+        } else {
+            break;
+        }
+    }
+    if start == end {
+        return None;
+    }
+    Some(code[start..end].to_string())
+}
+
+/// Methods whose call on a `HashMap`/`HashSet` receiver iterates it.
+const ITER_METHODS: [&str; 9] = [
+    "iter",
+    "iter_mut",
+    "keys",
+    "values",
+    "values_mut",
+    "drain",
+    "into_iter",
+    "retain",
+    "into_values",
+];
+
+/// Scan one file. `file` is the path label used in diagnostics.
+#[must_use]
+pub fn lint_source(file: &str, source: &str, config: FileConfig) -> Vec<Diagnostic> {
+    let lines = clean_lines(source);
+    let mut diags = Vec::new();
+
+    // Pass 1: collect identifiers declared with an unordered-map type
+    // anywhere in the file (struct fields and annotated/inferred lets).
+    let mut unordered: Vec<String> = Vec::new();
+    for line in &lines {
+        let code = &line.code;
+        for ty in ["HashMap", "HashSet"] {
+            for idx in find_word(code, ty) {
+                // `name: HashMap<...>` / `name: &mut HashMap<...>`
+                // (struct field, let annotation, or parameter).
+                let mut before = code[..idx].trim_end();
+                loop {
+                    if let Some(s) = before.strip_suffix('&') {
+                        before = s.trim_end();
+                    } else if let Some(s) = before.strip_suffix("mut") {
+                        before = s.trim_end();
+                    } else {
+                        break;
+                    }
+                }
+                if let Some(bare) = before.strip_suffix(':') {
+                    let name: String = bare
+                        .chars()
+                        .rev()
+                        .take_while(|c| c.is_alphanumeric() || *c == '_')
+                        .collect::<String>()
+                        .chars()
+                        .rev()
+                        .collect();
+                    if !name.is_empty() {
+                        unordered.push(name);
+                    }
+                }
+                // `let name = HashMap::new()` (and with_capacity/from).
+                if let Some(before) = code[..idx].trim_end().strip_suffix('=') {
+                    let binding = before.trim_end();
+                    if let Some(p) = binding.rfind("let ") {
+                        let rest = binding[p + 4..].trim().trim_start_matches("mut ");
+                        let name: String = rest
+                            .chars()
+                            .take_while(|c| c.is_alphanumeric() || *c == '_')
+                            .collect();
+                        if !name.is_empty() {
+                            unordered.push(name);
+                        }
+                    }
+                }
+            }
+        }
+    }
+    unordered.sort();
+    unordered.dedup();
+
+    // Pass 2: per-line checks.
+    for (i, line) in lines.iter().enumerate() {
+        let lineno = i + 1;
+        let code = &line.code;
+        let allowed = |lint: Lint| -> bool {
+            let marker = format!("lint:allow({})", lint.as_str());
+            let mut comments = vec![lines[i].comment.as_str()];
+            if i > 0 {
+                comments.push(lines[i - 1].comment.as_str());
+            }
+            comments.iter().any(|c| {
+                c.find(&marker).is_some_and(|pos| {
+                    let after = c[pos + marker.len()..].trim_start();
+                    after.starts_with(':') && after[1..].trim().len() >= 3
+                })
+            })
+        };
+
+        if line.in_test {
+            continue;
+        }
+
+        // L1: iteration over tracked unordered containers, plus
+        // `for _ in map` over a tracked name.
+        for idx in code.match_indices('.').map(|(p, _)| p) {
+            let rest = &code[idx + 1..];
+            for m in ITER_METHODS {
+                if rest.starts_with(m)
+                    && rest[m.len()..].trim_start().starts_with('(')
+                    && word_at(code, idx + 1, m)
+                {
+                    if let Some(recv) = receiver_ident(code, idx) {
+                        if unordered.contains(&recv) && !allowed(Lint::L1) {
+                            diags.push(Diagnostic {
+                                file: file.to_string(),
+                                line: lineno,
+                                lint: Lint::L1,
+                                message: format!(
+                                    "iteration over unordered container `{recv}` \
+                                         (`.{m}()`): order is nondeterministic; use \
+                                         BTreeMap/BTreeSet or sort first"
+                                ),
+                            });
+                        }
+                    }
+                }
+            }
+        }
+        if let Some(for_idx) = find_word(code, "for").first().copied() {
+            if let Some(in_rel) = code[for_idx..].find(" in ") {
+                let tail = code[for_idx + in_rel + 4..].trim_start();
+                let tail = tail.trim_start_matches('&').trim_start_matches("mut ");
+                let tail = tail.strip_prefix("self.").unwrap_or(tail);
+                let name: String = tail
+                    .chars()
+                    .take_while(|c| c.is_alphanumeric() || *c == '_')
+                    .collect();
+                let after = &tail[name.len()..];
+                let direct = after.trim_start().starts_with('{') || after.trim_start().is_empty();
+                if direct && unordered.contains(&name) && !allowed(Lint::L1) {
+                    diags.push(Diagnostic {
+                        file: file.to_string(),
+                        line: lineno,
+                        lint: Lint::L1,
+                        message: format!(
+                            "`for` loop over unordered container `{name}`: order is \
+                             nondeterministic; use BTreeMap/BTreeSet or sort first"
+                        ),
+                    });
+                }
+            }
+        }
+
+        // L2: ambient time/entropy.
+        if config.check_ambient {
+            for (needle, what) in [
+                ("std::time::Instant", "wall-clock time"),
+                ("std::time::SystemTime", "wall-clock time"),
+                ("Instant::now", "wall-clock time"),
+                ("SystemTime::now", "wall-clock time"),
+                ("thread_rng", "OS entropy"),
+                ("rand::random", "OS entropy"),
+                ("RandomState::new", "hasher entropy"),
+            ] {
+                if code.contains(needle) && !allowed(Lint::L2) {
+                    diags.push(Diagnostic {
+                        file: file.to_string(),
+                        line: lineno,
+                        lint: Lint::L2,
+                        message: format!(
+                            "`{needle}` reads {what}: engine code must use the \
+                             simulated clock / seeded RngStream"
+                        ),
+                    });
+                }
+            }
+        }
+
+        // L3: panicking calls.
+        for (pat, desc) in [
+            (".unwrap()", "`.unwrap()`"),
+            (".expect(", "`.expect(..)`"),
+            ("panic!(", "`panic!`"),
+        ] {
+            let mut from = 0;
+            while let Some(pos) = code[from..].find(pat) {
+                let idx = from + pos;
+                from = idx + pat.len();
+                // `panic!` must start a word (skip e.g. `debug_panic!`);
+                // method patterns start with '.' so they always match.
+                if pat.starts_with('p') && !word_at(code, idx, "panic") {
+                    continue;
+                }
+                if !allowed(Lint::L3) {
+                    diags.push(Diagnostic {
+                        file: file.to_string(),
+                        line: lineno,
+                        lint: Lint::L3,
+                        message: format!(
+                            "{desc} in engine code: return an error or justify \
+                             with `// lint:allow(L3): <invariant>`"
+                        ),
+                    });
+                }
+            }
+        }
+
+        // Malformed allow markers: an allow without a reason is an error
+        // wherever it appears (test code included would be noise — keep
+        // it to engine lines, which is where we are).
+        if let Some(pos) = line.comment.find("lint:allow(") {
+            let after = &line.comment[pos..];
+            let well_formed = ["L1", "L2", "L3"].iter().any(|l| {
+                after
+                    .strip_prefix(&format!("lint:allow({l})"))
+                    .is_some_and(|rest| {
+                        rest.trim_start().starts_with(':')
+                            && rest.trim_start()[1..].trim().len() >= 3
+                    })
+            });
+            if !well_formed {
+                diags.push(Diagnostic {
+                    file: file.to_string(),
+                    line: lineno,
+                    lint: Lint::L3,
+                    message: "malformed lint:allow — use `lint:allow(Lx): reason`".to_string(),
+                });
+            }
+        }
+    }
+    diags
+}
+
+/// Recursively collect `.rs` files under `dir` in sorted order.
+fn rust_files(dir: &Path, out: &mut Vec<PathBuf>) -> std::io::Result<()> {
+    let mut entries: Vec<_> = std::fs::read_dir(dir)?
+        .collect::<Result<Vec<_>, _>>()?
+        .into_iter()
+        .map(|e| e.path())
+        .collect();
+    entries.sort();
+    for path in entries {
+        if path.is_dir() {
+            rust_files(&path, out)?;
+        } else if path.extension().is_some_and(|e| e == "rs") {
+            out.push(path);
+        }
+    }
+    Ok(())
+}
+
+/// Lint every engine crate under `workspace_root`; diagnostics carry
+/// workspace-relative paths.
+pub fn lint_workspace(workspace_root: &Path) -> std::io::Result<Vec<Diagnostic>> {
+    let mut diags = Vec::new();
+    for krate in ENGINE_CRATES {
+        let src = workspace_root.join(krate).join("src");
+        let config = FileConfig {
+            // simcore owns the clock and RNG abstractions.
+            check_ambient: krate != "crates/simcore",
+        };
+        let mut files = Vec::new();
+        rust_files(&src, &mut files)?;
+        for path in files {
+            let source = std::fs::read_to_string(&path)?;
+            let label = path
+                .strip_prefix(workspace_root)
+                .unwrap_or(&path)
+                .display()
+                .to_string();
+            diags.extend(lint_source(&label, &source, config));
+        }
+    }
+    Ok(diags)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn lint(src: &str) -> Vec<Diagnostic> {
+        lint_source("test.rs", src, FileConfig::default())
+    }
+
+    #[test]
+    fn flags_hashmap_iteration() {
+        let src = "struct S { holds: HashMap<u32, u64> }\n\
+                   impl S { fn f(&self) { for x in self.holds.values() { let _ = x; } } }\n";
+        let d = lint(src);
+        assert!(d.iter().any(|d| d.lint == Lint::L1 && d.line == 2), "{d:?}");
+    }
+
+    #[test]
+    fn flags_for_loop_over_set() {
+        let src =
+            "fn f() { let seen: HashSet<u32> = HashSet::new();\nfor x in &seen { let _ = x; } }\n";
+        let d = lint(src);
+        assert!(d.iter().any(|d| d.lint == Lint::L1 && d.line == 2), "{d:?}");
+    }
+
+    #[test]
+    fn btreemap_iteration_is_fine() {
+        let src = "struct S { holds: BTreeMap<u32, u64> }\n\
+                   impl S { fn f(&self) { for x in self.holds.values() { let _ = x; } } }\n";
+        assert!(lint(src).is_empty());
+    }
+
+    #[test]
+    fn point_lookups_on_hashmap_are_fine() {
+        let src = "struct S { holds: HashMap<u32, u64> }\n\
+                   impl S { fn f(&self) -> Option<&u64> { self.holds.get(&1) } }\n";
+        assert!(lint(src).is_empty());
+    }
+
+    #[test]
+    fn flags_ambient_time_and_entropy() {
+        let src = "fn f() { let t = std::time::Instant::now(); let r = rand::thread_rng(); }\n";
+        let d = lint(src);
+        assert!(
+            d.iter().filter(|d| d.lint == Lint::L2).count() >= 2,
+            "{d:?}"
+        );
+    }
+
+    #[test]
+    fn simcore_config_skips_ambient() {
+        let src = "fn f() { let t = std::time::Instant::now(); }\n";
+        let d = lint_source(
+            "test.rs",
+            src,
+            FileConfig {
+                check_ambient: false,
+            },
+        );
+        assert!(d.is_empty());
+    }
+
+    #[test]
+    fn flags_unwrap_expect_panic() {
+        let src = "fn f(x: Option<u32>) -> u32 { let a = x.unwrap(); let b = x.expect(\"no\"); panic!(\"boom\"); }\n";
+        let d = lint(src);
+        assert_eq!(d.iter().filter(|d| d.lint == Lint::L3).count(), 3, "{d:?}");
+    }
+
+    #[test]
+    fn allow_with_reason_suppresses() {
+        let src = "fn f(x: Option<u32>) -> u32 {\n\
+                   // lint:allow(L3): invariant — x checked above\n\
+                   x.unwrap()\n}\n";
+        assert!(lint(src).is_empty());
+        let same_line = "fn f(x: Option<u32>) -> u32 { x.unwrap() } // lint:allow(L3): checked\n";
+        assert!(lint(same_line).is_empty());
+    }
+
+    #[test]
+    fn allow_without_reason_is_reported() {
+        let src = "fn f(x: Option<u32>) -> u32 { x.unwrap() } // lint:allow(L3)\n";
+        let d = lint(src);
+        assert!(d.iter().any(|d| d.message.contains("malformed")), "{d:?}");
+    }
+
+    #[test]
+    fn cfg_test_regions_are_skipped() {
+        let src = "fn prod(x: Option<u32>) { let _ = x; }\n\
+                   #[cfg(test)]\n\
+                   mod tests {\n\
+                   fn f(x: Option<u32>) -> u32 { x.unwrap() }\n\
+                   #[test]\n\
+                   fn t() { panic!(\"fine in tests\"); }\n\
+                   }\n";
+        assert!(lint(src).is_empty());
+    }
+
+    #[test]
+    fn strings_and_comments_do_not_trip() {
+        let src = "fn f() -> &'static str {\n\
+                   // mention of panic!( and .unwrap() in a comment\n\
+                   \"std::time::Instant in a string, panic!(x.unwrap())\"\n\
+                   }\n";
+        assert!(lint(src).is_empty());
+    }
+
+    #[test]
+    fn block_comments_span_lines() {
+        let src = "/* start\n x.unwrap() still commented\n*/\nfn f() {}\n";
+        assert!(lint(src).is_empty());
+    }
+
+    #[test]
+    fn diagnostics_render_file_line_lint() {
+        let d = Diagnostic {
+            file: "crates/x/src/a.rs".into(),
+            line: 7,
+            lint: Lint::L1,
+            message: "m".into(),
+        };
+        assert_eq!(d.to_string(), "crates/x/src/a.rs:7: L1: m");
+    }
+}

@@ -1,0 +1,58 @@
+//! `g2pl-lint` — run the determinism/invariant lints over the engine
+//! crates and exit non-zero on any finding.
+//!
+//! Usage: `cargo run -p g2pl-lint` (from anywhere in the workspace).
+//! Diagnostics are `file:line: Lx: message`, one per line, sorted.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+/// Workspace root: the nearest ancestor of the current directory (or of
+/// this crate's manifest, when run via cargo) containing a `[workspace]`
+/// Cargo.toml.
+fn workspace_root() -> Option<PathBuf> {
+    let mut starts = vec![std::env::current_dir().ok()?];
+    if let Some(manifest) = std::env::var_os("CARGO_MANIFEST_DIR") {
+        starts.push(PathBuf::from(manifest));
+    }
+    starts.iter().find_map(|start| {
+        let mut dir = Some(start.as_path());
+        while let Some(d) = dir {
+            if let Ok(text) = std::fs::read_to_string(d.join("Cargo.toml")) {
+                if text.contains("[workspace]") {
+                    return Some(d.to_path_buf());
+                }
+            }
+            dir = d.parent();
+        }
+        None
+    })
+}
+
+fn main() -> ExitCode {
+    let Some(root) = workspace_root() else {
+        eprintln!("g2pl-lint: could not locate the workspace root");
+        return ExitCode::FAILURE;
+    };
+    let mut diags = match g2pl_lint::lint_workspace(&root) {
+        Ok(d) => d,
+        Err(e) => {
+            eprintln!("g2pl-lint: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    diags.sort_by(|a, b| (&a.file, a.line, a.lint).cmp(&(&b.file, b.line, b.lint)));
+    for d in &diags {
+        println!("{d}");
+    }
+    if diags.is_empty() {
+        eprintln!(
+            "g2pl-lint: clean — {} engine crates pass L1/L2/L3",
+            g2pl_lint::ENGINE_CRATES.len()
+        );
+        ExitCode::SUCCESS
+    } else {
+        eprintln!("g2pl-lint: {} finding(s)", diags.len());
+        ExitCode::FAILURE
+    }
+}

@@ -1,0 +1,65 @@
+//! End-to-end fixture tests: each `fixtures/*.rs` file either trips the
+//! lints it is named for (with correct lint tags) or passes clean.
+
+use g2pl_lint::{lint_source, FileConfig, Lint};
+
+fn findings(fixture: &str, source: &str) -> Vec<g2pl_lint::Diagnostic> {
+    lint_source(fixture, source, FileConfig::default())
+}
+
+#[test]
+fn l1_fixture_trips_only_l1() {
+    let diags = findings(
+        "fixtures/l1_hash_iteration.rs",
+        include_str!("../fixtures/l1_hash_iteration.rs"),
+    );
+    assert!(
+        diags.len() >= 3,
+        "expected the 3 seeded violations: {diags:?}"
+    );
+    assert!(diags.iter().all(|d| d.lint == Lint::L1), "{diags:?}");
+}
+
+#[test]
+fn l2_fixture_trips_only_l2() {
+    let diags = findings(
+        "fixtures/l2_ambient.rs",
+        include_str!("../fixtures/l2_ambient.rs"),
+    );
+    assert!(diags.iter().any(|d| d.lint == Lint::L2), "{diags:?}");
+    assert!(
+        diags.iter().filter(|d| d.lint == Lint::L2).count() >= 3,
+        "Instant::now, SystemTime::now and thread_rng must all trip: {diags:?}"
+    );
+}
+
+#[test]
+fn l3_fixture_trips_l3_and_flags_bad_marker() {
+    let src = include_str!("../fixtures/l3_panics.rs");
+    let diags = findings("fixtures/l3_panics.rs", src);
+    let l3 = diags.iter().filter(|d| d.lint == Lint::L3).count();
+    assert!(
+        l3 >= 4,
+        "unwrap, expect, panic! and the reason-less allow: {diags:?}"
+    );
+}
+
+#[test]
+fn clean_fixture_passes() {
+    let diags = findings("fixtures/clean.rs", include_str!("../fixtures/clean.rs"));
+    assert!(
+        diags.is_empty(),
+        "clean fixture must produce no findings: {diags:?}"
+    );
+}
+
+#[test]
+fn diagnostics_point_into_the_fixture() {
+    let src = include_str!("../fixtures/l1_hash_iteration.rs");
+    let diags = findings("fixtures/l1_hash_iteration.rs", src);
+    let lines: Vec<&str> = src.lines().collect();
+    for d in &diags {
+        assert_eq!(d.file, "fixtures/l1_hash_iteration.rs");
+        assert!(d.line >= 1 && d.line <= lines.len(), "{d}");
+    }
+}

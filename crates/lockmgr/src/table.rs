@@ -2,7 +2,7 @@
 
 use crate::mode::LockMode;
 use g2pl_simcore::{ItemId, TxnId};
-use std::collections::{HashMap, VecDeque};
+use std::collections::{BTreeMap, VecDeque};
 
 /// Result of a lock acquisition attempt.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -23,7 +23,10 @@ struct ItemLock {
 
 impl ItemLock {
     fn holder_mode(&self, txn: TxnId) -> Option<LockMode> {
-        self.holders.iter().find(|(t, _)| *t == txn).map(|&(_, m)| m)
+        self.holders
+            .iter()
+            .find(|(t, _)| *t == txn)
+            .map(|&(_, m)| m)
     }
 
     fn grantable(&self, txn: TxnId, mode: LockMode) -> bool {
@@ -42,11 +45,11 @@ impl ItemLock {
 /// assumes when it says conflicting requests are "enqueued").
 #[derive(Clone, Debug, Default)]
 pub struct LockTable {
-    items: HashMap<ItemId, ItemLock>,
-    held: HashMap<TxnId, Vec<ItemId>>,
+    items: BTreeMap<ItemId, ItemLock>,
+    held: BTreeMap<TxnId, Vec<ItemId>>,
     /// Reverse index: the item each transaction is queued on (at most one
     /// under the sequential client model; the most recent wins otherwise).
-    queued: HashMap<TxnId, ItemId>,
+    queued: BTreeMap<TxnId, ItemId>,
 }
 
 impl LockTable {
@@ -104,22 +107,23 @@ impl LockTable {
         self.queued.remove(&txn);
         // Remove the transaction's queued requests FIRST: promoting a
         // released item before purging the queues could re-grant the
-        // finished transaction its own stale queued request. Sorted so
-        // the wake-up order (and thus the whole simulation) is
-        // deterministic regardless of hash-map iteration order.
-        let mut queued_on: Vec<ItemId> = self
+        // finished transaction its own stale queued request. The item
+        // map is a BTreeMap, so this sweep — and thus the wake-up order
+        // and the whole simulation — is deterministic by construction.
+        let queued_on: Vec<ItemId> = self
             .items
             .iter()
             .filter(|(_, l)| l.queue.iter().any(|&(t, _)| t == txn))
             .map(|(&i, _)| i)
             .collect();
-        queued_on.sort_unstable();
         for &item in &queued_on {
+            // lint:allow(L3): item came from the map one statement ago
             let lock = self.items.get_mut(&item).expect("just observed");
             lock.queue.retain(|&(t, _)| t != txn);
         }
         let items = self.held.remove(&txn).unwrap_or_default();
         for item in items {
+            // lint:allow(L3): the held index only lists items with lock state
             let lock = self.items.get_mut(&item).expect("held item has lock state");
             lock.holders.retain(|&(t, _)| t != txn);
             Self::promote(&mut self.queued, &mut self.held, lock, item, &mut woken);
@@ -127,6 +131,7 @@ impl LockTable {
         // The queue removals themselves can unblock requests queued
         // behind the departed transaction.
         for item in queued_on {
+            // lint:allow(L3): item came from the map in the sweep above
             let lock = self.items.get_mut(&item).expect("just observed");
             Self::promote(&mut self.queued, &mut self.held, lock, item, &mut woken);
         }
@@ -134,8 +139,8 @@ impl LockTable {
     }
 
     fn promote(
-        queued: &mut HashMap<TxnId, ItemId>,
-        held: &mut HashMap<TxnId, Vec<ItemId>>,
+        queued: &mut BTreeMap<TxnId, ItemId>,
+        held: &mut BTreeMap<TxnId, Vec<ItemId>>,
         lock: &mut ItemLock,
         item: ItemId,
         woken: &mut Vec<(ItemId, TxnId, LockMode)>,
@@ -163,7 +168,7 @@ impl LockTable {
 
     /// Current holders of `item`, with their modes.
     pub fn holders(&self, item: ItemId) -> &[(TxnId, LockMode)] {
-        self.items.get(&item).map(|l| l.holders.as_slice()).unwrap_or(&[])
+        self.items.get(&item).map_or(&[], |l| l.holders.as_slice())
     }
 
     /// Queued waiters on `item`, in queue order.
@@ -176,7 +181,7 @@ impl LockTable {
 
     /// Items currently held by `txn` (in acquisition order).
     pub fn held_by(&self, txn: TxnId) -> &[ItemId] {
-        self.held.get(&txn).map(Vec::as_slice).unwrap_or(&[])
+        self.held.get(&txn).map_or(&[], Vec::as_slice)
     }
 
     /// Mode in which `txn` holds `item`, if it does.
@@ -193,8 +198,8 @@ impl LockTable {
     }
 
     /// Every `(txn, item)` pair currently waiting in some queue, in
-    /// deterministic (item, queue-position) order. Used to rebuild the
-    /// wait-for graph on demand at detection time.
+    /// deterministic (item, txn) order. Used to rebuild the wait-for
+    /// graph on demand at detection time.
     pub fn all_waiters(&self) -> Vec<(TxnId, ItemId)> {
         let mut out: Vec<(TxnId, ItemId)> = self
             .items
@@ -282,10 +287,7 @@ mod tests {
         lt.acquire(t(4), x(0), Exclusive);
         let woken = lt.release_all(t(1));
         // Both leading readers wake together; the writer stays queued.
-        assert_eq!(
-            woken,
-            vec![(x(0), t(2), Shared), (x(0), t(3), Shared)]
-        );
+        assert_eq!(woken, vec![(x(0), t(2), Shared), (x(0), t(3), Shared)]);
         let woken = lt.release_all(t(2));
         assert!(woken.is_empty());
         let woken = lt.release_all(t(3));
@@ -311,7 +313,7 @@ mod tests {
         lt.acquire(t(1), x(0), Shared);
         lt.acquire(t(2), x(0), Exclusive); // queued
         lt.acquire(t(3), x(0), Shared); // queued behind writer
-        // Abort the queued writer: the reader should now be grantable.
+                                        // Abort the queued writer: the reader should now be grantable.
         let woken = lt.release_all(t(2));
         assert_eq!(woken, vec![(x(0), t(3), Shared)]);
     }

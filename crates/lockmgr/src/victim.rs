@@ -33,13 +33,19 @@ impl VictimPolicy {
     /// # Panics
     /// Panics if `cycle` is empty.
     pub fn choose(self, cycle: &[TxnId], locks_held: impl Fn(TxnId) -> usize) -> TxnId {
-        assert!(!cycle.is_empty(), "cannot pick a victim from an empty cycle");
+        assert!(
+            !cycle.is_empty(),
+            "cannot pick a victim from an empty cycle"
+        );
         match self {
+            // lint:allow(L3): cycle is non-empty per the assert above
             VictimPolicy::Youngest => *cycle.iter().max().expect("non-empty"),
+            // lint:allow(L3): cycle is non-empty per the assert above
             VictimPolicy::Oldest => *cycle.iter().min().expect("non-empty"),
             VictimPolicy::FewestLocks => *cycle
                 .iter()
                 .min_by_key(|&&t| (locks_held(t), std::cmp::Reverse(t)))
+                // lint:allow(L3): cycle is non-empty per the assert above
                 .expect("non-empty"),
         }
     }

@@ -7,7 +7,7 @@
 //! deadlocks of §3.3.
 
 use g2pl_simcore::TxnId;
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 /// A directed waits-for graph over transactions.
 ///
@@ -18,7 +18,7 @@ use std::collections::HashMap;
 /// that edge's source.
 #[derive(Clone, Debug, Default)]
 pub struct WaitForGraph {
-    edges: HashMap<TxnId, Vec<TxnId>>,
+    edges: BTreeMap<TxnId, Vec<TxnId>>,
 }
 
 impl WaitForGraph {
@@ -57,7 +57,7 @@ impl WaitForGraph {
 
     /// Successors of `txn`.
     pub fn out_edges(&self, txn: TxnId) -> &[TxnId] {
-        self.edges.get(&txn).map(Vec::as_slice).unwrap_or(&[])
+        self.edges.get(&txn).map_or(&[], Vec::as_slice)
     }
 
     /// Number of transactions with outgoing edges.
@@ -72,8 +72,8 @@ impl WaitForGraph {
     pub fn find_cycle_from(&self, start: TxnId) -> Option<Vec<TxnId>> {
         // Iterative DFS with an explicit path stack (colouring: on_path).
         let mut on_path: Vec<TxnId> = Vec::new();
-        let mut visited: HashMap<TxnId, bool> = HashMap::new(); // true = done
-        // Stack frames: (node, next-child index).
+        let mut visited: BTreeMap<TxnId, bool> = BTreeMap::new(); // true = done
+                                                                  // Stack frames: (node, next-child index).
         let mut stack: Vec<(TxnId, usize)> = vec![(start, 0)];
         on_path.push(start);
         visited.insert(start, false);
@@ -89,6 +89,7 @@ impl WaitForGraph {
                         let pos = on_path
                             .iter()
                             .position(|&t| t == next)
+                            // lint:allow(L3): visited[next] == false means next is on the path
                             .expect("on-path node is on path");
                         return Some(on_path[pos..].to_vec());
                     }
@@ -111,8 +112,8 @@ impl WaitForGraph {
     /// Find any cycle in the whole graph (used by tests and by periodic
     /// global detection policies).
     pub fn find_any_cycle(&self) -> Option<Vec<TxnId>> {
-        let mut starts: Vec<TxnId> = self.edges.keys().copied().collect();
-        starts.sort_unstable(); // deterministic iteration
+        // BTreeMap keys iterate in TxnId order — deterministic.
+        let starts: Vec<TxnId> = self.edges.keys().copied().collect();
         for s in starts {
             if let Some(c) = self.find_cycle_from(s) {
                 return Some(c);

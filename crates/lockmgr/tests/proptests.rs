@@ -1,15 +1,21 @@
 //! Property-based tests of the lock table: under arbitrary interleavings
 //! of acquire/release, the core locking invariants must hold.
 
-use g2pl_lockmgr::{AcquireOutcome, LockMode, LockTable, WaitForGraph};
+use g2pl_lockmgr::{LockMode, LockTable, WaitForGraph};
 use g2pl_simcore::{ItemId, TxnId};
 use proptest::prelude::*;
 use std::collections::HashSet;
 
 #[derive(Clone, Debug)]
 enum Op {
-    Acquire { txn: u32, item: u32, exclusive: bool },
-    ReleaseAll { txn: u32 },
+    Acquire {
+        txn: u32,
+        item: u32,
+        exclusive: bool,
+    },
+    ReleaseAll {
+        txn: u32,
+    },
 }
 
 fn arb_op(txns: u32, items: u32) -> impl Strategy<Value = Op> {
@@ -28,7 +34,11 @@ fn run_script(ops: &[Op]) {
     let mut finished: HashSet<u32> = HashSet::new();
     for op in ops {
         match *op {
-            Op::Acquire { txn, item, exclusive } => {
+            Op::Acquire {
+                txn,
+                item,
+                exclusive,
+            } => {
                 if finished.contains(&txn) {
                     continue; // strict 2PL: no acquiring after release
                 }
@@ -69,7 +79,9 @@ fn check_invariants(lt: &LockTable, items: u32) {
         // must not be trivially grantable ahead of everything.
         let waiters: Vec<_> = lt.waiters(item).collect();
         if let Some(&(first, mode)) = waiters.first() {
-            let blocked = holders.iter().any(|&(h, hm)| h != first && !hm.compatible(mode));
+            let blocked = holders
+                .iter()
+                .any(|&(h, hm)| h != first && !hm.compatible(mode));
             assert!(
                 blocked || holders.iter().any(|&(h, _)| h == first),
                 "head waiter {first}:{mode} on {item} should have been granted; holders={holders:?}"

@@ -53,7 +53,10 @@ impl NetAccounting {
     pub fn record(&mut self, from: SiteId, to: SiteId, kind: &'static str, size_bytes: u64) {
         self.total_messages += 1;
         self.total_bytes += size_bytes;
-        *self.by_direction.entry(Direction::of(from, to)).or_insert(0) += 1;
+        *self
+            .by_direction
+            .entry(Direction::of(from, to))
+            .or_insert(0) += 1;
         *self.by_kind.entry(kind).or_insert(0) += 1;
     }
 
@@ -115,8 +118,14 @@ mod tests {
 
     #[test]
     fn direction_classification() {
-        assert_eq!(Direction::of(SiteId::Server, c(0)), Direction::ServerToClient);
-        assert_eq!(Direction::of(c(0), SiteId::Server), Direction::ClientToServer);
+        assert_eq!(
+            Direction::of(SiteId::Server, c(0)),
+            Direction::ServerToClient
+        );
+        assert_eq!(
+            Direction::of(c(0), SiteId::Server),
+            Direction::ClientToServer
+        );
         assert_eq!(Direction::of(c(0), c(1)), Direction::ClientToClient);
     }
 

@@ -91,6 +91,7 @@ impl NetworkEnv {
                 let d = l.abs_diff(latency.units());
                 (d, l)
             })
+            // lint:allow(L3): ALL is a non-empty const array
             .expect("ALL is non-empty")
     }
 }
@@ -115,7 +116,10 @@ mod tests {
 
     #[test]
     fn all_is_sorted_by_latency() {
-        let ls: Vec<u64> = NetworkEnv::ALL.iter().map(|e| e.latency().units()).collect();
+        let ls: Vec<u64> = NetworkEnv::ALL
+            .iter()
+            .map(|e| e.latency().units())
+            .collect();
         let mut sorted = ls.clone();
         sorted.sort_unstable();
         assert_eq!(ls, sorted);

@@ -13,13 +13,7 @@ pub trait LatencyModel: Send + Sync {
     ///
     /// `rng` feeds models with stochastic components; deterministic models
     /// ignore it.
-    fn delay(
-        &self,
-        from: SiteId,
-        to: SiteId,
-        size_bytes: u64,
-        rng: &mut RngStream,
-    ) -> SimTime;
+    fn delay(&self, from: SiteId, to: SiteId, size_bytes: u64, rng: &mut RngStream) -> SimTime;
 
     /// The nominal one-way latency, used for reporting and round-count
     /// estimates. Defaults to the delay of an empty server→server message
@@ -68,7 +62,8 @@ impl JitteredLatency {
 
 impl LatencyModel for JitteredLatency {
     fn delay(&self, _: SiteId, _: SiteId, _: u64, rng: &mut RngStream) -> SimTime {
-        self.base.after(SimTime::new(rng.uniform_incl(0, self.jitter)))
+        self.base
+            .after(SimTime::new(rng.uniform_incl(0, self.jitter)))
     }
 
     fn nominal(&self) -> SimTime {

@@ -1,14 +1,14 @@
 //! Property-based tests of the network models.
 
 use g2pl_netmodel::{
-    BandwidthLatency, ConstantLatency, JitteredLatency, LatencyModel, MatrixLatency,
-    NetAccounting, NetworkEnv,
+    BandwidthLatency, ConstantLatency, JitteredLatency, LatencyModel, MatrixLatency, NetAccounting,
+    NetworkEnv,
 };
 use g2pl_simcore::{ClientId, RngStream, SimTime, SiteId};
 use proptest::prelude::*;
 
 fn site(raw: u32, clients: u32) -> SiteId {
-    if raw % (clients + 1) == 0 {
+    if raw.is_multiple_of(clients + 1) {
         SiteId::Server
     } else {
         SiteId::Client(ClientId::new(raw % (clients + 1) - 1))

@@ -87,7 +87,9 @@ impl C2plEngine {
         let replay = cfg.replay.clone().map(std::rc::Rc::new);
         let clients = (0..cfg.num_clients)
             .map(|i| match &replay {
-                Some(t) => ClientCore::with_replay(ClientId::new(i), cfg.seed, std::rc::Rc::clone(t)),
+                Some(t) => {
+                    ClientCore::with_replay(ClientId::new(i), cfg.seed, std::rc::Rc::clone(t))
+                }
                 None => ClientCore::new(ClientId::new(i), cfg.seed),
             })
             .collect();
@@ -128,10 +130,13 @@ impl C2plEngine {
         for i in 0..self.cfg.num_clients {
             let c = &mut self.clients[i as usize];
             let idle = self.cfg.profile.draw_idle(&mut c.time_rng);
-            self.cal.schedule(idle, Ev::Timer {
-                client: ClientId::new(i),
-                kind: TimerKind::IdleDone,
-            });
+            self.cal.schedule(
+                idle,
+                Ev::Timer {
+                    client: ClientId::new(i),
+                    kind: TimerKind::IdleDone,
+                },
+            );
         }
 
         let mut events: u64 = 0;
@@ -258,13 +263,21 @@ impl C2plEngine {
                 active.versions.push(version);
                 active.granted += 1;
                 active.phase = ClientPhase::Thinking;
-                self.trace
-                    .record(now, TraceKind::CacheHit, Some(txn), Some(item), client.into());
+                self.trace.record(
+                    now,
+                    TraceKind::CacheHit,
+                    Some(txn),
+                    Some(item),
+                    client.into(),
+                );
                 let think = self.cfg.profile.draw_think(&mut c.time_rng);
-                self.cal.schedule_in(think, Ev::Timer {
-                    client,
-                    kind: TimerKind::ThinkDone(txn),
-                });
+                self.cal.schedule_in(
+                    think,
+                    Ev::Timer {
+                        client,
+                        kind: TimerKind::ThinkDone(txn),
+                    },
+                );
                 return;
             }
         }
@@ -273,8 +286,13 @@ impl C2plEngine {
             t.phase = ClientPhase::WaitingGrant(idx);
             t.request_sent_at = now;
         }
-        self.trace
-            .record(now, TraceKind::RequestSent, Some(txn), Some(item), client.into());
+        self.trace.record(
+            now,
+            TraceKind::RequestSent,
+            Some(txn),
+            Some(item),
+            client.into(),
+        );
         self.net.send(
             &mut self.cal,
             client.into(),
@@ -294,6 +312,7 @@ impl C2plEngine {
         let active = self.clients[client.index()]
             .txn
             .take()
+            // lint:allow(L3): commit is only reachable from a client with an active txn
             .expect("committing client has a transaction");
         debug_assert_eq!(active.id, txn);
         self.table.set_status(txn, TxnStatus::Committed);
@@ -385,10 +404,13 @@ impl C2plEngine {
             .cfg
             .profile
             .draw_idle(&mut self.clients[client.index()].time_rng);
-        self.cal.schedule_in(idle, Ev::Timer {
-            client,
-            kind: TimerKind::IdleDone,
-        });
+        self.cal.schedule_in(
+            idle,
+            Ev::Timer {
+                client,
+                kind: TimerKind::IdleDone,
+            },
+        );
     }
 
     fn on_client_msg(&mut self, now: SimTime, client: ClientId, msg: Message) {
@@ -406,12 +428,20 @@ impl C2plEngine {
                 let wait = now.since(active.request_sent_at);
                 self.collector.on_access_wait(wait);
                 let think = self.cfg.profile.draw_think(&mut c.time_rng);
-                self.trace
-                    .record(now, TraceKind::Granted, Some(txn), Some(item), client.into());
-                self.cal.schedule_in(think, Ev::Timer {
-                    client,
-                    kind: TimerKind::ThinkDone(txn),
-                });
+                self.trace.record(
+                    now,
+                    TraceKind::Granted,
+                    Some(txn),
+                    Some(item),
+                    client.into(),
+                );
+                self.cal.schedule_in(
+                    think,
+                    Ev::Timer {
+                        client,
+                        kind: TimerKind::ThinkDone(txn),
+                    },
+                );
             }
             Message::SAbortNotice { txn } => {
                 let c = &mut self.clients[client.index()];
@@ -468,7 +498,7 @@ impl C2plEngine {
                 }
                 match self.locks.acquire(txn, item, mode) {
                     AcquireOutcome::Granted => {
-                        self.on_lock_granted(now, client, txn, item, mode)
+                        self.on_lock_granted(now, client, txn, item, mode);
                     }
                     AcquireOutcome::Queued => self.detect_deadlocks(now, txn),
                 }
@@ -484,9 +514,7 @@ impl C2plEngine {
                     // Remote copies were recalled before the X grant; the
                     // writer keeps the new version cached.
                     debug_assert!(
-                        self.directory[item.index()]
-                            .iter()
-                            .all(|&c| c == committer),
+                        self.directory[item.index()].iter().all(|&c| c == committer),
                         "cached copies survived an exclusive grant"
                     );
                     self.directory[item.index()].insert(committer);
@@ -494,8 +522,13 @@ impl C2plEngine {
                 for &item in &reads {
                     self.directory[item.index()].insert(committer);
                 }
-                self.trace
-                    .record(now, TraceKind::ReleasedAtServer, Some(txn), None, SiteId::Server);
+                self.trace.record(
+                    now,
+                    TraceKind::ReleasedAtServer,
+                    Some(txn),
+                    None,
+                    SiteId::Server,
+                );
                 let woken = self.locks.release_all(txn);
                 for (item, t, mode) in woken {
                     let c = self.table.info(t).client;
@@ -519,6 +552,7 @@ impl C2plEngine {
                     false
                 };
                 if barrier_open {
+                    // lint:allow(L3): barrier_open checked the entry one statement ago
                     let b = self.barriers.remove(&item).expect("just observed");
                     // Aborted owners dismantle their barriers eagerly, so
                     // a surviving barrier always has a live owner.
@@ -561,11 +595,14 @@ impl C2plEngine {
                         Message::Callback { item },
                     );
                 }
-                self.barriers.insert(item, XBarrier {
-                    txn,
-                    client,
-                    acks_left: remote.len(),
-                });
+                self.barriers.insert(
+                    item,
+                    XBarrier {
+                        txn,
+                        client,
+                        acks_left: remote.len(),
+                    },
+                );
                 // The new barrier can close a waits-for cycle (its owner
                 // now waits on every transaction pinning a cached copy),
                 // so detection must run here, not only on lock queueing.
@@ -577,8 +614,13 @@ impl C2plEngine {
     }
 
     fn send_grant(&mut self, now: SimTime, client: ClientId, txn: TxnId, item: ItemId) {
-        self.trace
-            .record(now, TraceKind::Dispatched, Some(txn), Some(item), client.into());
+        self.trace.record(
+            now,
+            TraceKind::Dispatched,
+            Some(txn),
+            Some(item),
+            client.into(),
+        );
         self.net.send(
             &mut self.cal,
             SiteId::Server,

@@ -214,12 +214,7 @@ impl EngineConfig {
     /// The Table 1 configuration: 25 hot items, think 1–3, idle 2–10,
     /// 1–5 items per transaction, with the given client count, constant
     /// latency, read probability, and protocol.
-    pub fn table1(
-        protocol: ProtocolKind,
-        num_clients: u32,
-        latency: u64,
-        read_prob: f64,
-    ) -> Self {
+    pub fn table1(protocol: ProtocolKind, num_clients: u32, latency: u64, read_prob: f64) -> Self {
         EngineConfig {
             num_clients,
             num_items: 25,
@@ -284,8 +279,10 @@ mod tests {
         c.measured_txns = 0;
         assert!(c.validate().is_err());
 
-        let mut opts = G2plOpts::default();
-        opts.fl_cap = Some(0);
+        let opts = G2plOpts {
+            fl_cap: Some(0),
+            ..G2plOpts::default()
+        };
         let c = EngineConfig::table1(ProtocolKind::G2pl(opts), 50, 500, 0.6);
         assert!(c.validate().is_err());
     }
@@ -300,7 +297,14 @@ mod tests {
     #[test]
     fn latency_cfg_builds_models() {
         assert_eq!(LatencyCfg::Constant(5).nominal(), 5);
-        assert_eq!(LatencyCfg::Jittered { base: 10, jitter: 4 }.nominal(), 12);
+        assert_eq!(
+            LatencyCfg::Jittered {
+                base: 10,
+                jitter: 4
+            }
+            .nominal(),
+            12
+        );
         let m = LatencyCfg::Bandwidth {
             latency: 7,
             bytes_per_unit: 100,

@@ -53,7 +53,7 @@ use g2pl_lockmgr::LockMode;
 use g2pl_simcore::{Calendar, ClientId, ItemId, SimTime, SiteId, TxnId, Version};
 use g2pl_wal::{LogRecord, SiteLog};
 use g2pl_workload::{AccessMode, TxnGenerator};
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 use std::rc::Rc;
 
 /// Per-entry size of a forward list inside a message, in bytes.
@@ -102,15 +102,15 @@ struct Hold {
 impl Hold {
     fn new(fl: Rc<ForwardList>, pos: usize) -> Self {
         let mode = fl.entry(pos).mode;
-        let releases_expected = if mode.is_exclusive() && pos > 0 && fl.entry(pos - 1).mode.is_shared()
-        {
-            match fl.segment_of(pos - 1) {
-                Segment::Readers(r) => r.len(),
-                Segment::Writer(_) => unreachable!("pos - 1 is shared"),
-            }
-        } else {
-            0
-        };
+        let releases_expected =
+            if mode.is_exclusive() && pos > 0 && fl.entry(pos - 1).mode.is_shared() {
+                match fl.segment_of(pos - 1) {
+                    Segment::Readers(r) => r.len(),
+                    Segment::Writer(_) => unreachable!("pos - 1 is shared"),
+                }
+            } else {
+                0
+            };
         Hold {
             fl,
             pos,
@@ -151,16 +151,16 @@ pub struct G2plEngine {
     clients: Vec<ClientCore>,
     table: TxnTable,
     items: Vec<ItemState>,
-    holds: HashMap<(ItemId, TxnId), Hold>,
+    holds: BTreeMap<(ItemId, TxnId), Hold>,
     /// Reverse index: the items on whose *dispatched* forward list each
     /// transaction still has an uncompleted entry. Drives the lazy
     /// waits-for search without rebuilding a global graph per event.
-    entries_of: HashMap<TxnId, Vec<ItemId>>,
+    entries_of: BTreeMap<TxnId, Vec<ItemId>>,
     /// Per-client knowledge of dead forward-list entries, fed by GPrune
     /// multicasts; consulted when forwarding to skip aborted writers.
     pruned: Vec<std::collections::HashSet<(ItemId, TxnId)>>,
     dag: PrecedenceDag,
-    pending_of: HashMap<TxnId, ItemId>,
+    pending_of: BTreeMap<TxnId, ItemId>,
     arrival_seq: u64,
     generator: TxnGenerator,
     collector: Collector,
@@ -176,13 +176,16 @@ impl G2plEngine {
     /// Build an engine for `cfg` (whose protocol must be g-2PL).
     pub fn new(cfg: EngineConfig) -> Self {
         let ProtocolKind::G2pl(opts) = cfg.protocol.clone() else {
+            // lint:allow(L3): constructor precondition, caught by config validation
             panic!("G2plEngine requires a g-2PL configuration");
         };
         let generator = TxnGenerator::new(cfg.profile.clone(), cfg.num_items);
         let replay = cfg.replay.clone().map(std::rc::Rc::new);
         let clients = (0..cfg.num_clients)
             .map(|i| match &replay {
-                Some(t) => ClientCore::with_replay(ClientId::new(i), cfg.seed, std::rc::Rc::clone(t)),
+                Some(t) => {
+                    ClientCore::with_replay(ClientId::new(i), cfg.seed, std::rc::Rc::clone(t))
+                }
                 None => ClientCore::new(ClientId::new(i), cfg.seed),
             })
             .collect();
@@ -202,11 +205,11 @@ impl G2plEngine {
             clients,
             table: TxnTable::new(),
             items,
-            holds: HashMap::new(),
-            entries_of: HashMap::new(),
+            holds: BTreeMap::new(),
+            entries_of: BTreeMap::new(),
             pruned: (0..cfg.num_clients).map(|_| Default::default()).collect(),
             dag: PrecedenceDag::new(),
-            pending_of: HashMap::new(),
+            pending_of: BTreeMap::new(),
             arrival_seq: 0,
             generator,
             collector: Collector::with_histogram(
@@ -234,10 +237,13 @@ impl G2plEngine {
         for i in 0..self.cfg.num_clients {
             let c = &mut self.clients[i as usize];
             let idle = self.cfg.profile.draw_idle(&mut c.time_rng);
-            self.cal.schedule(idle, Ev::Timer {
-                client: ClientId::new(i),
-                kind: TimerKind::IdleDone,
-            });
+            self.cal.schedule(
+                idle,
+                Ev::Timer {
+                    client: ClientId::new(i),
+                    kind: TimerKind::IdleDone,
+                },
+            );
         }
 
         let mut events: u64 = 0;
@@ -271,7 +277,10 @@ impl G2plEngine {
         if self.cfg.drain {
             for (i, item) in self.items.iter().enumerate() {
                 assert!(item.out.is_none(), "item x{i} not home after drain");
-                assert!(item.window.is_empty(), "window of x{i} not empty after drain");
+                assert!(
+                    item.window.is_empty(),
+                    "window of x{i} not empty after drain"
+                );
             }
             assert!(
                 self.holds.values().all(|h| h.forwarded || !h.data_arrived),
@@ -368,11 +377,7 @@ impl G2plEngine {
                 .spec
                 .accesses
                 .iter()
-                .all(|&(item, _)| {
-                    self.holds
-                        .get(&(item, txn))
-                        .is_some_and(|h| h.gates_passed())
-                })
+                .all(|&(item, _)| self.holds.get(&(item, txn)).is_some_and(Hold::gates_passed))
         };
         if ready {
             self.commit(now, client, txn);
@@ -389,8 +394,13 @@ impl G2plEngine {
         item: ItemId,
         mode: AccessMode,
     ) {
-        self.trace
-            .record(now, TraceKind::RequestSent, Some(txn), Some(item), client.into());
+        self.trace.record(
+            now,
+            TraceKind::RequestSent,
+            Some(txn),
+            Some(item),
+            client.into(),
+        );
         self.net.send(
             &mut self.cal,
             client.into(),
@@ -410,6 +420,7 @@ impl G2plEngine {
         let active = self.clients[client.index()]
             .txn
             .take()
+            // lint:allow(L3): commit is only reachable from a client with an active txn
             .expect("committing client has a transaction");
         debug_assert_eq!(active.id, txn);
         self.table.set_status(txn, TxnStatus::Committed);
@@ -427,7 +438,11 @@ impl G2plEngine {
                 .map(|(&(item, mode), &observed)| AccessRecord {
                     item,
                     mode,
-                    version: if mode.is_write() { observed + 1 } else { observed },
+                    version: if mode.is_write() {
+                        observed + 1
+                    } else {
+                        observed
+                    },
                 })
                 .collect();
             h.push(CommitRecord {
@@ -439,9 +454,7 @@ impl G2plEngine {
 
         if let Some(wal) = &mut self.wal {
             let log = &mut wal[client.index()];
-            for (&(item, mode), &observed) in
-                active.spec.accesses.iter().zip(&active.versions)
-            {
+            for (&(item, mode), &observed) in active.spec.accesses.iter().zip(&active.versions) {
                 if mode.is_write() {
                     log.append(LogRecord::Update {
                         txn,
@@ -471,10 +484,13 @@ impl G2plEngine {
             .cfg
             .profile
             .draw_idle(&mut self.clients[client.index()].time_rng);
-        self.cal.schedule_in(idle, Ev::Timer {
-            client,
-            kind: TimerKind::IdleDone,
-        });
+        self.cal.schedule_in(
+            idle,
+            Ev::Timer {
+                client,
+                kind: TimerKind::IdleDone,
+            },
+        );
     }
 
     /// Forward the hold of `(item, txn)` if all gates have passed and the
@@ -497,8 +513,8 @@ impl G2plEngine {
             hold.version
         };
         let client = fl.entry(pos).client;
-        let instant = self.cfg.abort_effect == AbortEffect::Instant
-            && status != TxnStatus::Committed;
+        let instant =
+            self.cfg.abort_effect == AbortEffect::Instant && status != TxnStatus::Committed;
 
         // Oracle completion flag for deadlock analysis.
         if let Some(out) = &mut self.items[item.index()].out {
@@ -509,8 +525,13 @@ impl G2plEngine {
         if let Some(v) = self.entries_of.get_mut(&txn) {
             v.retain(|&i| i != item);
         }
-        self.trace
-            .record(now, TraceKind::Forwarded, Some(txn), Some(item), client.into());
+        self.trace.record(
+            now,
+            TraceKind::Forwarded,
+            Some(txn),
+            Some(item),
+            client.into(),
+        );
 
         if mode.is_shared() {
             // Readers release to the writer after their group, or to the
@@ -640,9 +661,9 @@ impl G2plEngine {
     ) {
         let seg = fl
             .segment_at(seg_start)
+            // lint:allow(L3): callers advance seg_start only to valid segment starts
             .expect("send_segment called past the end of the list");
-        let data_bytes =
-            CTRL_BYTES + self.cfg.item_size_bytes + fl.len() as u64 * FL_ENTRY_BYTES;
+        let data_bytes = CTRL_BYTES + self.cfg.item_size_bytes + fl.len() as u64 * FL_ENTRY_BYTES;
         let mut targets: Vec<usize> = seg.range().collect();
         if let (Segment::Readers(r), true) = (&seg, self.opts.mr1w) {
             if let Some(w) = fl.next_writer_at_or_after(r.end) {
@@ -691,8 +712,13 @@ impl G2plEngine {
             } => {
                 let txn = fl.entry(pos).txn;
                 debug_assert_eq!(fl.entry(pos).client, client);
-                self.trace
-                    .record(now, TraceKind::DataArrived, Some(txn), Some(item), client.into());
+                self.trace.record(
+                    now,
+                    TraceKind::DataArrived,
+                    Some(txn),
+                    Some(item),
+                    client.into(),
+                );
                 let hold = self
                     .holds
                     .entry((item, txn))
@@ -708,6 +734,7 @@ impl G2plEngine {
                 to_pos,
                 ..
             } => {
+                // lint:allow(L3): the sender set to_pos on every client-bound release
                 let w = to_pos.expect("client-bound release has a writer position");
                 let txn = fl.entry(w).txn;
                 debug_assert_eq!(fl.entry(w).client, client);
@@ -743,6 +770,7 @@ impl G2plEngine {
             self.try_forward(now, item, txn);
             return;
         }
+        // lint:allow(L3): the hold was inserted by the caller one frame up
         let hold = self.holds.get_mut(&(item, txn)).expect("just updated");
         if hold.granted {
             // Already granted: this gate message can only be a reader
@@ -774,13 +802,21 @@ impl G2plEngine {
         active.phase = ClientPhase::Thinking;
         let wait = now.since(active.request_sent_at);
         self.collector.on_access_wait(wait);
-        self.trace
-            .record(now, TraceKind::Granted, Some(txn), Some(item), client.into());
+        self.trace.record(
+            now,
+            TraceKind::Granted,
+            Some(txn),
+            Some(item),
+            client.into(),
+        );
         let think = self.cfg.profile.draw_think(&mut c.time_rng);
-        self.cal.schedule_in(think, Ev::Timer {
-            client,
-            kind: TimerKind::ThinkDone(txn),
-        });
+        self.cal.schedule_in(
+            think,
+            Ev::Timer {
+                client,
+                kind: TimerKind::ThinkDone(txn),
+            },
+        );
     }
 
     fn on_abort_notice(&mut self, now: SimTime, client: ClientId, txn: TxnId) {
@@ -798,7 +834,7 @@ impl G2plEngine {
 
         let c = &mut self.clients[client.index()];
         if c.txn.as_ref().is_some_and(|a| a.id == txn) {
-            let active = c.txn.take().expect("just checked");
+            let active = c.txn.take().expect("just checked"); // lint:allow(L3): is_some_and above
             self.collector.on_abort_diag(
                 active.spec.is_read_only(),
                 now.since(active.start),
@@ -808,10 +844,13 @@ impl G2plEngine {
                 .cfg
                 .profile
                 .draw_idle(&mut self.clients[client.index()].time_rng);
-            self.cal.schedule_in(idle, Ev::Timer {
-                client,
-                kind: TimerKind::IdleDone,
-            });
+            self.cal.schedule_in(
+                idle,
+                Ev::Timer {
+                    client,
+                    kind: TimerKind::IdleDone,
+                },
+            );
             // Pass every satisfied hold straight through; unsatisfied
             // ones pass through when their gates fill.
             for &(item, _) in &active.spec.accesses {
@@ -836,12 +875,17 @@ impl G2plEngine {
                 self.on_request(now, txn, client, item, mode);
             }
             Message::GReturn { item, version } => {
-                self.trace
-                    .record(now, TraceKind::ReleasedAtServer, None, Some(item), SiteId::Server);
+                self.trace.record(
+                    now,
+                    TraceKind::ReleasedAtServer,
+                    None,
+                    Some(item),
+                    SiteId::Server,
+                );
                 let st = &mut self.items[item.index()];
                 debug_assert!(st.out.is_some(), "return for an item already home");
                 st.version = version;
-                let out = st.out.take().expect("just checked");
+                let out = st.out.take().expect("just checked"); // lint:allow(L3): debug_assert above
                 self.clear_entry_index(&out, item);
                 self.mark_writers_permanent(item);
                 self.close_window(now, item);
@@ -852,15 +896,21 @@ impl G2plEngine {
                 to_pos: None,
                 ..
             } => {
-                self.trace
-                    .record(now, TraceKind::ReleasedAtServer, None, Some(item), SiteId::Server);
+                self.trace.record(
+                    now,
+                    TraceKind::ReleasedAtServer,
+                    None,
+                    Some(item),
+                    SiteId::Server,
+                );
                 let st = &mut self.items[item.index()];
+                // lint:allow(L3): a reader release implies the item is still out
                 let out = st.out.as_mut().expect("release for an item already home");
                 debug_assert!(out.final_releases_left > 0);
                 out.final_releases_left -= 1;
                 if out.final_releases_left == 0 {
                     st.version = version;
-                    let out = st.out.take().expect("item is out");
+                    let out = st.out.take().expect("item is out"); // lint:allow(L3): as_mut above
                     self.clear_entry_index(&out, item);
                     self.mark_writers_permanent(item);
                     self.close_window(now, item);
@@ -918,6 +968,13 @@ impl G2plEngine {
                 let fl = Rc::make_mut(&mut out.fl);
                 let pos = fl.len();
                 fl.push(entry);
+                self.trace.record(
+                    now,
+                    TraceKind::FlExtended,
+                    Some(txn),
+                    Some(item),
+                    SiteId::Server,
+                );
                 out.completed.push(false);
                 out.final_releases_left += 1;
                 self.entries_of.entry(txn).or_default().push(item);
@@ -925,8 +982,13 @@ impl G2plEngine {
                 let version = st.version;
                 let data_bytes =
                     CTRL_BYTES + self.cfg.item_size_bytes + fl.len() as u64 * FL_ENTRY_BYTES;
-                self.trace
-                    .record(now, TraceKind::Dispatched, Some(txn), Some(item), client.into());
+                self.trace.record(
+                    now,
+                    TraceKind::Dispatched,
+                    Some(txn),
+                    Some(item),
+                    client.into(),
+                );
                 self.net.send(
                     &mut self.cal,
                     SiteId::Server,
@@ -1012,6 +1074,22 @@ impl G2plEngine {
         debug_assert!(!fl.is_empty());
         self.window_closes += 1;
         self.max_fl_len = self.max_fl_len.max(fl.len());
+        self.trace.record(
+            now,
+            TraceKind::WindowClosed,
+            None,
+            Some(item),
+            SiteId::Server,
+        );
+        for e in fl.entries() {
+            self.trace.record(
+                now,
+                TraceKind::FlOrdered,
+                Some(e.txn),
+                Some(item),
+                SiteId::Server,
+            );
+        }
 
         let final_releases = match fl.segments().last() {
             Some(Segment::Readers(r)) => r.len(),
@@ -1092,16 +1170,16 @@ impl G2plEngine {
         }
         if let Some(items) = self.entries_of.get(&t) {
             for &item in items {
-                let Some(o) = &self.items[item.index()].out else { continue };
-                let Some(i) = o.fl.position_of(t) else { continue };
+                let Some(o) = &self.items[item.index()].out else {
+                    continue;
+                };
+                let Some(i) = o.fl.position_of(t) else {
+                    continue;
+                };
                 if o.completed[i] {
                     continue;
                 }
-                if self
-                    .holds
-                    .get(&(item, t))
-                    .is_some_and(|h| h.gates_passed())
-                {
+                if self.holds.get(&(item, t)).is_some_and(Hold::gates_passed) {
                     continue; // neither grant nor commit waits here
                 }
                 let skip_from = if o.fl.entry(i).mode.is_shared() {
@@ -1138,10 +1216,13 @@ impl G2plEngine {
                 if !self.table.is_live(start) {
                     break;
                 }
-                let Some(cycle) = self.find_cycle_lazy(start) else { break };
-                let victim = self.cfg.victim.choose(&cycle, |t| {
-                    self.entries_of.get(&t).map_or(0, Vec::len)
-                });
+                let Some(cycle) = self.find_cycle_lazy(start) else {
+                    break;
+                };
+                let victim = self
+                    .cfg
+                    .victim
+                    .choose(&cycle, |t| self.entries_of.get(&t).map_or(0, Vec::len));
                 self.abort_victim(now, victim);
             }
         }
@@ -1187,7 +1268,9 @@ impl G2plEngine {
         for (idx, st) in self.items.iter().enumerate() {
             let item = ItemId::new(idx as u32);
             let Some(out) = &st.out else { continue };
-            let Some(pos) = out.fl.position_of(victim) else { continue };
+            let Some(pos) = out.fl.position_of(victim) else {
+                continue;
+            };
             if out.completed[pos] {
                 continue;
             }
@@ -1398,7 +1481,7 @@ mod tests {
         assert!(!h.is_empty());
         // Per item, committed write versions must be strictly increasing
         // in commit order (strict 2PL serializes writers).
-        let mut last: HashMap<ItemId, Version> = HashMap::new();
+        let mut last: BTreeMap<ItemId, Version> = BTreeMap::new();
         for rec in h.records() {
             for acc in &rec.accesses {
                 if acc.mode.is_write() {

@@ -44,7 +44,10 @@ pub use tracelog::{TraceEvent, TraceKind};
 /// This is the single entry point the experiment harness in `g2pl-core`
 /// uses; it dispatches on [`EngineConfig::protocol`].
 pub fn run(config: &EngineConfig) -> RunMetrics {
-    config.validate().unwrap_or_else(|e| panic!("invalid config: {e}"));
+    config
+        .validate()
+        // lint:allow(L3): public entry point; invalid configs are a caller bug
+        .unwrap_or_else(|e| panic!("invalid config: {e}"));
     match &config.protocol {
         ProtocolKind::S2pl => s2pl::S2plEngine::new(config.clone()).run(),
         ProtocolKind::G2pl(_) => g2pl::G2plEngine::new(config.clone()).run(),

@@ -3,9 +3,9 @@
 use crate::history::History;
 use crate::tracelog::TraceEvent;
 use g2pl_netmodel::NetAccounting;
-use g2pl_wal::LogMetrics;
 use g2pl_simcore::SimTime;
 use g2pl_stats::{Counter, Histogram, RunningStats, WarmupFilter};
+use g2pl_wal::LogMetrics;
 use serde::Serialize;
 
 /// Everything one simulation run reports.

@@ -197,7 +197,11 @@ impl ServerCpu {
         if self.per_op == SimTime::ZERO {
             return SimTime::ZERO;
         }
-        let start = if self.free_at > now { self.free_at } else { now };
+        let start = if self.free_at > now {
+            self.free_at
+        } else {
+            now
+        };
         self.free_at = start.after(self.per_op);
         self.free_at.since(now)
     }
@@ -422,6 +426,7 @@ impl ClientCore {
             if per_client > 0 {
                 let spec = trace
                     .get(self.id, self.replay_idx % per_client)
+                    // lint:allow(L3): index is reduced modulo per_client
                     .expect("index within per-client length")
                     .clone();
                 self.replay_idx += 1;
@@ -432,8 +437,17 @@ impl ClientCore {
     }
 
     /// Draw the next spec and open a transaction at time `now`.
-    pub fn begin_txn(&mut self, generator: &TxnGenerator, table: &mut TxnTable, now: SimTime) -> TxnId {
-        debug_assert!(self.txn.is_none(), "client {} already has a transaction", self.id);
+    pub fn begin_txn(
+        &mut self,
+        generator: &TxnGenerator,
+        table: &mut TxnTable,
+        now: SimTime,
+    ) -> TxnId {
+        debug_assert!(
+            self.txn.is_none(),
+            "client {} already has a transaction",
+            self.id
+        );
         let spec = self.next_spec(generator);
         let id = table.create(self.id, spec.is_read_only());
         self.txn = Some(ActiveTxn {
@@ -450,11 +464,13 @@ impl ClientCore {
 
     /// The active transaction (panics if none — engine invariant).
     pub fn txn(&self) -> &ActiveTxn {
+        // lint:allow(L3): documented engine invariant of this accessor
         self.txn.as_ref().expect("client has an active transaction")
     }
 
     /// Mutable active transaction.
     pub fn txn_mut(&mut self) -> &mut ActiveTxn {
+        // lint:allow(L3): documented engine invariant of this accessor
         self.txn.as_mut().expect("client has an active transaction")
     }
 }

@@ -67,6 +67,7 @@ pub(crate) fn find_cycle_with(
                     let pos = path
                         .iter()
                         .position(|&t| t == next)
+                        // lint:allow(L3): visited[next] == false means next is on the path
                         .expect("on-path node is on path");
                     return Some(path[pos..].to_vec());
                 }
@@ -111,7 +112,9 @@ impl S2plEngine {
         let replay = cfg.replay.clone().map(std::rc::Rc::new);
         let clients = (0..cfg.num_clients)
             .map(|i| match &replay {
-                Some(t) => ClientCore::with_replay(ClientId::new(i), cfg.seed, std::rc::Rc::clone(t)),
+                Some(t) => {
+                    ClientCore::with_replay(ClientId::new(i), cfg.seed, std::rc::Rc::clone(t))
+                }
                 None => ClientCore::new(ClientId::new(i), cfg.seed),
             })
             .collect();
@@ -149,10 +152,13 @@ impl S2plEngine {
         for i in 0..self.cfg.num_clients {
             let c = &mut self.clients[i as usize];
             let idle = self.cfg.profile.draw_idle(&mut c.time_rng);
-            self.cal.schedule(idle, Ev::Timer {
-                client: ClientId::new(i),
-                kind: TimerKind::IdleDone,
-            });
+            self.cal.schedule(
+                idle,
+                Ev::Timer {
+                    client: ClientId::new(i),
+                    kind: TimerKind::IdleDone,
+                },
+            );
         }
 
         let mut events: u64 = 0;
@@ -271,8 +277,13 @@ impl S2plEngine {
         item: ItemId,
         mode: AccessMode,
     ) {
-        self.trace
-            .record(now, TraceKind::RequestSent, Some(txn), Some(item), client.into());
+        self.trace.record(
+            now,
+            TraceKind::RequestSent,
+            Some(txn),
+            Some(item),
+            client.into(),
+        );
         self.net.send(
             &mut self.cal,
             client.into(),
@@ -290,6 +301,7 @@ impl S2plEngine {
 
     fn commit(&mut self, now: SimTime, client: ClientId, txn: TxnId) {
         let c = &mut self.clients[client.index()];
+        // lint:allow(L3): commit is only reachable from a client with an active txn
         let active = c.txn.take().expect("committing client has a transaction");
         debug_assert_eq!(active.id, txn);
         self.table.set_status(txn, TxnStatus::Committed);
@@ -355,10 +367,13 @@ impl S2plEngine {
         );
 
         let idle = self.cfg.profile.draw_idle(&mut c.time_rng);
-        self.cal.schedule_in(idle, Ev::Timer {
-            client,
-            kind: TimerKind::IdleDone,
-        });
+        self.cal.schedule_in(
+            idle,
+            Ev::Timer {
+                client,
+                kind: TimerKind::IdleDone,
+            },
+        );
     }
 
     fn on_client_msg(&mut self, now: SimTime, client: ClientId, msg: Message) {
@@ -381,12 +396,20 @@ impl S2plEngine {
                 let wait = now.since(active.request_sent_at);
                 self.collector.on_access_wait(wait);
                 let think = self.cfg.profile.draw_think(&mut c.time_rng);
-                self.trace
-                    .record(now, TraceKind::Granted, Some(txn), Some(item), client.into());
-                self.cal.schedule_in(think, Ev::Timer {
-                    client,
-                    kind: TimerKind::ThinkDone(txn),
-                });
+                self.trace.record(
+                    now,
+                    TraceKind::Granted,
+                    Some(txn),
+                    Some(item),
+                    client.into(),
+                );
+                self.cal.schedule_in(
+                    think,
+                    Ev::Timer {
+                        client,
+                        kind: TimerKind::ThinkDone(txn),
+                    },
+                );
             }
             Message::SAbortNotice { txn } => {
                 let c = &mut self.clients[client.index()];
@@ -405,11 +428,17 @@ impl S2plEngine {
                 }
                 self.trace
                     .record(now, TraceKind::Aborted, Some(txn), None, client.into());
-                let idle = self.cfg.profile.draw_idle(&mut self.clients[client.index()].time_rng);
-                self.cal.schedule_in(idle, Ev::Timer {
-                    client,
-                    kind: TimerKind::IdleDone,
-                });
+                let idle = self
+                    .cfg
+                    .profile
+                    .draw_idle(&mut self.clients[client.index()].time_rng);
+                self.cal.schedule_in(
+                    idle,
+                    Ev::Timer {
+                        client,
+                        kind: TimerKind::IdleDone,
+                    },
+                );
             }
             other => unreachable!("s-2PL client cannot receive {other:?}"),
         }
@@ -446,8 +475,13 @@ impl S2plEngine {
                         wal[committer.index()].mark_permanent(txn, item);
                     }
                 }
-                self.trace
-                    .record(now, TraceKind::ReleasedAtServer, Some(txn), None, SiteId::Server);
+                self.trace.record(
+                    now,
+                    TraceKind::ReleasedAtServer,
+                    Some(txn),
+                    None,
+                    SiteId::Server,
+                );
                 let woken = self.locks.release_all(txn);
                 for (item, t, _) in woken {
                     let c = self.table.info(t).client;
@@ -459,8 +493,13 @@ impl S2plEngine {
     }
 
     fn send_grant(&mut self, now: SimTime, client: ClientId, txn: TxnId, item: ItemId) {
-        self.trace
-            .record(now, TraceKind::Dispatched, Some(txn), Some(item), client.into());
+        self.trace.record(
+            now,
+            TraceKind::Dispatched,
+            Some(txn),
+            Some(item),
+            client.into(),
+        );
         self.net.send(
             &mut self.cal,
             SiteId::Server,

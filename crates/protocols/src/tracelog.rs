@@ -26,6 +26,17 @@ pub enum TraceKind {
     Forwarded,
     /// A lock release / item return reached the server.
     ReleasedAtServer,
+    /// A collection window closed at the server (g-2PL). The ordered
+    /// forward list it produced follows as one [`TraceKind::FlOrdered`]
+    /// event per entry, in list order.
+    WindowClosed,
+    /// One entry of a just-ordered forward list, emitted in list order
+    /// immediately after the [`TraceKind::WindowClosed`] that produced it.
+    FlOrdered,
+    /// A reader joined an already-dispatched all-reader forward list
+    /// (g-2PL `expand_reads` only — any other FL mutation after window
+    /// close violates the collection-window discipline, property P7).
+    FlExtended,
 }
 
 /// One trace event.
@@ -45,7 +56,12 @@ pub struct TraceEvent {
 
 impl fmt::Display for TraceEvent {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "t={:>5}  {:<18}", self.at.units(), format!("{:?}", self.kind))?;
+        write!(
+            f,
+            "t={:>5}  {:<18}",
+            self.at.units(),
+            format!("{:?}", self.kind)
+        )?;
         if let Some(t) = self.txn {
             write!(f, " {t}")?;
         }
@@ -118,7 +134,13 @@ mod tests {
     #[test]
     fn disabled_log_records_nothing() {
         let mut log = TraceLog::new(false);
-        log.record(SimTime::new(1), TraceKind::Committed, None, None, SiteId::Server);
+        log.record(
+            SimTime::new(1),
+            TraceKind::Committed,
+            None,
+            None,
+            SiteId::Server,
+        );
         assert!(log.events().is_empty());
     }
 
@@ -132,7 +154,13 @@ mod tests {
             Some(ItemId::new(3)),
             SiteId::Server,
         );
-        log.record(SimTime::new(2), TraceKind::Committed, Some(TxnId::new(0)), None, SiteId::Server);
+        log.record(
+            SimTime::new(2),
+            TraceKind::Committed,
+            Some(TxnId::new(0)),
+            None,
+            SiteId::Server,
+        );
         assert_eq!(log.events().len(), 2);
         assert_eq!(log.events()[0].kind, TraceKind::RequestSent);
     }

@@ -4,9 +4,11 @@
 //! [`RngStream`] derived from the run's master seed, so runs are exactly
 //! reproducible and independent replications (the paper uses 5 per data
 //! point) are generated from documented, well-separated seeds.
-
-use rand::rngs::StdRng;
-use rand::{RngExt, SeedableRng};
+//!
+//! The generator is xoshiro256++ seeded through SplitMix64, implemented
+//! in-crate so the simulator has no external RNG dependency and the
+//! stream of draws is stable across toolchain upgrades — a run's seed
+//! fully identifies its trace, forever.
 
 /// A named, seeded random stream.
 ///
@@ -15,7 +17,7 @@ use rand::{RngExt, SeedableRng};
 /// draws seen by existing consumers (common random numbers across protocol
 /// variants, which sharpens paired comparisons such as g-2PL vs s-2PL).
 pub struct RngStream {
-    rng: StdRng,
+    state: [u64; 4],
 }
 
 /// SplitMix64 step: the standard seed-spreading finalizer.
@@ -29,9 +31,7 @@ fn splitmix64(mut z: u64) -> u64 {
 impl RngStream {
     /// A stream seeded directly from `seed`.
     pub fn new(seed: u64) -> Self {
-        RngStream {
-            rng: StdRng::seed_from_u64(splitmix64(seed)),
-        }
+        Self::from_hashed(splitmix64(seed))
     }
 
     /// Derive an independent child stream from a master seed and a label.
@@ -43,8 +43,49 @@ impl RngStream {
         for &b in label.as_bytes() {
             h = splitmix64(h ^ u64::from(b));
         }
-        RngStream {
-            rng: StdRng::seed_from_u64(h),
+        Self::from_hashed(h)
+    }
+
+    /// Expand one well-mixed word into the full 256-bit xoshiro state via
+    /// a SplitMix64 sequence, per the generator authors' recommendation.
+    fn from_hashed(h: u64) -> Self {
+        let mut sm = h;
+        let mut state = [0u64; 4];
+        for word in &mut state {
+            sm = sm.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = sm;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            *word = z ^ (z >> 31);
+        }
+        RngStream { state }
+    }
+
+    /// Next raw draw: one xoshiro256++ step.
+    fn next_u64(&mut self) -> u64 {
+        let s = &mut self.state;
+        let result = s[0].wrapping_add(s[3]).rotate_left(23).wrapping_add(s[0]);
+        let t = s[1] << 17;
+        s[2] ^= s[0];
+        s[3] ^= s[1];
+        s[1] ^= s[2];
+        s[0] ^= s[3];
+        s[2] ^= t;
+        s[3] = s[3].rotate_left(45);
+        result
+    }
+
+    /// Unbiased uniform draw in `[0, bound)` via Lemire's multiply-shift
+    /// rejection method; `bound` must be nonzero.
+    fn below(&mut self, bound: u64) -> u64 {
+        debug_assert!(bound > 0);
+        loop {
+            let x = self.next_u64();
+            let m = u128::from(x) * u128::from(bound);
+            let lo = m as u64;
+            if lo >= bound.wrapping_neg() % bound {
+                return (m >> 64) as u64;
+            }
         }
     }
 
@@ -54,7 +95,11 @@ impl RngStream {
     /// (1–3), idle times (2–10) and items-per-transaction (1–5).
     pub fn uniform_incl(&mut self, lo: u64, hi: u64) -> u64 {
         assert!(lo <= hi, "empty range [{lo}, {hi}]");
-        self.rng.random_range(lo..=hi)
+        let span = hi - lo;
+        if span == u64::MAX {
+            return self.next_u64();
+        }
+        lo + self.below(span + 1)
     }
 
     /// Bernoulli draw: `true` with probability `p`.
@@ -66,18 +111,19 @@ impl RngStream {
         if p >= 1.0 {
             return true;
         }
-        self.rng.random_range(0.0..1.0) < p
+        self.unit_f64() < p
     }
 
     /// Uniform `f64` in `[0, 1)`.
     pub fn unit_f64(&mut self) -> f64 {
-        self.rng.random_range(0.0..1.0)
+        // 53 random mantissa bits scaled into [0, 1).
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
     }
 
     /// Uniform index into a collection of length `len` (> 0).
     pub fn index(&mut self, len: usize) -> usize {
         assert!(len > 0, "cannot pick from empty collection");
-        self.rng.random_range(0..len)
+        self.below(len as u64) as usize
     }
 
     /// Draw `k` distinct values uniformly from `0..pool` (partial
@@ -129,6 +175,14 @@ mod tests {
             seen_hi |= v == 10;
         }
         assert!(seen_lo && seen_hi, "endpoints should be reachable");
+    }
+
+    #[test]
+    fn uniform_incl_full_range_does_not_overflow() {
+        let mut r = RngStream::new(13);
+        for _ in 0..10 {
+            let _ = r.uniform_incl(0, u64::MAX);
+        }
     }
 
     #[test]

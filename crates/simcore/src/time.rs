@@ -15,9 +15,7 @@ use std::ops::{Add, AddAssign, Sub};
 /// Arithmetic is saturating-free: overflow panics in debug builds, which is
 /// the behaviour we want for a simulator (an overflowing clock is a bug,
 /// not a value).
-#[derive(
-    Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
-)]
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize)]
 pub struct SimTime(pub u64);
 
 impl SimTime {

@@ -116,7 +116,10 @@ mod tests {
     fn discards_warmup_then_keeps_window() {
         let mut f = WarmupFilter::new(3, Some(2));
         let admitted: Vec<bool> = (0..7).map(|_| f.admit()).collect();
-        assert_eq!(admitted, vec![false, false, false, true, true, false, false]);
+        assert_eq!(
+            admitted,
+            vec![false, false, false, true, true, false, false]
+        );
         assert!(f.is_complete());
         assert_eq!(f.measured(), 2);
         assert_eq!(f.seen(), 7);
@@ -155,7 +158,13 @@ mod tests {
     fn mser_finds_obvious_transient() {
         // 100 inflated start-up observations, then 400 at steady state.
         let data: Vec<f64> = (0..500)
-            .map(|i| if i < 100 { 100.0 - i as f64 } else { 2.0 + ((i % 7) as f64) * 0.1 })
+            .map(|i| {
+                if i < 100 {
+                    100.0 - i as f64
+                } else {
+                    2.0 + ((i % 7) as f64) * 0.1
+                }
+            })
             .collect();
         let cut = mser_truncation(&data, 5);
         assert!(
@@ -166,9 +175,14 @@ mod tests {
 
     #[test]
     fn mser_on_stationary_series_cuts_little() {
-        let data: Vec<f64> = (0..400).map(|i| 5.0 + ((i * 31) % 11) as f64 * 0.01).collect();
+        let data: Vec<f64> = (0..400)
+            .map(|i| 5.0 + ((i * 31) % 11) as f64 * 0.01)
+            .collect();
         let cut = mser_truncation(&data, 5);
-        assert!(cut <= 120, "stationary series should need no warm-up, got {cut}");
+        assert!(
+            cut <= 120,
+            "stationary series should need no warm-up, got {cut}"
+        );
     }
 
     #[test]

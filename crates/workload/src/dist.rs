@@ -61,7 +61,7 @@ fn zipf_cdf(n: usize, theta: f64) -> Vec<f64> {
         sum += 1.0 / (i as f64).powf(theta);
         cdf.push(sum);
     }
-    for c in cdf.iter_mut() {
+    for c in &mut cdf {
         *c /= sum;
     }
     cdf
@@ -75,20 +75,23 @@ mod tests {
     fn uniform_distinct_covers_pool() {
         let mut rng = RngStream::new(2);
         let d = AccessDistribution::Uniform;
-        let mut seen = vec![false; 25];
+        let mut seen = [false; 25];
         for _ in 0..500 {
             for i in d.draw_distinct(5, 25, &mut rng) {
                 seen[i as usize] = true;
             }
         }
-        assert!(seen.iter().all(|&s| s), "every item should eventually appear");
+        assert!(
+            seen.iter().all(|&s| s),
+            "every item should eventually appear"
+        );
     }
 
     #[test]
     fn zipf_prefers_low_ranks() {
         let mut rng = RngStream::new(3);
         let d = AccessDistribution::Zipf { theta: 1.0 };
-        let mut counts = vec![0u64; 25];
+        let mut counts = [0u64; 25];
         for _ in 0..5000 {
             for i in d.draw_distinct(1, 25, &mut rng) {
                 counts[i as usize] += 1;
@@ -106,7 +109,7 @@ mod tests {
     fn zipf_theta_zero_is_uniformish() {
         let mut rng = RngStream::new(4);
         let d = AccessDistribution::Zipf { theta: 0.0 };
-        let mut counts = vec![0u64; 10];
+        let mut counts = [0u64; 10];
         let n = 20_000;
         for _ in 0..n {
             for i in d.draw_distinct(1, 10, &mut rng) {

@@ -81,8 +81,8 @@ impl TxnGenerator {
 
     /// Draw one transaction spec.
     pub fn draw(&self, rng: &mut RngStream) -> TxnSpec {
-        let k = rng.uniform_incl(self.profile.min_items as u64, self.profile.max_items as u64)
-            as usize;
+        let k =
+            rng.uniform_incl(self.profile.min_items as u64, self.profile.max_items as u64) as usize;
         let mut items = self
             .profile
             .access

@@ -27,7 +27,9 @@ impl Trace {
         let per_client = (0..clients)
             .map(|c| {
                 let mut rng = RngStream::derive(master_seed, &format!("trace-client-{c}"));
-                (0..txns_per_client).map(|_| generator.draw(&mut rng)).collect()
+                (0..txns_per_client)
+                    .map(|_| generator.draw(&mut rng))
+                    .collect()
             })
             .collect();
         Trace { per_client }
@@ -76,10 +78,7 @@ mod tests {
         let b = Trace::record(&g, 3, 5, 123);
         for c in 0..3 {
             for n in 0..5 {
-                assert_eq!(
-                    a.get(ClientId::new(c), n),
-                    b.get(ClientId::new(c), n)
-                );
+                assert_eq!(a.get(ClientId::new(c), n), b.get(ClientId::new(c), n));
             }
         }
     }
@@ -91,8 +90,12 @@ mod tests {
         let b = t.get(ClientId::new(1), 0).unwrap();
         // Not a hard guarantee for any single pair, but with 10 specs each
         // the full sequences should differ.
-        let seq_a: Vec<&TxnSpec> = (0..10).map(|n| t.get(ClientId::new(0), n).unwrap()).collect();
-        let seq_b: Vec<&TxnSpec> = (0..10).map(|n| t.get(ClientId::new(1), n).unwrap()).collect();
+        let seq_a: Vec<&TxnSpec> = (0..10)
+            .map(|n| t.get(ClientId::new(0), n).unwrap())
+            .collect();
+        let seq_b: Vec<&TxnSpec> = (0..10)
+            .map(|n| t.get(ClientId::new(1), n).unwrap())
+            .collect();
         assert!(seq_a != seq_b || a != b);
     }
 }

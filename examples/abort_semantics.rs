@@ -69,7 +69,10 @@ fn main() {
     println!("\nControl with sorted (deadlock-free) access:");
     println!("{:<28} {:>10.0}", "s-2PL", cs_resp);
     println!("{:<28} {:>10.0} {:>9.1}%", "g-2PL, instant", ci_resp, ci_ab);
-    println!("{:<28} {:>10.0} {:>9.1}%", "g-2PL, messaged", cm_resp, cm_ab);
+    println!(
+        "{:<28} {:>10.0} {:>9.1}%",
+        "g-2PL, messaged", cm_resp, cm_ab
+    );
     println!(
         "\nWith deadlocks out of the picture the semantics coincide \
          (Δ = {:.1}%), isolating the whole instant-vs-messaged gap to \

@@ -13,10 +13,9 @@
 use g2pl_core::prelude::*;
 
 fn main() {
-    let read_prob: f64 = std::env::args()
-        .nth(1)
-        .map(|s| s.parse().expect("read_prob must be a number in [0,1]"))
-        .unwrap_or(0.25);
+    let read_prob: f64 = std::env::args().nth(1).map_or(0.25, |s| {
+        s.parse().expect("read_prob must be a number in [0,1]")
+    });
 
     println!(
         "Hot-data contention at read probability {read_prob} \

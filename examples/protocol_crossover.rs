@@ -14,10 +14,9 @@
 use g2pl_core::prelude::*;
 
 fn main() {
-    let latency: u64 = std::env::args()
-        .nth(1)
-        .map(|s| s.parse().expect("latency must be a positive integer"))
-        .unwrap_or(250);
+    let latency: u64 = std::env::args().nth(1).map_or(250, |s| {
+        s.parse().expect("latency must be a positive integer")
+    });
 
     let env = NetworkEnv::nearest(SimTime::new(latency));
     println!("Crossover sweep at latency {latency} ({env}), 50 clients, 25 items\n");

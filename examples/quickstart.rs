@@ -49,8 +49,16 @@ fn main() {
         means.push((result.runs[0].protocol, resp.mean));
     }
 
-    let s = means.iter().find(|(p, _)| *p == "s-2PL").expect("s-2PL ran").1;
-    let g = means.iter().find(|(p, _)| *p == "g-2PL").expect("g-2PL ran").1;
+    let s = means
+        .iter()
+        .find(|(p, _)| *p == "s-2PL")
+        .expect("s-2PL ran")
+        .1;
+    let g = means
+        .iter()
+        .find(|(p, _)| *p == "g-2PL")
+        .expect("g-2PL ran")
+        .1;
     println!(
         "\ng-2PL improves mean response time by {:.1}% over s-2PL \
          (paper: 20-25% in the presence of updates)",

@@ -13,10 +13,9 @@
 use g2pl_core::prelude::*;
 
 fn main() {
-    let read_prob: f64 = std::env::args()
-        .nth(1)
-        .map(|s| s.parse().expect("read_prob must be a number in [0,1]"))
-        .unwrap_or(0.25);
+    let read_prob: f64 = std::env::args().nth(1).map_or(0.25, |s| {
+        s.parse().expect("read_prob must be a number in [0,1]")
+    });
 
     println!("WAN scaling at read probability {read_prob} (50 clients, 25 hot items)\n");
     println!(
@@ -27,12 +26,7 @@ fn main() {
     for env in NetworkEnv::ALL {
         let mut row = Vec::new();
         for protocol in [ProtocolKind::S2pl, ProtocolKind::g2pl_paper()] {
-            let mut cfg = EngineConfig::table1(
-                protocol,
-                50,
-                env.latency().units(),
-                read_prob,
-            );
+            let mut cfg = EngineConfig::table1(protocol, 50, env.latency().units(), read_prob);
             cfg.warmup_txns = 300;
             cfg.measured_txns = 3_000;
             row.push(run_replicated(&cfg, 2).response_ci().mean);

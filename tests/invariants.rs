@@ -14,9 +14,11 @@ fn arb_protocol() -> impl Strategy<Value = ProtocolKind> {
         Just(ProtocolKind::S2pl),
         Just(ProtocolKind::C2pl),
         (any::<bool>(), any::<bool>(), any::<bool>()).prop_map(|(mr1w, consistent, expand)| {
-            let mut opts = G2plOpts::default();
-            opts.mr1w = mr1w;
-            opts.expand_reads = expand;
+            let mut opts = G2plOpts {
+                mr1w,
+                expand_reads: expand,
+                ..G2plOpts::default()
+            };
             if !consistent {
                 opts.ordering = g2pl_fwdlist::OrderingRule::fifo();
             }
@@ -35,21 +37,23 @@ fn arb_config() -> impl Strategy<Value = EngineConfig> {
         any::<u64>(),  // seed
         any::<bool>(), // messaged aborts
     )
-        .prop_map(|(protocol, clients, latency, pr10, max_items, seed, messaged)| {
-            let mut cfg =
-                EngineConfig::table1(protocol, clients, latency, f64::from(pr10) / 10.0);
-            cfg.profile.max_items = max_items;
-            cfg.num_items = 8;
-            cfg.warmup_txns = 20;
-            cfg.measured_txns = 150;
-            cfg.seed = seed;
-            cfg.drain = true;
-            cfg.record_history = true;
-            if messaged {
-                cfg.abort_effect = AbortEffect::Messaged;
-            }
-            cfg
-        })
+        .prop_map(
+            |(protocol, clients, latency, pr10, max_items, seed, messaged)| {
+                let mut cfg =
+                    EngineConfig::table1(protocol, clients, latency, f64::from(pr10) / 10.0);
+                cfg.profile.max_items = max_items;
+                cfg.num_items = 8;
+                cfg.warmup_txns = 20;
+                cfg.measured_txns = 150;
+                cfg.seed = seed;
+                cfg.drain = true;
+                cfg.record_history = true;
+                if messaged {
+                    cfg.abort_effect = AbortEffect::Messaged;
+                }
+                cfg
+            },
+        )
 }
 
 proptest! {
@@ -159,7 +163,11 @@ fn wal_invariants_and_retention_ordering() {
         cfg.enable_wal = wal;
         cfg
     };
-    for protocol in [ProtocolKind::S2pl, ProtocolKind::g2pl_paper(), ProtocolKind::C2pl] {
+    for protocol in [
+        ProtocolKind::S2pl,
+        ProtocolKind::g2pl_paper(),
+        ProtocolKind::C2pl,
+    ] {
         let with = run(&mk(protocol.clone(), true));
         let without = run(&mk(protocol, false));
         assert_eq!(

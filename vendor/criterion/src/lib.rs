@@ -1,0 +1,226 @@
+//! Offline mini stand-in for the `criterion` benchmark harness.
+//!
+//! The real `criterion` cannot be fetched in the offline build
+//! environment. This crate keeps the workspace's `[[bench]]` targets
+//! compiling and runnable with the same source: `criterion_group!` /
+//! `criterion_main!`, benchmark groups, `bench_function` /
+//! `bench_with_input`, `Bencher::iter`, `BenchmarkId`, and `black_box`.
+//!
+//! Statistics are intentionally simple — each benchmark runs a fixed
+//! number of timed iterations and reports the mean and min wall-clock
+//! time per iteration. There is no warm-up calibration, outlier
+//! analysis, or HTML report.
+
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Number of timed iterations per benchmark (after a few warm-up runs).
+const MEASURE_ITERS: u32 = 20;
+const WARMUP_ITERS: u32 = 3;
+
+/// Top-level harness handle, passed to every benchmark function.
+#[derive(Default)]
+pub struct Criterion {
+    _private: (),
+}
+
+impl Criterion {
+    /// Start a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        eprintln!("group: {name}");
+        BenchmarkGroup {
+            _parent: self,
+            name: name.to_string(),
+        }
+    }
+
+    /// Run a standalone benchmark outside any group.
+    pub fn bench_function<F>(&mut self, id: &str, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_one(id, f);
+        self
+    }
+
+    /// Parse CLI args — accepted for API parity, ignored.
+    pub fn configure_from_args(self) -> Self {
+        self
+    }
+
+    /// End of run — the real crate prints a summary here.
+    pub fn final_summary(&mut self) {}
+}
+
+/// A named set of benchmarks sharing configuration.
+pub struct BenchmarkGroup<'a> {
+    _parent: &'a mut Criterion,
+    name: String,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Accepted for API parity; the mini harness uses a fixed iteration
+    /// count instead of a sample count.
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    /// Accepted for API parity; measurement time is not configurable.
+    pub fn measurement_time(&mut self, _d: Duration) -> &mut Self {
+        self
+    }
+
+    /// Benchmark a closure under `id` within this group.
+    pub fn bench_function<I, F>(&mut self, id: I, f: F) -> &mut Self
+    where
+        I: IntoBenchmarkId,
+        F: FnMut(&mut Bencher),
+    {
+        run_one(&format!("{}/{}", self.name, id.into_benchmark_id().0), f);
+        self
+    }
+
+    /// Benchmark a closure that receives `input` by reference.
+    pub fn bench_with_input<I, T, F>(&mut self, id: I, input: &T, mut f: F) -> &mut Self
+    where
+        I: IntoBenchmarkId,
+        T: ?Sized,
+        F: FnMut(&mut Bencher, &T),
+    {
+        run_one(
+            &format!("{}/{}", self.name, id.into_benchmark_id().0),
+            |b| {
+                f(b, input);
+            },
+        );
+        self
+    }
+
+    /// Close the group.
+    pub fn finish(self) {}
+}
+
+/// Identifier for one benchmark within a group.
+pub struct BenchmarkId(String);
+
+impl BenchmarkId {
+    /// Id combining a function name and a parameter value.
+    #[must_use]
+    pub fn new<P: std::fmt::Display>(function: &str, parameter: P) -> Self {
+        BenchmarkId(format!("{function}/{parameter}"))
+    }
+
+    /// Id naming only the parameter value.
+    #[must_use]
+    pub fn from_parameter<P: std::fmt::Display>(parameter: P) -> Self {
+        BenchmarkId(parameter.to_string())
+    }
+}
+
+/// Things usable as a benchmark id: `BenchmarkId` or plain strings.
+pub trait IntoBenchmarkId {
+    fn into_benchmark_id(self) -> BenchmarkId;
+}
+
+impl IntoBenchmarkId for BenchmarkId {
+    fn into_benchmark_id(self) -> BenchmarkId {
+        self
+    }
+}
+
+impl IntoBenchmarkId for &str {
+    fn into_benchmark_id(self) -> BenchmarkId {
+        BenchmarkId(self.to_string())
+    }
+}
+
+impl IntoBenchmarkId for String {
+    fn into_benchmark_id(self) -> BenchmarkId {
+        BenchmarkId(self)
+    }
+}
+
+/// Timer handle given to the benchmarked closure.
+pub struct Bencher {
+    per_iter: Vec<Duration>,
+}
+
+impl Bencher {
+    /// Time `routine`, repeating it enough times to measure.
+    pub fn iter<O, R>(&mut self, mut routine: R)
+    where
+        R: FnMut() -> O,
+    {
+        for _ in 0..WARMUP_ITERS {
+            black_box(routine());
+        }
+        for _ in 0..MEASURE_ITERS {
+            let start = Instant::now();
+            black_box(routine());
+            self.per_iter.push(start.elapsed());
+        }
+    }
+}
+
+fn run_one<F>(label: &str, mut f: F)
+where
+    F: FnMut(&mut Bencher),
+{
+    let mut bencher = Bencher {
+        per_iter: Vec::new(),
+    };
+    f(&mut bencher);
+    if bencher.per_iter.is_empty() {
+        eprintln!("  {label}: no measurements");
+        return;
+    }
+    let total: Duration = bencher.per_iter.iter().sum();
+    let mean = total / bencher.per_iter.len() as u32;
+    let min = bencher.per_iter.iter().min().copied().unwrap_or_default();
+    eprintln!(
+        "  {label}: mean {:.3} ms, min {:.3} ms ({} iters)",
+        mean.as_secs_f64() * 1e3,
+        min.as_secs_f64() * 1e3,
+        bencher.per_iter.len()
+    );
+}
+
+/// Collect benchmark functions into a named group runner.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        fn $name(c: &mut $crate::Criterion) {
+            $($target(c);)+
+        }
+    };
+}
+
+/// Entry point running each group collected by `criterion_group!`.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            let mut c = $crate::Criterion::default().configure_from_args();
+            $($group(&mut c);)+
+            c.final_summary();
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn group_and_input_benches_run() {
+        let mut c = Criterion::default();
+        let mut group = c.benchmark_group("smoke");
+        group.sample_size(10);
+        group.bench_function("add", |b| b.iter(|| black_box(1u64) + black_box(2u64)));
+        group.bench_with_input(BenchmarkId::from_parameter(5u32), &5u32, |b, &n| {
+            b.iter(|| (0..n).sum::<u32>());
+        });
+        group.finish();
+    }
+}

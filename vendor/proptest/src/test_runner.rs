@@ -1,0 +1,133 @@
+//! Deterministic case generation: the per-case RNG and runner config.
+
+/// Per-test configuration. Only `cases` is honored by the mini runner.
+#[derive(Clone, Debug)]
+pub struct Config {
+    /// Number of cases to generate and check per property.
+    pub cases: u32,
+}
+
+impl Config {
+    /// Run `cases` cases per property.
+    #[must_use]
+    pub fn with_cases(cases: u32) -> Self {
+        Config { cases }
+    }
+}
+
+impl Default for Config {
+    fn default() -> Self {
+        Config { cases: 256 }
+    }
+}
+
+/// Why a case did not pass.
+#[derive(Clone, Debug)]
+pub enum TestCaseError {
+    /// `prop_assume!` precondition unmet; the case is skipped.
+    Reject,
+    /// A `prop_assert*` failed with this message.
+    Fail(String),
+}
+
+impl TestCaseError {
+    /// Build a failure with a formatted message.
+    #[must_use]
+    pub fn fail(msg: String) -> Self {
+        TestCaseError::Fail(msg)
+    }
+}
+
+/// SplitMix64 generator seeded from a test identifier and case index.
+///
+/// The identifier is the test's full module path plus function name, so
+/// distinct tests explore distinct input streams, while reruns of the
+/// same binary replay identical cases.
+#[derive(Clone, Debug)]
+pub struct TestRng {
+    state: u64,
+}
+
+impl TestRng {
+    /// RNG for case `case` of the test named `ident`.
+    #[must_use]
+    pub fn for_case(ident: &str, case: u32) -> Self {
+        let mut h: u64 = 0x9e37_79b9_7f4a_7c15;
+        for &b in ident.as_bytes() {
+            h = splitmix64(h ^ u64::from(b));
+        }
+        TestRng {
+            state: splitmix64(h ^ (u64::from(case) << 32 | 0x5bf0_3635)),
+        }
+    }
+
+    /// Next raw 64-bit draw.
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform draw in `[0, bound)`; `bound` must be nonzero.
+    /// Uses Lemire's multiply-shift rejection method (unbiased).
+    pub fn below(&mut self, bound: u64) -> u64 {
+        debug_assert!(bound > 0, "below(0) is meaningless");
+        loop {
+            let x = self.next_u64();
+            let m = u128::from(x) * u128::from(bound);
+            let lo = m as u64;
+            if lo >= bound.wrapping_neg() % bound {
+                return (m >> 64) as u64;
+            }
+        }
+    }
+
+    /// Uniform draw in `[0, 1)`.
+    pub fn unit_f64(&mut self) -> f64 {
+        // 53 random mantissa bits scaled into [0, 1).
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+/// One step of the SplitMix64 output function, used for seeding.
+fn splitmix64(x: u64) -> u64 {
+    let mut z = x.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::TestRng;
+
+    #[test]
+    fn distinct_tests_get_distinct_streams() {
+        let a = TestRng::for_case("mod::alpha", 0).next_u64();
+        let b = TestRng::for_case("mod::beta", 0).next_u64();
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn below_is_in_range_and_covers() {
+        let mut rng = TestRng::for_case("below", 0);
+        let mut seen = [false; 7];
+        for _ in 0..500 {
+            let v = rng.below(7) as usize;
+            assert!(v < 7);
+            seen[v] = true;
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+
+    #[test]
+    fn unit_f64_in_half_open_interval() {
+        let mut rng = TestRng::for_case("unit", 0);
+        for _ in 0..1000 {
+            let f = rng.unit_f64();
+            assert!((0.0..1.0).contains(&f));
+        }
+    }
+}

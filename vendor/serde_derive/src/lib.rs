@@ -1,0 +1,23 @@
+//! Offline no-op stand-in for `serde_derive`.
+//!
+//! This workspace never serializes anything (there is no `serde_json` or
+//! other format crate in the dependency graph); the `#[derive(Serialize,
+//! Deserialize)]` attributes on model types are decoration for future
+//! interop. The real `serde_derive` cannot be fetched in the offline
+//! build environment, so these derives simply expand to nothing — the
+//! companion `serde` stub provides blanket trait impls, keeping every
+//! `T: Serialize` bound satisfiable.
+
+use proc_macro::TokenStream;
+
+/// Expands to nothing; see the crate docs.
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(_item: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// Expands to nothing; see the crate docs.
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(_item: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
