@@ -17,4 +17,17 @@ cargo run -q -p g2pl-lint
 echo "==> cargo test"
 cargo test -q --workspace
 
+echo "==> trace-explain smoke (span export + round accounting)"
+trace_dir="$(mktemp -d)"
+trap 'rm -rf "$trace_dir"' EXIT
+cargo run -q -p g2pl-bench --bin repro -- --scale smoke --trace-out "$trace_dir" fig2 >/dev/null
+explain_out="$(cargo run -q -p g2pl-bench --bin trace-explain -- --best-case "$trace_dir"/*.jsonl || true)"
+echo "$explain_out" | grep -q "round-check: PASS (s-2PL" \
+  || { echo "trace-explain: s-2PL round check failed"; echo "$explain_out"; exit 1; }
+echo "$explain_out" | grep -q "round-check: PASS (g-2PL" \
+  || { echo "trace-explain: g-2PL round check failed"; echo "$explain_out"; exit 1; }
+if echo "$explain_out" | grep -q "FAIL"; then
+  echo "trace-explain: a check failed"; echo "$explain_out"; exit 1
+fi
+
 echo "ci/check.sh: all gates passed"

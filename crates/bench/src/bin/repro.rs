@@ -1,7 +1,8 @@
 //! `repro` — regenerate every table and figure of the paper.
 //!
 //! ```text
-//! repro [--scale smoke|default|full] [--out DIR] [--no-verify] <artifact>...
+//! repro [--scale smoke|default|full] [--out DIR] [--trace-out DIR]
+//!       [--no-verify] <artifact>...
 //!
 //! artifacts: table1 table2 fig1 fig2 fig3 fig4 fig5 fig6 fig7 fig8 fig9
 //!            fig10 fig11 fig12 fig13 fig14 fig15 headline all
@@ -9,7 +10,9 @@
 //!
 //! Markdown goes to stdout; with `--out DIR`, each figure's raw data is
 //! also written as `DIR/<id>.csv`; `--ascii` appends a terminal chart
-//! under each table.
+//! under each table. With `--trace-out DIR`, replication 0 of every data
+//! point dumps its span events as `DIR/*.jsonl` for the `trace-explain`
+//! analyzer.
 //!
 //! Every data point self-verifies by default: replication 0 of each
 //! configuration is re-checked against the protocol trace properties
@@ -46,10 +49,13 @@ const EXTS: [&str; 10] = [
 
 fn usage() -> ! {
     eprintln!(
-        "usage: repro [--scale smoke|default|full] [--out DIR] [--no-verify] <artifact>...\n\
+        "usage: repro [--scale smoke|default|full] [--out DIR] [--trace-out DIR] \
+         [--no-verify] <artifact>...\n\
          artifacts: {} all\n\
          extensions: {} ext scorecard\n\
-         verification of every data point is on by default; --no-verify skips it",
+         verification of every data point is on by default; --no-verify skips it\n\
+         --trace-out DIR dumps replication 0 of each point as a JSONL span \
+         trace for trace-explain",
         ALL.join(" "),
         EXTS.join(" ")
     );
@@ -91,6 +97,12 @@ fn main() {
             "--out" => {
                 i += 1;
                 out_dir = Some(PathBuf::from(args.get(i).unwrap_or_else(|| usage())));
+            }
+            "--trace-out" => {
+                i += 1;
+                g2pl_core::set_trace_out(Some(PathBuf::from(
+                    args.get(i).unwrap_or_else(|| usage()),
+                )));
             }
             "--ascii" => {} // handled in emit_figure
             "--no-verify" | "--verify=off" => g2pl_core::set_verify(false),

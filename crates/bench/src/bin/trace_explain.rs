@@ -1,0 +1,335 @@
+//! `trace-explain` — analyze exported span traces.
+//!
+//! ```text
+//! trace-explain [--timelines N] <trace.jsonl>...
+//! trace-explain --best-case
+//! ```
+//!
+//! File mode replays a JSONL span trace (written by `repro --trace-out`)
+//! through the phase-attribution state machine and renders, per file:
+//!
+//! - a per-phase latency breakdown table (mean / max / share of the
+//!   measured response time),
+//! - Fig-1-style ASCII timelines of the first few measured transactions,
+//! - the round-count histogram with its observed mean, and
+//! - a `phase-sum check` line: the five response phases must sum to the
+//!   run's mean response time within 1% (the attribution is a partition
+//!   of [first request, commit], so anything else is a bug).
+//!
+//! `--best-case` runs the §3.1 worked example instead: every client
+//! issues single-item exclusive transactions against a one-item database
+//! so nothing can deadlock, then checks the empirical round counters
+//! against the paper's analytic claim — s-2PL spends 3 rounds per
+//! transaction (`3m` for `m` transactions) while g-2PL spends `2m + 1`
+//! per collection window, i.e. `2·commits + windows` in total.
+//!
+//! Every check prints a line starting `round-check:` or
+//! `phase-sum check:`; any FAIL sets a non-zero exit status.
+
+use g2pl_obs::{parse_jsonl, ObsReport, Phase, RunMeta, SpanRecorder, TxnDetail};
+use g2pl_protocols::{run, EngineConfig, ProtocolKind, RunMetrics};
+
+const TIMELINE_COLS: usize = 60;
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: trace-explain [--timelines N] <trace.jsonl>...\n\
+         \u{20}      trace-explain --best-case\n\
+         file mode replays JSONL span traces (from `repro --trace-out DIR`)\n\
+         and prints per-phase breakdowns, ASCII timelines and round counts;\n\
+         --best-case runs the paper's \u{a7}3.1 workload and asserts the\n\
+         analytic round counts (3m for s-2PL, 2m+1 for g-2PL)"
+    );
+    std::process::exit(2);
+}
+
+/// One-character glyph per phase for the ASCII timelines.
+fn glyph(p: Phase) -> char {
+    match p {
+        Phase::ReqProp => '>',
+        Phase::ServerQueue => 'q',
+        Phase::Migration => 'w',
+        Phase::DispatchProp => '<',
+        Phase::ClientProc => 'c',
+        Phase::CommitReturn => 'r',
+    }
+}
+
+fn legend() -> String {
+    Phase::ALL
+        .iter()
+        .map(|p| format!("{}={}", glyph(*p), p.name()))
+        .collect::<Vec<_>>()
+        .join("  ")
+}
+
+/// Render one transaction's critical path as a scaled character strip.
+fn timeline(d: &TxnDetail) -> String {
+    let span = d.end.units().saturating_sub(d.start.units()).max(1);
+    let mut cells = vec![' '; TIMELINE_COLS];
+    for (phase, from, to) in &d.intervals {
+        let a = (from.units().saturating_sub(d.start.units())) as f64 / span as f64;
+        let b = (to.units().saturating_sub(d.start.units())) as f64 / span as f64;
+        let lo = ((a * TIMELINE_COLS as f64) as usize).min(TIMELINE_COLS - 1);
+        let hi = ((b * TIMELINE_COLS as f64) as usize).clamp(lo + 1, TIMELINE_COLS);
+        for cell in &mut cells[lo..hi] {
+            *cell = glyph(*phase);
+        }
+    }
+    cells.into_iter().collect()
+}
+
+fn print_timelines(details: &[TxnDetail], limit: usize) {
+    let picked: Vec<&TxnDetail> = details.iter().filter(|d| d.measured).take(limit).collect();
+    let picked: Vec<&TxnDetail> = if picked.is_empty() {
+        details.iter().take(limit).collect()
+    } else {
+        picked
+    };
+    if picked.is_empty() {
+        println!("  (no finalized transactions to draw)");
+        return;
+    }
+    println!("  {}", legend());
+    for d in picked {
+        println!(
+            "  txn {:>5}  t={:>8}..{:<8} rounds={:>2}  |{}|",
+            d.txn.0,
+            d.start.units(),
+            d.end.units(),
+            d.rounds,
+            timeline(d)
+        );
+    }
+}
+
+fn print_breakdown(report: &ObsReport, mean_response: f64) {
+    let b = &report.breakdown;
+    println!(
+        "  {:<14} {:>8} {:>12} {:>12} {:>8}",
+        "phase", "count", "mean", "max", "share"
+    );
+    for p in Phase::ALL {
+        let s = b.phase(p);
+        let share = if mean_response > 0.0 && p.index() < Phase::RESPONSE_PHASES {
+            format!("{:>7.1}%", 100.0 * s.mean() / mean_response)
+        } else {
+            "      --".to_string()
+        };
+        println!(
+            "  {:<14} {:>8} {:>12.1} {:>12.1} {}",
+            p.name(),
+            s.count(),
+            s.mean(),
+            s.max().unwrap_or(0.0),
+            share
+        );
+    }
+    println!(
+        "  rounds: total={} mean={:.2} over {} measured commits ({} server returns)",
+        b.rounds_total,
+        b.mean_rounds(),
+        b.measured_commits,
+        b.server_returns
+    );
+    let hist = &b.rounds;
+    let peak = hist.counts().iter().copied().max().unwrap_or(0).max(1);
+    for (i, &n) in hist.counts().iter().enumerate() {
+        if n == 0 {
+            continue;
+        }
+        let bar = "#".repeat(((n * 40).div_ceil(peak)) as usize);
+        println!("    {i:>3} rounds | {bar} {n}");
+    }
+    if hist.overflow() > 0 {
+        println!("    >64 rounds | {} (overflow)", hist.overflow());
+    }
+}
+
+/// The five response phases must partition [first request, commit]:
+/// their means sum to the mean response time, within 1%.
+fn phase_sum_check(report: &ObsReport, mean_response: f64, label: &str) -> bool {
+    let sum = report.breakdown.mean_phase_sum();
+    if report.breakdown.measured_commits == 0 {
+        println!("phase-sum check: SKIP ({label}: no measured commits)");
+        return true;
+    }
+    let rel = if mean_response > 0.0 {
+        (sum - mean_response).abs() / mean_response
+    } else {
+        sum.abs()
+    };
+    let ok = rel <= 0.01;
+    println!(
+        "phase-sum check: {} ({label}: phase means sum to {sum:.1}, mean response {mean_response:.1}, \
+         {:.3}% apart)",
+        if ok { "PASS" } else { "FAIL" },
+        100.0 * rel
+    );
+    ok
+}
+
+fn explain_file(path: &str, timelines: usize) -> bool {
+    let text = match std::fs::read_to_string(path) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("trace-explain: cannot read {path}: {e}");
+            return false;
+        }
+    };
+    let tf = match parse_jsonl(&text) {
+        Ok(tf) => tf,
+        Err(e) => {
+            eprintln!("trace-explain: {path}: {e}");
+            return false;
+        }
+    };
+    let RunMeta {
+        protocol,
+        clients,
+        latency,
+        read_prob,
+        seed,
+        committed,
+        aborted,
+        measured,
+        mean_response,
+        dropped,
+    } = tf.meta.clone();
+    println!("== {path}");
+    println!(
+        "  {protocol}  clients={clients} latency={latency} pr={read_prob} seed={seed}  \
+         committed={committed} aborted={aborted} measured={measured}"
+    );
+    if dropped > 0 {
+        println!(
+            "  WARNING: recorder dropped {dropped} span events past its cap; \
+             the trace is a prefix and every number below is an undercount"
+        );
+    }
+    let report = SpanRecorder::replay(&tf.events).finish();
+    print_breakdown(&report, mean_response);
+    print_timelines(&report.details, timelines);
+    // A truncated trace cannot pass a partition check honestly.
+    dropped > 0 || phase_sum_check(&report, mean_response, &protocol)
+}
+
+/// The §3.1 worked example: one hot item, exclusive single-item
+/// transactions, nothing can deadlock, every commit is measured.
+fn best_case_cfg(protocol: ProtocolKind) -> EngineConfig {
+    let mut cfg = EngineConfig::table1(protocol, 8, 200, 0.0);
+    cfg.num_items = 1;
+    cfg.profile.min_items = 1;
+    cfg.profile.max_items = 1;
+    cfg.warmup_txns = 0;
+    cfg.measured_txns = 200;
+    cfg.drain = true;
+    cfg.trace_events = true;
+    cfg.seed = 7;
+    cfg
+}
+
+fn replay_run(m: &RunMetrics) -> ObsReport {
+    let spans = m.spans.as_deref().unwrap_or(&[]);
+    SpanRecorder::replay(spans).finish()
+}
+
+fn best_case() -> bool {
+    let mut ok = true;
+
+    // s-2PL: every single-item transaction is request + grant +
+    // commit-release — exactly 3 network rounds, 3m in total.
+    let m = run(&best_case_cfg(ProtocolKind::S2pl));
+    let report = replay_run(&m);
+    let n = report.details.len();
+    let off: Vec<&TxnDetail> = report.details.iter().filter(|d| d.rounds != 3).collect();
+    if off.is_empty() && n > 0 {
+        println!(
+            "round-check: PASS (s-2PL best case: 3 rounds for each of {n} commits; analytic 3m = {})",
+            3 * n
+        );
+    } else {
+        ok = false;
+        println!(
+            "round-check: FAIL (s-2PL best case: {} of {n} commits deviate from 3 rounds: {:?})",
+            off.len(),
+            off.iter()
+                .take(5)
+                .map(|d| (d.txn.0, d.rounds))
+                .collect::<Vec<_>>()
+        );
+    }
+    ok &= phase_sum_check(&report, m.response.mean(), "s-2PL best case");
+
+    // g-2PL: a collection window of m transactions costs m requests,
+    // m grants (each mid-window release rides its successor's grant),
+    // and 1 final server return: 2m + 1. Summed over the run that is
+    // 2·commits + windows.
+    let m = run(&best_case_cfg(ProtocolKind::g2pl_paper()));
+    let report = replay_run(&m);
+    let n = report.details.len() as u64;
+    let total: u64 = report.details.iter().map(|d| u64::from(d.rounds)).sum();
+    let analytic = 2 * n + m.window_closes;
+    if total == analytic && n > 0 {
+        println!(
+            "round-check: PASS (g-2PL best case: {total} rounds over {n} commits in {} windows; \
+             analytic 2m+1 per window = {analytic})",
+            m.window_closes
+        );
+    } else {
+        ok = false;
+        println!(
+            "round-check: FAIL (g-2PL best case: {total} rounds over {n} commits, expected \
+             2*{n}+{} = {analytic})",
+            m.window_closes
+        );
+    }
+    ok &= phase_sum_check(&report, m.response.mean(), "g-2PL best case");
+
+    println!();
+    println!("  s-2PL \u{a7}3.1 timelines:");
+    let s = replay_run(&run(&best_case_cfg(ProtocolKind::S2pl)));
+    print_timelines(&s.details, 4);
+    println!("  g-2PL \u{a7}3.1 timelines:");
+    print_timelines(&report.details, 4);
+    ok
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut timelines = 4usize;
+    let mut files: Vec<String> = Vec::new();
+    let mut run_best_case = false;
+
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--best-case" => run_best_case = true,
+            "--timelines" => {
+                i += 1;
+                timelines = args
+                    .get(i)
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| usage());
+            }
+            a if a.starts_with('-') => usage(),
+            a => files.push(a.to_string()),
+        }
+        i += 1;
+    }
+    if !run_best_case && files.is_empty() {
+        usage();
+    }
+
+    let mut ok = true;
+    if run_best_case {
+        ok &= best_case();
+    }
+    for f in &files {
+        ok &= explain_file(f, timelines);
+        println!();
+    }
+    if !ok {
+        std::process::exit(1);
+    }
+}

@@ -9,6 +9,7 @@
 //! ```text
 //! g2pl-core        ← you are here: replicated runs, experiments, verification
 //! g2pl-protocols   ← s-2PL / g-2PL / c-2PL engines
+//! g2pl-obs         ← critical-path spans, phase attribution, JSONL export
 //! g2pl-fwdlist     ← forward lists, collection windows, precedence DAG
 //! g2pl-lockmgr     ← lock table, wait-for graphs, victim policies
 //! g2pl-workload    ← Table-1 transaction generation
@@ -47,7 +48,9 @@ pub mod tracecheck;
 pub mod verify;
 
 pub use figure::{FigureData, Series};
-pub use runner::{run_replicated, set_verify, verify_enabled, ReplicatedResult};
+pub use runner::{
+    run_replicated, set_trace_out, set_verify, trace_out, verify_enabled, ReplicatedResult,
+};
 pub use tracecheck::{check_trace, check_trace_with, TraceCheckOpts};
 pub use verify::check_serializable;
 
@@ -56,7 +59,9 @@ pub mod prelude {
     pub use crate::experiments::{self, Scale};
     pub use crate::extensions;
     pub use crate::figure::{FigureData, Series};
-    pub use crate::runner::{run_replicated, set_verify, verify_enabled, ReplicatedResult};
+    pub use crate::runner::{
+        run_replicated, set_trace_out, set_verify, trace_out, verify_enabled, ReplicatedResult,
+    };
     pub use crate::scorecard::{self, run_scorecard};
     pub use crate::tracecheck::{check_trace, check_trace_with, TraceCheckOpts};
     pub use crate::verify::check_serializable;

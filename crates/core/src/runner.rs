@@ -10,10 +10,27 @@ use crate::tracecheck::{check_trace_with, TraceCheckOpts};
 use crate::verify::check_serializable;
 use g2pl_protocols::{run, EngineConfig, RunMetrics};
 use g2pl_stats::{ConfidenceInterval, Replications};
+use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Mutex;
 
 /// Whether [`run_replicated`] self-verifies (on by default).
 static VERIFY: AtomicBool = AtomicBool::new(true);
+
+/// Directory span traces are exported to, when set.
+static TRACE_OUT: Mutex<Option<PathBuf>> = Mutex::new(None);
+
+/// Export replication 0 of every subsequent [`run_replicated`] call as a
+/// JSONL span trace into `dir` (`None` turns exporting back off). The
+/// files are the input of the `trace-explain` analyzer.
+pub fn set_trace_out(dir: Option<PathBuf>) {
+    *TRACE_OUT.lock().expect("trace-out mutex poisoned") = dir;
+}
+
+/// The configured span-trace export directory, if any.
+pub fn trace_out() -> Option<PathBuf> {
+    TRACE_OUT.lock().expect("trace-out mutex poisoned").clone()
+}
 
 /// Turn self-verification on or off process-wide.
 ///
@@ -48,19 +65,77 @@ fn run_verified(cfg: &EngineConfig) -> RunMetrics {
             vc.seed
         )
     };
-    if let Some(trace) = &m.trace {
-        if let Err(e) = check_trace_with(trace, TraceCheckOpts::for_config(&vc)) {
-            panic!("{}", diag("trace property", &e));
+    if verify_enabled() {
+        // A truncated trace is a prefix: "verifying" it would claim more
+        // than was observed, so refuse outright.
+        assert!(
+            !m.trace_truncated(),
+            "{}",
+            diag(
+                "trace completeness",
+                &format!(
+                    "the bounded trace log dropped {} events; shrink the run \
+                     or raise the log cap before verifying",
+                    m.trace_dropped
+                )
+            )
+        );
+        if let Some(trace) = &m.trace {
+            if let Err(e) = check_trace_with(trace, TraceCheckOpts::for_config(&vc)) {
+                panic!("{}", diag("trace property", &e));
+            }
+        }
+        if let Some(history) = &m.history {
+            if let Err(e) = check_serializable(history) {
+                panic!("{}", diag("serializability", &e));
+            }
         }
     }
-    if let Some(history) = &m.history {
-        if let Err(e) = check_serializable(history) {
-            panic!("{}", diag("serializability", &e));
-        }
+    if let Some(dir) = trace_out() {
+        export_spans(&dir, &vc, &m);
     }
     m.trace = None;
     m.history = None;
+    m.spans = None;
     m
+}
+
+/// Write the run's span events to `DIR/<label>_c<n>_l<L>_pr<p>_s<seed>.jsonl`.
+fn export_spans(dir: &std::path::Path, cfg: &EngineConfig, m: &RunMetrics) {
+    let Some(spans) = &m.spans else { return };
+    let meta = g2pl_obs::RunMeta {
+        protocol: m.protocol.to_string(),
+        clients: cfg.num_clients,
+        latency: cfg.latency.nominal(),
+        read_prob: cfg.profile.read_prob,
+        seed: cfg.seed,
+        committed: m.committed_total,
+        aborted: m.aborted_total,
+        measured: m.response.count(),
+        mean_response: m.response.mean(),
+        dropped: m.phases.spans_dropped,
+    };
+    let label: String = m
+        .protocol
+        .chars()
+        .filter(|c| *c != '-')
+        .collect::<String>()
+        .to_lowercase();
+    let file = format!(
+        "{label}_c{}_l{}_pr{}_s{}.jsonl",
+        cfg.num_clients,
+        cfg.latency.nominal(),
+        cfg.profile.read_prob,
+        cfg.seed
+    );
+    if let Err(e) = std::fs::create_dir_all(dir)
+        .and_then(|()| std::fs::write(dir.join(&file), g2pl_obs::write_jsonl(&meta, spans)))
+    {
+        eprintln!(
+            "warning: span trace export to {} failed: {e}",
+            dir.display()
+        );
+    }
 }
 
 /// The outcome of `n` independent replications of one configuration.
@@ -120,7 +195,8 @@ pub fn run_replicated(base: &EngineConfig, reps: u32) -> ReplicatedResult {
 
     // Recording is passive — it perturbs no random draw and no event —
     // so the verified run's metrics stand in for replication 0 exactly.
-    let first: Option<RunMetrics> = verify_enabled().then(|| run_verified(&configs[0]));
+    let first: Option<RunMetrics> =
+        (verify_enabled() || trace_out().is_some()).then(|| run_verified(&configs[0]));
     let rest = if first.is_some() {
         &configs[1..]
     } else {

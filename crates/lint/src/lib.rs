@@ -37,12 +37,13 @@ use std::fmt;
 use std::path::{Path, PathBuf};
 
 /// Crates the lints apply to, relative to the workspace root.
-pub const ENGINE_CRATES: [&str; 5] = [
+pub const ENGINE_CRATES: [&str; 6] = [
     "crates/protocols",
     "crates/lockmgr",
     "crates/fwdlist",
     "crates/simcore",
     "crates/netmodel",
+    "crates/obs",
 ];
 
 /// Which lint a diagnostic belongs to.

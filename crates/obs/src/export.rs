@@ -1,0 +1,399 @@
+//! JSONL structured export of span traces, and its parser.
+//!
+//! One file per run: the first line is a run-meta object (identified by
+//! its `"protocol"` key), every following line one span event:
+//!
+//! ```text
+//! {"protocol":"g-2PL","clients":8,"latency":200,"read_prob":0.0,...}
+//! {"at":0,"kind":"req_sent","txn":0,"item":3}
+//! {"at":14,"kind":"window_closed","item":3,"n":4}
+//! {"at":30,"kind":"commit_local","txn":0,"n":1,"measured":true}
+//! {"at":35,"kind":"release_arrived","txn":0,"server":true}
+//! ```
+//!
+//! Fields at their default (`null` txn/item, `server:false`, `n:0`,
+//! `measured:false`) are omitted. The workspace's `serde` is an offline
+//! no-op stub, so both directions are implemented by hand; the parser is
+//! deliberately defensive (`Result`, never panics) because it reads
+//! files from disk.
+
+use crate::span::{SpanEvent, SpanKind};
+use crate::tracker::MAX_RAW_EVENTS;
+use g2pl_simcore::{ItemId, SimTime, TxnId};
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+/// Run-level metadata heading an exported trace.
+#[derive(Clone, Debug, PartialEq)]
+pub struct RunMeta {
+    /// Protocol label ("s-2PL", "g-2PL", "c-2PL").
+    pub protocol: String,
+    /// Number of client sites.
+    pub clients: u32,
+    /// Nominal one-way network latency (simulation units).
+    pub latency: u64,
+    /// Read probability of the workload.
+    pub read_prob: f64,
+    /// The replication's seed.
+    pub seed: u64,
+    /// Transactions committed over the whole run.
+    pub committed: u64,
+    /// Transactions aborted over the whole run.
+    pub aborted: u64,
+    /// Measured (post-warm-up) commits.
+    pub measured: u64,
+    /// Mean response time over measured commits.
+    pub mean_response: f64,
+    /// Span events dropped past the recorder cap (0 = complete trace).
+    pub dropped: u64,
+}
+
+fn json_f64(v: f64) -> String {
+    if v.is_finite() {
+        format!("{v}")
+    } else {
+        "0".to_string()
+    }
+}
+
+/// Render one event as a single JSON line (no trailing newline).
+pub fn event_to_json(ev: &SpanEvent) -> String {
+    let mut s = format!("{{\"at\":{},\"kind\":\"{}\"", ev.at.units(), ev.kind.name());
+    if let Some(t) = ev.txn {
+        let _ = write!(s, ",\"txn\":{}", t.0);
+    }
+    if let Some(i) = ev.item {
+        let _ = write!(s, ",\"item\":{}", i.0);
+    }
+    if ev.server {
+        s.push_str(",\"server\":true");
+    }
+    if ev.n != 0 {
+        let _ = write!(s, ",\"n\":{}", ev.n);
+    }
+    if ev.measured {
+        s.push_str(",\"measured\":true");
+    }
+    s.push('}');
+    s
+}
+
+/// Render a whole trace (meta line + one line per event).
+pub fn write_jsonl(meta: &RunMeta, events: &[SpanEvent]) -> String {
+    let mut out = String::with_capacity(64 * (events.len() + 1));
+    let _ = writeln!(
+        out,
+        "{{\"protocol\":\"{}\",\"clients\":{},\"latency\":{},\"read_prob\":{},\"seed\":{},\
+         \"committed\":{},\"aborted\":{},\"measured\":{},\"mean_response\":{},\"dropped\":{}}}",
+        meta.protocol.replace(['"', '\\'], "_"),
+        meta.clients,
+        meta.latency,
+        json_f64(meta.read_prob),
+        meta.seed,
+        meta.committed,
+        meta.aborted,
+        meta.measured,
+        json_f64(meta.mean_response),
+        meta.dropped,
+    );
+    for ev in events {
+        out.push_str(&event_to_json(ev));
+        out.push('\n');
+    }
+    out
+}
+
+/// A parsed trace file.
+#[derive(Clone, Debug)]
+pub struct TraceFile {
+    /// The run-meta heading.
+    pub meta: RunMeta,
+    /// The span events, in file order (= time order).
+    pub events: Vec<SpanEvent>,
+}
+
+/// A flat JSON value (this format nests nothing).
+#[derive(Clone, Debug, PartialEq)]
+enum Val {
+    Str(String),
+    /// A numeric literal that is exactly a `u64` (no sign, fraction or
+    /// exponent) — kept separate so 64-bit seeds survive round-trips
+    /// that `f64`'s 53-bit mantissa would silently corrupt.
+    Int(u64),
+    Num(f64),
+    Bool(bool),
+    Null,
+}
+
+impl Val {
+    fn as_u64(&self) -> Option<u64> {
+        match self {
+            Val::Int(n) => Some(*n),
+            Val::Num(n) if *n >= 0.0 && n.is_finite() => Some(*n as u64),
+            _ => None,
+        }
+    }
+    fn as_f64(&self) -> Option<f64> {
+        match self {
+            Val::Int(n) => Some(*n as f64),
+            Val::Num(n) => Some(*n),
+            _ => None,
+        }
+    }
+}
+
+/// Parse one flat JSON object line into a key → value map.
+fn parse_object(line: &str) -> Result<BTreeMap<String, Val>, String> {
+    let mut out = BTreeMap::new();
+    let b = line.as_bytes();
+    let mut i = 0usize;
+    let skip_ws = |i: &mut usize| {
+        while *i < b.len() && (b[*i] as char).is_ascii_whitespace() {
+            *i += 1;
+        }
+    };
+    let err = |what: &str, at: usize| format!("{what} at byte {at}: {line:.60}");
+    skip_ws(&mut i);
+    if i >= b.len() || b[i] != b'{' {
+        return Err(err("expected '{'", i));
+    }
+    i += 1;
+    skip_ws(&mut i);
+    if i < b.len() && b[i] == b'}' {
+        return Ok(out);
+    }
+    loop {
+        skip_ws(&mut i);
+        // Key (no escapes are ever emitted in keys).
+        if i >= b.len() || b[i] != b'"' {
+            return Err(err("expected key quote", i));
+        }
+        i += 1;
+        let key_start = i;
+        while i < b.len() && b[i] != b'"' {
+            i += 1;
+        }
+        if i >= b.len() {
+            return Err(err("unterminated key", key_start));
+        }
+        let key = line[key_start..i].to_string();
+        i += 1;
+        skip_ws(&mut i);
+        if i >= b.len() || b[i] != b':' {
+            return Err(err("expected ':'", i));
+        }
+        i += 1;
+        skip_ws(&mut i);
+        // Value.
+        let val = if i < b.len() && b[i] == b'"' {
+            i += 1;
+            let vs = i;
+            while i < b.len() && b[i] != b'"' {
+                i += 1;
+            }
+            if i >= b.len() {
+                return Err(err("unterminated string", vs));
+            }
+            let v = Val::Str(line[vs..i].to_string());
+            i += 1;
+            v
+        } else if line[i..].starts_with("true") {
+            i += 4;
+            Val::Bool(true)
+        } else if line[i..].starts_with("false") {
+            i += 5;
+            Val::Bool(false)
+        } else if line[i..].starts_with("null") {
+            i += 4;
+            Val::Null
+        } else {
+            let ns = i;
+            while i < b.len() && matches!(b[i], b'0'..=b'9' | b'-' | b'+' | b'.' | b'e' | b'E') {
+                i += 1;
+            }
+            let lit = &line[ns..i];
+            if let Ok(n) = lit.parse::<u64>() {
+                Val::Int(n)
+            } else {
+                Val::Num(lit.parse::<f64>().map_err(|_| err("bad number", ns))?)
+            }
+        };
+        out.insert(key, val);
+        skip_ws(&mut i);
+        match b.get(i) {
+            Some(b',') => i += 1,
+            Some(b'}') => return Ok(out),
+            _ => return Err(err("expected ',' or '}'", i)),
+        }
+    }
+}
+
+fn parse_meta(map: &BTreeMap<String, Val>) -> Result<RunMeta, String> {
+    let get_u = |k: &str| {
+        map.get(k)
+            .and_then(Val::as_u64)
+            .ok_or_else(|| format!("meta line missing numeric \"{k}\""))
+    };
+    let get_f = |k: &str| {
+        map.get(k)
+            .and_then(Val::as_f64)
+            .ok_or_else(|| format!("meta line missing numeric \"{k}\""))
+    };
+    let protocol = match map.get("protocol") {
+        Some(Val::Str(s)) => s.clone(),
+        _ => return Err("meta line missing \"protocol\"".to_string()),
+    };
+    Ok(RunMeta {
+        protocol,
+        clients: get_u("clients")? as u32,
+        latency: get_u("latency")?,
+        read_prob: get_f("read_prob")?,
+        seed: get_u("seed")?,
+        committed: get_u("committed")?,
+        aborted: get_u("aborted")?,
+        measured: get_u("measured")?,
+        mean_response: get_f("mean_response")?,
+        dropped: get_u("dropped").unwrap_or(0),
+    })
+}
+
+fn parse_event(map: &BTreeMap<String, Val>, lineno: usize) -> Result<SpanEvent, String> {
+    let at = map
+        .get("at")
+        .and_then(Val::as_u64)
+        .ok_or_else(|| format!("line {lineno}: event missing \"at\""))?;
+    let kind = match map.get("kind") {
+        Some(Val::Str(s)) => SpanKind::from_name(s)
+            .ok_or_else(|| format!("line {lineno}: unknown span kind \"{s}\""))?,
+        _ => return Err(format!("line {lineno}: event missing \"kind\"")),
+    };
+    let mut ev = SpanEvent::new(
+        SimTime::new(at),
+        kind,
+        map.get("txn")
+            .and_then(Val::as_u64)
+            .map(|t| TxnId::new(t as u32)),
+        map.get("item")
+            .and_then(Val::as_u64)
+            .map(|x| ItemId::new(x as u32)),
+    );
+    ev.server = matches!(map.get("server"), Some(Val::Bool(true)));
+    ev.measured = matches!(map.get("measured"), Some(Val::Bool(true)));
+    ev.n = map.get("n").and_then(Val::as_u64).unwrap_or(0) as u32;
+    Ok(ev)
+}
+
+/// Parse a whole exported trace. The first non-empty line must be the
+/// run-meta object.
+pub fn parse_jsonl(text: &str) -> Result<TraceFile, String> {
+    let mut meta: Option<RunMeta> = None;
+    let mut events: Vec<SpanEvent> = Vec::new();
+    for (idx, line) in text.lines().enumerate() {
+        let line = line.trim();
+        if line.is_empty() {
+            continue;
+        }
+        if events.len() > MAX_RAW_EVENTS {
+            return Err(format!(
+                "trace exceeds the {MAX_RAW_EVENTS}-event recorder cap; refusing to load"
+            ));
+        }
+        let map = parse_object(line).map_err(|e| format!("line {}: {e}", idx + 1))?;
+        if meta.is_none() {
+            meta = Some(parse_meta(&map)?);
+        } else {
+            events.push(parse_event(&map, idx + 1)?);
+        }
+    }
+    let meta = meta.ok_or_else(|| "empty trace file (no meta line)".to_string())?;
+    Ok(TraceFile { meta, events })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::span::SpanKind;
+
+    fn meta() -> RunMeta {
+        RunMeta {
+            protocol: "g-2PL".to_string(),
+            clients: 8,
+            latency: 200,
+            read_prob: 0.25,
+            // Larger than f64's 53-bit mantissa: pins integer-exact parsing.
+            seed: 6_364_136_226_095_761_044,
+            committed: 120,
+            aborted: 3,
+            measured: 100,
+            mean_response: 512.5,
+            dropped: 0,
+        }
+    }
+
+    #[test]
+    fn round_trips_meta_and_events() {
+        let mut e1 = SpanEvent::new(
+            SimTime::new(14),
+            SpanKind::WindowClosed,
+            None,
+            Some(ItemId::new(3)),
+        );
+        e1.n = 4;
+        let mut e2 = SpanEvent::new(
+            SimTime::new(30),
+            SpanKind::CommitLocal,
+            Some(TxnId::new(7)),
+            None,
+        );
+        e2.n = 1;
+        e2.measured = true;
+        let mut e3 = SpanEvent::new(
+            SimTime::new(35),
+            SpanKind::ReleaseArrived,
+            Some(TxnId::new(7)),
+            None,
+        );
+        e3.server = true;
+        let events = vec![e1, e2, e3];
+        let text = write_jsonl(&meta(), &events);
+        let parsed = parse_jsonl(&text).expect("round trip");
+        assert_eq!(parsed.meta, meta());
+        assert_eq!(parsed.events, events);
+    }
+
+    #[test]
+    fn rejects_garbage() {
+        assert!(parse_jsonl("").is_err());
+        assert!(parse_jsonl("not json\n").is_err());
+        assert!(
+            parse_jsonl("{\"protocol\":\"x\"}\n").is_err(),
+            "meta incomplete"
+        );
+        let ok = write_jsonl(&meta(), &[]);
+        assert!(
+            parse_jsonl(&format!("{ok}{{\"at\":1}}\n")).is_err(),
+            "event missing kind"
+        );
+        assert!(
+            parse_jsonl(&format!("{ok}{{\"at\":1,\"kind\":\"zap\"}}\n")).is_err(),
+            "unknown kind"
+        );
+    }
+
+    #[test]
+    fn defaults_are_omitted_and_restored() {
+        let ev = SpanEvent::new(
+            SimTime::new(5),
+            SpanKind::ReqSent,
+            Some(TxnId::new(0)),
+            Some(ItemId::new(1)),
+        );
+        let line = event_to_json(&ev);
+        assert!(!line.contains("server"));
+        assert!(!line.contains("measured"));
+        assert!(!line.contains("\"n\""));
+        let text = format!("{}{line}\n", write_jsonl(&meta(), &[]));
+        let parsed = parse_jsonl(&text).expect("parses");
+        assert_eq!(parsed.events, vec![ev]);
+    }
+}

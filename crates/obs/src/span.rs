@@ -1,0 +1,235 @@
+//! The span model: typed critical-path events and the phase taxonomy.
+//!
+//! A transaction's response time is exactly partitioned into the first
+//! five [`Phase`]s by the rule that the interval between two consecutive
+//! span events is attributed to the phase *named by the earlier event*
+//! (see [`crate::tracker::SpanRecorder`]). [`Phase::CommitReturn`] is the
+//! post-commit tail — the time until the last lock release reaches its
+//! destination — and is *not* part of response time (the client has
+//! already moved on), exactly as the paper's §3.1 "the releasing of the
+//! locks is merged with the returning of the data items" overlap
+//! argument requires.
+
+use g2pl_simcore::{ItemId, SimTime, TxnId};
+use serde::Serialize;
+use std::fmt;
+
+/// Where one slice of a transaction's lifetime was spent.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize)]
+pub enum Phase {
+    /// Request propagation: a lock/data request is on the wire toward the
+    /// server.
+    ReqProp,
+    /// Server residency: queued in the lock table (s-2PL/c-2PL) or
+    /// gathering in an item's collection window (g-2PL) until the
+    /// dispatch decision.
+    ServerQueue,
+    /// Migration wait: dispatched on a forward list but waiting for the
+    /// item to migrate through the predecessors' clients (g-2PL; always
+    /// zero for the server-based protocols).
+    Migration,
+    /// Dispatch propagation: the grant/data hop toward this client is on
+    /// the wire.
+    DispatchProp,
+    /// Client processing: granted and computing (think times, plus any
+    /// MR1W commit-certification wait).
+    ClientProc,
+    /// Post-commit: commit at the client until the last release reaches
+    /// its destination. Excluded from response time.
+    CommitReturn,
+}
+
+impl Phase {
+    /// All phases, in timeline order.
+    pub const ALL: [Phase; 6] = [
+        Phase::ReqProp,
+        Phase::ServerQueue,
+        Phase::Migration,
+        Phase::DispatchProp,
+        Phase::ClientProc,
+        Phase::CommitReturn,
+    ];
+
+    /// The number of phases that partition response time (all but
+    /// [`Phase::CommitReturn`]).
+    pub const RESPONSE_PHASES: usize = 5;
+
+    /// Stable display name.
+    pub fn name(self) -> &'static str {
+        match self {
+            Phase::ReqProp => "req-prop",
+            Phase::ServerQueue => "server-queue",
+            Phase::Migration => "migration",
+            Phase::DispatchProp => "dispatch-prop",
+            Phase::ClientProc => "client-proc",
+            Phase::CommitReturn => "commit-return",
+        }
+    }
+
+    /// Index into a `[_; 6]` per-phase array.
+    pub fn index(self) -> usize {
+        match self {
+            Phase::ReqProp => 0,
+            Phase::ServerQueue => 1,
+            Phase::Migration => 2,
+            Phase::DispatchProp => 3,
+            Phase::ClientProc => 4,
+            Phase::CommitReturn => 5,
+        }
+    }
+}
+
+impl fmt::Display for Phase {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// A critical-path event on a transaction's timeline.
+///
+/// Kinds mark the *start* of the phase they name; the phase charged for
+/// an interval is determined by the interval's opening event:
+///
+/// | opening event    | interval charged to       |
+/// |------------------|---------------------------|
+/// | `ReqSent`        | [`Phase::ReqProp`]        |
+/// | `ReqArrived`     | [`Phase::ServerQueue`]    |
+/// | `Dispatched`     | [`Phase::Migration`]      |
+/// | `HopDeparted`    | [`Phase::DispatchProp`]   |
+/// | `Granted`        | [`Phase::ClientProc`]     |
+/// | `CommitLocal`    | [`Phase::CommitReturn`]   |
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize)]
+pub enum SpanKind {
+    /// A request left the client.
+    ReqSent,
+    /// The request reached the server (and was queued or windowed).
+    ReqArrived,
+    /// The server decided this transaction's dispatch: its forward-list
+    /// position is fixed (g-2PL window close) or its grant was issued
+    /// (s-2PL/c-2PL).
+    Dispatched,
+    /// A physical hop carrying the item toward this transaction departed
+    /// (server dispatch, or an upstream client's forward).
+    HopDeparted,
+    /// The access was granted at the client.
+    Granted,
+    /// The access was granted locally from the client's own cache with no
+    /// server round (c-2PL only). Counts zero sequential rounds.
+    GrantedLocal,
+    /// The transaction committed at its client. `n` carries the number of
+    /// release arrivals expected before the commit-return tail closes;
+    /// `measured` marks commits inside the measurement window.
+    CommitLocal,
+    /// A release by this (finished) transaction arrived somewhere:
+    /// `server` tells whether the destination was the server (a true
+    /// sequential round) or a client (overlapped with the successor's
+    /// grant hop, hence zero additional rounds).
+    ReleaseArrived,
+    /// A collection window closed at the server (g-2PL). `n` is the
+    /// forward-list length; `txn` is unset.
+    WindowClosed,
+    /// The transaction aborted; its open span state is discarded.
+    Aborted,
+}
+
+impl SpanKind {
+    /// Stable wire name used by the JSONL export.
+    pub fn name(self) -> &'static str {
+        match self {
+            SpanKind::ReqSent => "req_sent",
+            SpanKind::ReqArrived => "req_arrived",
+            SpanKind::Dispatched => "dispatched",
+            SpanKind::HopDeparted => "hop_departed",
+            SpanKind::Granted => "granted",
+            SpanKind::GrantedLocal => "granted_local",
+            SpanKind::CommitLocal => "commit_local",
+            SpanKind::ReleaseArrived => "release_arrived",
+            SpanKind::WindowClosed => "window_closed",
+            SpanKind::Aborted => "aborted",
+        }
+    }
+
+    /// Inverse of [`SpanKind::name`].
+    pub fn from_name(s: &str) -> Option<SpanKind> {
+        let all = [
+            SpanKind::ReqSent,
+            SpanKind::ReqArrived,
+            SpanKind::Dispatched,
+            SpanKind::HopDeparted,
+            SpanKind::Granted,
+            SpanKind::GrantedLocal,
+            SpanKind::CommitLocal,
+            SpanKind::ReleaseArrived,
+            SpanKind::WindowClosed,
+            SpanKind::Aborted,
+        ];
+        all.into_iter().find(|k| k.name() == s)
+    }
+}
+
+/// One span event, as recorded by the engines and exported to JSONL.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize)]
+pub struct SpanEvent {
+    /// When it happened.
+    pub at: SimTime,
+    /// What happened.
+    pub kind: SpanKind,
+    /// The transaction involved (unset only for `WindowClosed`).
+    pub txn: Option<TxnId>,
+    /// The item involved, if any.
+    pub item: Option<ItemId>,
+    /// For `ReleaseArrived`: the destination was the server.
+    pub server: bool,
+    /// Kind-specific count: expected releases (`CommitLocal`) or
+    /// forward-list length (`WindowClosed`).
+    pub n: u32,
+    /// For `CommitLocal`: the commit fell inside the measurement window.
+    pub measured: bool,
+}
+
+impl SpanEvent {
+    /// A minimal event; kind-specific fields default to zero/false.
+    pub fn new(at: SimTime, kind: SpanKind, txn: Option<TxnId>, item: Option<ItemId>) -> Self {
+        SpanEvent {
+            at,
+            kind,
+            txn,
+            item,
+            server: false,
+            n: 0,
+            measured: false,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn phase_indices_are_dense_and_ordered() {
+        for (i, p) in Phase::ALL.iter().enumerate() {
+            assert_eq!(p.index(), i);
+        }
+        assert_eq!(Phase::RESPONSE_PHASES, Phase::ALL.len() - 1);
+    }
+
+    #[test]
+    fn span_kind_names_round_trip() {
+        for k in [
+            SpanKind::ReqSent,
+            SpanKind::ReqArrived,
+            SpanKind::Dispatched,
+            SpanKind::HopDeparted,
+            SpanKind::Granted,
+            SpanKind::GrantedLocal,
+            SpanKind::CommitLocal,
+            SpanKind::ReleaseArrived,
+            SpanKind::WindowClosed,
+            SpanKind::Aborted,
+        ] {
+            assert_eq!(SpanKind::from_name(k.name()), Some(k));
+        }
+        assert_eq!(SpanKind::from_name("bogus"), None);
+    }
+}

@@ -1,0 +1,668 @@
+//! Streaming critical-path tracker: turns span events into per-phase
+//! latency attribution and empirical sequential-round counts.
+//!
+//! # Phase attribution
+//!
+//! Per transaction, the tracker keeps the time of the last span event and
+//! a *mark* (the kind of that event). When the next event arrives, the
+//! elapsed interval is charged to the phase named by the mark (see the
+//! table on [`SpanKind`]). Because every interval between consecutive
+//! events is charged to exactly one phase, the five response phases
+//! partition `[first request, commit]` exactly — the per-phase sums add
+//! up to the response time with no residue.
+//!
+//! # Round accounting
+//!
+//! The paper's cost model counts *sequential rounds* of message passing
+//! (§3.1: s-2PL pays `2n + 1` rounds for `n` items — `3` for the
+//! single-item best case — while g-2PL pays `2m + 1` rounds *in total*
+//! for a window of `m` single-item transactions). The tracker reproduces
+//! that count empirically:
+//!
+//! * `+1` per request sent (the request hop);
+//! * `+1` per grant delivered over the network (the data/grant hop; a
+//!   c-2PL cache hit is local and counts nothing);
+//! * `+1` per post-commit release that arrives **at the server** (the
+//!   s-2PL commit round, or the g-2PL final return). Releases arriving at
+//!   a *client* ride the very hop that is the successor's grant — already
+//!   counted there — so they add nothing, which is precisely the §3.2
+//!   "lock release merged with lock grant" overlap.
+//!
+//! A transaction's rounds are finalized when its expected release
+//! arrivals (declared by `CommitLocal`) have all landed.
+
+use crate::span::{Phase, SpanEvent, SpanKind};
+use g2pl_simcore::{ItemId, SimTime, TxnId};
+use g2pl_stats::{Histogram, RunningStats};
+use serde::Serialize;
+use std::collections::BTreeMap;
+
+/// Cap on raw recorded span events, so an accidentally enabled recorder
+/// cannot eat the heap. Beyond it events still aggregate — only the raw
+/// log stops growing, and the drop count is reported.
+pub const MAX_RAW_EVENTS: usize = 4_000_000;
+
+/// Width of the round-count histogram buckets (1 = exact counts).
+const ROUND_BUCKETS: usize = 64;
+
+/// Streaming per-phase aggregate over measured committed transactions.
+#[derive(Clone, Debug, Serialize)]
+pub struct PhaseBreakdown {
+    /// Per-phase statistics, indexed by [`Phase::index`]. The first
+    /// [`Phase::RESPONSE_PHASES`] entries partition response time; the
+    /// last is the post-commit return tail.
+    pub per_phase: [RunningStats; 6],
+    /// Histogram of per-transaction sequential round counts (bucket
+    /// width 1, so bucket `r` counts transactions that took `r` rounds).
+    pub rounds: Histogram,
+    /// Sum of round counts over measured committed transactions.
+    pub rounds_total: u64,
+    /// Measured committed transactions seen by the tracker.
+    pub measured_commits: u64,
+    /// Run-wide count of release arrivals at the server (every s-2PL
+    /// commit-release, every g-2PL item return) including warm-up.
+    pub server_returns: u64,
+    /// Raw span events dropped after [`MAX_RAW_EVENTS`] (aggregation is
+    /// unaffected; only the exported log is incomplete).
+    pub spans_dropped: u64,
+}
+
+impl Default for PhaseBreakdown {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl PhaseBreakdown {
+    /// An empty breakdown.
+    pub fn new() -> Self {
+        PhaseBreakdown {
+            per_phase: std::array::from_fn(|_| RunningStats::new()),
+            rounds: Histogram::new(1.0, ROUND_BUCKETS),
+            rounds_total: 0,
+            measured_commits: 0,
+            server_returns: 0,
+            spans_dropped: 0,
+        }
+    }
+
+    /// Statistics for one phase.
+    pub fn phase(&self, p: Phase) -> &RunningStats {
+        &self.per_phase[p.index()]
+    }
+
+    /// Sum of the mean response-phase times — equals the mean response
+    /// time of the same transactions (up to f64 rounding).
+    pub fn mean_phase_sum(&self) -> f64 {
+        self.per_phase[..Phase::RESPONSE_PHASES]
+            .iter()
+            .map(RunningStats::mean)
+            .sum()
+    }
+
+    /// Mean rounds per measured committed transaction (0 when none).
+    pub fn mean_rounds(&self) -> f64 {
+        if self.measured_commits == 0 {
+            0.0
+        } else {
+            self.rounds_total as f64 / self.measured_commits as f64
+        }
+    }
+}
+
+/// A transaction between its first request and its commit.
+#[derive(Clone, Debug)]
+struct Open {
+    start: SimTime,
+    last: SimTime,
+    mark: SpanKind,
+    acc: [u64; Phase::RESPONSE_PHASES],
+    rounds: u32,
+    intervals: Vec<(Phase, SimTime, SimTime)>,
+}
+
+/// A committed transaction whose releases are still in flight.
+#[derive(Clone, Debug)]
+struct Post {
+    start: SimTime,
+    commit: SimTime,
+    last: SimTime,
+    left: u32,
+    rounds: u32,
+    measured: bool,
+    acc: [u64; Phase::RESPONSE_PHASES],
+    intervals: Vec<(Phase, SimTime, SimTime)>,
+}
+
+/// Fully attributed lifetime of one committed transaction (produced only
+/// in detail mode, for timeline rendering).
+#[derive(Clone, Debug, Serialize)]
+pub struct TxnDetail {
+    /// The transaction.
+    pub txn: TxnId,
+    /// First request instant (response time starts here).
+    pub start: SimTime,
+    /// Client-local commit instant.
+    pub commit: SimTime,
+    /// Last release arrival (end of the commit-return tail).
+    pub end: SimTime,
+    /// Per-phase totals, indexed by [`Phase::index`] (the last entry is
+    /// the commit-return tail).
+    pub phases: [u64; 6],
+    /// Empirical sequential rounds.
+    pub rounds: u32,
+    /// Whether the commit fell inside the measurement window.
+    pub measured: bool,
+    /// Contiguous attributed intervals, for timeline rendering.
+    pub intervals: Vec<(Phase, SimTime, SimTime)>,
+}
+
+/// Everything a finished recorder reports.
+#[derive(Clone, Debug)]
+pub struct ObsReport {
+    /// The streaming aggregate.
+    pub breakdown: PhaseBreakdown,
+    /// The raw span log, when raw recording was on.
+    pub raw: Option<Vec<SpanEvent>>,
+    /// Per-transaction detail, when detail mode was on.
+    pub details: Vec<TxnDetail>,
+}
+
+/// The streaming recorder the engines feed. Recording is passive: it
+/// perturbs no random draw and no simulation event.
+#[derive(Debug)]
+pub struct SpanRecorder {
+    record_raw: bool,
+    detail: bool,
+    raw: Vec<SpanEvent>,
+    dropped: u64,
+    open: BTreeMap<TxnId, Open>,
+    post: BTreeMap<TxnId, Post>,
+    agg: PhaseBreakdown,
+    details: Vec<TxnDetail>,
+}
+
+/// The phase an interval opened by `mark` belongs to.
+fn phase_of(mark: SpanKind) -> Phase {
+    match mark {
+        SpanKind::ReqSent => Phase::ReqProp,
+        SpanKind::ReqArrived => Phase::ServerQueue,
+        SpanKind::Dispatched => Phase::Migration,
+        SpanKind::HopDeparted => Phase::DispatchProp,
+        // Granted/GrantedLocal open client processing; any other mark is
+        // impossible by construction but maps somewhere harmless.
+        _ => Phase::ClientProc,
+    }
+}
+
+impl SpanRecorder {
+    /// A recorder; `record_raw` keeps the full event log (for JSONL
+    /// export) in addition to the always-on streaming aggregation.
+    pub fn new(record_raw: bool) -> Self {
+        SpanRecorder {
+            record_raw,
+            detail: false,
+            raw: Vec::new(),
+            dropped: 0,
+            open: BTreeMap::new(),
+            post: BTreeMap::new(),
+            agg: PhaseBreakdown::new(),
+            details: Vec::new(),
+        }
+    }
+
+    /// Keep per-transaction interval detail (used by `trace-explain`).
+    pub fn with_detail(mut self) -> Self {
+        self.detail = true;
+        self
+    }
+
+    /// Rebuild a recorder's state from an exported event stream.
+    pub fn replay(events: &[SpanEvent]) -> Self {
+        let mut r = SpanRecorder::new(false).with_detail();
+        for ev in events {
+            r.apply(ev);
+        }
+        r
+    }
+
+    // ---- engine-facing emitters ----
+
+    /// A request left the client.
+    pub fn req_sent(&mut self, at: SimTime, txn: TxnId, item: ItemId) {
+        self.push(SpanEvent::new(at, SpanKind::ReqSent, Some(txn), Some(item)));
+    }
+
+    /// The request reached the server.
+    pub fn req_arrived(&mut self, at: SimTime, txn: TxnId, item: ItemId) {
+        self.push(SpanEvent::new(
+            at,
+            SpanKind::ReqArrived,
+            Some(txn),
+            Some(item),
+        ));
+    }
+
+    /// The server fixed this transaction's dispatch (grant issued, or
+    /// forward-list position assigned at window close).
+    pub fn dispatched(&mut self, at: SimTime, txn: TxnId, item: ItemId) {
+        self.push(SpanEvent::new(
+            at,
+            SpanKind::Dispatched,
+            Some(txn),
+            Some(item),
+        ));
+    }
+
+    /// A hop physically carrying the item toward `txn` departed.
+    pub fn hop_departed(&mut self, at: SimTime, txn: TxnId, item: ItemId) {
+        self.push(SpanEvent::new(
+            at,
+            SpanKind::HopDeparted,
+            Some(txn),
+            Some(item),
+        ));
+    }
+
+    /// The access was granted at the client (over the network).
+    pub fn granted(&mut self, at: SimTime, txn: TxnId, item: ItemId) {
+        self.push(SpanEvent::new(at, SpanKind::Granted, Some(txn), Some(item)));
+    }
+
+    /// The access was granted locally from the client's cache (c-2PL).
+    pub fn granted_local(&mut self, at: SimTime, txn: TxnId, item: ItemId) {
+        self.push(SpanEvent::new(
+            at,
+            SpanKind::GrantedLocal,
+            Some(txn),
+            Some(item),
+        ));
+    }
+
+    /// The transaction committed; `expected_releases` arrivals close its
+    /// commit-return tail; `measured` marks in-window commits.
+    pub fn commit_local(
+        &mut self,
+        at: SimTime,
+        txn: TxnId,
+        expected_releases: u32,
+        measured: bool,
+    ) {
+        let mut ev = SpanEvent::new(at, SpanKind::CommitLocal, Some(txn), None);
+        ev.n = expected_releases;
+        ev.measured = measured;
+        self.push(ev);
+    }
+
+    /// A release sent by (finished) `txn` arrived; `at_server` tells
+    /// whether the destination was the server.
+    pub fn release_arrived(&mut self, at: SimTime, txn: TxnId, at_server: bool) {
+        let mut ev = SpanEvent::new(at, SpanKind::ReleaseArrived, Some(txn), None);
+        ev.server = at_server;
+        self.push(ev);
+    }
+
+    /// A collection window closed, producing a forward list of `len`.
+    pub fn window_closed(&mut self, at: SimTime, item: ItemId, len: usize) {
+        let mut ev = SpanEvent::new(at, SpanKind::WindowClosed, None, Some(item));
+        ev.n = len as u32;
+        self.push(ev);
+    }
+
+    /// The transaction aborted: its open span state is discarded.
+    pub fn aborted(&mut self, at: SimTime, txn: TxnId) {
+        self.push(SpanEvent::new(at, SpanKind::Aborted, Some(txn), None));
+    }
+
+    // ---- state machine ----
+
+    fn push(&mut self, ev: SpanEvent) {
+        if self.record_raw {
+            if self.raw.len() < MAX_RAW_EVENTS {
+                self.raw.push(ev);
+            } else {
+                self.dropped += 1;
+            }
+        }
+        self.apply(&ev);
+    }
+
+    /// Advance the tracker by one event (also the replay entry point).
+    pub fn apply(&mut self, ev: &SpanEvent) {
+        match ev.kind {
+            SpanKind::ReqSent => {
+                let Some(txn) = ev.txn else { return };
+                let open = self.open.entry(txn).or_insert_with(|| Open {
+                    start: ev.at,
+                    last: ev.at,
+                    mark: SpanKind::ReqSent,
+                    acc: [0; Phase::RESPONSE_PHASES],
+                    rounds: 0,
+                    intervals: Vec::new(),
+                });
+                Self::charge(open, ev.at, self.detail);
+                open.mark = SpanKind::ReqSent;
+                open.rounds += 1;
+            }
+            SpanKind::ReqArrived
+            | SpanKind::Dispatched
+            | SpanKind::HopDeparted
+            | SpanKind::Granted => {
+                let Some(txn) = ev.txn else { return };
+                let Some(open) = self.open.get_mut(&txn) else {
+                    return; // e.g. pass-through traffic of an aborted txn
+                };
+                Self::charge(open, ev.at, self.detail);
+                open.mark = ev.kind;
+                if ev.kind == SpanKind::Granted {
+                    open.rounds += 1; // the delivering hop
+                }
+            }
+            SpanKind::GrantedLocal => {
+                let Some(txn) = ev.txn else { return };
+                // A local grant may be the first event of a transaction
+                // whose every access so far hit the cache.
+                let open = self.open.entry(txn).or_insert_with(|| Open {
+                    start: ev.at,
+                    last: ev.at,
+                    mark: SpanKind::GrantedLocal,
+                    acc: [0; Phase::RESPONSE_PHASES],
+                    rounds: 0,
+                    intervals: Vec::new(),
+                });
+                Self::charge(open, ev.at, self.detail);
+                open.mark = SpanKind::GrantedLocal;
+                // No round: the grant never touched the network.
+            }
+            SpanKind::CommitLocal => {
+                let Some(txn) = ev.txn else { return };
+                let mut open = self.open.remove(&txn).unwrap_or(Open {
+                    start: ev.at,
+                    last: ev.at,
+                    mark: SpanKind::Granted,
+                    acc: [0; Phase::RESPONSE_PHASES],
+                    rounds: 0,
+                    intervals: Vec::new(),
+                });
+                Self::charge(&mut open, ev.at, self.detail);
+                if ev.measured {
+                    self.agg.measured_commits += 1;
+                    for (i, &a) in open.acc.iter().enumerate() {
+                        self.agg.per_phase[i].record(a as f64);
+                    }
+                }
+                let post = Post {
+                    start: open.start,
+                    commit: ev.at,
+                    last: ev.at,
+                    left: ev.n,
+                    rounds: open.rounds,
+                    measured: ev.measured,
+                    acc: open.acc,
+                    intervals: open.intervals,
+                };
+                if ev.n == 0 {
+                    self.finalize(txn, post);
+                } else {
+                    self.post.insert(txn, post);
+                }
+            }
+            SpanKind::ReleaseArrived => {
+                if ev.server {
+                    self.agg.server_returns += 1;
+                }
+                let Some(txn) = ev.txn else { return };
+                let Some(post) = self.post.get_mut(&txn) else {
+                    return; // release of an aborted or unseen transaction
+                };
+                if ev.server {
+                    post.rounds += 1; // a true sequential round home
+                }
+                post.last = ev.at;
+                post.left = post.left.saturating_sub(1);
+                if post.left == 0 {
+                    if let Some(post) = self.post.remove(&txn) {
+                        self.finalize(txn, post);
+                    }
+                }
+            }
+            SpanKind::WindowClosed => {} // raw-log only
+            SpanKind::Aborted => {
+                let Some(txn) = ev.txn else { return };
+                self.open.remove(&txn);
+                self.post.remove(&txn);
+            }
+        }
+    }
+
+    /// Charge the interval since the last event to the phase opened by
+    /// the current mark.
+    fn charge(open: &mut Open, at: SimTime, detail: bool) {
+        let d = at.units().saturating_sub(open.last.units());
+        if d > 0 {
+            let p = phase_of(open.mark);
+            open.acc[p.index()] += d;
+            if detail {
+                open.intervals.push((p, open.last, at));
+            }
+        }
+        open.last = at;
+    }
+
+    fn finalize(&mut self, txn: TxnId, post: Post) {
+        let tail = post.last.units().saturating_sub(post.commit.units());
+        if post.measured {
+            self.agg.per_phase[Phase::CommitReturn.index()].record(tail as f64);
+            self.agg.rounds.record(f64::from(post.rounds));
+            self.agg.rounds_total += u64::from(post.rounds);
+        }
+        if self.detail {
+            let mut phases = [0u64; 6];
+            phases[..Phase::RESPONSE_PHASES].copy_from_slice(&post.acc);
+            phases[Phase::CommitReturn.index()] = tail;
+            let mut intervals = post.intervals;
+            if tail > 0 {
+                intervals.push((Phase::CommitReturn, post.commit, post.last));
+            }
+            self.details.push(TxnDetail {
+                txn,
+                start: post.start,
+                commit: post.commit,
+                end: post.last,
+                phases,
+                rounds: post.rounds,
+                measured: post.measured,
+                intervals,
+            });
+        }
+    }
+
+    /// Raw events dropped past [`MAX_RAW_EVENTS`].
+    pub fn dropped(&self) -> u64 {
+        self.dropped
+    }
+
+    /// Close the recorder: flush commits whose releases were still in
+    /// flight at run end and return the report.
+    pub fn finish(mut self) -> ObsReport {
+        let in_flight: Vec<TxnId> = self.post.keys().copied().collect();
+        for txn in in_flight {
+            if let Some(post) = self.post.remove(&txn) {
+                self.finalize(txn, post);
+            }
+        }
+        self.agg.spans_dropped = self.dropped;
+        ObsReport {
+            breakdown: self.agg,
+            raw: self.record_raw.then_some(self.raw),
+            details: self.details,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(u: u64) -> SimTime {
+        SimTime::new(u)
+    }
+    const T0: TxnId = TxnId::new(0);
+    const X0: ItemId = ItemId::new(0);
+
+    /// An s-2PL-like single-item transaction: request at 0, server at
+    /// 100, grant issued at once, granted at 200, commit at 202, release
+    /// home at 302.
+    fn s2pl_like(r: &mut SpanRecorder, measured: bool) {
+        r.req_sent(t(0), T0, X0);
+        r.req_arrived(t(100), T0, X0);
+        r.dispatched(t(100), T0, X0);
+        r.hop_departed(t(100), T0, X0);
+        r.granted(t(200), T0, X0);
+        r.commit_local(t(202), T0, 1, measured);
+        r.release_arrived(t(302), T0, true);
+    }
+
+    #[test]
+    fn phases_partition_response_exactly() {
+        let mut r = SpanRecorder::new(false).with_detail();
+        s2pl_like(&mut r, true);
+        let rep = r.finish();
+        let b = &rep.breakdown;
+        assert_eq!(b.measured_commits, 1);
+        assert_eq!(b.phase(Phase::ReqProp).mean(), 100.0);
+        assert_eq!(b.phase(Phase::ServerQueue).mean(), 0.0);
+        assert_eq!(b.phase(Phase::Migration).mean(), 0.0);
+        assert_eq!(b.phase(Phase::DispatchProp).mean(), 100.0);
+        assert_eq!(b.phase(Phase::ClientProc).mean(), 2.0);
+        assert_eq!(b.phase(Phase::CommitReturn).mean(), 100.0);
+        assert_eq!(b.mean_phase_sum(), 202.0, "phases sum to response");
+        let d = &rep.details[0];
+        assert_eq!(d.start, t(0));
+        assert_eq!(d.commit, t(202));
+        assert_eq!(d.end, t(302));
+        assert_eq!(d.phases.iter().sum::<u64>(), 302);
+    }
+
+    #[test]
+    fn s2pl_single_item_counts_three_rounds() {
+        let mut r = SpanRecorder::new(false);
+        s2pl_like(&mut r, true);
+        let b = r.finish().breakdown;
+        assert_eq!(b.rounds_total, 3, "request + grant + commit-release");
+        assert_eq!(b.mean_rounds(), 3.0);
+        assert_eq!(b.server_returns, 1);
+    }
+
+    #[test]
+    fn client_bound_releases_add_no_rounds() {
+        // A g-2PL mid-list transaction: its release rides the successor's
+        // grant hop, so it stays at 2 rounds.
+        let mut r = SpanRecorder::new(false);
+        r.req_sent(t(0), T0, X0);
+        r.req_arrived(t(100), T0, X0);
+        r.dispatched(t(150), T0, X0); // window close
+        r.hop_departed(t(180), T0, X0); // predecessor forwards
+        r.granted(t(280), T0, X0);
+        r.commit_local(t(282), T0, 1, true);
+        r.release_arrived(t(382), T0, false); // arrives at the next client
+        let b = r.finish().breakdown;
+        assert_eq!(b.rounds_total, 2);
+        assert_eq!(b.phase(Phase::ServerQueue).mean(), 50.0);
+        assert_eq!(b.phase(Phase::Migration).mean(), 30.0);
+        assert_eq!(b.phase(Phase::DispatchProp).mean(), 100.0);
+        assert_eq!(b.phase(Phase::CommitReturn).mean(), 100.0);
+        assert_eq!(b.server_returns, 0);
+    }
+
+    #[test]
+    fn warmup_commits_do_not_aggregate() {
+        let mut r = SpanRecorder::new(false);
+        s2pl_like(&mut r, false);
+        let b = r.finish().breakdown;
+        assert_eq!(b.measured_commits, 0);
+        assert_eq!(b.rounds.total(), 0);
+        assert_eq!(b.rounds_total, 0);
+        assert_eq!(b.server_returns, 1, "server returns count run-wide");
+    }
+
+    #[test]
+    fn aborted_txn_leaves_no_trace_in_aggregates() {
+        let mut r = SpanRecorder::new(false);
+        r.req_sent(t(0), T0, X0);
+        r.req_arrived(t(100), T0, X0);
+        r.aborted(t(150), T0);
+        // Pass-through traffic after the abort must be ignored.
+        r.granted(t(200), T0, X0);
+        r.release_arrived(t(300), T0, true);
+        let b = r.finish().breakdown;
+        assert_eq!(b.measured_commits, 0);
+        assert_eq!(b.rounds_total, 0);
+    }
+
+    #[test]
+    fn zero_commit_run_reports_empty_breakdown() {
+        let r = SpanRecorder::new(false);
+        let b = r.finish().breakdown;
+        assert_eq!(b.measured_commits, 0);
+        assert_eq!(b.mean_rounds(), 0.0);
+        assert_eq!(b.mean_phase_sum(), 0.0);
+        assert_eq!(b.rounds.quantile(0.5), None);
+    }
+
+    #[test]
+    fn local_grants_count_zero_rounds() {
+        let mut r = SpanRecorder::new(false);
+        r.granted_local(t(0), T0, X0);
+        r.granted_local(t(2), T0, X0);
+        r.commit_local(t(4), T0, 1, true);
+        r.release_arrived(t(104), T0, true);
+        let b = r.finish().breakdown;
+        assert_eq!(b.rounds_total, 1, "only the commit-release round");
+        assert_eq!(b.phase(Phase::ClientProc).mean(), 4.0);
+        assert_eq!(b.mean_phase_sum(), 4.0);
+    }
+
+    #[test]
+    fn in_flight_releases_flush_at_finish() {
+        let mut r = SpanRecorder::new(false);
+        r.req_sent(t(0), T0, X0);
+        r.req_arrived(t(100), T0, X0);
+        r.dispatched(t(100), T0, X0);
+        r.hop_departed(t(100), T0, X0);
+        r.granted(t(200), T0, X0);
+        r.commit_local(t(202), T0, 1, true);
+        // The release never arrives: the run ended. finish() still
+        // reports the commit's rounds (2, without the return).
+        let b = r.finish().breakdown;
+        assert_eq!(b.measured_commits, 1);
+        assert_eq!(b.rounds_total, 2);
+    }
+
+    #[test]
+    fn raw_log_caps_and_counts_drops() {
+        let mut r = SpanRecorder::new(true);
+        for i in 0..(MAX_RAW_EVENTS + 7) {
+            r.req_sent(t(i as u64), TxnId::new(i as u32), X0);
+        }
+        assert_eq!(r.dropped(), 7);
+        let rep = r.finish();
+        assert_eq!(rep.raw.map(|v| v.len()), Some(MAX_RAW_EVENTS));
+        assert_eq!(rep.breakdown.spans_dropped, 7);
+    }
+
+    #[test]
+    fn replay_matches_live_aggregation() {
+        let mut live = SpanRecorder::new(true);
+        s2pl_like(&mut live, true);
+        let rep = live.finish();
+        let raw = rep.raw.as_deref().unwrap_or(&[]);
+        let replayed = SpanRecorder::replay(raw).finish();
+        assert_eq!(
+            replayed.breakdown.mean_phase_sum(),
+            rep.breakdown.mean_phase_sum()
+        );
+        assert_eq!(replayed.breakdown.rounds_total, rep.breakdown.rounds_total);
+        assert_eq!(replayed.details.len(), 1);
+    }
+}

@@ -32,6 +32,7 @@ use crate::runtime::{
 use crate::s2pl::{lock_mode, CTRL_BYTES, EVENT_BUDGET};
 use crate::tracelog::{TraceKind, TraceLog};
 use g2pl_lockmgr::{AcquireOutcome, LockMode, LockTable};
+use g2pl_obs::SpanRecorder;
 use g2pl_simcore::{Calendar, ClientId, ItemId, SimTime, SiteId, TxnId, Version};
 use g2pl_wal::{LogRecord, SiteLog};
 use g2pl_workload::AccessMode;
@@ -73,6 +74,7 @@ pub struct C2plEngine {
     collector: Collector,
     history: Option<History>,
     trace: TraceLog,
+    spans: SpanRecorder,
     wal: Option<Vec<SiteLog>>,
     admitting: bool,
     /// Cache hits (local read grants) — the c-2PL win metric.
@@ -114,6 +116,7 @@ impl C2plEngine {
             ),
             history: cfg.record_history.then(History::new),
             trace: TraceLog::new(cfg.trace_events),
+            spans: SpanRecorder::new(cfg.trace_events),
             wal: cfg.enable_wal.then(|| {
                 (0..cfg.num_clients)
                     .map(|_| SiteLog::new(cfg.item_size_bytes))
@@ -178,6 +181,8 @@ impl C2plEngine {
             }
         }
 
+        let obs = self.spans.finish();
+        let trace_dropped = self.trace.dropped();
         RunMetrics {
             protocol: "c-2PL",
             response: self.collector.response,
@@ -207,6 +212,9 @@ impl C2plEngine {
                 }
                 r
             }),
+            phases: obs.breakdown,
+            spans: obs.raw,
+            trace_dropped,
         }
     }
 
@@ -270,6 +278,7 @@ impl C2plEngine {
                     Some(item),
                     client.into(),
                 );
+                self.spans.granted_local(now, txn, item);
                 let think = self.cfg.profile.draw_think(&mut c.time_rng);
                 self.cal.schedule_in(
                     think,
@@ -293,6 +302,7 @@ impl C2plEngine {
             Some(item),
             client.into(),
         );
+        self.spans.req_sent(now, txn, item);
         self.net.send(
             &mut self.cal,
             client.into(),
@@ -316,8 +326,11 @@ impl C2plEngine {
             .expect("committing client has a transaction");
         debug_assert_eq!(active.id, txn);
         self.table.set_status(txn, TxnStatus::Committed);
-        self.collector
+        let measured = self
+            .collector
             .on_commit_sized(now.since(active.start), active.spec.len());
+        // One combined commit/release message back to the server.
+        self.spans.commit_local(now, txn, 1, measured);
         self.trace
             .record(now, TraceKind::Committed, Some(txn), None, client.into());
 
@@ -435,6 +448,7 @@ impl C2plEngine {
                     Some(item),
                     client.into(),
                 );
+                self.spans.granted(now, txn, item);
                 self.cal.schedule_in(
                     think,
                     Ev::Timer {
@@ -460,6 +474,7 @@ impl C2plEngine {
                 }
                 self.trace
                     .record(now, TraceKind::Aborted, Some(txn), None, client.into());
+                self.spans.aborted(now, txn);
                 self.finish_txn_at_client(client);
             }
             Message::Callback { item } => {
@@ -496,6 +511,7 @@ impl C2plEngine {
                 if self.table.status(txn) != TxnStatus::Active {
                     return;
                 }
+                self.spans.req_arrived(now, txn, item);
                 match self.locks.acquire(txn, item, mode) {
                     AcquireOutcome::Granted => {
                         self.on_lock_granted(now, client, txn, item, mode);
@@ -529,6 +545,7 @@ impl C2plEngine {
                     None,
                     SiteId::Server,
                 );
+                self.spans.release_arrived(now, txn, true);
                 let woken = self.locks.release_all(txn);
                 for (item, t, mode) in woken {
                     let c = self.table.info(t).client;
@@ -621,6 +638,8 @@ impl C2plEngine {
             Some(item),
             client.into(),
         );
+        self.spans.dispatched(now, txn, item);
+        self.spans.hop_departed(now, txn, item);
         self.net.send(
             &mut self.cal,
             SiteId::Server,

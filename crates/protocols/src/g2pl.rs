@@ -50,6 +50,7 @@ use crate::tracelog::{TraceKind, TraceLog};
 use g2pl_fwdlist::window::PendingReq;
 use g2pl_fwdlist::{CollectionWindow, FlEntry, ForwardList, PrecedenceDag, Segment};
 use g2pl_lockmgr::LockMode;
+use g2pl_obs::SpanRecorder;
 use g2pl_simcore::{Calendar, ClientId, ItemId, SimTime, SiteId, TxnId, Version};
 use g2pl_wal::{LogRecord, SiteLog};
 use g2pl_workload::{AccessMode, TxnGenerator};
@@ -166,6 +167,7 @@ pub struct G2plEngine {
     collector: Collector,
     history: Option<History>,
     trace: TraceLog,
+    spans: SpanRecorder,
     wal: Option<Vec<SiteLog>>,
     admitting: bool,
     max_fl_len: usize,
@@ -219,6 +221,7 @@ impl G2plEngine {
             ),
             history: cfg.record_history.then(History::new),
             trace: TraceLog::new(cfg.trace_events),
+            spans: SpanRecorder::new(cfg.trace_events),
             wal: cfg.enable_wal.then(|| {
                 (0..cfg.num_clients)
                     .map(|_| SiteLog::new(cfg.item_size_bytes))
@@ -294,6 +297,8 @@ impl G2plEngine {
             }
         }
 
+        let obs = self.spans.finish();
+        let trace_dropped = self.trace.dropped();
         RunMetrics {
             protocol: "g-2PL",
             response: self.collector.response,
@@ -323,6 +328,9 @@ impl G2plEngine {
                 }
                 r
             }),
+            phases: obs.breakdown,
+            spans: obs.raw,
+            trace_dropped,
         }
     }
 
@@ -401,6 +409,7 @@ impl G2plEngine {
             Some(item),
             client.into(),
         );
+        self.spans.req_sent(now, txn, item);
         self.net.send(
             &mut self.cal,
             client.into(),
@@ -424,8 +433,13 @@ impl G2plEngine {
             .expect("committing client has a transaction");
         debug_assert_eq!(active.id, txn);
         self.table.set_status(txn, TxnStatus::Committed);
-        self.collector
+        let measured = self
+            .collector
             .on_commit_sized(now.since(active.start), active.spec.len());
+        // Every hold forwards exactly once, so exactly one release arrival
+        // (client- or server-bound) is expected per accessed item.
+        self.spans
+            .commit_local(now, txn, active.spec.len() as u32, measured);
         self.trace
             .record(now, TraceKind::Committed, Some(txn), None, client.into());
 
@@ -541,10 +555,12 @@ impl G2plEngine {
             let (to_site, to_pos, bytes) = match to_writer {
                 Some(w) => {
                     // Under MR1W the writer already has the data, so the
-                    // release is a pure token; otherwise it carries data.
+                    // release is a pure token; otherwise it carries data —
+                    // a real migration hop toward the writer.
                     let bytes = if self.opts.mr1w {
                         CTRL_BYTES
                     } else {
+                        self.spans.hop_departed(now, fl.entry(w).txn, item);
                         CTRL_BYTES + self.cfg.item_size_bytes
                     };
                     (SiteId::Client(fl.entry(w).client), Some(w), bytes)
@@ -602,12 +618,14 @@ impl G2plEngine {
                     out_version,
                     &fl,
                     next,
+                    Some(txn),
                     instant,
                 ),
                 None => {
                     let msg = Message::GReturn {
                         item,
                         version: out_version,
+                        txn,
                     };
                     if instant {
                         self.net.send_with_delay(
@@ -645,9 +663,13 @@ impl G2plEngine {
         fl: &Rc<ForwardList>,
         seg_start: usize,
     ) {
-        self.send_segment_delayed(now, from, item, version, fl, seg_start, false);
+        self.send_segment_delayed(now, from, item, version, fl, seg_start, None, false);
     }
 
+    /// `from_txn` is the forwarding holder on a client-to-client hop
+    /// (`None` on a server dispatch). Its release rides exactly one of the
+    /// outgoing messages — the segment head — so the receiver-side release
+    /// accounting sees one arrival per hold even for multi-copy segments.
     #[allow(clippy::too_many_arguments)]
     fn send_segment_delayed(
         &mut self,
@@ -657,6 +679,7 @@ impl G2plEngine {
         version: Version,
         fl: &Rc<ForwardList>,
         seg_start: usize,
+        from_txn: Option<TxnId>,
         instant: bool,
     ) {
         let seg = fl
@@ -679,11 +702,13 @@ impl G2plEngine {
                 Some(item),
                 to.into(),
             );
+            self.spans.hop_departed(now, fl.entry(pos).txn, item);
             let msg = Message::GData {
                 item,
                 version,
                 fl: Rc::clone(fl),
                 pos,
+                from_txn: if pos == seg_start { from_txn } else { None },
             };
             if instant {
                 self.net.send_with_delay(
@@ -709,6 +734,7 @@ impl G2plEngine {
                 version,
                 fl,
                 pos,
+                from_txn,
             } => {
                 let txn = fl.entry(pos).txn;
                 debug_assert_eq!(fl.entry(pos).client, client);
@@ -719,6 +745,12 @@ impl G2plEngine {
                     Some(item),
                     client.into(),
                 );
+                if let Some(ft) = from_txn {
+                    // The forwarder's release rode this hop (§3.2 merge):
+                    // it reaches a client, not the server, so it costs the
+                    // releasing transaction no extra sequential round.
+                    self.spans.release_arrived(now, ft, false);
+                }
                 let hold = self
                     .holds
                     .entry((item, txn))
@@ -731,13 +763,15 @@ impl G2plEngine {
                 item,
                 version,
                 fl,
+                from_pos,
                 to_pos,
-                ..
             } => {
                 // lint:allow(L3): the sender set to_pos on every client-bound release
                 let w = to_pos.expect("client-bound release has a writer position");
                 let txn = fl.entry(w).txn;
                 debug_assert_eq!(fl.entry(w).client, client);
+                self.spans
+                    .release_arrived(now, fl.entry(from_pos).txn, false);
                 let hold = self
                     .holds
                     .entry((item, txn))
@@ -809,6 +843,7 @@ impl G2plEngine {
             Some(item),
             client.into(),
         );
+        self.spans.granted(now, txn, item);
         let think = self.cfg.profile.draw_think(&mut c.time_rng);
         self.cal.schedule_in(
             think,
@@ -831,6 +866,7 @@ impl G2plEngine {
         }
         self.trace
             .record(now, TraceKind::Aborted, Some(txn), None, client.into());
+        self.spans.aborted(now, txn);
 
         let c = &mut self.clients[client.index()];
         if c.txn.as_ref().is_some_and(|a| a.id == txn) {
@@ -874,7 +910,7 @@ impl G2plEngine {
                 }
                 self.on_request(now, txn, client, item, mode);
             }
-            Message::GReturn { item, version } => {
+            Message::GReturn { item, version, txn } => {
                 self.trace.record(
                     now,
                     TraceKind::ReleasedAtServer,
@@ -882,6 +918,9 @@ impl G2plEngine {
                     Some(item),
                     SiteId::Server,
                 );
+                // The final holder's release reaches the server: its one
+                // extra sequential round (the "+1" of `2m + 1`).
+                self.spans.release_arrived(now, txn, true);
                 let st = &mut self.items[item.index()];
                 debug_assert!(st.out.is_some(), "return for an item already home");
                 st.version = version;
@@ -893,8 +932,9 @@ impl G2plEngine {
             Message::GReaderRelease {
                 item,
                 version,
+                fl,
+                from_pos,
                 to_pos: None,
-                ..
             } => {
                 self.trace.record(
                     now,
@@ -903,6 +943,10 @@ impl G2plEngine {
                     Some(item),
                     SiteId::Server,
                 );
+                // A tail-group reader's release travels to the server: a
+                // full sequential round for that reader.
+                self.spans
+                    .release_arrived(now, fl.entry(from_pos).txn, true);
                 let st = &mut self.items[item.index()];
                 // lint:allow(L3): a reader release implies the item is still out
                 let out = st.out.as_mut().expect("release for an item already home");
@@ -928,6 +972,7 @@ impl G2plEngine {
         item: ItemId,
         mode: LockMode,
     ) {
+        self.spans.req_arrived(now, txn, item);
         let entry = FlEntry::new(txn, client, mode);
         let arrival = self.arrival_seq;
         self.arrival_seq += 1;
@@ -989,6 +1034,8 @@ impl G2plEngine {
                     Some(item),
                     client.into(),
                 );
+                self.spans.dispatched(now, txn, item);
+                self.spans.hop_departed(now, txn, item);
                 self.net.send(
                     &mut self.cal,
                     SiteId::Server,
@@ -1000,6 +1047,7 @@ impl G2plEngine {
                         version,
                         fl,
                         pos,
+                        from_txn: None,
                     },
                 );
             }
@@ -1081,6 +1129,7 @@ impl G2plEngine {
             Some(item),
             SiteId::Server,
         );
+        self.spans.window_closed(now, item, fl.len());
         for e in fl.entries() {
             self.trace.record(
                 now,
@@ -1089,6 +1138,10 @@ impl G2plEngine {
                 Some(item),
                 SiteId::Server,
             );
+            // Every list member leaves the server queue at window close;
+            // entries past the first segment then sit in Migration until
+            // their hop departs from the preceding holder.
+            self.spans.dispatched(now, e.txn, item);
         }
 
         let final_releases = match fl.segments().last() {

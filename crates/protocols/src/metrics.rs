@@ -3,6 +3,7 @@
 use crate::history::History;
 use crate::tracelog::TraceEvent;
 use g2pl_netmodel::NetAccounting;
+use g2pl_obs::{PhaseBreakdown, SpanEvent};
 use g2pl_simcore::SimTime;
 use g2pl_stats::{Counter, Histogram, RunningStats, WarmupFilter};
 use g2pl_wal::LogMetrics;
@@ -55,6 +56,15 @@ pub struct RunMetrics {
     /// Response-time histogram over measured commits (bucket width scales
     /// with the configured latency), for tail percentiles.
     pub response_hist: Histogram,
+    /// Critical-path attribution: per-phase mean/max over measured
+    /// commits, plus the empirical sequential-round histogram. Always
+    /// computed (the streaming aggregation is cheap).
+    pub phases: PhaseBreakdown,
+    /// Raw span events for JSONL export, when `trace_events` was set.
+    pub spans: Option<Vec<SpanEvent>>,
+    /// Events the bounded [`crate::tracelog::TraceLog`] dropped; nonzero
+    /// means `trace` is a prefix and must not be validated.
+    pub trace_dropped: u64,
 }
 
 /// Aggregated WAL statistics across every client site.
@@ -99,6 +109,12 @@ impl RunMetrics {
     /// Approximate response-time quantile (0..=1) over measured commits.
     pub fn response_quantile(&self, q: f64) -> Option<f64> {
         self.response_hist.quantile(q)
+    }
+
+    /// Whether the recorded event trace is incomplete (the bounded log
+    /// overflowed and dropped events).
+    pub fn trace_truncated(&self) -> bool {
+        self.trace_dropped > 0
     }
 
     /// Messages per measured completion (throughput-normalised message
@@ -166,10 +182,12 @@ impl Collector {
     }
 
     /// Record a commit with the given response time; `size` is the
-    /// transaction's item count.
-    pub fn on_commit_sized(&mut self, response: SimTime, size: usize) {
+    /// transaction's item count. Returns whether the commit fell inside
+    /// the measurement window (callers label span aggregation with it).
+    pub fn on_commit_sized(&mut self, response: SimTime, size: usize) -> bool {
         self.committed_total += 1;
-        if self.filter.admit() {
+        let measured = self.filter.admit();
+        if measured {
             self.response.record(response.as_f64());
             self.response_hist.record(response.as_f64());
             if size < self.response_by_size.len() {
@@ -177,11 +195,13 @@ impl Collector {
             }
             self.aborts.miss();
         }
+        measured
     }
 
-    /// Record a commit with the given response time.
-    pub fn on_commit(&mut self, response: SimTime) {
-        self.on_commit_sized(response, 0);
+    /// Record a commit with the given response time; returns whether it
+    /// was measured.
+    pub fn on_commit(&mut self, response: SimTime) -> bool {
+        self.on_commit_sized(response, 0)
     }
 
     /// Record one access wait (request sent → granted).

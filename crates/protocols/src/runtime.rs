@@ -97,6 +97,10 @@ pub enum Message {
         fl: Rc<ForwardList>,
         /// Receiving entry's position in `fl`.
         pos: usize,
+        /// The forwarding holder when this hop is a client-to-client
+        /// migration (its lock release rides this very message — the
+        /// §3.2 release/grant merge); `None` on a server dispatch.
+        from_txn: Option<TxnId>,
     },
     /// A reader's release: to the next writer on the list (carrying the
     /// data in the non-MR1W protocol, a pure token under MR1W), or to the
@@ -119,6 +123,8 @@ pub enum Message {
         item: ItemId,
         /// Final version of this window.
         version: Version,
+        /// The final holder whose release this return is.
+        txn: TxnId,
     },
     /// Server → client: the transaction was chosen as a deadlock victim.
     GAbortNotice {

@@ -16,6 +16,7 @@ use crate::runtime::{
 };
 use crate::tracelog::{TraceKind, TraceLog};
 use g2pl_lockmgr::{AcquireOutcome, LockMode, LockTable};
+use g2pl_obs::SpanRecorder;
 use g2pl_simcore::{Calendar, ClientId, ItemId, SimTime, SiteId, TxnId, Version};
 use g2pl_wal::{LogRecord, SiteLog};
 use g2pl_workload::{AccessMode, TxnGenerator};
@@ -101,6 +102,7 @@ pub struct S2plEngine {
     collector: Collector,
     history: Option<History>,
     trace: TraceLog,
+    spans: SpanRecorder,
     wal: Option<Vec<SiteLog>>,
     admitting: bool,
 }
@@ -134,6 +136,7 @@ impl S2plEngine {
             ),
             history: cfg.record_history.then(History::new),
             trace: TraceLog::new(cfg.trace_events),
+            spans: SpanRecorder::new(cfg.trace_events),
             wal: cfg.enable_wal.then(|| {
                 (0..cfg.num_clients)
                     .map(|_| SiteLog::new(cfg.item_size_bytes))
@@ -199,6 +202,8 @@ impl S2plEngine {
             }
         }
 
+        let obs = self.spans.finish();
+        let trace_dropped = self.trace.dropped();
         RunMetrics {
             protocol: "s-2PL",
             response: self.collector.response,
@@ -228,6 +233,9 @@ impl S2plEngine {
                 }
                 r
             }),
+            phases: obs.breakdown,
+            spans: obs.raw,
+            trace_dropped,
         }
     }
 
@@ -284,6 +292,7 @@ impl S2plEngine {
             Some(item),
             client.into(),
         );
+        self.spans.req_sent(now, txn, item);
         self.net.send(
             &mut self.cal,
             client.into(),
@@ -305,8 +314,11 @@ impl S2plEngine {
         let active = c.txn.take().expect("committing client has a transaction");
         debug_assert_eq!(active.id, txn);
         self.table.set_status(txn, TxnStatus::Committed);
-        self.collector
+        let measured = self
+            .collector
             .on_commit_sized(now.since(active.start), active.spec.len());
+        // One combined commit/release round trip back to the server.
+        self.spans.commit_local(now, txn, 1, measured);
         self.trace
             .record(now, TraceKind::Committed, Some(txn), None, client.into());
 
@@ -403,6 +415,7 @@ impl S2plEngine {
                     Some(item),
                     client.into(),
                 );
+                self.spans.granted(now, txn, item);
                 self.cal.schedule_in(
                     think,
                     Ev::Timer {
@@ -428,6 +441,7 @@ impl S2plEngine {
                 }
                 self.trace
                     .record(now, TraceKind::Aborted, Some(txn), None, client.into());
+                self.spans.aborted(now, txn);
                 let idle = self
                     .cfg
                     .profile
@@ -457,6 +471,7 @@ impl S2plEngine {
                 if self.table.status(txn) != TxnStatus::Active {
                     return; // stale request of an aborted transaction
                 }
+                self.spans.req_arrived(now, txn, item);
                 match self.locks.acquire(txn, item, mode) {
                     AcquireOutcome::Granted => self.send_grant(now, client, txn, item),
                     AcquireOutcome::Queued => self.detect_deadlocks(now, txn),
@@ -482,6 +497,7 @@ impl S2plEngine {
                     None,
                     SiteId::Server,
                 );
+                self.spans.release_arrived(now, txn, true);
                 let woken = self.locks.release_all(txn);
                 for (item, t, _) in woken {
                     let c = self.table.info(t).client;
@@ -500,6 +516,8 @@ impl S2plEngine {
             Some(item),
             client.into(),
         );
+        self.spans.dispatched(now, txn, item);
+        self.spans.hop_departed(now, txn, item);
         self.net.send(
             &mut self.cal,
             SiteId::Server,

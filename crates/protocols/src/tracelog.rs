@@ -73,14 +73,21 @@ impl fmt::Display for TraceEvent {
 }
 
 /// An optional, bounded event log.
+///
+/// Recording past the cap does not silently vanish: dropped events are
+/// counted, so consumers (tracecheck in particular) can refuse to draw
+/// conclusions from an incomplete trace instead of "verifying" a prefix.
 #[derive(Clone, Debug, Default, Serialize, Deserialize)]
 pub struct TraceLog {
     enabled: bool,
     events: Vec<TraceEvent>,
+    dropped: u64,
+    cap: usize,
 }
 
 /// Safety cap so an accidentally enabled trace cannot eat the heap.
-const MAX_EVENTS: usize = 1_000_000;
+/// Sized so a full-scale verified replication (≈1.2M events) still fits.
+const MAX_EVENTS: usize = 4_000_000;
 
 impl TraceLog {
     /// A log that records iff `enabled`.
@@ -88,10 +95,23 @@ impl TraceLog {
         TraceLog {
             enabled,
             events: Vec::new(),
+            dropped: 0,
+            cap: MAX_EVENTS,
         }
     }
 
-    /// Record an event (no-op when disabled or full).
+    /// A log with a custom event cap (tests exercise truncation without
+    /// allocating millions of events).
+    pub fn with_cap(enabled: bool, cap: usize) -> Self {
+        TraceLog {
+            enabled,
+            events: Vec::new(),
+            dropped: 0,
+            cap,
+        }
+    }
+
+    /// Record an event (no-op when disabled; counted when full).
     pub fn record(
         &mut self,
         at: SimTime,
@@ -100,7 +120,10 @@ impl TraceLog {
         item: Option<ItemId>,
         site: SiteId,
     ) {
-        if self.enabled && self.events.len() < MAX_EVENTS {
+        if !self.enabled {
+            return;
+        }
+        if self.events.len() < self.cap {
             self.events.push(TraceEvent {
                 at,
                 kind,
@@ -108,7 +131,20 @@ impl TraceLog {
                 item,
                 site,
             });
+        } else {
+            self.dropped += 1;
         }
+    }
+
+    /// Events dropped after the log filled up.
+    pub fn dropped(&self) -> u64 {
+        self.dropped
+    }
+
+    /// Whether the log overflowed (its event list is a prefix, not the
+    /// full trace).
+    pub fn truncated(&self) -> bool {
+        self.dropped > 0
     }
 
     /// The recorded events in time order.
@@ -163,6 +199,26 @@ mod tests {
         );
         assert_eq!(log.events().len(), 2);
         assert_eq!(log.events()[0].kind, TraceKind::RequestSent);
+    }
+
+    #[test]
+    fn full_log_counts_drops_instead_of_lying() {
+        let mut log = TraceLog::with_cap(true, 2);
+        for i in 0..5 {
+            log.record(
+                SimTime::new(i),
+                TraceKind::RequestSent,
+                Some(TxnId::new(i as u32)),
+                None,
+                SiteId::Server,
+            );
+        }
+        assert_eq!(log.events().len(), 2, "cap respected");
+        assert_eq!(log.dropped(), 3);
+        assert!(log.truncated());
+        let fresh = TraceLog::new(true);
+        assert!(!fresh.truncated());
+        assert_eq!(fresh.dropped(), 0);
     }
 
     #[test]

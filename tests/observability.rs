@@ -1,0 +1,156 @@
+//! Observability integration tests: the golden Fig-1 round counts, the
+//! phase-partition property on real engine runs, consistency of the
+//! aggregates under heavy aborts, and the `--trace-out` JSONL export.
+//!
+//! The round counts pin the paper's §3.1 analysis: on the best-case
+//! workload (single-item exclusive transactions, one hot item, nothing
+//! can deadlock) s-2PL pays exactly 3 sequential network rounds per
+//! transaction (`3m` total) while g-2PL pays `2m + 1` per collection
+//! window — each mid-window release rides its successor's grant, and
+//! only the last holder sends a data message back to the server.
+
+use g2pl_core::prelude::*;
+use g2pl_obs::{ObsReport, Phase, SpanRecorder};
+
+/// The §3.1 worked example: one hot item, exclusive single-item
+/// transactions, drain at the end so every commit's release accounting
+/// completes.
+fn best_case(protocol: ProtocolKind, clients: u32, latency: u64) -> EngineConfig {
+    let mut cfg = EngineConfig::table1(protocol, clients, latency, 0.0);
+    cfg.num_items = 1;
+    cfg.profile.min_items = 1;
+    cfg.profile.max_items = 1;
+    cfg.warmup_txns = 0;
+    cfg.measured_txns = 60;
+    cfg.drain = true;
+    cfg.trace_events = true;
+    cfg.seed = 11;
+    cfg
+}
+
+fn replayed(m: &RunMetrics) -> ObsReport {
+    SpanRecorder::replay(m.spans.as_deref().unwrap_or(&[])).finish()
+}
+
+#[test]
+fn s2pl_best_case_spends_three_rounds_per_transaction() {
+    let m = run(&best_case(ProtocolKind::S2pl, 3, 100));
+    let report = replayed(&m);
+    assert!(!report.details.is_empty());
+    for d in &report.details {
+        assert_eq!(
+            d.rounds, 3,
+            "s-2PL single-item txn {} used {} rounds, Fig 1 says 3",
+            d.txn.0, d.rounds
+        );
+    }
+    // Aggregate view agrees: mean of the rounds histogram is exactly 3.
+    assert!((m.phases.mean_rounds() - 3.0).abs() < 1e-9);
+}
+
+#[test]
+fn g2pl_best_case_spends_two_m_plus_one_rounds_per_window() {
+    let m = run(&best_case(ProtocolKind::g2pl_paper(), 3, 100));
+    let report = replayed(&m);
+    let commits = report.details.len() as u64;
+    let total: u64 = report.details.iter().map(|d| u64::from(d.rounds)).sum();
+    assert!(commits > 0 && m.window_closes > 0);
+    assert_eq!(
+        total,
+        2 * commits + m.window_closes,
+        "g-2PL rounds must sum to 2m+1 per window ({} commits, {} windows)",
+        commits,
+        m.window_closes
+    );
+    // Strictly fewer rounds than s-2PL's 3m as soon as any window
+    // batches more than one transaction.
+    assert!(m.window_closes < commits || total == 3 * commits);
+}
+
+#[test]
+fn response_phases_partition_the_measured_response_time() {
+    for kind in [
+        ProtocolKind::S2pl,
+        ProtocolKind::g2pl_paper(),
+        ProtocolKind::C2pl,
+    ] {
+        let mut cfg = EngineConfig::table1(kind, 8, 250, 0.25);
+        cfg.warmup_txns = 30;
+        cfg.measured_txns = 200;
+        cfg.trace_events = true;
+        let m = run(&cfg);
+        assert_eq!(m.phases.measured_commits, m.response.count());
+        let sum = m.phases.mean_phase_sum();
+        let mean = m.response.mean();
+        assert!(
+            (sum - mean).abs() <= 0.01 * mean,
+            "{}: phase means sum to {sum}, mean response is {mean}",
+            m.protocol
+        );
+        // The tail phase exists but is excluded from the partition.
+        assert_eq!(Phase::RESPONSE_PHASES, 5);
+        assert!(m.phases.phase(Phase::CommitReturn).count() > 0);
+        // Nothing was silently lost.
+        assert_eq!(m.phases.spans_dropped, 0);
+        assert!(!m.trace_truncated());
+    }
+}
+
+#[test]
+fn aggregates_stay_consistent_under_heavy_aborts() {
+    // Five clients hammering a five-item pool with write-only five-item
+    // transactions: deadlocks and victim aborts throughout.
+    let mut cfg = EngineConfig::table1(ProtocolKind::S2pl, 10, 100, 0.0);
+    cfg.num_items = 5;
+    cfg.profile.min_items = 5;
+    cfg.profile.max_items = 5;
+    cfg.warmup_txns = 10;
+    cfg.measured_txns = 120;
+    cfg.trace_events = true;
+    let m = run(&cfg);
+    assert!(m.aborted_total > 0, "config failed to provoke aborts");
+    assert_eq!(m.phases.measured_commits, m.response.count());
+    // Aborted transactions contribute no rounds and no phase samples,
+    // so every phase count equals the measured-commit count and the
+    // histogram total matches too.
+    for p in Phase::ALL.iter().take(Phase::RESPONSE_PHASES) {
+        assert!(m.phases.phase(*p).count() <= m.phases.measured_commits);
+    }
+    assert_eq!(m.phases.rounds.total(), m.phases.measured_commits);
+    let sum = m.phases.mean_phase_sum();
+    let mean = m.response.mean();
+    assert!((sum - mean).abs() <= 0.01 * mean);
+}
+
+#[test]
+fn trace_out_exports_a_parseable_jsonl_trace() {
+    let dir = std::env::temp_dir().join(format!("g2pl-obs-test-{}", std::process::id()));
+    let mut cfg = EngineConfig::table1(ProtocolKind::g2pl_paper(), 4, 150, 0.25);
+    cfg.warmup_txns = 10;
+    cfg.measured_txns = 80;
+    set_trace_out(Some(dir.clone()));
+    let result = run_replicated(&cfg, 2);
+    set_trace_out(None);
+    assert_eq!(result.reps(), 2);
+
+    let entries: Vec<_> = std::fs::read_dir(&dir)
+        .expect("export directory exists")
+        .map(|e| e.expect("dir entry").path())
+        .collect();
+    assert_eq!(entries.len(), 1, "exactly replication 0 is exported");
+    let text = std::fs::read_to_string(&entries[0]).expect("trace readable");
+    let tf = g2pl_obs::parse_jsonl(&text).expect("trace parses");
+    assert_eq!(tf.meta.protocol, "g-2PL");
+    assert_eq!(tf.meta.clients, 4);
+    assert_eq!(tf.meta.dropped, 0);
+    assert!(tf.meta.measured > 0);
+    assert!(!tf.events.is_empty());
+
+    // Replaying the exported events reproduces the partition property.
+    let report = SpanRecorder::replay(&tf.events).finish();
+    assert_eq!(report.breakdown.measured_commits, tf.meta.measured);
+    let sum = report.breakdown.mean_phase_sum();
+    assert!((sum - tf.meta.mean_response).abs() <= 0.01 * tf.meta.mean_response);
+
+    std::fs::remove_dir_all(&dir).ok();
+}
