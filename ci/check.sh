@@ -30,4 +30,11 @@ if echo "$explain_out" | grep -q "FAIL"; then
   echo "trace-explain: a check failed"; echo "$explain_out"; exit 1
 fi
 
+echo "==> bench smoke (engine throughput vs committed baseline)"
+# The engine cells are scale-independent (fixed workload, best-of-3), so
+# a smoke run is comparable to the committed default-scale BENCH_pr3.json.
+# Fails if aggregate cell throughput regresses more than 30%.
+cargo run -q --release -p g2pl-bench --bin repro -- --scale smoke bench \
+  --bench-out target/BENCH_pr3.json --baseline BENCH_pr3.json >/dev/null
+
 echo "ci/check.sh: all gates passed"

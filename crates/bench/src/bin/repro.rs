@@ -2,10 +2,10 @@
 //!
 //! ```text
 //! repro [--scale smoke|default|full] [--out DIR] [--trace-out DIR]
-//!       [--no-verify] <artifact>...
+//!       [--no-verify] [--bench-out FILE] [--baseline FILE] <artifact>...
 //!
 //! artifacts: table1 table2 fig1 fig2 fig3 fig4 fig5 fig6 fig7 fig8 fig9
-//!            fig10 fig11 fig12 fig13 fig14 fig15 headline all
+//!            fig10 fig11 fig12 fig13 fig14 fig15 headline all bench
 //! ```
 //!
 //! Markdown goes to stdout; with `--out DIR`, each figure's raw data is
@@ -19,7 +19,14 @@
 //! P1–P7 and conflict-serializability, and the run aborts with
 //! diagnostics on any violation. `--no-verify` (or `--verify=off`)
 //! disables this for quick, unchecked regeneration.
+//!
+//! `repro bench` runs the measurement harness (engine hot-spot cells
+//! plus timed figure sweeps), prints the report, and writes it as JSON
+//! to `--bench-out FILE` (default `BENCH_pr3.json`). With
+//! `--baseline FILE`, the run fails if aggregate engine throughput
+//! regressed more than 30% below the baseline's — the CI gate.
 
+use g2pl_bench::harness;
 use g2pl_core::experiments::{self, Scale};
 use g2pl_core::extensions;
 use g2pl_core::figure::FigureData;
@@ -50,12 +57,15 @@ const EXTS: [&str; 10] = [
 fn usage() -> ! {
     eprintln!(
         "usage: repro [--scale smoke|default|full] [--out DIR] [--trace-out DIR] \
-         [--no-verify] <artifact>...\n\
+         [--no-verify] [--bench-out FILE] [--baseline FILE] <artifact>...\n\
          artifacts: {} all\n\
-         extensions: {} ext scorecard\n\
+         extensions: {} ext scorecard bench\n\
          verification of every data point is on by default; --no-verify skips it\n\
          --trace-out DIR dumps replication 0 of each point as a JSONL span \
-         trace for trace-explain",
+         trace for trace-explain\n\
+         bench times engine cells + figure sweeps, writes --bench-out \
+         (default BENCH_pr3.json), and fails on >30% throughput regression \
+         vs --baseline FILE",
         ALL.join(" "),
         EXTS.join(" ")
     );
@@ -80,6 +90,8 @@ fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut scale = Scale::Default;
     let mut out_dir: Option<PathBuf> = None;
+    let mut bench_out = PathBuf::from("BENCH_pr3.json");
+    let mut baseline: Option<PathBuf> = None;
     let mut artifacts: Vec<String> = Vec::new();
 
     let mut i = 0;
@@ -107,9 +119,18 @@ fn main() {
             "--ascii" => {} // handled in emit_figure
             "--no-verify" | "--verify=off" => g2pl_core::set_verify(false),
             "--verify" | "--verify=on" => g2pl_core::set_verify(true),
+            "--bench-out" => {
+                i += 1;
+                bench_out = PathBuf::from(args.get(i).unwrap_or_else(|| usage()));
+            }
+            "--baseline" => {
+                i += 1;
+                baseline = Some(PathBuf::from(args.get(i).unwrap_or_else(|| usage())));
+            }
             "all" => artifacts.extend(ALL.iter().map(std::string::ToString::to_string)),
             "ext" => artifacts.extend(EXTS.iter().map(std::string::ToString::to_string)),
             "scorecard" => artifacts.push("scorecard".to_string()),
+            "bench" => artifacts.push("bench".to_string()),
             a if ALL.contains(&a) || EXTS.contains(&a) => artifacts.push(a.to_string()),
             _ => usage(),
         }
@@ -119,6 +140,7 @@ fn main() {
         usage();
     }
 
+    let mut failed = false;
     for a in &artifacts {
         let started = std::time::Instant::now();
         match a.as_str() {
@@ -190,8 +212,44 @@ fn main() {
                 emit_figure(&extensions::ext_server_cpu(scale), &out_dir);
             }
             "scorecard" => println!("{}", g2pl_core::scorecard::run_scorecard(scale)),
+            "bench" => {
+                let report = harness::run_bench(scale);
+                println!("{}", report.render());
+                std::fs::write(&bench_out, report.to_json()).expect("write bench report");
+                eprintln!("wrote {}", bench_out.display());
+                if let Some(base) = &baseline {
+                    let text = std::fs::read_to_string(base).expect("read bench baseline");
+                    match harness::regression_vs(&text, &report, 0.30) {
+                        Some(msg) => {
+                            eprintln!("bench: {msg}");
+                            failed = true;
+                        }
+                        None => {
+                            eprintln!("bench: within 30% of baseline {}", base.display());
+                        }
+                    }
+                }
+            }
             _ => unreachable!("validated above"),
         }
-        eprintln!("[{a}: {:.1}s]", started.elapsed().as_secs_f64());
+        // Throughput trailer: what the engines did during this artifact
+        // (the counters are drained per artifact, so each line stands
+        // alone). `bench` drains them itself and reports via its table.
+        let perf = g2pl_core::take_perf();
+        let wall = started.elapsed().as_secs_f64();
+        if perf.runs > 0 {
+            eprintln!(
+                "[{a}: {wall:.1}s — {} runs, {} events, {:.2}M events/s, peak calendar {}]",
+                perf.runs,
+                perf.events,
+                perf.events_per_sec() / 1e6,
+                perf.peak_calendar
+            );
+        } else {
+            eprintln!("[{a}: {wall:.1}s]");
+        }
+    }
+    if failed {
+        std::process::exit(1);
     }
 }

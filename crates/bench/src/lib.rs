@@ -10,6 +10,8 @@
 //!   microbenches (`benches/substrates.rs`), and the g-2PL optimization
 //!   ablations (`benches/ablations.rs`).
 
+pub mod harness;
+
 use g2pl_core::prelude::*;
 
 /// A small-but-meaningful configuration for benchmarking one simulation

@@ -20,7 +20,7 @@
 //! | `headline` | the 20–25% response-time improvement claim |
 
 use crate::figure::{FigureData, Series};
-use crate::runner::run_replicated;
+use crate::runner::run_grid;
 use g2pl_netmodel::NetworkEnv;
 use g2pl_protocols::{run, EngineConfig, ProtocolKind, TraceEvent};
 use std::fmt::Write as _;
@@ -83,6 +83,11 @@ enum Metric {
 }
 
 /// Sweep an x-axis for both protocols and collect one metric.
+///
+/// Every `(protocol, x, replication)` cell of the figure is built up
+/// front and handed to [`run_grid`], which schedules the whole grid on
+/// one worker pool; results come back in point order, so the figure is
+/// identical at any worker count.
 #[allow(clippy::too_many_arguments)]
 fn sweep(
     id: &str,
@@ -95,14 +100,21 @@ fn sweep(
     mut cfg_of: impl FnMut(ProtocolKind, f64) -> EngineConfig,
 ) -> FigureData {
     let (_, _, reps) = scale.params();
+    let mut configs = Vec::with_capacity(protocols.len() * xs.len());
+    for p in protocols {
+        for &x in xs {
+            configs.push(cfg_of(p.clone(), x));
+        }
+    }
+    let mut results = run_grid(&configs, reps).into_iter();
     let series = protocols
         .iter()
         .map(|p| {
             let points = xs
                 .iter()
                 .map(|&x| {
-                    let cfg = cfg_of(p.clone(), x);
-                    let r = run_replicated(&cfg, reps);
+                    // lint:allow(L3): run_grid returns one result per config
+                    let r = results.next().expect("one result per grid point");
                     let ci = match metric {
                         Metric::Response => r.response_ci(),
                         Metric::AbortPct => r.abort_pct_ci(),
@@ -346,15 +358,20 @@ pub fn fig10(scale: Scale) -> FigureData {
 pub fn fig11(scale: Scale) -> FigureData {
     let caps: [u64; 8] = [1, 2, 3, 4, 5, 6, 8, 10];
     let (_, _, reps) = scale.params();
-    let points = caps
+    let configs: Vec<EngineConfig> = caps
         .iter()
         .map(|&cap| {
             let opts = g2pl_protocols::G2plOpts {
                 fl_cap: Some(cap as usize),
                 ..Default::default()
             };
-            let cfg = base_cfg(ProtocolKind::G2pl(opts), 50, 1, 1.0, scale);
-            let r = run_replicated(&cfg, reps);
+            base_cfg(ProtocolKind::G2pl(opts), 50, 1, 1.0, scale)
+        })
+        .collect();
+    let points = caps
+        .iter()
+        .zip(run_grid(&configs, reps))
+        .map(|(&cap, r)| {
             let ci = r.abort_pct_ci();
             (cap as f64, ci.mean, ci.half_width)
         })

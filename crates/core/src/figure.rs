@@ -8,7 +8,7 @@ use serde::Serialize;
 use std::fmt::Write as _;
 
 /// One plotted series (e.g. "g-2PL" or "s-2PL").
-#[derive(Clone, Debug, Serialize)]
+#[derive(Clone, Debug, PartialEq, Serialize)]
 pub struct Series {
     /// Legend label.
     pub label: String,
@@ -27,7 +27,7 @@ impl Series {
 }
 
 /// The data behind one figure or table of the paper.
-#[derive(Clone, Debug, Serialize)]
+#[derive(Clone, Debug, PartialEq, Serialize)]
 pub struct FigureData {
     /// Experiment id, e.g. "fig2".
     pub id: String,

@@ -49,7 +49,8 @@ pub mod verify;
 
 pub use figure::{FigureData, Series};
 pub use runner::{
-    run_replicated, set_trace_out, set_verify, trace_out, verify_enabled, ReplicatedResult,
+    run_grid, run_replicated, set_grid_workers, set_trace_out, set_verify, take_perf, trace_out,
+    verify_enabled, PerfTotals, ReplicatedResult,
 };
 pub use tracecheck::{check_trace, check_trace_with, TraceCheckOpts};
 pub use verify::check_serializable;
@@ -60,7 +61,8 @@ pub mod prelude {
     pub use crate::extensions;
     pub use crate::figure::{FigureData, Series};
     pub use crate::runner::{
-        run_replicated, set_trace_out, set_verify, trace_out, verify_enabled, ReplicatedResult,
+        run_grid, run_replicated, set_grid_workers, set_trace_out, set_verify, take_perf,
+        trace_out, verify_enabled, PerfTotals, ReplicatedResult,
     };
     pub use crate::scorecard::{self, run_scorecard};
     pub use crate::tracecheck::{check_trace, check_trace_with, TraceCheckOpts};

@@ -1,17 +1,25 @@
-//! Replicated simulation runs.
+//! Replicated simulation runs and the grid scheduler.
 //!
 //! The paper computes every data point from 5 independent replications
 //! with 95% confidence intervals (§5). [`run_replicated`] reproduces that
-//! procedure, running replications on worker threads (the engines are
-//! single-threaded and deterministic, so replications parallelise
-//! trivially).
+//! procedure; [`run_grid`] generalises it to a whole figure, flattening
+//! every `(point, replication)` pair of a sweep onto one worker pool (the
+//! engines are single-threaded and deterministic, so cells parallelise
+//! trivially) while aggregating results in replication order, so a sweep
+//! produces bit-identical output at any worker count.
+//!
+//! This module also owns the wall-clock instrumentation: the engine
+//! crates are forbidden ambient time (lint rule L2), so runs are timed
+//! *here* and the duration is stamped onto [`RunMetrics::wall_secs`]
+//! after the engine returns. Process-wide totals accumulate in atomics
+//! and are drained with [`take_perf`] for throughput reporting.
 
 use crate::tracecheck::{check_trace_with, TraceCheckOpts};
 use crate::verify::check_serializable;
 use g2pl_protocols::{run, EngineConfig, RunMetrics};
 use g2pl_stats::{ConfidenceInterval, Replications};
 use std::path::PathBuf;
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::Mutex;
 
 /// Whether [`run_replicated`] self-verifies (on by default).
@@ -19,6 +27,86 @@ static VERIFY: AtomicBool = AtomicBool::new(true);
 
 /// Directory span traces are exported to, when set.
 static TRACE_OUT: Mutex<Option<PathBuf>> = Mutex::new(None);
+
+/// Worker-count override for [`run_grid`] (0 = one per available core).
+static GRID_WORKERS: AtomicUsize = AtomicUsize::new(0);
+
+/// Process-wide engine-throughput accumulators, drained by [`take_perf`].
+static PERF_RUNS: AtomicU64 = AtomicU64::new(0);
+static PERF_EVENTS: AtomicU64 = AtomicU64::new(0);
+static PERF_CPU_NANOS: AtomicU64 = AtomicU64::new(0);
+static PERF_PEAK_CAL: AtomicU64 = AtomicU64::new(0);
+
+/// Override how many worker threads [`run_grid`] uses (`None` restores
+/// the default of one per available core). Worker count never affects
+/// results — only scheduling — so this exists for benchmarking and for
+/// the serial-vs-parallel determinism tests.
+pub fn set_grid_workers(n: Option<usize>) {
+    GRID_WORKERS.store(n.unwrap_or(0), Ordering::SeqCst);
+}
+
+fn grid_workers() -> usize {
+    match GRID_WORKERS.load(Ordering::SeqCst) {
+        0 => std::thread::available_parallelism().map_or(1, std::num::NonZero::get),
+        n => n,
+    }
+}
+
+/// Engine-throughput totals accumulated since the last [`take_perf`].
+#[derive(Clone, Copy, Debug, Default)]
+pub struct PerfTotals {
+    /// Simulation runs timed.
+    pub runs: u64,
+    /// Simulation events processed across those runs.
+    pub events: u64,
+    /// Summed per-run wall-clock seconds. With parallel workers this is
+    /// engine *CPU* time, which can exceed elapsed wall-clock.
+    pub cpu_secs: f64,
+    /// Largest calendar high-water mark seen in any run.
+    pub peak_calendar: usize,
+}
+
+impl PerfTotals {
+    /// Simulation events per engine-second (0 when nothing was timed).
+    pub fn events_per_sec(&self) -> f64 {
+        if self.cpu_secs > 0.0 {
+            self.events as f64 / self.cpu_secs
+        } else {
+            0.0
+        }
+    }
+}
+
+/// Drain and reset the process-wide throughput accumulators.
+pub fn take_perf() -> PerfTotals {
+    PerfTotals {
+        runs: PERF_RUNS.swap(0, Ordering::SeqCst),
+        events: PERF_EVENTS.swap(0, Ordering::SeqCst),
+        cpu_secs: PERF_CPU_NANOS.swap(0, Ordering::SeqCst) as f64 / 1e9,
+        peak_calendar: PERF_PEAK_CAL.swap(0, Ordering::SeqCst) as usize,
+    }
+}
+
+/// Stamp a run's duration onto its metrics and fold it into the
+/// process-wide totals.
+fn stamp(m: &mut RunMetrics, elapsed: std::time::Duration) {
+    m.wall_secs = elapsed.as_secs_f64();
+    PERF_RUNS.fetch_add(1, Ordering::SeqCst);
+    PERF_EVENTS.fetch_add(m.events, Ordering::SeqCst);
+    PERF_CPU_NANOS.fetch_add(
+        u64::try_from(elapsed.as_nanos()).unwrap_or(u64::MAX),
+        Ordering::SeqCst,
+    );
+    PERF_PEAK_CAL.fetch_max(m.peak_calendar as u64, Ordering::SeqCst);
+}
+
+/// Run one simulation, timing it (the engines themselves may not).
+fn timed_run(cfg: &EngineConfig) -> RunMetrics {
+    let t = std::time::Instant::now();
+    let mut m = run(cfg);
+    stamp(&mut m, t.elapsed());
+    m
+}
 
 /// Export replication 0 of every subsequent [`run_replicated`] call as a
 /// JSONL span trace into `dir` (`None` turns exporting back off). The
@@ -55,7 +143,9 @@ fn run_verified(cfg: &EngineConfig) -> RunMetrics {
     let mut vc = cfg.clone();
     vc.trace_events = true;
     vc.record_history = true;
+    let t = std::time::Instant::now();
     let mut m = run(&vc);
+    stamp(&mut m, t.elapsed());
     let diag = |what: &str, err: &str| -> String {
         format!(
             "{what} violation in a {} run (clients={}, latency={}, seed={}): {err}",
@@ -176,61 +266,24 @@ pub fn replication_seed(base: u64, rep: u32) -> u64 {
     base ^ (0x5851_f42d_4c95_7f2d_u64.wrapping_mul(u64::from(rep) + 1))
 }
 
-/// Run `reps` independent replications of `base` (differing only in
-/// seed) and aggregate the paper's metrics.
-///
-/// Replications run on scoped worker threads; results are collected in
-/// replication order so the aggregate is deterministic. Unless disabled
-/// with [`set_verify`], replication 0 runs with recording on and is
-/// checked against properties P1–P7 and conflict-serializability.
-pub fn run_replicated(base: &EngineConfig, reps: u32) -> ReplicatedResult {
-    assert!(reps > 0, "need at least one replication");
-    let configs: Vec<EngineConfig> = (0..reps)
-        .map(|r| {
-            let mut c = base.clone();
-            c.seed = replication_seed(base.seed, r);
-            c
-        })
-        .collect();
+/// One schedulable cell of a grid: a concrete config plus whether this
+/// cell is its point's verified replication.
+struct GridTask {
+    cfg: EngineConfig,
+    verify: bool,
+}
 
-    // Recording is passive — it perturbs no random draw and no event —
-    // so the verified run's metrics stand in for replication 0 exactly.
-    let first: Option<RunMetrics> =
-        (verify_enabled() || trace_out().is_some()).then(|| run_verified(&configs[0]));
-    let rest = if first.is_some() {
-        &configs[1..]
+fn run_task(t: &GridTask) -> RunMetrics {
+    if t.verify {
+        run_verified(&t.cfg)
     } else {
-        &configs[..]
-    };
+        timed_run(&t.cfg)
+    }
+}
 
-    let threads = std::thread::available_parallelism()
-        .map_or(1, std::num::NonZero::get)
-        .min(rest.len().max(1));
-
-    let tail: Vec<RunMetrics> = if threads <= 1 {
-        rest.iter().map(run).collect()
-    } else {
-        let mut out: Vec<Option<RunMetrics>> = rest.iter().map(|_| None).collect();
-        let next = std::sync::atomic::AtomicUsize::new(0);
-        let out_mtx = std::sync::Mutex::new(&mut out);
-        std::thread::scope(|scope| {
-            for _ in 0..threads {
-                scope.spawn(|| loop {
-                    let i = next.fetch_add(1, std::sync::atomic::Ordering::SeqCst);
-                    if i >= rest.len() {
-                        break;
-                    }
-                    let m = run(&rest[i]);
-                    out_mtx.lock().expect("runner mutex poisoned")[i] = Some(m);
-                });
-            }
-        });
-        out.into_iter()
-            .map(|m| m.expect("every replication ran"))
-            .collect()
-    };
-    let runs: Vec<RunMetrics> = first.into_iter().chain(tail).collect();
-
+/// Aggregate one point's replications (in replication order) into the
+/// paper's across-replication statistics.
+fn aggregate(runs: Vec<RunMetrics>) -> ReplicatedResult {
     let response = Replications::from_values(
         &runs
             .iter()
@@ -255,6 +308,87 @@ pub fn run_replicated(base: &EngineConfig, reps: u32) -> ReplicatedResult {
         abort_pct,
         msgs_per_completion,
     }
+}
+
+/// Run `reps` replications of every point in `points` on one worker pool
+/// and aggregate each point's metrics, in point order.
+///
+/// This is the sweep engine behind every figure: rather than finishing
+/// one data point before starting the next, all `points.len() × reps`
+/// cells are flattened into one task list that worker threads drain, so
+/// a slow cell (high latency, many clients) overlaps with cheap ones.
+/// Results land in a slot per `(point, replication)` and are aggregated
+/// in replication order, so the output is bit-identical at any worker
+/// count — including 1 (see [`set_grid_workers`]).
+///
+/// Unless disabled with [`set_verify`], replication 0 of every point
+/// runs with recording on and is checked against properties P1–P7 and
+/// conflict-serializability. Recording is passive — it perturbs no
+/// random draw and no event — so the verified run's metrics stand in
+/// for replication 0 exactly.
+pub fn run_grid(points: &[EngineConfig], reps: u32) -> Vec<ReplicatedResult> {
+    assert!(reps > 0, "need at least one replication");
+    let verify_first = verify_enabled() || trace_out().is_some();
+    let tasks: Vec<GridTask> = points
+        .iter()
+        .flat_map(|base| {
+            (0..reps).map(move |r| {
+                let mut cfg = base.clone();
+                cfg.seed = replication_seed(base.seed, r);
+                GridTask {
+                    cfg,
+                    verify: verify_first && r == 0,
+                }
+            })
+        })
+        .collect();
+
+    let workers = grid_workers().min(tasks.len().max(1));
+    let mut slots: Vec<Option<RunMetrics>> = tasks.iter().map(|_| None).collect();
+    if workers <= 1 {
+        for (slot, t) in slots.iter_mut().zip(&tasks) {
+            *slot = Some(run_task(t));
+        }
+    } else {
+        let next = AtomicUsize::new(0);
+        let slots_mtx = Mutex::new(&mut slots);
+        std::thread::scope(|scope| {
+            for _ in 0..workers {
+                scope.spawn(|| loop {
+                    let i = next.fetch_add(1, Ordering::SeqCst);
+                    if i >= tasks.len() {
+                        break;
+                    }
+                    let m = run_task(&tasks[i]);
+                    slots_mtx.lock().expect("runner mutex poisoned")[i] = Some(m);
+                });
+            }
+        });
+    }
+
+    let mut results = Vec::with_capacity(points.len());
+    let mut it = slots.into_iter();
+    for _ in 0..points.len() {
+        let runs: Vec<RunMetrics> = (0..reps)
+            .map(|_| {
+                it.next()
+                    .flatten()
+                    // lint:allow(L3): the pool drains every task before scope exit
+                    .expect("every replication ran")
+            })
+            .collect();
+        results.push(aggregate(runs));
+    }
+    results
+}
+
+/// Run `reps` independent replications of `base` (differing only in
+/// seed) and aggregate the paper's metrics: a single-point [`run_grid`].
+pub fn run_replicated(base: &EngineConfig, reps: u32) -> ReplicatedResult {
+    run_grid(std::slice::from_ref(base), reps)
+        .pop()
+        // lint:allow(L3): one point in, one result out
+        .expect("one result per point")
 }
 
 #[cfg(test)]
@@ -307,5 +441,61 @@ mod tests {
     #[should_panic(expected = "at least one replication")]
     fn zero_reps_panics() {
         run_replicated(&cfg(), 0);
+    }
+
+    #[test]
+    fn grid_results_are_per_point_and_in_order() {
+        let mut a = cfg();
+        let mut b = cfg();
+        b.num_clients = 8;
+        a.seed = 7;
+        b.seed = 9;
+        let r = run_grid(&[a.clone(), b.clone()], 2);
+        assert_eq!(r.len(), 2);
+        assert_eq!(r[0].reps(), 2);
+        // Each grid result equals the point run on its own.
+        assert_eq!(r[0].response_ci(), run_replicated(&a, 2).response_ci());
+        assert_eq!(r[1].response_ci(), run_replicated(&b, 2).response_ci());
+    }
+
+    #[test]
+    fn worker_count_does_not_change_results() {
+        let a = cfg();
+        let mut b = cfg();
+        b.num_clients = 9;
+        let serial = {
+            set_grid_workers(Some(1));
+            run_grid(&[a.clone(), b.clone()], 3)
+        };
+        let parallel = {
+            set_grid_workers(Some(4));
+            run_grid(&[a, b], 3)
+        };
+        set_grid_workers(None);
+        for (s, p) in serial.iter().zip(&parallel) {
+            assert_eq!(s.response_ci(), p.response_ci());
+            assert_eq!(s.abort_pct_ci(), p.abort_pct_ci());
+            assert_eq!(s.msgs_per_completion_ci(), p.msgs_per_completion_ci());
+            for (x, y) in s.runs.iter().zip(&p.runs) {
+                assert_eq!(x.response.mean(), y.response.mean());
+                assert_eq!(x.net.messages(), y.net.messages());
+                assert_eq!(x.events, y.events);
+            }
+        }
+    }
+
+    #[test]
+    fn timed_runs_report_throughput() {
+        let _ = take_perf(); // reset whatever other tests accumulated
+        let m = timed_run(&cfg());
+        assert!(m.wall_secs > 0.0, "caller stamps wall-clock time");
+        assert!(m.events > 0);
+        assert!(m.peak_calendar > 0);
+        assert!(m.events_per_sec() > 0.0);
+        let p = take_perf();
+        assert!(p.runs >= 1);
+        assert!(p.events >= m.events);
+        assert!(p.events_per_sec() > 0.0);
+        assert_eq!(take_perf().runs, 0, "take_perf drains the totals");
     }
 }

@@ -1,8 +1,8 @@
 //! The lock table: per-item holder sets and FIFO wait queues.
 
 use crate::mode::LockMode;
-use g2pl_simcore::{ItemId, TxnId};
-use std::collections::{BTreeMap, VecDeque};
+use g2pl_simcore::{ItemId, Slab, TxnId};
+use std::collections::VecDeque;
 
 /// Result of a lock acquisition attempt.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -45,11 +45,16 @@ impl ItemLock {
 /// assumes when it says conflicting requests are "enqueued").
 #[derive(Clone, Debug, Default)]
 pub struct LockTable {
-    items: BTreeMap<ItemId, ItemLock>,
-    held: BTreeMap<TxnId, Vec<ItemId>>,
+    /// Lock state per item, indexed by `ItemId::index()` (item ids are
+    /// dense, so the slab sweep below visits items in ascending id order —
+    /// the same order the previous `BTreeMap` representation produced).
+    items: Slab<ItemLock>,
+    /// Items held per transaction (in acquisition order), indexed by
+    /// `TxnId::index()`.
+    held: Slab<Vec<ItemId>>,
     /// Reverse index: the item each transaction is queued on (at most one
     /// under the sequential client model; the most recent wins otherwise).
-    queued: BTreeMap<TxnId, ItemId>,
+    queued: Slab<Option<ItemId>>,
 }
 
 impl LockTable {
@@ -65,7 +70,7 @@ impl LockTable {
     /// (S held, X requested) is granted in place when `txn` is the only
     /// holder and nothing is queued, and queued at the *front* otherwise.
     pub fn acquire(&mut self, txn: TxnId, item: ItemId, mode: LockMode) -> AcquireOutcome {
-        let lock = self.items.entry(item).or_default();
+        let lock = self.items.ensure(item.index());
 
         if let Some(held_mode) = lock.holder_mode(txn) {
             if held_mode.max(mode) == held_mode {
@@ -77,24 +82,24 @@ impl LockTable {
                 return AcquireOutcome::Granted;
             }
             lock.queue.push_front((txn, mode));
-            self.queued.insert(txn, item);
+            *self.queued.ensure(txn.index()) = Some(item);
             return AcquireOutcome::Queued;
         }
 
         if lock.queue.is_empty() && lock.grantable(txn, mode) {
             lock.holders.push((txn, mode));
-            self.held.entry(txn).or_default().push(item);
+            self.held.ensure(txn.index()).push(item);
             AcquireOutcome::Granted
         } else {
             lock.queue.push_back((txn, mode));
-            self.queued.insert(txn, item);
+            *self.queued.ensure(txn.index()) = Some(item);
             AcquireOutcome::Queued
         }
     }
 
     /// The item `txn` is currently queued on, if any.
     pub fn queued_on(&self, txn: TxnId) -> Option<ItemId> {
-        self.queued.get(&txn).copied()
+        self.queued.get(txn.index()).copied().flatten()
     }
 
     /// Release every lock held by `txn` and remove any of its queued
@@ -104,43 +109,54 @@ impl LockTable {
     /// order.
     pub fn release_all(&mut self, txn: TxnId) -> Vec<(ItemId, TxnId, LockMode)> {
         let mut woken = Vec::new();
-        self.queued.remove(&txn);
+        if let Some(q) = self.queued.get_mut(txn.index()) {
+            *q = None;
+        }
         // Remove the transaction's queued requests FIRST: promoting a
         // released item before purging the queues could re-grant the
         // finished transaction its own stale queued request. The item
-        // map is a BTreeMap, so this sweep — and thus the wake-up order
-        // and the whole simulation — is deterministic by construction.
-        let queued_on: Vec<ItemId> = self
-            .items
-            .iter()
-            .filter(|(_, l)| l.queue.iter().any(|&(t, _)| t == txn))
-            .map(|(&i, _)| i)
-            .collect();
+        // slab is indexed by the dense item id, so this sweep — and thus
+        // the wake-up order and the whole simulation — visits items in
+        // ascending id order, exactly as the previous `BTreeMap`
+        // representation did.
+        let mut queued_on: Vec<ItemId> = Vec::new();
+        for (i, lock) in self.items.iter() {
+            if lock.queue.iter().any(|&(t, _)| t == txn) {
+                queued_on.push(ItemId::new(i as u32));
+            }
+        }
         for &item in &queued_on {
-            // lint:allow(L3): item came from the map one statement ago
-            let lock = self.items.get_mut(&item).expect("just observed");
+            // lint:allow(L3): item came from the slab one statement ago
+            let lock = self.items.get_mut(item.index()).expect("just observed");
             lock.queue.retain(|&(t, _)| t != txn);
         }
-        let items = self.held.remove(&txn).unwrap_or_default();
+        let items = self
+            .held
+            .get_mut(txn.index())
+            .map(std::mem::take)
+            .unwrap_or_default();
         for item in items {
-            // lint:allow(L3): the held index only lists items with lock state
-            let lock = self.items.get_mut(&item).expect("held item has lock state");
+            let lock = self
+                .items
+                .get_mut(item.index())
+                // lint:allow(L3): the held index only lists items with lock state
+                .expect("held item has lock state");
             lock.holders.retain(|&(t, _)| t != txn);
             Self::promote(&mut self.queued, &mut self.held, lock, item, &mut woken);
         }
         // The queue removals themselves can unblock requests queued
         // behind the departed transaction.
         for item in queued_on {
-            // lint:allow(L3): item came from the map in the sweep above
-            let lock = self.items.get_mut(&item).expect("just observed");
+            // lint:allow(L3): item came from the slab in the sweep above
+            let lock = self.items.get_mut(item.index()).expect("just observed");
             Self::promote(&mut self.queued, &mut self.held, lock, item, &mut woken);
         }
         woken
     }
 
     fn promote(
-        queued: &mut BTreeMap<TxnId, ItemId>,
-        held: &mut BTreeMap<TxnId, Vec<ItemId>>,
+        queued: &mut Slab<Option<ItemId>>,
+        held: &mut Slab<Vec<ItemId>>,
         lock: &mut ItemLock,
         item: ItemId,
         woken: &mut Vec<(ItemId, TxnId, LockMode)>,
@@ -152,12 +168,12 @@ impl LockTable {
                 break;
             }
             lock.queue.pop_front();
-            queued.remove(&t);
+            *queued.ensure(t.index()) = None;
             if let Some(pos) = lock.holders.iter().position(|&(h, _)| h == t) {
                 lock.holders[pos].1 = lock.holders[pos].1.max(m);
             } else {
                 lock.holders.push((t, m));
-                held.entry(t).or_default().push(item);
+                held.ensure(t.index()).push(item);
             }
             woken.push((item, t, m));
             if m.is_exclusive() {
@@ -168,32 +184,37 @@ impl LockTable {
 
     /// Current holders of `item`, with their modes.
     pub fn holders(&self, item: ItemId) -> &[(TxnId, LockMode)] {
-        self.items.get(&item).map_or(&[], |l| l.holders.as_slice())
+        self.items
+            .get(item.index())
+            .map_or(&[], |l| l.holders.as_slice())
     }
 
     /// Queued waiters on `item`, in queue order.
     pub fn waiters(&self, item: ItemId) -> impl Iterator<Item = (TxnId, LockMode)> + '_ {
         self.items
-            .get(&item)
+            .get(item.index())
             .into_iter()
             .flat_map(|l| l.queue.iter().copied())
     }
 
     /// Items currently held by `txn` (in acquisition order).
     pub fn held_by(&self, txn: TxnId) -> &[ItemId] {
-        self.held.get(&txn).map_or(&[], Vec::as_slice)
+        self.held.get(txn.index()).map_or(&[], Vec::as_slice)
     }
 
     /// Mode in which `txn` holds `item`, if it does.
     pub fn mode_of(&self, txn: TxnId, item: ItemId) -> Option<LockMode> {
-        self.items.get(&item).and_then(|l| l.holder_mode(txn))
+        self.items
+            .get(item.index())
+            .and_then(|l| l.holder_mode(txn))
     }
 
     /// True when no locks are held and no requests queued (quiescence
     /// check for drain tests).
     pub fn is_quiescent(&self) -> bool {
         self.items
-            .values()
+            .as_slice()
+            .iter()
             .all(|l| l.holders.is_empty() && l.queue.is_empty())
     }
 
@@ -204,7 +225,10 @@ impl LockTable {
         let mut out: Vec<(TxnId, ItemId)> = self
             .items
             .iter()
-            .flat_map(|(&item, lock)| lock.queue.iter().map(move |&(t, _)| (t, item)))
+            .flat_map(|(i, lock)| {
+                let item = ItemId::new(i as u32);
+                lock.queue.iter().map(move |&(t, _)| (t, item))
+            })
             .collect();
         out.sort_unstable_by_key(|&(t, i)| (i, t));
         out
@@ -216,28 +240,46 @@ impl LockTable {
     ///
     /// Returns an empty vector when `txn` is not queued on `item`.
     pub fn waits_for(&self, txn: TxnId, item: ItemId) -> Vec<TxnId> {
-        let Some(lock) = self.items.get(&item) else {
-            return Vec::new();
+        let mut out = Vec::new();
+        self.waits_for_into(txn, item, &mut out);
+        out
+    }
+
+    /// Allocation-free variant of [`waits_for`](Self::waits_for): appends
+    /// the (sorted, deduplicated) blockers to `out`, leaving anything
+    /// already in `out` untouched. This is the deadlock detector's hot
+    /// path — it runs on every ungrantable request.
+    pub fn waits_for_into(&self, txn: TxnId, item: ItemId, out: &mut Vec<TxnId>) {
+        let Some(lock) = self.items.get(item.index()) else {
+            return;
         };
         let Some(pos) = lock.queue.iter().position(|&(t, _)| t == txn) else {
-            return Vec::new();
+            return;
         };
         let my_mode = lock.queue[pos].1;
-        let mut out: Vec<TxnId> = lock
-            .holders
-            .iter()
-            .filter(|&&(t, m)| t != txn && !m.compatible(my_mode))
-            .map(|&(t, _)| t)
-            .collect();
+        let start = out.len();
+        out.extend(
+            lock.holders
+                .iter()
+                .filter(|&&(t, m)| t != txn && !m.compatible(my_mode))
+                .map(|&(t, _)| t),
+        );
         for &(t, m) in lock.queue.iter().take(pos) {
             // Queued-ahead conflicting requests also block us under FIFO.
-            if t != txn && (!m.compatible(my_mode) || out.contains(&t)) {
+            if t != txn && (!m.compatible(my_mode) || out[start..].contains(&t)) {
                 out.push(t);
             }
         }
-        out.sort_unstable();
-        out.dedup();
-        out
+        out[start..].sort_unstable();
+        // Dedup the appended range in place.
+        let mut w = start;
+        for r in start..out.len() {
+            if w == start || out[w - 1] != out[r] {
+                out[w] = out[r];
+                w += 1;
+            }
+        }
+        out.truncate(w);
     }
 }
 

@@ -24,6 +24,7 @@
 //! create waits-for edges, so the deadlock detector sees them.
 
 use crate::config::EngineConfig;
+use crate::cycle::CycleFinder;
 use crate::history::{AccessRecord, CommitRecord, History};
 use crate::metrics::{Collector, RunMetrics, WalReport};
 use crate::runtime::{
@@ -37,7 +38,6 @@ use g2pl_simcore::{Calendar, ClientId, ItemId, SimTime, SiteId, TxnId, Version};
 use g2pl_wal::{LogRecord, SiteLog};
 use g2pl_workload::AccessMode;
 use g2pl_workload::TxnGenerator;
-use std::collections::{BTreeMap, HashMap, HashSet};
 
 /// A granted-but-callback-blocked exclusive request.
 struct XBarrier {
@@ -53,11 +53,14 @@ pub struct C2plEngine {
     net: Net,
     server_cpu: ServerCpu,
     clients: Vec<ClientCore>,
-    /// Per-client cache contents: item → cached version.
-    caches: Vec<HashMap<ItemId, Version>>,
+    /// Per-client cache contents, indexed by `ItemId::index()`: `Some(v)`
+    /// when the client caches version `v` of the item.
+    caches: Vec<Vec<Option<Version>>>,
     /// Items of the client's *current* transaction that were read from
     /// the local cache (they pin the cache entry until transaction end).
-    reading_cached: Vec<HashSet<ItemId>>,
+    /// A transaction touches at most a handful of items, so a linear
+    /// scan of this list beats hashing.
+    reading_cached: Vec<Vec<ItemId>>,
     /// Callbacks received while the item was pinned; acknowledged at
     /// transaction end. A `Vec` (not a set) so every callback message
     /// gets exactly one acknowledgement, even if the same item is
@@ -65,10 +68,12 @@ pub struct C2plEngine {
     deferred_callbacks: Vec<Vec<ItemId>>,
     table: TxnTable,
     locks: LockTable,
-    /// Server-side cache directory: which clients cache each item.
-    directory: Vec<HashSet<ClientId>>,
-    /// Exclusive grants waiting for callback acknowledgements.
-    barriers: BTreeMap<ItemId, XBarrier>,
+    /// Server-side cache directory: which clients cache each item, as a
+    /// sorted vector per item (so recall fan-out needs no re-sort).
+    directory: Vec<Vec<ClientId>>,
+    /// Exclusive grants waiting for callback acknowledgements, indexed
+    /// by `ItemId::index()` (at most one barrier per item).
+    barriers: Vec<Option<XBarrier>>,
     versions: Vec<Version>,
     generator: TxnGenerator,
     collector: Collector,
@@ -79,6 +84,7 @@ pub struct C2plEngine {
     admitting: bool,
     /// Cache hits (local read grants) — the c-2PL win metric.
     cache_hits: u64,
+    finder: CycleFinder,
 }
 
 impl C2plEngine {
@@ -100,13 +106,13 @@ impl C2plEngine {
             server_cpu: ServerCpu::new(cfg.server_cpu_per_op),
             cal: Calendar::new(),
             clients,
-            caches: vec![HashMap::new(); n],
-            reading_cached: vec![HashSet::new(); n],
+            caches: vec![vec![None; cfg.num_items as usize]; n],
+            reading_cached: vec![Vec::new(); n],
             deferred_callbacks: vec![Vec::new(); n],
             table: TxnTable::new(),
             locks: LockTable::new(),
-            directory: vec![HashSet::new(); cfg.num_items as usize],
-            barriers: BTreeMap::new(),
+            directory: vec![Vec::new(); cfg.num_items as usize],
+            barriers: (0..cfg.num_items).map(|_| None).collect(),
             versions: vec![0; cfg.num_items as usize],
             generator,
             collector: Collector::with_histogram(
@@ -124,6 +130,7 @@ impl C2plEngine {
             }),
             admitting: true,
             cache_hits: 0,
+            finder: CycleFinder::default(),
             cfg,
         }
     }
@@ -172,7 +179,10 @@ impl C2plEngine {
 
         if self.cfg.drain {
             assert!(self.locks.is_quiescent(), "locks leaked after drain");
-            assert!(self.barriers.is_empty(), "callback barriers leaked");
+            assert!(
+                self.barriers.iter().all(Option::is_none),
+                "callback barriers leaked"
+            );
             if let Some(wal) = &self.wal {
                 assert!(
                     wal.iter().all(SiteLog::is_empty),
@@ -185,6 +195,9 @@ impl C2plEngine {
         let trace_dropped = self.trace.dropped();
         RunMetrics {
             protocol: "c-2PL",
+            events,
+            peak_calendar: self.cal.peak_len(),
+            wall_secs: 0.0,
             response: self.collector.response,
             aborts: self.collector.aborts,
             read_only_aborts: self.collector.read_only_aborts,
@@ -261,11 +274,14 @@ impl C2plEngine {
     fn issue_access(&mut self, now: SimTime, client: ClientId, txn: TxnId, idx: usize) {
         let (item, mode) = self.clients[client.index()].txn().spec.access(idx);
         if mode == AccessMode::Read {
-            if let Some(&version) = self.caches[client.index()].get(&item) {
+            if let Some(version) = self.caches[client.index()][item.index()] {
                 // Cache hit: grant locally, instantly, with zero messages.
                 self.cache_hits += 1;
                 self.collector.on_access_wait(SimTime::ZERO);
-                self.reading_cached[client.index()].insert(item);
+                let pins = &mut self.reading_cached[client.index()];
+                if !pins.contains(&item) {
+                    pins.push(item);
+                }
                 let c = &mut self.clients[client.index()];
                 let active = c.txn_mut();
                 active.versions.push(version);
@@ -349,7 +365,7 @@ impl C2plEngine {
                         version: installed,
                     });
                     // The writer's copy stays cached (demoted to shared).
-                    self.caches[client.index()].insert(item, installed);
+                    self.caches[client.index()][item.index()] = Some(installed);
                 }
                 AccessMode::Read => {
                     reads.push(item);
@@ -358,7 +374,7 @@ impl C2plEngine {
                         mode,
                         version: observed,
                     });
-                    self.caches[client.index()].insert(item, observed);
+                    self.caches[client.index()][item.index()] = Some(observed);
                 }
             }
         }
@@ -403,7 +419,7 @@ impl C2plEngine {
             std::mem::take(&mut self.deferred_callbacks[client.index()]);
         deferred.sort_unstable();
         for item in deferred {
-            self.caches[client.index()].remove(&item);
+            self.caches[client.index()][item.index()] = None;
             self.net.send(
                 &mut self.cal,
                 client.into(),
@@ -483,7 +499,7 @@ impl C2plEngine {
                     // defer the acknowledgement until it finishes.
                     self.deferred_callbacks[client.index()].push(item);
                 } else {
-                    self.caches[client.index()].remove(&item);
+                    self.caches[client.index()][item.index()] = None;
                     self.net.send(
                         &mut self.cal,
                         client.into(),
@@ -533,10 +549,10 @@ impl C2plEngine {
                         self.directory[item.index()].iter().all(|&c| c == committer),
                         "cached copies survived an exclusive grant"
                     );
-                    self.directory[item.index()].insert(committer);
+                    Self::directory_insert(&mut self.directory[item.index()], committer);
                 }
                 for &item in &reads {
-                    self.directory[item.index()].insert(committer);
+                    Self::directory_insert(&mut self.directory[item.index()], committer);
                 }
                 self.trace.record(
                     now,
@@ -557,9 +573,9 @@ impl C2plEngine {
                 // decrement the barrier: duplicate acks (possible when a
                 // dismantled barrier's callbacks race a successor
                 // barrier's) must not release the successor early.
-                let evicted = self.directory[item.index()].remove(&client);
+                let evicted = Self::directory_remove(&mut self.directory[item.index()], client);
                 let barrier_open = if evicted {
-                    if let Some(b) = self.barriers.get_mut(&item) {
+                    if let Some(b) = self.barriers[item.index()].as_mut() {
                         b.acks_left -= 1;
                         b.acks_left == 0
                     } else {
@@ -570,7 +586,7 @@ impl C2plEngine {
                 };
                 if barrier_open {
                     // lint:allow(L3): barrier_open checked the entry one statement ago
-                    let b = self.barriers.remove(&item).expect("just observed");
+                    let b = self.barriers[item.index()].take().expect("just observed");
                     // Aborted owners dismantle their barriers eagerly, so
                     // a surviving barrier always has a live owner.
                     debug_assert_eq!(self.table.status(b.txn), TxnStatus::Active);
@@ -592,15 +608,16 @@ impl C2plEngine {
         mode: LockMode,
     ) {
         if mode.is_exclusive() {
-            let mut remote: Vec<ClientId> = self.directory[item.index()]
+            // The directory is kept sorted, so the recall fan-out below is
+            // already in deterministic client order.
+            let remote: Vec<ClientId> = self.directory[item.index()]
                 .iter()
                 .copied()
                 .filter(|&c| c != client)
                 .collect();
-            remote.sort_unstable();
             // The writer's own stale copy is superseded by the grant.
-            self.directory[item.index()].remove(&client);
-            self.caches[client.index()].remove(&item);
+            Self::directory_remove(&mut self.directory[item.index()], client);
+            self.caches[client.index()][item.index()] = None;
             if !remote.is_empty() {
                 for &target in &remote {
                     self.net.send(
@@ -612,14 +629,11 @@ impl C2plEngine {
                         Message::Callback { item },
                     );
                 }
-                self.barriers.insert(
-                    item,
-                    XBarrier {
-                        txn,
-                        client,
-                        acks_left: remote.len(),
-                    },
-                );
+                self.barriers[item.index()] = Some(XBarrier {
+                    txn,
+                    client,
+                    acks_left: remote.len(),
+                });
                 // The new barrier can close a waits-for cycle (its owner
                 // now waits on every transaction pinning a cached copy),
                 // so detection must run here, not only on lock queueing.
@@ -661,24 +675,26 @@ impl C2plEngine {
     /// callbacks drain, but no longer waits — otherwise the victim loop
     /// could pick it twice).
     fn detect_deadlocks(&mut self, now: SimTime, trigger: TxnId) {
+        let mut finder = std::mem::take(&mut self.finder);
         loop {
             let locks = &self.locks;
             let table = &self.table;
             let barriers = &self.barriers;
             let reading_cached = &self.reading_cached;
             let clients = &self.clients;
-            let succ = |t: g2pl_simcore::TxnId| -> Vec<g2pl_simcore::TxnId> {
+            let found = finder.find_cycle(trigger, |t, out| {
                 if !table.is_live(t) {
-                    return Vec::new();
+                    return;
                 }
-                let mut out = locks
-                    .queued_on(t)
-                    .map(|item| locks.waits_for(t, item))
-                    .unwrap_or_default();
-                for (&item, barrier) in barriers {
+                if let Some(item) = locks.queued_on(t) {
+                    locks.waits_for_into(t, item, out);
+                }
+                for (i, slot) in barriers.iter().enumerate() {
+                    let Some(barrier) = slot else { continue };
                     if barrier.txn != t {
                         continue;
                     }
+                    let item = ItemId::new(i as u32);
                     for (ci, pins) in reading_cached.iter().enumerate() {
                         if pins.contains(&item) {
                             if let Some(active) = &clients[ci].txn {
@@ -687,19 +703,35 @@ impl C2plEngine {
                         }
                     }
                 }
-                out
-            };
-            let Some(cycle) = crate::s2pl::find_cycle_with(trigger, succ) else {
-                return;
-            };
+            });
+            let Some(cycle) = found else { break };
             let victim = self
                 .cfg
                 .victim
-                .choose(&cycle, |t| self.locks.held_by(t).len());
+                .choose(cycle, |t| self.locks.held_by(t).len());
             self.abort_victim(now, victim);
             if victim == trigger {
-                return;
+                break;
             }
+        }
+        self.finder = finder;
+    }
+
+    /// Insert `client` into a sorted directory row (no-op when present).
+    fn directory_insert(row: &mut Vec<ClientId>, client: ClientId) {
+        if let Err(pos) = row.binary_search(&client) {
+            row.insert(pos, client);
+        }
+    }
+
+    /// Remove `client` from a sorted directory row; true when it was there.
+    fn directory_remove(row: &mut Vec<ClientId>, client: ClientId) -> bool {
+        match row.binary_search(&client) {
+            Ok(pos) => {
+                row.remove(pos);
+                true
+            }
+            Err(_) => false,
         }
     }
 
@@ -711,14 +743,10 @@ impl C2plEngine {
         // permanent deadlock (a pinning transaction may be waiting on
         // another lock the victim holds). Outstanding callbacks still
         // arrive and merely shrink the directory.
-        let owned: Vec<ItemId> = self
-            .barriers
-            .iter()
-            .filter(|(_, b)| b.txn == victim)
-            .map(|(&i, _)| i)
-            .collect();
-        for item in owned {
-            self.barriers.remove(&item);
+        for slot in &mut self.barriers {
+            if slot.as_ref().is_some_and(|b| b.txn == victim) {
+                *slot = None;
+            }
         }
         let woken = self.locks.release_all(victim);
         for (item, t, mode) in woken {
@@ -741,6 +769,7 @@ impl C2plEngine {
 mod tests {
     use super::*;
     use crate::config::ProtocolKind;
+    use std::collections::HashMap;
 
     fn cfg(clients: u32, latency: u64, pr: f64) -> EngineConfig {
         let mut c = EngineConfig::table1(ProtocolKind::C2pl, clients, latency, pr);

@@ -40,6 +40,7 @@
 //! and what the faithful message accounting changes.
 
 use crate::config::{AbortEffect, EngineConfig, G2plOpts, ProtocolKind};
+use crate::cycle::CycleFinder;
 use crate::history::{AccessRecord, CommitRecord, History};
 use crate::metrics::{Collector, RunMetrics, WalReport};
 use crate::runtime::{
@@ -51,10 +52,9 @@ use g2pl_fwdlist::window::PendingReq;
 use g2pl_fwdlist::{CollectionWindow, FlEntry, ForwardList, PrecedenceDag, Segment};
 use g2pl_lockmgr::LockMode;
 use g2pl_obs::SpanRecorder;
-use g2pl_simcore::{Calendar, ClientId, ItemId, SimTime, SiteId, TxnId, Version};
+use g2pl_simcore::{Calendar, ClientId, ItemId, SimTime, SiteId, Slab, TxnId, Version};
 use g2pl_wal::{LogRecord, SiteLog};
 use g2pl_workload::{AccessMode, TxnGenerator};
-use std::collections::BTreeMap;
 use std::rc::Rc;
 
 /// Per-entry size of a forward list inside a message, in bytes.
@@ -152,16 +152,27 @@ pub struct G2plEngine {
     clients: Vec<ClientCore>,
     table: TxnTable,
     items: Vec<ItemState>,
-    holds: BTreeMap<(ItemId, TxnId), Hold>,
+    /// Client-side holds, slab-indexed by transaction: each slot is the
+    /// (few) forward-list entries that transaction holds, in arrival
+    /// order. A transaction touches a handful of items, so a linear scan
+    /// of its slot beats any keyed map.
+    holds: Slab<Vec<(ItemId, Hold)>>,
     /// Reverse index: the items on whose *dispatched* forward list each
-    /// transaction still has an uncompleted entry. Drives the lazy
-    /// waits-for search without rebuilding a global graph per event.
-    entries_of: BTreeMap<TxnId, Vec<ItemId>>,
+    /// transaction still has an uncompleted entry, in push order. Drives
+    /// the lazy waits-for search without rebuilding a global graph per
+    /// event.
+    entries_of: Slab<Vec<ItemId>>,
     /// Per-client knowledge of dead forward-list entries, fed by GPrune
     /// multicasts; consulted when forwarding to skip aborted writers.
-    pruned: Vec<std::collections::HashSet<(ItemId, TxnId)>>,
+    /// Outer index = client, slab index = pruned txn, payload = items.
+    pruned: Vec<Slab<Vec<ItemId>>>,
     dag: PrecedenceDag,
-    pending_of: BTreeMap<TxnId, ItemId>,
+    /// The item each transaction has a request pending on, if any.
+    pending_of: Slab<Option<ItemId>>,
+    /// Reusable DFS state for deadlock detection.
+    finder: CycleFinder,
+    /// Reusable buffer of probe starts for post-dispatch detection.
+    start_scratch: Vec<TxnId>,
     arrival_seq: u64,
     generator: TxnGenerator,
     collector: Collector,
@@ -207,11 +218,13 @@ impl G2plEngine {
             clients,
             table: TxnTable::new(),
             items,
-            holds: BTreeMap::new(),
-            entries_of: BTreeMap::new(),
-            pruned: (0..cfg.num_clients).map(|_| Default::default()).collect(),
+            holds: Slab::new(),
+            entries_of: Slab::new(),
+            pruned: (0..cfg.num_clients).map(|_| Slab::new()).collect(),
             dag: PrecedenceDag::new(),
-            pending_of: BTreeMap::new(),
+            pending_of: Slab::new(),
+            finder: CycleFinder::default(),
+            start_scratch: Vec::new(),
             arrival_seq: 0,
             generator,
             collector: Collector::with_histogram(
@@ -286,7 +299,9 @@ impl G2plEngine {
                 );
             }
             assert!(
-                self.holds.values().all(|h| h.forwarded || !h.data_arrived),
+                self.holds
+                    .iter()
+                    .all(|(_, v)| v.iter().all(|(_, h)| h.forwarded || !h.data_arrived)),
                 "data arrived at a hold but was never passed on"
             );
             if let Some(wal) = &self.wal {
@@ -331,7 +346,47 @@ impl G2plEngine {
             phases: obs.breakdown,
             spans: obs.raw,
             trace_dropped,
+            events,
+            peak_calendar: self.cal.peak_len(),
+            wall_secs: 0.0,
         }
+    }
+
+    /// The hold of `(item, txn)`, if the data (or its anticipation) is at
+    /// the client.
+    fn hold(&self, item: ItemId, txn: TxnId) -> Option<&Hold> {
+        self.holds
+            .get(txn.index())?
+            .iter()
+            .find(|(i, _)| *i == item)
+            .map(|(_, h)| h)
+    }
+
+    fn hold_mut(&mut self, item: ItemId, txn: TxnId) -> Option<&mut Hold> {
+        self.holds
+            .get_mut(txn.index())?
+            .iter_mut()
+            .find(|(i, _)| *i == item)
+            .map(|(_, h)| h)
+    }
+
+    /// The hold of `(item, txn)`, created from `(fl, pos)` on first sight.
+    fn hold_or_insert(
+        &mut self,
+        item: ItemId,
+        txn: TxnId,
+        fl: &Rc<ForwardList>,
+        pos: usize,
+    ) -> &mut Hold {
+        let v = self.holds.ensure(txn.index());
+        let at = match v.iter().position(|(i, _)| *i == item) {
+            Some(at) => at,
+            None => {
+                v.push((item, Hold::new(Rc::clone(fl), pos)));
+                v.len() - 1
+            }
+        };
+        &mut v[at].1
     }
 
     // ---- client side ----
@@ -385,7 +440,7 @@ impl G2plEngine {
                 .spec
                 .accesses
                 .iter()
-                .all(|&(item, _)| self.holds.get(&(item, txn)).is_some_and(Hold::gates_passed))
+                .all(|&(item, _)| self.hold(item, txn).is_some_and(Hold::gates_passed))
         };
         if ready {
             self.commit(now, client, txn);
@@ -511,7 +566,7 @@ impl G2plEngine {
     /// transaction is finished (committed, aborting, or aborted).
     fn try_forward(&mut self, now: SimTime, item: ItemId, txn: TxnId) {
         let status = self.table.status(txn);
-        let Some(hold) = self.holds.get_mut(&(item, txn)) else {
+        let Some(hold) = self.hold_mut(item, txn) else {
             return; // data not yet arrived; pass-through happens on arrival
         };
         if hold.forwarded || !hold.gates_passed() || status == TxnStatus::Active {
@@ -536,7 +591,7 @@ impl G2plEngine {
                 out.completed[p] = true;
             }
         }
-        if let Some(v) = self.entries_of.get_mut(&txn) {
+        if let Some(v) = self.entries_of.get_mut(txn.index()) {
             v.retain(|&i| i != item);
         }
         self.trace.record(
@@ -606,7 +661,9 @@ impl G2plEngine {
             let mut next = pos + 1;
             while next < fl.len()
                 && fl.entry(next).mode.is_exclusive()
-                && self.pruned[client.index()].contains(&(item, fl.entry(next).txn))
+                && self.pruned[client.index()]
+                    .get(fl.entry(next).txn.index())
+                    .is_some_and(|v| v.contains(&item))
             {
                 next += 1;
             }
@@ -687,13 +744,13 @@ impl G2plEngine {
             // lint:allow(L3): callers advance seg_start only to valid segment starts
             .expect("send_segment called past the end of the list");
         let data_bytes = CTRL_BYTES + self.cfg.item_size_bytes + fl.len() as u64 * FL_ENTRY_BYTES;
-        let mut targets: Vec<usize> = seg.range().collect();
-        if let (Segment::Readers(r), true) = (&seg, self.opts.mr1w) {
-            if let Some(w) = fl.next_writer_at_or_after(r.end) {
-                targets.push(w);
-            }
-        }
-        for pos in targets {
+        // The MR1W extra copy to the writer after a reader group chains
+        // onto the segment's own range, so no target list is materialised.
+        let extra_writer = match (&seg, self.opts.mr1w) {
+            (Segment::Readers(r), true) => fl.next_writer_at_or_after(r.end),
+            _ => None,
+        };
+        for pos in seg.range().chain(extra_writer) {
             let to = fl.entry(pos).client;
             self.trace.record(
                 now,
@@ -751,10 +808,7 @@ impl G2plEngine {
                     // releasing transaction no extra sequential round.
                     self.spans.release_arrived(now, ft, false);
                 }
-                let hold = self
-                    .holds
-                    .entry((item, txn))
-                    .or_insert_with(|| Hold::new(Rc::clone(&fl), pos));
+                let hold = self.hold_or_insert(item, txn, &fl, pos);
                 hold.data_arrived = true;
                 hold.version = version;
                 self.after_gate_update(now, client, item, txn);
@@ -772,12 +826,10 @@ impl G2plEngine {
                 debug_assert_eq!(fl.entry(w).client, client);
                 self.spans
                     .release_arrived(now, fl.entry(from_pos).txn, false);
-                let hold = self
-                    .holds
-                    .entry((item, txn))
-                    .or_insert_with(|| Hold::new(Rc::clone(&fl), w));
+                let mr1w = self.opts.mr1w;
+                let hold = self.hold_or_insert(item, txn, &fl, w);
                 hold.releases_recv += 1;
-                if !self.opts.mr1w {
+                if !mr1w {
                     // The release carries the data in the non-MR1W flavor.
                     hold.data_arrived = true;
                     hold.version = version;
@@ -790,7 +842,10 @@ impl G2plEngine {
             }
             Message::GAbortNotice { txn } => self.on_abort_notice(now, client, txn),
             Message::GPrune { item, txn } => {
-                self.pruned[client.index()].insert((item, txn));
+                let v = self.pruned[client.index()].ensure(txn.index());
+                if !v.contains(&item) {
+                    v.push(item);
+                }
             }
             other => unreachable!("g-2PL client cannot receive {other:?}"),
         }
@@ -804,8 +859,9 @@ impl G2plEngine {
             self.try_forward(now, item, txn);
             return;
         }
+        let mr1w = self.opts.mr1w;
         // lint:allow(L3): the hold was inserted by the caller one frame up
-        let hold = self.holds.get_mut(&(item, txn)).expect("just updated");
+        let hold = self.hold_mut(item, txn).expect("just updated");
         if hold.granted {
             // Already granted: this gate message can only be a reader
             // release completing a pending MR1W commit certification.
@@ -818,7 +874,7 @@ impl G2plEngine {
             }
             return;
         }
-        if !hold.grant_ready(self.opts.mr1w) {
+        if !hold.grant_ready(mr1w) {
             return;
         }
         hold.granted = true;
@@ -986,7 +1042,7 @@ impl G2plEngine {
                     arrival,
                     restarts: 0,
                 });
-                self.pending_of.insert(txn, item);
+                *self.pending_of.ensure(txn.index()) = Some(item);
             }
             None => {
                 // Item at home: the window is empty by invariant, so this
@@ -1022,7 +1078,7 @@ impl G2plEngine {
                 );
                 out.completed.push(false);
                 out.final_releases_left += 1;
-                self.entries_of.entry(txn).or_default().push(item);
+                self.entries_of.ensure(txn.index()).push(item);
                 let fl = Rc::clone(&out.fl);
                 let version = st.version;
                 let data_bytes =
@@ -1057,7 +1113,7 @@ impl G2plEngine {
                     arrival,
                     restarts: 0,
                 });
-                self.pending_of.insert(txn, item);
+                *self.pending_of.ensure(txn.index()) = Some(item);
                 // §4: detection runs when a request cannot be granted.
                 self.detect_deadlocks_from(now, &[txn]);
             }
@@ -1116,7 +1172,9 @@ impl G2plEngine {
     /// Order `pending` into a forward list and send the item out.
     fn dispatch(&mut self, now: SimTime, item: ItemId, pending: Vec<PendingReq>) {
         for req in &pending {
-            self.pending_of.remove(&req.entry.txn);
+            if let Some(slot) = self.pending_of.get_mut(req.entry.txn.index()) {
+                *slot = None;
+            }
         }
         let fl = self.opts.ordering.order(pending, &mut self.dag);
         debug_assert!(!fl.is_empty());
@@ -1151,7 +1209,7 @@ impl G2plEngine {
         let all_readers = fl.entries().iter().all(|e| e.mode.is_shared());
         let fl = Rc::new(fl);
         for e in fl.entries() {
-            self.entries_of.entry(e.txn).or_default().push(item);
+            self.entries_of.ensure(e.txn.index()).push(item);
         }
         let st = &mut self.items[item.index()];
         let version = st.version;
@@ -1171,7 +1229,9 @@ impl G2plEngine {
         // it. Every new edge involves a member of the just-dispatched
         // list or a request still pending on this item, so probing those
         // transactions covers all newly possible cycles.
-        let mut starts: Vec<TxnId> = fl.entries().iter().map(|e| e.txn).collect();
+        let mut starts = std::mem::take(&mut self.start_scratch);
+        starts.clear();
+        starts.extend(fl.entries().iter().map(|e| e.txn));
         starts.extend(
             self.items[item.index()]
                 .window
@@ -1180,6 +1240,7 @@ impl G2plEngine {
                 .map(|r| r.entry.txn),
         );
         self.detect_deadlocks_from(now, &starts);
+        self.start_scratch = starts;
     }
 
     // ---- deadlock analysis ----
@@ -1187,11 +1248,8 @@ impl G2plEngine {
     /// Remove every entry-index record of a finished forward list.
     fn clear_entry_index(&mut self, out: &OutState, item: ItemId) {
         for e in out.fl.entries() {
-            if let Some(v) = self.entries_of.get_mut(&e.txn) {
+            if let Some(v) = self.entries_of.get_mut(e.txn.index()) {
                 v.retain(|&i| i != item);
-                if v.is_empty() {
-                    self.entries_of.remove(&e.txn);
-                }
             }
         }
     }
@@ -1206,13 +1264,14 @@ impl G2plEngine {
     ///
     /// Computed on demand so cycle detection explores only the reachable
     /// part of the waits-for relation instead of materialising the whole
-    /// graph per event.
-    fn waits_of(&self, t: TxnId) -> Vec<TxnId> {
-        let mut out: Vec<TxnId> = Vec::new();
+    /// graph per event. Appends to `out` (sorted and deduplicated over
+    /// the appended range) instead of allocating a fresh list per node.
+    fn waits_of_into(&self, t: TxnId, out: &mut Vec<TxnId>) {
+        let start = out.len();
         if !self.table.is_live(t) {
-            return out;
+            return;
         }
-        if let Some(&x) = self.pending_of.get(&t) {
+        if let Some(x) = self.pending_of.get(t.index()).copied().flatten() {
             if let Some(o) = &self.items[x.index()].out {
                 for (j, e) in o.fl.entries().iter().enumerate() {
                     if !o.completed[j] && self.table.is_live(e.txn) {
@@ -1221,7 +1280,7 @@ impl G2plEngine {
                 }
             }
         }
-        if let Some(items) = self.entries_of.get(&t) {
+        if let Some(items) = self.entries_of.get(t.index()) {
             for &item in items {
                 let Some(o) = &self.items[item.index()].out else {
                     continue;
@@ -1232,7 +1291,7 @@ impl G2plEngine {
                 if o.completed[i] {
                     continue;
                 }
-                if self.holds.get(&(item, t)).is_some_and(Hold::gates_passed) {
+                if self.hold(item, t).is_some_and(Hold::gates_passed) {
                     continue; // neither grant nor commit waits here
                 }
                 let skip_from = if o.fl.entry(i).mode.is_shared() {
@@ -1250,41 +1309,48 @@ impl G2plEngine {
                 }
             }
         }
-        out.sort_unstable();
-        out.dedup();
-        out
-    }
-
-    /// DFS over the implicit waits-for relation, returning a cycle
-    /// reachable from `start` if one exists.
-    fn find_cycle_lazy(&self, start: TxnId) -> Option<Vec<TxnId>> {
-        crate::s2pl::find_cycle_with(start, |t| self.waits_of(t))
+        out[start..].sort_unstable();
+        let mut w = start;
+        for r in start..out.len() {
+            if r == start || out[r] != out[w - 1] {
+                out[w] = out[r];
+                w += 1;
+            }
+        }
+        out.truncate(w);
     }
 
     /// Find and break every deadlock reachable from the given start
-    /// transactions, re-probing a start until it is cycle-free.
+    /// transactions, re-probing a start until it is cycle-free. Uses the
+    /// engine's [`CycleFinder`] so repeated probes reuse one set of DFS
+    /// buffers.
     fn detect_deadlocks_from(&mut self, now: SimTime, starts: &[TxnId]) {
+        let mut finder = std::mem::take(&mut self.finder);
         for &start in starts {
             loop {
                 if !self.table.is_live(start) {
                     break;
                 }
-                let Some(cycle) = self.find_cycle_lazy(start) else {
-                    break;
-                };
-                let victim = self
-                    .cfg
-                    .victim
-                    .choose(&cycle, |t| self.entries_of.get(&t).map_or(0, Vec::len));
+                let this = &*self;
+                let found = finder.find_cycle(start, |t, out| this.waits_of_into(t, out));
+                let Some(cycle) = found else { break };
+                let victim = self.cfg.victim.choose(cycle, |t| {
+                    self.entries_of.get(t.index()).map_or(0, Vec::len)
+                });
                 self.abort_victim(now, victim);
             }
         }
+        self.finder = finder;
     }
 
     fn abort_victim(&mut self, _now: SimTime, victim: TxnId) {
         debug_assert_eq!(self.table.status(victim), TxnStatus::Active);
         self.table.set_status(victim, TxnStatus::Aborting);
-        if let Some(item) = self.pending_of.remove(&victim) {
+        if let Some(item) = self
+            .pending_of
+            .get_mut(victim.index())
+            .and_then(Option::take)
+        {
             self.items[item.index()].window.remove_txn(victim);
         }
         self.dag.remove_txn(victim);
@@ -1351,6 +1417,7 @@ impl G2plEngine {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use std::collections::BTreeMap;
 
     fn cfg(clients: u32, latency: u64, pr: f64) -> EngineConfig {
         let mut c = EngineConfig::table1(ProtocolKind::g2pl_paper(), clients, latency, pr);

@@ -27,6 +27,7 @@
 
 pub mod c2pl;
 pub mod config;
+pub(crate) mod cycle;
 pub mod g2pl;
 pub mod history;
 pub mod metrics;

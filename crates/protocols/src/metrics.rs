@@ -65,6 +65,16 @@ pub struct RunMetrics {
     /// Events the bounded [`crate::tracelog::TraceLog`] dropped; nonzero
     /// means `trace` is a prefix and must not be validated.
     pub trace_dropped: u64,
+    /// Simulation events processed by the engine's main loop — the
+    /// denominator-free throughput counter the bench harness reports.
+    pub events: u64,
+    /// High-water mark of simultaneously pending calendar events.
+    pub peak_calendar: usize,
+    /// Wall-clock seconds the run took, stamped by the *caller* after the
+    /// engine returns (the engines themselves are forbidden ambient time
+    /// by lint rule L2, and a wall clock would be a determinism hazard
+    /// inside them). Zero when nobody timed the run.
+    pub wall_secs: f64,
 }
 
 /// Aggregated WAL statistics across every client site.
@@ -125,6 +135,16 @@ impl RunMetrics {
             0.0
         } else {
             self.net.messages() as f64 / n as f64
+        }
+    }
+
+    /// Simulation events per wall-clock second, or 0 when the run was
+    /// never timed (see [`RunMetrics::wall_secs`]).
+    pub fn events_per_sec(&self) -> f64 {
+        if self.wall_secs > 0.0 {
+            self.events as f64 / self.wall_secs
+        } else {
+            0.0
         }
     }
 }

@@ -9,6 +9,7 @@
 //! aborting a victim chosen by the configured policy.
 
 use crate::config::EngineConfig;
+use crate::cycle::CycleFinder;
 use crate::history::{AccessRecord, CommitRecord, History};
 use crate::metrics::{Collector, RunMetrics, WalReport};
 use crate::runtime::{
@@ -35,59 +36,6 @@ pub(crate) fn lock_mode(mode: AccessMode) -> LockMode {
     }
 }
 
-/// Lazy DFS over the lock table's waits-for relation, returning a cycle
-/// reachable from `start` if one exists. Successors of a transaction are
-/// the holders and queued-ahead conflictors of the item it is queued on.
-pub(crate) fn find_cycle_in_locks(locks: &LockTable, start: TxnId) -> Option<Vec<TxnId>> {
-    find_cycle_with(start, |t| {
-        locks
-            .queued_on(t)
-            .map(|item| locks.waits_for(t, item))
-            .unwrap_or_default()
-    })
-}
-
-/// Generic lazy cycle search over an implicit successor relation.
-pub(crate) fn find_cycle_with(
-    start: TxnId,
-    mut succ: impl FnMut(TxnId) -> Vec<TxnId>,
-) -> Option<Vec<TxnId>> {
-    use std::collections::HashMap;
-    let mut succs: HashMap<TxnId, Vec<TxnId>> = HashMap::new();
-    let mut state: HashMap<TxnId, bool> = HashMap::new(); // false = on path
-    let mut path: Vec<TxnId> = vec![start];
-    let mut stack: Vec<(TxnId, usize)> = vec![(start, 0)];
-    state.insert(start, false);
-    while let Some(&mut (node, ref mut child)) = stack.last_mut() {
-        let node_succs = succs.entry(node).or_insert_with(|| succ(node));
-        if *child < node_succs.len() {
-            let next = node_succs[*child];
-            *child += 1;
-            match state.get(&next) {
-                Some(false) => {
-                    let pos = path
-                        .iter()
-                        .position(|&t| t == next)
-                        // lint:allow(L3): visited[next] == false means next is on the path
-                        .expect("on-path node is on path");
-                    return Some(path[pos..].to_vec());
-                }
-                Some(true) => {}
-                None => {
-                    state.insert(next, false);
-                    path.push(next);
-                    stack.push((next, 0));
-                }
-            }
-        } else {
-            state.insert(node, true);
-            stack.pop();
-            path.pop();
-        }
-    }
-    None
-}
-
 /// The s-2PL simulation engine.
 pub struct S2plEngine {
     cfg: EngineConfig,
@@ -105,6 +53,7 @@ pub struct S2plEngine {
     spans: SpanRecorder,
     wal: Option<Vec<SiteLog>>,
     admitting: bool,
+    finder: CycleFinder,
 }
 
 impl S2plEngine {
@@ -143,6 +92,7 @@ impl S2plEngine {
                     .collect()
             }),
             admitting: true,
+            finder: CycleFinder::default(),
             cfg,
         }
     }
@@ -206,6 +156,9 @@ impl S2plEngine {
         let trace_dropped = self.trace.dropped();
         RunMetrics {
             protocol: "s-2PL",
+            events,
+            peak_calendar: self.cal.peak_len(),
+            wall_secs: 0.0,
             response: self.collector.response,
             aborts: self.collector.aborts,
             read_only_aborts: self.collector.read_only_aborts,
@@ -538,19 +491,28 @@ impl S2plEngine {
     /// lock table, so only the reachable part of the graph is visited —
     /// and victims are aborted until no cycle through `trigger` remains.
     fn detect_deadlocks(&mut self, now: SimTime, trigger: TxnId) {
+        // The finder is moved out for the duration of the search so its
+        // buffers can be reused while the successor closure borrows the
+        // lock table.
+        let mut finder = std::mem::take(&mut self.finder);
         loop {
-            let Some(cycle) = find_cycle_in_locks(&self.locks, trigger) else {
-                return;
-            };
+            let locks = &self.locks;
+            let found = finder.find_cycle(trigger, |t, out| {
+                if let Some(item) = locks.queued_on(t) {
+                    locks.waits_for_into(t, item, out);
+                }
+            });
+            let Some(cycle) = found else { break };
             let victim = self
                 .cfg
                 .victim
-                .choose(&cycle, |t| self.locks.held_by(t).len());
+                .choose(cycle, |t| self.locks.held_by(t).len());
             self.abort_victim(now, victim);
             if victim == trigger {
-                return;
+                break;
             }
         }
+        self.finder = finder;
     }
 
     fn abort_victim(&mut self, now: SimTime, victim: TxnId) {

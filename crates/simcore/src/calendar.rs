@@ -7,8 +7,13 @@
 //! reproducible bit-for-bit from a seed — a property every determinism
 //! test in the workspace relies on.
 //!
-//! Events can be cancelled lazily through an [`EventHandle`]: cancellation
-//! marks a slot in a side table and the pop loop skips dead entries.
+//! Events can be cancelled lazily through an [`EventHandle`]: each slot
+//! carries two state bits (cancelled, fired) in a side bitmap indexed by
+//! `seq`, so `cancel` is O(1) with no memmove and the pop loop skips dead
+//! entries as it reaches them. A live-event counter is maintained
+//! explicitly, which keeps `len()` exact even for the cancel-after-fire
+//! race (a timer cancelled after it already popped must not count as a
+//! pending tombstone).
 
 use crate::time::SimTime;
 use std::cmp::Reverse;
@@ -40,6 +45,38 @@ impl<E: Eq> PartialOrd for Entry<E> {
     }
 }
 
+/// Per-seq lifecycle bits, two per slot, packed into u64 words.
+///
+/// Bit 0 of a pair: the event was cancelled while pending.
+/// Bit 1 of a pair: the event fired (was returned from `pop`).
+#[derive(Default)]
+struct SlotBits {
+    words: Vec<u64>,
+}
+
+const CANCELLED: u64 = 0b01;
+const FIRED: u64 = 0b10;
+
+impl SlotBits {
+    #[inline]
+    fn get(&self, seq: u64) -> u64 {
+        let (word, shift) = (seq / 32, (seq % 32) * 2);
+        self.words
+            .get(word as usize)
+            .map_or(0, |w| (w >> shift) & 0b11)
+    }
+
+    #[inline]
+    fn set(&mut self, seq: u64, bits: u64) {
+        let (word, shift) = (seq / 32, (seq % 32) * 2);
+        let word = word as usize;
+        if self.words.len() <= word {
+            self.words.resize(word + 1, 0);
+        }
+        self.words[word] |= bits << shift;
+    }
+}
+
 /// Deterministic future-event list.
 ///
 /// `E` is the simulation's event type; the calendar never interprets it.
@@ -61,8 +98,12 @@ impl<E: Eq> PartialOrd for Entry<E> {
 pub struct Calendar<E> {
     heap: BinaryHeap<Reverse<Entry<E>>>,
     next_seq: u64,
-    /// Sorted list of cancelled sequence numbers awaiting their pop.
-    cancelled: Vec<u64>,
+    /// Two lifecycle bits per sequence number ever issued.
+    slots: SlotBits,
+    /// Exact number of scheduled, not-yet-fired, not-cancelled events.
+    live: usize,
+    /// High-water mark of `live` over the calendar's lifetime.
+    peak_live: usize,
     /// Time of the most recently popped event; pops must never go backwards.
     now: SimTime,
 }
@@ -79,7 +120,9 @@ impl<E: Eq> Calendar<E> {
         Calendar {
             heap: BinaryHeap::new(),
             next_seq: 0,
-            cancelled: Vec::new(),
+            slots: SlotBits::default(),
+            live: 0,
+            peak_live: 0,
             now: SimTime::ZERO,
         }
     }
@@ -90,14 +133,22 @@ impl<E: Eq> Calendar<E> {
         self.now
     }
 
-    /// Number of live (non-cancelled) scheduled events.
+    /// Number of live (non-cancelled, not-yet-fired) scheduled events.
+    #[inline]
     pub fn len(&self) -> usize {
-        self.heap.len() - self.cancelled.len()
+        self.live
     }
 
     /// True when no live events remain.
+    #[inline]
     pub fn is_empty(&self) -> bool {
-        self.len() == 0
+        self.live == 0
+    }
+
+    /// Largest number of events that were simultaneously pending.
+    #[inline]
+    pub fn peak_len(&self) -> usize {
+        self.peak_live
     }
 
     /// Schedule `event` at absolute time `at`.
@@ -118,6 +169,10 @@ impl<E: Eq> Calendar<E> {
             seq,
             event,
         }));
+        self.live += 1;
+        if self.live > self.peak_live {
+            self.peak_live = self.live;
+        }
         EventHandle(seq)
     }
 
@@ -130,23 +185,25 @@ impl<E: Eq> Calendar<E> {
     /// already fired (or was already cancelled) is a silent no-op, which is
     /// the convenient semantics for timers raced by message arrivals.
     pub fn cancel(&mut self, handle: EventHandle) {
-        if let Err(pos) = self.cancelled.binary_search(&handle.0) {
-            // Only remember the cancellation if the event could still be
-            // pending: sequence numbers from the future are impossible.
-            if handle.0 < self.next_seq {
-                self.cancelled.insert(pos, handle.0);
-            }
+        // Sequence numbers from the future are impossible, and an event
+        // that already fired or was already cancelled leaves no live slot
+        // to retire — recording a tombstone for it would make `len()`
+        // undercount forever.
+        if handle.0 < self.next_seq && self.slots.get(handle.0) == 0 {
+            self.slots.set(handle.0, CANCELLED);
+            self.live -= 1;
         }
     }
 
     /// Pop the next live event, advancing the clock to its timestamp.
     pub fn pop(&mut self) -> Option<(SimTime, E)> {
         while let Some(Reverse(entry)) = self.heap.pop() {
-            if let Ok(pos) = self.cancelled.binary_search(&entry.seq) {
-                self.cancelled.remove(pos);
+            if self.slots.get(entry.seq) & CANCELLED != 0 {
                 continue;
             }
             debug_assert!(entry.time >= self.now, "calendar time went backwards");
+            self.slots.set(entry.seq, FIRED);
+            self.live -= 1;
             self.now = entry.time;
             return Some((entry.time, entry.event));
         }
@@ -157,8 +214,7 @@ impl<E: Eq> Calendar<E> {
     pub fn next_time(&mut self) -> Option<SimTime> {
         // Drain dead entries from the top so the peek is accurate.
         while let Some(Reverse(entry)) = self.heap.peek() {
-            if let Ok(pos) = self.cancelled.binary_search(&entry.seq) {
-                self.cancelled.remove(pos);
+            if self.slots.get(entry.seq) & CANCELLED != 0 {
                 self.heap.pop();
             } else {
                 return Some(entry.time);
@@ -223,6 +279,24 @@ mod tests {
     }
 
     #[test]
+    fn cancel_after_fire_keeps_len_exact() {
+        // Regression: cancelling a fired event used to insert a stale
+        // tombstone, making `len()` undercount and eventually underflow.
+        let mut cal = Calendar::new();
+        let h = cal.schedule(SimTime::new(1), "a");
+        assert_eq!(cal.pop(), Some((SimTime::new(1), "a")));
+        assert!(cal.is_empty());
+        cal.cancel(h); // already fired: must not change accounting
+        assert_eq!(cal.len(), 0);
+        assert!(cal.is_empty());
+        cal.schedule(SimTime::new(2), "b");
+        assert_eq!(cal.len(), 1);
+        assert!(!cal.is_empty());
+        assert_eq!(cal.pop(), Some((SimTime::new(2), "b")));
+        assert_eq!(cal.len(), 0);
+    }
+
+    #[test]
     fn double_cancel_is_noop() {
         let mut cal = Calendar::new();
         let h = cal.schedule(SimTime::new(1), "a");
@@ -230,6 +304,16 @@ mod tests {
         cal.cancel(h);
         assert!(cal.is_empty());
         assert!(cal.pop().is_none());
+    }
+
+    #[test]
+    fn double_cancel_keeps_len_exact() {
+        let mut cal = Calendar::new();
+        let h = cal.schedule(SimTime::new(1), "a");
+        cal.schedule(SimTime::new(2), "b");
+        cal.cancel(h);
+        cal.cancel(h);
+        assert_eq!(cal.len(), 1);
     }
 
     #[test]
@@ -249,5 +333,22 @@ mod tests {
         cal.pop();
         cal.schedule_in(SimTime::new(3), 1u8);
         assert_eq!(cal.pop(), Some((SimTime::new(7), 1u8)));
+    }
+
+    #[test]
+    fn peak_len_tracks_high_water_mark() {
+        let mut cal = Calendar::new();
+        assert_eq!(cal.peak_len(), 0);
+        let a = cal.schedule(SimTime::new(1), "a");
+        cal.schedule(SimTime::new(2), "b");
+        cal.schedule(SimTime::new(3), "c");
+        assert_eq!(cal.peak_len(), 3);
+        cal.cancel(a);
+        cal.pop();
+        assert_eq!(cal.len(), 1);
+        // Peak is a lifetime high-water mark, not the current size.
+        assert_eq!(cal.peak_len(), 3);
+        cal.schedule(SimTime::new(9), "d");
+        assert_eq!(cal.peak_len(), 3);
     }
 }

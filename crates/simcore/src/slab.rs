@@ -1,0 +1,120 @@
+//! Dense index-addressed maps for the engine hot paths.
+//!
+//! Transaction, item, and client ids in this workspace are dense
+//! (`dense_id!` newtypes expose `.index()` precisely so they can subscript
+//! vectors). A [`Slab`] is a map keyed by such an index: a plain `Vec`
+//! that default-fills on growth, giving O(1) lookup with no pointer
+//! chasing and — unlike hash maps — a deterministic iteration order, so
+//! the `g2pl-lint` L1 rule is trivially satisfied wherever one is used.
+
+/// A `Vec`-backed map from a dense index to `T`.
+///
+/// Reads out of bounds behave as reads of `T::default()`; writes grow the
+/// backing vector on demand. `T::default()` is the "absent" value — use
+/// `Slab<Option<V>>` when absence must be distinguishable from a default
+/// payload.
+#[derive(Debug, Clone)]
+pub struct Slab<T> {
+    v: Vec<T>,
+}
+
+impl<T> Default for Slab<T> {
+    fn default() -> Self {
+        Slab { v: Vec::new() }
+    }
+}
+
+impl<T: Default> Slab<T> {
+    /// An empty slab.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// An empty slab with room for `cap` slots before reallocating.
+    pub fn with_capacity(cap: usize) -> Self {
+        Slab {
+            v: Vec::with_capacity(cap),
+        }
+    }
+
+    /// Number of allocated slots (high-water mark of indices written).
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.v.len()
+    }
+
+    /// True when no slot was ever written.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.v.is_empty()
+    }
+
+    /// Shared access to slot `i`, or `None` when `i` was never allocated.
+    #[inline]
+    pub fn get(&self, i: usize) -> Option<&T> {
+        self.v.get(i)
+    }
+
+    /// Mutable access to slot `i` without growing, or `None` when `i` was
+    /// never allocated.
+    #[inline]
+    pub fn get_mut(&mut self, i: usize) -> Option<&mut T> {
+        self.v.get_mut(i)
+    }
+
+    /// Mutable access to slot `i`, growing with defaults as needed.
+    #[inline]
+    pub fn ensure(&mut self, i: usize) -> &mut T {
+        if self.v.len() <= i {
+            self.v.resize_with(i + 1, T::default);
+        }
+        &mut self.v[i]
+    }
+
+    /// Iterate `(index, &value)` over allocated slots in index order.
+    pub fn iter(&self) -> impl Iterator<Item = (usize, &T)> {
+        self.v.iter().enumerate()
+    }
+
+    /// The allocated slots as a slice, in index order.
+    #[inline]
+    pub fn as_slice(&self) -> &[T] {
+        &self.v
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ensure_grows_and_get_reads_back() {
+        let mut s: Slab<u32> = Slab::new();
+        assert!(s.is_empty());
+        assert_eq!(s.get(3), None);
+        *s.ensure(3) = 7;
+        assert_eq!(s.len(), 4);
+        assert_eq!(s.get(3), Some(&7));
+        assert_eq!(s.get(2), Some(&0)); // default-filled
+        assert_eq!(s.get(4), None);
+    }
+
+    #[test]
+    fn get_mut_does_not_grow() {
+        let mut s: Slab<Option<u8>> = Slab::new();
+        assert!(s.get_mut(5).is_none());
+        assert_eq!(s.len(), 0);
+        *s.ensure(1) = Some(9);
+        assert_eq!(s.get_mut(1).and_then(Option::take), Some(9));
+        assert_eq!(s.get(1), Some(&None));
+    }
+
+    #[test]
+    fn iter_is_in_index_order() {
+        let mut s: Slab<u8> = Slab::new();
+        *s.ensure(2) = 20;
+        *s.ensure(0) = 10;
+        let got: Vec<(usize, u8)> = s.iter().map(|(i, v)| (i, *v)).collect();
+        assert_eq!(got, vec![(0, 10), (1, 0), (2, 20)]);
+    }
+}

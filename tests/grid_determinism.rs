@@ -1,0 +1,45 @@
+//! Serial vs grid-parallel sweeps must be bit-identical.
+//!
+//! The grid scheduler ([`g2pl_core::run_grid`]) flattens every
+//! `(point, replication)` cell of a figure onto one worker pool. Worker
+//! count is pure scheduling: each cell is an independent deterministic
+//! simulation, and aggregation reads the result slots in replication
+//! order. These tests pin that property at the figure level — the same
+//! figure computed with one worker and with many must produce the same
+//! `FigureData` down to the last bit (means, confidence intervals, and
+//! point order).
+
+use g2pl_core::prelude::*;
+
+/// The worker-count override is process-global, so tests that flip it
+/// must not interleave.
+static WORKERS_LOCK: std::sync::Mutex<()> = std::sync::Mutex::new(());
+
+/// Run `f` once serially and once with a wide worker pool, restoring the
+/// default afterwards, and return both outputs.
+fn serial_and_parallel<T>(mut f: impl FnMut() -> T) -> (T, T) {
+    let _guard = WORKERS_LOCK.lock().expect("workers lock poisoned");
+    set_grid_workers(Some(1));
+    let serial = f();
+    set_grid_workers(Some(8));
+    let parallel = f();
+    set_grid_workers(None);
+    (serial, parallel)
+}
+
+#[test]
+fn fig2_sweep_is_identical_serial_and_parallel() {
+    let (serial, parallel) =
+        serial_and_parallel(|| experiments::fig_response_vs_latency("fig2", 0.0, Scale::Smoke));
+    assert_eq!(serial, parallel, "worker count changed figure output");
+    // Sanity: the figure has both protocols over the full sweep.
+    assert_eq!(serial.series.len(), 2);
+    assert_eq!(serial.xs().len(), experiments::LATENCY_SWEEP.len());
+}
+
+#[test]
+fn fig11_custom_sweep_is_identical_serial_and_parallel() {
+    let (serial, parallel) = serial_and_parallel(|| experiments::fig11(Scale::Smoke));
+    assert_eq!(serial, parallel, "worker count changed figure output");
+    assert_eq!(serial.series.len(), 1);
+}
