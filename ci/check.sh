@@ -30,6 +30,13 @@ if echo "$explain_out" | grep -q "FAIL"; then
   echo "trace-explain: a check failed"; echo "$explain_out"; exit 1
 fi
 
+echo "==> fault smoke (fig_faults loss sweep, P1-P8 verification on)"
+# Verification is on by default: every cell of the sweep re-runs with
+# trace + history recording and must pass P1-P8 plus the serializability
+# check, including the lossy cells exercising lease recovery.
+cargo run -q --release -p g2pl-bench --bin repro -- --scale smoke --out "$trace_dir" fig_faults >/dev/null
+test -f "$trace_dir/fig_faults.csv" || { echo "fault smoke: fig_faults.csv missing"; exit 1; }
+
 echo "==> bench smoke (engine throughput vs committed baseline)"
 # The engine cells are scale-independent (fixed workload, best-of-3), so
 # a smoke run is comparable to the committed default-scale BENCH_pr3.json.

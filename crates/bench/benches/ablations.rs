@@ -41,7 +41,7 @@ fn ablations(c: &mut Criterion) {
         let cfg = bench_cell(protocol, 500, 400);
         group.bench_function(name, |b| {
             b.iter(|| {
-                let m = run(black_box(&cfg));
+                let m = run(black_box(&cfg)).expect("valid config");
                 black_box((m.mean_response(), m.abort_pct()))
             });
         });

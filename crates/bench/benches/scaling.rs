@@ -20,7 +20,7 @@ fn client_scaling(c: &mut Criterion) {
             cfg.measured_txns = 400;
             let label = format!("{}/{clients}", cfg.protocol.label());
             group.bench_with_input(BenchmarkId::from_parameter(label), &cfg, |b, cfg| {
-                b.iter(|| black_box(run(black_box(cfg))).committed_total);
+                b.iter(|| black_box(run(black_box(cfg)).expect("valid config")).committed_total);
             });
         }
     }
@@ -36,7 +36,7 @@ fn item_pool_scaling(c: &mut Criterion) {
         cfg.warmup_txns = 50;
         cfg.measured_txns = 400;
         group.bench_with_input(BenchmarkId::from_parameter(items), &cfg, |b, cfg| {
-            b.iter(|| black_box(run(black_box(cfg))).committed_total);
+            b.iter(|| black_box(run(black_box(cfg)).expect("valid config")).committed_total);
         });
     }
     group.finish();

@@ -6,7 +6,14 @@
 //!
 //! artifacts: table1 table2 fig1 fig2 fig3 fig4 fig5 fig6 fig7 fig8 fig9
 //!            fig10 fig11 fig12 fig13 fig14 fig15 headline all bench
+//!            fig_faults fig_faults_aborts list
 //! ```
+//!
+//! Figures are dispatched from the declarative registry
+//! (`g2pl_core::experiments::FIGURES`); `repro list` prints it. `all`
+//! regenerates exactly the paper's artifacts; the fault figures
+//! (`fig_faults`, `fig_faults_aborts`) sweep message-loss probability
+//! with the fault-injection subsystem on and are requested by name.
 //!
 //! Markdown goes to stdout; with `--out DIR`, each figure's raw data is
 //! also written as `DIR/<id>.csv`; `--ascii` appends a terminal chart
@@ -59,7 +66,8 @@ fn usage() -> ! {
         "usage: repro [--scale smoke|default|full] [--out DIR] [--trace-out DIR] \
          [--no-verify] [--bench-out FILE] [--baseline FILE] <artifact>...\n\
          artifacts: {} all\n\
-         extensions: {} ext scorecard bench\n\
+         fault studies: fig_faults fig_faults_aborts\n\
+         extensions: {} ext scorecard bench; `list` prints the figure registry\n\
          verification of every data point is on by default; --no-verify skips it\n\
          --trace-out DIR dumps replication 0 of each point as a JSONL span \
          trace for trace-explain\n\
@@ -131,7 +139,10 @@ fn main() {
             "ext" => artifacts.extend(EXTS.iter().map(std::string::ToString::to_string)),
             "scorecard" => artifacts.push("scorecard".to_string()),
             "bench" => artifacts.push("bench".to_string()),
-            a if ALL.contains(&a) || EXTS.contains(&a) => artifacts.push(a.to_string()),
+            "list" => artifacts.push("list".to_string()),
+            a if ALL.contains(&a) || EXTS.contains(&a) || experiments::figure(a).is_some() => {
+                artifacts.push(a.to_string());
+            }
             _ => usage(),
         }
         i += 1;
@@ -147,54 +158,8 @@ fn main() {
             "table1" => println!("{}", experiments::table1()),
             "table2" => println!("{}", experiments::table2()),
             "fig1" => println!("{}", experiments::fig1()),
-            "fig2" => emit_figure(
-                &experiments::fig_response_vs_latency("fig2", 0.0, scale),
-                &out_dir,
-            ),
-            "fig3" => emit_figure(
-                &experiments::fig_response_vs_latency("fig3", 0.6, scale),
-                &out_dir,
-            ),
-            "fig4" => emit_figure(
-                &experiments::fig_response_vs_latency("fig4", 1.0, scale),
-                &out_dir,
-            ),
-            "fig5" => emit_figure(&experiments::fig_response_vs_pr("fig5", 1, scale), &out_dir),
-            "fig6" => emit_figure(
-                &experiments::fig_response_vs_pr("fig6", 250, scale),
-                &out_dir,
-            ),
-            "fig7" => emit_figure(
-                &experiments::fig_response_vs_pr("fig7", 750, scale),
-                &out_dir,
-            ),
-            "fig8" => emit_figure(
-                &experiments::fig_aborts_vs_latency("fig8", 0.6, scale),
-                &out_dir,
-            ),
-            "fig9" => emit_figure(
-                &experiments::fig_aborts_vs_latency("fig9", 0.8, scale),
-                &out_dir,
-            ),
-            "fig10" => emit_figure(&experiments::fig10(scale), &out_dir),
-            "fig11" => emit_figure(&experiments::fig11(scale), &out_dir),
-            "fig12" => emit_figure(
-                &experiments::fig_response_vs_clients("fig12", 0.25, scale),
-                &out_dir,
-            ),
-            "fig13" => emit_figure(
-                &experiments::fig_aborts_vs_clients("fig13", 0.25, scale),
-                &out_dir,
-            ),
-            "fig14" => emit_figure(
-                &experiments::fig_response_vs_clients("fig14", 0.75, scale),
-                &out_dir,
-            ),
-            "fig15" => emit_figure(
-                &experiments::fig_aborts_vs_clients("fig15", 0.75, scale),
-                &out_dir,
-            ),
             "headline" => println!("{}", experiments::headline(scale)),
+            "list" => print!("{}", experiments::list_figures()),
             "ext-protocols" => emit_figure(&extensions::ext_protocols(scale), &out_dir),
             "ext-skew" => emit_figure(&extensions::ext_skew(scale), &out_dir),
             "ext-bandwidth" => emit_figure(&extensions::ext_bandwidth(scale), &out_dir),
@@ -212,6 +177,11 @@ fn main() {
                 emit_figure(&extensions::ext_server_cpu(scale), &out_dir);
             }
             "scorecard" => println!("{}", g2pl_core::scorecard::run_scorecard(scale)),
+            fig if experiments::figure(fig).is_some() => {
+                // lint:allow(L3): the arm guard just looked it up
+                let spec = experiments::figure(fig).expect("guarded above");
+                emit_figure(&spec.build(scale), &out_dir);
+            }
             "bench" => {
                 let report = harness::run_bench(scale);
                 println!("{}", report.render());

@@ -195,6 +195,8 @@ fn explain_file(path: &str, timelines: usize) -> bool {
         measured,
         mean_response,
         dropped,
+        lease_expiries,
+        recovery_stall,
     } = tf.meta.clone();
     println!("== {path}");
     println!(
@@ -209,6 +211,22 @@ fn explain_file(path: &str, timelines: usize) -> bool {
     }
     let report = SpanRecorder::replay(&tf.events).finish();
     print_breakdown(&report, mean_response);
+    if lease_expiries > 0 || recovery_stall > 0.0 {
+        let share = if mean_response > 0.0 && measured > 0 {
+            100.0 * (recovery_stall / measured as f64) / mean_response
+        } else {
+            0.0
+        };
+        println!(
+            "  recovery: {lease_expiries} lease expiries, {recovery_stall:.0} stalled \
+             ({:.1} per measured commit, {share:.1}% of mean response)",
+            if measured > 0 {
+                recovery_stall / measured as f64
+            } else {
+                0.0
+            }
+        );
+    }
     print_timelines(&report.details, timelines);
     // A truncated trace cannot pass a partition check honestly.
     dropped > 0 || phase_sum_check(&report, mean_response, &protocol)
@@ -239,7 +257,7 @@ fn best_case() -> bool {
 
     // s-2PL: every single-item transaction is request + grant +
     // commit-release — exactly 3 network rounds, 3m in total.
-    let m = run(&best_case_cfg(ProtocolKind::S2pl));
+    let m = run(&best_case_cfg(ProtocolKind::S2pl)).expect("valid config");
     let report = replay_run(&m);
     let n = report.details.len();
     let off: Vec<&TxnDetail> = report.details.iter().filter(|d| d.rounds != 3).collect();
@@ -265,7 +283,7 @@ fn best_case() -> bool {
     // m grants (each mid-window release rides its successor's grant),
     // and 1 final server return: 2m + 1. Summed over the run that is
     // 2·commits + windows.
-    let m = run(&best_case_cfg(ProtocolKind::g2pl_paper()));
+    let m = run(&best_case_cfg(ProtocolKind::g2pl_paper())).expect("valid config");
     let report = replay_run(&m);
     let n = report.details.len() as u64;
     let total: u64 = report.details.iter().map(|d| u64::from(d.rounds)).sum();
@@ -288,7 +306,7 @@ fn best_case() -> bool {
 
     println!();
     println!("  s-2PL \u{a7}3.1 timelines:");
-    let s = replay_run(&run(&best_case_cfg(ProtocolKind::S2pl)));
+    let s = replay_run(&run(&best_case_cfg(ProtocolKind::S2pl)).expect("valid config"));
     print_timelines(&s.details, 4);
     println!("  g-2PL \u{a7}3.1 timelines:");
     print_timelines(&report.details, 4);

@@ -48,8 +48,9 @@ pub struct BenchReport {
 }
 
 /// The figures `repro bench` times by default: the headline
-/// response-vs-latency sweep and the (cheap) read-only-deadlock sweep.
-pub const BENCH_FIGURES: [&str; 2] = ["fig2", "fig10"];
+/// response-vs-latency sweep, the (cheap) read-only-deadlock sweep, and
+/// the fault-injection loss sweep (recovery-path throughput).
+pub const BENCH_FIGURES: [&str; 3] = ["fig2", "fig10", "fig_faults"];
 
 fn scale_name(scale: Scale) -> &'static str {
     match scale {
@@ -92,13 +93,9 @@ fn engine_cells() -> Vec<(String, EngineConfig)> {
 const CELL_REPEATS: u32 = 3;
 
 fn run_figure(id: &str, scale: Scale) -> FigureData {
-    match id {
-        "fig2" => experiments::fig_response_vs_latency("fig2", 0.0, scale),
-        "fig3" => experiments::fig_response_vs_latency("fig3", 0.6, scale),
-        "fig10" => experiments::fig10(scale),
-        "fig11" => experiments::fig11(scale),
-        other => panic!("repro bench cannot time figure {other}"), // lint:allow(L3): CLI input validated upstream
-    }
+    experiments::figure(id)
+        .unwrap_or_else(|| panic!("repro bench cannot time figure {id}")) // lint:allow(L3): CLI input validated upstream
+        .build(scale)
 }
 
 /// Run the full harness: every engine cell (fixed workload, best of
@@ -107,10 +104,10 @@ pub fn run_bench(scale: Scale) -> BenchReport {
     let mut cells = Vec::new();
     for (id, cfg) in engine_cells() {
         let mut best = f64::INFINITY;
-        let mut m = run(&cfg);
+        let mut m = run(&cfg).expect("bench cell config is valid");
         for _ in 0..CELL_REPEATS {
             let t = Instant::now();
-            m = run(&cfg);
+            m = run(&cfg).expect("bench cell config is valid");
             best = best.min(t.elapsed().as_secs_f64().max(1e-9));
         }
         cells.push(BenchEntry {

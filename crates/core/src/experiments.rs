@@ -1,13 +1,15 @@
-//! The experiment registry: one function per table/figure of the paper.
+//! The experiment registry: every figure of the paper as data.
 //!
-//! Every function regenerates the data behind one artifact of the
-//! evaluation (§5) at a chosen [`Scale`]. The `repro` binary in
-//! `g2pl-bench` is a thin CLI over this module; integration tests assert
-//! the qualitative *shapes* (who wins, where the crossover falls) at
-//! smoke scale.
+//! Each chart is declared as a [`FigureSpec`] — id, caption, metric and
+//! sweep — and collected in [`FIGURES`]; [`FigureSpec::build`]
+//! regenerates the data behind it at a chosen [`Scale`]. The `repro`
+//! binary in `g2pl-bench` lists and dispatches straight from the
+//! registry; integration tests assert the qualitative *shapes* (who
+//! wins, where the crossover falls) at smoke scale. Prose artifacts
+//! (tables, the Fig 1 timeline, the headline claim) remain functions.
 //!
-//! | id | paper artifact |
-//! |----|----------------|
+//! | id | artifact |
+//! |----|----------|
 //! | `table1` | simulation parameters |
 //! | `table2` | networking environments |
 //! | `fig1`   | example execution, 3 exclusive transactions |
@@ -17,10 +19,13 @@
 //! | `fig10` | abort % vs latency, read-only system |
 //! | `fig11` | abort % vs forward-list length cap, read-only ss-LAN |
 //! | `fig12`–`fig15` | response time / abort % vs number of clients, s-WAN |
+//! | `fig_faults` | response time vs message-loss probability, 3 engines |
+//! | `fig_faults_aborts` | abort % vs message-loss probability, 3 engines |
 //! | `headline` | the 20–25% response-time improvement claim |
 
 use crate::figure::{FigureData, Series};
 use crate::runner::run_grid;
+use g2pl_faults::FaultPlan;
 use g2pl_netmodel::NetworkEnv;
 use g2pl_protocols::{run, EngineConfig, ProtocolKind, TraceEvent};
 use std::fmt::Write as _;
@@ -61,6 +66,9 @@ pub const PR_SWEEP: [f64; 11] = [0.0, 0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8, 0.
 /// The client-count sweep of Figs 12–15.
 pub const CLIENT_SWEEP: [u32; 6] = [10, 25, 50, 75, 100, 150];
 
+/// The message-loss sweep of the fault experiments (`fig_faults*`).
+pub const LOSS_SWEEP: [f64; 6] = [0.0, 0.01, 0.02, 0.05, 0.08, 0.10];
+
 fn base_cfg(
     protocol: ProtocolKind,
     clients: u32,
@@ -75,10 +83,12 @@ fn base_cfg(
     cfg
 }
 
-/// Metric to extract from a replicated run.
+/// Metric a figure plots on its y-axis.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
-enum Metric {
+pub enum Metric {
+    /// Mean transaction response time over measured commits.
     Response,
+    /// Percentage of measured completions that aborted.
     AbortPct,
 }
 
@@ -141,6 +151,13 @@ fn sweep(
 }
 
 const BOTH: &[ProtocolKind] = &[ProtocolKind::G2pl(g2pl_paper_opts()), ProtocolKind::S2pl];
+
+/// All three engines, for the fault experiments.
+const TRIO: &[ProtocolKind] = &[
+    ProtocolKind::G2pl(g2pl_paper_opts()),
+    ProtocolKind::S2pl,
+    ProtocolKind::C2pl,
+];
 
 /// `G2plOpts::default()` as a const-friendly constructor.
 const fn g2pl_paper_opts() -> g2pl_protocols::G2plOpts {
@@ -233,7 +250,7 @@ pub fn fig1() -> String {
         cfg.warmup_txns = 0;
         cfg.measured_txns = 3;
         cfg.trace_events = true;
-        let m = run(&cfg);
+        let m = run(&cfg).expect("valid config");
         let trace = m.trace.expect("trace enabled");
         let mut commits: Vec<u64> = trace
             .iter()
@@ -285,137 +302,294 @@ pub fn fig1() -> String {
     out
 }
 
-// ---- figures 2–4: response time vs latency ----
+// ---- the declarative figure registry ----
 
-/// Figs 2–4: mean response time vs network latency, 50 clients, 25 items.
-pub fn fig_response_vs_latency(id: &str, pr: f64, scale: Scale) -> FigureData {
-    sweep(
-        id,
-        &format!("Mean transaction response time vs network latency, pr={pr}"),
-        "network latency",
-        Metric::Response,
-        &LATENCY_SWEEP.map(|l| l as f64),
-        scale,
-        BOTH,
-        |p, latency| base_cfg(p, 50, latency as u64, pr, scale),
-    )
+/// The x-axis sweep of a registered figure, with its fixed parameters.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum Sweep {
+    /// Network latency over [`LATENCY_SWEEP`] at a fixed read
+    /// probability, 50 clients (figs 2–4, 8–9).
+    Latency {
+        /// Read probability held fixed across the sweep.
+        pr: f64,
+    },
+    /// Network latency over the short read-only range 1–10, pr = 1.0
+    /// (fig 10: g-2PL's unique read-only deadlocks).
+    LatencyReadOnly,
+    /// Read probability over [`PR_SWEEP`] at a fixed latency (figs 5–7).
+    ReadProb {
+        /// Network latency held fixed across the sweep.
+        latency: u64,
+    },
+    /// Client count over [`CLIENT_SWEEP`] in the s-WAN (figs 12–15).
+    Clients {
+        /// Read probability held fixed across the sweep.
+        pr: f64,
+    },
+    /// Forward-list length cap, read-only ss-LAN, g-2PL only (fig 11).
+    FlCap,
+    /// Message-loss probability over [`LOSS_SWEEP`], all three engines
+    /// with the fault-injection subsystem on (`fig_faults*`).
+    LossRate,
 }
 
-// ---- figures 5–7: response time vs read probability ----
-
-/// Figs 5–7: mean response time vs read probability at a fixed latency.
-pub fn fig_response_vs_pr(id: &str, latency: u64, scale: Scale) -> FigureData {
-    let env = NetworkEnv::nearest(g2pl_simcore::SimTime::new(latency));
-    sweep(
-        id,
-        &format!("Mean response time vs read probability in {env} (latency {latency})"),
-        "read probability",
-        Metric::Response,
-        &PR_SWEEP,
-        scale,
-        BOTH,
-        |p, pr| base_cfg(p, 50, latency, pr, scale),
-    )
+/// One registered figure: id, caption material, metric and sweep. The
+/// whole chart is data — [`FigureSpec::build`] interprets it.
+#[derive(Clone, Copy, Debug)]
+pub struct FigureSpec {
+    /// Artifact id, e.g. `"fig2"` (what `repro <id>` dispatches on).
+    pub id: &'static str,
+    /// One-line summary shown by `repro list`.
+    pub blurb: &'static str,
+    /// Quantity plotted on the y-axis.
+    pub metric: Metric,
+    /// X-axis sweep and its fixed parameters.
+    pub sweep: Sweep,
 }
 
-// ---- figures 8–9: abort % vs latency ----
+/// Every registered figure, in paper order. `repro list` and the figure
+/// dispatch both read this table; adding a chart means adding a row.
+pub static FIGURES: &[FigureSpec] = &[
+    FigureSpec {
+        id: "fig2",
+        blurb: "response time vs latency, write-only (pr=0.0)",
+        metric: Metric::Response,
+        sweep: Sweep::Latency { pr: 0.0 },
+    },
+    FigureSpec {
+        id: "fig3",
+        blurb: "response time vs latency, mixed (pr=0.6)",
+        metric: Metric::Response,
+        sweep: Sweep::Latency { pr: 0.6 },
+    },
+    FigureSpec {
+        id: "fig4",
+        blurb: "response time vs latency, read-only (pr=1.0)",
+        metric: Metric::Response,
+        sweep: Sweep::Latency { pr: 1.0 },
+    },
+    FigureSpec {
+        id: "fig5",
+        blurb: "response time vs read probability, ss-LAN (latency 1)",
+        metric: Metric::Response,
+        sweep: Sweep::ReadProb { latency: 1 },
+    },
+    FigureSpec {
+        id: "fig6",
+        blurb: "response time vs read probability, MAN (latency 250)",
+        metric: Metric::Response,
+        sweep: Sweep::ReadProb { latency: 250 },
+    },
+    FigureSpec {
+        id: "fig7",
+        blurb: "response time vs read probability, l-WAN (latency 750)",
+        metric: Metric::Response,
+        sweep: Sweep::ReadProb { latency: 750 },
+    },
+    FigureSpec {
+        id: "fig8",
+        blurb: "abort % vs latency, pr=0.6",
+        metric: Metric::AbortPct,
+        sweep: Sweep::Latency { pr: 0.6 },
+    },
+    FigureSpec {
+        id: "fig9",
+        blurb: "abort % vs latency, pr=0.8",
+        metric: Metric::AbortPct,
+        sweep: Sweep::Latency { pr: 0.8 },
+    },
+    FigureSpec {
+        id: "fig10",
+        blurb: "abort % vs latency, read-only system",
+        metric: Metric::AbortPct,
+        sweep: Sweep::LatencyReadOnly,
+    },
+    FigureSpec {
+        id: "fig11",
+        blurb: "abort % vs forward-list length cap, read-only ss-LAN",
+        metric: Metric::AbortPct,
+        sweep: Sweep::FlCap,
+    },
+    FigureSpec {
+        id: "fig12",
+        blurb: "response time vs number of clients, pr=0.25, s-WAN",
+        metric: Metric::Response,
+        sweep: Sweep::Clients { pr: 0.25 },
+    },
+    FigureSpec {
+        id: "fig13",
+        blurb: "abort % vs number of clients, pr=0.25, s-WAN",
+        metric: Metric::AbortPct,
+        sweep: Sweep::Clients { pr: 0.25 },
+    },
+    FigureSpec {
+        id: "fig14",
+        blurb: "response time vs number of clients, pr=0.75, s-WAN",
+        metric: Metric::Response,
+        sweep: Sweep::Clients { pr: 0.75 },
+    },
+    FigureSpec {
+        id: "fig15",
+        blurb: "abort % vs number of clients, pr=0.75, s-WAN",
+        metric: Metric::AbortPct,
+        sweep: Sweep::Clients { pr: 0.75 },
+    },
+    FigureSpec {
+        id: "fig_faults",
+        blurb: "response time vs message-loss probability, 3 engines",
+        metric: Metric::Response,
+        sweep: Sweep::LossRate,
+    },
+    FigureSpec {
+        id: "fig_faults_aborts",
+        blurb: "abort % vs message-loss probability, 3 engines",
+        metric: Metric::AbortPct,
+        sweep: Sweep::LossRate,
+    },
+];
 
-/// Figs 8–9: percentage of transactions aborted vs network latency.
-pub fn fig_aborts_vs_latency(id: &str, pr: f64, scale: Scale) -> FigureData {
-    sweep(
-        id,
-        &format!("Percentage of transactions aborted vs latency, pr={pr}, 50 clients, 25 items"),
-        "network latency",
-        Metric::AbortPct,
-        &LATENCY_SWEEP.map(|l| l as f64),
-        scale,
-        BOTH,
-        |p, latency| base_cfg(p, 50, latency as u64, pr, scale),
-    )
+/// Look up a registered figure by id.
+pub fn figure(id: &str) -> Option<&'static FigureSpec> {
+    FIGURES.iter().find(|f| f.id == id)
 }
 
-// ---- figure 10: read-only deadlocks ----
-
-/// Fig 10: abort % vs latency in a read-only system (g-2PL's unique
-/// read-only deadlocks; s-2PL never aborts here).
-pub fn fig10(scale: Scale) -> FigureData {
-    let latencies: [f64; 6] = [1.0, 2.0, 4.0, 6.0, 8.0, 10.0];
-    sweep(
-        "fig10",
-        "Percentage of transactions aborted vs latency, read-only system",
-        "network latency",
-        Metric::AbortPct,
-        &latencies,
-        scale,
-        BOTH,
-        |p, latency| base_cfg(p, 50, latency as u64, 1.0, scale),
-    )
-}
-
-// ---- figure 11: forward-list length cap ----
-
-/// Fig 11: abort % vs forward-list length cap, read-only ss-LAN.
-pub fn fig11(scale: Scale) -> FigureData {
-    let caps: [u64; 8] = [1, 2, 3, 4, 5, 6, 8, 10];
-    let (_, _, reps) = scale.params();
-    let configs: Vec<EngineConfig> = caps
-        .iter()
-        .map(|&cap| {
-            let opts = g2pl_protocols::G2plOpts {
-                fl_cap: Some(cap as usize),
-                ..Default::default()
-            };
-            base_cfg(ProtocolKind::G2pl(opts), 50, 1, 1.0, scale)
-        })
-        .collect();
-    let points = caps
-        .iter()
-        .zip(run_grid(&configs, reps))
-        .map(|(&cap, r)| {
-            let ci = r.abort_pct_ci();
-            (cap as f64, ci.mean, ci.half_width)
-        })
-        .collect();
-    FigureData {
-        id: "fig11".into(),
-        title: "Percentage of transactions aborted vs forward-list length, pr=1.0, ss-LAN".into(),
-        x_label: "forward list length cap".into(),
-        y_label: "% aborted".into(),
-        series: vec![Series {
-            label: "g-2PL".into(),
-            points,
-        }],
+/// The registry as a markdown table (the body of `repro list`).
+pub fn list_figures() -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "| id | figure |");
+    let _ = writeln!(out, "|---|---|");
+    for f in FIGURES {
+        let _ = writeln!(out, "| {} | {} |", f.id, f.blurb);
     }
+    out
 }
 
-// ---- figures 12–15: scaling with client count ----
+impl FigureSpec {
+    /// Regenerate the figure's data at the given scale.
+    pub fn build(&self, scale: Scale) -> FigureData {
+        match self.sweep {
+            Sweep::Latency { pr } => sweep(
+                self.id,
+                &match self.metric {
+                    Metric::Response => {
+                        format!("Mean transaction response time vs network latency, pr={pr}")
+                    }
+                    Metric::AbortPct => format!(
+                        "Percentage of transactions aborted vs latency, pr={pr}, \
+                         50 clients, 25 items"
+                    ),
+                },
+                "network latency",
+                self.metric,
+                &LATENCY_SWEEP.map(|l| l as f64),
+                scale,
+                BOTH,
+                |p, latency| base_cfg(p, 50, latency as u64, pr, scale),
+            ),
+            Sweep::LatencyReadOnly => sweep(
+                self.id,
+                "Percentage of transactions aborted vs latency, read-only system",
+                "network latency",
+                self.metric,
+                &[1.0, 2.0, 4.0, 6.0, 8.0, 10.0],
+                scale,
+                BOTH,
+                |p, latency| base_cfg(p, 50, latency as u64, 1.0, scale),
+            ),
+            Sweep::ReadProb { latency } => {
+                let env = NetworkEnv::nearest(g2pl_simcore::SimTime::new(latency));
+                sweep(
+                    self.id,
+                    &format!("Mean response time vs read probability in {env} (latency {latency})"),
+                    "read probability",
+                    self.metric,
+                    &PR_SWEEP,
+                    scale,
+                    BOTH,
+                    |p, pr| base_cfg(p, 50, latency, pr, scale),
+                )
+            }
+            Sweep::Clients { pr } => sweep(
+                self.id,
+                &match self.metric {
+                    Metric::Response => {
+                        format!("Mean response time vs number of clients: 25 items, pr={pr}, s-WAN")
+                    }
+                    Metric::AbortPct => {
+                        format!("Percentage aborted vs number of clients: 25 items, pr={pr}, s-WAN")
+                    }
+                },
+                "number of clients",
+                self.metric,
+                &CLIENT_SWEEP.map(|c| c as f64),
+                scale,
+                BOTH,
+                |p, clients| base_cfg(p, clients as u32, 500, pr, scale),
+            ),
+            Sweep::FlCap => self.build_fl_cap(scale),
+            Sweep::LossRate => sweep(
+                self.id,
+                &match self.metric {
+                    Metric::Response => {
+                        "Mean response time vs message-loss probability, pr=0.6, MAN".to_string()
+                    }
+                    Metric::AbortPct => {
+                        "Percentage of transactions aborted vs message-loss probability, \
+                         pr=0.6, MAN"
+                            .to_string()
+                    }
+                },
+                "message loss probability",
+                self.metric,
+                &LOSS_SWEEP,
+                scale,
+                TRIO,
+                |p, loss| {
+                    let mut cfg = base_cfg(p, 50, 250, 0.6, scale);
+                    // Recovery liveness is part of what the figure shows:
+                    // drain so every non-aborted transaction must finish.
+                    cfg.drain = true;
+                    cfg.faults = Some(FaultPlan::message_loss(loss));
+                    cfg
+                },
+            ),
+        }
+    }
 
-/// Figs 12/14: mean response time vs number of clients in the s-WAN.
-pub fn fig_response_vs_clients(id: &str, pr: f64, scale: Scale) -> FigureData {
-    sweep(
-        id,
-        &format!("Mean response time vs number of clients: 25 items, pr={pr}, s-WAN"),
-        "number of clients",
-        Metric::Response,
-        &CLIENT_SWEEP.map(|c| c as f64),
-        scale,
-        BOTH,
-        |p, clients| base_cfg(p, clients as u32, 500, pr, scale),
-    )
-}
-
-/// Figs 13/15: abort % vs number of clients in the s-WAN.
-pub fn fig_aborts_vs_clients(id: &str, pr: f64, scale: Scale) -> FigureData {
-    sweep(
-        id,
-        &format!("Percentage aborted vs number of clients: 25 items, pr={pr}, s-WAN"),
-        "number of clients",
-        Metric::AbortPct,
-        &CLIENT_SWEEP.map(|c| c as f64),
-        scale,
-        BOTH,
-        |p, clients| base_cfg(p, clients as u32, 500, pr, scale),
-    )
+    /// Fig 11: single-series g-2PL sweep over the forward-list cap.
+    fn build_fl_cap(&self, scale: Scale) -> FigureData {
+        let caps: [u64; 8] = [1, 2, 3, 4, 5, 6, 8, 10];
+        let (_, _, reps) = scale.params();
+        let configs: Vec<EngineConfig> = caps
+            .iter()
+            .map(|&cap| {
+                let opts = g2pl_protocols::G2plOpts {
+                    fl_cap: Some(cap as usize),
+                    ..Default::default()
+                };
+                base_cfg(ProtocolKind::G2pl(opts), 50, 1, 1.0, scale)
+            })
+            .collect();
+        let points = caps
+            .iter()
+            .zip(run_grid(&configs, reps))
+            .map(|(&cap, r)| {
+                let ci = r.abort_pct_ci();
+                (cap as f64, ci.mean, ci.half_width)
+            })
+            .collect();
+        FigureData {
+            id: self.id.into(),
+            title: "Percentage of transactions aborted vs forward-list length, pr=1.0, ss-LAN"
+                .into(),
+            x_label: "forward list length cap".into(),
+            y_label: "% aborted".into(),
+            series: vec![Series {
+                label: "g-2PL".into(),
+                points,
+            }],
+        }
+    }
 }
 
 // ---- the headline claim ----
@@ -425,7 +599,7 @@ pub fn fig_aborts_vs_clients(id: &str, pr: f64, scale: Scale) -> FigureData {
 /// updates. Computed over the WAN latencies of the fig-3 configuration
 /// (pr = 0.6).
 pub fn headline(scale: Scale) -> String {
-    let fig = fig_response_vs_latency("headline", 0.6, scale);
+    let fig = figure("fig3").expect("registered").build(scale);
     let g = fig.series("g-2PL").expect("g-2PL series");
     let s = fig.series("s-2PL").expect("s-2PL series");
     let mut out = String::new();
@@ -476,5 +650,43 @@ mod tests {
         let s = fig1();
         assert!(s.contains("g-2PL timeline"));
         assert!(s.contains("% reduction"), "{s}");
+    }
+
+    #[test]
+    fn registry_ids_are_unique_and_listed() {
+        let mut ids: Vec<&str> = FIGURES.iter().map(|f| f.id).collect();
+        let n = ids.len();
+        ids.sort_unstable();
+        ids.dedup();
+        assert_eq!(ids.len(), n, "duplicate figure id in the registry");
+        let listing = list_figures();
+        for f in FIGURES {
+            assert!(listing.contains(f.id), "{} missing from list", f.id);
+            assert!(
+                listing.contains(f.blurb),
+                "{} blurb missing from list",
+                f.id
+            );
+        }
+    }
+
+    #[test]
+    fn registry_covers_the_paper_figures() {
+        for n in 2..=15 {
+            let id = format!("fig{n}");
+            assert!(figure(&id).is_some(), "{id} not registered");
+        }
+        assert!(figure("fig_faults").is_some());
+        assert!(figure("fig_faults_aborts").is_some());
+        assert!(figure("fig99").is_none());
+    }
+
+    #[test]
+    fn loss_sweep_starts_fault_free() {
+        // The x = 0 point of fig_faults must take the pristine code path,
+        // anchoring the curve to the reliable-network figures.
+        assert_eq!(LOSS_SWEEP[0], 0.0);
+        let plan = FaultPlan::message_loss(LOSS_SWEEP[0]);
+        assert!(!plan.is_active(), "zero-loss plan must be inert");
     }
 }

@@ -101,9 +101,13 @@ fn stamp(m: &mut RunMetrics, elapsed: std::time::Duration) {
 }
 
 /// Run one simulation, timing it (the engines themselves may not).
+///
+/// The runner's configs are composed programmatically (figure registry,
+/// tests), so a [`ConfigError`](g2pl_protocols::ConfigError) here is a
+/// caller bug and panics with the validator's diagnostic.
 fn timed_run(cfg: &EngineConfig) -> RunMetrics {
     let t = std::time::Instant::now();
-    let mut m = run(cfg);
+    let mut m = run(cfg).unwrap_or_else(|e| panic!("invalid engine config: {e}"));
     stamp(&mut m, t.elapsed());
     m
 }
@@ -144,7 +148,7 @@ fn run_verified(cfg: &EngineConfig) -> RunMetrics {
     vc.trace_events = true;
     vc.record_history = true;
     let t = std::time::Instant::now();
-    let mut m = run(&vc);
+    let mut m = run(&vc).unwrap_or_else(|e| panic!("invalid engine config: {e}"));
     stamp(&mut m, t.elapsed());
     let diag = |what: &str, err: &str| -> String {
         format!(
@@ -204,6 +208,8 @@ fn export_spans(dir: &std::path::Path, cfg: &EngineConfig, m: &RunMetrics) {
         measured: m.response.count(),
         mean_response: m.response.mean(),
         dropped: m.phases.spans_dropped,
+        lease_expiries: m.faults.lease_expiries,
+        recovery_stall: m.faults.recovery_stall,
     };
     let label: String = m
         .protocol

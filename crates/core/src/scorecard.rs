@@ -67,7 +67,9 @@ pub fn claims() -> Vec<Claim> {
         id: "headline",
         statement: "20-25% response-time improvement of g-2PL over s-2PL with updates",
         check: Box::new(|scale| {
-            let fig = experiments::fig_response_vs_latency("headline", 0.6, scale);
+            let fig = experiments::figure("fig3")
+                .expect("registered")
+                .build(scale);
             let imp = mean_improvement(&fig, "g-2PL", "s-2PL");
             if (10.0..=35.0).contains(&imp) {
                 Verdict::Reproduced(format!("mean improvement {imp:.1}%"))
@@ -81,7 +83,9 @@ pub fn claims() -> Vec<Claim> {
         id: "fig2-winner",
         statement: "g-2PL below s-2PL at every latency for pure updates (Fig 2)",
         check: Box::new(|scale| {
-            let fig = experiments::fig_response_vs_latency("fig2", 0.0, scale);
+            let fig = experiments::figure("fig2")
+                .expect("registered")
+                .build(scale);
             let g = fig.series("g-2PL").expect("g");
             let s = fig.series("s-2PL").expect("s");
             let losses: Vec<f64> = g
@@ -102,7 +106,9 @@ pub fn claims() -> Vec<Claim> {
         id: "fig4-winner",
         statement: "s-2PL better than g-2PL in read-only systems (Fig 4)",
         check: Box::new(|scale| {
-            let fig = experiments::fig_response_vs_latency("fig4", 1.0, scale);
+            let fig = experiments::figure("fig4")
+                .expect("registered")
+                .build(scale);
             let g = fig.series("g-2PL").expect("g");
             let s = fig.series("s-2PL").expect("s");
             let wins = g
@@ -122,7 +128,9 @@ pub fn claims() -> Vec<Claim> {
         id: "fig5-crossover",
         statement: "crossover around pr ≈ 0.85 in the ss-LAN (Fig 5)",
         check: Box::new(|scale| {
-            let fig = experiments::fig_response_vs_pr("fig5", 1, scale);
+            let fig = experiments::figure("fig5")
+                .expect("registered")
+                .build(scale);
             match crossover_pr(&fig) {
                 Some(x) if (0.65..=0.95).contains(&x) => {
                     Verdict::Reproduced(format!("crossover near pr ≈ {x:.2}"))
@@ -137,7 +145,9 @@ pub fn claims() -> Vec<Claim> {
         id: "fig8-flat",
         statement: "abort percentage roughly constant in latency above the ss-LAN (Fig 8)",
         check: Box::new(|scale| {
-            let fig = experiments::fig_aborts_vs_latency("fig8", 0.6, scale);
+            let fig = experiments::figure("fig8")
+                .expect("registered")
+                .build(scale);
             let s = fig.series("g-2PL").expect("g");
             let ys: Vec<f64> = s.points.iter().skip(1).map(|p| p.1).collect();
             let spread = ys.iter().cloned().fold(f64::NEG_INFINITY, f64::max)
@@ -154,7 +164,9 @@ pub fn claims() -> Vec<Claim> {
         id: "fig11-trend",
         statement: "aborts fall as the forward-list length cap grows (Fig 11)",
         check: Box::new(|scale| {
-            let fig = experiments::fig11(scale);
+            let fig = experiments::figure("fig11")
+                .expect("registered")
+                .build(scale);
             let pts = &fig.series[0].points;
             let (first, last) = (pts.first().expect("pts").1, pts.last().expect("pts").1);
             if last < first {
@@ -169,7 +181,9 @@ pub fn claims() -> Vec<Claim> {
         id: "fig12-winner",
         statement: "g-2PL wins across client counts at pr=0.25 in the s-WAN (Fig 12)",
         check: Box::new(|scale| {
-            let fig = experiments::fig_response_vs_clients("fig12", 0.25, scale);
+            let fig = experiments::figure("fig12")
+                .expect("registered")
+                .build(scale);
             let imp = mean_improvement(&fig, "g-2PL", "s-2PL");
             if imp > 0.0 {
                 Verdict::Reproduced(format!("mean improvement {imp:.1}%"))

@@ -21,7 +21,14 @@
 //!   `ordering.consistent`);
 //! * **P7 (window discipline)** — a forward list is mutated only at its
 //!   window close; the sole exception is the `expand_reads` reader join,
-//!   and only when the run enabled it.
+//!   and only when the run enabled it;
+//! * **P8 (fault masking)** — fault-injection runs only: every injected
+//!   fault is masked or resolved — each `LeaseExpired` is followed by a
+//!   `Redispatch` (matched by item when the expiry names one, else by
+//!   transaction), and every transaction that ever sent a request reaches
+//!   `Committed` or `Aborted` — nobody waits forever. P8 assumes a
+//!   *drained* run (the fault experiments and tests all drain); fault
+//!   events in a no-fault trace are themselves violations.
 
 use g2pl_protocols::{EngineConfig, ProtocolKind, TraceEvent, TraceKind};
 use g2pl_simcore::{ItemId, SimTime, TxnId};
@@ -41,15 +48,22 @@ pub struct TraceCheckOpts {
     /// The run used the read-expansion variant, so `FlExtended` events
     /// are legal (P7 still requires them to target a dispatched list).
     pub expand_reads: bool,
+    /// The run had an active fault plan: fault/recovery events are legal
+    /// and P8 (fault masking + eventual completion) is enforced. When
+    /// false, any `FaultInjected`/`LeaseExpired`/`Redispatch` event is a
+    /// violation — a reliable network must never take recovery actions.
+    pub faults: bool,
 }
 
 impl Default for TraceCheckOpts {
     /// The paper's evaluated g-2PL: consistent reordering, no read
-    /// expansion. This is what bare [`check_trace`] assumes.
+    /// expansion, reliable network. This is what bare [`check_trace`]
+    /// assumes.
     fn default() -> Self {
         TraceCheckOpts {
             fl_consistent: true,
             expand_reads: false,
+            faults: false,
         }
     }
 }
@@ -57,16 +71,19 @@ impl Default for TraceCheckOpts {
 impl TraceCheckOpts {
     /// The assumptions appropriate for a run of `cfg`.
     pub fn for_config(cfg: &EngineConfig) -> Self {
+        let faults = cfg.active_faults().is_some();
         match &cfg.protocol {
             ProtocolKind::G2pl(o) => TraceCheckOpts {
                 fl_consistent: o.ordering.consistent,
                 expand_reads: o.expand_reads,
+                faults,
             },
             // s-2PL / c-2PL emit no forward-list events; strict settings
             // make any that do appear a violation.
             ProtocolKind::S2pl | ProtocolKind::C2pl => TraceCheckOpts {
                 fl_consistent: true,
                 expand_reads: false,
+                faults,
             },
         }
     }
@@ -95,6 +112,8 @@ pub fn check_trace_with(events: &[TraceEvent], opts: TraceCheckOpts) -> Result<(
     let mut open_group: Option<ItemId> = None;
     // Global pairwise order fixed by dispatched lists: (a, b) = a before b.
     let mut fl_order: HashSet<(TxnId, TxnId)> = HashSet::new();
+    // Lease expiries not yet resolved by a redispatch (P8b).
+    let mut open_expiries: Vec<(Option<TxnId>, Option<ItemId>, SimTime)> = Vec::new();
     let mut last_t = SimTime::ZERO;
 
     for e in events {
@@ -232,7 +251,59 @@ pub fn check_trace_with(events: &[TraceEvent], opts: TraceCheckOpts) -> Result<(
                 // recording P6 pairs.
                 fl.push(txn);
             }
+            TraceKind::FaultInjected => {
+                if !opts.faults {
+                    return Err(format!("P8: fault injected on a reliable network at {e}"));
+                }
+            }
+            TraceKind::LeaseExpired => {
+                if !opts.faults {
+                    return Err(format!("P8: lease expired on a reliable network at {e}"));
+                }
+                open_expiries.push((e.txn, e.item, e.at));
+            }
+            TraceKind::Redispatch => {
+                if !opts.faults {
+                    return Err(format!("P8: redispatch on a reliable network at {e}"));
+                }
+                // Resolve the earliest matching expiry: by item when the
+                // expiry names one (g-2PL per-checkout leases), else by
+                // victim transaction (s-2PL/c-2PL per-txn leases).
+                let matched = open_expiries.iter().position(|&(txn, item, _)| {
+                    if item.is_some() {
+                        item == e.item
+                    } else {
+                        txn == e.txn
+                    }
+                });
+                match matched {
+                    Some(i) => {
+                        open_expiries.remove(i);
+                    }
+                    None => {
+                        return Err(format!("P8: redispatch without a lease expiry at {e}"));
+                    }
+                }
+            }
             TraceKind::Dispatched | TraceKind::ReleasedAtServer => {}
+        }
+    }
+    if opts.faults {
+        if let Some((txn, item, at)) = open_expiries.first() {
+            return Err(format!(
+                "P8: lease expiry at t={} (txn {txn:?}, item {item:?}) was never \
+                 followed by a redispatch",
+                at.units()
+            ));
+        }
+        // Eventual completion: nobody who asked for anything waits
+        // forever (assumes a drained run — see the module docs).
+        for txn in req_count.keys() {
+            if !committed.contains_key(txn) && !aborted.contains(txn) {
+                return Err(format!(
+                    "P8: {txn} sent requests but neither committed nor aborted"
+                ));
+            }
         }
     }
     Ok(())
@@ -267,7 +338,7 @@ mod tests {
         cfg.measured_txns = 300;
         cfg.trace_events = true;
         cfg.drain = true;
-        run(&cfg).trace.expect("trace on")
+        run(&cfg).expect("valid config").trace.expect("trace on")
     }
 
     #[test]
@@ -312,6 +383,7 @@ mod tests {
         let check_opts = TraceCheckOpts {
             fl_consistent: false,
             expand_reads: false,
+            faults: false,
         };
         check_trace_with(&trace, check_opts).unwrap_or_else(|e| panic!("{e}"));
     }
@@ -328,7 +400,7 @@ mod tests {
         cfg.measured_txns = 300;
         cfg.trace_events = true;
         cfg.drain = true;
-        let trace = run(&cfg).trace.expect("trace on");
+        let trace = run(&cfg).expect("valid config").trace.expect("trace on");
         let check_opts = TraceCheckOpts::for_config(&cfg);
         assert!(check_opts.expand_reads, "opts derive from the config");
         check_trace_with(&trace, check_opts).unwrap_or_else(|e| panic!("{e}"));
@@ -445,6 +517,7 @@ mod tests {
         let lax = TraceCheckOpts {
             fl_consistent: false,
             expand_reads: false,
+            faults: false,
         };
         assert!(check_trace_with(&trace, lax).is_ok());
     }
@@ -486,6 +559,7 @@ mod tests {
         let lax = TraceCheckOpts {
             fl_consistent: true,
             expand_reads: true,
+            faults: false,
         };
         assert!(check_trace_with(&trace, lax).is_ok());
     }
@@ -495,9 +569,91 @@ mod tests {
         let lax = TraceCheckOpts {
             fl_consistent: true,
             expand_reads: true,
+            faults: false,
         };
         let trace = vec![ev(1, TraceKind::FlExtended, 2, Some(0))];
         let err = check_trace_with(&trace, lax).unwrap_err();
         assert!(err.contains("P7"), "{err}");
+    }
+
+    fn faulty() -> TraceCheckOpts {
+        TraceCheckOpts {
+            faults: true,
+            ..TraceCheckOpts::default()
+        }
+    }
+
+    #[test]
+    fn rejects_fault_events_on_reliable_network() {
+        for kind in [
+            TraceKind::FaultInjected,
+            TraceKind::LeaseExpired,
+            TraceKind::Redispatch,
+        ] {
+            let trace = vec![ev(1, kind, 1, None)];
+            let err = check_trace(&trace).unwrap_err();
+            assert!(err.contains("P8"), "{kind:?}: {err}");
+        }
+    }
+
+    #[test]
+    fn rejects_unresolved_lease_expiry() {
+        // An expiry with no later redispatch = a checkout lost forever.
+        let trace = vec![ev(1, TraceKind::LeaseExpired, 1, Some(3))];
+        let err = check_trace_with(&trace, faulty()).unwrap_err();
+        assert!(err.contains("P8"), "{err}");
+        // Resolving it by item makes the trace legal.
+        let trace = vec![
+            ev(1, TraceKind::LeaseExpired, 1, Some(3)),
+            ev(1, TraceKind::Redispatch, 1, Some(3)),
+        ];
+        check_trace_with(&trace, faulty()).unwrap_or_else(|e| panic!("{e}"));
+    }
+
+    #[test]
+    fn rejects_redispatch_without_expiry() {
+        let trace = vec![ev(1, TraceKind::Redispatch, 1, Some(3))];
+        let err = check_trace_with(&trace, faulty()).unwrap_err();
+        assert!(err.contains("P8"), "{err}");
+    }
+
+    #[test]
+    fn rejects_eternally_waiting_txn_under_faults() {
+        // T1 asked for item 0 and was never heard from again.
+        let trace = vec![ev(0, TraceKind::RequestSent, 1, Some(0))];
+        let err = check_trace_with(&trace, faulty()).unwrap_err();
+        assert!(err.contains("P8"), "{err}");
+        // A reliable-network checker does not demand completion.
+        assert!(check_trace(&trace).is_ok());
+        // Abort resolves the wait.
+        let trace = vec![
+            ev(0, TraceKind::RequestSent, 1, Some(0)),
+            ev(5, TraceKind::Aborted, 1, None),
+        ];
+        check_trace_with(&trace, faulty()).unwrap_or_else(|e| panic!("{e}"));
+    }
+
+    #[test]
+    fn lossy_engine_traces_validate_under_p8() {
+        use g2pl_faults::FaultPlan;
+        for protocol in [
+            ProtocolKind::S2pl,
+            ProtocolKind::g2pl_paper(),
+            ProtocolKind::C2pl,
+        ] {
+            let label = format!("{protocol:?}");
+            let mut cfg = EngineConfig::table1(protocol, 8, 50, 0.4);
+            cfg.warmup_txns = 0;
+            cfg.measured_txns = 250;
+            cfg.trace_events = true;
+            cfg.drain = true;
+            cfg.faults = Some(FaultPlan::message_loss(0.05));
+            let m = run(&cfg).expect("valid config");
+            assert!(m.faults.injected.total() > 0, "{label}: no faults injected");
+            let opts = TraceCheckOpts::for_config(&cfg);
+            assert!(opts.faults, "opts derive the fault plan from the config");
+            check_trace_with(&m.trace.expect("trace on"), opts)
+                .unwrap_or_else(|e| panic!("{label}: {e}"));
+        }
     }
 }

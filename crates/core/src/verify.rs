@@ -267,7 +267,7 @@ mod tests {
             cfg.warmup_txns = 20;
             cfg.measured_txns = 300;
             cfg.record_history = true;
-            let m = run(&cfg);
+            let m = run(&cfg).expect("valid config");
             let label = m.protocol;
             check_serializable(m.history.as_ref().expect("history on"))
                 .unwrap_or_else(|e| panic!("{label}: {e}"));

@@ -1,0 +1,500 @@
+//! Deterministic fault-injection plans for the simulator.
+//!
+//! The paper's model assumes a perfectly reliable network; this crate
+//! supplies the machinery to relax that assumption without giving up the
+//! workspace's headline guarantee that a run's seed fully determines its
+//! trace. A [`FaultPlan`] describes *what* can go wrong — message drops,
+//! duplicated or delayed deliveries, scheduled client crash/restart
+//! windows, and transient link partitions — and a [`FaultInjector`]
+//! executes the plan from its own named [`RngStream`] (label `"faults"`),
+//! so enabling faults never perturbs the draws seen by the workload,
+//! think-time, or latency streams (common random numbers are preserved
+//! across loss rates, which sharpens the `fig_faults` comparisons).
+//!
+//! Two invariants the engines rely on:
+//!
+//! * **Inert plans are free.** A default/zero plan ([`FaultPlan::is_active`]
+//!   returns `false`) must cause the engines to construct no injector,
+//!   arm no leases or retry timers, and schedule no extra calendar
+//!   events, so a zero-fault run is byte-identical to a run with no plan
+//!   at all.
+//! * **One draw per message.** [`FaultInjector::judge`] consumes exactly
+//!   one uniform draw per message when probabilistic faults are
+//!   configured (and zero when only partitions/crashes are), so the
+//!   verdict stream is a stable function of (seed, send order).
+//!
+//! [`RngStream`]: g2pl_simcore::RngStream
+
+use g2pl_simcore::{ClientId, RngStream, SimTime, SiteId};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// A scheduled crash/restart window for one client.
+///
+/// From `at` (inclusive) until `at + down_for` the client is dead: every
+/// message addressed to it is dropped and its local timers are ignored.
+/// The restart is mandatory — a client that never comes back would leave
+/// the run unable to finish its measured transaction quota.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CrashWindow {
+    /// Which client crashes (raw index into `0..num_clients`).
+    pub client: u32,
+    /// Simulated time at which the crash occurs.
+    pub at: u64,
+    /// How long the client stays down before restarting (must be > 0).
+    pub down_for: u64,
+}
+
+/// A transient partition of the link between two sites.
+///
+/// While `from <= now < until`, every message in either direction between
+/// the two endpoints is dropped deterministically (no random draw).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct LinkPartition {
+    /// One endpoint of the link.
+    pub a: Endpoint,
+    /// The other endpoint.
+    pub b: Endpoint,
+    /// Partition start (inclusive).
+    pub from: u64,
+    /// Partition end (exclusive; must be > `from`).
+    pub until: u64,
+}
+
+/// A serializable stand-in for [`SiteId`] in fault plans.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Endpoint {
+    /// The data server.
+    Server,
+    /// Client with the given raw index.
+    Client(u32),
+}
+
+impl Endpoint {
+    /// Does this endpoint name the given site?
+    #[inline]
+    pub fn matches(self, site: SiteId) -> bool {
+        match (self, site) {
+            (Endpoint::Server, SiteId::Server) => true,
+            (Endpoint::Client(c), SiteId::Client(id)) => id.index() == c as usize,
+            _ => false,
+        }
+    }
+}
+
+impl From<SiteId> for Endpoint {
+    fn from(s: SiteId) -> Self {
+        match s {
+            SiteId::Server => Endpoint::Server,
+            SiteId::Client(c) => Endpoint::Client(c.0),
+        }
+    }
+}
+
+/// A declarative, seeded description of the faults injected into a run.
+///
+/// The plan is pure data (serde-serializable, so experiment registries can
+/// embed one per figure). All probabilities are per-message and mutually
+/// exclusive: one uniform draw is partitioned into
+/// `[drop | duplicate | delay | deliver]` bands.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize, Default)]
+pub struct FaultPlan {
+    /// Probability in `[0, 1]` that a message is silently dropped.
+    pub drop_prob: f64,
+    /// Probability that a message is delivered twice (two independent
+    /// latency draws).
+    pub dup_prob: f64,
+    /// Probability that a delivered message is delayed by `delay_extra`
+    /// on top of its modeled latency.
+    pub delay_prob: f64,
+    /// Extra delay applied to delayed messages, in simulated time units.
+    pub delay_extra: u64,
+    /// Scheduled client crash/restart windows.
+    pub crashes: Vec<CrashWindow>,
+    /// Transient link partitions.
+    pub partitions: Vec<LinkPartition>,
+    /// Lease timeout for server-side holder-failure detection, in
+    /// simulated time units. `None` lets the engine derive one from the
+    /// latency model's nominal delay (see `EngineConfig`).
+    pub lease_timeout: Option<u64>,
+    /// Base client retry backoff, in simulated time units. `None` lets
+    /// the engine derive one from the nominal network delay.
+    pub retry_base: Option<u64>,
+}
+
+impl FaultPlan {
+    /// A plan injecting message loss at the given per-message probability
+    /// and nothing else — the `fig_faults` sweep axis.
+    pub fn message_loss(p: f64) -> Self {
+        FaultPlan {
+            drop_prob: p,
+            ..FaultPlan::default()
+        }
+    }
+
+    /// True if this plan can inject at least one fault. Inert plans must
+    /// leave the engines on their fault-free code path (no injector, no
+    /// leases, no retry timers), which keeps zero-fault runs byte-identical
+    /// to runs with no plan at all.
+    pub fn is_active(&self) -> bool {
+        self.drop_prob > 0.0
+            || self.dup_prob > 0.0
+            || self.delay_prob > 0.0
+            || !self.crashes.is_empty()
+            || !self.partitions.is_empty()
+    }
+
+    /// True if the per-message probabilistic faults require a random draw.
+    pub fn has_message_faults(&self) -> bool {
+        self.drop_prob > 0.0 || self.dup_prob > 0.0 || self.delay_prob > 0.0
+    }
+
+    /// Validate the plan's parameters.
+    pub fn validate(&self) -> Result<(), FaultPlanError> {
+        for (name, p) in [
+            ("drop_prob", self.drop_prob),
+            ("dup_prob", self.dup_prob),
+            ("delay_prob", self.delay_prob),
+        ] {
+            if !(0.0..=1.0).contains(&p) {
+                return Err(FaultPlanError::ProbabilityOutOfRange { name, value: p });
+            }
+        }
+        if self.drop_prob + self.dup_prob + self.delay_prob > 1.0 {
+            return Err(FaultPlanError::ProbabilitiesExceedOne);
+        }
+        if self.delay_prob > 0.0 && self.delay_extra == 0 {
+            return Err(FaultPlanError::ZeroDelayExtra);
+        }
+        for c in &self.crashes {
+            if c.down_for == 0 {
+                return Err(FaultPlanError::CrashWithoutRestart { client: c.client });
+            }
+        }
+        for p in &self.partitions {
+            if p.until <= p.from {
+                return Err(FaultPlanError::EmptyPartition);
+            }
+        }
+        if self.lease_timeout == Some(0) {
+            return Err(FaultPlanError::ZeroLease);
+        }
+        if self.retry_base == Some(0) {
+            return Err(FaultPlanError::ZeroRetryBase);
+        }
+        Ok(())
+    }
+}
+
+/// Why a [`FaultPlan`] was rejected.
+#[derive(Clone, Debug, PartialEq)]
+pub enum FaultPlanError {
+    /// A probability field is outside `[0, 1]`.
+    ProbabilityOutOfRange {
+        /// Field name.
+        name: &'static str,
+        /// Offending value.
+        value: f64,
+    },
+    /// `drop_prob + dup_prob + delay_prob` exceeds 1.
+    ProbabilitiesExceedOne,
+    /// `delay_prob > 0` but `delay_extra == 0` (a no-op delay).
+    ZeroDelayExtra,
+    /// A crash window has `down_for == 0`; restarts are mandatory.
+    CrashWithoutRestart {
+        /// Offending client index.
+        client: u32,
+    },
+    /// A partition window with `until <= from`.
+    EmptyPartition,
+    /// `lease_timeout` of zero would expire every hop instantly.
+    ZeroLease,
+    /// `retry_base` of zero would retry in a busy loop.
+    ZeroRetryBase,
+}
+
+impl fmt::Display for FaultPlanError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FaultPlanError::ProbabilityOutOfRange { name, value } => {
+                write!(f, "{name} = {value} is outside [0, 1]")
+            }
+            FaultPlanError::ProbabilitiesExceedOne => {
+                write!(f, "drop_prob + dup_prob + delay_prob exceeds 1")
+            }
+            FaultPlanError::ZeroDelayExtra => {
+                write!(f, "delay_prob > 0 requires a nonzero delay_extra")
+            }
+            FaultPlanError::CrashWithoutRestart { client } => {
+                write!(f, "crash window for client {client} never restarts")
+            }
+            FaultPlanError::EmptyPartition => write!(f, "partition window is empty"),
+            FaultPlanError::ZeroLease => write!(f, "lease_timeout must be nonzero"),
+            FaultPlanError::ZeroRetryBase => write!(f, "retry_base must be nonzero"),
+        }
+    }
+}
+
+impl std::error::Error for FaultPlanError {}
+
+/// The injector's verdict for one message send.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Verdict {
+    /// Deliver normally.
+    Deliver,
+    /// Drop the message (link loss or partition).
+    Drop,
+    /// Deliver the message twice, with independent latency draws.
+    Duplicate,
+    /// Deliver once, delayed by the given extra time.
+    Delay(SimTime),
+}
+
+/// Counters for faults actually injected during a run.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct FaultCounts {
+    /// Messages dropped by the random loss band.
+    pub dropped: u64,
+    /// Messages duplicated.
+    pub duplicated: u64,
+    /// Messages delayed beyond their modeled latency.
+    pub delayed: u64,
+    /// Messages dropped because a link partition was active.
+    pub partition_drops: u64,
+}
+
+impl FaultCounts {
+    /// Total number of injected message faults.
+    pub fn total(&self) -> u64 {
+        self.dropped + self.duplicated + self.delayed + self.partition_drops
+    }
+}
+
+/// Runtime executor of a [`FaultPlan`]: owns the plan, the dedicated
+/// `"faults"` random stream, and the injected-fault counters.
+pub struct FaultInjector {
+    plan: FaultPlan,
+    rng: RngStream,
+    /// Faults injected so far.
+    pub counts: FaultCounts,
+}
+
+impl FaultInjector {
+    /// Build an injector for an *active* plan, deriving the fault stream
+    /// from the run's master seed.
+    pub fn new(plan: FaultPlan, master_seed: u64) -> Self {
+        FaultInjector {
+            plan,
+            rng: RngStream::derive(master_seed, "faults"),
+            counts: FaultCounts::default(),
+        }
+    }
+
+    /// The plan being executed.
+    pub fn plan(&self) -> &FaultPlan {
+        &self.plan
+    }
+
+    /// Decide the fate of one message from `from` to `to` at time `now`.
+    ///
+    /// Partition checks are deterministic and consume no randomness; the
+    /// probabilistic bands consume exactly one uniform draw per call when
+    /// any of the message-fault probabilities is nonzero.
+    pub fn judge(&mut self, from: SiteId, to: SiteId, now: SimTime) -> Verdict {
+        if self.partitioned(from, to, now) {
+            self.counts.partition_drops += 1;
+            return Verdict::Drop;
+        }
+        if !self.plan.has_message_faults() {
+            return Verdict::Deliver;
+        }
+        let u = self.rng.unit_f64();
+        if u < self.plan.drop_prob {
+            self.counts.dropped += 1;
+            Verdict::Drop
+        } else if u < self.plan.drop_prob + self.plan.dup_prob {
+            self.counts.duplicated += 1;
+            Verdict::Duplicate
+        } else if u < self.plan.drop_prob + self.plan.dup_prob + self.plan.delay_prob {
+            self.counts.delayed += 1;
+            Verdict::Delay(SimTime::new(self.plan.delay_extra))
+        } else {
+            Verdict::Deliver
+        }
+    }
+
+    /// Is the link between the two sites partitioned at `now`?
+    fn partitioned(&self, from: SiteId, to: SiteId, now: SimTime) -> bool {
+        let t = now.units();
+        self.plan.partitions.iter().any(|p| {
+            t >= p.from
+                && t < p.until
+                && ((p.a.matches(from) && p.b.matches(to))
+                    || (p.a.matches(to) && p.b.matches(from)))
+        })
+    }
+
+    /// The crash/restart schedule, as `(client, at, up)` triples in
+    /// chronological order, ready to be placed on the calendar at engine
+    /// start. `up == false` is a crash, `up == true` a restart.
+    pub fn crash_schedule(&self) -> Vec<(ClientId, SimTime, bool)> {
+        let mut evs: Vec<(ClientId, SimTime, bool)> = Vec::new();
+        for c in &self.plan.crashes {
+            let id = ClientId::new(c.client);
+            evs.push((id, SimTime::new(c.at), false));
+            evs.push((id, SimTime::new(c.at + c.down_for), true));
+        }
+        evs.sort_by_key(|&(id, at, up)| (at, id, up));
+        evs
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_plan_is_inert() {
+        let p = FaultPlan::default();
+        assert!(!p.is_active());
+        assert!(!p.has_message_faults());
+        assert!(p.validate().is_ok());
+    }
+
+    #[test]
+    fn message_loss_plan_is_active_and_valid() {
+        let p = FaultPlan::message_loss(0.05);
+        assert!(p.is_active());
+        assert!(p.validate().is_ok());
+    }
+
+    #[test]
+    fn validation_rejects_bad_plans() {
+        let mut p = FaultPlan::message_loss(1.5);
+        assert!(matches!(
+            p.validate(),
+            Err(FaultPlanError::ProbabilityOutOfRange { .. })
+        ));
+        p = FaultPlan {
+            drop_prob: 0.6,
+            dup_prob: 0.6,
+            ..FaultPlan::default()
+        };
+        assert_eq!(p.validate(), Err(FaultPlanError::ProbabilitiesExceedOne));
+        p = FaultPlan {
+            delay_prob: 0.1,
+            ..FaultPlan::default()
+        };
+        assert_eq!(p.validate(), Err(FaultPlanError::ZeroDelayExtra));
+        p = FaultPlan {
+            crashes: vec![CrashWindow {
+                client: 0,
+                at: 10,
+                down_for: 0,
+            }],
+            ..FaultPlan::default()
+        };
+        assert!(matches!(
+            p.validate(),
+            Err(FaultPlanError::CrashWithoutRestart { client: 0 })
+        ));
+        p = FaultPlan {
+            partitions: vec![LinkPartition {
+                a: Endpoint::Server,
+                b: Endpoint::Client(1),
+                from: 5,
+                until: 5,
+            }],
+            ..FaultPlan::default()
+        };
+        assert_eq!(p.validate(), Err(FaultPlanError::EmptyPartition));
+    }
+
+    #[test]
+    fn judge_is_deterministic_per_seed() {
+        let plan = FaultPlan {
+            drop_prob: 0.2,
+            dup_prob: 0.1,
+            delay_prob: 0.1,
+            delay_extra: 7,
+            ..FaultPlan::default()
+        };
+        let mut a = FaultInjector::new(plan.clone(), 42);
+        let mut b = FaultInjector::new(plan, 42);
+        for i in 0..500u32 {
+            let from = SiteId::Client(ClientId::new(i % 5));
+            let v1 = a.judge(from, SiteId::Server, SimTime::new(u64::from(i)));
+            let v2 = b.judge(from, SiteId::Server, SimTime::new(u64::from(i)));
+            assert_eq!(v1, v2);
+        }
+        assert_eq!(a.counts, b.counts);
+        assert!(a.counts.total() > 0, "expected some injected faults");
+    }
+
+    #[test]
+    fn partition_drops_deterministically_without_draws() {
+        let plan = FaultPlan {
+            partitions: vec![LinkPartition {
+                a: Endpoint::Server,
+                b: Endpoint::Client(2),
+                from: 10,
+                until: 20,
+            }],
+            ..FaultPlan::default()
+        };
+        let mut inj = FaultInjector::new(plan, 1);
+        let c2 = SiteId::Client(ClientId::new(2));
+        let c3 = SiteId::Client(ClientId::new(3));
+        assert_eq!(
+            inj.judge(SiteId::Server, c2, SimTime::new(9)),
+            Verdict::Deliver
+        );
+        assert_eq!(
+            inj.judge(SiteId::Server, c2, SimTime::new(10)),
+            Verdict::Drop
+        );
+        assert_eq!(
+            inj.judge(c2, SiteId::Server, SimTime::new(19)),
+            Verdict::Drop
+        );
+        assert_eq!(
+            inj.judge(SiteId::Server, c2, SimTime::new(20)),
+            Verdict::Deliver
+        );
+        assert_eq!(
+            inj.judge(SiteId::Server, c3, SimTime::new(15)),
+            Verdict::Deliver
+        );
+        assert_eq!(inj.counts.partition_drops, 2);
+    }
+
+    #[test]
+    fn crash_schedule_orders_events() {
+        let plan = FaultPlan {
+            crashes: vec![
+                CrashWindow {
+                    client: 3,
+                    at: 50,
+                    down_for: 25,
+                },
+                CrashWindow {
+                    client: 1,
+                    at: 10,
+                    down_for: 5,
+                },
+            ],
+            ..FaultPlan::default()
+        };
+        let inj = FaultInjector::new(plan, 0);
+        let sched = inj.crash_schedule();
+        assert_eq!(
+            sched,
+            vec![
+                (ClientId::new(1), SimTime::new(10), false),
+                (ClientId::new(1), SimTime::new(15), true),
+                (ClientId::new(3), SimTime::new(50), false),
+                (ClientId::new(3), SimTime::new(75), true),
+            ]
+        );
+    }
+}

@@ -37,12 +37,13 @@ use std::fmt;
 use std::path::{Path, PathBuf};
 
 /// Crates the lints apply to, relative to the workspace root.
-pub const ENGINE_CRATES: [&str; 6] = [
+pub const ENGINE_CRATES: [&str; 7] = [
     "crates/protocols",
     "crates/lockmgr",
     "crates/fwdlist",
     "crates/simcore",
     "crates/netmodel",
+    "crates/faults",
     "crates/obs",
 ];
 
@@ -537,6 +538,24 @@ fn rust_files(dir: &Path, out: &mut Vec<PathBuf>) -> std::io::Result<()> {
     Ok(())
 }
 
+/// Engine-crate coverage check: every entry of [`ENGINE_CRATES`] must
+/// exist on disk, and the fault-injection crate must stay covered — the
+/// recovery paths it drives are exactly the kind of decision code the
+/// determinism lints exist for, so dropping it from the list is an error,
+/// not a configuration choice.
+pub fn check_coverage(workspace_root: &Path) -> Vec<String> {
+    let mut errs = Vec::new();
+    for krate in ENGINE_CRATES {
+        if !workspace_root.join(krate).join("src").is_dir() {
+            errs.push(format!("engine crate listed but missing on disk: {krate}"));
+        }
+    }
+    if !ENGINE_CRATES.contains(&"crates/faults") {
+        errs.push("crates/faults must be covered by ENGINE_CRATES".to_string());
+    }
+    errs
+}
+
 /// Lint every engine crate under `workspace_root`; diagnostics carry
 /// workspace-relative paths.
 pub fn lint_workspace(workspace_root: &Path) -> std::io::Result<Vec<Diagnostic>> {
@@ -568,6 +587,21 @@ mod tests {
 
     fn lint(src: &str) -> Vec<Diagnostic> {
         lint_source("test.rs", src, FileConfig::default())
+    }
+
+    #[test]
+    fn coverage_includes_faults_crate() {
+        assert!(ENGINE_CRATES.contains(&"crates/faults"));
+    }
+
+    #[test]
+    fn engine_crates_exist_on_disk() {
+        let root = Path::new(env!("CARGO_MANIFEST_DIR"))
+            .parent()
+            .unwrap()
+            .parent()
+            .unwrap();
+        assert_eq!(check_coverage(root), Vec::<String>::new());
     }
 
     #[test]

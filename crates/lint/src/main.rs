@@ -34,6 +34,13 @@ fn main() -> ExitCode {
         eprintln!("g2pl-lint: could not locate the workspace root");
         return ExitCode::FAILURE;
     };
+    let coverage = g2pl_lint::check_coverage(&root);
+    if !coverage.is_empty() {
+        for e in &coverage {
+            eprintln!("g2pl-lint: {e}");
+        }
+        return ExitCode::FAILURE;
+    }
     let mut diags = match g2pl_lint::lint_workspace(&root) {
         Ok(d) => d,
         Err(e) => {

@@ -1,0 +1,82 @@
+//! Serializable latency-model configuration.
+//!
+//! This is the single source of truth for latency configuration: the
+//! protocol engines re-export [`LatencyCfg`] (it used to live in
+//! `g2pl-protocols`), and the lossy-link fault wrapper builds on the same
+//! type, so a figure spec, an engine config, and a fault plan all describe
+//! the network the same way.
+
+use crate::latency::{BandwidthLatency, ConstantLatency, JitteredLatency, LatencyModel};
+use g2pl_simcore::SimTime;
+use serde::{Deserialize, Serialize};
+
+/// Serializable latency-model choice, instantiated per run.
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub enum LatencyCfg {
+    /// The paper's model: every message takes exactly this many units.
+    Constant(u64),
+    /// Constant base plus uniform jitter in `[0, jitter]`.
+    Jittered {
+        /// Base one-way delay.
+        base: u64,
+        /// Maximum extra delay.
+        jitter: u64,
+    },
+    /// Propagation latency plus `size / bytes_per_unit` transmission time.
+    Bandwidth {
+        /// Propagation component.
+        latency: u64,
+        /// Bytes transferred per simulation time unit.
+        bytes_per_unit: u64,
+    },
+}
+
+impl LatencyCfg {
+    /// Build the runtime latency model.
+    pub fn build(self) -> Box<dyn LatencyModel> {
+        match self {
+            LatencyCfg::Constant(l) => Box::new(ConstantLatency::new(SimTime::new(l))),
+            LatencyCfg::Jittered { base, jitter } => {
+                Box::new(JitteredLatency::new(SimTime::new(base), jitter))
+            }
+            LatencyCfg::Bandwidth {
+                latency,
+                bytes_per_unit,
+            } => Box::new(BandwidthLatency::new(SimTime::new(latency), bytes_per_unit)),
+        }
+    }
+
+    /// Nominal one-way latency (for reporting and for deriving default
+    /// fault-recovery timeouts).
+    pub fn nominal(self) -> u64 {
+        match self {
+            LatencyCfg::Constant(l) => l,
+            LatencyCfg::Jittered { base, jitter } => base + jitter / 2,
+            LatencyCfg::Bandwidth { latency, .. } => latency,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn latency_cfg_builds_models() {
+        assert_eq!(LatencyCfg::Constant(5).nominal(), 5);
+        assert_eq!(
+            LatencyCfg::Jittered {
+                base: 10,
+                jitter: 4
+            }
+            .nominal(),
+            12
+        );
+        let m = LatencyCfg::Bandwidth {
+            latency: 7,
+            bytes_per_unit: 100,
+        };
+        assert_eq!(m.nominal(), 7);
+        let _ = m.build();
+    }
+}

@@ -20,11 +20,15 @@
 //!   (3m rounds for s-2PL vs 2m+1 for g-2PL).
 
 pub mod accounting;
+pub mod cfg;
 pub mod env;
 pub mod latency;
+pub mod lossy;
 
 pub use accounting::NetAccounting;
+pub use cfg::LatencyCfg;
 pub use env::NetworkEnv;
 pub use latency::{
     BandwidthLatency, ConstantLatency, JitteredLatency, LatencyModel, MatrixLatency,
 };
+pub use lossy::LossyLink;

@@ -1,0 +1,203 @@
+//! Lossy-link wrapper: a latency model composed with a fault plan.
+//!
+//! [`LossyLink`] is the delivery layer the engines' `Net` sits on. In its
+//! reliable form it is a transparent pass-through to the wrapped
+//! [`LatencyModel`] — same draws from the same stream, so a run with no
+//! fault plan (or an inert one) is byte-identical to the pre-fault
+//! simulator. With an active [`FaultPlan`] it consults a
+//! [`FaultInjector`] per message and turns the verdict into zero
+//! (dropped), one (delivered, possibly delayed), or two (duplicated)
+//! delivery delays.
+
+use crate::latency::LatencyModel;
+use g2pl_faults::{FaultCounts, FaultInjector, FaultPlan, Verdict};
+use g2pl_simcore::{RngStream, SimTime, SiteId};
+
+/// A network link: a latency model, optionally composed with a fault
+/// injector.
+pub struct LossyLink {
+    model: Box<dyn LatencyModel>,
+    injector: Option<FaultInjector>,
+}
+
+impl LossyLink {
+    /// A perfectly reliable link (the paper's model): every `transmit`
+    /// yields exactly one delivery with the wrapped model's delay.
+    pub fn reliable(model: Box<dyn LatencyModel>) -> Self {
+        LossyLink {
+            model,
+            injector: None,
+        }
+    }
+
+    /// A link executing the given fault plan. The injector draws from its
+    /// own `"faults"` stream derived from `master_seed`, never from the
+    /// latency stream.
+    pub fn lossy(model: Box<dyn LatencyModel>, plan: FaultPlan, master_seed: u64) -> Self {
+        LossyLink {
+            model,
+            injector: Some(FaultInjector::new(plan, master_seed)),
+        }
+    }
+
+    /// Nominal one-way delay of the underlying model.
+    pub fn nominal(&self) -> SimTime {
+        self.model.nominal()
+    }
+
+    /// True if this link can inject faults.
+    pub fn faults_active(&self) -> bool {
+        self.injector.is_some()
+    }
+
+    /// The active fault plan, if any.
+    pub fn plan(&self) -> Option<&FaultPlan> {
+        self.injector.as_ref().map(FaultInjector::plan)
+    }
+
+    /// Counters of faults injected so far.
+    pub fn counts(&self) -> FaultCounts {
+        self.injector
+            .as_ref()
+            .map_or_else(FaultCounts::default, |i| i.counts)
+    }
+
+    /// The crash/restart schedule of the plan (empty when reliable).
+    pub fn crash_schedule(&self) -> Vec<(g2pl_simcore::ClientId, SimTime, bool)> {
+        self.injector
+            .as_ref()
+            .map_or_else(Vec::new, FaultInjector::crash_schedule)
+    }
+
+    /// Decide the delivery times for one message from `from` to `to` sent
+    /// at `now`. Each delivery's delay is pushed into `out` (cleared
+    /// first); an empty `out` means the message was dropped. Returns
+    /// `true` if a fault was injected (for trace recording).
+    pub fn transmit(
+        &mut self,
+        from: SiteId,
+        to: SiteId,
+        size_bytes: u64,
+        now: SimTime,
+        rng: &mut RngStream,
+        out: &mut Vec<SimTime>,
+    ) -> bool {
+        out.clear();
+        let Some(inj) = &mut self.injector else {
+            out.push(self.model.delay(from, to, size_bytes, rng));
+            return false;
+        };
+        match inj.judge(from, to, now) {
+            Verdict::Deliver => {
+                out.push(self.model.delay(from, to, size_bytes, rng));
+                false
+            }
+            Verdict::Drop => true,
+            Verdict::Duplicate => {
+                out.push(self.model.delay(from, to, size_bytes, rng));
+                out.push(self.model.delay(from, to, size_bytes, rng));
+                true
+            }
+            Verdict::Delay(extra) => {
+                out.push(self.model.delay(from, to, size_bytes, rng) + extra);
+                true
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::latency::ConstantLatency;
+    use g2pl_simcore::ClientId;
+
+    fn site(c: u32) -> SiteId {
+        SiteId::Client(ClientId::new(c))
+    }
+
+    #[test]
+    fn reliable_link_is_passthrough() {
+        let mut link = LossyLink::reliable(Box::new(ConstantLatency::new(SimTime::new(9))));
+        let mut rng = RngStream::new(1);
+        let mut out = Vec::new();
+        let injected = link.transmit(
+            site(0),
+            SiteId::Server,
+            64,
+            SimTime::ZERO,
+            &mut rng,
+            &mut out,
+        );
+        assert!(!injected);
+        assert_eq!(out, vec![SimTime::new(9)]);
+        assert!(!link.faults_active());
+        assert_eq!(link.counts(), FaultCounts::default());
+    }
+
+    #[test]
+    fn certain_loss_drops_everything() {
+        let mut link = LossyLink::lossy(
+            Box::new(ConstantLatency::new(SimTime::new(9))),
+            FaultPlan::message_loss(1.0),
+            7,
+        );
+        let mut rng = RngStream::new(1);
+        let mut out = Vec::new();
+        for _ in 0..10 {
+            let injected = link.transmit(
+                site(0),
+                SiteId::Server,
+                64,
+                SimTime::ZERO,
+                &mut rng,
+                &mut out,
+            );
+            assert!(injected);
+            assert!(out.is_empty());
+        }
+        assert_eq!(link.counts().dropped, 10);
+    }
+
+    #[test]
+    fn duplicate_and_delay_yield_expected_deliveries() {
+        let dup_plan = FaultPlan {
+            dup_prob: 1.0,
+            ..FaultPlan::default()
+        };
+        let mut link =
+            LossyLink::lossy(Box::new(ConstantLatency::new(SimTime::new(3))), dup_plan, 7);
+        let mut rng = RngStream::new(1);
+        let mut out = Vec::new();
+        link.transmit(
+            site(0),
+            SiteId::Server,
+            64,
+            SimTime::ZERO,
+            &mut rng,
+            &mut out,
+        );
+        assert_eq!(out, vec![SimTime::new(3), SimTime::new(3)]);
+
+        let delay_plan = FaultPlan {
+            delay_prob: 1.0,
+            delay_extra: 5,
+            ..FaultPlan::default()
+        };
+        let mut link = LossyLink::lossy(
+            Box::new(ConstantLatency::new(SimTime::new(3))),
+            delay_plan,
+            7,
+        );
+        link.transmit(
+            site(0),
+            SiteId::Server,
+            64,
+            SimTime::ZERO,
+            &mut rng,
+            &mut out,
+        );
+        assert_eq!(out, vec![SimTime::new(8)]);
+        assert_eq!(link.counts().delayed, 1);
+    }
+}

@@ -46,6 +46,12 @@ pub struct RunMeta {
     pub mean_response: f64,
     /// Span events dropped past the recorder cap (0 = complete trace).
     pub dropped: u64,
+    /// Lease expiries the server resolved by abort + redispatch.
+    pub lease_expiries: u64,
+    /// Total simulated time items sat idle under a dead holder before a
+    /// lease fired (the recovery machinery's latency debt; 0 on a
+    /// fault-free run).
+    pub recovery_stall: f64,
 }
 
 fn json_f64(v: f64) -> String {
@@ -84,7 +90,8 @@ pub fn write_jsonl(meta: &RunMeta, events: &[SpanEvent]) -> String {
     let _ = writeln!(
         out,
         "{{\"protocol\":\"{}\",\"clients\":{},\"latency\":{},\"read_prob\":{},\"seed\":{},\
-         \"committed\":{},\"aborted\":{},\"measured\":{},\"mean_response\":{},\"dropped\":{}}}",
+         \"committed\":{},\"aborted\":{},\"measured\":{},\"mean_response\":{},\"dropped\":{},\
+         \"lease_expiries\":{},\"recovery_stall\":{}}}",
         meta.protocol.replace(['"', '\\'], "_"),
         meta.clients,
         meta.latency,
@@ -95,6 +102,8 @@ pub fn write_jsonl(meta: &RunMeta, events: &[SpanEvent]) -> String {
         meta.measured,
         json_f64(meta.mean_response),
         meta.dropped,
+        meta.lease_expiries,
+        json_f64(meta.recovery_stall),
     );
     for ev in events {
         out.push_str(&event_to_json(ev));
@@ -254,6 +263,10 @@ fn parse_meta(map: &BTreeMap<String, Val>) -> Result<RunMeta, String> {
         measured: get_u("measured")?,
         mean_response: get_f("mean_response")?,
         dropped: get_u("dropped").unwrap_or(0),
+        // Pre-fault traces omit the recovery fields; default them so old
+        // exports keep parsing.
+        lease_expiries: get_u("lease_expiries").unwrap_or(0),
+        recovery_stall: get_f("recovery_stall").unwrap_or(0.0),
     })
 }
 
@@ -327,6 +340,8 @@ mod tests {
             measured: 100,
             mean_response: 512.5,
             dropped: 0,
+            lease_expiries: 2,
+            recovery_stall: 77.5,
         }
     }
 

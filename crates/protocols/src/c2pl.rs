@@ -26,9 +26,10 @@
 use crate::config::EngineConfig;
 use crate::cycle::CycleFinder;
 use crate::history::{AccessRecord, CommitRecord, History};
-use crate::metrics::{Collector, RunMetrics, WalReport};
+use crate::metrics::{Collector, FaultSummary, RunMetrics, WalReport};
 use crate::runtime::{
-    ClientCore, ClientPhase, Ev, Message, Net, ServerCpu, TimerKind, TxnStatus, TxnTable,
+    lease_period, retry_period, ClientCore, ClientPhase, Ev, Message, Net, ServerCpu, TimerKind,
+    TxnStatus, TxnTable,
 };
 use crate::s2pl::{lock_mode, CTRL_BYTES, EVENT_BUDGET};
 use crate::tracelog::{TraceKind, TraceLog};
@@ -85,6 +86,21 @@ pub struct C2plEngine {
     /// Cache hits (local read grants) — the c-2PL win metric.
     cache_hits: u64,
     finder: CycleFinder,
+    /// Whether a fault plan is active (the exact fault-free code path is
+    /// taken when this is false).
+    faults_on: bool,
+    /// Server-side lease period for idle transactions (faults only).
+    lease: SimTime,
+    /// Client-side base retransmission delay; also paces server-side
+    /// callback re-sends (faults only).
+    retry_base: SimTime,
+    /// Last server-observed activity per transaction (faults only).
+    last_activity: Vec<SimTime>,
+    /// Whether a transaction currently holds server resources under a
+    /// pending lease (faults only).
+    leased: Vec<bool>,
+    /// Fault-injection and recovery counters.
+    fsum: FaultSummary,
 }
 
 impl C2plEngine {
@@ -101,8 +117,27 @@ impl C2plEngine {
                 None => ClientCore::new(ClientId::new(i), cfg.seed),
             })
             .collect();
+        let nominal = cfg.latency.nominal();
+        let (net, lease, retry_base) = match cfg.active_faults() {
+            Some(plan) => (
+                Net::with_faults(cfg.latency.build(), plan.clone(), cfg.seed),
+                lease_period(plan, nominal),
+                retry_period(plan, nominal),
+            ),
+            None => (
+                Net::new(cfg.latency.build(), cfg.seed),
+                SimTime::MAX,
+                SimTime::MAX,
+            ),
+        };
         C2plEngine {
-            net: Net::new(cfg.latency.build(), cfg.seed),
+            faults_on: net.faults_active(),
+            net,
+            lease,
+            retry_base,
+            last_activity: Vec::new(),
+            leased: Vec::new(),
+            fsum: FaultSummary::default(),
             server_cpu: ServerCpu::new(cfg.server_cpu_per_op),
             cal: Calendar::new(),
             clients,
@@ -149,13 +184,23 @@ impl C2plEngine {
             );
         }
 
+        for (client, at, up) in self.net.crash_schedule() {
+            self.cal.schedule(at, Ev::Fault { client, up });
+        }
+
         let mut events: u64 = 0;
         while let Some((now, ev)) = self.cal.pop() {
             events += 1;
             assert!(events < EVENT_BUDGET, "event budget exhausted: livelock?");
             match ev {
-                Ev::Timer { client, kind } => self.on_timer(now, client, kind),
-                Ev::WindowTimer { .. } => unreachable!("window timers are g-2PL only"),
+                Ev::Timer { client, kind } => {
+                    if !self.clients[client.index()].crashed {
+                        self.on_timer(now, client, kind);
+                    }
+                }
+                Ev::WindowTimer { .. } | Ev::LeaseCheck { .. } => {
+                    unreachable!("event is not part of the c-2PL protocol")
+                }
                 Ev::ServerProc { msg } => self.on_server_msg(now, msg),
                 Ev::Deliver { to, msg } => match to {
                     SiteId::Server => {
@@ -166,8 +211,21 @@ impl C2plEngine {
                             self.cal.schedule_in(d, Ev::ServerProc { msg });
                         }
                     }
-                    SiteId::Client(c) => self.on_client_msg(now, c, msg),
+                    SiteId::Client(c) => {
+                        if !self.clients[c.index()].crashed {
+                            self.on_client_msg(now, c, msg);
+                        }
+                    }
                 },
+                Ev::Fault { client, up } => self.on_fault(now, client, up),
+                Ev::TxnLease { txn } => self.on_txn_lease(now, txn),
+                Ev::CallbackRetry { txn } => self.on_callback_retry(now, txn),
+            }
+            if self.faults_on {
+                for (at, site) in self.net.take_fault_marks() {
+                    self.trace
+                        .record(at, TraceKind::FaultInjected, None, None, site);
+                }
             }
             if self.collector.done() {
                 if !self.cfg.drain {
@@ -177,7 +235,9 @@ impl C2plEngine {
             }
         }
 
-        if self.cfg.drain {
+        // Under an active fault plan the end-of-run snapshot may hold
+        // residue (see the s-2PL engine); liveness is property P8's job.
+        if self.cfg.drain && !self.faults_on {
             assert!(self.locks.is_quiescent(), "locks leaked after drain");
             assert!(
                 self.barriers.iter().all(Option::is_none),
@@ -193,7 +253,9 @@ impl C2plEngine {
 
         let obs = self.spans.finish();
         let trace_dropped = self.trace.dropped();
+        self.fsum.injected = self.net.fault_counts();
         RunMetrics {
+            faults: self.fsum,
             protocol: "c-2PL",
             events,
             peak_calendar: self.cal.peak_len(),
@@ -266,6 +328,158 @@ impl C2plEngine {
                     self.commit(now, client, txn);
                 }
             }
+            TimerKind::Retry { epoch } => self.on_retry(now, client, epoch),
+        }
+    }
+
+    /// A retransmission timer fired: re-send whichever operation is
+    /// still outstanding (see the s-2PL engine for the protocol).
+    fn on_retry(&mut self, now: SimTime, client: ClientId, epoch: u64) {
+        let c = &self.clients[client.index()];
+        if c.retry_epoch != epoch {
+            return;
+        }
+        if c.pending_commit.is_some() {
+            self.resend_pending_commit(now, client);
+        } else if matches!(&c.txn, Some(a) if matches!(a.phase, ClientPhase::WaitingGrant(_))) {
+            self.resend_request(now, client);
+        }
+    }
+
+    /// Arm a retransmission timer for the client's current epoch and
+    /// backoff level. No-op on a reliable network.
+    fn arm_retry(&mut self, client: ClientId) {
+        if !self.faults_on {
+            return;
+        }
+        let c = &self.clients[client.index()];
+        let delay = c.retry_backoff(self.retry_base);
+        self.cal.schedule_in(
+            delay,
+            Ev::Timer {
+                client,
+                kind: TimerKind::Retry {
+                    epoch: c.retry_epoch,
+                },
+            },
+        );
+    }
+
+    /// Re-send the outstanding lock request (no trace/span: retransmits
+    /// are not logical requests).
+    fn resend_request(&mut self, now: SimTime, client: ClientId) {
+        let c = &mut self.clients[client.index()];
+        let Some(active) = &c.txn else { return };
+        let txn = active.id;
+        let (item, mode) = active.spec.access(active.granted);
+        c.retry_attempts = c.retry_attempts.saturating_add(1);
+        self.fsum.retries += 1;
+        let _ = now;
+        self.net.send(
+            &mut self.cal,
+            client.into(),
+            SiteId::Server,
+            "c2pl.lock_request",
+            CTRL_BYTES,
+            Message::SLockReq {
+                txn,
+                client,
+                item,
+                mode: lock_mode(mode),
+            },
+        );
+        self.arm_retry(client);
+    }
+
+    /// Re-send the unacknowledged commit-release (the client's WAL tail).
+    fn resend_pending_commit(&mut self, now: SimTime, client: ClientId) {
+        let c = &mut self.clients[client.index()];
+        let Some(msg) = c.pending_commit.clone() else {
+            return;
+        };
+        let Message::SCommit { writes, .. } = &msg else {
+            return;
+        };
+        let bytes = CTRL_BYTES + writes.len() as u64 * self.cfg.item_size_bytes;
+        c.retry_attempts = c.retry_attempts.saturating_add(1);
+        self.fsum.retries += 1;
+        let _ = now;
+        self.net.send(
+            &mut self.cal,
+            client.into(),
+            SiteId::Server,
+            "c2pl.commit_release",
+            bytes,
+            msg,
+        );
+        self.arm_retry(client);
+    }
+
+    /// A scheduled crash or restart from the fault plan. A crash loses
+    /// the client's cache (and with it every pinned read and deferred
+    /// callback): the server's directory becomes stale, which is safe —
+    /// retried callbacks to a copy the client no longer holds are simply
+    /// acknowledged, shrinking the directory back to truth.
+    fn on_fault(&mut self, now: SimTime, client: ClientId, up: bool) {
+        if up {
+            self.on_restart(now, client);
+            return;
+        }
+        let c = &mut self.clients[client.index()];
+        if c.crashed {
+            return;
+        }
+        c.crashed = true;
+        self.fsum.crashes += 1;
+        self.caches[client.index()]
+            .iter_mut()
+            .for_each(|v| *v = None);
+        self.reading_cached[client.index()].clear();
+        self.deferred_callbacks[client.index()].clear();
+        self.trace
+            .record(now, TraceKind::FaultInjected, None, None, client.into());
+    }
+
+    /// A crashed client comes back up (see the s-2PL engine).
+    fn on_restart(&mut self, now: SimTime, client: ClientId) {
+        let c = &mut self.clients[client.index()];
+        if !c.crashed {
+            return;
+        }
+        c.crashed = false;
+        c.retry_progress();
+        if c.pending_commit.is_some() {
+            self.resend_pending_commit(now, client);
+            return;
+        }
+        let Some(active) = &c.txn else {
+            let idle = self.cfg.profile.draw_idle(&mut c.time_rng);
+            self.cal.schedule_in(
+                idle,
+                Ev::Timer {
+                    client,
+                    kind: TimerKind::IdleDone,
+                },
+            );
+            return;
+        };
+        let (txn, phase) = (active.id, active.phase);
+        match self.table.status(txn) {
+            TxnStatus::Aborting | TxnStatus::Aborted => self.finalize_abort(now, client, txn),
+            TxnStatus::Active => match phase {
+                ClientPhase::WaitingGrant(_) => self.resend_request(now, client),
+                ClientPhase::Thinking => {
+                    self.cal.schedule_in(
+                        SimTime::ZERO,
+                        Ev::Timer {
+                            client,
+                            kind: TimerKind::ThinkDone(txn),
+                        },
+                    );
+                }
+                ClientPhase::CommitWait | ClientPhase::Idle => {}
+            },
+            TxnStatus::Committed => {}
         }
     }
 
@@ -311,6 +525,9 @@ impl C2plEngine {
             t.phase = ClientPhase::WaitingGrant(idx);
             t.request_sent_at = now;
         }
+        if self.faults_on {
+            self.clients[client.index()].retry_progress();
+        }
         self.trace.record(
             now,
             TraceKind::RequestSent,
@@ -332,9 +549,16 @@ impl C2plEngine {
                 mode: lock_mode(mode),
             },
         );
+        self.arm_retry(client);
     }
 
     fn commit(&mut self, now: SimTime, client: ClientId, txn: TxnId) {
+        // A lease expiry may have picked this transaction as victim while
+        // its notice is still in flight (see the s-2PL engine).
+        if self.faults_on && self.table.status(txn) != TxnStatus::Active {
+            self.finalize_abort(now, client, txn);
+            return;
+        }
         let active = self.clients[client.index()]
             .txn
             .take()
@@ -400,20 +624,36 @@ impl C2plEngine {
         }
 
         let bytes = CTRL_BYTES + writes.len() as u64 * self.cfg.item_size_bytes;
+        let msg = Message::SCommit { txn, writes, reads };
+        if self.faults_on {
+            // Commit durability under loss: retransmit until the server
+            // acknowledges; the idle period starts on the ack.
+            let c = &mut self.clients[client.index()];
+            c.retry_progress();
+            c.pending_commit = Some(msg.clone());
+        }
         self.net.send(
             &mut self.cal,
             client.into(),
             SiteId::Server,
             "c2pl.commit_release",
             bytes,
-            Message::SCommit { txn, writes, reads },
+            msg,
         );
-        self.finish_txn_at_client(client);
+        // Pins release and deferred callbacks answer at transaction end
+        // regardless; only the next transaction's start is gated on the
+        // ack under faults.
+        self.answer_deferred_callbacks(client);
+        if self.faults_on {
+            self.arm_retry(client);
+        } else {
+            self.schedule_next_txn(client);
+        }
     }
 
-    /// Common end-of-transaction client work: answer deferred callbacks
-    /// and schedule the next transaction.
-    fn finish_txn_at_client(&mut self, client: ClientId) {
+    /// Release this transaction's cache pins and answer its deferred
+    /// callbacks.
+    fn answer_deferred_callbacks(&mut self, client: ClientId) {
         self.reading_cached[client.index()].clear();
         let mut deferred: Vec<ItemId> =
             std::mem::take(&mut self.deferred_callbacks[client.index()]);
@@ -429,6 +669,10 @@ impl C2plEngine {
                 Message::CallbackAck { client, item },
             );
         }
+    }
+
+    /// Draw the idle period and schedule the next transaction's start.
+    fn schedule_next_txn(&mut self, client: ClientId) {
         let idle = self
             .cfg
             .profile
@@ -442,19 +686,36 @@ impl C2plEngine {
         );
     }
 
+    /// Common end-of-transaction client work: answer deferred callbacks
+    /// and schedule the next transaction.
+    fn finish_txn_at_client(&mut self, client: ClientId) {
+        self.answer_deferred_callbacks(client);
+        self.schedule_next_txn(client);
+    }
+
     fn on_client_msg(&mut self, now: SimTime, client: ClientId, msg: Message) {
         match msg {
             Message::SGrant { txn, item, version } => {
+                let faults_on = self.faults_on;
                 let c = &mut self.clients[client.index()];
                 let Some(active) = &mut c.txn else { return };
                 if active.id != txn {
                     return;
                 }
-                debug_assert_eq!(active.spec.access(active.granted).0, item);
+                if !matches!(active.phase, ClientPhase::WaitingGrant(_))
+                    || active.spec.access(active.granted).0 != item
+                {
+                    // Duplicate of an already-consumed grant (lossy link).
+                    debug_assert!(faults_on, "unexpected duplicate grant");
+                    return;
+                }
                 active.versions.push(version);
                 active.granted += 1;
                 active.phase = ClientPhase::Thinking;
                 let wait = now.since(active.request_sent_at);
+                if faults_on {
+                    c.retry_progress();
+                }
                 self.collector.on_access_wait(wait);
                 let think = self.cfg.profile.draw_think(&mut c.time_rng);
                 self.trace.record(
@@ -473,25 +734,17 @@ impl C2plEngine {
                     },
                 );
             }
-            Message::SAbortNotice { txn } => {
+            Message::SAbortNotice { txn } => self.finalize_abort(now, client, txn),
+            Message::SCommitAck { txn } => {
                 let c = &mut self.clients[client.index()];
-                let Some(active) = &c.txn else { return };
-                if active.id != txn {
-                    return;
+                let acked =
+                    matches!(&c.pending_commit, Some(Message::SCommit { txn: t, .. }) if *t == txn);
+                if !acked {
+                    return; // duplicate ack of an older commit
                 }
-                let read_only = active.spec.is_read_only();
-                let waste = now.since(active.start);
-                let depth = active.granted;
-                c.txn = None;
-                self.table.set_status(txn, TxnStatus::Aborted);
-                self.collector.on_abort_diag(read_only, waste, depth);
-                if let Some(wal) = &mut self.wal {
-                    wal[client.index()].append(LogRecord::Abort { txn });
-                }
-                self.trace
-                    .record(now, TraceKind::Aborted, Some(txn), None, client.into());
-                self.spans.aborted(now, txn);
-                self.finish_txn_at_client(client);
+                c.pending_commit = None;
+                c.retry_progress();
+                self.schedule_next_txn(client);
             }
             Message::Callback { item } => {
                 if self.reading_cached[client.index()].contains(&item) {
@@ -514,6 +767,33 @@ impl C2plEngine {
         }
     }
 
+    /// Abort the client's transaction locally: on receipt of the server's
+    /// notice, or — under faults — when the client discovers the abort
+    /// on its own (restart after a crash, or a commit racing the notice).
+    fn finalize_abort(&mut self, now: SimTime, client: ClientId, txn: TxnId) {
+        let c = &mut self.clients[client.index()];
+        let Some(active) = &c.txn else { return };
+        if active.id != txn {
+            return;
+        }
+        let read_only = active.spec.is_read_only();
+        let waste = now.since(active.start);
+        let depth = active.granted;
+        c.txn = None;
+        if self.faults_on {
+            c.retry_progress();
+        }
+        self.table.set_status(txn, TxnStatus::Aborted);
+        self.collector.on_abort_diag(read_only, waste, depth);
+        if let Some(wal) = &mut self.wal {
+            wal[client.index()].append(LogRecord::Abort { txn });
+        }
+        self.trace
+            .record(now, TraceKind::Aborted, Some(txn), None, client.into());
+        self.spans.aborted(now, txn);
+        self.finish_txn_at_client(client);
+    }
+
     // ---- server side ----
 
     fn on_server_msg(&mut self, now: SimTime, msg: Message) {
@@ -524,8 +804,41 @@ impl C2plEngine {
                 item,
                 mode,
             } => {
-                if self.table.status(txn) != TxnStatus::Active {
-                    return;
+                match self.table.status(txn) {
+                    TxnStatus::Active => {}
+                    TxnStatus::Aborting | TxnStatus::Aborted if self.faults_on => {
+                        // A retried request from a victim whose abort
+                        // notice may have been lost: answer it again.
+                        self.net.send(
+                            &mut self.cal,
+                            SiteId::Server,
+                            client.into(),
+                            "c2pl.abort_notice",
+                            CTRL_BYTES,
+                            Message::SAbortNotice { txn },
+                        );
+                        return;
+                    }
+                    _ => return,
+                }
+                if self.faults_on {
+                    self.touch(now, txn);
+                    if self.locks.mode_of(txn, item).is_some() {
+                        // Already granted. Unless the exclusive grant is
+                        // still gated on a callback barrier (in which case
+                        // the callback-retry timer drives progress),
+                        // re-ship the lost grant.
+                        let gated = self.barriers[item.index()]
+                            .as_ref()
+                            .is_some_and(|b| b.txn == txn);
+                        if !gated {
+                            self.send_grant(now, client, txn, item);
+                        }
+                        return;
+                    }
+                    if self.locks.queued_on(txn) == Some(item) {
+                        return; // duplicate of a still-queued request
+                    }
                 }
                 self.spans.req_arrived(now, txn, item);
                 match self.locks.acquire(txn, item, mode) {
@@ -537,6 +850,15 @@ impl C2plEngine {
             }
             Message::SCommit { txn, writes, reads } => {
                 let committer = self.table.info(txn).client;
+                if self.faults_on {
+                    if !self.leased.get(txn.index()).copied().unwrap_or(false) {
+                        // Duplicate commit-release (already applied): the
+                        // ack was lost, so just acknowledge again.
+                        self.send_commit_ack(committer, txn);
+                        return;
+                    }
+                    self.leased[txn.index()] = false;
+                }
                 for &(item, version) in &writes {
                     debug_assert_eq!(version, self.versions[item.index()] + 1);
                     self.versions[item.index()] = version;
@@ -552,6 +874,15 @@ impl C2plEngine {
                     Self::directory_insert(&mut self.directory[item.index()], committer);
                 }
                 for &item in &reads {
+                    // A commit-release can be retried and arrive late: by
+                    // then the reader may already have answered a callback
+                    // and evicted this copy (its ack possibly opening an
+                    // exclusive barrier). Re-inserting it would resurrect a
+                    // directory entry the recall protocol already retired,
+                    // so consult the cache before registering the copy.
+                    if self.faults_on && self.caches[committer.index()][item.index()].is_none() {
+                        continue;
+                    }
                     Self::directory_insert(&mut self.directory[item.index()], committer);
                 }
                 self.trace.record(
@@ -566,6 +897,9 @@ impl C2plEngine {
                 for (item, t, mode) in woken {
                     let c = self.table.info(t).client;
                     self.on_lock_granted(now, c, t, item, mode);
+                }
+                if self.faults_on {
+                    self.send_commit_ack(committer, txn);
                 }
             }
             Message::CallbackAck { client, item } => {
@@ -634,6 +968,13 @@ impl C2plEngine {
                     client,
                     acks_left: remote.len(),
                 });
+                if self.faults_on {
+                    // Callbacks (or their acks) can be lost: keep
+                    // re-sending to the still-registered copies until the
+                    // barrier opens or its owner dies.
+                    self.cal
+                        .schedule_in(self.retry_base, Ev::CallbackRetry { txn });
+                }
                 // The new barrier can close a waits-for cycle (its owner
                 // now waits on every transaction pinning a cached copy),
                 // so detection must run here, not only on lock queueing.
@@ -717,6 +1058,110 @@ impl C2plEngine {
         self.finder = finder;
     }
 
+    /// Record server-observed activity for `txn` and arm its lease on
+    /// first contact. Called only under an active fault plan.
+    fn touch(&mut self, now: SimTime, txn: TxnId) {
+        let i = txn.index();
+        if self.last_activity.len() <= i {
+            self.last_activity.resize(i + 1, SimTime::ZERO);
+            self.leased.resize(i + 1, false);
+        }
+        self.last_activity[i] = now;
+        if !self.leased[i] {
+            self.leased[i] = true;
+            self.cal.schedule_in(self.lease, Ev::TxnLease { txn });
+        }
+    }
+
+    /// Acknowledge a processed commit-release (faults only).
+    fn send_commit_ack(&mut self, client: ClientId, txn: TxnId) {
+        self.net.send(
+            &mut self.cal,
+            SiteId::Server,
+            client.into(),
+            "c2pl.commit_ack",
+            CTRL_BYTES,
+            Message::SCommitAck { txn },
+        );
+    }
+
+    /// The server-side transaction lease fired (see the s-2PL engine for
+    /// the protocol; the reclaim additionally dismantles any callback
+    /// barrier the presumed-dead transaction owned).
+    fn on_txn_lease(&mut self, now: SimTime, txn: TxnId) {
+        if !self.leased.get(txn.index()).copied().unwrap_or(false) {
+            return;
+        }
+        let idle_for = now.since(self.last_activity[txn.index()]);
+        if idle_for < self.lease {
+            self.cal
+                .schedule_in(self.lease.since(idle_for), Ev::TxnLease { txn });
+            return;
+        }
+        match self.table.status(txn) {
+            TxnStatus::Committed => {
+                self.cal.schedule_in(self.lease, Ev::TxnLease { txn });
+            }
+            TxnStatus::Active => {
+                self.fsum.lease_expiries += 1;
+                self.fsum.recovery_stall += idle_for.as_f64();
+                self.trace.record(
+                    now,
+                    TraceKind::LeaseExpired,
+                    Some(txn),
+                    None,
+                    SiteId::Server,
+                );
+                self.abort_victim(now, txn);
+                self.fsum.redispatches += 1;
+                self.trace
+                    .record(now, TraceKind::Redispatch, Some(txn), None, SiteId::Server);
+            }
+            TxnStatus::Aborting | TxnStatus::Aborted => {
+                self.leased[txn.index()] = false;
+            }
+        }
+    }
+
+    /// Re-send the callbacks still outstanding for the transaction's
+    /// exclusive barrier(s). Directory entries shrink as acks land, so
+    /// only unacknowledged copies are recalled again; a duplicate
+    /// callback to a pinning client yields a duplicate ack, which the
+    /// ack handler already refuses to double-count.
+    fn on_callback_retry(&mut self, now: SimTime, txn: TxnId) {
+        let _ = now;
+        let mut any = false;
+        for i in 0..self.barriers.len() {
+            let Some(b) = &self.barriers[i] else { continue };
+            if b.txn != txn {
+                continue;
+            }
+            any = true;
+            let owner = b.client;
+            let item = ItemId::new(i as u32);
+            let remote: Vec<ClientId> = self.directory[i]
+                .iter()
+                .copied()
+                .filter(|&c| c != owner)
+                .collect();
+            for target in remote {
+                self.fsum.retries += 1;
+                self.net.send(
+                    &mut self.cal,
+                    SiteId::Server,
+                    target.into(),
+                    "c2pl.callback",
+                    CTRL_BYTES,
+                    Message::Callback { item },
+                );
+            }
+        }
+        if any {
+            self.cal
+                .schedule_in(self.retry_base, Ev::CallbackRetry { txn });
+        }
+    }
+
     /// Insert `client` into a sorted directory row (no-op when present).
     fn directory_insert(row: &mut Vec<ClientId>, client: ClientId) {
         if let Err(pos) = row.binary_search(&client) {
@@ -738,6 +1183,9 @@ impl C2plEngine {
     fn abort_victim(&mut self, now: SimTime, victim: TxnId) {
         debug_assert_eq!(self.table.status(victim), TxnStatus::Active);
         self.table.set_status(victim, TxnStatus::Aborting);
+        if let Some(l) = self.leased.get_mut(victim.index()) {
+            *l = false;
+        }
         // Dismantle any callback barrier the victim owns: keeping its
         // exclusive lock until the acknowledgements drained could leave a
         // permanent deadlock (a pinning transaction may be waiting on
@@ -858,5 +1306,60 @@ mod tests {
                 }
             }
         }
+    }
+
+    #[test]
+    fn lossy_run_completes_via_retries_and_leases() {
+        // 5% message loss: request retries, callback re-sends, and the
+        // server's transaction lease must recover every stall for the
+        // drain to empty the calendar.
+        let mut c = cfg(10, 50, 0.2);
+        c.faults = Some(g2pl_faults::FaultPlan::message_loss(0.05));
+        let m = C2plEngine::new(c).run();
+        assert_eq!(m.aborts.trials(), 300, "measurement window filled");
+        assert!(m.faults.injected.dropped > 0, "no faults injected");
+        assert!(m.faults.retries > 0, "losses recovered without retries");
+    }
+
+    #[test]
+    fn lossy_run_is_deterministic() {
+        let mk = || {
+            let mut c = cfg(8, 50, 0.3);
+            c.faults = Some(g2pl_faults::FaultPlan::message_loss(0.08));
+            C2plEngine::new(c).run()
+        };
+        let (a, b) = (mk(), mk());
+        assert_eq!(a.committed_total, b.committed_total);
+        assert_eq!(a.aborted_total, b.aborted_total);
+        assert_eq!(a.net.messages(), b.net.messages());
+        assert_eq!(a.faults.injected, b.faults.injected);
+    }
+
+    #[test]
+    fn inert_fault_plan_changes_nothing() {
+        let base = C2plEngine::new(cfg(5, 100, 0.5)).run();
+        let mut c = cfg(5, 100, 0.5);
+        c.faults = Some(g2pl_faults::FaultPlan::default());
+        let m = C2plEngine::new(c).run();
+        assert_eq!(base.response.mean(), m.response.mean());
+        assert_eq!(base.net.messages(), m.net.messages());
+        assert_eq!(base.events, m.events);
+        assert!(!m.faults.any());
+    }
+
+    #[test]
+    fn client_crash_is_recovered() {
+        let mut c = cfg(6, 50, 0.3);
+        c.faults = Some(g2pl_faults::FaultPlan {
+            crashes: vec![g2pl_faults::CrashWindow {
+                client: 2,
+                at: 4_000,
+                down_for: 2_000,
+            }],
+            ..Default::default()
+        });
+        let m = C2plEngine::new(c).run();
+        assert_eq!(m.faults.crashes, 1);
+        assert_eq!(m.aborts.trials(), 300, "run completed despite the crash");
     }
 }

@@ -1,11 +1,16 @@
 //! Engine configuration.
 
+use g2pl_faults::FaultPlan;
 use g2pl_fwdlist::OrderingRule;
 use g2pl_lockmgr::VictimPolicy;
-use g2pl_netmodel::{BandwidthLatency, ConstantLatency, JitteredLatency, LatencyModel};
-use g2pl_simcore::SimTime;
 use g2pl_workload::{Trace, TxnProfile};
 use serde::{Deserialize, Serialize};
+use std::fmt;
+
+// The latency-model configuration lives with the latency models themselves
+// (single source of truth for the lossy-link wrapper); re-exported here so
+// `g2pl_protocols::LatencyCfg` keeps working.
+pub use g2pl_netmodel::LatencyCfg;
 
 /// Which protocol engine to run.
 #[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
@@ -78,52 +83,6 @@ impl Default for G2plOpts {
     }
 }
 
-/// Serializable latency-model choice, instantiated per run.
-#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
-pub enum LatencyCfg {
-    /// The paper's model: every message takes exactly this many units.
-    Constant(u64),
-    /// Constant base plus uniform jitter in `[0, jitter]`.
-    Jittered {
-        /// Base one-way delay.
-        base: u64,
-        /// Maximum extra delay.
-        jitter: u64,
-    },
-    /// Propagation latency plus `size / bytes_per_unit` transmission time.
-    Bandwidth {
-        /// Propagation component.
-        latency: u64,
-        /// Bytes transferred per simulation time unit.
-        bytes_per_unit: u64,
-    },
-}
-
-impl LatencyCfg {
-    /// Build the runtime latency model.
-    pub fn build(self) -> Box<dyn LatencyModel> {
-        match self {
-            LatencyCfg::Constant(l) => Box::new(ConstantLatency::new(SimTime::new(l))),
-            LatencyCfg::Jittered { base, jitter } => {
-                Box::new(JitteredLatency::new(SimTime::new(base), jitter))
-            }
-            LatencyCfg::Bandwidth {
-                latency,
-                bytes_per_unit,
-            } => Box::new(BandwidthLatency::new(SimTime::new(latency), bytes_per_unit)),
-        }
-    }
-
-    /// Nominal one-way latency (for reporting).
-    pub fn nominal(self) -> u64 {
-        match self {
-            LatencyCfg::Constant(l) => l,
-            LatencyCfg::Jittered { base, jitter } => base + jitter / 2,
-            LatencyCfg::Bandwidth { latency, .. } => latency,
-        }
-    }
-}
-
 /// Full configuration of one simulation run.
 #[derive(Clone, Debug, Serialize, Deserialize)]
 pub struct EngineConfig {
@@ -179,6 +138,11 @@ pub struct EngineConfig {
     /// never perturbs the modelled metrics; reported in
     /// [`crate::RunMetrics::wal`].
     pub enable_wal: bool,
+    /// Optional fault-injection plan (message loss, duplication, delay,
+    /// client crash/restart, link partitions). `None` or an inert plan
+    /// leaves the engines on the exact fault-free code path: no injector,
+    /// no leases, no retry timers, byte-identical runs.
+    pub faults: Option<FaultPlan>,
 }
 
 /// Abort-effect semantics for g-2PL.
@@ -233,27 +197,266 @@ impl EngineConfig {
             abort_effect: AbortEffect::default(),
             server_cpu_per_op: 0,
             enable_wal: false,
+            faults: None,
         }
     }
 
+    /// Start building a configuration from the Table 1 baseline for the
+    /// given protocol. See [`EngineConfigBuilder`].
+    pub fn builder(protocol: ProtocolKind) -> EngineConfigBuilder {
+        EngineConfigBuilder {
+            cfg: EngineConfig::table1(protocol, 50, 100, 0.5),
+        }
+    }
+
+    /// The fault plan, if one is set *and* can inject at least one fault.
+    /// This is the single gate the engines consult: an inert plan must be
+    /// indistinguishable from no plan at all.
+    pub fn active_faults(&self) -> Option<&FaultPlan> {
+        self.faults.as_ref().filter(|p| p.is_active())
+    }
+
     /// Check internal consistency.
-    pub fn validate(&self) -> Result<(), String> {
+    pub fn validate(&self) -> Result<(), ConfigError> {
         if self.num_clients == 0 {
-            return Err("need at least one client".into());
+            return Err(ConfigError::NoClients);
         }
         if self.num_items == 0 {
-            return Err("need at least one data item".into());
+            return Err(ConfigError::NoItems);
         }
-        self.profile.validate(self.num_items)?;
+        self.profile
+            .validate(self.num_items)
+            .map_err(ConfigError::Profile)?;
         if self.measured_txns == 0 {
-            return Err("measured_txns must be positive".into());
+            return Err(ConfigError::NoMeasuredTxns);
         }
         if let ProtocolKind::G2pl(opts) = &self.protocol {
             if opts.fl_cap == Some(0) {
-                return Err("fl_cap of 0 would never dispatch".into());
+                return Err(ConfigError::ZeroFlCap);
+            }
+        }
+        if let Some(plan) = &self.faults {
+            plan.validate().map_err(ConfigError::Faults)?;
+            for c in &plan.crashes {
+                if c.client >= self.num_clients {
+                    return Err(ConfigError::CrashClientOutOfRange {
+                        client: c.client,
+                        num_clients: self.num_clients,
+                    });
+                }
             }
         }
         Ok(())
+    }
+}
+
+/// Why an [`EngineConfig`] was rejected.
+#[derive(Clone, Debug, PartialEq)]
+pub enum ConfigError {
+    /// `num_clients == 0`.
+    NoClients,
+    /// `num_items == 0`.
+    NoItems,
+    /// The transaction profile is inconsistent (message carries details).
+    Profile(String),
+    /// `measured_txns == 0`.
+    NoMeasuredTxns,
+    /// A forward-list cap of 0 would never dispatch.
+    ZeroFlCap,
+    /// The fault plan is invalid.
+    Faults(g2pl_faults::FaultPlanError),
+    /// A crash window names a client outside `0..num_clients`.
+    CrashClientOutOfRange {
+        /// Offending client index.
+        client: u32,
+        /// Configured client count.
+        num_clients: u32,
+    },
+}
+
+impl fmt::Display for ConfigError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ConfigError::NoClients => write!(f, "need at least one client"),
+            ConfigError::NoItems => write!(f, "need at least one data item"),
+            ConfigError::Profile(msg) => write!(f, "invalid transaction profile: {msg}"),
+            ConfigError::NoMeasuredTxns => write!(f, "measured_txns must be positive"),
+            ConfigError::ZeroFlCap => write!(f, "fl_cap of 0 would never dispatch"),
+            ConfigError::Faults(e) => write!(f, "invalid fault plan: {e}"),
+            ConfigError::CrashClientOutOfRange {
+                client,
+                num_clients,
+            } => write!(
+                f,
+                "crash window names client {client} but the run has {num_clients} clients"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for ConfigError {}
+
+/// Typed builder for [`EngineConfig`].
+///
+/// Starts from the Table 1 baseline (25 hot items, think 1–3, idle 2–10,
+/// 1–5 items per transaction, 50 clients, constant latency 100, read
+/// probability 0.5) and lets callers override the knobs they care about;
+/// [`EngineConfigBuilder::build`] validates the result instead of letting
+/// an inconsistent config panic deep inside an engine.
+///
+/// ```
+/// use g2pl_protocols::{EngineConfig, ProtocolKind};
+///
+/// let cfg = EngineConfig::builder(ProtocolKind::g2pl_paper())
+///     .num_clients(25)
+///     .latency_const(250)
+///     .read_prob(0.8)
+///     .seed(7)
+///     .build()
+///     .expect("valid config");
+/// assert_eq!(cfg.num_clients, 25);
+/// ```
+#[derive(Clone, Debug)]
+pub struct EngineConfigBuilder {
+    cfg: EngineConfig,
+}
+
+impl EngineConfigBuilder {
+    /// Number of client sites.
+    #[must_use]
+    pub fn num_clients(mut self, n: u32) -> Self {
+        self.cfg.num_clients = n;
+        self
+    }
+
+    /// Number of hot data items at the server.
+    #[must_use]
+    pub fn num_items(mut self, n: u32) -> Self {
+        self.cfg.num_items = n;
+        self
+    }
+
+    /// Latency model.
+    #[must_use]
+    pub fn latency(mut self, l: LatencyCfg) -> Self {
+        self.cfg.latency = l;
+        self
+    }
+
+    /// Constant one-way latency (the paper's model).
+    #[must_use]
+    pub fn latency_const(self, units: u64) -> Self {
+        self.latency(LatencyCfg::Constant(units))
+    }
+
+    /// Per-client transaction profile.
+    #[must_use]
+    pub fn profile(mut self, p: TxnProfile) -> Self {
+        self.cfg.profile = p;
+        self
+    }
+
+    /// Table 1 profile with the given read probability.
+    #[must_use]
+    pub fn read_prob(self, p: f64) -> Self {
+        self.profile(TxnProfile::table1(p))
+    }
+
+    /// Recorded workload to replay.
+    #[must_use]
+    pub fn replay(mut self, trace: Trace) -> Self {
+        self.cfg.replay = Some(trace);
+        self
+    }
+
+    /// Deadlock victim policy.
+    #[must_use]
+    pub fn victim(mut self, v: VictimPolicy) -> Self {
+        self.cfg.victim = v;
+        self
+    }
+
+    /// Warm-up transaction count.
+    #[must_use]
+    pub fn warmup_txns(mut self, n: u64) -> Self {
+        self.cfg.warmup_txns = n;
+        self
+    }
+
+    /// Measured transaction count.
+    #[must_use]
+    pub fn measured_txns(mut self, n: u64) -> Self {
+        self.cfg.measured_txns = n;
+        self
+    }
+
+    /// Master seed.
+    #[must_use]
+    pub fn seed(mut self, s: u64) -> Self {
+        self.cfg.seed = s;
+        self
+    }
+
+    /// Data item payload size in bytes.
+    #[must_use]
+    pub fn item_size_bytes(mut self, b: u64) -> Self {
+        self.cfg.item_size_bytes = b;
+        self
+    }
+
+    /// Run the calendar dry after measurement and check conservation.
+    #[must_use]
+    pub fn drain(mut self, on: bool) -> Self {
+        self.cfg.drain = on;
+        self
+    }
+
+    /// Record per-commit version history.
+    #[must_use]
+    pub fn record_history(mut self, on: bool) -> Self {
+        self.cfg.record_history = on;
+        self
+    }
+
+    /// Record the fine-grained event trace.
+    #[must_use]
+    pub fn trace_events(mut self, on: bool) -> Self {
+        self.cfg.trace_events = on;
+        self
+    }
+
+    /// Abort-effect semantics.
+    #[must_use]
+    pub fn abort_effect(mut self, e: AbortEffect) -> Self {
+        self.cfg.abort_effect = e;
+        self
+    }
+
+    /// Serial server CPU cost per processed message.
+    #[must_use]
+    pub fn server_cpu_per_op(mut self, units: u64) -> Self {
+        self.cfg.server_cpu_per_op = units;
+        self
+    }
+
+    /// Track per-site write-ahead logs.
+    #[must_use]
+    pub fn enable_wal(mut self, on: bool) -> Self {
+        self.cfg.enable_wal = on;
+        self
+    }
+
+    /// Fault-injection plan.
+    #[must_use]
+    pub fn faults(mut self, plan: FaultPlan) -> Self {
+        self.cfg.faults = Some(plan);
+        self
+    }
+
+    /// Validate and produce the configuration.
+    pub fn build(self) -> Result<EngineConfig, ConfigError> {
+        self.cfg.validate()?;
+        Ok(self.cfg)
     }
 }
 
@@ -295,22 +498,59 @@ mod tests {
     }
 
     #[test]
-    fn latency_cfg_builds_models() {
-        assert_eq!(LatencyCfg::Constant(5).nominal(), 5);
-        assert_eq!(
-            LatencyCfg::Jittered {
-                base: 10,
-                jitter: 4
-            }
-            .nominal(),
-            12
-        );
-        let m = LatencyCfg::Bandwidth {
-            latency: 7,
-            bytes_per_unit: 100,
+    fn builder_overrides_and_validates() {
+        let cfg = EngineConfig::builder(ProtocolKind::S2pl)
+            .num_clients(10)
+            .num_items(5)
+            .latency_const(42)
+            .read_prob(1.0)
+            .seed(3)
+            .measured_txns(100)
+            .build()
+            .expect("valid");
+        assert_eq!(cfg.num_clients, 10);
+        assert_eq!(cfg.latency.nominal(), 42);
+        assert_eq!(cfg.seed, 3);
+
+        let err = EngineConfig::builder(ProtocolKind::S2pl)
+            .num_clients(0)
+            .build()
+            .unwrap_err();
+        assert_eq!(err, ConfigError::NoClients);
+    }
+
+    #[test]
+    fn fault_plan_is_validated_with_the_config() {
+        let err = EngineConfig::builder(ProtocolKind::S2pl)
+            .faults(g2pl_faults::FaultPlan::message_loss(1.5))
+            .build()
+            .unwrap_err();
+        assert!(matches!(err, ConfigError::Faults(_)));
+
+        let plan = g2pl_faults::FaultPlan {
+            crashes: vec![g2pl_faults::CrashWindow {
+                client: 99,
+                at: 10,
+                down_for: 5,
+            }],
+            ..g2pl_faults::FaultPlan::default()
         };
-        assert_eq!(m.nominal(), 7);
-        let _ = m.build();
+        let err = EngineConfig::builder(ProtocolKind::S2pl)
+            .num_clients(10)
+            .faults(plan)
+            .build()
+            .unwrap_err();
+        assert!(matches!(err, ConfigError::CrashClientOutOfRange { .. }));
+    }
+
+    #[test]
+    fn inert_fault_plans_are_inactive() {
+        let mut cfg = EngineConfig::table1(ProtocolKind::S2pl, 5, 10, 0.5);
+        assert!(cfg.active_faults().is_none());
+        cfg.faults = Some(g2pl_faults::FaultPlan::default());
+        assert!(cfg.active_faults().is_none(), "inert plan must be inactive");
+        cfg.faults = Some(g2pl_faults::FaultPlan::message_loss(0.05));
+        assert!(cfg.active_faults().is_some());
     }
 
     #[test]

@@ -42,9 +42,10 @@
 use crate::config::{AbortEffect, EngineConfig, G2plOpts, ProtocolKind};
 use crate::cycle::CycleFinder;
 use crate::history::{AccessRecord, CommitRecord, History};
-use crate::metrics::{Collector, RunMetrics, WalReport};
+use crate::metrics::{Collector, FaultSummary, RunMetrics, WalReport};
 use crate::runtime::{
-    ClientCore, ClientPhase, Ev, Message, Net, ServerCpu, TimerKind, TxnStatus, TxnTable,
+    lease_period, retry_period, ClientCore, ClientPhase, Ev, Message, Net, ServerCpu, TimerKind,
+    TxnStatus, TxnTable,
 };
 use crate::s2pl::{lock_mode, CTRL_BYTES, EVENT_BUDGET};
 use crate::tracelog::{TraceKind, TraceLog};
@@ -71,11 +72,23 @@ struct OutState {
     /// Releases still expected from a trailing reader group (0 when the
     /// list ends in a writer).
     final_releases_left: usize,
+    /// Home version the list was dispatched from; lease recovery re-bases
+    /// the redispatch on this plus the list's committed writers.
+    base_version: Version,
+    /// Last time the checkout made observable progress (an entry
+    /// completed, or a trailing release landed); drives the lease check.
+    last_progress: SimTime,
+    /// `from_pos` of every trailing-reader release already counted at the
+    /// server (a duplicated release must not double-decrement).
+    final_released: Vec<usize>,
 }
 
 /// Server-side state of one item.
 struct ItemState {
     version: Version,
+    /// Dispatch epoch, bumped on every (re-)dispatch: messages of a
+    /// superseded checkout identify themselves as stale and are dropped.
+    epoch: u64,
     out: Option<OutState>,
     window: CollectionWindow,
     /// True while the item is home but its window close is deferred by a
@@ -91,17 +104,24 @@ struct ItemState {
 struct Hold {
     fl: Rc<ForwardList>,
     pos: usize,
+    /// Dispatch epoch of `fl` (see [`Message::GData`]): lower-epoch
+    /// messages for this hold are stale and dropped; a higher epoch
+    /// supersedes the hold (a lease-expiry redispatch).
+    epoch: u64,
     mode: LockMode,
     version: Version,
     data_arrived: bool,
     releases_recv: usize,
     releases_expected: usize,
+    /// `from_pos` of every reader release counted so far (a duplicated
+    /// release must not double-count).
+    releases_from: Vec<usize>,
     granted: bool,
     forwarded: bool,
 }
 
 impl Hold {
-    fn new(fl: Rc<ForwardList>, pos: usize) -> Self {
+    fn new(fl: Rc<ForwardList>, pos: usize, epoch: u64) -> Self {
         let mode = fl.entry(pos).mode;
         let releases_expected =
             if mode.is_exclusive() && pos > 0 && fl.entry(pos - 1).mode.is_shared() {
@@ -115,11 +135,13 @@ impl Hold {
         Hold {
             fl,
             pos,
+            epoch,
             mode,
             version: 0,
             data_arrived: false,
             releases_recv: 0,
             releases_expected,
+            releases_from: Vec::new(),
             granted: false,
             forwarded: false,
         }
@@ -183,6 +205,15 @@ pub struct G2plEngine {
     admitting: bool,
     max_fl_len: usize,
     window_closes: u64,
+    /// Whether a fault plan is active (the exact fault-free code path is
+    /// taken when this is false).
+    faults_on: bool,
+    /// Server-side lease period per dispatched checkout (faults only).
+    lease: SimTime,
+    /// Client-side base retransmission delay (faults only).
+    retry_base: SimTime,
+    /// Fault-injection and recovery counters.
+    fsum: FaultSummary,
 }
 
 impl G2plEngine {
@@ -205,14 +236,32 @@ impl G2plEngine {
         let items = (0..cfg.num_items)
             .map(|_| ItemState {
                 version: 0,
+                epoch: 0,
                 out: None,
                 window: CollectionWindow::new(),
                 holding: false,
                 unpermanent_writers: Vec::new(),
             })
             .collect();
+        let nominal = cfg.latency.nominal();
+        let (net, lease, retry_base) = match cfg.active_faults() {
+            Some(plan) => (
+                Net::with_faults(cfg.latency.build(), plan.clone(), cfg.seed),
+                lease_period(plan, nominal),
+                retry_period(plan, nominal),
+            ),
+            None => (
+                Net::new(cfg.latency.build(), cfg.seed),
+                SimTime::MAX,
+                SimTime::MAX,
+            ),
+        };
         G2plEngine {
-            net: Net::new(cfg.latency.build(), cfg.seed),
+            faults_on: net.faults_active(),
+            net,
+            lease,
+            retry_base,
+            fsum: FaultSummary::default(),
             server_cpu: ServerCpu::new(cfg.server_cpu_per_op),
             cal: Calendar::new(),
             clients,
@@ -262,12 +311,20 @@ impl G2plEngine {
             );
         }
 
+        for (client, at, up) in self.net.crash_schedule() {
+            self.cal.schedule(at, Ev::Fault { client, up });
+        }
+
         let mut events: u64 = 0;
         while let Some((now, ev)) = self.cal.pop() {
             events += 1;
             assert!(events < EVENT_BUDGET, "event budget exhausted: livelock?");
             match ev {
-                Ev::Timer { client, kind } => self.on_timer(now, client, kind),
+                Ev::Timer { client, kind } => {
+                    if !self.clients[client.index()].crashed {
+                        self.on_timer(now, client, kind);
+                    }
+                }
                 Ev::WindowTimer { item } => self.on_window_timer(now, item),
                 Ev::ServerProc { msg } => self.on_server_msg(now, msg),
                 Ev::Deliver { to, msg } => match to {
@@ -279,8 +336,23 @@ impl G2plEngine {
                             self.cal.schedule_in(d, Ev::ServerProc { msg });
                         }
                     }
-                    SiteId::Client(c) => self.on_client_msg(now, c, msg),
+                    SiteId::Client(c) => {
+                        if !self.clients[c.index()].crashed {
+                            self.on_client_msg(now, c, msg);
+                        }
+                    }
                 },
+                Ev::Fault { client, up } => self.on_fault(now, client, up),
+                Ev::LeaseCheck { item, epoch } => self.on_lease_check(now, item, epoch),
+                Ev::TxnLease { .. } | Ev::CallbackRetry { .. } => {
+                    unreachable!("event is not part of the g-2PL protocol")
+                }
+            }
+            if self.faults_on {
+                for (at, site) in self.net.take_fault_marks() {
+                    self.trace
+                        .record(at, TraceKind::FaultInjected, None, None, site);
+                }
             }
             if self.collector.done() {
                 if !self.cfg.drain {
@@ -290,7 +362,12 @@ impl G2plEngine {
             }
         }
 
-        if self.cfg.drain {
+        // Under an active fault plan the end-of-run snapshot may
+        // legitimately hold residue (a checkout whose lease had not yet
+        // fired, a client down at calendar exhaustion); liveness is
+        // checked by trace property P8 instead of these structural
+        // asserts.
+        if self.cfg.drain && !self.faults_on {
             for (i, item) in self.items.iter().enumerate() {
                 assert!(item.out.is_none(), "item x{i} not home after drain");
                 assert!(
@@ -314,7 +391,9 @@ impl G2plEngine {
 
         let obs = self.spans.finish();
         let trace_dropped = self.trace.dropped();
+        self.fsum.injected = self.net.fault_counts();
         RunMetrics {
+            faults: self.fsum,
             protocol: "g-2PL",
             response: self.collector.response,
             aborts: self.collector.aborts,
@@ -370,19 +449,34 @@ impl G2plEngine {
             .map(|(_, h)| h)
     }
 
-    /// The hold of `(item, txn)`, created from `(fl, pos)` on first sight.
+    /// The hold of `(item, txn)`, created from `(fl, pos)` on first
+    /// sight. A higher `epoch` than the existing hold's means a
+    /// lease-expiry redispatch superseded the list the hold was created
+    /// from: the hold is re-based on the new list (keeping any grant the
+    /// transaction already observed) so its gate accounting and its
+    /// eventual forward follow the live list, not the dead one.
     fn hold_or_insert(
         &mut self,
         item: ItemId,
         txn: TxnId,
         fl: &Rc<ForwardList>,
         pos: usize,
+        epoch: u64,
     ) -> &mut Hold {
         let v = self.holds.ensure(txn.index());
         let at = match v.iter().position(|(i, _)| *i == item) {
-            Some(at) => at,
+            Some(at) => {
+                if v[at].1.epoch < epoch {
+                    debug_assert!(self.faults_on, "epoch moved on a reliable network");
+                    let mut nh = Hold::new(Rc::clone(fl), pos, epoch);
+                    nh.granted = v[at].1.granted;
+                    nh.forwarded = v[at].1.forwarded;
+                    v[at].1 = nh;
+                }
+                at
+            }
             None => {
-                v.push((item, Hold::new(Rc::clone(fl), pos)));
+                v.push((item, Hold::new(Rc::clone(fl), pos, epoch)));
                 v.len() - 1
             }
         };
@@ -424,6 +518,7 @@ impl G2plEngine {
                     self.try_commit(now, client, txn);
                 }
             }
+            TimerKind::Retry { epoch } => self.on_retry(now, client, epoch),
         }
     }
 
@@ -434,6 +529,13 @@ impl G2plEngine {
     /// before those readers finish, producing non-serializable
     /// executions.
     fn try_commit(&mut self, now: SimTime, client: ClientId, txn: TxnId) {
+        if self.faults_on && self.table.status(txn) != TxnStatus::Active {
+            // A server-side lease recovery chose this transaction as its
+            // victim while the commit was pending; the server has already
+            // redispatched the surviving suffix, so the abort wins.
+            self.on_abort_notice(now, client, txn);
+            return;
+        }
         let ready = {
             let active = self.clients[client.index()].txn();
             active
@@ -457,6 +559,9 @@ impl G2plEngine {
         item: ItemId,
         mode: AccessMode,
     ) {
+        if self.faults_on {
+            self.clients[client.index()].retry_progress();
+        }
         self.trace.record(
             now,
             TraceKind::RequestSent,
@@ -478,6 +583,129 @@ impl G2plEngine {
                 mode: lock_mode(mode),
             },
         );
+        self.arm_retry(client);
+    }
+
+    /// A retransmission timer fired: if the epoch still matches (no
+    /// progress since arming) and a lock request is outstanding, re-send
+    /// it. g-2PL commits are client-local, so requests are the only
+    /// retransmittable client operation.
+    fn on_retry(&mut self, now: SimTime, client: ClientId, epoch: u64) {
+        let c = &self.clients[client.index()];
+        if c.retry_epoch != epoch {
+            return; // progress since arming: stale timer
+        }
+        if matches!(&c.txn, Some(a) if matches!(a.phase, ClientPhase::WaitingGrant(_))) {
+            self.resend_request(now, client);
+        }
+    }
+
+    /// Arm a retransmission timer for the client's current epoch and
+    /// backoff level. No-op on a reliable network.
+    fn arm_retry(&mut self, client: ClientId) {
+        if !self.faults_on {
+            return;
+        }
+        let c = &self.clients[client.index()];
+        let delay = c.retry_backoff(self.retry_base);
+        self.cal.schedule_in(
+            delay,
+            Ev::Timer {
+                client,
+                kind: TimerKind::Retry {
+                    epoch: c.retry_epoch,
+                },
+            },
+        );
+    }
+
+    /// Re-send the outstanding lock request. No `RequestSent` trace or
+    /// request span is recorded for a retransmission: trace consumers
+    /// pair each logical request with one dispatch.
+    fn resend_request(&mut self, now: SimTime, client: ClientId) {
+        let c = &mut self.clients[client.index()];
+        let Some(active) = &c.txn else { return };
+        let txn = active.id;
+        let (item, mode) = active.spec.access(active.granted);
+        c.retry_attempts = c.retry_attempts.saturating_add(1);
+        self.fsum.retries += 1;
+        let _ = now;
+        self.net.send(
+            &mut self.cal,
+            client.into(),
+            SiteId::Server,
+            "g2pl.lock_request",
+            CTRL_BYTES,
+            Message::GLockReq {
+                txn,
+                client,
+                item,
+                mode: lock_mode(mode),
+            },
+        );
+        self.arm_retry(client);
+    }
+
+    /// A scheduled crash or restart from the fault plan.
+    fn on_fault(&mut self, now: SimTime, client: ClientId, up: bool) {
+        if up {
+            self.on_restart(now, client);
+            return;
+        }
+        let c = &mut self.clients[client.index()];
+        if c.crashed {
+            return;
+        }
+        c.crashed = true;
+        self.fsum.crashes += 1;
+        self.trace
+            .record(now, TraceKind::FaultInjected, None, None, client.into());
+    }
+
+    /// A crashed client comes back up. Every timer it had died with the
+    /// crash, so each possible state re-establishes its own wake-up. Item
+    /// copies the site held are re-derived from its log, but any
+    /// migration hop dropped while down is recovered by the server-side
+    /// item lease, not by the client.
+    fn on_restart(&mut self, now: SimTime, client: ClientId) {
+        let c = &mut self.clients[client.index()];
+        if !c.crashed {
+            return;
+        }
+        c.crashed = false;
+        c.retry_progress();
+        let Some(active) = &c.txn else {
+            let idle = self.cfg.profile.draw_idle(&mut c.time_rng);
+            self.cal.schedule_in(
+                idle,
+                Ev::Timer {
+                    client,
+                    kind: TimerKind::IdleDone,
+                },
+            );
+            return;
+        };
+        let (txn, phase) = (active.id, active.phase);
+        match self.table.status(txn) {
+            TxnStatus::Aborting | TxnStatus::Aborted => self.on_abort_notice(now, client, txn),
+            TxnStatus::Active => match phase {
+                ClientPhase::WaitingGrant(_) => self.resend_request(now, client),
+                ClientPhase::Thinking => {
+                    // The think timer died with the crash: resume now.
+                    self.cal.schedule_in(
+                        SimTime::ZERO,
+                        Ev::Timer {
+                            client,
+                            kind: TimerKind::ThinkDone(txn),
+                        },
+                    );
+                }
+                // A commit certification waits on reader releases; any
+                // dropped while down are recovered by the item lease.
+                ClientPhase::CommitWait | ClientPhase::Idle => {}
+            },
+            TxnStatus::Committed => {}
+        }
     }
 
     fn commit(&mut self, now: SimTime, client: ClientId, txn: TxnId) {
@@ -487,6 +715,9 @@ impl G2plEngine {
             // lint:allow(L3): commit is only reachable from a client with an active txn
             .expect("committing client has a transaction");
         debug_assert_eq!(active.id, txn);
+        if self.faults_on {
+            self.clients[client.index()].retry_progress();
+        }
         self.table.set_status(txn, TxnStatus::Committed);
         let measured = self
             .collector
@@ -575,6 +806,7 @@ impl G2plEngine {
         hold.forwarded = true;
         let fl = Rc::clone(&hold.fl);
         let pos = hold.pos;
+        let epoch = hold.epoch;
         let mode = hold.mode;
         let out_version = if mode.is_exclusive() && status == TxnStatus::Committed {
             hold.version + 1
@@ -585,10 +817,12 @@ impl G2plEngine {
         let instant =
             self.cfg.abort_effect == AbortEffect::Instant && status != TxnStatus::Committed;
 
-        // Oracle completion flag for deadlock analysis.
+        // Oracle completion flag for deadlock analysis; completing an
+        // entry is the progress the item lease watches for.
         if let Some(out) = &mut self.items[item.index()].out {
             if let Some(p) = out.fl.position_of(txn) {
                 out.completed[p] = true;
+                out.last_progress = now;
             }
         }
         if let Some(v) = self.entries_of.get_mut(txn.index()) {
@@ -628,6 +862,7 @@ impl G2plEngine {
                 fl,
                 from_pos: pos,
                 to_pos,
+                epoch,
             };
             if instant {
                 self.net.send_with_delay(
@@ -677,12 +912,14 @@ impl G2plEngine {
                     next,
                     Some(txn),
                     instant,
+                    epoch,
                 ),
                 None => {
                     let msg = Message::GReturn {
                         item,
                         version: out_version,
                         txn,
+                        epoch,
                     };
                     if instant {
                         self.net.send_with_delay(
@@ -711,6 +948,7 @@ impl G2plEngine {
 
     /// Ship data to every member of the segment starting at `seg_start`,
     /// plus — under MR1W — the writer that follows a reader group.
+    #[allow(clippy::too_many_arguments)]
     fn send_segment(
         &mut self,
         now: SimTime,
@@ -719,8 +957,9 @@ impl G2plEngine {
         version: Version,
         fl: &Rc<ForwardList>,
         seg_start: usize,
+        epoch: u64,
     ) {
-        self.send_segment_delayed(now, from, item, version, fl, seg_start, None, false);
+        self.send_segment_delayed(now, from, item, version, fl, seg_start, None, false, epoch);
     }
 
     /// `from_txn` is the forwarding holder on a client-to-client hop
@@ -738,6 +977,7 @@ impl G2plEngine {
         seg_start: usize,
         from_txn: Option<TxnId>,
         instant: bool,
+        epoch: u64,
     ) {
         let seg = fl
             .segment_at(seg_start)
@@ -766,6 +1006,7 @@ impl G2plEngine {
                 fl: Rc::clone(fl),
                 pos,
                 from_txn: if pos == seg_start { from_txn } else { None },
+                epoch,
             };
             if instant {
                 self.net.send_with_delay(
@@ -792,9 +1033,20 @@ impl G2plEngine {
                 fl,
                 pos,
                 from_txn,
+                epoch,
             } => {
                 let txn = fl.entry(pos).txn;
                 debug_assert_eq!(fl.entry(pos).client, client);
+                if self.faults_on {
+                    if let Some(h) = self.hold(item, txn) {
+                        if epoch < h.epoch {
+                            return; // copy from a superseded dispatch
+                        }
+                        if epoch == h.epoch && h.data_arrived {
+                            return; // duplicated delivery of this copy
+                        }
+                    }
+                }
                 self.trace.record(
                     now,
                     TraceKind::DataArrived,
@@ -808,7 +1060,7 @@ impl G2plEngine {
                     // releasing transaction no extra sequential round.
                     self.spans.release_arrived(now, ft, false);
                 }
-                let hold = self.hold_or_insert(item, txn, &fl, pos);
+                let hold = self.hold_or_insert(item, txn, &fl, pos, epoch);
                 hold.data_arrived = true;
                 hold.version = version;
                 self.after_gate_update(now, client, item, txn);
@@ -819,15 +1071,27 @@ impl G2plEngine {
                 fl,
                 from_pos,
                 to_pos,
+                epoch,
             } => {
                 // lint:allow(L3): the sender set to_pos on every client-bound release
                 let w = to_pos.expect("client-bound release has a writer position");
                 let txn = fl.entry(w).txn;
                 debug_assert_eq!(fl.entry(w).client, client);
+                if self.faults_on {
+                    if let Some(h) = self.hold(item, txn) {
+                        if epoch < h.epoch {
+                            return; // release from a superseded dispatch
+                        }
+                        if epoch == h.epoch && h.releases_from.contains(&from_pos) {
+                            return; // duplicated delivery of this release
+                        }
+                    }
+                }
                 self.spans
                     .release_arrived(now, fl.entry(from_pos).txn, false);
                 let mr1w = self.opts.mr1w;
-                let hold = self.hold_or_insert(item, txn, &fl, w);
+                let hold = self.hold_or_insert(item, txn, &fl, w, epoch);
+                hold.releases_from.push(from_pos);
                 hold.releases_recv += 1;
                 if !mr1w {
                     // The release carries the data in the non-MR1W flavor.
@@ -927,6 +1191,9 @@ impl G2plEngine {
         let c = &mut self.clients[client.index()];
         if c.txn.as_ref().is_some_and(|a| a.id == txn) {
             let active = c.txn.take().expect("just checked"); // lint:allow(L3): is_some_and above
+            if self.faults_on {
+                c.retry_progress();
+            }
             self.collector.on_abort_diag(
                 active.spec.is_read_only(),
                 now.since(active.start),
@@ -961,12 +1228,56 @@ impl G2plEngine {
                 item,
                 mode,
             } => {
-                if self.table.status(txn) != TxnStatus::Active {
-                    return; // stale request
+                match self.table.status(txn) {
+                    TxnStatus::Active => {}
+                    TxnStatus::Aborting | TxnStatus::Aborted if self.faults_on => {
+                        // A retried request from a victim whose abort
+                        // notice may have been lost: answer it again.
+                        self.net.send(
+                            &mut self.cal,
+                            SiteId::Server,
+                            client.into(),
+                            "g2pl.abort_notice",
+                            CTRL_BYTES,
+                            Message::GAbortNotice { txn },
+                        );
+                        return;
+                    }
+                    _ => return, // stale request
+                }
+                if self.faults_on {
+                    // Retransmission of a request the server already has:
+                    // either still gathering in a window, or already on a
+                    // dispatched list (its grant is in flight, or the item
+                    // lease will recover it).
+                    if self.pending_of.get(txn.index()).copied().flatten() == Some(item) {
+                        return;
+                    }
+                    if self
+                        .entries_of
+                        .get(txn.index())
+                        .is_some_and(|v| v.contains(&item))
+                    {
+                        return;
+                    }
                 }
                 self.on_request(now, txn, client, item, mode);
             }
-            Message::GReturn { item, version, txn } => {
+            Message::GReturn {
+                item,
+                version,
+                txn,
+                epoch,
+            } => {
+                {
+                    let st = &self.items[item.index()];
+                    if st.epoch != epoch || st.out.is_none() {
+                        // A return from a superseded checkout, or a
+                        // duplicated return for one already processed.
+                        debug_assert!(self.faults_on, "stale return on a reliable network");
+                        return;
+                    }
+                }
                 self.trace.record(
                     now,
                     TraceKind::ReleasedAtServer,
@@ -991,7 +1302,22 @@ impl G2plEngine {
                 fl,
                 from_pos,
                 to_pos: None,
+                epoch,
             } => {
+                {
+                    let st = &self.items[item.index()];
+                    let stale = st.epoch != epoch
+                        || st
+                            .out
+                            .as_ref()
+                            .is_none_or(|o| o.final_released.contains(&from_pos));
+                    if stale {
+                        // A release from a superseded checkout, or a
+                        // duplicated copy of one already counted.
+                        debug_assert!(self.faults_on, "stale release on a reliable network");
+                        return;
+                    }
+                }
                 self.trace.record(
                     now,
                     TraceKind::ReleasedAtServer,
@@ -1006,6 +1332,8 @@ impl G2plEngine {
                 let st = &mut self.items[item.index()];
                 // lint:allow(L3): a reader release implies the item is still out
                 let out = st.out.as_mut().expect("release for an item already home");
+                out.final_released.push(from_pos);
+                out.last_progress = now;
                 debug_assert!(out.final_releases_left > 0);
                 out.final_releases_left -= 1;
                 if out.final_releases_left == 0 {
@@ -1078,9 +1406,11 @@ impl G2plEngine {
                 );
                 out.completed.push(false);
                 out.final_releases_left += 1;
+                out.last_progress = now;
                 self.entries_of.ensure(txn.index()).push(item);
                 let fl = Rc::clone(&out.fl);
                 let version = st.version;
+                let epoch = st.epoch;
                 let data_bytes =
                     CTRL_BYTES + self.cfg.item_size_bytes + fl.len() as u64 * FL_ENTRY_BYTES;
                 self.trace.record(
@@ -1104,6 +1434,7 @@ impl G2plEngine {
                         fl,
                         pos,
                         from_txn: None,
+                        epoch,
                     },
                 );
             }
@@ -1169,11 +1500,119 @@ impl G2plEngine {
         self.dispatch(now, item, pending);
     }
 
+    /// The per-checkout lease fired (faults only). If the dispatched list
+    /// made progress within the last lease period the check re-arms for
+    /// the remainder. Otherwise the first uncompleted entry is presumed
+    /// dead — everything before it completed, so it alone blocks the
+    /// list — its transaction is aborted, and the surviving suffix is
+    /// reconstructed and re-dispatched from the last durable version
+    /// (the dispatch base plus the list's committed writers, whose
+    /// updates are recoverable from their sites' logs).
+    fn on_lease_check(&mut self, now: SimTime, item: ItemId, epoch: u64) {
+        {
+            let st = &self.items[item.index()];
+            if st.epoch != epoch || st.out.is_none() {
+                return; // the checkout this lease covered is finished
+            }
+            // lint:allow(L3): is_some checked above
+            let out = st.out.as_ref().expect("checked above");
+            let idle = now.since(out.last_progress);
+            if idle < self.lease {
+                self.cal
+                    .schedule_in(self.lease.since(idle), Ev::LeaseCheck { item, epoch });
+                return;
+            }
+            self.fsum.lease_expiries += 1;
+            self.fsum.recovery_stall += idle.as_f64();
+        }
+        // lint:allow(L3): is_some checked above
+        let out = self.items[item.index()].out.take().expect("checked above");
+        self.clear_entry_index(&out, item);
+        // The victim cannot be committed: a commit forwards its holds
+        // synchronously, which marks the entry completed at send time.
+        let victim = out
+            .completed
+            .iter()
+            .position(|&done| !done)
+            .map(|p| out.fl.entry(p).txn);
+        self.trace.record(
+            now,
+            TraceKind::LeaseExpired,
+            victim,
+            Some(item),
+            SiteId::Server,
+        );
+        match victim.map(|t| (t, self.table.status(t))) {
+            Some((t, TxnStatus::Active)) => self.abort_victim(now, t),
+            Some((t, TxnStatus::Aborting)) => {
+                // Already a deadlock victim; its notice may have been
+                // lost, so answer the silence with a fresh one.
+                self.net.send(
+                    &mut self.cal,
+                    SiteId::Server,
+                    self.table.info(t).client.into(),
+                    "g2pl.abort_notice",
+                    CTRL_BYTES,
+                    Message::GAbortNotice { txn: t },
+                );
+            }
+            _ => {}
+        }
+
+        // Surviving suffix: every other uncompleted, still-live entry, in
+        // list order.
+        let mut survivors = Vec::new();
+        for (p, e) in out.fl.entries().iter().enumerate() {
+            if out.completed[p] || Some(e.txn) == victim {
+                continue;
+            }
+            if self.table.status(e.txn) != TxnStatus::Active {
+                continue;
+            }
+            let arrival = self.arrival_seq;
+            self.arrival_seq += 1;
+            survivors.push(PendingReq {
+                entry: *e,
+                arrival,
+                restarts: 0,
+            });
+        }
+
+        let committed_writes = out
+            .fl
+            .entries()
+            .iter()
+            .filter(|e| e.mode.is_exclusive() && self.table.status(e.txn) == TxnStatus::Committed)
+            .count() as Version;
+        self.items[item.index()].version = out.base_version + committed_writes;
+
+        self.fsum.redispatches += 1;
+        self.trace.record(
+            now,
+            TraceKind::Redispatch,
+            victim,
+            Some(item),
+            SiteId::Server,
+        );
+        if survivors.is_empty() {
+            // No live suffix: the item simply comes home.
+            self.mark_writers_permanent(item);
+            self.close_window(now, item);
+        } else {
+            self.dispatch(now, item, survivors);
+        }
+    }
+
     /// Order `pending` into a forward list and send the item out.
     fn dispatch(&mut self, now: SimTime, item: ItemId, pending: Vec<PendingReq>) {
         for req in &pending {
             if let Some(slot) = self.pending_of.get_mut(req.entry.txn.index()) {
-                *slot = None;
+                // Only clear a request pending on *this* item: a
+                // lease-recovery redispatch can carry a survivor whose
+                // pending request is on some other item's window.
+                if *slot == Some(item) {
+                    *slot = None;
+                }
             }
         }
         let fl = self.opts.ordering.order(pending, &mut self.dag);
@@ -1213,13 +1652,24 @@ impl G2plEngine {
         }
         let st = &mut self.items[item.index()];
         let version = st.version;
+        st.epoch += 1;
+        let epoch = st.epoch;
         st.out = Some(OutState {
             fl: Rc::clone(&fl),
             completed: vec![false; fl.len()],
             all_readers,
             final_releases_left: final_releases,
+            base_version: version,
+            last_progress: now,
+            final_released: Vec::new(),
         });
-        self.send_segment(now, SiteId::Server, item, version, &fl, 0);
+        if self.faults_on {
+            // One lease per checkout: it re-arms itself while the list
+            // keeps making progress and recovers it when progress stops.
+            self.cal
+                .schedule_in(self.lease, Ev::LeaseCheck { item, epoch });
+        }
+        self.send_segment(now, SiteId::Server, item, version, &fl, 0, epoch);
 
         // A dispatch creates new waits-for edges (the list's internal
         // order, plus whatever was already pending against these
@@ -1614,5 +2064,64 @@ mod tests {
                 }
             }
         }
+    }
+
+    #[test]
+    fn lossy_run_completes_via_lease_recovery() {
+        // 5% message loss: every migration hop is at risk, so the run
+        // only finishes (the drain empties the calendar) if retries and
+        // lease-expiry redispatch actually recover every stall.
+        let mut c = cfg(10, 50, 0.2);
+        c.faults = Some(g2pl_faults::FaultPlan::message_loss(0.05));
+        let m = G2plEngine::new(c).run();
+        assert_eq!(m.aborts.trials(), 300, "measurement window filled");
+        assert!(m.faults.injected.dropped > 0, "no faults injected");
+        assert!(
+            m.faults.retries > 0 || m.faults.lease_expiries > 0,
+            "losses recovered without any recovery action"
+        );
+    }
+
+    #[test]
+    fn lossy_run_is_deterministic() {
+        let mk = || {
+            let mut c = cfg(8, 50, 0.3);
+            c.faults = Some(g2pl_faults::FaultPlan::message_loss(0.08));
+            G2plEngine::new(c).run()
+        };
+        let (a, b) = (mk(), mk());
+        assert_eq!(a.committed_total, b.committed_total);
+        assert_eq!(a.aborted_total, b.aborted_total);
+        assert_eq!(a.net.messages(), b.net.messages());
+        assert_eq!(a.faults.injected, b.faults.injected);
+        assert_eq!(a.faults.lease_expiries, b.faults.lease_expiries);
+    }
+
+    #[test]
+    fn inert_fault_plan_changes_nothing() {
+        let base = G2plEngine::new(cfg(5, 100, 0.5)).run();
+        let mut c = cfg(5, 100, 0.5);
+        c.faults = Some(g2pl_faults::FaultPlan::default());
+        let m = G2plEngine::new(c).run();
+        assert_eq!(base.response.mean(), m.response.mean());
+        assert_eq!(base.net.messages(), m.net.messages());
+        assert_eq!(base.events, m.events);
+        assert!(!m.faults.any());
+    }
+
+    #[test]
+    fn client_crash_is_recovered() {
+        let mut c = cfg(6, 50, 0.3);
+        c.faults = Some(g2pl_faults::FaultPlan {
+            crashes: vec![g2pl_faults::CrashWindow {
+                client: 2,
+                at: 4_000,
+                down_for: 2_000,
+            }],
+            ..Default::default()
+        });
+        let m = G2plEngine::new(c).run();
+        assert_eq!(m.faults.crashes, 1);
+        assert_eq!(m.aborts.trials(), 300, "run completed despite the crash");
     }
 }

@@ -35,23 +35,34 @@ pub mod runtime;
 pub mod s2pl;
 pub mod tracelog;
 
-pub use config::{AbortEffect, EngineConfig, G2plOpts, LatencyCfg, ProtocolKind};
+pub use config::{
+    AbortEffect, ConfigError, EngineConfig, EngineConfigBuilder, G2plOpts, LatencyCfg, ProtocolKind,
+};
+pub use g2pl_faults::{CrashWindow, Endpoint, FaultCounts, FaultPlan, LinkPartition};
 pub use history::{CommitRecord, History};
-pub use metrics::RunMetrics;
+pub use metrics::{FaultSummary, RunMetrics};
 pub use tracelog::{TraceEvent, TraceKind};
 
-/// Run one simulation of the configured protocol and return its metrics.
+/// Run one simulation of the configured protocol and return its metrics,
+/// or a [`ConfigError`] if the configuration is inconsistent.
 ///
 /// This is the single entry point the experiment harness in `g2pl-core`
 /// uses; it dispatches on [`EngineConfig::protocol`].
-pub fn run(config: &EngineConfig) -> RunMetrics {
-    config
-        .validate()
-        // lint:allow(L3): public entry point; invalid configs are a caller bug
-        .unwrap_or_else(|e| panic!("invalid config: {e}"));
-    match &config.protocol {
+pub fn run(config: &EngineConfig) -> Result<RunMetrics, ConfigError> {
+    config.validate()?;
+    Ok(match &config.protocol {
         ProtocolKind::S2pl => s2pl::S2plEngine::new(config.clone()).run(),
         ProtocolKind::G2pl(_) => g2pl::G2plEngine::new(config.clone()).run(),
         ProtocolKind::C2pl => c2pl::C2plEngine::new(config.clone()).run(),
-    }
+    })
+}
+
+/// Panicking shim for the pre-`Result` entry point.
+#[deprecated(
+    since = "0.1.0",
+    note = "use `run`, which returns Result<RunMetrics, ConfigError>"
+)]
+pub fn run_or_panic(config: &EngineConfig) -> RunMetrics {
+    // lint:allow(L3): deprecated compatibility shim; callers opted into panics
+    run(config).unwrap_or_else(|e| panic!("invalid config: {e}"))
 }

@@ -2,6 +2,7 @@
 
 use crate::history::History;
 use crate::tracelog::TraceEvent;
+use g2pl_faults::FaultCounts;
 use g2pl_netmodel::NetAccounting;
 use g2pl_obs::{PhaseBreakdown, SpanEvent};
 use g2pl_simcore::SimTime;
@@ -75,6 +76,41 @@ pub struct RunMetrics {
     /// by lint rule L2, and a wall clock would be a determinism hazard
     /// inside them). Zero when nobody timed the run.
     pub wall_secs: f64,
+    /// Fault-injection and recovery accounting (all-zero when the run had
+    /// no active fault plan).
+    pub faults: FaultSummary,
+}
+
+/// What the fault injector did to a run and what recovery cost.
+#[derive(Clone, Copy, Debug, Default, Serialize)]
+pub struct FaultSummary {
+    /// Message-level faults injected by the lossy link.
+    pub injected: FaultCounts,
+    /// Client crash events executed.
+    pub crashes: u64,
+    /// Server-side lease expiries (presumed-dead holders).
+    pub lease_expiries: u64,
+    /// Forward-list suffixes reconstructed and re-dispatched (g-2PL) or
+    /// lease-triggered server-side reclaims (s-2PL/c-2PL).
+    pub redispatches: u64,
+    /// Client-side retransmissions (request retries, commit retransmits,
+    /// callback re-sends).
+    pub retries: u64,
+    /// Total simulated time between a hop's last observed progress and
+    /// the lease expiry that recovered it — the stall the obs phase
+    /// attribution charges to recovery rather than to migration.
+    pub recovery_stall: f64,
+}
+
+impl FaultSummary {
+    /// True if any fault was injected or any recovery action taken.
+    pub fn any(&self) -> bool {
+        self.injected.total() > 0
+            || self.crashes > 0
+            || self.lease_expiries > 0
+            || self.redispatches > 0
+            || self.retries > 0
+    }
 }
 
 /// Aggregated WAL statistics across every client site.

@@ -1,9 +1,10 @@
 //! Shared simulation plumbing for all protocol engines: events, messages,
 //! the network sender, per-client state, and the global transaction table.
 
+use g2pl_faults::{FaultCounts, FaultPlan};
 use g2pl_fwdlist::ForwardList;
 use g2pl_lockmgr::LockMode;
-use g2pl_netmodel::{LatencyModel, NetAccounting};
+use g2pl_netmodel::{LatencyModel, LossyLink, NetAccounting};
 use g2pl_simcore::{Calendar, ClientId, ItemId, RngStream, SimTime, SiteId, TxnId, Version};
 use g2pl_workload::{Trace, TxnGenerator, TxnSpec};
 use std::rc::Rc;
@@ -19,6 +20,15 @@ pub enum TimerKind {
     /// timers (from a transaction aborted while the timer was pending)
     /// self-identifying.
     ThinkDone(TxnId),
+    /// Fault-recovery retry timer (armed only when a fault plan is
+    /// active): re-send the outstanding request or commit if it is still
+    /// outstanding. `epoch` is the client's retry epoch at arming time;
+    /// the client bumps its epoch on every progress transition, which
+    /// makes stale retry timers self-cancelling.
+    Retry {
+        /// Client retry epoch at arming time.
+        epoch: u64,
+    },
 }
 
 /// Protocol messages. One enum serves every engine; each engine handles
@@ -61,6 +71,14 @@ pub enum Message {
         /// Aborted transaction.
         txn: TxnId,
     },
+    /// Server → client: the commit's lock release was processed. Only
+    /// sent when a fault plan is active — the client retransmits
+    /// [`Message::SCommit`] until acknowledged, so a lost commit-release
+    /// cannot strand its locks at the server.
+    SCommitAck {
+        /// Acknowledged transaction.
+        txn: TxnId,
+    },
     /// Server → client (c-2PL): recall the cached copy of an item.
     Callback {
         /// Item to drop from the cache.
@@ -101,6 +119,13 @@ pub enum Message {
         /// migration (its lock release rides this very message — the
         /// §3.2 release/grant merge); `None` on a server dispatch.
         from_txn: Option<TxnId>,
+        /// Dispatch epoch of the forward list this data belongs to. The
+        /// server bumps the item's epoch on every (re-)dispatch, so
+        /// deliveries from a superseded checkout (stale duplicates, or
+        /// survivors of a lease-expiry redispatch) identify themselves
+        /// and are dropped. Constant within a run when no faults are
+        /// injected.
+        epoch: u64,
     },
     /// A reader's release: to the next writer on the list (carrying the
     /// data in the non-MR1W protocol, a pure token under MR1W), or to the
@@ -116,6 +141,8 @@ pub enum Message {
         from_pos: usize,
         /// Receiving writer's position, or `None` when sent to the server.
         to_pos: Option<usize>,
+        /// Dispatch epoch of the forward list (see [`Message::GData`]).
+        epoch: u64,
     },
     /// Final entry → server: the item comes home with its final version.
     GReturn {
@@ -125,6 +152,8 @@ pub enum Message {
         version: Version,
         /// The final holder whose release this return is.
         txn: TxnId,
+        /// Dispatch epoch of the forward list (see [`Message::GData`]).
+        epoch: u64,
     },
     /// Server → client: the transaction was chosen as a deadlock victim.
     GAbortNotice {
@@ -172,6 +201,36 @@ pub enum Ev {
         /// The message whose processing completes now.
         msg: Message,
     },
+    /// A scheduled client crash (`up == false`) or restart (`up == true`)
+    /// from the fault plan.
+    Fault {
+        /// The client crashing or restarting.
+        client: ClientId,
+        /// `false` = crash, `true` = restart.
+        up: bool,
+    },
+    /// Server-side lease check on an item's outstanding checkout (g-2PL).
+    /// Stale if the item's dispatch epoch moved past `epoch`.
+    LeaseCheck {
+        /// The checked item.
+        item: ItemId,
+        /// Dispatch epoch the lease was armed for.
+        epoch: u64,
+    },
+    /// Server-side idle-transaction lease check (s-2PL / c-2PL): if the
+    /// transaction holds server resources but has shown no activity for a
+    /// full lease period, it is presumed dead and aborted.
+    TxnLease {
+        /// The leased transaction.
+        txn: TxnId,
+    },
+    /// Server-side callback retransmission check (c-2PL): re-send
+    /// callbacks still outstanding for the transaction's exclusive
+    /// barrier.
+    CallbackRetry {
+        /// The barrier-owning transaction.
+        txn: TxnId,
+    },
 }
 
 /// A serial server CPU: each message costs `per_op` units of processing,
@@ -213,25 +272,66 @@ impl ServerCpu {
     }
 }
 
-/// The network: latency model + accounting + the send primitive.
+/// The network: a (possibly lossy) link + accounting + the send
+/// primitive.
 pub struct Net {
-    model: Box<dyn LatencyModel>,
+    link: LossyLink,
     rng: RngStream,
     /// Message/byte counters (public: engines move it into the metrics).
     pub acct: NetAccounting,
+    /// Scratch buffer of delivery delays for one send.
+    delays: Vec<SimTime>,
+    /// `(time, sending site)` of injected message faults not yet drained
+    /// into the engine's trace log (see `take_fault_marks`).
+    fault_marks: Vec<(SimTime, SiteId)>,
 }
 
 impl Net {
-    /// A network over `model`, with randomness derived from `seed`.
+    /// A reliable network over `model`, with randomness derived from
+    /// `seed`.
     pub fn new(model: Box<dyn LatencyModel>, seed: u64) -> Self {
+        Self::build(LossyLink::reliable(model), seed)
+    }
+
+    /// A network executing the given fault plan over `model`.
+    pub fn with_faults(model: Box<dyn LatencyModel>, plan: FaultPlan, seed: u64) -> Self {
+        Self::build(LossyLink::lossy(model, plan, seed), seed)
+    }
+
+    fn build(link: LossyLink, seed: u64) -> Self {
         Net {
-            model,
+            link,
             rng: RngStream::derive(seed, "net"),
             acct: NetAccounting::new(),
+            delays: Vec::with_capacity(2),
+            fault_marks: Vec::new(),
         }
     }
 
-    /// Send `msg` from `from` to `to`, scheduling its delivery on `cal`.
+    /// True if this network can inject faults.
+    pub fn faults_active(&self) -> bool {
+        self.link.faults_active()
+    }
+
+    /// Counters of message faults injected so far.
+    pub fn fault_counts(&self) -> FaultCounts {
+        self.link.counts()
+    }
+
+    /// The plan's crash/restart schedule (empty when reliable).
+    pub fn crash_schedule(&self) -> Vec<(ClientId, SimTime, bool)> {
+        self.link.crash_schedule()
+    }
+
+    /// Drain the pending injected-fault marks (engines record one
+    /// `FaultInjected` trace event per mark). The buffer is only ever
+    /// non-empty when a fault plan is active.
+    pub fn take_fault_marks(&mut self) -> Vec<(SimTime, SiteId)> {
+        std::mem::take(&mut self.fault_marks)
+    }
+
+    /// Send `msg` from `from` to `to`, scheduling its delivery (or
+    /// deliveries, or none, under an active fault plan) on `cal`.
     /// `kind` labels the message for accounting; `size` is its payload
     /// size in bytes.
     pub fn send(
@@ -244,12 +344,32 @@ impl Net {
         msg: Message,
     ) {
         self.acct.record(from, to, kind, size);
-        let delay = self.model.delay(from, to, size, &mut self.rng);
-        cal.schedule_in(delay, Ev::Deliver { to, msg });
+        let mut delays = std::mem::take(&mut self.delays);
+        let injected = self
+            .link
+            .transmit(from, to, size, cal.now(), &mut self.rng, &mut delays);
+        if injected {
+            self.fault_marks.push((cal.now(), from));
+        }
+        if let Some((&last, rest)) = delays.split_last() {
+            for &d in rest {
+                cal.schedule_in(
+                    d,
+                    Ev::Deliver {
+                        to,
+                        msg: msg.clone(),
+                    },
+                );
+            }
+            cal.schedule_in(last, Ev::Deliver { to, msg });
+        }
+        self.delays = delays;
     }
 
     /// Like [`Net::send`] but with an explicit delay, bypassing the
-    /// latency model. Used only by diagnostic/ablation modes.
+    /// latency model *and* the fault injector (an instant-effect abort
+    /// notice is a modelling construct, not a real wire message). Used
+    /// only by diagnostic/ablation modes.
     #[allow(clippy::too_many_arguments)]
     pub fn send_with_delay(
         &mut self,
@@ -264,6 +384,22 @@ impl Net {
         self.acct.record(from, to, kind, size);
         cal.schedule_in(delay, Ev::Deliver { to, msg });
     }
+}
+
+/// The server-side lease period for a fault plan: how long a checkout or
+/// an idle transaction may show no progress before its holder is presumed
+/// dead. Defaults to a generous multiple of the nominal one-way latency
+/// so that ordinary round trips, think times, and a few retransmissions
+/// never trip it.
+pub fn lease_period(plan: &FaultPlan, nominal: u64) -> SimTime {
+    SimTime::new(plan.lease_timeout.unwrap_or(64 * nominal.max(1) + 256))
+}
+
+/// The client-side base retransmission delay for a fault plan: a little
+/// over one round trip, so a retry only fires once the original reply is
+/// overdue. Doubles per attempt (see [`ClientCore::retry_backoff`]).
+pub fn retry_period(plan: &FaultPlan, nominal: u64) -> SimTime {
+    SimTime::new(plan.retry_base.unwrap_or(4 * nominal.max(1) + 16))
 }
 
 /// Lifecycle status of a transaction.
@@ -398,6 +534,22 @@ pub struct ClientCore {
     pub replay: Option<Rc<Trace>>,
     /// Next replay position for this client.
     pub replay_idx: usize,
+    /// True while the client is crashed (fault plan): inbound messages
+    /// and local timers are dropped until the scheduled restart.
+    pub crashed: bool,
+    /// Retry epoch: bumped on every progress transition (request sent,
+    /// grant received, commit acknowledged, abort, restart). A pending
+    /// [`TimerKind::Retry`] whose epoch does not match is stale and
+    /// ignored, so retry timers never need cancelling.
+    pub retry_epoch: u64,
+    /// Consecutive retransmissions of the current outstanding operation
+    /// (exponential-backoff exponent; reset on progress).
+    pub retry_attempts: u32,
+    /// Commit-release message awaiting [`Message::SCommitAck`] (armed
+    /// only under an active fault plan): survives crashes — it stands in
+    /// for the client's WAL tail, from which a restarted client resumes
+    /// retransmission.
+    pub pending_commit: Option<Message>,
 }
 
 impl ClientCore {
@@ -411,7 +563,25 @@ impl ClientCore {
             time_rng: RngStream::derive(seed, &format!("time-client-{}", id.0)),
             replay: None,
             replay_idx: 0,
+            crashed: false,
+            retry_epoch: 0,
+            retry_attempts: 0,
+            pending_commit: None,
         }
+    }
+
+    /// Bump the retry epoch (invalidating pending retry timers) and reset
+    /// the backoff counter. Called on every progress transition when a
+    /// fault plan is active.
+    pub fn retry_progress(&mut self) {
+        self.retry_epoch += 1;
+        self.retry_attempts = 0;
+    }
+
+    /// The backoff delay for the next retransmission: `base << attempts`,
+    /// capped at 6 doublings so retries never back off past 64× base.
+    pub fn retry_backoff(&self, base: SimTime) -> SimTime {
+        SimTime::new(base.units() << self.retry_attempts.min(6))
     }
 
     /// Like [`ClientCore::new`], replaying specs from `trace` (clients
@@ -504,6 +674,43 @@ mod tests {
         assert!(matches!(ev, Ev::Deliver { .. }));
         assert_eq!(net.acct.messages(), 1);
         assert_eq!(net.acct.bytes(), 64);
+    }
+
+    #[test]
+    fn lossy_net_drops_and_marks() {
+        let mut cal: Calendar<Ev> = Calendar::new();
+        let mut net = Net::with_faults(
+            Box::new(ConstantLatency::new(SimTime::new(7))),
+            g2pl_faults::FaultPlan::message_loss(1.0),
+            1,
+        );
+        net.send(
+            &mut cal,
+            SiteId::Server,
+            SiteId::Client(ClientId::new(0)),
+            "grant",
+            64,
+            Message::SAbortNotice { txn: TxnId::new(0) },
+        );
+        assert!(cal.pop().is_none(), "certain loss delivers nothing");
+        assert_eq!(net.fault_counts().dropped, 1);
+        assert_eq!(net.take_fault_marks().len(), 1);
+        assert!(net.take_fault_marks().is_empty(), "marks drain once");
+        assert_eq!(net.acct.messages(), 1, "the send itself is accounted");
+    }
+
+    #[test]
+    fn retry_backoff_doubles_and_caps() {
+        let mut c = ClientCore::new(ClientId::new(0), 1);
+        let base = SimTime::new(10);
+        assert_eq!(c.retry_backoff(base), SimTime::new(10));
+        c.retry_attempts = 3;
+        assert_eq!(c.retry_backoff(base), SimTime::new(80));
+        c.retry_attempts = 40;
+        assert_eq!(c.retry_backoff(base), SimTime::new(640), "capped at 64x");
+        c.retry_progress();
+        assert_eq!(c.retry_attempts, 0);
+        assert_eq!(c.retry_epoch, 1);
     }
 
     #[test]

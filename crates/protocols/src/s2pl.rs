@@ -11,9 +11,10 @@
 use crate::config::EngineConfig;
 use crate::cycle::CycleFinder;
 use crate::history::{AccessRecord, CommitRecord, History};
-use crate::metrics::{Collector, RunMetrics, WalReport};
+use crate::metrics::{Collector, FaultSummary, RunMetrics, WalReport};
 use crate::runtime::{
-    ClientCore, ClientPhase, Ev, Message, Net, ServerCpu, TimerKind, TxnStatus, TxnTable,
+    lease_period, retry_period, ClientCore, ClientPhase, Ev, Message, Net, ServerCpu, TimerKind,
+    TxnStatus, TxnTable,
 };
 use crate::tracelog::{TraceKind, TraceLog};
 use g2pl_lockmgr::{AcquireOutcome, LockMode, LockTable};
@@ -54,6 +55,20 @@ pub struct S2plEngine {
     wal: Option<Vec<SiteLog>>,
     admitting: bool,
     finder: CycleFinder,
+    /// Whether a fault plan is active (the exact fault-free code path is
+    /// taken when this is false).
+    faults_on: bool,
+    /// Server-side lease period for idle transactions (faults only).
+    lease: SimTime,
+    /// Client-side base retransmission delay (faults only).
+    retry_base: SimTime,
+    /// Last server-observed activity per transaction (faults only).
+    last_activity: Vec<SimTime>,
+    /// Whether a transaction currently holds server resources under a
+    /// pending lease (faults only).
+    leased: Vec<bool>,
+    /// Fault-injection and recovery counters.
+    fsum: FaultSummary,
 }
 
 impl S2plEngine {
@@ -69,8 +84,27 @@ impl S2plEngine {
                 None => ClientCore::new(ClientId::new(i), cfg.seed),
             })
             .collect();
+        let nominal = cfg.latency.nominal();
+        let (net, lease, retry_base) = match cfg.active_faults() {
+            Some(plan) => (
+                Net::with_faults(cfg.latency.build(), plan.clone(), cfg.seed),
+                lease_period(plan, nominal),
+                retry_period(plan, nominal),
+            ),
+            None => (
+                Net::new(cfg.latency.build(), cfg.seed),
+                SimTime::MAX,
+                SimTime::MAX,
+            ),
+        };
         S2plEngine {
-            net: Net::new(cfg.latency.build(), cfg.seed),
+            faults_on: net.faults_active(),
+            net,
+            lease,
+            retry_base,
+            last_activity: Vec::new(),
+            leased: Vec::new(),
+            fsum: FaultSummary::default(),
             server_cpu: ServerCpu::new(cfg.server_cpu_per_op),
             cal: Calendar::new(),
             clients,
@@ -114,13 +148,23 @@ impl S2plEngine {
             );
         }
 
+        for (client, at, up) in self.net.crash_schedule() {
+            self.cal.schedule(at, Ev::Fault { client, up });
+        }
+
         let mut events: u64 = 0;
         while let Some((now, ev)) = self.cal.pop() {
             events += 1;
             assert!(events < EVENT_BUDGET, "event budget exhausted: livelock?");
             match ev {
-                Ev::Timer { client, kind } => self.on_timer(now, client, kind),
-                Ev::WindowTimer { .. } => unreachable!("window timers are g-2PL only"),
+                Ev::Timer { client, kind } => {
+                    if !self.clients[client.index()].crashed {
+                        self.on_timer(now, client, kind);
+                    }
+                }
+                Ev::WindowTimer { .. } | Ev::LeaseCheck { .. } | Ev::CallbackRetry { .. } => {
+                    unreachable!("event is not part of the s-2PL protocol")
+                }
                 Ev::ServerProc { msg } => self.on_server_msg(now, msg),
                 Ev::Deliver { to, msg } => match to {
                     SiteId::Server => {
@@ -131,8 +175,20 @@ impl S2plEngine {
                             self.cal.schedule_in(d, Ev::ServerProc { msg });
                         }
                     }
-                    SiteId::Client(c) => self.on_client_msg(now, c, msg),
+                    SiteId::Client(c) => {
+                        if !self.clients[c.index()].crashed {
+                            self.on_client_msg(now, c, msg);
+                        }
+                    }
                 },
+                Ev::Fault { client, up } => self.on_fault(now, client, up),
+                Ev::TxnLease { txn } => self.on_txn_lease(now, txn),
+            }
+            if self.faults_on {
+                for (at, site) in self.net.take_fault_marks() {
+                    self.trace
+                        .record(at, TraceKind::FaultInjected, None, None, site);
+                }
             }
             if self.collector.done() {
                 if !self.cfg.drain {
@@ -142,7 +198,11 @@ impl S2plEngine {
             }
         }
 
-        if self.cfg.drain {
+        // Under an active fault plan the end-of-run snapshot may
+        // legitimately hold residue (e.g. a client that crashed and never
+        // restarted before the calendar emptied); liveness is checked by
+        // trace property P8 instead of these structural asserts.
+        if self.cfg.drain && !self.faults_on {
             assert!(self.locks.is_quiescent(), "locks leaked after drain");
             if let Some(wal) = &self.wal {
                 assert!(
@@ -154,7 +214,9 @@ impl S2plEngine {
 
         let obs = self.spans.finish();
         let trace_dropped = self.trace.dropped();
+        self.fsum.injected = self.net.fault_counts();
         RunMetrics {
+            faults: self.fsum,
             protocol: "s-2PL",
             events,
             peak_calendar: self.cal.peak_len(),
@@ -227,6 +289,158 @@ impl S2plEngine {
                     self.commit(now, client, txn);
                 }
             }
+            TimerKind::Retry { epoch } => self.on_retry(now, client, epoch),
+        }
+    }
+
+    /// A retransmission timer fired: if the epoch still matches (no
+    /// progress since arming), re-send whichever operation is
+    /// outstanding — the unacknowledged commit-release, or the current
+    /// lock request.
+    fn on_retry(&mut self, now: SimTime, client: ClientId, epoch: u64) {
+        let c = &self.clients[client.index()];
+        if c.retry_epoch != epoch {
+            return; // progress since arming: stale timer
+        }
+        if c.pending_commit.is_some() {
+            self.resend_pending_commit(now, client);
+        } else if matches!(&c.txn, Some(a) if matches!(a.phase, ClientPhase::WaitingGrant(_))) {
+            self.resend_request(now, client);
+        }
+    }
+
+    /// Arm a retransmission timer for the client's current epoch and
+    /// backoff level. No-op on a reliable network.
+    fn arm_retry(&mut self, client: ClientId) {
+        if !self.faults_on {
+            return;
+        }
+        let c = &self.clients[client.index()];
+        let delay = c.retry_backoff(self.retry_base);
+        self.cal.schedule_in(
+            delay,
+            Ev::Timer {
+                client,
+                kind: TimerKind::Retry {
+                    epoch: c.retry_epoch,
+                },
+            },
+        );
+    }
+
+    /// Re-send the outstanding lock request. No `RequestSent` trace or
+    /// request span is recorded for a retransmission: trace consumers
+    /// pair each logical request with one grant.
+    fn resend_request(&mut self, now: SimTime, client: ClientId) {
+        let c = &mut self.clients[client.index()];
+        let Some(active) = &c.txn else { return };
+        let txn = active.id;
+        let (item, mode) = active.spec.access(active.granted);
+        c.retry_attempts = c.retry_attempts.saturating_add(1);
+        self.fsum.retries += 1;
+        let _ = now;
+        self.net.send(
+            &mut self.cal,
+            client.into(),
+            SiteId::Server,
+            "s2pl.lock_request",
+            CTRL_BYTES,
+            Message::SLockReq {
+                txn,
+                client,
+                item,
+                mode: lock_mode(mode),
+            },
+        );
+        self.arm_retry(client);
+    }
+
+    /// Re-send the unacknowledged commit-release (the client's WAL tail).
+    fn resend_pending_commit(&mut self, now: SimTime, client: ClientId) {
+        let c = &mut self.clients[client.index()];
+        let Some(msg) = c.pending_commit.clone() else {
+            return;
+        };
+        let Message::SCommit { writes, .. } = &msg else {
+            return;
+        };
+        let bytes = CTRL_BYTES + writes.len() as u64 * self.cfg.item_size_bytes;
+        c.retry_attempts = c.retry_attempts.saturating_add(1);
+        self.fsum.retries += 1;
+        let _ = now;
+        self.net.send(
+            &mut self.cal,
+            client.into(),
+            SiteId::Server,
+            "s2pl.commit_release",
+            bytes,
+            msg,
+        );
+        self.arm_retry(client);
+    }
+
+    /// A scheduled crash or restart from the fault plan.
+    fn on_fault(&mut self, now: SimTime, client: ClientId, up: bool) {
+        if up {
+            self.on_restart(now, client);
+            return;
+        }
+        let c = &mut self.clients[client.index()];
+        if c.crashed {
+            return;
+        }
+        c.crashed = true;
+        self.fsum.crashes += 1;
+        self.trace
+            .record(now, TraceKind::FaultInjected, None, None, client.into());
+    }
+
+    /// A crashed client comes back up. Every timer it had died with the
+    /// crash, so each possible state re-establishes its own wake-up: an
+    /// unacknowledged commit resumes retransmission (the WAL tail), an
+    /// aborted transaction finalizes locally (the notice may have been
+    /// lost while down), an outstanding request is re-sent, and an idle
+    /// client re-draws its idle period.
+    fn on_restart(&mut self, now: SimTime, client: ClientId) {
+        let c = &mut self.clients[client.index()];
+        if !c.crashed {
+            return;
+        }
+        c.crashed = false;
+        c.retry_progress();
+        if c.pending_commit.is_some() {
+            self.resend_pending_commit(now, client);
+            return;
+        }
+        let Some(active) = &c.txn else {
+            let idle = self.cfg.profile.draw_idle(&mut c.time_rng);
+            self.cal.schedule_in(
+                idle,
+                Ev::Timer {
+                    client,
+                    kind: TimerKind::IdleDone,
+                },
+            );
+            return;
+        };
+        let (txn, phase) = (active.id, active.phase);
+        match self.table.status(txn) {
+            TxnStatus::Aborting | TxnStatus::Aborted => self.finalize_abort(now, client, txn),
+            TxnStatus::Active => match phase {
+                ClientPhase::WaitingGrant(_) => self.resend_request(now, client),
+                ClientPhase::Thinking => {
+                    // The think timer died with the crash: resume now.
+                    self.cal.schedule_in(
+                        SimTime::ZERO,
+                        Ev::Timer {
+                            client,
+                            kind: TimerKind::ThinkDone(txn),
+                        },
+                    );
+                }
+                ClientPhase::CommitWait | ClientPhase::Idle => {}
+            },
+            TxnStatus::Committed => {}
         }
     }
 
@@ -238,6 +452,9 @@ impl S2plEngine {
         item: ItemId,
         mode: AccessMode,
     ) {
+        if self.faults_on {
+            self.clients[client.index()].retry_progress();
+        }
         self.trace.record(
             now,
             TraceKind::RequestSent,
@@ -259,9 +476,18 @@ impl S2plEngine {
                 mode: lock_mode(mode),
             },
         );
+        self.arm_retry(client);
     }
 
     fn commit(&mut self, now: SimTime, client: ClientId, txn: TxnId) {
+        // Under faults a lease expiry can pick a merely-slow (crashed and
+        // restarted) transaction as victim while its abort notice is
+        // still in flight; the oracle status resolves the race in favour
+        // of the abort, exactly as the server already decided it.
+        if self.faults_on && self.table.status(txn) != TxnStatus::Active {
+            self.finalize_abort(now, client, txn);
+            return;
+        }
         let c = &mut self.clients[client.index()];
         // lint:allow(L3): commit is only reachable from a client with an active txn
         let active = c.txn.take().expect("committing client has a transaction");
@@ -322,43 +548,63 @@ impl S2plEngine {
 
         // One message carries every dirty item plus the release (§3.1).
         let bytes = CTRL_BYTES + writes.len() as u64 * self.cfg.item_size_bytes;
+        let msg = Message::SCommit { txn, writes, reads };
+        if self.faults_on {
+            // Commit durability under loss: retransmit the release until
+            // the server acknowledges; the next transaction starts only
+            // on the ack (see the SCommitAck handler).
+            c.retry_progress();
+            c.pending_commit = Some(msg.clone());
+        } else {
+            let idle = self.cfg.profile.draw_idle(&mut c.time_rng);
+            self.cal.schedule_in(
+                idle,
+                Ev::Timer {
+                    client,
+                    kind: TimerKind::IdleDone,
+                },
+            );
+        }
         self.net.send(
             &mut self.cal,
             client.into(),
             SiteId::Server,
             "s2pl.commit_release",
             bytes,
-            Message::SCommit { txn, writes, reads },
+            msg,
         );
-
-        let idle = self.cfg.profile.draw_idle(&mut c.time_rng);
-        self.cal.schedule_in(
-            idle,
-            Ev::Timer {
-                client,
-                kind: TimerKind::IdleDone,
-            },
-        );
+        if self.faults_on {
+            self.arm_retry(client);
+        }
     }
 
     fn on_client_msg(&mut self, now: SimTime, client: ClientId, msg: Message) {
         match msg {
             Message::SGrant { txn, item, version } => {
+                let faults_on = self.faults_on;
                 let c = &mut self.clients[client.index()];
                 let Some(active) = &mut c.txn else {
-                    debug_assert!(false, "grant for idle client");
+                    debug_assert!(faults_on, "grant for idle client");
                     return;
                 };
                 if active.id != txn {
-                    debug_assert!(false, "grant for stale transaction");
+                    debug_assert!(faults_on, "grant for stale transaction");
                     return;
                 }
-                debug_assert!(matches!(active.phase, ClientPhase::WaitingGrant(_)));
-                debug_assert_eq!(active.spec.access(active.granted).0, item);
+                if !matches!(active.phase, ClientPhase::WaitingGrant(_))
+                    || active.spec.access(active.granted).0 != item
+                {
+                    // Duplicate of an already-consumed grant (lossy link).
+                    debug_assert!(faults_on, "unexpected duplicate grant");
+                    return;
+                }
                 active.versions.push(version);
                 active.granted += 1;
                 active.phase = ClientPhase::Thinking;
                 let wait = now.since(active.request_sent_at);
+                if faults_on {
+                    c.retry_progress();
+                }
                 self.collector.on_access_wait(wait);
                 let think = self.cfg.profile.draw_think(&mut c.time_rng);
                 self.trace.record(
@@ -377,28 +623,17 @@ impl S2plEngine {
                     },
                 );
             }
-            Message::SAbortNotice { txn } => {
+            Message::SAbortNotice { txn } => self.finalize_abort(now, client, txn),
+            Message::SCommitAck { txn } => {
                 let c = &mut self.clients[client.index()];
-                let Some(active) = &c.txn else { return };
-                if active.id != txn {
-                    return;
+                let acked =
+                    matches!(&c.pending_commit, Some(Message::SCommit { txn: t, .. }) if *t == txn);
+                if !acked {
+                    return; // duplicate ack of an older commit
                 }
-                let read_only = active.spec.is_read_only();
-                let waste = now.since(active.start);
-                let depth = active.granted;
-                c.txn = None;
-                self.table.set_status(txn, TxnStatus::Aborted);
-                self.collector.on_abort_diag(read_only, waste, depth);
-                if let Some(wal) = &mut self.wal {
-                    wal[client.index()].append(LogRecord::Abort { txn });
-                }
-                self.trace
-                    .record(now, TraceKind::Aborted, Some(txn), None, client.into());
-                self.spans.aborted(now, txn);
-                let idle = self
-                    .cfg
-                    .profile
-                    .draw_idle(&mut self.clients[client.index()].time_rng);
+                c.pending_commit = None;
+                c.retry_progress();
+                let idle = self.cfg.profile.draw_idle(&mut c.time_rng);
                 self.cal.schedule_in(
                     idle,
                     Ev::Timer {
@@ -411,6 +646,43 @@ impl S2plEngine {
         }
     }
 
+    /// Abort the client's transaction locally: on receipt of the server's
+    /// notice, or — under faults — when the client discovers the abort
+    /// on its own (restart after a crash, or a commit racing the notice).
+    fn finalize_abort(&mut self, now: SimTime, client: ClientId, txn: TxnId) {
+        let c = &mut self.clients[client.index()];
+        let Some(active) = &c.txn else { return };
+        if active.id != txn {
+            return;
+        }
+        let read_only = active.spec.is_read_only();
+        let waste = now.since(active.start);
+        let depth = active.granted;
+        c.txn = None;
+        if self.faults_on {
+            c.retry_progress();
+        }
+        self.table.set_status(txn, TxnStatus::Aborted);
+        self.collector.on_abort_diag(read_only, waste, depth);
+        if let Some(wal) = &mut self.wal {
+            wal[client.index()].append(LogRecord::Abort { txn });
+        }
+        self.trace
+            .record(now, TraceKind::Aborted, Some(txn), None, client.into());
+        self.spans.aborted(now, txn);
+        let idle = self
+            .cfg
+            .profile
+            .draw_idle(&mut self.clients[client.index()].time_rng);
+        self.cal.schedule_in(
+            idle,
+            Ev::Timer {
+                client,
+                kind: TimerKind::IdleDone,
+            },
+        );
+    }
+
     // ---- server side ----
 
     fn on_server_msg(&mut self, now: SimTime, msg: Message) {
@@ -421,8 +693,35 @@ impl S2plEngine {
                 item,
                 mode,
             } => {
-                if self.table.status(txn) != TxnStatus::Active {
-                    return; // stale request of an aborted transaction
+                match self.table.status(txn) {
+                    TxnStatus::Active => {}
+                    TxnStatus::Aborting | TxnStatus::Aborted if self.faults_on => {
+                        // A retried request from a victim whose abort
+                        // notice may have been lost: answer it again.
+                        self.net.send(
+                            &mut self.cal,
+                            SiteId::Server,
+                            client.into(),
+                            "s2pl.abort_notice",
+                            CTRL_BYTES,
+                            Message::SAbortNotice { txn },
+                        );
+                        return;
+                    }
+                    _ => return, // stale request of a finished transaction
+                }
+                if self.faults_on {
+                    self.touch(now, txn);
+                    if self.locks.mode_of(txn, item).is_some() {
+                        // Duplicate of an already-granted request (the
+                        // grant or the original request was lost or
+                        // duplicated): re-ship the grant.
+                        self.send_grant(now, client, txn, item);
+                        return;
+                    }
+                    if self.locks.queued_on(txn) == Some(item) {
+                        return; // duplicate of a still-queued request
+                    }
                 }
                 self.spans.req_arrived(now, txn, item);
                 match self.locks.acquire(txn, item, mode) {
@@ -432,6 +731,15 @@ impl S2plEngine {
             }
             Message::SCommit { txn, writes, .. } => {
                 let committer = self.table.info(txn).client;
+                if self.faults_on {
+                    if !self.leased.get(txn.index()).copied().unwrap_or(false) {
+                        // Duplicate commit-release (already applied): the
+                        // ack was lost, so just acknowledge again.
+                        self.send_commit_ack(committer, txn);
+                        return;
+                    }
+                    self.leased[txn.index()] = false;
+                }
                 for (item, version) in writes {
                     debug_assert_eq!(
                         version,
@@ -456,8 +764,79 @@ impl S2plEngine {
                     let c = self.table.info(t).client;
                     self.send_grant(now, c, t, item);
                 }
+                if self.faults_on {
+                    self.send_commit_ack(committer, txn);
+                }
             }
             other => unreachable!("s-2PL server cannot receive {other:?}"),
+        }
+    }
+
+    /// Record server-observed activity for `txn` and arm its lease on
+    /// first contact. Called only under an active fault plan.
+    fn touch(&mut self, now: SimTime, txn: TxnId) {
+        let i = txn.index();
+        if self.last_activity.len() <= i {
+            self.last_activity.resize(i + 1, SimTime::ZERO);
+            self.leased.resize(i + 1, false);
+        }
+        self.last_activity[i] = now;
+        if !self.leased[i] {
+            self.leased[i] = true;
+            self.cal.schedule_in(self.lease, Ev::TxnLease { txn });
+        }
+    }
+
+    /// Acknowledge a processed commit-release (faults only).
+    fn send_commit_ack(&mut self, client: ClientId, txn: TxnId) {
+        self.net.send(
+            &mut self.cal,
+            SiteId::Server,
+            client.into(),
+            "s2pl.commit_ack",
+            CTRL_BYTES,
+            Message::SCommitAck { txn },
+        );
+    }
+
+    /// The server-side transaction lease fired: a transaction that holds
+    /// server resources but showed no activity for a full lease period is
+    /// presumed dead and aborted, releasing its locks for the survivors.
+    /// A committed transaction is never aborted — its commit-release is
+    /// being retransmitted and will land — and recent activity simply
+    /// re-arms the lease for the remainder.
+    fn on_txn_lease(&mut self, now: SimTime, txn: TxnId) {
+        if !self.leased.get(txn.index()).copied().unwrap_or(false) {
+            return; // resolved since arming
+        }
+        let idle_for = now.since(self.last_activity[txn.index()]);
+        if idle_for < self.lease {
+            self.cal
+                .schedule_in(self.lease.since(idle_for), Ev::TxnLease { txn });
+            return;
+        }
+        match self.table.status(txn) {
+            TxnStatus::Committed => {
+                self.cal.schedule_in(self.lease, Ev::TxnLease { txn });
+            }
+            TxnStatus::Active => {
+                self.fsum.lease_expiries += 1;
+                self.fsum.recovery_stall += idle_for.as_f64();
+                self.trace.record(
+                    now,
+                    TraceKind::LeaseExpired,
+                    Some(txn),
+                    None,
+                    SiteId::Server,
+                );
+                self.abort_victim(now, txn);
+                self.fsum.redispatches += 1;
+                self.trace
+                    .record(now, TraceKind::Redispatch, Some(txn), None, SiteId::Server);
+            }
+            TxnStatus::Aborting | TxnStatus::Aborted => {
+                self.leased[txn.index()] = false;
+            }
         }
     }
 
@@ -518,6 +897,9 @@ impl S2plEngine {
     fn abort_victim(&mut self, now: SimTime, victim: TxnId) {
         debug_assert_eq!(self.table.status(victim), TxnStatus::Active);
         self.table.set_status(victim, TxnStatus::Aborting);
+        if let Some(l) = self.leased.get_mut(victim.index()) {
+            *l = false;
+        }
         // The server owns the authoritative copies, so it releases the
         // victim's locks immediately; the client only learns of the abort
         // one latency later.
@@ -638,5 +1020,60 @@ mod tests {
             high.response.mean(),
             low.response.mean()
         );
+    }
+
+    #[test]
+    fn lossy_run_completes_via_retries_and_leases() {
+        // 5% message loss: the drain only empties the calendar if client
+        // retransmission and the server's transaction lease recover every
+        // lost request, grant, notice, and commit-release.
+        let mut c = cfg(10, 50, 0.2);
+        c.faults = Some(g2pl_faults::FaultPlan::message_loss(0.05));
+        let m = S2plEngine::new(c).run();
+        assert_eq!(m.aborts.trials(), 300, "measurement window filled");
+        assert!(m.faults.injected.dropped > 0, "no faults injected");
+        assert!(m.faults.retries > 0, "losses recovered without retries");
+    }
+
+    #[test]
+    fn lossy_run_is_deterministic() {
+        let mk = || {
+            let mut c = cfg(8, 50, 0.3);
+            c.faults = Some(g2pl_faults::FaultPlan::message_loss(0.08));
+            S2plEngine::new(c).run()
+        };
+        let (a, b) = (mk(), mk());
+        assert_eq!(a.committed_total, b.committed_total);
+        assert_eq!(a.aborted_total, b.aborted_total);
+        assert_eq!(a.net.messages(), b.net.messages());
+        assert_eq!(a.faults.injected, b.faults.injected);
+    }
+
+    #[test]
+    fn inert_fault_plan_changes_nothing() {
+        let base = S2plEngine::new(cfg(5, 100, 0.5)).run();
+        let mut c = cfg(5, 100, 0.5);
+        c.faults = Some(g2pl_faults::FaultPlan::default());
+        let m = S2plEngine::new(c).run();
+        assert_eq!(base.response.mean(), m.response.mean());
+        assert_eq!(base.net.messages(), m.net.messages());
+        assert_eq!(base.events, m.events);
+        assert!(!m.faults.any());
+    }
+
+    #[test]
+    fn client_crash_is_recovered() {
+        let mut c = cfg(6, 50, 0.3);
+        c.faults = Some(g2pl_faults::FaultPlan {
+            crashes: vec![g2pl_faults::CrashWindow {
+                client: 2,
+                at: 4_000,
+                down_for: 2_000,
+            }],
+            ..Default::default()
+        });
+        let m = S2plEngine::new(c).run();
+        assert_eq!(m.faults.crashes, 1);
+        assert_eq!(m.aborts.trials(), 300, "run completed despite the crash");
     }
 }

@@ -37,6 +37,20 @@ pub enum TraceKind {
     /// (g-2PL `expand_reads` only — any other FL mutation after window
     /// close violates the collection-window discipline, property P7).
     FlExtended,
+    /// The fault injector acted on a message (drop, duplicate, delay,
+    /// partition drop) or a client crashed/restarted. `site` is the
+    /// sending site (or the crashing client).
+    FaultInjected,
+    /// A server-side lease on a checkout/migration hop expired: the
+    /// holder of `item` made no progress for a full lease period and is
+    /// presumed dead. `txn` is the victim (if one was identified).
+    LeaseExpired,
+    /// The server reconstructed the surviving forward-list suffix for
+    /// `item` after a lease expiry and re-dispatched it from the last
+    /// durable version (or brought the item home if no survivors
+    /// remained). Every [`TraceKind::LeaseExpired`] must be resolved by
+    /// one of these — property P8.
+    Redispatch,
 }
 
 /// One trace event.

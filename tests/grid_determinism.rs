@@ -29,8 +29,11 @@ fn serial_and_parallel<T>(mut f: impl FnMut() -> T) -> (T, T) {
 
 #[test]
 fn fig2_sweep_is_identical_serial_and_parallel() {
-    let (serial, parallel) =
-        serial_and_parallel(|| experiments::fig_response_vs_latency("fig2", 0.0, Scale::Smoke));
+    let (serial, parallel) = serial_and_parallel(|| {
+        experiments::figure("fig2")
+            .expect("registered")
+            .build(Scale::Smoke)
+    });
     assert_eq!(serial, parallel, "worker count changed figure output");
     // Sanity: the figure has both protocols over the full sweep.
     assert_eq!(serial.series.len(), 2);
@@ -39,7 +42,11 @@ fn fig2_sweep_is_identical_serial_and_parallel() {
 
 #[test]
 fn fig11_custom_sweep_is_identical_serial_and_parallel() {
-    let (serial, parallel) = serial_and_parallel(|| experiments::fig11(Scale::Smoke));
+    let (serial, parallel) = serial_and_parallel(|| {
+        experiments::figure("fig11")
+            .expect("registered")
+            .build(Scale::Smoke)
+    });
     assert_eq!(serial, parallel, "worker count changed figure output");
     assert_eq!(serial.series.len(), 1);
 }

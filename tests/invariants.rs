@@ -63,7 +63,7 @@ proptest! {
     /// version chains, for every protocol and optimization combination.
     #[test]
     fn histories_are_serializable(cfg in arb_config()) {
-        let m = run(&cfg);
+        let m = run(&cfg).expect("valid config");
         let history = m.history.as_ref().expect("history enabled");
         let label = m.protocol;
         check_serializable(history)
@@ -74,7 +74,7 @@ proptest! {
     /// internally when `drain` is set) and fill the measurement window.
     #[test]
     fn runs_drain_and_fill_window(cfg in arb_config()) {
-        let m = run(&cfg);
+        let m = run(&cfg).expect("valid config");
         prop_assert_eq!(m.aborts.trials(), cfg.measured_txns);
         prop_assert!(m.committed_total > 0);
         // Every committed transaction has a response sample or fell in
@@ -85,8 +85,8 @@ proptest! {
     /// Same seed, same metrics — full determinism.
     #[test]
     fn determinism(cfg in arb_config()) {
-        let a = run(&cfg);
-        let b = run(&cfg);
+        let a = run(&cfg).expect("valid config");
+        let b = run(&cfg).expect("valid config");
         prop_assert_eq!(a.response.mean(), b.response.mean());
         prop_assert_eq!(a.committed_total, b.committed_total);
         prop_assert_eq!(a.aborted_total, b.aborted_total);
@@ -104,7 +104,7 @@ fn aborted_txns_never_commit() {
     cfg.measured_txns = 400;
     cfg.drain = true;
     cfg.record_history = true;
-    let m = run(&cfg);
+    let m = run(&cfg).expect("valid config");
     assert!(m.aborted_total > 0, "want some aborts for this test");
     let h = m.history.expect("history");
     assert_eq!(
@@ -137,15 +137,15 @@ fn trace_replay_pairs_protocols() {
         cfg.drain = true;
         cfg
     };
-    let s = run(&mk(ProtocolKind::S2pl));
-    let g = run(&mk(ProtocolKind::g2pl_paper()));
+    let s = run(&mk(ProtocolKind::S2pl)).expect("valid config");
+    let g = run(&mk(ProtocolKind::g2pl_paper())).expect("valid config");
     // Both histories are serializable and built from the same spec pool.
     check_serializable(s.history.as_ref().unwrap()).unwrap();
     check_serializable(g.history.as_ref().unwrap()).unwrap();
     assert!(s.committed_total > 0 && g.committed_total > 0);
 
     // Replay is deterministic: same protocol, same trace => same metrics.
-    let s2 = run(&mk(ProtocolKind::S2pl));
+    let s2 = run(&mk(ProtocolKind::S2pl)).expect("valid config");
     assert_eq!(s.response.mean(), s2.response.mean());
     assert_eq!(s.net.messages(), s2.net.messages());
 }
@@ -168,8 +168,8 @@ fn wal_invariants_and_retention_ordering() {
         ProtocolKind::g2pl_paper(),
         ProtocolKind::C2pl,
     ] {
-        let with = run(&mk(protocol.clone(), true));
-        let without = run(&mk(protocol, false));
+        let with = run(&mk(protocol.clone(), true)).expect("valid config");
+        let without = run(&mk(protocol, false)).expect("valid config");
         assert_eq!(
             with.response.mean(),
             without.response.mean(),
@@ -183,8 +183,14 @@ fn wal_invariants_and_retention_ordering() {
         assert!(wal.bytes_written > 0);
     }
 
-    let s = run(&mk(ProtocolKind::S2pl, true)).wal.unwrap();
-    let g = run(&mk(ProtocolKind::g2pl_paper(), true)).wal.unwrap();
+    let s = run(&mk(ProtocolKind::S2pl, true))
+        .expect("valid config")
+        .wal
+        .unwrap();
+    let g = run(&mk(ProtocolKind::g2pl_paper(), true))
+        .expect("valid config")
+        .wal
+        .unwrap();
     assert!(
         g.high_water_bytes_max > s.high_water_bytes_max,
         "g-2PL must retain more log space (g {} vs s {})",

@@ -27,7 +27,7 @@ fn single_item_cfg(protocol: ProtocolKind, clients: u32) -> EngineConfig {
 
 #[test]
 fn s2pl_costs_three_messages_per_commit() {
-    let m = run(&single_item_cfg(ProtocolKind::S2pl, 10));
+    let m = run(&single_item_cfg(ProtocolKind::S2pl, 10)).expect("valid config");
     assert_eq!(m.aborted_total, 0, "single-item txns cannot deadlock");
     let per_commit = m.net.messages() as f64 / m.committed_total as f64;
     assert!(
@@ -38,7 +38,7 @@ fn s2pl_costs_three_messages_per_commit() {
 
 #[test]
 fn g2pl_costs_two_plus_epsilon_messages_per_commit() {
-    let m = run(&single_item_cfg(ProtocolKind::g2pl_paper(), 10));
+    let m = run(&single_item_cfg(ProtocolKind::g2pl_paper(), 10)).expect("valid config");
     assert_eq!(m.aborted_total, 0, "single-item txns cannot deadlock");
     let per_commit = m.net.messages() as f64 / m.committed_total as f64;
     // 2 + 1/W for mean window length W; with 10 clients fighting over one
@@ -61,8 +61,8 @@ fn g2pl_costs_two_plus_epsilon_messages_per_commit() {
 
 #[test]
 fn g2pl_sends_fewer_messages_than_s2pl_on_hot_items() {
-    let s = run(&single_item_cfg(ProtocolKind::S2pl, 10));
-    let g = run(&single_item_cfg(ProtocolKind::g2pl_paper(), 10));
+    let s = run(&single_item_cfg(ProtocolKind::S2pl, 10)).expect("valid config");
+    let g = run(&single_item_cfg(ProtocolKind::g2pl_paper(), 10)).expect("valid config");
     let s_rate = s.net.messages() as f64 / s.committed_total as f64;
     let g_rate = g.net.messages() as f64 / g.committed_total as f64;
     assert!(
@@ -75,8 +75,8 @@ fn g2pl_sends_fewer_messages_than_s2pl_on_hot_items() {
 /// serial hot-item chain, g-2PL approaches half of s-2PL's response.
 #[test]
 fn hot_chain_latency_halves() {
-    let s = run(&single_item_cfg(ProtocolKind::S2pl, 10));
-    let g = run(&single_item_cfg(ProtocolKind::g2pl_paper(), 10));
+    let s = run(&single_item_cfg(ProtocolKind::S2pl, 10)).expect("valid config");
+    let g = run(&single_item_cfg(ProtocolKind::g2pl_paper(), 10)).expect("valid config");
     let ratio = g.mean_response() / s.mean_response();
     assert!(
         ratio < 0.7,

@@ -34,7 +34,7 @@ fn replayed(m: &RunMetrics) -> ObsReport {
 
 #[test]
 fn s2pl_best_case_spends_three_rounds_per_transaction() {
-    let m = run(&best_case(ProtocolKind::S2pl, 3, 100));
+    let m = run(&best_case(ProtocolKind::S2pl, 3, 100)).expect("valid config");
     let report = replayed(&m);
     assert!(!report.details.is_empty());
     for d in &report.details {
@@ -50,7 +50,7 @@ fn s2pl_best_case_spends_three_rounds_per_transaction() {
 
 #[test]
 fn g2pl_best_case_spends_two_m_plus_one_rounds_per_window() {
-    let m = run(&best_case(ProtocolKind::g2pl_paper(), 3, 100));
+    let m = run(&best_case(ProtocolKind::g2pl_paper(), 3, 100)).expect("valid config");
     let report = replayed(&m);
     let commits = report.details.len() as u64;
     let total: u64 = report.details.iter().map(|d| u64::from(d.rounds)).sum();
@@ -78,7 +78,7 @@ fn response_phases_partition_the_measured_response_time() {
         cfg.warmup_txns = 30;
         cfg.measured_txns = 200;
         cfg.trace_events = true;
-        let m = run(&cfg);
+        let m = run(&cfg).expect("valid config");
         assert_eq!(m.phases.measured_commits, m.response.count());
         let sum = m.phases.mean_phase_sum();
         let mean = m.response.mean();
@@ -107,7 +107,7 @@ fn aggregates_stay_consistent_under_heavy_aborts() {
     cfg.warmup_txns = 10;
     cfg.measured_txns = 120;
     cfg.trace_events = true;
-    let m = run(&cfg);
+    let m = run(&cfg).expect("valid config");
     assert!(m.aborted_total > 0, "config failed to provoke aborts");
     assert_eq!(m.phases.measured_commits, m.response.count());
     // Aborted transactions contribute no rounds and no phase samples,
