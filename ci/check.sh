@@ -37,6 +37,19 @@ echo "==> fault smoke (fig_faults loss sweep, P1-P8 verification on)"
 cargo run -q --release -p g2pl-bench --bin repro -- --scale smoke --out "$trace_dir" fig_faults >/dev/null
 test -f "$trace_dir/fig_faults.csv" || { echo "fault smoke: fig_faults.csv missing"; exit 1; }
 
+echo "==> server-fault smoke (fig_server_faults outage sweep, P1-P9 verification on)"
+# Each cell crashes the server twice mid-run; verification re-checks the
+# trace against P1-P9 (crash-window hygiene, no lost acknowledged commit)
+# plus serializability, and drain mode proves recovery liveness.
+cargo run -q --release -p g2pl-bench --bin repro -- --scale smoke --out "$trace_dir" fig_server_faults >/dev/null
+test -f "$trace_dir/fig_server_faults.csv" || { echo "server-fault smoke: fig_server_faults.csv missing"; exit 1; }
+
+echo "==> chaos smoke (randomized fault-plan search with shrinking)"
+# A small fixed-seed search: samples (seed, FaultPlan) pairs across all
+# three engines, verifies every run end to end, and fails the gate with
+# a minimal shrunk reproducer command line if any trial breaks.
+cargo run -q --release -p g2pl-bench --bin chaos -- --trials 6 --seed 1
+
 echo "==> bench smoke (engine throughput vs committed baseline)"
 # The engine cells are scale-independent (fixed workload, best-of-3), so
 # a smoke run is comparable to the committed default-scale BENCH_pr3.json.

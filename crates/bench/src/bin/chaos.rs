@@ -1,0 +1,132 @@
+//! `chaos` — randomized fault-plan search over the three engines.
+//!
+//! ```text
+//! chaos [--trials N] [--seed S] [--engine g2pl|s2pl|c2pl] [--verbose]
+//! chaos --repro --engine E --seed S [fault flags...]
+//! ```
+//!
+//! Search mode samples `--trials` `(seed, FaultPlan)` pairs from the
+//! master `--seed` (every trial is its own derived RNG stream, so the
+//! whole search replays bit-for-bit), runs each through a short drained
+//! simulation, and verifies engine invariants, trace properties P1–P9
+//! and conflict-serializability. Failures are shrunk to a minimal
+//! reproducer and printed as a ready-to-paste `--repro` command line;
+//! the exit code is the number of failing trials (capped at process
+//! exit-code range).
+//!
+//! Repro mode replays exactly one case from its flags — the shrinker's
+//! output format — and exits non-zero if it still fails.
+
+use g2pl_bench::chaos;
+use std::process::ExitCode;
+
+fn usage() -> ExitCode {
+    eprintln!(
+        "usage: chaos [--trials N] [--seed S] [--engine g2pl|s2pl|c2pl] [--verbose]\n\
+         \u{20}      chaos --repro --engine E --seed S [--drop P] [--dup P]\n\
+         \u{20}            [--delay P --delay-extra T] [--server-crash at:down:jitter]...\n\
+         \u{20}            [--client-crash client:at:down]...\n\
+         search mode samples (seed, FaultPlan) pairs, verifies each run\n\
+         (P1-P9 + serializability + drain invariants), and shrinks any\n\
+         failure to a minimal reproducer command line"
+    );
+    ExitCode::from(2)
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.iter().any(|a| a == "--repro") {
+        let tail: Vec<String> = args.into_iter().filter(|a| a != "--repro").collect();
+        return run_repro(&tail);
+    }
+    run_search(&args)
+}
+
+fn run_repro(args: &[String]) -> ExitCode {
+    let case = match chaos::parse_case(args) {
+        Ok(c) => c,
+        Err(e) => {
+            eprintln!("chaos: {e}");
+            return usage();
+        }
+    };
+    println!("replaying {}", chaos::repro_command(&case));
+    match chaos::run_case(&case) {
+        Ok(()) => {
+            println!("PASS: the case verifies (P1-P9, serializability, drain)");
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            println!("FAIL: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn run_search(args: &[String]) -> ExitCode {
+    let mut trials: u64 = 20;
+    let mut seed: u64 = 1;
+    let mut engine: Option<&'static str> = None;
+    let mut verbose = false;
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--trials" => match it.next().and_then(|v| v.parse().ok()) {
+                Some(n) => trials = n,
+                None => return usage(),
+            },
+            "--seed" => match it.next().and_then(|v| v.parse().ok()) {
+                Some(s) => seed = s,
+                None => return usage(),
+            },
+            "--engine" => {
+                match it
+                    .next()
+                    .and_then(|v| chaos::ENGINES.iter().find(|e| *e == v))
+                {
+                    Some(e) => engine = Some(e),
+                    None => return usage(),
+                }
+            }
+            "--verbose" => verbose = true,
+            _ => return usage(),
+        }
+    }
+    println!(
+        "chaos: {trials} trials, master seed {seed}, engine {}",
+        engine.unwrap_or("sampled")
+    );
+    let mut failures: u32 = 0;
+    for trial in 0..trials {
+        let case = chaos::sample_case(seed, trial, engine);
+        if verbose {
+            println!(
+                "trial {trial}: {} seed {} | {} server outage(s), {} client crash(es), \
+                 drop {:.3} dup {:.3} delay {:.3}",
+                case.engine,
+                case.seed,
+                case.plan.server_crashes.len(),
+                case.plan.crashes.len(),
+                case.plan.drop_prob,
+                case.plan.dup_prob,
+                case.plan.delay_prob,
+            );
+        }
+        let Err(error) = chaos::run_case(&case) else {
+            continue;
+        };
+        failures += 1;
+        println!("trial {trial} FAILED: {error}");
+        println!("  shrinking...");
+        let (small, small_err, runs) = chaos::shrink(&case, error);
+        println!("  shrunk after {runs} runs; still fails with: {small_err}");
+        println!("  reproduce with:\n  {}", chaos::repro_command(&small));
+    }
+    if failures == 0 {
+        println!("chaos: all {trials} trials verified (P1-P9, serializability, drain)");
+        ExitCode::SUCCESS
+    } else {
+        println!("chaos: {failures}/{trials} trials failed");
+        ExitCode::from(failures.min(101) as u8)
+    }
+}

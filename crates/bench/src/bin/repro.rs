@@ -6,7 +6,7 @@
 //!
 //! artifacts: table1 table2 fig1 fig2 fig3 fig4 fig5 fig6 fig7 fig8 fig9
 //!            fig10 fig11 fig12 fig13 fig14 fig15 headline all bench
-//!            fig_faults fig_faults_aborts list
+//!            fig_faults fig_faults_aborts fig_server_faults list
 //! ```
 //!
 //! Figures are dispatched from the declarative registry
@@ -66,7 +66,7 @@ fn usage() -> ! {
         "usage: repro [--scale smoke|default|full] [--out DIR] [--trace-out DIR] \
          [--no-verify] [--bench-out FILE] [--baseline FILE] <artifact>...\n\
          artifacts: {} all\n\
-         fault studies: fig_faults fig_faults_aborts\n\
+         fault studies: fig_faults fig_faults_aborts fig_server_faults\n\
          extensions: {} ext scorecard bench; `list` prints the figure registry\n\
          verification of every data point is on by default; --no-verify skips it\n\
          --trace-out DIR dumps replication 0 of each point as a JSONL span \

@@ -197,6 +197,7 @@ fn explain_file(path: &str, timelines: usize) -> bool {
         dropped,
         lease_expiries,
         recovery_stall,
+        server_crashes,
     } = tf.meta.clone();
     println!("== {path}");
     println!(
@@ -211,6 +212,9 @@ fn explain_file(path: &str, timelines: usize) -> bool {
     }
     let report = SpanRecorder::replay(&tf.events).finish();
     print_breakdown(&report, mean_response);
+    if server_crashes > 0 {
+        println!("  recovery: survived {server_crashes} server crash/restart cycles");
+    }
     if lease_expiries > 0 || recovery_stall > 0.0 {
         let share = if mean_response > 0.0 && measured > 0 {
             100.0 * (recovery_stall / measured as f64) / mean_response

@@ -10,6 +10,7 @@
 //!   microbenches (`benches/substrates.rs`), and the g-2PL optimization
 //!   ablations (`benches/ablations.rs`).
 
+pub mod chaos;
 pub mod harness;
 
 use g2pl_core::prelude::*;

@@ -21,6 +21,7 @@
 //! | `fig12`–`fig15` | response time / abort % vs number of clients, s-WAN |
 //! | `fig_faults` | response time vs message-loss probability, 3 engines |
 //! | `fig_faults_aborts` | abort % vs message-loss probability, 3 engines |
+//! | `fig_server_faults` | response time vs server outage duration, 3 engines |
 //! | `headline` | the 20–25% response-time improvement claim |
 
 use crate::figure::{FigureData, Series};
@@ -68,6 +69,11 @@ pub const CLIENT_SWEEP: [u32; 6] = [10, 25, 50, 75, 100, 150];
 
 /// The message-loss sweep of the fault experiments (`fig_faults*`).
 pub const LOSS_SWEEP: [f64; 6] = [0.0, 0.01, 0.02, 0.05, 0.08, 0.10];
+
+/// The server-outage-duration sweep of `fig_server_faults`, in simulated
+/// time units per outage (two outages per run; 0 = no crash, the inert
+/// anchor point).
+pub const OUTAGE_SWEEP: [u64; 5] = [0, 200, 500, 1_000, 2_000];
 
 fn base_cfg(
     protocol: ProtocolKind,
@@ -331,6 +337,11 @@ pub enum Sweep {
     /// Message-loss probability over [`LOSS_SWEEP`], all three engines
     /// with the fault-injection subsystem on (`fig_faults*`).
     LossRate,
+    /// Server outage duration over [`OUTAGE_SWEEP`], all three engines
+    /// with crash-recovery on (`fig_server_faults`): two fixed outages
+    /// per run, WAL replay plus the re-registration handshake on each
+    /// restart.
+    ServerOutage,
 }
 
 /// One registered figure: id, caption material, metric and sweep. The
@@ -446,6 +457,12 @@ pub static FIGURES: &[FigureSpec] = &[
         metric: Metric::AbortPct,
         sweep: Sweep::LossRate,
     },
+    FigureSpec {
+        id: "fig_server_faults",
+        blurb: "response time vs server outage duration, 3 engines",
+        metric: Metric::Response,
+        sweep: Sweep::ServerOutage,
+    },
 ];
 
 /// Look up a registered figure by id.
@@ -550,6 +567,34 @@ impl FigureSpec {
                     // drain so every non-aborted transaction must finish.
                     cfg.drain = true;
                     cfg.faults = Some(FaultPlan::message_loss(loss));
+                    cfg
+                },
+            ),
+            Sweep::ServerOutage => sweep(
+                self.id,
+                &match self.metric {
+                    Metric::Response => {
+                        "Mean response time vs server outage duration, pr=0.6, latency 50"
+                            .to_string()
+                    }
+                    Metric::AbortPct => {
+                        "Percentage of transactions aborted vs server outage duration, \
+                         pr=0.6, latency 50"
+                            .to_string()
+                    }
+                },
+                "server outage duration",
+                self.metric,
+                &OUTAGE_SWEEP.map(|d| d as f64),
+                scale,
+                TRIO,
+                |p, down_for| {
+                    let mut cfg = base_cfg(p, 50, 50, 0.6, scale);
+                    // Every non-aborted transaction must finish despite
+                    // losing the server twice — recovery liveness is the
+                    // point of the figure.
+                    cfg.drain = true;
+                    cfg.faults = Some(FaultPlan::server_outage(down_for as u64));
                     cfg
                 },
             ),
@@ -678,6 +723,7 @@ mod tests {
         }
         assert!(figure("fig_faults").is_some());
         assert!(figure("fig_faults_aborts").is_some());
+        assert!(figure("fig_server_faults").is_some());
         assert!(figure("fig99").is_none());
     }
 
@@ -688,5 +734,17 @@ mod tests {
         assert_eq!(LOSS_SWEEP[0], 0.0);
         let plan = FaultPlan::message_loss(LOSS_SWEEP[0]);
         assert!(!plan.is_active(), "zero-loss plan must be inert");
+    }
+
+    #[test]
+    fn outage_sweep_starts_fault_free() {
+        // The x = 0 point of fig_server_faults must take the pristine
+        // code path: no server log, no leases, no crash schedule.
+        assert_eq!(OUTAGE_SWEEP[0], 0);
+        let plan = FaultPlan::server_outage(OUTAGE_SWEEP[0]);
+        assert!(!plan.is_active(), "zero-outage plan must be inert");
+        let active = FaultPlan::server_outage(OUTAGE_SWEEP[1]);
+        assert!(active.has_server_crashes());
+        assert!(active.validate().is_ok());
     }
 }

@@ -210,6 +210,7 @@ fn export_spans(dir: &std::path::Path, cfg: &EngineConfig, m: &RunMetrics) {
         dropped: m.phases.spans_dropped,
         lease_expiries: m.faults.lease_expiries,
         recovery_stall: m.faults.recovery_stall,
+        server_crashes: m.faults.server_crashes,
     };
     let label: String = m
         .protocol

@@ -29,6 +29,16 @@
 //!   `Committed` or `Aborted` — nobody waits forever. P8 assumes a
 //!   *drained* run (the fault experiments and tests all drain); fault
 //!   events in a no-fault trace are themselves violations.
+//! * **P9 (server crash recovery)** — fault-injection runs only: server
+//!   crash windows are well-formed (`ServerCrashed` alternates with
+//!   `ServerRecovered`, `Reregister` reports appear only inside an open
+//!   window, and every window closes before the trace ends), the server
+//!   is silent while down — no dispatch, window-close, forward-list or
+//!   lease activity between a crash and its recovery, so no grant can
+//!   stem from pre-crash forward-list state — and no acknowledged commit
+//!   is ever lost: a transaction that committed before a crash must
+//!   never abort after it. Like P8, any server-crash event in a no-fault
+//!   trace is itself a violation.
 
 use g2pl_protocols::{EngineConfig, ProtocolKind, TraceEvent, TraceKind};
 use g2pl_simcore::{ItemId, SimTime, TxnId};
@@ -114,6 +124,10 @@ pub fn check_trace_with(events: &[TraceEvent], opts: TraceCheckOpts) -> Result<(
     let mut fl_order: HashSet<(TxnId, TxnId)> = HashSet::new();
     // Lease expiries not yet resolved by a redispatch (P8b).
     let mut open_expiries: Vec<(Option<TxnId>, Option<ItemId>, SimTime)> = Vec::new();
+    // True between a ServerCrashed and its ServerRecovered (P9).
+    let mut server_down = false;
+    // Whether any server crash has occurred yet (P9 lost-commit check).
+    let mut server_crashed_once = false;
     let mut last_t = SimTime::ZERO;
 
     for e in events {
@@ -125,6 +139,25 @@ pub fn check_trace_with(events: &[TraceEvent], opts: TraceCheckOpts) -> Result<(
         // run that immediately follows it; any other event ends it.
         if !matches!(e.kind, TraceKind::FlOrdered) {
             open_group = None;
+        }
+        // The server is silent from crash to recovery: any server-side
+        // decision inside the window would have to stem from pre-crash
+        // volatile state, which died with the server. (`Dispatched` is
+        // absent from this set: committing clients keep forwarding
+        // segments client-to-client while the server is down, and those
+        // hops record `Dispatched` for each receiver.)
+        if server_down
+            && matches!(
+                e.kind,
+                TraceKind::WindowClosed
+                    | TraceKind::FlOrdered
+                    | TraceKind::FlExtended
+                    | TraceKind::ReleasedAtServer
+                    | TraceKind::LeaseExpired
+                    | TraceKind::Redispatch
+            )
+        {
+            return Err(format!("P9: server activity inside a crash window at {e}"));
         }
         match e.kind {
             TraceKind::RequestSent => {
@@ -179,6 +212,13 @@ pub fn check_trace_with(events: &[TraceEvent], opts: TraceCheckOpts) -> Result<(
                     return Err(format!("P3: double abort at {e}"));
                 }
                 if committed.contains_key(&txn) {
+                    // Across a server crash this is the recovery failure
+                    // P9 exists to catch: an acknowledged commit undone.
+                    if server_crashed_once {
+                        return Err(format!(
+                            "P9: acknowledged commit of {txn} lost across a server crash at {e}"
+                        ));
+                    }
                     return Err(format!("P3: abort after commit at {e}"));
                 }
             }
@@ -285,10 +325,42 @@ pub fn check_trace_with(events: &[TraceEvent], opts: TraceCheckOpts) -> Result<(
                     }
                 }
             }
+            TraceKind::ServerCrashed => {
+                if !opts.faults {
+                    return Err(format!("P9: server crash on a reliable network at {e}"));
+                }
+                if server_down {
+                    return Err(format!("P9: server crashed while already down at {e}"));
+                }
+                server_down = true;
+                server_crashed_once = true;
+            }
+            TraceKind::ServerRecovered => {
+                if !opts.faults {
+                    return Err(format!("P9: server recovery on a reliable network at {e}"));
+                }
+                if !server_down {
+                    return Err(format!("P9: server recovered without a crash at {e}"));
+                }
+                server_down = false;
+            }
+            TraceKind::Reregister => {
+                if !opts.faults {
+                    return Err(format!("P9: re-registration on a reliable network at {e}"));
+                }
+                if !server_down {
+                    return Err(format!(
+                        "P9: re-registration outside a recovery window at {e}"
+                    ));
+                }
+            }
             TraceKind::Dispatched | TraceKind::ReleasedAtServer => {}
         }
     }
     if opts.faults {
+        if server_down {
+            return Err("P9: the server crashed but never recovered".to_string());
+        }
         if let Some((txn, item, at)) = open_expiries.first() {
             return Err(format!(
                 "P8: lease expiry at t={} (txn {txn:?}, item {item:?}) was never \
@@ -631,6 +703,133 @@ mod tests {
             ev(5, TraceKind::Aborted, 1, None),
         ];
         check_trace_with(&trace, faulty()).unwrap_or_else(|e| panic!("{e}"));
+    }
+
+    /// A server-side event carrying neither txn nor item.
+    fn srv(at: u64, kind: TraceKind) -> TraceEvent {
+        TraceEvent {
+            at: SimTime::new(at),
+            kind,
+            txn: None,
+            item: None,
+            site: SiteId::Server,
+        }
+    }
+
+    #[test]
+    fn rejects_server_crash_events_on_reliable_network() {
+        for kind in [
+            TraceKind::ServerCrashed,
+            TraceKind::ServerRecovered,
+            TraceKind::Reregister,
+        ] {
+            let err = check_trace(&[srv(1, kind)]).unwrap_err();
+            assert!(err.contains("P9"), "{kind:?}: {err}");
+        }
+    }
+
+    #[test]
+    fn rejects_lost_acknowledged_commit() {
+        // T1's commit was acknowledged before the crash; aborting it
+        // afterwards means recovery dropped durable state — the exact
+        // failure P9 exists to catch, reported as P9, not P3.
+        let trace = vec![
+            ev(1, TraceKind::Committed, 1, None),
+            srv(2, TraceKind::ServerCrashed),
+            srv(4, TraceKind::ServerRecovered),
+            ev(5, TraceKind::Aborted, 1, None),
+        ];
+        let err = check_trace_with(&trace, faulty()).unwrap_err();
+        assert!(err.contains("P9"), "{err}");
+        assert!(err.contains("lost"), "{err}");
+    }
+
+    #[test]
+    fn rejects_server_activity_inside_crash_window() {
+        // A window close between crash and recovery could only come from
+        // pre-crash volatile state — a grant from a stale forward list.
+        for kind in [
+            TraceKind::WindowClosed,
+            TraceKind::FlOrdered,
+            TraceKind::ReleasedAtServer,
+            TraceKind::LeaseExpired,
+            TraceKind::Redispatch,
+        ] {
+            let trace = vec![
+                srv(1, TraceKind::ServerCrashed),
+                ev(2, kind, 7, Some(0)),
+                srv(3, TraceKind::ServerRecovered),
+            ];
+            let err = check_trace_with(&trace, faulty()).unwrap_err();
+            assert!(err.contains("P9"), "{kind:?}: {err}");
+        }
+    }
+
+    #[test]
+    fn rejects_malformed_crash_windows() {
+        // Recovery without a crash.
+        let err = check_trace_with(&[srv(1, TraceKind::ServerRecovered)], faulty()).unwrap_err();
+        assert!(err.contains("P9"), "{err}");
+        // Double crash without an intervening recovery.
+        let trace = vec![
+            srv(1, TraceKind::ServerCrashed),
+            srv(2, TraceKind::ServerCrashed),
+        ];
+        let err = check_trace_with(&trace, faulty()).unwrap_err();
+        assert!(err.contains("P9"), "{err}");
+        // A crash the trace never recovers from.
+        let err = check_trace_with(&[srv(1, TraceKind::ServerCrashed)], faulty()).unwrap_err();
+        assert!(err.contains("never recovered"), "{err}");
+        // Re-registration with no recovery in progress.
+        let trace = vec![
+            srv(1, TraceKind::ServerCrashed),
+            srv(2, TraceKind::ServerRecovered),
+            ev(3, TraceKind::Reregister, 1, None),
+        ];
+        let err = check_trace_with(&trace, faulty()).unwrap_err();
+        assert!(err.contains("P9"), "{err}");
+    }
+
+    #[test]
+    fn accepts_well_formed_crash_window() {
+        // Reports inside the window, server activity only after recovery.
+        let trace = vec![
+            srv(1, TraceKind::ServerCrashed),
+            ev(2, TraceKind::Reregister, 1, None),
+            srv(3, TraceKind::ServerRecovered),
+            close(3, 0),
+            ev(3, TraceKind::FlOrdered, 1, Some(0)),
+        ];
+        check_trace_with(&trace, faulty()).unwrap_or_else(|e| panic!("{e}"));
+    }
+
+    #[test]
+    fn server_crash_engine_traces_validate_under_p9() {
+        use g2pl_faults::{FaultPlan, ServerCrashWindow};
+        for protocol in [
+            ProtocolKind::S2pl,
+            ProtocolKind::g2pl_paper(),
+            ProtocolKind::C2pl,
+        ] {
+            let label = format!("{protocol:?}");
+            let mut cfg = EngineConfig::table1(protocol, 8, 50, 0.4);
+            cfg.warmup_txns = 0;
+            cfg.measured_txns = 250;
+            cfg.trace_events = true;
+            cfg.drain = true;
+            cfg.faults = Some(FaultPlan {
+                server_crashes: vec![
+                    ServerCrashWindow::fixed(4_000, 1_500),
+                    ServerCrashWindow::fixed(15_000, 800),
+                ],
+                ..Default::default()
+            });
+            let m = run(&cfg).expect("valid config");
+            assert_eq!(m.faults.server_crashes, 2, "{label}: crashes executed");
+            let opts = TraceCheckOpts::for_config(&cfg);
+            check_trace_with(&m.trace.expect("trace on"), opts)
+                .unwrap_or_else(|e| panic!("{label}: {e}"));
+        }
     }
 
     #[test]

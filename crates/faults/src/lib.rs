@@ -45,6 +45,38 @@ pub struct CrashWindow {
     pub down_for: u64,
 }
 
+/// A scheduled crash/restart window for the data server.
+///
+/// From the (possibly jittered) crash instant until restart the server is
+/// dead: every message addressed to it is dropped, its volatile state
+/// (lock table, collection windows, out-lists, directory) is lost, and on
+/// restart it must reconstruct from its durable log plus the client
+/// re-registration handshake. The restart is mandatory, like client
+/// restarts.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ServerCrashWindow {
+    /// Earliest simulated time at which the crash occurs.
+    pub at: u64,
+    /// How long the server stays down before restarting (must be > 0).
+    pub down_for: u64,
+    /// Upper bound on a random offset added to `at`, drawn from the
+    /// dedicated `"server-faults"` stream (0 = crash exactly at `at`).
+    /// The jitter keeps crash placement seed-varied in chaos searches
+    /// without perturbing any other random stream.
+    pub jitter: u64,
+}
+
+impl ServerCrashWindow {
+    /// A window with no jitter.
+    pub fn fixed(at: u64, down_for: u64) -> Self {
+        ServerCrashWindow {
+            at,
+            down_for,
+            jitter: 0,
+        }
+    }
+}
+
 /// A transient partition of the link between two sites.
 ///
 /// While `from <= now < until`, every message in either direction between
@@ -111,6 +143,10 @@ pub struct FaultPlan {
     pub delay_extra: u64,
     /// Scheduled client crash/restart windows.
     pub crashes: Vec<CrashWindow>,
+    /// Scheduled server crash/restart windows. Windows must not overlap
+    /// (even at maximum jitter): the server is a single site and cannot
+    /// crash while it is already down.
+    pub server_crashes: Vec<ServerCrashWindow>,
     /// Transient link partitions.
     pub partitions: Vec<LinkPartition>,
     /// Lease timeout for server-side holder-failure detection, in
@@ -132,6 +168,23 @@ impl FaultPlan {
         }
     }
 
+    /// A plan scheduling two fixed server outages of the given duration
+    /// (early and late in the run) and nothing else — the
+    /// `fig_server_faults` sweep axis. A zero duration yields the inert
+    /// plan, anchoring the x = 0 point to the pristine code path.
+    pub fn server_outage(down_for: u64) -> Self {
+        if down_for == 0 {
+            return FaultPlan::default();
+        }
+        FaultPlan {
+            server_crashes: vec![
+                ServerCrashWindow::fixed(5_000, down_for),
+                ServerCrashWindow::fixed(20_000, down_for),
+            ],
+            ..FaultPlan::default()
+        }
+    }
+
     /// True if this plan can inject at least one fault. Inert plans must
     /// leave the engines on their fault-free code path (no injector, no
     /// leases, no retry timers), which keeps zero-fault runs byte-identical
@@ -141,7 +194,18 @@ impl FaultPlan {
             || self.dup_prob > 0.0
             || self.delay_prob > 0.0
             || !self.crashes.is_empty()
+            || !self.server_crashes.is_empty()
             || !self.partitions.is_empty()
+    }
+
+    /// True if the plan schedules at least one server crash. Engines use
+    /// this to decide whether to maintain the server's durable log
+    /// ([`g2pl_wal::ServerLog`]-shaped); plans without server crashes keep
+    /// the exact PR 4 fault paths, byte for byte.
+    ///
+    /// [`g2pl_wal::ServerLog`]: ../g2pl_wal/struct.ServerLog.html
+    pub fn has_server_crashes(&self) -> bool {
+        !self.server_crashes.is_empty()
     }
 
     /// True if the per-message probabilistic faults require a random draw.
@@ -169,6 +233,20 @@ impl FaultPlan {
         for c in &self.crashes {
             if c.down_for == 0 {
                 return Err(FaultPlanError::CrashWithoutRestart { client: c.client });
+            }
+        }
+        for w in &self.server_crashes {
+            if w.down_for == 0 {
+                return Err(FaultPlanError::ServerCrashWithoutRestart { at: w.at });
+            }
+        }
+        let mut windows = self.server_crashes.clone();
+        windows.sort_by_key(|w| w.at);
+        for pair in windows.windows(2) {
+            // The latest possible end of the earlier window must precede
+            // the earliest possible start of the later one.
+            if pair[0].at + pair[0].jitter + pair[0].down_for > pair[1].at {
+                return Err(FaultPlanError::OverlappingServerCrashes);
             }
         }
         for p in &self.partitions {
@@ -205,6 +283,14 @@ pub enum FaultPlanError {
         /// Offending client index.
         client: u32,
     },
+    /// A server crash window has `down_for == 0`; restarts are mandatory.
+    ServerCrashWithoutRestart {
+        /// Nominal crash instant of the offending window.
+        at: u64,
+    },
+    /// Two server crash windows can overlap (the server cannot crash
+    /// while already down).
+    OverlappingServerCrashes,
     /// A partition window with `until <= from`.
     EmptyPartition,
     /// `lease_timeout` of zero would expire every hop instantly.
@@ -227,6 +313,12 @@ impl fmt::Display for FaultPlanError {
             }
             FaultPlanError::CrashWithoutRestart { client } => {
                 write!(f, "crash window for client {client} never restarts")
+            }
+            FaultPlanError::ServerCrashWithoutRestart { at } => {
+                write!(f, "server crash window at {at} never restarts")
+            }
+            FaultPlanError::OverlappingServerCrashes => {
+                write!(f, "server crash windows overlap (including jitter)")
             }
             FaultPlanError::EmptyPartition => write!(f, "partition window is empty"),
             FaultPlanError::ZeroLease => write!(f, "lease_timeout must be nonzero"),
@@ -275,6 +367,10 @@ impl FaultCounts {
 pub struct FaultInjector {
     plan: FaultPlan,
     rng: RngStream,
+    /// Dedicated stream for server crash placement (jitter draws), so the
+    /// server schedule neither perturbs nor is perturbed by the
+    /// per-message verdict stream.
+    server_rng: RngStream,
     /// Faults injected so far.
     pub counts: FaultCounts,
 }
@@ -286,6 +382,7 @@ impl FaultInjector {
         FaultInjector {
             plan,
             rng: RngStream::derive(master_seed, "faults"),
+            server_rng: RngStream::derive(master_seed, "server-faults"),
             counts: FaultCounts::default(),
         }
     }
@@ -345,6 +442,28 @@ impl FaultInjector {
             evs.push((id, SimTime::new(c.at + c.down_for), true));
         }
         evs.sort_by_key(|&(id, at, up)| (at, id, up));
+        evs
+    }
+
+    /// The server crash/restart schedule, as `(at, up)` pairs in
+    /// chronological order. Jittered windows consume exactly one draw
+    /// each from the dedicated `"server-faults"` stream (zero-jitter
+    /// windows consume none), in `at`-sorted window order, so the
+    /// schedule is a stable function of (seed, plan).
+    pub fn server_crash_schedule(&mut self) -> Vec<(SimTime, bool)> {
+        let mut windows = self.plan.server_crashes.clone();
+        windows.sort_by_key(|w| w.at);
+        let mut evs: Vec<(SimTime, bool)> = Vec::new();
+        for w in &windows {
+            let offset = if w.jitter == 0 {
+                0
+            } else {
+                self.server_rng.uniform_incl(0, w.jitter)
+            };
+            let crash = w.at + offset;
+            evs.push((SimTime::new(crash), false));
+            evs.push((SimTime::new(crash + w.down_for), true));
+        }
         evs
     }
 }
@@ -466,6 +585,79 @@ mod tests {
             Verdict::Deliver
         );
         assert_eq!(inj.counts.partition_drops, 2);
+    }
+
+    #[test]
+    fn server_crash_plan_is_active_and_validated() {
+        let p = FaultPlan {
+            server_crashes: vec![ServerCrashWindow::fixed(100, 50)],
+            ..FaultPlan::default()
+        };
+        assert!(p.is_active());
+        assert!(p.has_server_crashes());
+        assert!(!p.has_message_faults());
+        assert!(p.validate().is_ok());
+
+        let bad = FaultPlan {
+            server_crashes: vec![ServerCrashWindow::fixed(100, 0)],
+            ..FaultPlan::default()
+        };
+        assert!(matches!(
+            bad.validate(),
+            Err(FaultPlanError::ServerCrashWithoutRestart { at: 100 })
+        ));
+
+        let overlap = FaultPlan {
+            server_crashes: vec![
+                ServerCrashWindow::fixed(100, 50),
+                ServerCrashWindow {
+                    at: 80,
+                    down_for: 30,
+                    jitter: 5,
+                },
+            ],
+            ..FaultPlan::default()
+        };
+        assert_eq!(
+            overlap.validate(),
+            Err(FaultPlanError::OverlappingServerCrashes)
+        );
+    }
+
+    #[test]
+    fn server_crash_schedule_is_deterministic_and_independent() {
+        let plan = FaultPlan {
+            drop_prob: 0.1,
+            server_crashes: vec![
+                ServerCrashWindow {
+                    at: 200,
+                    down_for: 40,
+                    jitter: 30,
+                },
+                ServerCrashWindow::fixed(500, 25),
+            ],
+            ..FaultPlan::default()
+        };
+        let mut a = FaultInjector::new(plan.clone(), 77);
+        let mut b = FaultInjector::new(plan.clone(), 77);
+        // Interleave message judgements with schedule construction in one
+        // injector only: the "server-faults" stream must be unaffected.
+        for i in 0..64u32 {
+            let from = SiteId::Client(ClientId::new(i % 3));
+            let _ = a.judge(from, SiteId::Server, SimTime::new(u64::from(i)));
+        }
+        let sa = a.server_crash_schedule();
+        let sb = b.server_crash_schedule();
+        assert_eq!(sa, sb);
+        assert_eq!(sa.len(), 4);
+        // First window: crash in [200, 230], restart exactly down_for later.
+        assert!(!sa[0].1 && sa[1].1);
+        let crash = sa[0].0.units();
+        assert!((200..=230).contains(&crash));
+        assert_eq!(sa[1].0.units(), crash + 40);
+        // Second (fixed) window consumes no jitter draw.
+        assert_eq!(sa[2], (SimTime::new(500), false));
+        assert_eq!(sa[3], (SimTime::new(525), true));
     }
 
     #[test]

@@ -37,15 +37,25 @@ use std::fmt;
 use std::path::{Path, PathBuf};
 
 /// Crates the lints apply to, relative to the workspace root.
-pub const ENGINE_CRATES: [&str; 7] = [
+pub const ENGINE_CRATES: [&str; 8] = [
     "crates/protocols",
     "crates/lockmgr",
     "crates/fwdlist",
     "crates/simcore",
     "crates/netmodel",
     "crates/faults",
+    "crates/wal",
     "crates/obs",
 ];
+
+/// Individual files outside [`ENGINE_CRATES`] that still run decision
+/// code the determinism lints exist for. The chaos harness derives every
+/// draw from seeded [`RngStream`]s; ambient entropy there would make
+/// failing trials unreproducible.
+///
+/// [`RngStream`]: ../g2pl_simcore/rng/struct.RngStream.html
+pub const ENGINE_EXTRA_FILES: [&str; 2] =
+    ["crates/bench/src/chaos.rs", "crates/bench/src/bin/chaos.rs"];
 
 /// Which lint a diagnostic belongs to.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord)]
@@ -553,6 +563,16 @@ pub fn check_coverage(workspace_root: &Path) -> Vec<String> {
     if !ENGINE_CRATES.contains(&"crates/faults") {
         errs.push("crates/faults must be covered by ENGINE_CRATES".to_string());
     }
+    if !ENGINE_CRATES.contains(&"crates/wal") {
+        errs.push("crates/wal must be covered by ENGINE_CRATES".to_string());
+    }
+    for file in ENGINE_EXTRA_FILES {
+        if !workspace_root.join(file).is_file() {
+            errs.push(format!(
+                "extra lint file listed but missing on disk: {file}"
+            ));
+        }
+    }
     errs
 }
 
@@ -577,6 +597,10 @@ pub fn lint_workspace(workspace_root: &Path) -> std::io::Result<Vec<Diagnostic>>
                 .to_string();
             diags.extend(lint_source(&label, &source, config));
         }
+    }
+    for file in ENGINE_EXTRA_FILES {
+        let source = std::fs::read_to_string(workspace_root.join(file))?;
+        diags.extend(lint_source(file, &source, FileConfig::default()));
     }
     Ok(diags)
 }

@@ -69,6 +69,16 @@ impl LossyLink {
             .map_or_else(Vec::new, FaultInjector::crash_schedule)
     }
 
+    /// The server crash/restart schedule of the plan (empty when
+    /// reliable). Consumes the injector's dedicated `"server-faults"`
+    /// jitter draws, so it must be called exactly once per run, at
+    /// engine start, like [`LossyLink::crash_schedule`].
+    pub fn server_crash_schedule(&mut self) -> Vec<(SimTime, bool)> {
+        self.injector
+            .as_mut()
+            .map_or_else(Vec::new, FaultInjector::server_crash_schedule)
+    }
+
     /// Decide the delivery times for one message from `from` to `to` sent
     /// at `now`. Each delivery's delay is pushed into `out` (cleared
     /// first); an empty `out` means the message was dropped. Returns

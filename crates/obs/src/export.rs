@@ -52,6 +52,10 @@ pub struct RunMeta {
     /// lease fired (the recovery machinery's latency debt; 0 on a
     /// fault-free run).
     pub recovery_stall: f64,
+    /// Server crash/restart cycles survived during the run (0 on plans
+    /// without server faults; traces from before server recovery existed
+    /// parse as 0).
+    pub server_crashes: u64,
 }
 
 fn json_f64(v: f64) -> String {
@@ -91,7 +95,7 @@ pub fn write_jsonl(meta: &RunMeta, events: &[SpanEvent]) -> String {
         out,
         "{{\"protocol\":\"{}\",\"clients\":{},\"latency\":{},\"read_prob\":{},\"seed\":{},\
          \"committed\":{},\"aborted\":{},\"measured\":{},\"mean_response\":{},\"dropped\":{},\
-         \"lease_expiries\":{},\"recovery_stall\":{}}}",
+         \"lease_expiries\":{},\"recovery_stall\":{},\"server_crashes\":{}}}",
         meta.protocol.replace(['"', '\\'], "_"),
         meta.clients,
         meta.latency,
@@ -104,6 +108,7 @@ pub fn write_jsonl(meta: &RunMeta, events: &[SpanEvent]) -> String {
         meta.dropped,
         meta.lease_expiries,
         json_f64(meta.recovery_stall),
+        meta.server_crashes,
     );
     for ev in events {
         out.push_str(&event_to_json(ev));
@@ -267,6 +272,7 @@ fn parse_meta(map: &BTreeMap<String, Val>) -> Result<RunMeta, String> {
         // exports keep parsing.
         lease_expiries: get_u("lease_expiries").unwrap_or(0),
         recovery_stall: get_f("recovery_stall").unwrap_or(0.0),
+        server_crashes: get_u("server_crashes").unwrap_or(0),
     })
 }
 
@@ -342,7 +348,18 @@ mod tests {
             dropped: 0,
             lease_expiries: 2,
             recovery_stall: 77.5,
+            server_crashes: 1,
         }
+    }
+
+    #[test]
+    fn pre_crash_traces_parse_with_zero_server_crashes() {
+        // Meta lines written before server recovery existed lack the
+        // field; they must still parse, defaulting to 0.
+        let text = write_jsonl(&meta(), &[]);
+        let legacy = text.replace(",\"server_crashes\":1", "");
+        let parsed = parse_jsonl(&legacy).expect("legacy meta parses");
+        assert_eq!(parsed.meta.server_crashes, 0);
     }
 
     #[test]

@@ -36,9 +36,10 @@ use crate::tracelog::{TraceKind, TraceLog};
 use g2pl_lockmgr::{AcquireOutcome, LockMode, LockTable};
 use g2pl_obs::SpanRecorder;
 use g2pl_simcore::{Calendar, ClientId, ItemId, SimTime, SiteId, TxnId, Version};
-use g2pl_wal::{LogRecord, SiteLog};
+use g2pl_wal::{LogRecord, ServerImage, ServerLog, ServerRecord, SiteLog};
 use g2pl_workload::AccessMode;
 use g2pl_workload::TxnGenerator;
+use std::collections::BTreeMap;
 
 /// A granted-but-callback-blocked exclusive request.
 struct XBarrier {
@@ -99,6 +100,24 @@ pub struct C2plEngine {
     /// Whether a transaction currently holds server resources under a
     /// pending lease (faults only).
     leased: Vec<bool>,
+    /// Whether the plan schedules server crashes (see the s-2PL engine).
+    srv_faults_on: bool,
+    /// The server's durable log (present iff `srv_faults_on`).
+    slog: Option<ServerLog>,
+    /// True between a server crash and its restart.
+    server_down: bool,
+    /// True while the re-registration handshake is open.
+    recovering: bool,
+    /// Monotonic recovery generation (stale-timer/report filter).
+    recovery_epoch: u64,
+    /// When the current handshake opened.
+    recovery_started: SimTime,
+    /// Which clients have re-registered in the current handshake.
+    reregistered: Vec<bool>,
+    /// Durable image replayed at the last restart.
+    recovery_image: Option<ServerImage>,
+    /// Volatile mirror of the durable applied-commit set.
+    committed_srv: Vec<bool>,
     /// Fault-injection and recovery counters.
     fsum: FaultSummary,
 }
@@ -130,6 +149,9 @@ impl C2plEngine {
                 SimTime::MAX,
             ),
         };
+        let srv_faults = cfg
+            .active_faults()
+            .is_some_and(g2pl_faults::FaultPlan::has_server_crashes);
         C2plEngine {
             faults_on: net.faults_active(),
             net,
@@ -137,6 +159,15 @@ impl C2plEngine {
             retry_base,
             last_activity: Vec::new(),
             leased: Vec::new(),
+            srv_faults_on: srv_faults,
+            slog: srv_faults.then(ServerLog::new),
+            server_down: false,
+            recovering: false,
+            recovery_epoch: 0,
+            recovery_started: SimTime::ZERO,
+            reregistered: Vec::new(),
+            recovery_image: None,
+            committed_srv: Vec::new(),
             fsum: FaultSummary::default(),
             server_cpu: ServerCpu::new(cfg.server_cpu_per_op),
             cal: Calendar::new(),
@@ -187,6 +218,9 @@ impl C2plEngine {
         for (client, at, up) in self.net.crash_schedule() {
             self.cal.schedule(at, Ev::Fault { client, up });
         }
+        for (at, up) in self.net.server_crash_schedule() {
+            self.cal.schedule(at, Ev::ServerFault { up });
+        }
 
         let mut events: u64 = 0;
         while let Some((now, ev)) = self.cal.pop() {
@@ -201,14 +235,26 @@ impl C2plEngine {
                 Ev::WindowTimer { .. } | Ev::LeaseCheck { .. } => {
                     unreachable!("event is not part of the c-2PL protocol")
                 }
-                Ev::ServerProc { msg } => self.on_server_msg(now, msg),
+                Ev::ServerProc { msg } => {
+                    // Re-checked after the CPU delay: a crash may have hit
+                    // while the message sat in the service queue.
+                    if self.server_accepts(&msg) {
+                        self.on_server_msg(now, msg);
+                    } else {
+                        self.fsum.server_msgs_lost += 1;
+                    }
+                }
                 Ev::Deliver { to, msg } => match to {
                     SiteId::Server => {
-                        let d = self.server_cpu.service(now);
-                        if d == g2pl_simcore::SimTime::ZERO {
-                            self.on_server_msg(now, msg);
+                        if !self.server_accepts(&msg) {
+                            self.fsum.server_msgs_lost += 1;
                         } else {
-                            self.cal.schedule_in(d, Ev::ServerProc { msg });
+                            let d = self.server_cpu.service(now);
+                            if d == g2pl_simcore::SimTime::ZERO {
+                                self.on_server_msg(now, msg);
+                            } else {
+                                self.cal.schedule_in(d, Ev::ServerProc { msg });
+                            }
                         }
                     }
                     SiteId::Client(c) => {
@@ -218,7 +264,15 @@ impl C2plEngine {
                     }
                 },
                 Ev::Fault { client, up } => self.on_fault(now, client, up),
-                Ev::TxnLease { txn } => self.on_txn_lease(now, txn),
+                Ev::ServerFault { up } => self.on_server_fault(now, up),
+                Ev::RecoveryCheck { epoch } => self.on_recovery_check(now, epoch),
+                Ev::TxnLease { txn } => {
+                    // A dead or still-recovering server holds no leases;
+                    // recovery re-arms them for every restored grant.
+                    if !self.server_down && !self.recovering {
+                        self.on_txn_lease(now, txn);
+                    }
+                }
                 Ev::CallbackRetry { txn } => self.on_callback_retry(now, txn),
             }
             if self.faults_on {
@@ -763,6 +817,53 @@ impl C2plEngine {
                     );
                 }
             }
+            Message::ReregisterReq { epoch } => {
+                // Re-report everything the client holds of the server's:
+                // server-granted accesses of the live transaction (cache
+                // pins never took a server lock, so they are excluded),
+                // the unacknowledged commit, and the cached copies the
+                // rebuilt directory must know about.
+                let pins = &self.reading_cached[client.index()];
+                let c = &self.clients[client.index()];
+                let mut held = Vec::new();
+                let mut txn = None;
+                if let Some(active) = &c.txn {
+                    txn = Some(active.id);
+                    for idx in 0..active.granted {
+                        let (item, mode) = active.spec.access(idx);
+                        if !pins.contains(&item) {
+                            held.push((item, lock_mode(mode)));
+                        }
+                    }
+                }
+                let pending = c.pending_commit.as_ref().and_then(|m| match m {
+                    Message::SCommit { txn, writes, reads } => {
+                        Some((*txn, writes.clone(), reads.clone()))
+                    }
+                    _ => None,
+                });
+                let cached: Vec<ItemId> = self.caches[client.index()]
+                    .iter()
+                    .enumerate()
+                    .filter_map(|(i, v)| v.map(|_| ItemId::new(i as u32)))
+                    .collect();
+                let bytes = CTRL_BYTES + 8 * (held.len() + cached.len()) as u64;
+                self.net.send(
+                    &mut self.cal,
+                    client.into(),
+                    SiteId::Server,
+                    "c2pl.reregister",
+                    bytes,
+                    Message::SReregister {
+                        client,
+                        epoch,
+                        txn,
+                        held,
+                        pending,
+                        cached,
+                    },
+                );
+            }
             other => unreachable!("c-2PL client cannot receive {other:?}"),
         }
     }
@@ -792,6 +893,235 @@ impl C2plEngine {
             .record(now, TraceKind::Aborted, Some(txn), None, client.into());
         self.spans.aborted(now, txn);
         self.finish_txn_at_client(client);
+    }
+
+    // ---- server crash recovery ----
+
+    /// Whether the server can process `msg` right now (see the s-2PL
+    /// engine for the protocol).
+    fn server_accepts(&self, msg: &Message) -> bool {
+        if self.server_down {
+            return false;
+        }
+        !self.recovering || matches!(msg, Message::SReregister { .. })
+    }
+
+    /// A scheduled server crash or restart from the fault plan.
+    fn on_server_fault(&mut self, now: SimTime, up: bool) {
+        if up {
+            self.begin_recovery(now);
+        } else {
+            self.crash_server(now);
+        }
+    }
+
+    /// The data server dies. On top of the s-2PL volatile state, c-2PL
+    /// additionally loses the cache directory and every callback
+    /// barrier: the directory is rebuilt from re-registration reports,
+    /// and barrier owners re-form their recalls through the ordinary
+    /// request-retry path (their exclusive grant was never shipped, so
+    /// it is deliberately absent from the durable grant history).
+    fn crash_server(&mut self, now: SimTime) {
+        debug_assert!(!self.server_down, "server crashed while already down");
+        self.server_down = true;
+        self.recovering = false;
+        self.fsum.server_crashes += 1;
+        self.trace
+            .record(now, TraceKind::ServerCrashed, None, None, SiteId::Server);
+        self.locks = LockTable::new();
+        self.server_cpu = ServerCpu::new(self.cfg.server_cpu_per_op);
+        self.directory.iter_mut().for_each(Vec::clear);
+        self.barriers.iter_mut().for_each(|b| *b = None);
+        self.versions.iter_mut().for_each(|v| *v = 0);
+        self.leased.iter_mut().for_each(|l| *l = false);
+        self.last_activity
+            .iter_mut()
+            .for_each(|t| *t = SimTime::ZERO);
+        self.committed_srv.iter_mut().for_each(|c| *c = false);
+    }
+
+    /// The server restarts: replay the durable log, restore versions and
+    /// the applied-commit set, and open the handshake (see the s-2PL
+    /// engine).
+    fn begin_recovery(&mut self, now: SimTime) {
+        debug_assert!(self.server_down, "server restarted while up");
+        self.server_down = false;
+        self.recovering = true;
+        self.recovery_epoch += 1;
+        self.recovery_started = now;
+        self.reregistered = vec![false; self.cfg.num_clients as usize];
+        // lint:allow(L3): the log exists whenever server crashes are planned
+        let img = self.slog.as_ref().expect("server log enabled").replay();
+        for (&item, &v) in &img.versions {
+            self.versions[item.index()] = v;
+        }
+        for &txn in &img.committed {
+            self.mark_committed_srv(txn);
+        }
+        self.recovery_image = Some(img);
+        self.broadcast_reregister(false);
+        self.cal.schedule_in(
+            self.retry_base,
+            Ev::RecoveryCheck {
+                epoch: self.recovery_epoch,
+            },
+        );
+    }
+
+    /// Poll clients for re-registration; `retry` restricts the poll to
+    /// clients that have not yet answered and counts as retransmission.
+    fn broadcast_reregister(&mut self, retry: bool) {
+        for i in 0..self.cfg.num_clients {
+            let c = ClientId::new(i);
+            if retry {
+                if self.reregistered[c.index()] {
+                    continue;
+                }
+                self.fsum.retries += 1;
+            }
+            self.net.send(
+                &mut self.cal,
+                SiteId::Server,
+                c.into(),
+                "c2pl.reregister_req",
+                CTRL_BYTES,
+                Message::ReregisterReq {
+                    epoch: self.recovery_epoch,
+                },
+            );
+        }
+    }
+
+    /// The recovery-handshake timer fired (see the s-2PL engine).
+    fn on_recovery_check(&mut self, now: SimTime, epoch: u64) {
+        if !self.recovering || epoch != self.recovery_epoch {
+            return; // stale timer of an older recovery
+        }
+        if now.since(self.recovery_started) >= self.lease {
+            self.finish_recovery(now);
+            return;
+        }
+        self.broadcast_reregister(true);
+        self.cal
+            .schedule_in(self.retry_base, Ev::RecoveryCheck { epoch });
+    }
+
+    /// One client's re-registration report arrived: record liveness,
+    /// rebuild its slice of the cache directory from the `cached` list,
+    /// and cross-validate held claims against the durable grant history.
+    /// A client that stays silent is presumed crashed, and a crashed
+    /// c-2PL client lost its cache, so omitting its directory entries is
+    /// exact, not merely safe.
+    fn on_reregister(
+        &mut self,
+        now: SimTime,
+        client: ClientId,
+        epoch: u64,
+        txn: Option<TxnId>,
+        held: &[(ItemId, LockMode)],
+        cached: &[ItemId],
+    ) {
+        if !self.recovering || epoch != self.recovery_epoch {
+            return; // late report of an older recovery
+        }
+        if self.reregistered[client.index()] {
+            return; // duplicated report: absorbed
+        }
+        self.reregistered[client.index()] = true;
+        self.fsum.reregistrations += 1;
+        self.trace
+            .record(now, TraceKind::Reregister, txn, None, client.into());
+        for &item in cached {
+            Self::directory_insert(&mut self.directory[item.index()], client);
+        }
+        if cfg!(debug_assertions) {
+            // lint:allow(L3): the image exists for the whole handshake
+            let img = self.recovery_image.as_ref().expect("recovery image");
+            if let Some(t) = txn {
+                if self.table.status(t) == TxnStatus::Active {
+                    for &(item, _) in held {
+                        debug_assert!(
+                            img.was_granted(t, item),
+                            "{client} re-reported a grant the log never saw: {t} {item}"
+                        );
+                    }
+                }
+            }
+        }
+        if self.reregistered.iter().all(|&r| r) {
+            self.finish_recovery(now);
+        }
+    }
+
+    /// Close the handshake and restore outstanding durable grants (see
+    /// the s-2PL engine for the status-by-status reasoning).
+    fn finish_recovery(&mut self, now: SimTime) {
+        debug_assert!(self.recovering);
+        // lint:allow(L3): the image exists for the whole handshake
+        let img = self.recovery_image.take().expect("recovery image");
+        let mut silent_victims = Vec::new();
+        for (&txn, items) in &img.grants {
+            let client = self.table.info(txn).client;
+            match self.table.status(txn) {
+                TxnStatus::Active => {
+                    if self.reregistered[client.index()] {
+                        self.restore_grants(txn, items);
+                        self.touch(now, txn);
+                    } else {
+                        silent_victims.push(txn);
+                    }
+                }
+                TxnStatus::Committed => {
+                    if !self.committed_at_server(txn) {
+                        self.restore_grants(txn, items);
+                        self.touch(now, txn);
+                    }
+                }
+                TxnStatus::Aborting | TxnStatus::Aborted => {}
+            }
+        }
+        self.recovering = false;
+        self.trace
+            .record(now, TraceKind::ServerRecovered, None, None, SiteId::Server);
+        for txn in silent_victims {
+            self.abort_victim(now, txn);
+        }
+    }
+
+    /// Re-insert `txn`'s durably recorded grants into the fresh lock
+    /// table. A shipped exclusive grant had already recalled every
+    /// remote copy, so restoration never needs a callback round — the
+    /// rebuilt directory cannot hold conflicting entries.
+    fn restore_grants(&mut self, txn: TxnId, items: &BTreeMap<ItemId, bool>) {
+        for (&item, &exclusive) in items {
+            let mode = if exclusive {
+                LockMode::Exclusive
+            } else {
+                LockMode::Shared
+            };
+            let outcome = self.locks.acquire(txn, item, mode);
+            debug_assert!(
+                matches!(outcome, AcquireOutcome::Granted),
+                "restored grants conflict: {txn} {item}"
+            );
+            let _ = outcome;
+        }
+    }
+
+    fn mark_committed_srv(&mut self, txn: TxnId) {
+        let i = txn.index();
+        if self.committed_srv.len() <= i {
+            self.committed_srv.resize(i + 1, false);
+        }
+        self.committed_srv[i] = true;
+    }
+
+    /// Whether `txn`'s commit has been applied at the server.
+    fn committed_at_server(&self, txn: TxnId) -> bool {
+        self.committed_srv
+            .get(txn.index())
+            .copied()
+            .unwrap_or(false)
     }
 
     // ---- server side ----
@@ -851,13 +1181,35 @@ impl C2plEngine {
             Message::SCommit { txn, writes, reads } => {
                 let committer = self.table.info(txn).client;
                 if self.faults_on {
-                    if !self.leased.get(txn.index()).copied().unwrap_or(false) {
-                        // Duplicate commit-release (already applied): the
-                        // ack was lost, so just acknowledge again.
+                    // Duplicate commit-release (already applied): the ack
+                    // was lost, so just acknowledge again. Under server
+                    // crashes the applied set must be the durable one —
+                    // the volatile lease flag dies with the server.
+                    let duplicate = if self.srv_faults_on {
+                        self.committed_at_server(txn)
+                    } else {
+                        !self.leased.get(txn.index()).copied().unwrap_or(false)
+                    };
+                    if duplicate {
                         self.send_commit_ack(committer, txn);
                         return;
                     }
-                    self.leased[txn.index()] = false;
+                    if let Some(l) = self.leased.get_mut(txn.index()) {
+                        *l = false;
+                    }
+                }
+                if self.srv_faults_on {
+                    self.mark_committed_srv(txn);
+                    // Write-ahead: the applied commit, its installed
+                    // versions, and the release are durable before the
+                    // ack leaves the server.
+                    // lint:allow(L3): the log exists whenever srv_faults_on
+                    let slog = self.slog.as_mut().expect("server log enabled");
+                    slog.append(ServerRecord::Committed { txn });
+                    for &(item, version) in &writes {
+                        slog.append(ServerRecord::Permanent { item, version });
+                    }
+                    slog.append(ServerRecord::Released { txn });
                 }
                 for &(item, version) in &writes {
                     debug_assert_eq!(version, self.versions[item.index()] + 1);
@@ -927,6 +1279,14 @@ impl C2plEngine {
                     self.send_grant(now, b.client, b.txn, item);
                 }
             }
+            Message::SReregister {
+                client,
+                epoch,
+                txn,
+                held,
+                pending: _,
+                cached,
+            } => self.on_reregister(now, client, epoch, txn, &held, &cached),
             other => unreachable!("c-2PL server cannot receive {other:?}"),
         }
     }
@@ -986,6 +1346,17 @@ impl C2plEngine {
     }
 
     fn send_grant(&mut self, now: SimTime, client: ClientId, txn: TxnId, item: ItemId) {
+        if self.srv_faults_on {
+            // Write-ahead: the grant is durable before it leaves.
+            let exclusive = matches!(self.locks.mode_of(txn, item), Some(LockMode::Exclusive));
+            if let Some(slog) = &mut self.slog {
+                slog.append(ServerRecord::Grant {
+                    txn,
+                    item,
+                    exclusive,
+                });
+            }
+        }
         self.trace.record(
             now,
             TraceKind::Dispatched,
@@ -1183,6 +1554,12 @@ impl C2plEngine {
     fn abort_victim(&mut self, now: SimTime, victim: TxnId) {
         debug_assert_eq!(self.table.status(victim), TxnStatus::Active);
         self.table.set_status(victim, TxnStatus::Aborting);
+        if self.srv_faults_on {
+            // The victim's grants die with it; compaction may fold them.
+            if let Some(slog) = &mut self.slog {
+                slog.append(ServerRecord::Released { txn: victim });
+            }
+        }
         if let Some(l) = self.leased.get_mut(victim.index()) {
             *l = false;
         }
@@ -1361,5 +1738,43 @@ mod tests {
         let m = C2plEngine::new(c).run();
         assert_eq!(m.faults.crashes, 1);
         assert_eq!(m.aborts.trials(), 300, "run completed despite the crash");
+    }
+
+    #[test]
+    fn server_crash_is_recovered() {
+        let mut c = cfg(6, 50, 0.3);
+        c.faults = Some(g2pl_faults::FaultPlan {
+            server_crashes: vec![
+                g2pl_faults::ServerCrashWindow::fixed(4_000, 1_500),
+                g2pl_faults::ServerCrashWindow::fixed(15_000, 800),
+            ],
+            ..Default::default()
+        });
+        let m = C2plEngine::new(c).run();
+        assert_eq!(m.faults.server_crashes, 2);
+        assert!(m.faults.reregistrations > 0, "handshake never ran");
+        assert_eq!(m.aborts.trials(), 300, "run completed despite crashes");
+    }
+
+    #[test]
+    fn server_crash_run_is_deterministic() {
+        let mk = || {
+            let mut c = cfg(6, 50, 0.3);
+            c.faults = Some(g2pl_faults::FaultPlan {
+                drop_prob: 0.02,
+                server_crashes: vec![g2pl_faults::ServerCrashWindow {
+                    at: 5_000,
+                    down_for: 1_000,
+                    jitter: 400,
+                }],
+                ..Default::default()
+            });
+            C2plEngine::new(c).run()
+        };
+        let (a, b) = (mk(), mk());
+        assert_eq!(a.committed_total, b.committed_total);
+        assert_eq!(a.aborted_total, b.aborted_total);
+        assert_eq!(a.net.messages(), b.net.messages());
+        assert_eq!(a.faults.reregistrations, b.faults.reregistrations);
     }
 }

@@ -44,8 +44,8 @@ use crate::cycle::CycleFinder;
 use crate::history::{AccessRecord, CommitRecord, History};
 use crate::metrics::{Collector, FaultSummary, RunMetrics, WalReport};
 use crate::runtime::{
-    lease_period, retry_period, ClientCore, ClientPhase, Ev, Message, Net, ServerCpu, TimerKind,
-    TxnStatus, TxnTable,
+    lease_period, retry_period, ClientCore, ClientPhase, Ev, HoldReport, Message, Net, ServerCpu,
+    TimerKind, TxnStatus, TxnTable,
 };
 use crate::s2pl::{lock_mode, CTRL_BYTES, EVENT_BUDGET};
 use crate::tracelog::{TraceKind, TraceLog};
@@ -54,7 +54,7 @@ use g2pl_fwdlist::{CollectionWindow, FlEntry, ForwardList, PrecedenceDag, Segmen
 use g2pl_lockmgr::LockMode;
 use g2pl_obs::SpanRecorder;
 use g2pl_simcore::{Calendar, ClientId, ItemId, SimTime, SiteId, Slab, TxnId, Version};
-use g2pl_wal::{LogRecord, SiteLog};
+use g2pl_wal::{LogRecord, ServerImage, ServerLog, ServerRecord, SiteLog};
 use g2pl_workload::{AccessMode, TxnGenerator};
 use std::rc::Rc;
 
@@ -214,6 +214,25 @@ pub struct G2plEngine {
     retry_base: SimTime,
     /// Fault-injection and recovery counters.
     fsum: FaultSummary,
+    /// Whether the plan schedules server crashes: gates the durable
+    /// server log and the recovery protocol, so loss-only plans keep
+    /// the exact crash-free fault paths.
+    srv_faults_on: bool,
+    /// The server's durable recovery log (server crashes only).
+    slog: Option<ServerLog>,
+    /// True while the server is crashed.
+    server_down: bool,
+    /// True while the post-restart re-registration handshake is open.
+    recovering: bool,
+    /// Bumped per restart; stale recovery timers and reports identify
+    /// themselves by a smaller epoch.
+    recovery_epoch: u64,
+    /// When the current handshake opened (deadline = one lease period).
+    recovery_started: SimTime,
+    /// Which clients have answered the current handshake.
+    reregistered: Vec<bool>,
+    /// Durable image replayed at restart; dropped when recovery ends.
+    recovery_image: Option<ServerImage>,
 }
 
 impl G2plEngine {
@@ -256,12 +275,23 @@ impl G2plEngine {
                 SimTime::MAX,
             ),
         };
+        let srv_faults = cfg
+            .active_faults()
+            .is_some_and(g2pl_faults::FaultPlan::has_server_crashes);
         G2plEngine {
             faults_on: net.faults_active(),
             net,
             lease,
             retry_base,
             fsum: FaultSummary::default(),
+            srv_faults_on: srv_faults,
+            slog: srv_faults.then(ServerLog::new),
+            server_down: false,
+            recovering: false,
+            recovery_epoch: 0,
+            recovery_started: SimTime::ZERO,
+            reregistered: Vec::new(),
+            recovery_image: None,
             server_cpu: ServerCpu::new(cfg.server_cpu_per_op),
             cal: Calendar::new(),
             clients,
@@ -314,6 +344,9 @@ impl G2plEngine {
         for (client, at, up) in self.net.crash_schedule() {
             self.cal.schedule(at, Ev::Fault { client, up });
         }
+        for (at, up) in self.net.server_crash_schedule() {
+            self.cal.schedule(at, Ev::ServerFault { up });
+        }
 
         let mut events: u64 = 0;
         while let Some((now, ev)) = self.cal.pop() {
@@ -326,14 +359,26 @@ impl G2plEngine {
                     }
                 }
                 Ev::WindowTimer { item } => self.on_window_timer(now, item),
-                Ev::ServerProc { msg } => self.on_server_msg(now, msg),
+                Ev::ServerProc { msg } => {
+                    // The crash may have struck while the message sat in
+                    // the CPU queue: it dies with the queue.
+                    if self.server_accepts(&msg) {
+                        self.on_server_msg(now, msg);
+                    } else {
+                        self.fsum.server_msgs_lost += 1;
+                    }
+                }
                 Ev::Deliver { to, msg } => match to {
                     SiteId::Server => {
-                        let d = self.server_cpu.service(now);
-                        if d == g2pl_simcore::SimTime::ZERO {
-                            self.on_server_msg(now, msg);
+                        if !self.server_accepts(&msg) {
+                            self.fsum.server_msgs_lost += 1;
                         } else {
-                            self.cal.schedule_in(d, Ev::ServerProc { msg });
+                            let d = self.server_cpu.service(now);
+                            if d == g2pl_simcore::SimTime::ZERO {
+                                self.on_server_msg(now, msg);
+                            } else {
+                                self.cal.schedule_in(d, Ev::ServerProc { msg });
+                            }
                         }
                     }
                     SiteId::Client(c) => {
@@ -344,6 +389,8 @@ impl G2plEngine {
                 },
                 Ev::Fault { client, up } => self.on_fault(now, client, up),
                 Ev::LeaseCheck { item, epoch } => self.on_lease_check(now, item, epoch),
+                Ev::ServerFault { up } => self.on_server_fault(now, up),
+                Ev::RecoveryCheck { epoch } => self.on_recovery_check(now, epoch),
                 Ev::TxnLease { .. } | Ev::CallbackRetry { .. } => {
                     unreachable!("event is not part of the g-2PL protocol")
                 }
@@ -1105,6 +1152,44 @@ impl G2plEngine {
                 self.after_gate_update(now, client, item, txn);
             }
             Message::GAbortNotice { txn } => self.on_abort_notice(now, client, txn),
+            Message::ReregisterReq { epoch } => {
+                // Report every live (unforwarded) forward-list slot this
+                // client holds or anticipates — checked-out items,
+                // in-flight positions, and committed-but-unreturned
+                // versions all ride in the same report. A pure function
+                // of client state, so duplicated deliveries are
+                // idempotent at the server.
+                let mut holds = Vec::new();
+                for (_, slots) in self.holds.iter() {
+                    for (item, h) in slots {
+                        if h.forwarded || h.fl.entry(h.pos).client != client {
+                            continue;
+                        }
+                        holds.push(HoldReport {
+                            txn: h.fl.entry(h.pos).txn,
+                            item: *item,
+                            pos: h.pos,
+                            epoch: h.epoch,
+                            version: h.version,
+                            forwarded: h.forwarded,
+                            data_arrived: h.data_arrived,
+                        });
+                    }
+                }
+                let bytes = CTRL_BYTES + holds.len() as u64 * FL_ENTRY_BYTES;
+                self.net.send(
+                    &mut self.cal,
+                    client.into(),
+                    SiteId::Server,
+                    "g2pl.reregister",
+                    bytes,
+                    Message::GReregister {
+                        client,
+                        epoch,
+                        holds,
+                    },
+                );
+            }
             Message::GPrune { item, txn } => {
                 let v = self.pruned[client.index()].ensure(txn.index());
                 if !v.contains(&item) {
@@ -1218,6 +1303,268 @@ impl G2plEngine {
         }
     }
 
+    // ---- server crash recovery ----
+
+    /// Whether the server can process `msg` right now: everything while
+    /// up, nothing while down, only re-registration reports while the
+    /// recovery handshake is open.
+    fn server_accepts(&self, msg: &Message) -> bool {
+        if self.server_down {
+            return false;
+        }
+        !self.recovering || matches!(msg, Message::GReregister { .. })
+    }
+
+    /// A scheduled server crash or restart from the fault plan.
+    fn on_server_fault(&mut self, now: SimTime, up: bool) {
+        if up {
+            self.begin_recovery(now);
+        } else {
+            self.crash_server(now);
+        }
+    }
+
+    /// The data server dies: every piece of volatile state — checkout
+    /// and window bookkeeping, dispatch epochs, installed versions, the
+    /// precedence DAG, the CPU queue — is gone. Only the durable log
+    /// survives. Client-side holds are other sites and live on;
+    /// `unpermanent_writers` is kept because it mirrors the *clients'*
+    /// log obligations, which a server crash does not discharge.
+    fn crash_server(&mut self, now: SimTime) {
+        debug_assert!(!self.server_down, "server crashed while already down");
+        self.server_down = true;
+        self.recovering = false;
+        self.fsum.server_crashes += 1;
+        self.trace
+            .record(now, TraceKind::ServerCrashed, None, None, SiteId::Server);
+        self.server_cpu = ServerCpu::new(self.cfg.server_cpu_per_op);
+        let mut orphaned = std::mem::take(&mut self.start_scratch);
+        orphaned.clear();
+        for idx in 0..self.items.len() {
+            let item = ItemId::new(idx as u32);
+            if let Some(out) = self.items[idx].out.take() {
+                self.clear_entry_index(&out, item);
+            }
+            let st = &mut self.items[idx];
+            orphaned.extend(st.window.pending().iter().map(|r| r.entry.txn));
+            st.window = CollectionWindow::new();
+            st.holding = false;
+            st.version = 0;
+            st.epoch = 0;
+        }
+        // Window entries die with the server; their owners' request
+        // retries re-enqueue them after recovery, which the
+        // pending-request duplicate filter must not suppress.
+        for txn in orphaned.drain(..) {
+            if let Some(slot) = self.pending_of.get_mut(txn.index()) {
+                *slot = None;
+            }
+        }
+        self.start_scratch = orphaned;
+        self.dag = PrecedenceDag::new();
+    }
+
+    /// The server restarts: replay the durable log, restore per-item
+    /// versions and dispatch epochs from the image, then open the
+    /// re-registration handshake by polling every client. Outstanding
+    /// checkouts are resolved in [`Self::finish_recovery`] once the
+    /// reports are in.
+    fn begin_recovery(&mut self, now: SimTime) {
+        debug_assert!(self.server_down, "server restarted while up");
+        self.server_down = false;
+        self.recovering = true;
+        self.recovery_epoch += 1;
+        self.recovery_started = now;
+        self.reregistered = vec![false; self.cfg.num_clients as usize];
+        // lint:allow(L3): the log exists whenever server crashes are planned
+        let img = self.slog.as_ref().expect("server log enabled").replay();
+        for (&item, &v) in &img.versions {
+            self.items[item.index()].version = v;
+        }
+        // Epochs restart at the last durably dispatched value, so every
+        // pre-crash in-flight segment is at most equal — and any
+        // post-recovery redispatch strictly above — the restored epoch:
+        // no grant can ever be issued from pre-crash forward-list state.
+        for (&item, d) in &img.dispatches {
+            self.items[item.index()].epoch = d.epoch;
+        }
+        self.recovery_image = Some(img);
+        self.broadcast_reregister(false);
+        self.cal.schedule_in(
+            self.retry_base,
+            Ev::RecoveryCheck {
+                epoch: self.recovery_epoch,
+            },
+        );
+    }
+
+    /// Poll clients for re-registration; `retry` restricts the poll to
+    /// clients that have not yet answered and counts as retransmission.
+    fn broadcast_reregister(&mut self, retry: bool) {
+        for i in 0..self.cfg.num_clients {
+            let c = ClientId::new(i);
+            if retry {
+                if self.reregistered[c.index()] {
+                    continue;
+                }
+                self.fsum.retries += 1;
+            }
+            self.net.send(
+                &mut self.cal,
+                SiteId::Server,
+                c.into(),
+                "g2pl.reregister_req",
+                CTRL_BYTES,
+                Message::ReregisterReq {
+                    epoch: self.recovery_epoch,
+                },
+            );
+        }
+    }
+
+    /// The recovery-handshake timer fired: finish if the handshake
+    /// deadline (one lease period) has passed; otherwise poll the
+    /// silent clients again.
+    fn on_recovery_check(&mut self, now: SimTime, epoch: u64) {
+        if !self.recovering || epoch != self.recovery_epoch {
+            return; // stale timer of an older recovery
+        }
+        if now.since(self.recovery_started) >= self.lease {
+            self.finish_recovery(now);
+            return;
+        }
+        self.broadcast_reregister(true);
+        self.cal
+            .schedule_in(self.retry_base, Ev::RecoveryCheck { epoch });
+    }
+
+    /// One client's re-registration report arrived: record liveness,
+    /// cross-validate the reported forward-list slots against the
+    /// durable dispatch history, and close the handshake once every
+    /// client has answered. Duplicated reports are absorbed by the
+    /// per-epoch `reregistered` flag (idempotent re-delivery).
+    fn on_reregister(&mut self, now: SimTime, client: ClientId, epoch: u64, holds: &[HoldReport]) {
+        if !self.recovering || epoch != self.recovery_epoch {
+            return; // late report of an older recovery
+        }
+        if self.reregistered[client.index()] {
+            return; // duplicated report: absorbed
+        }
+        self.reregistered[client.index()] = true;
+        self.fsum.reregistrations += 1;
+        self.trace
+            .record(now, TraceKind::Reregister, None, None, client.into());
+        // Reports corroborate the durable dispatch history (restoration
+        // itself works off the log plus the commit oracle, so entries
+        // whose data was still in flight are recovered even when no
+        // client-side hold exists to report): a slot re-reported at the
+        // last durable epoch must be on the logged list.
+        if cfg!(debug_assertions) {
+            // lint:allow(L3): the image exists for the whole handshake
+            let img = self.recovery_image.as_ref().expect("recovery image");
+            for r in holds {
+                if let Some(d) = img.dispatches.get(&r.item) {
+                    debug_assert!(
+                        r.epoch != d.epoch || d.entries.iter().any(|&(t, _)| t == r.txn),
+                        "{client} re-reported a slot the log never dispatched: {} {}",
+                        r.txn,
+                        r.item
+                    );
+                }
+            }
+        }
+        if self.reregistered.iter().all(|&r| r) {
+            self.finish_recovery(now);
+        }
+    }
+
+    /// Close the re-registration handshake. Per checked-out item, the
+    /// durable dispatch record plus the commit oracle decide the
+    /// outcome: committed writers advance the version base (their
+    /// updates are recoverable from their sites' logs, exactly as in
+    /// lease recovery), live entries of responding clients are
+    /// re-dispatched under a fresh epoch, and live entries of silent
+    /// clients are presumed dead and aborted. With no survivors the
+    /// item comes home at the version a fault-free drain would have
+    /// installed.
+    fn finish_recovery(&mut self, now: SimTime) {
+        debug_assert!(self.recovering);
+        // lint:allow(L3): the image exists for the whole handshake
+        let img = self.recovery_image.take().expect("recovery image");
+        let mut silent_victims: Vec<TxnId> = Vec::new();
+        let mut redispatch = Vec::new();
+        for &item in &img.out {
+            // lint:allow(L3): every `out` item has a dispatch record
+            let d = img.dispatches.get(&item).expect("out item was dispatched");
+            let mut survivors = Vec::new();
+            let mut committed_writes: Version = 0;
+            for &(txn, exclusive) in &d.entries {
+                match self.table.status(txn) {
+                    TxnStatus::Active => {
+                        let owner = self.table.info(txn).client;
+                        if self.reregistered[owner.index()] {
+                            let arrival = self.arrival_seq;
+                            self.arrival_seq += 1;
+                            let mode = if exclusive {
+                                LockMode::Exclusive
+                            } else {
+                                LockMode::Shared
+                            };
+                            survivors.push(PendingReq {
+                                entry: FlEntry::new(txn, owner, mode),
+                                arrival,
+                                restarts: 0,
+                            });
+                        } else if !silent_victims.contains(&txn) {
+                            silent_victims.push(txn);
+                        }
+                    }
+                    TxnStatus::Committed => {
+                        if exclusive {
+                            committed_writes += 1;
+                            // The committed version lives only in the
+                            // writer's site log until the item is home:
+                            // GC before permanence would lose it.
+                            if let Some(wal) = &self.wal {
+                                let site = self.table.info(txn).client;
+                                debug_assert!(
+                                    wal[site.index()].awaits_permanence(txn),
+                                    "committed write of {txn} on {item} collected before permanence"
+                                );
+                            }
+                        }
+                    }
+                    TxnStatus::Aborting | TxnStatus::Aborted => {}
+                }
+            }
+            self.items[item.index()].version = d.base + committed_writes;
+            redispatch.push((item, survivors));
+        }
+        self.recovering = false;
+        self.trace
+            .record(now, TraceKind::ServerRecovered, None, None, SiteId::Server);
+        for (item, survivors) in redispatch {
+            if survivors.is_empty() {
+                let version = self.items[item.index()].version;
+                // lint:allow(L3): the log exists whenever srv_faults_on
+                let slog = self.slog.as_mut().expect("server log enabled");
+                slog.append(ServerRecord::Home { item, version });
+                self.mark_writers_permanent(item);
+                self.close_window(now, item);
+            } else {
+                self.fsum.redispatches += 1;
+                self.dispatch(now, item, survivors);
+            }
+        }
+        for txn in silent_victims {
+            // A survivors' redispatch may already have aborted a silent
+            // transaction as its deadlock victim.
+            if self.table.status(txn) == TxnStatus::Active {
+                self.abort_victim(now, txn);
+            }
+        }
+    }
+
     // ---- server side ----
 
     fn on_server_msg(&mut self, now: SimTime, msg: Message) {
@@ -1293,6 +1640,9 @@ impl G2plEngine {
                 st.version = version;
                 let out = st.out.take().expect("just checked"); // lint:allow(L3): debug_assert above
                 self.clear_entry_index(&out, item);
+                if let Some(slog) = &mut self.slog {
+                    slog.append(ServerRecord::Home { item, version });
+                }
                 self.mark_writers_permanent(item);
                 self.close_window(now, item);
             }
@@ -1340,10 +1690,18 @@ impl G2plEngine {
                     st.version = version;
                     let out = st.out.take().expect("item is out"); // lint:allow(L3): as_mut above
                     self.clear_entry_index(&out, item);
+                    if let Some(slog) = &mut self.slog {
+                        slog.append(ServerRecord::Home { item, version });
+                    }
                     self.mark_writers_permanent(item);
                     self.close_window(now, item);
                 }
             }
+            Message::GReregister {
+                client,
+                epoch,
+                holds,
+            } => self.on_reregister(now, client, epoch, &holds),
             other => unreachable!("g-2PL server cannot receive {other:?}"),
         }
     }
@@ -1486,7 +1844,12 @@ impl G2plEngine {
     /// The deferred window close fires: dispatch whatever has gathered.
     fn on_window_timer(&mut self, now: SimTime, item: ItemId) {
         let st = &mut self.items[item.index()];
-        debug_assert!(st.holding);
+        if !st.holding {
+            // A timer from a dispatch-delay hold that died with a server
+            // crash (the crash clears `holding`).
+            debug_assert!(self.srv_faults_on, "window timer without a held item");
+            return;
+        }
         st.holding = false;
         if st.out.is_some() {
             // Impossible by construction (the item cannot leave home while
@@ -1584,6 +1947,23 @@ impl G2plEngine {
             .iter()
             .filter(|e| e.mode.is_exclusive() && self.table.status(e.txn) == TxnStatus::Committed)
             .count() as Version;
+        if cfg!(debug_assertions) {
+            // The redispatch base leans on the committed writers' site
+            // logs: none of them may have been collected before its
+            // version became permanent at the server.
+            if let Some(wal) = &self.wal {
+                for e in out.fl.entries().iter().filter(|e| {
+                    e.mode.is_exclusive() && self.table.status(e.txn) == TxnStatus::Committed
+                }) {
+                    let site = self.table.info(e.txn).client;
+                    debug_assert!(
+                        wal[site.index()].awaits_permanence(e.txn),
+                        "committed write of {} on {item} collected before permanence",
+                        e.txn
+                    );
+                }
+            }
+        }
         self.items[item.index()].version = out.base_version + committed_writes;
 
         self.fsum.redispatches += 1;
@@ -1596,6 +1976,10 @@ impl G2plEngine {
         );
         if survivors.is_empty() {
             // No live suffix: the item simply comes home.
+            if let Some(slog) = &mut self.slog {
+                let version = self.items[item.index()].version;
+                slog.append(ServerRecord::Home { item, version });
+            }
             self.mark_writers_permanent(item);
             self.close_window(now, item);
         } else {
@@ -1668,6 +2052,20 @@ impl G2plEngine {
             // keeps making progress and recovers it when progress stops.
             self.cal
                 .schedule_in(self.lease, Ev::LeaseCheck { item, epoch });
+        }
+        if let Some(slog) = &mut self.slog {
+            // Write-ahead: the list construction/reorder decision is
+            // durable before the first data segment leaves the server.
+            slog.append(ServerRecord::Dispatch {
+                item,
+                epoch,
+                base: version,
+                entries: fl
+                    .entries()
+                    .iter()
+                    .map(|e| (e.txn, e.mode.is_exclusive()))
+                    .collect(),
+            });
         }
         self.send_segment(now, SiteId::Server, item, version, &fl, 0, epoch);
 
@@ -2123,5 +2521,45 @@ mod tests {
         let m = G2plEngine::new(c).run();
         assert_eq!(m.faults.crashes, 1);
         assert_eq!(m.aborts.trials(), 300, "run completed despite the crash");
+    }
+
+    #[test]
+    fn server_crash_is_recovered() {
+        let mut c = cfg(8, 50, 0.3);
+        c.faults = Some(g2pl_faults::FaultPlan {
+            server_crashes: vec![
+                g2pl_faults::ServerCrashWindow::fixed(4_000, 1_500),
+                g2pl_faults::ServerCrashWindow::fixed(15_000, 800),
+            ],
+            ..Default::default()
+        });
+        let m = G2plEngine::new(c).run();
+        assert_eq!(m.faults.server_crashes, 2);
+        assert!(m.faults.reregistrations > 0, "handshake never ran");
+        assert!(m.faults.server_msgs_lost > 0, "outage lost no messages");
+        assert_eq!(m.aborts.trials(), 300, "run completed despite crashes");
+    }
+
+    #[test]
+    fn server_crash_run_is_deterministic() {
+        let mk = || {
+            let mut c = cfg(6, 50, 0.4);
+            c.faults = Some(g2pl_faults::FaultPlan {
+                drop_prob: 0.02,
+                server_crashes: vec![g2pl_faults::ServerCrashWindow {
+                    at: 5_000,
+                    down_for: 1_000,
+                    jitter: 400,
+                }],
+                ..Default::default()
+            });
+            G2plEngine::new(c).run()
+        };
+        let (a, b) = (mk(), mk());
+        assert_eq!(a.committed_total, b.committed_total);
+        assert_eq!(a.aborted_total, b.aborted_total);
+        assert_eq!(a.net.messages(), b.net.messages());
+        assert_eq!(a.faults.server_msgs_lost, b.faults.server_msgs_lost);
+        assert_eq!(a.faults.reregistrations, b.faults.reregistrations);
     }
 }

@@ -38,7 +38,9 @@ pub mod tracelog;
 pub use config::{
     AbortEffect, ConfigError, EngineConfig, EngineConfigBuilder, G2plOpts, LatencyCfg, ProtocolKind,
 };
-pub use g2pl_faults::{CrashWindow, Endpoint, FaultCounts, FaultPlan, LinkPartition};
+pub use g2pl_faults::{
+    CrashWindow, Endpoint, FaultCounts, FaultPlan, LinkPartition, ServerCrashWindow,
+};
 pub use history::{CommitRecord, History};
 pub use metrics::{FaultSummary, RunMetrics};
 pub use tracelog::{TraceEvent, TraceKind};
@@ -55,14 +57,4 @@ pub fn run(config: &EngineConfig) -> Result<RunMetrics, ConfigError> {
         ProtocolKind::G2pl(_) => g2pl::G2plEngine::new(config.clone()).run(),
         ProtocolKind::C2pl => c2pl::C2plEngine::new(config.clone()).run(),
     })
-}
-
-/// Panicking shim for the pre-`Result` entry point.
-#[deprecated(
-    since = "0.1.0",
-    note = "use `run`, which returns Result<RunMetrics, ConfigError>"
-)]
-pub fn run_or_panic(config: &EngineConfig) -> RunMetrics {
-    // lint:allow(L3): deprecated compatibility shim; callers opted into panics
-    run(config).unwrap_or_else(|e| panic!("invalid config: {e}"))
 }

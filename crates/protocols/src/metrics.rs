@@ -100,6 +100,13 @@ pub struct FaultSummary {
     /// the lease expiry that recovered it — the stall the obs phase
     /// attribution charges to recovery rather than to migration.
     pub recovery_stall: f64,
+    /// Server crash events executed.
+    pub server_crashes: u64,
+    /// Messages dropped because they reached a dead or still-recovering
+    /// server.
+    pub server_msgs_lost: u64,
+    /// Client re-registration reports accepted during server recovery.
+    pub reregistrations: u64,
 }
 
 impl FaultSummary {
@@ -110,6 +117,9 @@ impl FaultSummary {
             || self.lease_expiries > 0
             || self.redispatches > 0
             || self.retries > 0
+            || self.server_crashes > 0
+            || self.server_msgs_lost > 0
+            || self.reregistrations > 0
     }
 }
 

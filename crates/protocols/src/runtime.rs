@@ -31,6 +31,11 @@ pub enum TimerKind {
     },
 }
 
+/// A committed-but-unacknowledged commit release carried by an s/c-2PL
+/// re-registration report: `(txn, writes, reads)` exactly as the
+/// outstanding [`Message::SCommit`] carries them.
+pub type PendingCommit = (TxnId, Vec<(ItemId, Version)>, Vec<ItemId>);
+
 /// Protocol messages. One enum serves every engine; each engine handles
 /// its own subset and treats the rest as unreachable.
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -170,6 +175,70 @@ pub enum Message {
         /// The aborted transaction.
         txn: TxnId,
     },
+
+    // ---- server crash recovery (all engines) ----
+    /// Restarted server → every client: report your server-visible state.
+    /// Broadcast at restart and re-broadcast to non-responders every
+    /// retry period until the recovery deadline.
+    ReregisterReq {
+        /// Recovery epoch: bumped per server restart, echoed by replies,
+        /// so reports from a superseded recovery are absorbed.
+        epoch: u64,
+    },
+    /// Client → restarted server (s-2PL / c-2PL): the client's full
+    /// server-visible state, from which the server re-acquires locks and
+    /// rebuilds the cache directory. Pure function of client state, so
+    /// duplicated deliveries are idempotent.
+    SReregister {
+        /// Reporting client.
+        client: ClientId,
+        /// Recovery epoch being answered.
+        epoch: u64,
+        /// The client's active transaction, if any.
+        txn: Option<TxnId>,
+        /// Server locks granted to the active transaction (checked-out
+        /// items), in grant order.
+        held: Vec<(ItemId, LockMode)>,
+        /// A committed-but-unacknowledged commit release
+        /// (committed-but-unreturned versions live here).
+        pending: Option<PendingCommit>,
+        /// c-2PL: items cached (with retained shared locks) across
+        /// transaction boundaries; empty under s-2PL.
+        cached: Vec<ItemId>,
+    },
+    /// Client → restarted server (g-2PL): every slot this client holds
+    /// on a dispatched forward list, with its in-flight position and
+    /// version. Pure function of client state (idempotent).
+    GReregister {
+        /// Reporting client.
+        client: ClientId,
+        /// Recovery epoch being answered.
+        epoch: u64,
+        /// One report per held forward-list slot.
+        holds: Vec<HoldReport>,
+    },
+}
+
+/// One client-held forward-list slot, as re-reported during server crash
+/// recovery.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct HoldReport {
+    /// The transaction owning the slot.
+    pub txn: TxnId,
+    /// The checked-out item.
+    pub item: ItemId,
+    /// The slot's position on the dispatched forward list.
+    pub pos: usize,
+    /// Dispatch epoch of the forward list the slot belongs to; the
+    /// server ignores reports from superseded dispatches.
+    pub epoch: u64,
+    /// The version held (committed-but-unreturned when `forwarded` is
+    /// still false and the owner already committed).
+    pub version: Version,
+    /// True once the slot's release/forward has been sent.
+    pub forwarded: bool,
+    /// True once the item's data actually arrived at this slot.
+    pub data_arrived: bool,
 }
 
 /// A calendar event.
@@ -230,6 +299,20 @@ pub enum Ev {
     CallbackRetry {
         /// The barrier-owning transaction.
         txn: TxnId,
+    },
+    /// A scheduled server crash (`up == false`) or restart (`up == true`)
+    /// from the fault plan.
+    ServerFault {
+        /// `false` = crash, `true` = restart.
+        up: bool,
+    },
+    /// Periodic check during the post-restart re-registration handshake:
+    /// re-broadcast [`Message::ReregisterReq`] to non-responders, or
+    /// finish recovery at the deadline. Stale if the server's recovery
+    /// epoch moved past `epoch` (a later crash superseded this recovery).
+    RecoveryCheck {
+        /// Recovery epoch the check was armed for.
+        epoch: u64,
     },
 }
 
@@ -321,6 +404,12 @@ impl Net {
     /// The plan's crash/restart schedule (empty when reliable).
     pub fn crash_schedule(&self) -> Vec<(ClientId, SimTime, bool)> {
         self.link.crash_schedule()
+    }
+
+    /// The plan's server crash/restart schedule (empty when reliable).
+    /// Consumes the dedicated jitter stream; call once, at engine start.
+    pub fn server_crash_schedule(&mut self) -> Vec<(SimTime, bool)> {
+        self.link.server_crash_schedule()
     }
 
     /// Drain the pending injected-fault marks (engines record one

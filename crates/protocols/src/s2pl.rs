@@ -13,15 +13,16 @@ use crate::cycle::CycleFinder;
 use crate::history::{AccessRecord, CommitRecord, History};
 use crate::metrics::{Collector, FaultSummary, RunMetrics, WalReport};
 use crate::runtime::{
-    lease_period, retry_period, ClientCore, ClientPhase, Ev, Message, Net, ServerCpu, TimerKind,
-    TxnStatus, TxnTable,
+    lease_period, retry_period, ClientCore, ClientPhase, Ev, Message, Net, PendingCommit,
+    ServerCpu, TimerKind, TxnStatus, TxnTable,
 };
 use crate::tracelog::{TraceKind, TraceLog};
 use g2pl_lockmgr::{AcquireOutcome, LockMode, LockTable};
 use g2pl_obs::SpanRecorder;
 use g2pl_simcore::{Calendar, ClientId, ItemId, SimTime, SiteId, TxnId, Version};
-use g2pl_wal::{LogRecord, SiteLog};
+use g2pl_wal::{LogRecord, ServerImage, ServerLog, ServerRecord, SiteLog};
 use g2pl_workload::{AccessMode, TxnGenerator};
+use std::collections::BTreeMap;
 
 /// Control-message payload size in bytes (requests, notices).
 pub(crate) const CTRL_BYTES: u64 = 64;
@@ -67,6 +68,31 @@ pub struct S2plEngine {
     /// Whether a transaction currently holds server resources under a
     /// pending lease (faults only).
     leased: Vec<bool>,
+    /// Whether the plan schedules server crashes. Gates the server's
+    /// durable log and the durable commit-duplicate check, so plans
+    /// without server crashes take the exact pre-existing fault path.
+    srv_faults_on: bool,
+    /// The server's durable log (present iff `srv_faults_on`).
+    slog: Option<ServerLog>,
+    /// True between a server crash and its restart: every server-bound
+    /// message is lost and no server-side action happens.
+    server_down: bool,
+    /// True between a restart and the end of the re-registration
+    /// handshake: only [`Message::SReregister`] is processed.
+    recovering: bool,
+    /// Monotonic recovery generation; stale `RecoveryCheck` timers and
+    /// reports from an older recovery are ignored through it.
+    recovery_epoch: u64,
+    /// When the current handshake opened (deadline accounting).
+    recovery_started: SimTime,
+    /// Which clients have re-registered in the current handshake.
+    reregistered: Vec<bool>,
+    /// Durable image replayed at the last restart; `finish_recovery`
+    /// restores outstanding grants from it.
+    recovery_image: Option<ServerImage>,
+    /// Volatile mirror of the durable applied-commit set, indexed by
+    /// transaction (rebuilt from the image after a crash).
+    committed_srv: Vec<bool>,
     /// Fault-injection and recovery counters.
     fsum: FaultSummary,
 }
@@ -97,6 +123,9 @@ impl S2plEngine {
                 SimTime::MAX,
             ),
         };
+        let srv_faults = cfg
+            .active_faults()
+            .is_some_and(g2pl_faults::FaultPlan::has_server_crashes);
         S2plEngine {
             faults_on: net.faults_active(),
             net,
@@ -104,6 +133,15 @@ impl S2plEngine {
             retry_base,
             last_activity: Vec::new(),
             leased: Vec::new(),
+            srv_faults_on: srv_faults,
+            slog: srv_faults.then(ServerLog::new),
+            server_down: false,
+            recovering: false,
+            recovery_epoch: 0,
+            recovery_started: SimTime::ZERO,
+            reregistered: Vec::new(),
+            recovery_image: None,
+            committed_srv: Vec::new(),
             fsum: FaultSummary::default(),
             server_cpu: ServerCpu::new(cfg.server_cpu_per_op),
             cal: Calendar::new(),
@@ -151,6 +189,9 @@ impl S2plEngine {
         for (client, at, up) in self.net.crash_schedule() {
             self.cal.schedule(at, Ev::Fault { client, up });
         }
+        for (at, up) in self.net.server_crash_schedule() {
+            self.cal.schedule(at, Ev::ServerFault { up });
+        }
 
         let mut events: u64 = 0;
         while let Some((now, ev)) = self.cal.pop() {
@@ -165,14 +206,26 @@ impl S2plEngine {
                 Ev::WindowTimer { .. } | Ev::LeaseCheck { .. } | Ev::CallbackRetry { .. } => {
                     unreachable!("event is not part of the s-2PL protocol")
                 }
-                Ev::ServerProc { msg } => self.on_server_msg(now, msg),
+                Ev::ServerProc { msg } => {
+                    // Re-checked after the CPU delay: a crash may have hit
+                    // while the message sat in the service queue.
+                    if self.server_accepts(&msg) {
+                        self.on_server_msg(now, msg);
+                    } else {
+                        self.fsum.server_msgs_lost += 1;
+                    }
+                }
                 Ev::Deliver { to, msg } => match to {
                     SiteId::Server => {
-                        let d = self.server_cpu.service(now);
-                        if d == g2pl_simcore::SimTime::ZERO {
-                            self.on_server_msg(now, msg);
+                        if !self.server_accepts(&msg) {
+                            self.fsum.server_msgs_lost += 1;
                         } else {
-                            self.cal.schedule_in(d, Ev::ServerProc { msg });
+                            let d = self.server_cpu.service(now);
+                            if d == g2pl_simcore::SimTime::ZERO {
+                                self.on_server_msg(now, msg);
+                            } else {
+                                self.cal.schedule_in(d, Ev::ServerProc { msg });
+                            }
                         }
                     }
                     SiteId::Client(c) => {
@@ -182,7 +235,15 @@ impl S2plEngine {
                     }
                 },
                 Ev::Fault { client, up } => self.on_fault(now, client, up),
-                Ev::TxnLease { txn } => self.on_txn_lease(now, txn),
+                Ev::ServerFault { up } => self.on_server_fault(now, up),
+                Ev::RecoveryCheck { epoch } => self.on_recovery_check(now, epoch),
+                Ev::TxnLease { txn } => {
+                    // A dead or still-recovering server holds no leases;
+                    // recovery re-arms them for every restored grant.
+                    if !self.server_down && !self.recovering {
+                        self.on_txn_lease(now, txn);
+                    }
+                }
             }
             if self.faults_on {
                 for (at, site) in self.net.take_fault_marks() {
@@ -642,6 +703,43 @@ impl S2plEngine {
                     },
                 );
             }
+            Message::ReregisterReq { epoch } => {
+                // Re-report everything the client holds of the server's:
+                // granted items of the live transaction and the writes of
+                // an unacknowledged (committed-but-unreleased) commit.
+                let c = &self.clients[client.index()];
+                let mut held = Vec::new();
+                let mut txn = None;
+                if let Some(active) = &c.txn {
+                    txn = Some(active.id);
+                    for idx in 0..active.granted {
+                        let (item, mode) = active.spec.access(idx);
+                        held.push((item, lock_mode(mode)));
+                    }
+                }
+                let pending = c.pending_commit.as_ref().and_then(|m| match m {
+                    Message::SCommit { txn, writes, reads } => {
+                        Some((*txn, writes.clone(), reads.clone()))
+                    }
+                    _ => None,
+                });
+                let bytes = CTRL_BYTES + 8 * held.len() as u64;
+                self.net.send(
+                    &mut self.cal,
+                    client.into(),
+                    SiteId::Server,
+                    "s2pl.reregister",
+                    bytes,
+                    Message::SReregister {
+                        client,
+                        epoch,
+                        txn,
+                        held,
+                        pending,
+                        cached: Vec::new(),
+                    },
+                );
+            }
             other => unreachable!("s-2PL client cannot receive {other:?}"),
         }
     }
@@ -681,6 +779,256 @@ impl S2plEngine {
                 kind: TimerKind::IdleDone,
             },
         );
+    }
+
+    // ---- server crash recovery ----
+
+    /// Whether the server can process `msg` right now: everything while
+    /// up, nothing while down, only re-registration reports while the
+    /// recovery handshake is open.
+    fn server_accepts(&self, msg: &Message) -> bool {
+        if self.server_down {
+            return false;
+        }
+        !self.recovering || matches!(msg, Message::SReregister { .. })
+    }
+
+    /// A scheduled server crash or restart from the fault plan.
+    fn on_server_fault(&mut self, now: SimTime, up: bool) {
+        if up {
+            self.begin_recovery(now);
+        } else {
+            self.crash_server(now);
+        }
+    }
+
+    /// The data server dies: every piece of volatile state — lock table,
+    /// lease bookkeeping, installed versions, the applied-commit set —
+    /// is gone. Only the durable log survives.
+    fn crash_server(&mut self, now: SimTime) {
+        debug_assert!(!self.server_down, "server crashed while already down");
+        self.server_down = true;
+        self.recovering = false;
+        self.fsum.server_crashes += 1;
+        self.trace
+            .record(now, TraceKind::ServerCrashed, None, None, SiteId::Server);
+        self.locks = LockTable::new();
+        self.server_cpu = ServerCpu::new(self.cfg.server_cpu_per_op);
+        self.versions.iter_mut().for_each(|v| *v = 0);
+        self.leased.iter_mut().for_each(|l| *l = false);
+        self.last_activity
+            .iter_mut()
+            .for_each(|t| *t = SimTime::ZERO);
+        self.committed_srv.iter_mut().for_each(|c| *c = false);
+    }
+
+    /// The server restarts: replay the durable log into an image,
+    /// restore installed versions and the applied-commit set from it,
+    /// then open the re-registration handshake by polling every client.
+    fn begin_recovery(&mut self, now: SimTime) {
+        debug_assert!(self.server_down, "server restarted while up");
+        self.server_down = false;
+        self.recovering = true;
+        self.recovery_epoch += 1;
+        self.recovery_started = now;
+        self.reregistered = vec![false; self.cfg.num_clients as usize];
+        // lint:allow(L3): the log exists whenever server crashes are planned
+        let img = self.slog.as_ref().expect("server log enabled").replay();
+        for (&item, &v) in &img.versions {
+            self.versions[item.index()] = v;
+        }
+        for &txn in &img.committed {
+            self.mark_committed_srv(txn);
+        }
+        self.recovery_image = Some(img);
+        self.broadcast_reregister(false);
+        self.cal.schedule_in(
+            self.retry_base,
+            Ev::RecoveryCheck {
+                epoch: self.recovery_epoch,
+            },
+        );
+    }
+
+    /// Poll clients for re-registration; `retry` restricts the poll to
+    /// clients that have not yet answered and counts as retransmission.
+    fn broadcast_reregister(&mut self, retry: bool) {
+        for i in 0..self.cfg.num_clients {
+            let c = ClientId::new(i);
+            if retry {
+                if self.reregistered[c.index()] {
+                    continue;
+                }
+                self.fsum.retries += 1;
+            }
+            self.net.send(
+                &mut self.cal,
+                SiteId::Server,
+                c.into(),
+                "s2pl.reregister_req",
+                CTRL_BYTES,
+                Message::ReregisterReq {
+                    epoch: self.recovery_epoch,
+                },
+            );
+        }
+    }
+
+    /// The recovery-handshake timer fired: finish if the handshake
+    /// deadline (one lease period) has passed; otherwise poll the
+    /// silent clients again.
+    fn on_recovery_check(&mut self, now: SimTime, epoch: u64) {
+        if !self.recovering || epoch != self.recovery_epoch {
+            return; // stale timer of an older recovery
+        }
+        if now.since(self.recovery_started) >= self.lease {
+            self.finish_recovery(now);
+            return;
+        }
+        self.broadcast_reregister(true);
+        self.cal
+            .schedule_in(self.retry_base, Ev::RecoveryCheck { epoch });
+    }
+
+    /// One client's re-registration report arrived during the handshake:
+    /// record liveness, cross-validate its claims against the durable
+    /// grant history, and close the handshake once every client has
+    /// answered. Duplicated reports (lossy link) are absorbed by the
+    /// per-epoch `reregistered` flag, making re-delivery idempotent.
+    fn on_reregister(
+        &mut self,
+        now: SimTime,
+        client: ClientId,
+        epoch: u64,
+        txn: Option<TxnId>,
+        held: &[(ItemId, LockMode)],
+        pending: Option<&PendingCommit>,
+    ) {
+        if !self.recovering || epoch != self.recovery_epoch {
+            return; // late report of an older recovery
+        }
+        if self.reregistered[client.index()] {
+            return; // duplicated report: absorbed
+        }
+        self.reregistered[client.index()] = true;
+        self.fsum.reregistrations += 1;
+        self.trace
+            .record(now, TraceKind::Reregister, txn, None, client.into());
+        // Reports corroborate the durable grant history (restoration
+        // itself works off the log, so a crashed client's
+        // committed-but-unreleased locks are restored even without a
+        // report): every claim a live client re-reports for a still-live
+        // transaction must have been durably granted before the crash.
+        if cfg!(debug_assertions) {
+            // lint:allow(L3): the image exists for the whole handshake
+            let img = self.recovery_image.as_ref().expect("recovery image");
+            if let Some(t) = txn {
+                if self.table.status(t) == TxnStatus::Active {
+                    for &(item, _) in held {
+                        debug_assert!(
+                            img.was_granted(t, item) || self.locks.mode_of(t, item).is_some(),
+                            "{client} re-reported a grant the log never saw: {t} {item}"
+                        );
+                    }
+                }
+            }
+            if let Some((t, writes, _)) = pending {
+                if !img.is_committed(*t) {
+                    for &(item, _) in writes {
+                        debug_assert!(
+                            img.was_granted(*t, item),
+                            "{client} re-reported an unlogged pending write: {t} {item}"
+                        );
+                    }
+                }
+            }
+        }
+        if self.reregistered.iter().all(|&r| r) {
+            self.finish_recovery(now);
+        }
+    }
+
+    /// Close the re-registration handshake: restore every outstanding
+    /// durable grant whose owner still needs it, resume normal service,
+    /// then abort the active transactions of clients that never answered
+    /// (presumed dead).
+    fn finish_recovery(&mut self, now: SimTime) {
+        debug_assert!(self.recovering);
+        // lint:allow(L3): the image exists for the whole handshake
+        let img = self.recovery_image.take().expect("recovery image");
+        let mut silent_victims = Vec::new();
+        for (&txn, items) in &img.grants {
+            let client = self.table.info(txn).client;
+            match self.table.status(txn) {
+                // An active owner that answered gets its locks back
+                // exactly as granted; a silent one is presumed dead and
+                // aborted below (its slots are simply never restored).
+                TxnStatus::Active => {
+                    if self.reregistered[client.index()] {
+                        self.restore_grants(txn, items);
+                        self.touch(now, txn);
+                    } else {
+                        silent_victims.push(txn);
+                    }
+                }
+                // Committed at the client but not applied here: the
+                // commit-release is being retransmitted and must still
+                // find the pre-crash locks in place, or a competing
+                // writer could slip in under it and break the version
+                // chain the acknowledged commit depends on.
+                TxnStatus::Committed => {
+                    if !self.committed_at_server(txn) {
+                        self.restore_grants(txn, items);
+                        self.touch(now, txn);
+                    }
+                }
+                // Released (and logged) before the crash; replay folded
+                // those grants away already.
+                TxnStatus::Aborting | TxnStatus::Aborted => {}
+            }
+        }
+        self.recovering = false;
+        self.trace
+            .record(now, TraceKind::ServerRecovered, None, None, SiteId::Server);
+        for txn in silent_victims {
+            self.abort_victim(now, txn);
+        }
+    }
+
+    /// Re-insert `txn`'s durably recorded grants into the fresh lock
+    /// table. Pre-crash holders coexisted, so every re-acquisition must
+    /// succeed immediately.
+    fn restore_grants(&mut self, txn: TxnId, items: &BTreeMap<ItemId, bool>) {
+        for (&item, &exclusive) in items {
+            let mode = if exclusive {
+                LockMode::Exclusive
+            } else {
+                LockMode::Shared
+            };
+            let outcome = self.locks.acquire(txn, item, mode);
+            debug_assert!(
+                matches!(outcome, AcquireOutcome::Granted),
+                "restored grants conflict: {txn} {item}"
+            );
+            let _ = outcome;
+        }
+    }
+
+    fn mark_committed_srv(&mut self, txn: TxnId) {
+        let i = txn.index();
+        if self.committed_srv.len() <= i {
+            self.committed_srv.resize(i + 1, false);
+        }
+        self.committed_srv[i] = true;
+    }
+
+    /// Whether `txn`'s commit has been applied at the server (durable
+    /// applied-set mirror; survives crashes via log replay).
+    fn committed_at_server(&self, txn: TxnId) -> bool {
+        self.committed_srv
+            .get(txn.index())
+            .copied()
+            .unwrap_or(false)
     }
 
     // ---- server side ----
@@ -732,13 +1080,35 @@ impl S2plEngine {
             Message::SCommit { txn, writes, .. } => {
                 let committer = self.table.info(txn).client;
                 if self.faults_on {
-                    if !self.leased.get(txn.index()).copied().unwrap_or(false) {
-                        // Duplicate commit-release (already applied): the
-                        // ack was lost, so just acknowledge again.
+                    // Duplicate commit-release (already applied): the ack
+                    // was lost, so just acknowledge again. Under server
+                    // crashes the applied set must be the durable one —
+                    // the volatile lease flag dies with the server.
+                    let duplicate = if self.srv_faults_on {
+                        self.committed_at_server(txn)
+                    } else {
+                        !self.leased.get(txn.index()).copied().unwrap_or(false)
+                    };
+                    if duplicate {
                         self.send_commit_ack(committer, txn);
                         return;
                     }
-                    self.leased[txn.index()] = false;
+                    if let Some(l) = self.leased.get_mut(txn.index()) {
+                        *l = false;
+                    }
+                }
+                if self.srv_faults_on {
+                    self.mark_committed_srv(txn);
+                    // Write-ahead: the applied commit, its installed
+                    // versions, and the release are durable before the
+                    // ack leaves the server.
+                    // lint:allow(L3): the log exists whenever srv_faults_on
+                    let slog = self.slog.as_mut().expect("server log enabled");
+                    slog.append(ServerRecord::Committed { txn });
+                    for &(item, version) in &writes {
+                        slog.append(ServerRecord::Permanent { item, version });
+                    }
+                    slog.append(ServerRecord::Released { txn });
                 }
                 for (item, version) in writes {
                     debug_assert_eq!(
@@ -768,6 +1138,14 @@ impl S2plEngine {
                     self.send_commit_ack(committer, txn);
                 }
             }
+            Message::SReregister {
+                client,
+                epoch,
+                txn,
+                held,
+                pending,
+                cached: _,
+            } => self.on_reregister(now, client, epoch, txn, &held, pending.as_ref()),
             other => unreachable!("s-2PL server cannot receive {other:?}"),
         }
     }
@@ -841,6 +1219,17 @@ impl S2plEngine {
     }
 
     fn send_grant(&mut self, now: SimTime, client: ClientId, txn: TxnId, item: ItemId) {
+        if self.srv_faults_on {
+            // Write-ahead: the grant is durable before it leaves.
+            let exclusive = matches!(self.locks.mode_of(txn, item), Some(LockMode::Exclusive));
+            if let Some(slog) = &mut self.slog {
+                slog.append(ServerRecord::Grant {
+                    txn,
+                    item,
+                    exclusive,
+                });
+            }
+        }
         self.trace.record(
             now,
             TraceKind::Dispatched,
@@ -897,6 +1286,12 @@ impl S2plEngine {
     fn abort_victim(&mut self, now: SimTime, victim: TxnId) {
         debug_assert_eq!(self.table.status(victim), TxnStatus::Active);
         self.table.set_status(victim, TxnStatus::Aborting);
+        if self.srv_faults_on {
+            // The victim's grants die with it; compaction may fold them.
+            if let Some(slog) = &mut self.slog {
+                slog.append(ServerRecord::Released { txn: victim });
+            }
+        }
         if let Some(l) = self.leased.get_mut(victim.index()) {
             *l = false;
         }
@@ -1059,6 +1454,46 @@ mod tests {
         assert_eq!(base.net.messages(), m.net.messages());
         assert_eq!(base.events, m.events);
         assert!(!m.faults.any());
+    }
+
+    #[test]
+    fn server_crash_is_recovered() {
+        let mut c = cfg(6, 50, 0.3);
+        c.faults = Some(g2pl_faults::FaultPlan {
+            server_crashes: vec![
+                g2pl_faults::ServerCrashWindow::fixed(4_000, 1_500),
+                g2pl_faults::ServerCrashWindow::fixed(15_000, 800),
+            ],
+            ..Default::default()
+        });
+        let m = S2plEngine::new(c).run();
+        assert_eq!(m.faults.server_crashes, 2);
+        assert!(m.faults.reregistrations > 0, "handshake never ran");
+        assert!(m.faults.server_msgs_lost > 0, "outage lost no messages");
+        assert_eq!(m.aborts.trials(), 300, "run completed despite crashes");
+    }
+
+    #[test]
+    fn server_crash_run_is_deterministic() {
+        let mk = || {
+            let mut c = cfg(6, 50, 0.3);
+            c.faults = Some(g2pl_faults::FaultPlan {
+                drop_prob: 0.02,
+                server_crashes: vec![g2pl_faults::ServerCrashWindow {
+                    at: 5_000,
+                    down_for: 1_000,
+                    jitter: 400,
+                }],
+                ..Default::default()
+            });
+            S2plEngine::new(c).run()
+        };
+        let (a, b) = (mk(), mk());
+        assert_eq!(a.committed_total, b.committed_total);
+        assert_eq!(a.aborted_total, b.aborted_total);
+        assert_eq!(a.net.messages(), b.net.messages());
+        assert_eq!(a.faults.server_msgs_lost, b.faults.server_msgs_lost);
+        assert_eq!(a.faults.reregistrations, b.faults.reregistrations);
     }
 
     #[test]

@@ -51,6 +51,21 @@ pub enum TraceKind {
     /// remained). Every [`TraceKind::LeaseExpired`] must be resolved by
     /// one of these — property P8.
     Redispatch,
+    /// The data server crashed: its volatile state (lock table, windows,
+    /// out-lists, directory) is gone and only its durable log survives.
+    /// No server-side grant/dispatch activity may appear before the
+    /// matching [`TraceKind::ServerRecovered`] — property P9.
+    ServerCrashed,
+    /// The restarted server finished log replay plus the client
+    /// re-registration handshake and resumed normal service. Every
+    /// [`TraceKind::ServerCrashed`] must be resolved by one of these on
+    /// a drained run — property P9.
+    ServerRecovered,
+    /// The restarted server accepted one client's re-registration report
+    /// (`site` is the reporting client). Only legal between a
+    /// [`TraceKind::ServerCrashed`] and its
+    /// [`TraceKind::ServerRecovered`] — property P9.
+    Reregister,
 }
 
 /// One trace event.

@@ -23,10 +23,15 @@
 //!   monotonically increasing log sequence numbers;
 //! * [`log::SiteLog`] — one site's append-only log with force-at-commit
 //!   accounting and permanence-driven garbage collection;
-//! * [`log::LogMetrics`] — bytes written/forced, high-water marks.
+//! * [`log::LogMetrics`] — bytes written/forced, high-water marks;
+//! * [`server::ServerLog`] — the data server's durable checkpoint log
+//!   (grants, forward-list dispatches, permanence), replayed into a
+//!   [`server::ServerImage`] by the crash-recovery protocol.
 
 pub mod log;
 pub mod record;
+pub mod server;
 
 pub use log::{LogMetrics, SiteLog};
 pub use record::{LogRecord, Lsn};
+pub use server::{DispatchImage, ServerImage, ServerLog, ServerLogMetrics, ServerRecord};

@@ -70,10 +70,19 @@ impl SiteLog {
                 self.awaiting.entry(txn).or_default().push(item);
             }
             LogRecord::Commit { txn } => {
-                self.terminated.insert(txn, true);
+                // Terminal status is sticky: under faults a stale abort
+                // notice can race a commit, and letting the later record
+                // flip the flag would let `try_collect` reclaim a
+                // committed transaction's redo records before its
+                // versions are permanent at the server — a durability
+                // hole. First terminal record wins; a conflicting one is
+                // a protocol bug upstream.
+                let prev = *self.terminated.entry(txn).or_insert(true);
+                debug_assert!(prev, "commit record for already-aborted {txn:?}");
             }
             LogRecord::Abort { txn } => {
-                self.terminated.insert(txn, false);
+                let prev = *self.terminated.entry(txn).or_insert(false);
+                debug_assert!(!prev, "abort record for already-committed {txn:?}");
             }
             LogRecord::Begin { .. } => {}
         }
@@ -122,6 +131,15 @@ impl SiteLog {
         for l in victims {
             self.live.remove(&l);
         }
+    }
+
+    /// True while `txn` still has updated items whose versions are not
+    /// yet permanent at the server. Engines use this to assert the GC
+    /// rule across redispatches: a committed writer on an aborted and
+    /// redispatched forward list must keep its records until the
+    /// *redispatched* version is installed.
+    pub fn awaits_permanence(&self, txn: TxnId) -> bool {
+        self.awaiting.contains_key(&txn)
     }
 
     /// Live (uncollected) record count.
@@ -221,6 +239,25 @@ mod tests {
         assert_eq!(log.live_records(), 2, "not yet terminated");
         log.append(LogRecord::Commit { txn: t(3) });
         assert!(log.is_empty());
+    }
+
+    #[test]
+    #[cfg_attr(debug_assertions, should_panic(expected = "already-committed"))]
+    fn stale_abort_cannot_downgrade_a_commit() {
+        let mut log = SiteLog::new(4096);
+        committed_txn(&mut log, t(7), &[x(0)]);
+        assert!(log.awaits_permanence(t(7)));
+        // A stale abort notice racing the commit must not let GC reclaim
+        // the committed records before permanence (debug builds assert;
+        // release builds repair by keeping the committed status).
+        log.append(LogRecord::Abort { txn: t(7) });
+        assert!(
+            log.awaits_permanence(t(7)),
+            "redo obligation must survive the stale abort"
+        );
+        assert!(!log.is_empty(), "records must not collect early");
+        log.mark_permanent(t(7), x(0));
+        assert!(log.is_empty(), "collected only once permanent");
     }
 
     #[test]

@@ -1,0 +1,419 @@
+//! The data server's durable log for crash recovery.
+//!
+//! Client-side logging ([`SiteLog`]) answers "which committed versions
+//! does this client still owe the server?"; the server's log answers the
+//! dual question after a server crash: "which grants, forward-list
+//! dispatches, and permanently installed versions had the server already
+//! promised before it died?" The engines append a [`ServerRecord`] at
+//! every externally visible server decision — a lock grant, a
+//! forward-list construction/reorder ([`ServerRecord::Dispatch`]), a
+//! commit application, a version becoming permanent — under a
+//! write-ahead discipline: the record is forced before the message that
+//! reveals the decision leaves the server.
+//!
+//! On restart the engine calls [`ServerLog::replay`], which folds the
+//! durable prefix into a [`ServerImage`]: per-item permanent versions,
+//! the last dispatched forward list (epoch, base version, entry list),
+//! which items were checked out at the instant of the crash, which
+//! transactions' commits were already applied, and which lock grants
+//! were outstanding. The image seeds the re-registration handshake; it
+//! is deliberately *not* enough to resume on its own, because committed
+//! versions may live only in client logs until forward lists drain.
+//!
+//! Internally the log is a checkpoint image plus an append tail; the
+//! tail folds into the checkpoint when it grows past a threshold, which
+//! bounds memory without ever discarding recovery-relevant facts
+//! (classic checkpoint + log-suffix recovery, compressed to its
+//! simulation-observable core).
+//!
+//! [`SiteLog`]: crate::SiteLog
+
+use g2pl_simcore::{ItemId, TxnId, Version};
+use std::collections::{BTreeMap, BTreeSet};
+
+/// One durable server-side checkpoint record.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum ServerRecord {
+    /// A lock grant shipped to a client (s-2PL / c-2PL). Forced before
+    /// the grant message leaves, so recovery can restore the exact
+    /// outstanding lock set and validate re-registered claims against
+    /// the durable grant history.
+    Grant {
+        /// Grantee transaction.
+        txn: TxnId,
+        /// Granted item.
+        item: ItemId,
+        /// True for an exclusive grant, false for shared.
+        exclusive: bool,
+    },
+    /// All of `txn`'s grants released (commit applied or abort); its
+    /// `Grant` records are dead and compaction may fold them away.
+    Released {
+        /// Releasing transaction.
+        txn: TxnId,
+    },
+    /// `txn`'s commit was applied at the server (s-2PL / c-2PL). Forced
+    /// before the commit ack leaves, so a retransmitted commit after a
+    /// crash is recognized as a duplicate instead of re-applied.
+    Committed {
+        /// Committing transaction.
+        txn: TxnId,
+    },
+    /// `version` of `item` is permanently installed at the server.
+    Permanent {
+        /// Installed item.
+        item: ItemId,
+        /// Installed version.
+        version: Version,
+    },
+    /// A forward list was constructed (or reconstructed by lease/crash
+    /// recovery) and dispatched for `item` (g-2PL). Forced before the
+    /// first data segment leaves. `entries` records the ordered FL
+    /// membership so recovery can enumerate holders even if none of
+    /// them survive to re-register.
+    Dispatch {
+        /// Dispatched item.
+        item: ItemId,
+        /// Dispatch epoch stamped into every segment of this FL.
+        epoch: u64,
+        /// Item version at dispatch time (base of the FL's version chain).
+        base: Version,
+        /// Ordered FL entries as `(txn, exclusive)` pairs.
+        entries: Vec<(TxnId, bool)>,
+    },
+    /// `item` returned home at `version` (g-2PL): the outstanding
+    /// dispatch for it is complete and its writers' versions are
+    /// permanent.
+    Home {
+        /// Returned item.
+        item: ItemId,
+        /// Version the item came home at.
+        version: Version,
+    },
+}
+
+impl ServerRecord {
+    /// Nominal serialized size, for log-volume accounting.
+    fn size_bytes(&self) -> u64 {
+        match self {
+            ServerRecord::Dispatch { entries, .. } => 24 + 8 * entries.len() as u64,
+            _ => 24,
+        }
+    }
+
+    /// Records forced at append time: anything a subsequently shipped
+    /// message would reveal (write-ahead rule).
+    fn is_forced(&self) -> bool {
+        matches!(
+            self,
+            ServerRecord::Grant { .. }
+                | ServerRecord::Committed { .. }
+                | ServerRecord::Dispatch { .. }
+        )
+    }
+}
+
+/// The last dispatched forward list for one item, as recovered from the
+/// log.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct DispatchImage {
+    /// Epoch of the dispatch.
+    pub epoch: u64,
+    /// Item version when the FL was dispatched.
+    pub base: Version,
+    /// Ordered FL entries as `(txn, exclusive)` pairs.
+    pub entries: Vec<(TxnId, bool)>,
+}
+
+/// The durable state reconstructed by replaying a [`ServerLog`].
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct ServerImage {
+    /// Last permanently installed version per item (items absent were
+    /// never written; their version is 0).
+    pub versions: BTreeMap<ItemId, Version>,
+    /// Outstanding lock grants per transaction, each mapped to whether
+    /// the grant was exclusive (grants of released transactions have
+    /// been folded away).
+    pub grants: BTreeMap<TxnId, BTreeMap<ItemId, bool>>,
+    /// Transactions whose commit was applied at the server.
+    pub committed: BTreeSet<TxnId>,
+    /// Last dispatch per item, whether or not it has since come home.
+    pub dispatches: BTreeMap<ItemId, DispatchImage>,
+    /// Items whose last dispatch has not come home: checked out at the
+    /// moment the log ends (i.e. at the crash).
+    pub out: BTreeSet<ItemId>,
+}
+
+impl ServerImage {
+    /// Last durable version of `item` (0 if never written).
+    pub fn version_of(&self, item: ItemId) -> Version {
+        self.versions.get(&item).copied().unwrap_or(0)
+    }
+
+    /// Was `txn`'s commit already applied before the crash?
+    pub fn is_committed(&self, txn: TxnId) -> bool {
+        self.committed.contains(&txn)
+    }
+
+    /// Was `(txn, item)` a durably recorded grant still outstanding at
+    /// the crash?
+    pub fn was_granted(&self, txn: TxnId, item: ItemId) -> bool {
+        self.grants.get(&txn).is_some_and(|s| s.contains_key(&item))
+    }
+
+    /// Fold one record into the image (replay step).
+    fn fold(&mut self, rec: &ServerRecord) {
+        match rec {
+            ServerRecord::Grant {
+                txn,
+                item,
+                exclusive,
+            } => {
+                self.grants
+                    .entry(*txn)
+                    .or_default()
+                    .insert(*item, *exclusive);
+            }
+            ServerRecord::Released { txn } => {
+                self.grants.remove(txn);
+            }
+            ServerRecord::Committed { txn } => {
+                self.committed.insert(*txn);
+            }
+            ServerRecord::Permanent { item, version } => {
+                self.versions.insert(*item, *version);
+            }
+            ServerRecord::Dispatch {
+                item,
+                epoch,
+                base,
+                entries,
+            } => {
+                self.dispatches.insert(
+                    *item,
+                    DispatchImage {
+                        epoch: *epoch,
+                        base: *base,
+                        entries: entries.clone(),
+                    },
+                );
+                self.out.insert(*item);
+            }
+            ServerRecord::Home { item, version } => {
+                self.versions.insert(*item, *version);
+                self.out.remove(item);
+            }
+        }
+    }
+}
+
+/// Accumulated statistics for the server log.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct ServerLogMetrics {
+    /// Records appended over the run.
+    pub records: u64,
+    /// Total bytes appended.
+    pub bytes_written: u64,
+    /// Bytes forced under the write-ahead rule.
+    pub bytes_forced: u64,
+    /// Number of force operations.
+    pub forces: u64,
+    /// Checkpoint compactions performed.
+    pub compactions: u64,
+}
+
+/// Tail length at which the log folds into its checkpoint image.
+const COMPACT_THRESHOLD: usize = 1024;
+
+/// The server's append-only recovery log: checkpoint image + tail.
+#[derive(Clone, Debug, Default)]
+pub struct ServerLog {
+    checkpoint: ServerImage,
+    tail: Vec<ServerRecord>,
+    metrics: ServerLogMetrics,
+}
+
+impl ServerLog {
+    /// An empty log.
+    pub fn new() -> Self {
+        ServerLog::default()
+    }
+
+    /// Durably append one record. Forced records model an immediate
+    /// fsync; the rest ride along with the next force.
+    pub fn append(&mut self, rec: ServerRecord) {
+        let size = rec.size_bytes();
+        self.metrics.records += 1;
+        self.metrics.bytes_written += size;
+        if rec.is_forced() {
+            self.metrics.bytes_forced += size;
+            self.metrics.forces += 1;
+        }
+        self.tail.push(rec);
+        if self.tail.len() >= COMPACT_THRESHOLD {
+            self.compact();
+        }
+    }
+
+    /// Fold the tail into the checkpoint image. Loses no recovery
+    /// information — the image is exactly what `replay` would produce.
+    pub fn compact(&mut self) {
+        for rec in self.tail.drain(..) {
+            self.checkpoint.fold(&rec);
+        }
+        self.metrics.compactions += 1;
+    }
+
+    /// Reconstruct the durable server state after a crash.
+    pub fn replay(&self) -> ServerImage {
+        let mut image = self.checkpoint.clone();
+        for rec in &self.tail {
+            image.fold(rec);
+        }
+        image
+    }
+
+    /// Accumulated metrics.
+    pub fn metrics(&self) -> ServerLogMetrics {
+        self.metrics
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(i: u32) -> TxnId {
+        TxnId::new(i)
+    }
+    fn x(i: u32) -> ItemId {
+        ItemId::new(i)
+    }
+
+    #[test]
+    fn replay_reconstructs_grants_until_release() {
+        let mut log = ServerLog::new();
+        log.append(ServerRecord::Grant {
+            txn: t(1),
+            item: x(0),
+            exclusive: true,
+        });
+        log.append(ServerRecord::Grant {
+            txn: t(1),
+            item: x(3),
+            exclusive: false,
+        });
+        log.append(ServerRecord::Grant {
+            txn: t(2),
+            item: x(1),
+            exclusive: true,
+        });
+        log.append(ServerRecord::Released { txn: t(1) });
+        let img = log.replay();
+        assert!(!img.was_granted(t(1), x(0)));
+        assert!(!img.was_granted(t(1), x(3)));
+        assert!(img.was_granted(t(2), x(1)));
+    }
+
+    #[test]
+    fn replay_tracks_commits_and_versions() {
+        let mut log = ServerLog::new();
+        log.append(ServerRecord::Committed { txn: t(5) });
+        log.append(ServerRecord::Permanent {
+            item: x(2),
+            version: 1,
+        });
+        log.append(ServerRecord::Permanent {
+            item: x(2),
+            version: 2,
+        });
+        let img = log.replay();
+        assert!(img.is_committed(t(5)));
+        assert!(!img.is_committed(t(6)));
+        assert_eq!(img.version_of(x(2)), 2);
+        assert_eq!(img.version_of(x(9)), 0, "unwritten items are version 0");
+    }
+
+    #[test]
+    fn last_dispatch_wins_and_home_clears_out() {
+        let mut log = ServerLog::new();
+        log.append(ServerRecord::Dispatch {
+            item: x(4),
+            epoch: 1,
+            base: 0,
+            entries: vec![(t(1), true)],
+        });
+        log.append(ServerRecord::Home {
+            item: x(4),
+            version: 1,
+        });
+        log.append(ServerRecord::Dispatch {
+            item: x(4),
+            epoch: 2,
+            base: 1,
+            entries: vec![(t(2), false), (t(3), true)],
+        });
+        let img = log.replay();
+        assert!(img.out.contains(&x(4)), "second dispatch still out");
+        let d = &img.dispatches[&x(4)];
+        assert_eq!((d.epoch, d.base), (2, 1));
+        assert_eq!(d.entries, vec![(t(2), false), (t(3), true)]);
+        assert_eq!(img.version_of(x(4)), 1, "home installed version 1");
+    }
+
+    #[test]
+    fn compaction_preserves_replay() {
+        let mut a = ServerLog::new();
+        let mut b = ServerLog::new();
+        for i in 0..2000u32 {
+            let rec = match i % 5 {
+                0 => ServerRecord::Grant {
+                    txn: t(i),
+                    item: x(i % 7),
+                    exclusive: i % 2 == 0,
+                },
+                1 => ServerRecord::Committed { txn: t(i - 1) },
+                2 => ServerRecord::Permanent {
+                    item: x(i % 7),
+                    version: Version::from(i / 5 + 1),
+                },
+                3 => ServerRecord::Dispatch {
+                    item: x(i % 7),
+                    epoch: u64::from(i),
+                    base: Version::from(i / 5),
+                    entries: vec![(t(i), i % 2 == 0)],
+                },
+                _ => ServerRecord::Released { txn: t(i - 4) },
+            };
+            a.append(rec.clone());
+            b.append(rec);
+        }
+        // Force extra compactions on one copy only.
+        a.compact();
+        a.compact();
+        assert_eq!(a.replay(), b.replay());
+        assert!(a.metrics().compactions > b.metrics().compactions);
+        assert_eq!(a.metrics().records, 2000);
+    }
+
+    #[test]
+    fn write_ahead_records_are_forced() {
+        let mut log = ServerLog::new();
+        log.append(ServerRecord::Grant {
+            txn: t(1),
+            item: x(0),
+            exclusive: true,
+        });
+        log.append(ServerRecord::Permanent {
+            item: x(0),
+            version: 1,
+        });
+        log.append(ServerRecord::Home {
+            item: x(0),
+            version: 1,
+        });
+        log.append(ServerRecord::Committed { txn: t(1) });
+        assert_eq!(log.metrics().forces, 2, "grant + committed force");
+        assert_eq!(log.metrics().records, 4);
+    }
+}
