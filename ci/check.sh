@@ -11,8 +11,22 @@ cargo fmt --all --check
 echo "==> cargo clippy (deny warnings)"
 cargo clippy --workspace --all-targets -- -D warnings
 
-echo "==> g2pl-lint (L1 determinism / L2 ambient time+entropy / L3 panics)"
-cargo run -q -p g2pl-lint
+echo "==> g2pl-lint (workspace analyzer: L1-L7 + state-machine reachability)"
+# Deny-new-findings mode: the analyzer exits nonzero on ANY unsuppressed
+# finding across every workspace member, so a new violation (or a stale
+# allow marker) fails the gate here. The summary line prints the wall
+# time; the analyzer must stay interactive (< 5s) so it can run on every
+# pre-merge check without anyone being tempted to skip it.
+cargo run -q --release -p g2pl-lint
+
+echo "==> g2pl-lint --dot smoke (state-machine extraction)"
+# The extractor must keep seeing the protocol engines: one digraph per
+# engine, or the reachability lints above are checking an empty graph.
+dot_out="$(cargo run -q --release -p g2pl-lint -- --dot)"
+for engine in g2pl s2pl c2pl; do
+  echo "$dot_out" | grep -q "digraph $engine {" \
+    || { echo "g2pl-lint --dot: missing state machine for $engine"; exit 1; }
+done
 
 echo "==> cargo test"
 cargo test -q --workspace

@@ -58,8 +58,7 @@ fn intern_engine(engine: &str) -> Option<&'static str> {
 /// resampling one trial never perturbs another. `engine` pins the
 /// engine; `None` samples it too.
 pub fn sample_case(master: u64, trial: u64, engine: Option<&'static str>) -> ChaosCase {
-    let label = format!("chaos-trial-{trial}");
-    let mut rng = RngStream::derive(master, &label);
+    let mut rng = RngStream::derive_indexed(master, "chaos-trial", trial);
     let engine = engine.unwrap_or_else(|| ENGINES[rng.index(ENGINES.len())]);
     let seed = rng.uniform_incl(0, u64::from(u32::MAX));
     let mut plan = FaultPlan::default();

@@ -256,7 +256,9 @@ pub fn fig1() -> String {
         cfg.warmup_txns = 0;
         cfg.measured_txns = 3;
         cfg.trace_events = true;
+        // lint:allow(L3): the config is assembled immediately above and statically valid
         let m = run(&cfg).expect("valid config");
+        // lint:allow(L3): trace_events is set two lines up, so the trace is present
         let trace = m.trace.expect("trace enabled");
         let mut commits: Vec<u64> = trace
             .iter()
@@ -644,8 +646,11 @@ impl FigureSpec {
 /// updates. Computed over the WAN latencies of the fig-3 configuration
 /// (pr = 0.6).
 pub fn headline(scale: Scale) -> String {
+    // lint:allow(L3): fig3 and its series names are registry constants, present by construction
     let fig = figure("fig3").expect("registered").build(scale);
+    // lint:allow(L3): fig3 and its series names are registry constants, present by construction
     let g = fig.series("g-2PL").expect("g-2PL series");
+    // lint:allow(L3): fig3 and its series names are registry constants, present by construction
     let s = fig.series("s-2PL").expect("s-2PL series");
     let mut out = String::new();
     let _ = writeln!(out, "### Headline — response-time improvement, pr=0.6");
@@ -653,6 +658,7 @@ pub fn headline(scale: Scale) -> String {
     let _ = writeln!(out, "|---|---|---|---|");
     let mut improvements = Vec::new();
     for &(x, sy, _) in &s.points {
+        // lint:allow(L3): both series are built over the same x sweep
         let gy = g.y_at(x).expect("same sweep");
         let imp = 100.0 * (sy - gy) / sy;
         improvements.push(imp);

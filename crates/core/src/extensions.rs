@@ -332,6 +332,7 @@ pub fn ext_log_retention(scale: Scale) -> FigureData {
                             .runs
                             .iter()
                             .map(|m| {
+                                // lint:allow(L3): the extension config enables the WAL, so every run carries WAL metrics
                                 m.wal.expect("wal enabled").high_water_bytes_max as f64 / 1024.0
                             })
                             .collect();

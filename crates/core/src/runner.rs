@@ -106,7 +106,9 @@ fn stamp(m: &mut RunMetrics, elapsed: std::time::Duration) {
 /// tests), so a [`ConfigError`](g2pl_protocols::ConfigError) here is a
 /// caller bug and panics with the validator's diagnostic.
 fn timed_run(cfg: &EngineConfig) -> RunMetrics {
+    // lint:allow(L2): wall-clock stamps the host run duration into RunMetrics diagnostics
     let t = std::time::Instant::now();
+    // lint:allow(L3): configs are composed programmatically; an invalid one is a caller bug (see fn docs)
     let mut m = run(cfg).unwrap_or_else(|e| panic!("invalid engine config: {e}"));
     stamp(&mut m, t.elapsed());
     m
@@ -116,11 +118,13 @@ fn timed_run(cfg: &EngineConfig) -> RunMetrics {
 /// JSONL span trace into `dir` (`None` turns exporting back off). The
 /// files are the input of the `trace-explain` analyzer.
 pub fn set_trace_out(dir: Option<PathBuf>) {
+    // lint:allow(L3): a poisoned lock means a runner thread already panicked; propagate it
     *TRACE_OUT.lock().expect("trace-out mutex poisoned") = dir;
 }
 
 /// The configured span-trace export directory, if any.
 pub fn trace_out() -> Option<PathBuf> {
+    // lint:allow(L3): a poisoned lock means a runner thread already panicked; propagate it
     TRACE_OUT.lock().expect("trace-out mutex poisoned").clone()
 }
 
@@ -147,7 +151,9 @@ fn run_verified(cfg: &EngineConfig) -> RunMetrics {
     let mut vc = cfg.clone();
     vc.trace_events = true;
     vc.record_history = true;
+    // lint:allow(L2): wall-clock stamps the host run duration into RunMetrics diagnostics
     let t = std::time::Instant::now();
+    // lint:allow(L3): configs are composed programmatically; an invalid one is a caller bug (see fn docs)
     let mut m = run(&vc).unwrap_or_else(|e| panic!("invalid engine config: {e}"));
     stamp(&mut m, t.elapsed());
     let diag = |what: &str, err: &str| -> String {
@@ -176,11 +182,13 @@ fn run_verified(cfg: &EngineConfig) -> RunMetrics {
         );
         if let Some(trace) = &m.trace {
             if let Err(e) = check_trace_with(trace, TraceCheckOpts::for_config(&vc)) {
+                // lint:allow(L3): a failed trace property is a simulator bug: abort loudly with the diagnostic
                 panic!("{}", diag("trace property", &e));
             }
         }
         if let Some(history) = &m.history {
             if let Err(e) = check_serializable(history) {
+                // lint:allow(L3): a failed serializability check is a simulator bug: abort loudly with the diagnostic
                 panic!("{}", diag("serializability", &e));
             }
         }
@@ -367,6 +375,7 @@ pub fn run_grid(points: &[EngineConfig], reps: u32) -> Vec<ReplicatedResult> {
                         break;
                     }
                     let m = run_task(&tasks[i]);
+                    // lint:allow(L3): a poisoned lock means a runner thread already panicked; propagate it
                     slots_mtx.lock().expect("runner mutex poisoned")[i] = Some(m);
                 });
             }

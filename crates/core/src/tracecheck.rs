@@ -42,7 +42,7 @@
 
 use g2pl_protocols::{EngineConfig, ProtocolKind, TraceEvent, TraceKind};
 use g2pl_simcore::{ItemId, SimTime, TxnId};
-use std::collections::{HashMap, HashSet};
+use std::collections::{BTreeMap, HashMap, HashSet};
 
 /// What the checker may assume about the run that produced a trace.
 ///
@@ -110,7 +110,9 @@ pub fn check_trace_with(events: &[TraceEvent], opts: TraceCheckOpts) -> Result<(
     let mut requested: HashMap<(TxnId, ItemId), u64> = HashMap::new();
     let mut granted: HashMap<(TxnId, ItemId), u64> = HashMap::new();
     let mut arrived: HashSet<(TxnId, ItemId)> = HashSet::new();
-    let mut req_count: HashMap<TxnId, u64> = HashMap::new();
+    // BTreeMap: P8 iterates this to report a stuck transaction, and the
+    // one it names must not depend on hash order.
+    let mut req_count: BTreeMap<TxnId, u64> = BTreeMap::new();
     let mut grant_count: HashMap<TxnId, u64> = HashMap::new();
     let mut committed: HashMap<TxnId, SimTime> = HashMap::new();
     let mut aborted: HashSet<TxnId> = HashSet::new();

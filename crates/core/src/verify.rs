@@ -19,15 +19,17 @@
 
 use g2pl_protocols::History;
 use g2pl_simcore::{ItemId, TxnId, Version};
-use std::collections::{BTreeMap, HashMap, HashSet};
+use std::collections::{BTreeMap, BTreeSet, HashSet};
 
 /// Check that a committed history is conflict-serializable and its
 /// version chains are well-formed. Returns a description of the first
 /// violation found.
 pub fn check_serializable(history: &History) -> Result<(), String> {
     // Per item: version -> writer, and version -> readers.
-    let mut writers: HashMap<ItemId, BTreeMap<Version, TxnId>> = HashMap::new();
-    let mut readers: HashMap<ItemId, BTreeMap<Version, Vec<TxnId>>> = HashMap::new();
+    // BTreeMaps throughout: the checker reports the *first* violation it
+    // finds, so which one that is must not depend on hash order.
+    let mut writers: BTreeMap<ItemId, BTreeMap<Version, TxnId>> = BTreeMap::new();
+    let mut readers: BTreeMap<ItemId, BTreeMap<Version, Vec<TxnId>>> = BTreeMap::new();
 
     for rec in history.records() {
         let mut seen: HashSet<ItemId> = HashSet::new();
@@ -95,7 +97,7 @@ pub fn check_serializable(history: &History) -> Result<(), String> {
 
     // Build the conflict graph and check acyclicity with Kahn's
     // algorithm.
-    let mut succ: HashMap<TxnId, HashSet<TxnId>> = HashMap::new();
+    let mut succ: BTreeMap<TxnId, BTreeSet<TxnId>> = BTreeMap::new();
     let mut add = |a: TxnId, b: TxnId| {
         if a != b {
             succ.entry(a).or_default().insert(b);
@@ -124,8 +126,8 @@ pub fn check_serializable(history: &History) -> Result<(), String> {
     }
     // Items that were only read never generate edges.
 
-    let mut indeg: HashMap<TxnId, usize> = HashMap::new();
-    let mut nodes: HashSet<TxnId> = HashSet::new();
+    let mut indeg: BTreeMap<TxnId, usize> = BTreeMap::new();
+    let mut nodes: BTreeSet<TxnId> = BTreeSet::new();
     for (&n, ss) in &succ {
         nodes.insert(n);
         for &s in ss {
@@ -143,6 +145,7 @@ pub fn check_serializable(history: &History) -> Result<(), String> {
         removed += 1;
         if let Some(ss) = succ.get(&n) {
             for &s in ss {
+                // lint:allow(L3): Kahn invariant: every edge target was given an indegree in the build loop above
                 let d = indeg.get_mut(&s).expect("edge target has indegree");
                 *d -= 1;
                 if *d == 0 {

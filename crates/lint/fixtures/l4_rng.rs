@@ -1,0 +1,22 @@
+//! L4 fixture: RNG-stream discipline. Seeds four violations — an
+//! unnamed stream, a non-literal label, a duplicate literal, and a
+//! literal that shadows an indexed family. The uniquely named streams
+//! must stay clean.
+
+pub struct Engine {
+    rng: RngStream,
+}
+
+pub fn build(seed: u64, label: &str) -> Engine {
+    let unnamed = RngStream::new(seed); // seeded: unnamed stream
+    let opaque = RngStream::derive(seed, label); // seeded: non-literal label
+    let first = RngStream::derive(seed, "net");
+    let dup = RngStream::derive(seed, "net"); // seeded: duplicate of "net"
+    let family = RngStream::derive_indexed(seed, "client", 7);
+    let shadow = RngStream::derive(seed, "client-3"); // seeded: shadows client-<n>
+    let unique = RngStream::derive(seed, "workload"); // clean: unique label
+    let _ = (unnamed, opaque, first, dup, family, shadow, unique);
+    Engine {
+        rng: RngStream::derive(seed, "engine"),
+    }
+}

@@ -1,0 +1,18 @@
+//! L5 fixture (driver): emits `TraceKind::Granted` (so that variant is
+//! covered), drives the transaction state machine, and seeds a decision
+//! function (`dispatch`) that records no trace event at all.
+
+pub fn grant(obs: &mut Obs, txn: &mut Txn) {
+    txn.set_status(TxnStatus::Active);
+    obs.record(TraceKind::Granted); // clean: emission site for Granted
+}
+
+pub fn dispatch(queue: &mut Queue) {
+    // seeded: protocol decision with no `.record(..)` / `.spans` touch
+    queue.push_back(1);
+}
+
+pub fn inspect(k: &TraceKind) -> bool {
+    // clean: consumers never count as emissions
+    matches!(k, TraceKind::Ghost)
+}

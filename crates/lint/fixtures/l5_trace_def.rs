@@ -1,0 +1,8 @@
+//! L5 fixture (definitions): the trace vocabulary. `Ghost` is seeded as
+//! a variant no engine ever emits; `Granted` is emitted by the driver
+//! fixture and must stay clean.
+
+pub enum TraceKind {
+    Granted,
+    Ghost, // seeded: never emitted anywhere
+}

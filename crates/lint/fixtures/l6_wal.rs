@@ -1,0 +1,28 @@
+//! L6 fixture: write-ahead ordering. `broadcast_first` ships the grant
+//! before the log append that records it (the seeded violation);
+//! `log_then_send` appends first and must stay clean, as must the
+//! send/append pair sitting on mutually exclusive match arms.
+
+impl Server {
+    pub fn broadcast_first(&mut self) {
+        self.net.send(Msg::Grant); // seeded: send precedes the append below
+        self.log.append(ServerRecord::Granted);
+    }
+
+    pub fn log_then_send(&mut self) {
+        self.log.append(ServerRecord::Granted);
+        self.net.send(Msg::Grant); // clean: the record is durable first
+    }
+
+    pub fn arm_isolated(&mut self, ev: Event) {
+        match ev {
+            Event::Persist => {
+                self.log.append(LogRecord::Sealed);
+            }
+            Event::Ship => {
+                // clean: the append above is on a mutually exclusive arm
+                self.net.send(Msg::Grant);
+            }
+        }
+    }
+}

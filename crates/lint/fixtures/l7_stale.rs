@@ -1,0 +1,18 @@
+//! L7 fixture: allow-marker hygiene. Seeds a stale allow (the panic it
+//! once excused is gone) and a malformed marker, and keeps one live
+//! allow that must stay accepted.
+
+pub fn stale_site(v: &[u64]) -> u64 {
+    // lint:allow(L3): the slice is non-empty by construction
+    v.first().copied().unwrap_or(0)
+}
+
+pub fn live_site(v: &[u64]) -> u64 {
+    // lint:allow(L3): fixture models a justified invariant hold
+    v.first().unwrap()
+}
+
+pub fn typo_site(v: &[u64]) -> u64 {
+    // lint:allow(L9): no such lint family exists
+    v.len() as u64
+}

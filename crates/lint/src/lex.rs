@@ -1,0 +1,444 @@
+//! A small Rust lexer: the token stream the item-tree parser and the
+//! lint passes share.
+//!
+//! Scope is deliberately narrow — enough to tokenize this workspace's
+//! source faithfully (identifiers, literals incl. raw strings, nested
+//! block comments, lifetimes vs. char literals, multi-char operators
+//! that matter for parsing like `=>` and `::`), nothing more. No
+//! external dependencies; every token carries its 1-based source line so
+//! diagnostics and `lint:allow` resolution stay line-addressed.
+
+/// What a token is.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum TokKind {
+    /// Identifier or keyword.
+    Ident,
+    /// String literal (normal, raw, byte, or byte-raw); `text` is the
+    /// *content* without quotes/hashes so passes can compare values.
+    Str,
+    /// Character or byte literal (content, unquoted).
+    Char,
+    /// Lifetime (`'a`) — kept distinct so it never masks a char literal.
+    Lifetime,
+    /// Numeric literal.
+    Num,
+    /// `::`
+    PathSep,
+    /// `=>`
+    FatArrow,
+    /// `->`
+    ThinArrow,
+    /// Any other single punctuation character; `text` holds it.
+    Punct,
+}
+
+/// One token with its source position.
+#[derive(Clone, Debug)]
+pub struct Tok {
+    pub kind: TokKind,
+    pub text: String,
+    /// 1-based line the token starts on.
+    pub line: usize,
+}
+
+impl Tok {
+    /// Whether this is the exact identifier `s`.
+    pub fn is_ident(&self, s: &str) -> bool {
+        self.kind == TokKind::Ident && self.text == s
+    }
+
+    /// Whether this is the exact punctuation character `c`.
+    pub fn is_punct(&self, c: char) -> bool {
+        self.kind == TokKind::Punct && self.text.len() == 1 && self.text.starts_with(c)
+    }
+}
+
+/// The lexed file: tokens plus the line-indexed `//` comment text (block
+/// comments are folded into the line they start on), which is where
+/// `lint:allow` markers live.
+#[derive(Debug, Default)]
+pub struct Lexed {
+    pub tokens: Vec<Tok>,
+    /// `comments[line] = comment text` for every line carrying one.
+    pub comments: std::collections::BTreeMap<usize, String>,
+    /// Total number of source lines.
+    pub lines: usize,
+}
+
+/// Tokenize `source`. Never fails: unrecognized bytes become punctuation
+/// tokens, and an unterminated string or comment simply ends at EOF —
+/// a lint must degrade gracefully on code mid-edit.
+pub fn lex(source: &str) -> Lexed {
+    let mut out = Lexed::default();
+    let chars: Vec<char> = source.chars().collect();
+    let mut i = 0;
+    let mut line = 1;
+    let n = chars.len();
+
+    let push_comment =
+        |line: usize, text: &str, comments: &mut std::collections::BTreeMap<usize, String>| {
+            let entry = comments.entry(line).or_default();
+            if !entry.is_empty() {
+                entry.push(' ');
+            }
+            entry.push_str(text);
+        };
+
+    while i < n {
+        let c = chars[i];
+        match c {
+            '\n' => {
+                line += 1;
+                i += 1;
+            }
+            c if c.is_whitespace() => i += 1,
+            '/' if i + 1 < n && chars[i + 1] == '/' => {
+                // Line comment: capture to end of line.
+                let start = i;
+                while i < n && chars[i] != '\n' {
+                    i += 1;
+                }
+                let text: String = chars[start..i].iter().collect();
+                push_comment(line, &text, &mut out.comments);
+            }
+            '/' if i + 1 < n && chars[i + 1] == '*' => {
+                // Block comment, nesting honoured (Rust allows it). A
+                // contained `lint:allow` still registers, on the line the
+                // comment starts.
+                let start_line = line;
+                let start = i;
+                i += 2;
+                let mut depth = 1;
+                while i < n && depth > 0 {
+                    if chars[i] == '\n' {
+                        line += 1;
+                        i += 1;
+                    } else if chars[i] == '/' && i + 1 < n && chars[i + 1] == '*' {
+                        depth += 1;
+                        i += 2;
+                    } else if chars[i] == '*' && i + 1 < n && chars[i + 1] == '/' {
+                        depth -= 1;
+                        i += 2;
+                    } else {
+                        i += 1;
+                    }
+                }
+                let text: String = chars[start..i.min(n)]
+                    .iter()
+                    .collect::<String>()
+                    .replace('\n', " ");
+                push_comment(start_line, &text, &mut out.comments);
+            }
+            '"' => {
+                let (content, consumed, newlines) = scan_string(&chars[i..]);
+                out.tokens.push(Tok {
+                    kind: TokKind::Str,
+                    text: content,
+                    line,
+                });
+                line += newlines;
+                i += consumed;
+            }
+            'r' | 'b' if starts_string(&chars[i..]) => {
+                let (content, consumed, newlines) = scan_raw_or_byte(&chars[i..]);
+                out.tokens.push(Tok {
+                    kind: TokKind::Str,
+                    text: content,
+                    line,
+                });
+                line += newlines;
+                i += consumed;
+            }
+            '\'' => {
+                // Lifetime or char literal. `'a'` / `'\n'` are chars;
+                // `'a` followed by non-quote is a lifetime.
+                let (tok, consumed) = scan_tick(&chars[i..], line);
+                out.tokens.push(tok);
+                i += consumed;
+            }
+            c if c.is_alphabetic() || c == '_' => {
+                let start = i;
+                while i < n && (chars[i].is_alphanumeric() || chars[i] == '_') {
+                    i += 1;
+                }
+                out.tokens.push(Tok {
+                    kind: TokKind::Ident,
+                    text: chars[start..i].iter().collect(),
+                    line,
+                });
+            }
+            c if c.is_ascii_digit() => {
+                let start = i;
+                while i < n && (chars[i].is_alphanumeric() || chars[i] == '_' || chars[i] == '.') {
+                    // Stop a `1..10` range from being eaten as one number.
+                    if chars[i] == '.' && i + 1 < n && chars[i + 1] == '.' {
+                        break;
+                    }
+                    i += 1;
+                }
+                out.tokens.push(Tok {
+                    kind: TokKind::Num,
+                    text: chars[start..i].iter().collect(),
+                    line,
+                });
+            }
+            ':' if i + 1 < n && chars[i + 1] == ':' => {
+                out.tokens.push(Tok {
+                    kind: TokKind::PathSep,
+                    text: "::".into(),
+                    line,
+                });
+                i += 2;
+            }
+            '=' if i + 1 < n && chars[i + 1] == '>' => {
+                out.tokens.push(Tok {
+                    kind: TokKind::FatArrow,
+                    text: "=>".into(),
+                    line,
+                });
+                i += 2;
+            }
+            '-' if i + 1 < n && chars[i + 1] == '>' => {
+                out.tokens.push(Tok {
+                    kind: TokKind::ThinArrow,
+                    text: "->".into(),
+                    line,
+                });
+                i += 2;
+            }
+            _ => {
+                out.tokens.push(Tok {
+                    kind: TokKind::Punct,
+                    text: c.to_string(),
+                    line,
+                });
+                i += 1;
+            }
+        }
+    }
+    out.lines = line;
+    out
+}
+
+/// Does the slice start a raw/byte string (`r"`, `r#"`, `b"`, `br#"` …)?
+fn starts_string(s: &[char]) -> bool {
+    let mut j = 0;
+    if s[j] == 'b' {
+        j += 1;
+    }
+    if j < s.len() && s[j] == 'r' {
+        j += 1;
+        while j < s.len() && s[j] == '#' {
+            j += 1;
+        }
+    }
+    j < s.len() && s[j] == '"' && j > 0
+}
+
+/// Scan a normal `"…"` string starting at `s[0] == '"'`. Returns
+/// (content, chars consumed, newlines inside).
+fn scan_string(s: &[char]) -> (String, usize, usize) {
+    let mut content = String::new();
+    let mut i = 1;
+    let mut newlines = 0;
+    while i < s.len() {
+        match s[i] {
+            '\\' => {
+                if i + 1 < s.len() {
+                    // A `\<newline>` continuation still advances the line.
+                    if s[i + 1] == '\n' {
+                        newlines += 1;
+                    }
+                    content.push(s[i + 1]);
+                }
+                i += 2;
+            }
+            '"' => return (content, i + 1, newlines),
+            c => {
+                if c == '\n' {
+                    newlines += 1;
+                }
+                content.push(c);
+                i += 1;
+            }
+        }
+    }
+    (content, i, newlines)
+}
+
+/// Scan a raw or byte string starting at `r`/`b`.
+fn scan_raw_or_byte(s: &[char]) -> (String, usize, usize) {
+    let mut i = 0;
+    let mut raw = false;
+    if s[i] == 'b' {
+        i += 1;
+    }
+    if i < s.len() && s[i] == 'r' {
+        raw = true;
+        i += 1;
+    }
+    let mut hashes = 0;
+    while i < s.len() && s[i] == '#' {
+        hashes += 1;
+        i += 1;
+    }
+    // s[i] == '"'
+    i += 1;
+    let mut content = String::new();
+    let mut newlines = 0;
+    while i < s.len() {
+        if s[i] == '"' {
+            if !raw {
+                // Byte string: `\"` already handled below, so this closes.
+                return (content, i + 1, newlines);
+            }
+            // Raw: need the same number of closing hashes.
+            let mut j = i + 1;
+            let mut seen = 0;
+            while j < s.len() && s[j] == '#' && seen < hashes {
+                seen += 1;
+                j += 1;
+            }
+            if seen == hashes {
+                return (content, j, newlines);
+            }
+            content.push('"');
+            i += 1;
+        } else if s[i] == '\\' && !raw {
+            if i + 1 < s.len() {
+                content.push(s[i + 1]);
+            }
+            i += 2;
+        } else {
+            if s[i] == '\n' {
+                newlines += 1;
+            }
+            content.push(s[i]);
+            i += 1;
+        }
+    }
+    (content, i, newlines)
+}
+
+/// Scan from a `'`: a char literal (`'x'`, `'\n'`) or a lifetime (`'a`).
+fn scan_tick(s: &[char], line: usize) -> (Tok, usize) {
+    if s.len() >= 2 && s[1] == '\\' {
+        // Escaped char literal: consume to closing quote.
+        let mut i = 2;
+        while i < s.len() && s[i] != '\'' {
+            i += 1;
+        }
+        let content: String = s[1..i.min(s.len())].iter().collect();
+        return (
+            Tok {
+                kind: TokKind::Char,
+                text: content,
+                line,
+            },
+            (i + 1).min(s.len()),
+        );
+    }
+    if s.len() >= 3 && s[2] == '\'' && s[1] != '\'' {
+        return (
+            Tok {
+                kind: TokKind::Char,
+                text: s[1].to_string(),
+                line,
+            },
+            3,
+        );
+    }
+    // Lifetime: tick + identifier.
+    let mut i = 1;
+    while i < s.len() && (s[i].is_alphanumeric() || s[i] == '_') {
+        i += 1;
+    }
+    (
+        Tok {
+            kind: TokKind::Lifetime,
+            text: s[1..i].iter().collect(),
+            line,
+        },
+        i.max(1),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(src: &str) -> Vec<(TokKind, String)> {
+        lex(src)
+            .tokens
+            .into_iter()
+            .map(|t| (t.kind, t.text))
+            .collect()
+    }
+
+    #[test]
+    fn idents_paths_and_arrows() {
+        let t = kinds("fn f() -> u32 { TraceKind::Committed => 1 }");
+        assert!(t.contains(&(TokKind::ThinArrow, "->".into())));
+        assert!(t.contains(&(TokKind::PathSep, "::".into())));
+        assert!(t.contains(&(TokKind::FatArrow, "=>".into())));
+        assert!(t.contains(&(TokKind::Ident, "TraceKind".into())));
+    }
+
+    #[test]
+    fn strings_keep_content_and_lines() {
+        let l = lex("let a = \"spec-client\";\nlet b = r#\"raw \"quoted\" text\"#;");
+        let strs: Vec<&Tok> = l.tokens.iter().filter(|t| t.kind == TokKind::Str).collect();
+        assert_eq!(strs[0].text, "spec-client");
+        assert_eq!(strs[0].line, 1);
+        assert_eq!(strs[1].text, "raw \"quoted\" text");
+        assert_eq!(strs[1].line, 2);
+    }
+
+    #[test]
+    fn lifetimes_are_not_char_literals() {
+        let t = kinds("fn f<'a>(x: &'a str) { let c = 'x'; }");
+        assert!(t.contains(&(TokKind::Lifetime, "a".into())));
+        assert!(t.contains(&(TokKind::Char, "x".into())));
+    }
+
+    #[test]
+    fn backslash_newline_continuation_advances_line() {
+        // Regression: a `\<newline>` string continuation must count the
+        // newline, or every diagnostic below it anchors too high.
+        let src = "let s = \"a \\\n   b\";\nlet x = 1;\n";
+        let l = lex(src);
+        let x = l.tokens.iter().find(|t| t.is_ident("x")).unwrap();
+        assert_eq!(x.line, 3);
+    }
+
+    #[test]
+    fn comments_are_captured_per_line() {
+        let l = lex("let x = 1; // lint:allow(L3): fine\nlet y = 2;\n/* block */ let z = 3;");
+        assert!(l.comments[&1].contains("lint:allow(L3)"));
+        assert!(l.comments[&3].contains("block"));
+        assert!(!l.comments.contains_key(&2));
+    }
+
+    #[test]
+    fn nested_block_comments_terminate() {
+        let l = lex("/* outer /* inner */ still */ fn f() {}");
+        assert!(l.tokens.iter().any(|t| t.is_ident("fn")));
+    }
+
+    #[test]
+    fn string_with_code_inside_is_one_token() {
+        let l = lex("let s = \"x.unwrap() panic!(boom)\"; f();");
+        assert_eq!(
+            l.tokens.iter().filter(|t| t.kind == TokKind::Str).count(),
+            1
+        );
+        // Nothing inside the string leaked as an ident.
+        assert!(!l.tokens.iter().any(|t| t.is_ident("unwrap")));
+    }
+
+    #[test]
+    fn unterminated_string_ends_at_eof() {
+        let l = lex("let s = \"oops");
+        assert_eq!(l.tokens.last().unwrap().kind, TokKind::Str);
+    }
+}

@@ -1,61 +1,63 @@
-//! Determinism & protocol-invariant lints for the g-2PL engine crates.
+//! Workspace-wide determinism & protocol-invariant analyzer.
 //!
 //! The simulator's headline guarantee is that a run's seed fully
-//! determines its trace. Three classes of source-level mistakes can break
-//! that silently, so this crate enforces them mechanically over the
-//! engine crates (`protocols`, `lockmgr`, `fwdlist`, `simcore`,
-//! `netmodel`):
+//! determines its trace. This crate enforces the source-level rules that
+//! guarantee rests on, mechanically, over *every* workspace member (the
+//! covered set is derived from the root `Cargo.toml` — see
+//! [`workspace`]). It is a real lexer + item-tree parser built on
+//! nothing outside `std` ([`lex`], [`parse`]): enough structure to tell
+//! a match pattern from an expression and test code from engine code,
+//! with no pretension to a full Rust grammar.
+//!
+//! Lint families:
 //!
 //! * **L1 — unordered-map iteration.** Iterating a `HashMap`/`HashSet`
 //!   yields an arbitrary order that varies across runs and toolchains.
-//!   In a decision path (victim selection, forward-list ordering, lock
-//!   release sweeps) that is a nondeterminism bug even when every element
-//!   is visited. Engine code must use `BTreeMap`/`BTreeSet` or sort
-//!   explicitly before iterating.
-//! * **L2 — ambient time or entropy.** `std::time::{Instant, SystemTime}`,
-//!   `rand::thread_rng`, and hashing's `RandomState` read wall-clock or
-//!   OS entropy. All time must come from the simulated clock and all
-//!   randomness from seeded [`RngStream`]s; only `simcore` (which owns
-//!   those abstractions) is exempt.
-//! * **L3 — panicking calls in engine code.** `unwrap`/`expect`/`panic!`
-//!   outside `#[cfg(test)]` turn recoverable conditions into crashes.
-//!   Deliberate invariant assertions are allowed, but must carry a
-//!   visible justification (see below).
+//!   In a decision path that is a nondeterminism bug even when every
+//!   element is visited; use `BTreeMap`/`BTreeSet` or sort first.
+//! * **L2 — ambient time or entropy.** `std::time::{Instant,
+//!   SystemTime}`, `rand::thread_rng`, and hashing's `RandomState` read
+//!   wall-clock or OS entropy. All time must come from the simulated
+//!   clock, all randomness from seeded [`RngStream`]s; only `simcore`
+//!   (which owns those abstractions) is exempt.
+//! * **L3 — panicking calls.** `unwrap`/`expect`/`panic!` outside test
+//!   code turn recoverable conditions into crashes. Deliberate invariant
+//!   assertions are allowed with a justification (see below).
+//! * **L4 — RNG-stream discipline.** Every RNG stream must be derived
+//!   with a unique string-literal label (or a `derive_indexed` literal
+//!   prefix); duplicate labels silently correlate two consumers' draws,
+//!   and non-literal labels make uniqueness uncheckable ([`crossfile`]).
+//! * **L5 — trace-event completeness.** Every `TraceKind`/`SpanKind`
+//!   variant must have at least one engine emission site, and protocol
+//!   decision functions must emit: an unemitted event is a verifier
+//!   blind spot that type-checks ([`crossfile`]).
+//! * **L6 — WAL write-ahead ordering.** Within a function, a commit
+//!   acknowledgement send must not precede the log append that makes it
+//!   durable ([`passes`]).
+//! * **L7 — allow hygiene.** `lint:allow` markers must carry a reason
+//!   and must still suppress something: a stale allow is a disabled
+//!   check nobody remembers disabling.
+//! * **SM — state-machine reachability.** The `TxnStatus` transition
+//!   graph is extracted from the engines' `set_status` sites; states and
+//!   transitions unreachable from the initial state are findings
+//!   ([`machine`], rendered with `g2pl-lint --dot`).
 //!
 //! A finding on line *n* is suppressed by `// lint:allow(Lx): reason`
 //! on line *n* or *n − 1*. The reason is mandatory — an allow without
-//! one is itself reported.
-//!
-//! The analyzer is a comment/string-aware token scanner, not a full
-//! parser: precise enough for these lints (it tracks declared
-//! `HashMap`/`HashSet` bindings per file and `#[cfg(test)]` regions by
-//! brace depth) while depending on nothing outside `std`.
+//! one is itself an L7 finding, as is one that no longer fires.
 //!
 //! [`RngStream`]: ../g2pl_simcore/rng/struct.RngStream.html
 
+pub mod crossfile;
+pub mod lex;
+pub mod machine;
+pub mod parse;
+pub mod passes;
+pub mod workspace;
+
+use std::collections::BTreeSet;
 use std::fmt;
-use std::path::{Path, PathBuf};
-
-/// Crates the lints apply to, relative to the workspace root.
-pub const ENGINE_CRATES: [&str; 8] = [
-    "crates/protocols",
-    "crates/lockmgr",
-    "crates/fwdlist",
-    "crates/simcore",
-    "crates/netmodel",
-    "crates/faults",
-    "crates/wal",
-    "crates/obs",
-];
-
-/// Individual files outside [`ENGINE_CRATES`] that still run decision
-/// code the determinism lints exist for. The chaos harness derives every
-/// draw from seeded [`RngStream`]s; ambient entropy there would make
-/// failing trials unreproducible.
-///
-/// [`RngStream`]: ../g2pl_simcore/rng/struct.RngStream.html
-pub const ENGINE_EXTRA_FILES: [&str; 2] =
-    ["crates/bench/src/chaos.rs", "crates/bench/src/bin/chaos.rs"];
+use std::path::Path;
 
 /// Which lint a diagnostic belongs to.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord)]
@@ -66,6 +68,16 @@ pub enum Lint {
     L2,
     /// `unwrap`/`expect`/`panic!` in non-test engine code.
     L3,
+    /// RNG-stream naming discipline.
+    L4,
+    /// Trace/span event completeness.
+    L5,
+    /// WAL write-ahead ordering.
+    L6,
+    /// Allow-marker hygiene (malformed or stale `lint:allow`).
+    L7,
+    /// State-machine reachability.
+    SM,
 }
 
 impl Lint {
@@ -74,8 +86,25 @@ impl Lint {
             Lint::L1 => "L1",
             Lint::L2 => "L2",
             Lint::L3 => "L3",
+            Lint::L4 => "L4",
+            Lint::L5 => "L5",
+            Lint::L6 => "L6",
+            Lint::L7 => "L7",
+            Lint::SM => "SM",
         }
     }
+
+    /// Tags a `lint:allow(..)` marker may name. L7 is deliberately
+    /// absent: allowing the allow-auditor is a contradiction.
+    const ALLOWABLE: [(&'static str, Lint); 7] = [
+        ("L1", Lint::L1),
+        ("L2", Lint::L2),
+        ("L3", Lint::L3),
+        ("L4", Lint::L4),
+        ("L5", Lint::L5),
+        ("L6", Lint::L6),
+        ("SM", Lint::SM),
+    ];
 }
 
 impl fmt::Display for Lint {
@@ -85,9 +114,9 @@ impl fmt::Display for Lint {
 }
 
 /// One finding: a lint violated at a source location.
-#[derive(Clone, Debug, PartialEq, Eq)]
+#[derive(Clone, Debug, PartialEq, Eq, PartialOrd, Ord)]
 pub struct Diagnostic {
-    /// Path as given to the scanner (workspace-relative in CLI use).
+    /// Path as given to the analyzer (workspace-relative in CLI use).
     pub file: String,
     /// 1-based line number.
     pub line: usize,
@@ -122,487 +151,182 @@ impl Default for FileConfig {
     }
 }
 
-/// A source line with comments and string literals blanked out, plus the
-/// comment text (kept separately so `lint:allow` markers survive).
-struct CleanLine {
-    /// Code with comments/strings replaced by spaces; same length/columns.
-    code: String,
-    /// Text of any `//` comment on the line.
-    comment: String,
-    /// Whether this line is inside a `#[cfg(test)]` region.
-    in_test: bool,
+/// One source file handed to [`analyze_sources`].
+#[derive(Clone, Debug)]
+pub struct SourceFile {
+    pub path: String,
+    pub text: String,
+    pub config: FileConfig,
 }
 
-/// Strip comments and strings across a whole file, tracking block
-/// comments and `#[cfg(test)]` brace regions.
-fn clean_lines(source: &str) -> Vec<CleanLine> {
-    let mut out = Vec::new();
-    let mut in_block_comment = false;
-    // (depth_at_entry) for each active #[cfg(test)] region; a pending
-    // marker waits for the region's opening brace.
-    let mut test_regions: Vec<i32> = Vec::new();
-    let mut pending_test_attr = false;
-    let mut depth: i32 = 0;
-
-    for raw in source.lines() {
-        let mut code = String::with_capacity(raw.len());
-        let mut comment = String::new();
-        let mut chars = raw.chars().peekable();
-        let mut in_string = false;
-        let mut in_char = false;
-
-        while let Some(c) = chars.next() {
-            if in_block_comment {
-                if c == '*' && chars.peek() == Some(&'/') {
-                    chars.next();
-                    in_block_comment = false;
-                    code.push_str("  ");
-                } else {
-                    code.push(' ');
-                }
-                continue;
-            }
-            if in_string {
-                if c == '\\' {
-                    chars.next();
-                    code.push_str("  ");
-                } else if c == '"' {
-                    in_string = false;
-                    code.push('"');
-                } else {
-                    code.push(' ');
-                }
-                continue;
-            }
-            if in_char {
-                if c == '\\' {
-                    chars.next();
-                    code.push_str("  ");
-                } else if c == '\'' {
-                    in_char = false;
-                    code.push('\'');
-                } else {
-                    code.push(' ');
-                }
-                continue;
-            }
-            match c {
-                '/' if chars.peek() == Some(&'/') => {
-                    comment.push('/');
-                    comment.extend(chars.by_ref());
-                    break;
-                }
-                '/' if chars.peek() == Some(&'*') => {
-                    chars.next();
-                    in_block_comment = true;
-                    code.push_str("  ");
-                }
-                '"' => {
-                    in_string = true;
-                    code.push('"');
-                }
-                // A lifetime or char literal; only treat as a char
-                // literal when it closes (e.g. 'a'), otherwise it is a
-                // lifetime tick and passes through.
-                '\'' => {
-                    let mut lookahead = chars.clone();
-                    let is_char_lit = match lookahead.next() {
-                        Some('\\') => true,
-                        Some(_) => lookahead.next() == Some('\''),
-                        None => false,
-                    };
-                    if is_char_lit {
-                        in_char = true;
-                    }
-                    code.push('\'');
-                }
-                _ => code.push(c),
-            }
-        }
-
-        // Track #[cfg(test)] regions by brace depth on cleaned code.
-        let trimmed = code.trim_start();
-        if trimmed.starts_with("#[cfg(test)]") || trimmed.starts_with("#[cfg(all(test") {
-            pending_test_attr = true;
-        }
-        for ch in code.chars() {
-            match ch {
-                '{' => {
-                    depth += 1;
-                    if pending_test_attr {
-                        test_regions.push(depth);
-                        pending_test_attr = false;
-                    }
-                }
-                '}' => {
-                    if let Some(&region) = test_regions.last() {
-                        if depth == region {
-                            test_regions.pop();
-                        }
-                    }
-                    depth -= 1;
-                }
-                _ => {}
-            }
-        }
-        out.push(CleanLine {
-            code,
-            comment,
-            in_test: pending_test_attr || !test_regions.is_empty(),
-        });
-    }
-    out
+/// The full analysis result.
+#[derive(Debug)]
+pub struct Analysis {
+    /// Findings after allow-marker suppression, sorted by location.
+    pub diagnostics: Vec<Diagnostic>,
+    /// The extracted transaction state machine (for `--dot`).
+    pub extraction: machine::Extraction,
 }
 
-/// True if `code[idx]` begins a standalone word (not mid-identifier).
-fn word_at(code: &str, idx: usize, word: &str) -> bool {
-    let before_ok = idx == 0
-        || !code[..idx]
-            .chars()
-            .next_back()
-            .is_some_and(|c| c.is_alphanumeric() || c == '_');
-    let end = idx + word.len();
-    let after_ok = end >= code.len()
-        || !code[end..]
-            .chars()
-            .next()
-            .is_some_and(|c| c.is_alphanumeric() || c == '_');
-    before_ok && after_ok
+/// A `lint:allow` marker found in a comment.
+#[derive(Debug)]
+struct AllowMarker {
+    line: usize,
+    /// `None` = malformed (unknown tag or missing reason).
+    lint: Option<Lint>,
 }
 
-/// All standalone occurrences of `word` in `code`.
-fn find_word(code: &str, word: &str) -> Vec<usize> {
-    let mut hits = Vec::new();
-    let mut from = 0;
-    while let Some(pos) = code[from..].find(word) {
-        let idx = from + pos;
-        if word_at(code, idx, word) {
-            hits.push(idx);
-        }
-        from = idx + word.len();
-    }
-    hits
-}
-
-/// Identifier immediately before the `.` at `dot_idx`: the last path
-/// segment of the receiver, so `self.holds.iter()` → `holds` and
-/// `seen.iter()` → `seen`. Chains ending in a call (`f().iter()`) have
-/// no identifier receiver and return `None`.
-fn receiver_ident(code: &str, dot_idx: usize) -> Option<String> {
-    let bytes = code.as_bytes();
-    let end = dot_idx;
-    let mut start = end;
-    while start > 0 {
-        let c = bytes[start - 1] as char;
-        if c.is_alphanumeric() || c == '_' {
-            start -= 1;
-        } else {
-            break;
-        }
-    }
-    if start == end {
-        return None;
-    }
-    Some(code[start..end].to_string())
-}
-
-/// Methods whose call on a `HashMap`/`HashSet` receiver iterates it.
-const ITER_METHODS: [&str; 9] = [
-    "iter",
-    "iter_mut",
-    "keys",
-    "values",
-    "values_mut",
-    "drain",
-    "into_iter",
-    "retain",
-    "into_values",
-];
-
-/// Scan one file. `file` is the path label used in diagnostics.
-#[must_use]
-pub fn lint_source(file: &str, source: &str, config: FileConfig) -> Vec<Diagnostic> {
-    let lines = clean_lines(source);
-    let mut diags = Vec::new();
-
-    // Pass 1: collect identifiers declared with an unordered-map type
-    // anywhere in the file (struct fields and annotated/inferred lets).
-    let mut unordered: Vec<String> = Vec::new();
-    for line in &lines {
-        let code = &line.code;
-        for ty in ["HashMap", "HashSet"] {
-            for idx in find_word(code, ty) {
-                // `name: HashMap<...>` / `name: &mut HashMap<...>`
-                // (struct field, let annotation, or parameter).
-                let mut before = code[..idx].trim_end();
-                loop {
-                    if let Some(s) = before.strip_suffix('&') {
-                        before = s.trim_end();
-                    } else if let Some(s) = before.strip_suffix("mut") {
-                        before = s.trim_end();
-                    } else {
-                        break;
-                    }
-                }
-                if let Some(bare) = before.strip_suffix(':') {
-                    let name: String = bare
-                        .chars()
-                        .rev()
-                        .take_while(|c| c.is_alphanumeric() || *c == '_')
-                        .collect::<String>()
-                        .chars()
-                        .rev()
-                        .collect();
-                    if !name.is_empty() {
-                        unordered.push(name);
-                    }
-                }
-                // `let name = HashMap::new()` (and with_capacity/from).
-                if let Some(before) = code[..idx].trim_end().strip_suffix('=') {
-                    let binding = before.trim_end();
-                    if let Some(p) = binding.rfind("let ") {
-                        let rest = binding[p + 4..].trim().trim_start_matches("mut ");
-                        let name: String = rest
-                            .chars()
-                            .take_while(|c| c.is_alphanumeric() || *c == '_')
-                            .collect();
-                        if !name.is_empty() {
-                            unordered.push(name);
-                        }
-                    }
-                }
-            }
-        }
-    }
-    unordered.sort();
-    unordered.dedup();
-
-    // Pass 2: per-line checks.
-    for (i, line) in lines.iter().enumerate() {
-        let lineno = i + 1;
-        let code = &line.code;
-        let allowed = |lint: Lint| -> bool {
-            let marker = format!("lint:allow({})", lint.as_str());
-            let mut comments = vec![lines[i].comment.as_str()];
-            if i > 0 {
-                comments.push(lines[i - 1].comment.as_str());
-            }
-            comments.iter().any(|c| {
-                c.find(&marker).is_some_and(|pos| {
-                    let after = c[pos + marker.len()..].trim_start();
-                    after.starts_with(':') && after[1..].trim().len() >= 3
-                })
-            })
-        };
-
-        if line.in_test {
+fn parse_markers(file: &parse::ParsedFile) -> Vec<AllowMarker> {
+    let mut markers = Vec::new();
+    for (&line, comment) in &file.comments {
+        // Doc comments are documentation: a rustdoc paragraph quoting the
+        // marker syntax is not a suppression request.
+        if comment.starts_with("///")
+            || comment.starts_with("//!")
+            || comment.starts_with("/**")
+            || comment.starts_with("/*!")
+        {
             continue;
         }
+        let Some(pos) = comment.find("lint:allow(") else {
+            continue;
+        };
+        let after = &comment[pos + "lint:allow(".len()..];
+        let lint = Lint::ALLOWABLE.iter().find_map(|(tag, l)| {
+            after.strip_prefix(tag).and_then(|rest| {
+                let rest = rest.strip_prefix(')')?.trim_start();
+                let reason = rest.strip_prefix(':')?.trim();
+                (reason.len() >= 3).then_some(*l)
+            })
+        });
+        markers.push(AllowMarker { line, lint });
+    }
+    markers
+}
 
-        // L1: iteration over tracked unordered containers, plus
-        // `for _ in map` over a tracked name.
-        for idx in code.match_indices('.').map(|(p, _)| p) {
-            let rest = &code[idx + 1..];
-            for m in ITER_METHODS {
-                if rest.starts_with(m)
-                    && rest[m.len()..].trim_start().starts_with('(')
-                    && word_at(code, idx + 1, m)
-                {
-                    if let Some(recv) = receiver_ident(code, idx) {
-                        if unordered.contains(&recv) && !allowed(Lint::L1) {
-                            diags.push(Diagnostic {
-                                file: file.to_string(),
-                                line: lineno,
-                                lint: Lint::L1,
-                                message: format!(
-                                    "iteration over unordered container `{recv}` \
-                                         (`.{m}()`): order is nondeterministic; use \
-                                         BTreeMap/BTreeSet or sort first"
-                                ),
-                            });
-                        }
+/// Analyze a set of source files together. Cross-file passes (L4, L5,
+/// SM) see the whole set; allow markers are resolved per file and
+/// audited for staleness (L7) against the *raw* findings.
+#[must_use]
+pub fn analyze_sources(sources: &[SourceFile]) -> Analysis {
+    let files: Vec<(parse::ParsedFile, FileConfig)> = sources
+        .iter()
+        .map(|s| (parse::parse(&s.path, &s.text), s.config))
+        .collect();
+
+    let mut raw: Vec<Diagnostic> = Vec::new();
+    for (file, config) in &files {
+        raw.extend(passes::file_passes(file, *config));
+    }
+    raw.extend(crossfile::l4_rng_streams(&files));
+    raw.extend(crossfile::l5_trace_completeness(&files));
+    let extraction = machine::extract(&files);
+    raw.extend(machine::findings(&extraction));
+
+    let mut diagnostics: Vec<Diagnostic> = Vec::new();
+    for (file, _) in &files {
+        let markers = parse_markers(file);
+        let covered = passes::non_test_token_lines(file);
+        let raw_here: Vec<&Diagnostic> = raw.iter().filter(|d| d.file == file.path).collect();
+
+        // Suppression: a well-formed marker on the finding line or the
+        // line above it.
+        let suppressed = |d: &Diagnostic| {
+            markers
+                .iter()
+                .any(|m| m.lint == Some(d.lint) && (m.line == d.line || m.line + 1 == d.line))
+        };
+        diagnostics.extend(
+            raw_here
+                .iter()
+                .filter(|d| !suppressed(d))
+                .map(|d| (*d).clone()),
+        );
+
+        for m in &markers {
+            match m.lint {
+                None => {
+                    // Malformed markers are audited wherever they appear —
+                    // a typo'd tag in test code still reads as a promise.
+                    diagnostics.push(Diagnostic {
+                        file: file.path.clone(),
+                        line: m.line,
+                        lint: Lint::L7,
+                        message: "malformed lint:allow — use `lint:allow(Lx): reason` \
+                                  (reason mandatory, tag one of L1-L6/SM)"
+                            .to_string(),
+                    });
+                }
+                Some(lint) => {
+                    let used = raw_here
+                        .iter()
+                        .any(|d| d.lint == lint && (d.line == m.line || d.line == m.line + 1));
+                    let on_code = covered.contains(&m.line) || covered.contains(&(m.line + 1));
+                    if !used && on_code {
+                        diagnostics.push(Diagnostic {
+                            file: file.path.clone(),
+                            line: m.line,
+                            lint: Lint::L7,
+                            message: format!(
+                                "stale lint:allow({lint}) — no {lint} finding fires on this \
+                                 line anymore; remove the marker"
+                            ),
+                        });
                     }
                 }
             }
         }
-        if let Some(for_idx) = find_word(code, "for").first().copied() {
-            if let Some(in_rel) = code[for_idx..].find(" in ") {
-                let tail = code[for_idx + in_rel + 4..].trim_start();
-                let tail = tail.trim_start_matches('&').trim_start_matches("mut ");
-                let tail = tail.strip_prefix("self.").unwrap_or(tail);
-                let name: String = tail
-                    .chars()
-                    .take_while(|c| c.is_alphanumeric() || *c == '_')
-                    .collect();
-                let after = &tail[name.len()..];
-                let direct = after.trim_start().starts_with('{') || after.trim_start().is_empty();
-                if direct && unordered.contains(&name) && !allowed(Lint::L1) {
-                    diags.push(Diagnostic {
-                        file: file.to_string(),
-                        line: lineno,
-                        lint: Lint::L1,
-                        message: format!(
-                            "`for` loop over unordered container `{name}`: order is \
-                             nondeterministic; use BTreeMap/BTreeSet or sort first"
-                        ),
-                    });
-                }
-            }
-        }
+    }
 
-        // L2: ambient time/entropy.
-        if config.check_ambient {
-            for (needle, what) in [
-                ("std::time::Instant", "wall-clock time"),
-                ("std::time::SystemTime", "wall-clock time"),
-                ("Instant::now", "wall-clock time"),
-                ("SystemTime::now", "wall-clock time"),
-                ("thread_rng", "OS entropy"),
-                ("rand::random", "OS entropy"),
-                ("RandomState::new", "hasher entropy"),
-            ] {
-                if code.contains(needle) && !allowed(Lint::L2) {
-                    diags.push(Diagnostic {
-                        file: file.to_string(),
-                        line: lineno,
-                        lint: Lint::L2,
-                        message: format!(
-                            "`{needle}` reads {what}: engine code must use the \
-                             simulated clock / seeded RngStream"
-                        ),
-                    });
-                }
-            }
-        }
+    diagnostics.sort();
+    diagnostics.dedup();
+    Analysis {
+        diagnostics,
+        extraction,
+    }
+}
 
-        // L3: panicking calls.
-        for (pat, desc) in [
-            (".unwrap()", "`.unwrap()`"),
-            (".expect(", "`.expect(..)`"),
-            ("panic!(", "`panic!`"),
-        ] {
-            let mut from = 0;
-            while let Some(pos) = code[from..].find(pat) {
-                let idx = from + pos;
-                from = idx + pat.len();
-                // `panic!` must start a word (skip e.g. `debug_panic!`);
-                // method patterns start with '.' so they always match.
-                if pat.starts_with('p') && !word_at(code, idx, "panic") {
-                    continue;
-                }
-                if !allowed(Lint::L3) {
-                    diags.push(Diagnostic {
-                        file: file.to_string(),
-                        line: lineno,
-                        lint: Lint::L3,
-                        message: format!(
-                            "{desc} in engine code: return an error or justify \
-                             with `// lint:allow(L3): <invariant>`"
-                        ),
-                    });
-                }
-            }
-        }
+/// Scan one file in isolation. Cross-file passes run over the single
+/// file (so fixtures can seed L4/L5/SM bugs self-contained).
+#[must_use]
+pub fn lint_source(file: &str, source: &str, config: FileConfig) -> Vec<Diagnostic> {
+    analyze_sources(&[SourceFile {
+        path: file.to_string(),
+        text: source.to_string(),
+        config,
+    }])
+    .diagnostics
+}
 
-        // Malformed allow markers: an allow without a reason is an error
-        // wherever it appears (test code included would be noise — keep
-        // it to engine lines, which is where we are).
-        if let Some(pos) = line.comment.find("lint:allow(") {
-            let after = &line.comment[pos..];
-            let well_formed = ["L1", "L2", "L3"].iter().any(|l| {
-                after
-                    .strip_prefix(&format!("lint:allow({l})"))
-                    .is_some_and(|rest| {
-                        rest.trim_start().starts_with(':')
-                            && rest.trim_start()[1..].trim().len() >= 3
-                    })
-            });
-            if !well_formed {
-                diags.push(Diagnostic {
-                    file: file.to_string(),
-                    line: lineno,
-                    lint: Lint::L3,
-                    message: "malformed lint:allow — use `lint:allow(Lx): reason`".to_string(),
+/// Analyze every covered workspace member under `root`. Coverage is
+/// derived from the root `Cargo.toml` (see [`workspace::discover`]);
+/// diagnostics carry workspace-relative paths.
+pub fn analyze_workspace(root: &Path) -> Result<Analysis, String> {
+    let members = workspace::discover(root)?;
+    let mut sources = Vec::new();
+    let mut seen: BTreeSet<String> = BTreeSet::new();
+    for member in &members {
+        let config = member.config();
+        let files = workspace::member_sources(root, member)
+            .map_err(|e| format!("reading {}: {e}", member.rel))?;
+        for path in files {
+            let text = std::fs::read_to_string(&path)
+                .map_err(|e| format!("reading {}: {e}", path.display()))?;
+            let label = path
+                .strip_prefix(root)
+                .unwrap_or(&path)
+                .to_string_lossy()
+                .replace('\\', "/");
+            if seen.insert(label.clone()) {
+                sources.push(SourceFile {
+                    path: label,
+                    text,
+                    config,
                 });
             }
         }
     }
-    diags
-}
-
-/// Recursively collect `.rs` files under `dir` in sorted order.
-fn rust_files(dir: &Path, out: &mut Vec<PathBuf>) -> std::io::Result<()> {
-    let mut entries: Vec<_> = std::fs::read_dir(dir)?
-        .collect::<Result<Vec<_>, _>>()?
-        .into_iter()
-        .map(|e| e.path())
-        .collect();
-    entries.sort();
-    for path in entries {
-        if path.is_dir() {
-            rust_files(&path, out)?;
-        } else if path.extension().is_some_and(|e| e == "rs") {
-            out.push(path);
-        }
-    }
-    Ok(())
-}
-
-/// Engine-crate coverage check: every entry of [`ENGINE_CRATES`] must
-/// exist on disk, and the fault-injection crate must stay covered — the
-/// recovery paths it drives are exactly the kind of decision code the
-/// determinism lints exist for, so dropping it from the list is an error,
-/// not a configuration choice.
-pub fn check_coverage(workspace_root: &Path) -> Vec<String> {
-    let mut errs = Vec::new();
-    for krate in ENGINE_CRATES {
-        if !workspace_root.join(krate).join("src").is_dir() {
-            errs.push(format!("engine crate listed but missing on disk: {krate}"));
-        }
-    }
-    if !ENGINE_CRATES.contains(&"crates/faults") {
-        errs.push("crates/faults must be covered by ENGINE_CRATES".to_string());
-    }
-    if !ENGINE_CRATES.contains(&"crates/wal") {
-        errs.push("crates/wal must be covered by ENGINE_CRATES".to_string());
-    }
-    for file in ENGINE_EXTRA_FILES {
-        if !workspace_root.join(file).is_file() {
-            errs.push(format!(
-                "extra lint file listed but missing on disk: {file}"
-            ));
-        }
-    }
-    errs
-}
-
-/// Lint every engine crate under `workspace_root`; diagnostics carry
-/// workspace-relative paths.
-pub fn lint_workspace(workspace_root: &Path) -> std::io::Result<Vec<Diagnostic>> {
-    let mut diags = Vec::new();
-    for krate in ENGINE_CRATES {
-        let src = workspace_root.join(krate).join("src");
-        let config = FileConfig {
-            // simcore owns the clock and RNG abstractions.
-            check_ambient: krate != "crates/simcore",
-        };
-        let mut files = Vec::new();
-        rust_files(&src, &mut files)?;
-        for path in files {
-            let source = std::fs::read_to_string(&path)?;
-            let label = path
-                .strip_prefix(workspace_root)
-                .unwrap_or(&path)
-                .display()
-                .to_string();
-            diags.extend(lint_source(&label, &source, config));
-        }
-    }
-    for file in ENGINE_EXTRA_FILES {
-        let source = std::fs::read_to_string(workspace_root.join(file))?;
-        diags.extend(lint_source(file, &source, FileConfig::default()));
-    }
-    Ok(diags)
+    Ok(analyze_sources(&sources))
 }
 
 #[cfg(test)]
@@ -611,21 +335,6 @@ mod tests {
 
     fn lint(src: &str) -> Vec<Diagnostic> {
         lint_source("test.rs", src, FileConfig::default())
-    }
-
-    #[test]
-    fn coverage_includes_faults_crate() {
-        assert!(ENGINE_CRATES.contains(&"crates/faults"));
-    }
-
-    #[test]
-    fn engine_crates_exist_on_disk() {
-        let root = Path::new(env!("CARGO_MANIFEST_DIR"))
-            .parent()
-            .unwrap()
-            .parent()
-            .unwrap();
-        assert_eq!(check_coverage(root), Vec::<String>::new());
     }
 
     #[test]
@@ -648,14 +357,14 @@ mod tests {
     fn btreemap_iteration_is_fine() {
         let src = "struct S { holds: BTreeMap<u32, u64> }\n\
                    impl S { fn f(&self) { for x in self.holds.values() { let _ = x; } } }\n";
-        assert!(lint(src).is_empty());
+        assert!(lint(src).is_empty(), "{:?}", lint(src));
     }
 
     #[test]
     fn point_lookups_on_hashmap_are_fine() {
         let src = "struct S { holds: HashMap<u32, u64> }\n\
                    impl S { fn f(&self) -> Option<&u64> { self.holds.get(&1) } }\n";
-        assert!(lint(src).is_empty());
+        assert!(lint(src).is_empty(), "{:?}", lint(src));
     }
 
     #[test]
@@ -678,7 +387,7 @@ mod tests {
                 check_ambient: false,
             },
         );
-        assert!(d.is_empty());
+        assert!(d.is_empty(), "{d:?}");
     }
 
     #[test]
@@ -693,16 +402,44 @@ mod tests {
         let src = "fn f(x: Option<u32>) -> u32 {\n\
                    // lint:allow(L3): invariant — x checked above\n\
                    x.unwrap()\n}\n";
-        assert!(lint(src).is_empty());
+        assert!(lint(src).is_empty(), "{:?}", lint(src));
         let same_line = "fn f(x: Option<u32>) -> u32 { x.unwrap() } // lint:allow(L3): checked\n";
-        assert!(lint(same_line).is_empty());
+        assert!(lint(same_line).is_empty(), "{:?}", lint(same_line));
     }
 
     #[test]
-    fn allow_without_reason_is_reported() {
+    fn allow_without_reason_is_l7() {
         let src = "fn f(x: Option<u32>) -> u32 { x.unwrap() } // lint:allow(L3)\n";
         let d = lint(src);
-        assert!(d.iter().any(|d| d.message.contains("malformed")), "{d:?}");
+        assert!(
+            d.iter()
+                .any(|d| d.lint == Lint::L7 && d.message.contains("malformed")),
+            "{d:?}"
+        );
+        // The unsuppressed L3 still fires.
+        assert!(d.iter().any(|d| d.lint == Lint::L3), "{d:?}");
+    }
+
+    #[test]
+    fn stale_allow_is_l7() {
+        let src = "fn f(x: u32) -> u32 {\n\
+                   // lint:allow(L3): this used to unwrap\n\
+                   x + 1\n}\n";
+        let d = lint(src);
+        assert!(
+            d.iter()
+                .any(|d| d.lint == Lint::L7 && d.line == 2 && d.message.contains("stale")),
+            "{d:?}"
+        );
+    }
+
+    #[test]
+    fn allow_in_test_code_is_never_stale() {
+        let src = "#[cfg(test)]\nmod tests {\n\
+                   fn t(x: Option<u32>) -> u32 {\n\
+                   // lint:allow(L3): test-only helper\n\
+                   x.unwrap()\n}\n}\n";
+        assert!(lint(src).is_empty(), "{:?}", lint(src));
     }
 
     #[test]
@@ -714,7 +451,7 @@ mod tests {
                    #[test]\n\
                    fn t() { panic!(\"fine in tests\"); }\n\
                    }\n";
-        assert!(lint(src).is_empty());
+        assert!(lint(src).is_empty(), "{:?}", lint(src));
     }
 
     #[test]
@@ -723,13 +460,13 @@ mod tests {
                    // mention of panic!( and .unwrap() in a comment\n\
                    \"std::time::Instant in a string, panic!(x.unwrap())\"\n\
                    }\n";
-        assert!(lint(src).is_empty());
+        assert!(lint(src).is_empty(), "{:?}", lint(src));
     }
 
     #[test]
     fn block_comments_span_lines() {
         let src = "/* start\n x.unwrap() still commented\n*/\nfn f() {}\n";
-        assert!(lint(src).is_empty());
+        assert!(lint(src).is_empty(), "{:?}", lint(src));
     }
 
     #[test]
@@ -741,5 +478,27 @@ mod tests {
             message: "m".into(),
         };
         assert_eq!(d.to_string(), "crates/x/src/a.rs:7: L1: m");
+    }
+
+    #[test]
+    fn cross_file_l4_sees_both_files() {
+        let a = SourceFile {
+            path: "a.rs".into(),
+            text: "fn a(s: u64) { let r = RngStream::derive(s, \"dup\"); }".into(),
+            config: FileConfig::default(),
+        };
+        let b = SourceFile {
+            path: "b.rs".into(),
+            text: "fn b(s: u64) { let r = RngStream::derive(s, \"dup\"); }".into(),
+            config: FileConfig::default(),
+        };
+        let an = analyze_sources(&[a, b]);
+        assert!(
+            an.diagnostics
+                .iter()
+                .any(|d| d.lint == Lint::L4 && d.file == "b.rs"),
+            "{:?}",
+            an.diagnostics
+        );
     }
 }

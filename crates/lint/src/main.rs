@@ -1,8 +1,11 @@
-//! `g2pl-lint` — run the determinism/invariant lints over the engine
-//! crates and exit non-zero on any finding.
+//! `g2pl-lint` — run the workspace-wide determinism/invariant analyzer
+//! and exit non-zero on any finding.
 //!
 //! Usage: `cargo run -p g2pl-lint` (from anywhere in the workspace).
 //! Diagnostics are `file:line: Lx: message`, one per line, sorted.
+//! `--dot` instead prints the extracted `TxnStatus` state machine as
+//! Graphviz DOT (one digraph per engine) and exits zero iff at least
+//! one machine was extracted.
 
 use std::path::PathBuf;
 use std::process::ExitCode;
@@ -30,36 +33,62 @@ fn workspace_root() -> Option<PathBuf> {
 }
 
 fn main() -> ExitCode {
+    let dot_mode = std::env::args().any(|a| a == "--dot");
+    // lint:allow(L2): host-tool self-timing — measures the analyzer itself, not simulated behavior
+    let started = std::time::Instant::now();
     let Some(root) = workspace_root() else {
         eprintln!("g2pl-lint: could not locate the workspace root");
         return ExitCode::FAILURE;
     };
-    let coverage = g2pl_lint::check_coverage(&root);
-    if !coverage.is_empty() {
-        for e in &coverage {
-            eprintln!("g2pl-lint: {e}");
-        }
-        return ExitCode::FAILURE;
-    }
-    let mut diags = match g2pl_lint::lint_workspace(&root) {
-        Ok(d) => d,
+    let members = match g2pl_lint::workspace::discover(&root) {
+        Ok(m) => m,
         Err(e) => {
             eprintln!("g2pl-lint: {e}");
             return ExitCode::FAILURE;
         }
     };
-    diags.sort_by(|a, b| (&a.file, a.line, a.lint).cmp(&(&b.file, b.line, b.lint)));
-    for d in &diags {
+    let analysis = match g2pl_lint::analyze_workspace(&root) {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("g2pl-lint: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+
+    if dot_mode {
+        let ext = &analysis.extraction;
+        if ext.machines.is_empty() {
+            eprintln!("g2pl-lint: no state machine extracted (no `set_status` sites found)");
+            return ExitCode::FAILURE;
+        }
+        print!("{}", g2pl_lint::machine::dot(ext));
+        eprintln!(
+            "g2pl-lint: {} machine(s), {} state(s), initial {}",
+            ext.machines.len(),
+            ext.states.len(),
+            ext.initial.as_deref().unwrap_or("<unknown>")
+        );
+        return ExitCode::SUCCESS;
+    }
+
+    for d in &analysis.diagnostics {
         println!("{d}");
     }
-    if diags.is_empty() {
+    let elapsed = started.elapsed();
+    if analysis.diagnostics.is_empty() {
         eprintln!(
-            "g2pl-lint: clean — {} engine crates pass L1/L2/L3",
-            g2pl_lint::ENGINE_CRATES.len()
+            "g2pl-lint: clean — {} workspace crates pass L1-L7/SM in {:.2}s",
+            members.len(),
+            elapsed.as_secs_f64()
         );
         ExitCode::SUCCESS
     } else {
-        eprintln!("g2pl-lint: {} finding(s)", diags.len());
+        eprintln!(
+            "g2pl-lint: {} finding(s) across {} crates in {:.2}s",
+            analysis.diagnostics.len(),
+            members.len(),
+            elapsed.as_secs_f64()
+        );
         ExitCode::FAILURE
     }
 }

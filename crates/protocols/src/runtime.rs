@@ -648,8 +648,8 @@ impl ClientCore {
         ClientCore {
             id,
             txn: None,
-            spec_rng: RngStream::derive(seed, &format!("spec-client-{}", id.0)),
-            time_rng: RngStream::derive(seed, &format!("time-client-{}", id.0)),
+            spec_rng: RngStream::derive_indexed(seed, "spec-client", u64::from(id.0)),
+            time_rng: RngStream::derive_indexed(seed, "time-client", u64::from(id.0)),
             replay: None,
             replay_idx: 0,
             crashed: false,

@@ -46,6 +46,36 @@ impl RngStream {
         Self::from_hashed(h)
     }
 
+    /// Derive one stream of an indexed family: `derive_indexed(s, "client",
+    /// 3)` is byte-for-byte the stream `derive(s, "client-3")` would
+    /// produce. Use this for per-entity streams (one per client, one per
+    /// trial): the literal `prefix` keeps the family's name checkable for
+    /// collisions by `g2pl-lint` (L4) without allocating a label string.
+    pub fn derive_indexed(master_seed: u64, prefix: &str, n: u64) -> Self {
+        let mut h = splitmix64(master_seed);
+        for &b in prefix.as_bytes() {
+            h = splitmix64(h ^ u64::from(b));
+        }
+        h = splitmix64(h ^ u64::from(b'-'));
+        // Hash the decimal digits of `n` exactly as the formatted label
+        // would contain them.
+        let mut digits = [0u8; 20];
+        let mut len = 0;
+        let mut v = n;
+        loop {
+            digits[len] = b'0' + (v % 10) as u8;
+            len += 1;
+            v /= 10;
+            if v == 0 {
+                break;
+            }
+        }
+        for i in (0..len).rev() {
+            h = splitmix64(h ^ u64::from(digits[i]));
+        }
+        Self::from_hashed(h)
+    }
+
     /// Expand one well-mixed word into the full 256-bit xoshiro state via
     /// a SplitMix64 sequence, per the generator authors' recommendation.
     fn from_hashed(h: u64) -> Self {
@@ -158,6 +188,32 @@ mod tests {
     fn different_labels_differ() {
         let mut a = RngStream::derive(42, "think");
         let mut b = RngStream::derive(42, "idle");
+        let va: Vec<u64> = (0..32).map(|_| a.uniform_incl(0, u64::MAX / 2)).collect();
+        let vb: Vec<u64> = (0..32).map(|_| b.uniform_incl(0, u64::MAX / 2)).collect();
+        assert_ne!(va, vb);
+    }
+
+    #[test]
+    fn derive_indexed_matches_formatted_label() {
+        // The indexed form must reproduce the formatted-label streams it
+        // replaced, byte for byte, or every seeded run would shift.
+        for n in [0u64, 1, 7, 42, 999, 12_345, u64::MAX] {
+            let mut a = RngStream::derive_indexed(42, "client", n);
+            let mut b = RngStream::derive(42, &format!("client-{n}"));
+            for _ in 0..64 {
+                assert_eq!(
+                    a.uniform_incl(0, u64::MAX),
+                    b.uniform_incl(0, u64::MAX),
+                    "n = {n}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn derive_indexed_family_members_differ() {
+        let mut a = RngStream::derive_indexed(42, "client", 1);
+        let mut b = RngStream::derive_indexed(42, "client", 2);
         let va: Vec<u64> = (0..32).map(|_| a.uniform_incl(0, u64::MAX / 2)).collect();
         let vb: Vec<u64> = (0..32).map(|_| b.uniform_incl(0, u64::MAX / 2)).collect();
         assert_ne!(va, vb);

@@ -70,6 +70,7 @@ impl TxnGenerator {
     pub fn new(profile: TxnProfile, pool_size: u32) -> Self {
         profile
             .validate(pool_size)
+            // lint:allow(L3): documented `# Panics` contract: an invalid profile is a caller bug
             .unwrap_or_else(|e| panic!("invalid profile: {e}"));
         TxnGenerator { profile, pool_size }
     }

@@ -26,7 +26,7 @@ impl Trace {
     ) -> Self {
         let per_client = (0..clients)
             .map(|c| {
-                let mut rng = RngStream::derive(master_seed, &format!("trace-client-{c}"));
+                let mut rng = RngStream::derive_indexed(master_seed, "trace-client", c as u64);
                 (0..txns_per_client)
                     .map(|_| generator.draw(&mut rng))
                     .collect()
