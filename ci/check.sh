@@ -44,6 +44,27 @@ if echo "$explain_out" | grep -q "FAIL"; then
   echo "trace-explain: a check failed"; echo "$explain_out"; exit 1
 fi
 
+echo "==> trace-explain --tail smoke (flight recorder + marker cross-check)"
+# Tail mode replays the exported trace, attributes the worst-k
+# transactions to phases, and cross-checks the exporter's slow_txn
+# markers against the replayed flight recorder.
+tail_out="$(cargo run -q -p g2pl-bench --bin trace-explain -- --tail "$trace_dir"/*.jsonl || true)"
+echo "$tail_out" | grep -q "tail-check: PASS" \
+  || { echo "trace-explain --tail: marker cross-check failed"; echo "$tail_out"; exit 1; }
+if echo "$tail_out" | grep -q "FAIL"; then
+  echo "trace-explain --tail: a check failed"; echo "$tail_out"; exit 1
+fi
+
+echo "==> tail smoke (fig_tail load sweep: drained, verified, quantile CSVs)"
+# All three engines over the client sweep with drain on; every cell is
+# verified (P1-P9 + serializability), and the figure must emit both the
+# p99/p999 curves and the side tail CSV.
+cargo run -q --release -p g2pl-bench --bin repro -- --scale smoke --out "$trace_dir" fig_tail >/dev/null
+test -f "$trace_dir/fig_tail.csv" || { echo "tail smoke: fig_tail.csv missing"; exit 1; }
+test -f "$trace_dir/fig_tail_tail.csv" || { echo "tail smoke: fig_tail_tail.csv missing"; exit 1; }
+grep -q "^x,series,p50,p90,p99,p999,max,count$" "$trace_dir/fig_tail_tail.csv" \
+  || { echo "tail smoke: quantile header missing"; exit 1; }
+
 echo "==> fault smoke (fig_faults loss sweep, P1-P8 verification on)"
 # Verification is on by default: every cell of the sweep re-runs with
 # trace + history recording and must pass P1-P8 plus the serializability
@@ -66,9 +87,9 @@ cargo run -q --release -p g2pl-bench --bin chaos -- --trials 6 --seed 1
 
 echo "==> bench smoke (engine throughput vs committed baseline)"
 # The engine cells are scale-independent (fixed workload, best-of-3), so
-# a smoke run is comparable to the committed default-scale BENCH_pr3.json.
+# a smoke run is comparable to the committed default-scale BENCH_pr7.json.
 # Fails if aggregate cell throughput regresses more than 30%.
 cargo run -q --release -p g2pl-bench --bin repro -- --scale smoke bench \
-  --bench-out target/BENCH_pr3.json --baseline BENCH_pr3.json >/dev/null
+  --bench-out target/BENCH_pr7.json --baseline BENCH_pr7.json >/dev/null
 
 echo "ci/check.sh: all gates passed"

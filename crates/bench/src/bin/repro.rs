@@ -6,7 +6,7 @@
 //!
 //! artifacts: table1 table2 fig1 fig2 fig3 fig4 fig5 fig6 fig7 fig8 fig9
 //!            fig10 fig11 fig12 fig13 fig14 fig15 headline all bench
-//!            fig_faults fig_faults_aborts fig_server_faults list
+//!            fig_faults fig_faults_aborts fig_server_faults fig_tail list
 //! ```
 //!
 //! Figures are dispatched from the declarative registry
@@ -16,10 +16,13 @@
 //! with the fault-injection subsystem on and are requested by name.
 //!
 //! Markdown goes to stdout; with `--out DIR`, each figure's raw data is
-//! also written as `DIR/<id>.csv`; `--ascii` appends a terminal chart
-//! under each table. With `--trace-out DIR`, replication 0 of every data
-//! point dumps its span events as `DIR/*.jsonl` for the `trace-explain`
-//! analyzer.
+//! also written as `DIR/<id>.csv` — and, for figures that carry pooled
+//! tail-quantile sketches (response-time metrics), a side file
+//! `DIR/<id>_tail.csv` with `p50,p90,p99,p999,max,count` columns per
+//! sweep point. Existing `<id>.csv` files are unchanged byte-for-byte.
+//! `--ascii` appends a terminal chart under each table. With
+//! `--trace-out DIR`, replication 0 of every data point dumps its span
+//! events as `DIR/*.jsonl` for the `trace-explain` analyzer.
 //!
 //! Every data point self-verifies by default: replication 0 of each
 //! configuration is re-checked against the protocol trace properties
@@ -29,7 +32,7 @@
 //!
 //! `repro bench` runs the measurement harness (engine hot-spot cells
 //! plus timed figure sweeps), prints the report, and writes it as JSON
-//! to `--bench-out FILE` (default `BENCH_pr3.json`). With
+//! to `--bench-out FILE` (default `BENCH_pr7.json`). With
 //! `--baseline FILE`, the run fails if aggregate engine throughput
 //! regressed more than 30% below the baseline's — the CI gate.
 
@@ -67,12 +70,13 @@ fn usage() -> ! {
          [--no-verify] [--bench-out FILE] [--baseline FILE] <artifact>...\n\
          artifacts: {} all\n\
          fault studies: fig_faults fig_faults_aborts fig_server_faults\n\
+         tail study: fig_tail (p99/p999 vs load, all three engines)\n\
          extensions: {} ext scorecard bench; `list` prints the figure registry\n\
          verification of every data point is on by default; --no-verify skips it\n\
          --trace-out DIR dumps replication 0 of each point as a JSONL span \
          trace for trace-explain\n\
          bench times engine cells + figure sweeps, writes --bench-out \
-         (default BENCH_pr3.json), and fails on >30% throughput regression \
+         (default BENCH_pr7.json), and fails on >30% throughput regression \
          vs --baseline FILE",
         ALL.join(" "),
         EXTS.join(" ")
@@ -94,6 +98,12 @@ fn emit_figure(fig: &FigureData, out_dir: &Option<PathBuf>) {
         // lint:allow(L3): CLI fails fast when the CSV cannot be written
         f.write_all(fig.to_csv().as_bytes()).expect("write csv");
         eprintln!("wrote {}", path.display());
+        if let Some(tail_csv) = fig.to_tail_csv() {
+            let tail_path = dir.join(format!("{}_tail.csv", fig.id));
+            // lint:allow(L3): CLI fails fast when the tail CSV cannot be written
+            std::fs::write(&tail_path, tail_csv).expect("write tail csv");
+            eprintln!("wrote {}", tail_path.display());
+        }
     }
 }
 
@@ -101,7 +111,7 @@ fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut scale = Scale::Default;
     let mut out_dir: Option<PathBuf> = None;
-    let mut bench_out = PathBuf::from("BENCH_pr3.json");
+    let mut bench_out = PathBuf::from("BENCH_pr7.json");
     let mut baseline: Option<PathBuf> = None;
     let mut artifacts: Vec<String> = Vec::new();
 

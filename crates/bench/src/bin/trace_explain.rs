@@ -1,7 +1,7 @@
 //! `trace-explain` — analyze exported span traces.
 //!
 //! ```text
-//! trace-explain [--timelines N] <trace.jsonl>...
+//! trace-explain [--timelines N] [--tail] <trace.jsonl>...
 //! trace-explain --best-case
 //! ```
 //!
@@ -16,6 +16,14 @@
 //!   run's mean response time within 1% (the attribution is a partition
 //!   of [first request, commit], so anything else is a bug).
 //!
+//! `--tail` switches file mode to tail attribution: instead of means it
+//! prints the engine-exported p99/p999, a per-phase tail table (p50 /
+//! p99 / max per phase, from the replayed quantile sketches), and the
+//! flight recorder's worst-k measured transactions with the phase that
+//! dominates each, plus their timelines. It also cross-checks the
+//! `slow_txn` markers the exporter appended against the flight the
+//! replay rebuilds (`tail-check:` line; skipped on truncated traces).
+//!
 //! `--best-case` runs the §3.1 worked example instead: every client
 //! issues single-item exclusive transactions against a one-item database
 //! so nothing can deadlock, then checks the empirical round counters
@@ -26,17 +34,22 @@
 //! Every check prints a line starting `round-check:` or
 //! `phase-sum check:`; any FAIL sets a non-zero exit status.
 
-use g2pl_obs::{parse_jsonl, ObsReport, Phase, RunMeta, SpanRecorder, TxnDetail};
+use g2pl_obs::{
+    parse_jsonl, ObsReport, Phase, RunMeta, SpanKind, SpanRecorder, TraceFile, TxnDetail,
+};
 use g2pl_protocols::{run, EngineConfig, ProtocolKind, RunMetrics};
 
 const TIMELINE_COLS: usize = 60;
 
 fn usage() -> ! {
     eprintln!(
-        "usage: trace-explain [--timelines N] <trace.jsonl>...\n\
+        "usage: trace-explain [--timelines N] [--tail] <trace.jsonl>...\n\
          \u{20}      trace-explain --best-case\n\
          file mode replays JSONL span traces (from `repro --trace-out DIR`)\n\
          and prints per-phase breakdowns, ASCII timelines and round counts;\n\
+         --tail prints tail attribution instead: per-phase p99, the worst-k\n\
+         flight-recorder transactions and their dominant phases, checked\n\
+         against the exporter's slow_txn markers;\n\
          --best-case runs the paper's \u{a7}3.1 workload and asserts the\n\
          analytic round counts (3m for s-2PL, 2m+1 for g-2PL)"
     );
@@ -169,7 +182,100 @@ fn phase_sum_check(report: &ObsReport, mean_response: f64, label: &str) -> bool 
     ok
 }
 
-fn explain_file(path: &str, timelines: usize) -> bool {
+/// Tail attribution: engine-exported quantiles, the per-phase tail
+/// table from the replayed sketches, and the flight recorder's worst-k
+/// transactions with the phase that dominates each.
+fn print_tail(report: &ObsReport, meta_p99: u64, meta_p999: u64) {
+    let b = &report.breakdown;
+    println!(
+        "  engine-side response quantiles: p99={meta_p99} p999={meta_p999} \
+         ({} measured commits)",
+        b.measured_commits
+    );
+    println!(
+        "  {:<14} {:>8} {:>10} {:>10} {:>10}",
+        "phase", "count", "p50", "p99", "max"
+    );
+    for p in Phase::ALL {
+        let t = b.tail(p);
+        println!(
+            "  {:<14} {:>8} {:>10} {:>10} {:>10}",
+            p.name(),
+            t.count(),
+            t.quantile(0.5).unwrap_or(0),
+            t.quantile(0.99).unwrap_or(0),
+            t.max().unwrap_or(0),
+        );
+    }
+    if report.flight.is_empty() {
+        println!("  flight recorder: empty (no measured commits)");
+        return;
+    }
+    println!(
+        "  flight recorder: {} worst measured transactions (dominant response phase)",
+        report.flight.len()
+    );
+    println!("  {}", legend());
+    for (rank, d) in report.flight.iter().enumerate() {
+        let response = d.commit.units().saturating_sub(d.start.units());
+        let mut dom = Phase::ALL[0];
+        for p in &Phase::ALL[..Phase::RESPONSE_PHASES] {
+            if d.phases[p.index()] > d.phases[dom.index()] {
+                dom = *p;
+            }
+        }
+        let share = if response > 0 {
+            100.0 * d.phases[dom.index()] as f64 / response as f64
+        } else {
+            0.0
+        };
+        println!(
+            "  #{:<3} txn {:>5} response={:>8} {}={:.0}%  |{}|",
+            rank + 1,
+            d.txn.0,
+            response,
+            dom.name(),
+            share,
+            timeline(d)
+        );
+    }
+}
+
+/// The `slow_txn` markers the exporter appended must name exactly the
+/// transactions the replayed flight recorder retains, in rank order —
+/// the trace is self-describing or it is wrong. Truncated traces skip
+/// the check: the markers cover the full run but the replay only sees
+/// the surviving prefix.
+fn tail_check(tf: &TraceFile, report: &ObsReport, dropped: u64, label: &str) -> bool {
+    if dropped > 0 {
+        println!("tail-check: SKIP ({label}: trace truncated, replay sees only a prefix)");
+        return true;
+    }
+    let mut markers: Vec<(u32, u32)> = tf
+        .events
+        .iter()
+        .filter(|e| e.kind == SpanKind::SlowTxn)
+        .filter_map(|e| e.txn.map(|t| (e.n, t.0)))
+        .collect();
+    markers.sort_unstable_by_key(|&(n, _)| n);
+    let marked: Vec<u32> = markers.into_iter().map(|(_, t)| t).collect();
+    let replayed: Vec<u32> = report.flight.iter().map(|d| d.txn.0).collect();
+    let ok = marked == replayed;
+    if ok {
+        println!(
+            "tail-check: PASS ({label}: {} slow_txn markers match the replayed flight recorder)",
+            marked.len()
+        );
+    } else {
+        println!(
+            "tail-check: FAIL ({label}: markers name txns {marked:?} but the replay \
+             retains {replayed:?})"
+        );
+    }
+    ok
+}
+
+fn explain_file(path: &str, timelines: usize, tail: bool) -> bool {
     let text = match std::fs::read_to_string(path) {
         Ok(t) => t,
         Err(e) => {
@@ -198,6 +304,8 @@ fn explain_file(path: &str, timelines: usize) -> bool {
         lease_expiries,
         recovery_stall,
         server_crashes,
+        response_p99,
+        response_p999,
     } = tf.meta.clone();
     println!("== {path}");
     println!(
@@ -211,6 +319,11 @@ fn explain_file(path: &str, timelines: usize) -> bool {
         );
     }
     let report = SpanRecorder::replay(&tf.events).finish();
+    if tail {
+        print_tail(&report, response_p99, response_p999);
+        let ok = tail_check(&tf, &report, dropped, &protocol);
+        return ok && (dropped > 0 || phase_sum_check(&report, mean_response, &protocol));
+    }
     print_breakdown(&report, mean_response);
     if server_crashes > 0 {
         println!("  recovery: survived {server_crashes} server crash/restart cycles");
@@ -325,11 +438,13 @@ fn main() {
     let mut timelines = 4usize;
     let mut files: Vec<String> = Vec::new();
     let mut run_best_case = false;
+    let mut tail = false;
 
     let mut i = 0;
     while i < args.len() {
         match args[i].as_str() {
             "--best-case" => run_best_case = true,
+            "--tail" => tail = true,
             "--timelines" => {
                 i += 1;
                 timelines = args
@@ -351,7 +466,7 @@ fn main() {
         ok &= best_case();
     }
     for f in &files {
-        ok &= explain_file(f, timelines);
+        ok &= explain_file(f, timelines, tail);
         println!();
     }
     if !ok {

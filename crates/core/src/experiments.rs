@@ -22,9 +22,10 @@
 //! | `fig_faults` | response time vs message-loss probability, 3 engines |
 //! | `fig_faults_aborts` | abort % vs message-loss probability, 3 engines |
 //! | `fig_server_faults` | response time vs server outage duration, 3 engines |
+//! | `fig_tail` | p99/p999 response time vs number of clients, 3 engines |
 //! | `headline` | the 20–25% response-time improvement claim |
 
-use crate::figure::{FigureData, Series};
+use crate::figure::{FigureData, Series, TailPoint, TailSeries};
 use crate::runner::run_grid;
 use g2pl_faults::FaultPlan;
 use g2pl_netmodel::NetworkEnv;
@@ -123,27 +124,43 @@ fn sweep(
         }
     }
     let mut results = run_grid(&configs, reps).into_iter();
-    let series = protocols
-        .iter()
-        .map(|p| {
-            let points = xs
-                .iter()
-                .map(|&x| {
-                    // lint:allow(L3): run_grid returns one result per config
-                    let r = results.next().expect("one result per grid point");
-                    let ci = match metric {
-                        Metric::Response => r.response_ci(),
-                        Metric::AbortPct => r.abort_pct_ci(),
-                    };
-                    (x, ci.mean, ci.half_width)
-                })
-                .collect();
-            Series {
-                label: p.label().to_string(),
-                points,
+    let mut series = Vec::with_capacity(protocols.len());
+    let mut tails = Vec::new();
+    for p in protocols {
+        let mut points = Vec::with_capacity(xs.len());
+        let mut tail_points = Vec::with_capacity(xs.len());
+        for &x in xs {
+            // lint:allow(L3): run_grid returns one result per config
+            let r = results.next().expect("one result per grid point");
+            let ci = match metric {
+                Metric::Response => r.response_ci(),
+                Metric::AbortPct => r.abort_pct_ci(),
+            };
+            points.push((x, ci.mean, ci.half_width));
+            if metric == Metric::Response {
+                let t = r.tail_summary();
+                tail_points.push(TailPoint {
+                    x,
+                    p50: t.p50,
+                    p90: t.p90,
+                    p99: t.p99,
+                    p999: t.p999,
+                    max: t.max,
+                    count: t.count,
+                });
             }
-        })
-        .collect();
+        }
+        series.push(Series {
+            label: p.label().to_string(),
+            points,
+        });
+        if metric == Metric::Response {
+            tails.push(TailSeries {
+                label: p.label().to_string(),
+                points: tail_points,
+            });
+        }
+    }
     FigureData {
         id: id.into(),
         title: title.into(),
@@ -153,6 +170,7 @@ fn sweep(
             Metric::AbortPct => "% aborted".into(),
         },
         series,
+        tails,
     }
 }
 
@@ -344,6 +362,11 @@ pub enum Sweep {
     /// per run, WAL replay plus the re-registration handshake on each
     /// restart.
     ServerOutage,
+    /// Client count over [`CLIENT_SWEEP`] in the MAN, pr = 0.6, all
+    /// three engines, draining every run: plots p99 and p999 response
+    /// time from the pooled quantile sketch instead of the mean
+    /// (`fig_tail`).
+    TailLoad,
 }
 
 /// One registered figure: id, caption material, metric and sweep. The
@@ -464,6 +487,12 @@ pub static FIGURES: &[FigureSpec] = &[
         blurb: "response time vs server outage duration, 3 engines",
         metric: Metric::Response,
         sweep: Sweep::ServerOutage,
+    },
+    FigureSpec {
+        id: "fig_tail",
+        blurb: "p99/p999 response time vs number of clients, 3 engines",
+        metric: Metric::Response,
+        sweep: Sweep::TailLoad,
     },
 ];
 
@@ -600,6 +629,7 @@ impl FigureSpec {
                     cfg
                 },
             ),
+            Sweep::TailLoad => self.build_tail(scale),
         }
     }
 
@@ -635,6 +665,69 @@ impl FigureSpec {
                 label: "g-2PL".into(),
                 points,
             }],
+            tails: Vec::new(),
+        }
+    }
+
+    /// `fig_tail`: load vs tail quantiles for all three engines. Every
+    /// run drains (stragglers must finish and be counted — the tail is
+    /// the point), and the plotted y values come straight from the
+    /// pooled [`g2pl_stats::TailSketch`], so the curves are exact bucket
+    /// edges with no sampling error bars (ci = 0).
+    fn build_tail(&self, scale: Scale) -> FigureData {
+        let (_, _, reps) = scale.params();
+        let mut configs = Vec::with_capacity(TRIO.len() * CLIENT_SWEEP.len());
+        for p in TRIO {
+            for &clients in &CLIENT_SWEEP {
+                let mut cfg = base_cfg(p.clone(), clients, 250, 0.6, scale);
+                cfg.drain = true;
+                configs.push(cfg);
+            }
+        }
+        let mut results = run_grid(&configs, reps).into_iter();
+        let mut series = Vec::with_capacity(2 * TRIO.len());
+        let mut tails = Vec::with_capacity(TRIO.len());
+        for p in TRIO {
+            let mut p99 = Vec::with_capacity(CLIENT_SWEEP.len());
+            let mut p999 = Vec::with_capacity(CLIENT_SWEEP.len());
+            let mut tail_points = Vec::with_capacity(CLIENT_SWEEP.len());
+            for &clients in &CLIENT_SWEEP {
+                let x = clients as f64;
+                // lint:allow(L3): run_grid returns one result per config
+                let r = results.next().expect("one result per grid point");
+                let t = r.tail_summary();
+                p99.push((x, t.p99 as f64, 0.0));
+                p999.push((x, t.p999 as f64, 0.0));
+                tail_points.push(TailPoint {
+                    x,
+                    p50: t.p50,
+                    p90: t.p90,
+                    p99: t.p99,
+                    p999: t.p999,
+                    max: t.max,
+                    count: t.count,
+                });
+            }
+            series.push(Series {
+                label: format!("{} p99", p.label()),
+                points: p99,
+            });
+            series.push(Series {
+                label: format!("{} p999", p.label()),
+                points: p999,
+            });
+            tails.push(TailSeries {
+                label: p.label().to_string(),
+                points: tail_points,
+            });
+        }
+        FigureData {
+            id: self.id.into(),
+            title: "Tail response time (p99/p999) vs number of clients, pr=0.6, MAN".into(),
+            x_label: "number of clients".into(),
+            y_label: "response time quantile".into(),
+            series,
+            tails,
         }
     }
 }
@@ -730,6 +823,7 @@ mod tests {
         assert!(figure("fig_faults").is_some());
         assert!(figure("fig_faults_aborts").is_some());
         assert!(figure("fig_server_faults").is_some());
+        assert!(figure("fig_tail").is_some());
         assert!(figure("fig99").is_none());
     }
 

@@ -81,6 +81,7 @@ pub fn ext_protocols(scale: Scale) -> FigureData {
         title: "s-2PL vs g-2PL vs c-2PL across read probabilities, MAN".into(),
         x_label: "read probability".into(),
         y_label: "mean response time".into(),
+        tails: Vec::new(),
         series,
     }
 }
@@ -103,6 +104,7 @@ pub fn ext_skew(scale: Scale) -> FigureData {
         title: "Zipf access skew vs response time, pr=0.25, s-WAN".into(),
         x_label: "zipf theta".into(),
         y_label: "mean response time".into(),
+        tails: Vec::new(),
         series: vec![
             series_over("g-2PL", &thetas, reps, mk(ProtocolKind::g2pl_paper())),
             series_over("s-2PL", &thetas, reps, mk(ProtocolKind::S2pl)),
@@ -133,6 +135,7 @@ pub fn ext_bandwidth(scale: Scale) -> FigureData {
         title: "Finite bandwidth: response time vs data rate, pr=0.25, MAN".into(),
         x_label: "bytes per time unit".into(),
         y_label: "mean response time".into(),
+        tails: Vec::new(),
         series: vec![
             series_over("g-2PL", &rates, reps, mk(ProtocolKind::g2pl_paper())),
             series_over("s-2PL", &rates, reps, mk(ProtocolKind::S2pl)),
@@ -159,6 +162,7 @@ pub fn ext_abort_effect(scale: Scale) -> FigureData {
         title: "Abort-effect semantics: instant (paper) vs messaged (faithful), pr=0.6".into(),
         x_label: "network latency".into(),
         y_label: "mean response time".into(),
+        tails: Vec::new(),
         series: vec![
             series_over("g-2PL (instant)", &latencies, reps, instant),
             series_over("g-2PL (messaged)", &latencies, reps, messaged),
@@ -183,6 +187,7 @@ pub fn ext_window_hold(scale: Scale) -> FigureData {
         title: "Collection-window hold time vs response, pr=0.25, s-WAN (footnote 1)".into(),
         x_label: "window hold (time units)".into(),
         y_label: "mean response time".into(),
+        tails: Vec::new(),
         series: vec![series_over("g-2PL", &holds, reps, mk)],
     }
 }
@@ -214,6 +219,7 @@ pub fn ext_ordering(scale: Scale) -> FigureData {
         title: "Forward-list ordering disciplines, MAN".into(),
         x_label: "read probability".into(),
         y_label: "mean response time".into(),
+        tails: Vec::new(),
         series,
     }
 }
@@ -243,6 +249,7 @@ pub fn ext_victims(scale: Scale) -> FigureData {
         title: "Victim policies vs response time, s-WAN".into(),
         x_label: "read probability".into(),
         y_label: "mean response time".into(),
+        tails: Vec::new(),
         series,
     }
 }
@@ -258,6 +265,7 @@ pub fn ext_read_expansion(scale: Scale) -> FigureData {
         title: "Read-expansion variant at high read probabilities, MAN".into(),
         x_label: "read probability".into(),
         y_label: "mean response time".into(),
+        tails: Vec::new(),
         series: vec![
             series_over("g-2PL", &prs, reps, |pr| {
                 base(ProtocolKind::g2pl_paper(), 250, pr, scale)
@@ -294,6 +302,7 @@ pub fn ext_server_cpu(scale: Scale) -> FigureData {
         title: "Server CPU cost per message vs response, pr=0.6, s-WAN".into(),
         x_label: "server cpu per message (time units)".into(),
         y_label: "mean response time".into(),
+        tails: Vec::new(),
         series: vec![
             series_over("g-2PL", &costs, reps, mk(ProtocolKind::g2pl_paper())),
             series_over("s-2PL", &costs, reps, mk(ProtocolKind::S2pl)),
@@ -348,6 +357,7 @@ pub fn ext_log_retention(scale: Scale) -> FigureData {
         title: "Worst per-site live WAL (KiB) vs latency, pr=0.25".into(),
         x_label: "network latency".into(),
         y_label: "live log high-water (KiB)".into(),
+        tails: Vec::new(),
         series,
     }
 }

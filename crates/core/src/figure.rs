@@ -16,6 +16,37 @@ pub struct Series {
     pub points: Vec<(f64, f64, f64)>,
 }
 
+/// One point of a tail-quantile series: the pooled response-time
+/// quantiles at one sweep position (ticks, from the merged sketch).
+#[derive(Clone, Copy, Debug, PartialEq, Serialize)]
+pub struct TailPoint {
+    /// Sweep x value.
+    pub x: f64,
+    /// Median.
+    pub p50: u64,
+    /// 90th percentile.
+    pub p90: u64,
+    /// 99th percentile.
+    pub p99: u64,
+    /// 99.9th percentile.
+    pub p999: u64,
+    /// Exact maximum.
+    pub max: u64,
+    /// Measured commits pooled into the sketch at this point.
+    pub count: u64,
+}
+
+/// Per-series tail-quantile columns riding alongside the mean±CI series
+/// of a figure. Rendered into a *separate* `<id>_tail.csv` so existing
+/// figure CSVs stay byte-identical.
+#[derive(Clone, Debug, PartialEq, Serialize)]
+pub struct TailSeries {
+    /// Legend label, matching the mean series it annotates.
+    pub label: String,
+    /// One entry per sweep x, in x order.
+    pub points: Vec<TailPoint>,
+}
+
 impl Series {
     /// The y value at the given x, if present.
     pub fn y_at(&self, x: f64) -> Option<f64> {
@@ -39,6 +70,9 @@ pub struct FigureData {
     pub y_label: String,
     /// The series, in legend order.
     pub series: Vec<Series>,
+    /// Tail-quantile columns per series (empty when the figure's metric
+    /// has no per-observation sketch, e.g. abort percentages).
+    pub tails: Vec<TailSeries>,
 }
 
 impl FigureData {
@@ -153,6 +187,26 @@ impl FigureData {
         }
         out
     }
+
+    /// Render the tail-quantile columns as CSV
+    /// (`x,series,p50,p90,p99,p999,max,count`); `None` when the figure
+    /// carries no tails, so callers skip the side file entirely.
+    pub fn to_tail_csv(&self) -> Option<String> {
+        if self.tails.is_empty() {
+            return None;
+        }
+        let mut out = String::from("x,series,p50,p90,p99,p999,max,count\n");
+        for s in &self.tails {
+            for p in &s.points {
+                let _ = writeln!(
+                    out,
+                    "{},{},{},{},{},{},{},{}",
+                    p.x, s.label, p.p50, p.p90, p.p99, p.p999, p.max, p.count
+                );
+            }
+        }
+        Some(out)
+    }
 }
 
 #[cfg(test)]
@@ -165,6 +219,7 @@ mod tests {
             title: "test figure".into(),
             x_label: "latency".into(),
             y_label: "resp".into(),
+            tails: Vec::new(),
             series: vec![
                 Series {
                     label: "g-2PL".into(),
@@ -223,9 +278,34 @@ mod tests {
             title: "".into(),
             x_label: "".into(),
             y_label: "".into(),
+            tails: Vec::new(),
             series: vec![],
         };
         assert!(f.to_ascii(20, 5).contains("no data"));
+    }
+
+    #[test]
+    fn tail_csv_is_none_without_tails_and_lists_quantiles_with() {
+        let mut f = fig();
+        assert_eq!(f.to_tail_csv(), None, "no side file without tails");
+        f.tails = vec![TailSeries {
+            label: "g-2PL".into(),
+            points: vec![TailPoint {
+                x: 50.0,
+                p50: 90,
+                p90: 140,
+                p99: 200,
+                p999: 260,
+                max: 300,
+                count: 5000,
+            }],
+        }];
+        let csv = f.to_tail_csv().unwrap();
+        let lines: Vec<&str> = csv.lines().collect();
+        assert_eq!(lines[0], "x,series,p50,p90,p99,p999,max,count");
+        assert_eq!(lines[1], "50,g-2PL,90,140,200,260,300,5000");
+        // The mean CSV is unchanged by the presence of tails.
+        assert_eq!(f.to_csv(), fig().to_csv());
     }
 
     #[test]

@@ -17,7 +17,7 @@
 use crate::tracecheck::{check_trace_with, TraceCheckOpts};
 use crate::verify::check_serializable;
 use g2pl_protocols::{run, EngineConfig, RunMetrics};
-use g2pl_stats::{ConfidenceInterval, Replications};
+use g2pl_stats::{ConfidenceInterval, Replications, TailSketch, TailSummary};
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::Mutex;
@@ -219,6 +219,8 @@ fn export_spans(dir: &std::path::Path, cfg: &EngineConfig, m: &RunMetrics) {
         lease_expiries: m.faults.lease_expiries,
         recovery_stall: m.faults.recovery_stall,
         server_crashes: m.faults.server_crashes,
+        response_p99: m.response_tail.quantile(0.99).unwrap_or(0),
+        response_p999: m.response_tail.quantile(0.999).unwrap_or(0),
     };
     let label: String = m
         .protocol
@@ -233,8 +235,16 @@ fn export_spans(dir: &std::path::Path, cfg: &EngineConfig, m: &RunMetrics) {
         cfg.profile.read_prob,
         cfg.seed
     );
-    if let Err(e) = std::fs::create_dir_all(dir)
-        .and_then(|()| std::fs::write(dir.join(&file), g2pl_obs::write_jsonl(&meta, spans)))
+    // The flight-recorder markers ride at the end of the stream, after
+    // the raw events, so replaying the prefix stays byte-compatible with
+    // pre-tail traces.
+    let mut text = g2pl_obs::write_jsonl(&meta, spans);
+    for ev in g2pl_obs::flight_markers(&m.flight) {
+        text.push_str(&g2pl_obs::event_to_json(&ev));
+        text.push('\n');
+    }
+    if let Err(e) =
+        std::fs::create_dir_all(dir).and_then(|()| std::fs::write(dir.join(&file), text))
     {
         eprintln!(
             "warning: span trace export to {} failed: {e}",
@@ -269,6 +279,21 @@ impl ReplicatedResult {
         self.msgs_per_completion.interval_95()
     }
 
+    /// The pooled response-time sketch: every replication's per-commit
+    /// sketch merged, so quantiles weight each measured commit equally.
+    /// Present for every aggregated point (the engines always sketch).
+    pub fn response_tail(&self) -> &TailSketch {
+        self.response
+            .pooled_sketch()
+            // lint:allow(L3): aggregate() absorbs one sketch per replication, and reps >= 1 is asserted by run_grid
+            .expect("aggregate pooled every replication's sketch")
+    }
+
+    /// The pooled p50/p90/p99/p999/max response summary.
+    pub fn tail_summary(&self) -> TailSummary {
+        self.response_tail().summary()
+    }
+
     /// Number of replications.
     pub fn reps(&self) -> usize {
         self.runs.len()
@@ -299,12 +324,18 @@ fn run_task(t: &GridTask) -> RunMetrics {
 /// Aggregate one point's replications (in replication order) into the
 /// paper's across-replication statistics.
 fn aggregate(runs: Vec<RunMetrics>) -> ReplicatedResult {
-    let response = Replications::from_values(
+    let mut response = Replications::from_values(
         &runs
             .iter()
             .map(g2pl_protocols::RunMetrics::mean_response)
             .collect::<Vec<_>>(),
     );
+    // Pool the per-replication quantile sketches. Sketch merging is
+    // commutative, but replication order is fixed here anyway, so the
+    // pooled sketch is bit-identical at any worker count.
+    for m in &runs {
+        response.absorb_sketch(&m.response_tail);
+    }
     let abort_pct = Replications::from_values(
         &runs
             .iter()
@@ -492,12 +523,38 @@ mod tests {
             assert_eq!(s.response_ci(), p.response_ci());
             assert_eq!(s.abort_pct_ci(), p.abort_pct_ci());
             assert_eq!(s.msgs_per_completion_ci(), p.msgs_per_completion_ci());
+            assert_eq!(
+                s.response_tail(),
+                p.response_tail(),
+                "pooled sketches must be identical at any worker count"
+            );
             for (x, y) in s.runs.iter().zip(&p.runs) {
                 assert_eq!(x.response.mean(), y.response.mean());
                 assert_eq!(x.net.messages(), y.net.messages());
                 assert_eq!(x.events, y.events);
+                assert_eq!(x.response_tail, y.response_tail);
+                assert_eq!(x.flight, y.flight);
             }
         }
+    }
+
+    #[test]
+    fn pooled_sketch_counts_every_measured_commit() {
+        let r = run_replicated(&cfg(), 3);
+        let per_run: u64 = r.runs.iter().map(|m| m.response.count()).sum();
+        let pooled = r.response_tail();
+        assert_eq!(pooled.count(), per_run);
+        let s = r.tail_summary();
+        assert!(s.p50 <= s.p90 && s.p90 <= s.p99 && s.p99 <= s.p999);
+        assert!(s.p999 <= s.max);
+        // The pooled max is the largest per-run max.
+        let max = r
+            .runs
+            .iter()
+            .filter_map(|m| m.response_tail.max())
+            .max()
+            .unwrap();
+        assert_eq!(s.max, max);
     }
 
     #[test]

@@ -268,6 +268,7 @@ mod tests {
             title: "t".into(),
             x_label: "x".into(),
             y_label: "y".into(),
+            tails: Vec::new(),
             series: vec![
                 Series {
                     label: "g-2PL".into(),

@@ -1,0 +1,19 @@
+//! L5 fixture (driver): appends `SpanKind::SlowTxn` markers at export
+//! time — an expression-position emission outside the defining file,
+//! the same shape as `g2pl_obs::export::flight_markers` — and consumes
+//! `FlightGhost` without ever emitting it.
+
+pub fn flight_markers(flight: &[TxnDetail]) -> Vec<SpanEvent> {
+    let mut out = Vec::new();
+    for (i, d) in flight.iter().enumerate() {
+        let mut ev = SpanEvent::new(d.end, SpanKind::SlowTxn, Some(d.txn), None);
+        ev.n = (i + 1) as u32;
+        out.push(ev);
+    }
+    out
+}
+
+pub fn is_marker(k: &SpanKind) -> bool {
+    // clean: consumers never count as emissions
+    matches!(k, SpanKind::FlightGhost)
+}

@@ -128,6 +128,33 @@ fn l5_fixture_golden() {
 }
 
 #[test]
+fn l5_flight_fixture_golden() {
+    // The flight-recorder marker shape: `SpanKind::SlowTxn` built in
+    // expression position at export time counts as an emission, while
+    // the seeded `FlightGhost` (only ever consumed) is flagged.
+    let def = include_str!("../fixtures/l5_flight_def.rs");
+    let drv = include_str!("../fixtures/l5_flight.rs");
+    let diags = analyze_sources(&[
+        source("fixtures/l5_flight_def.rs", def),
+        source("fixtures/l5_flight.rs", drv),
+    ])
+    .diagnostics;
+    assert_eq!(diags.len(), 1, "{diags:?}");
+    assert_eq!(
+        (diags[0].file.as_str(), diags[0].line, diags[0].lint),
+        (
+            "fixtures/l5_flight_def.rs",
+            line_of(def, "FlightGhost,"),
+            Lint::L5
+        ),
+        "{diags:?}"
+    );
+    assert!(diags[0]
+        .message
+        .contains("`SpanKind::FlightGhost` is never emitted"));
+}
+
+#[test]
 fn l6_fixture_golden() {
     let src = include_str!("../fixtures/l6_wal.rs");
     let diags = findings("fixtures/l6_wal.rs", src);

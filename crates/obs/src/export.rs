@@ -18,7 +18,7 @@
 //! files from disk.
 
 use crate::span::{SpanEvent, SpanKind};
-use crate::tracker::MAX_RAW_EVENTS;
+use crate::tracker::{TxnDetail, MAX_RAW_EVENTS};
 use g2pl_simcore::{ItemId, SimTime, TxnId};
 use std::collections::BTreeMap;
 use std::fmt::Write as _;
@@ -56,6 +56,13 @@ pub struct RunMeta {
     /// without server faults; traces from before server recovery existed
     /// parse as 0).
     pub server_crashes: u64,
+    /// Engine-side 99th-percentile response time in ticks (from the
+    /// run's quantile sketch; traces from before tail telemetry existed
+    /// parse as 0).
+    pub response_p99: u64,
+    /// Engine-side 99.9th-percentile response time in ticks (0 on old
+    /// traces, like [`response_p99`](Self::response_p99)).
+    pub response_p999: u64,
 }
 
 fn json_f64(v: f64) -> String {
@@ -95,7 +102,8 @@ pub fn write_jsonl(meta: &RunMeta, events: &[SpanEvent]) -> String {
         out,
         "{{\"protocol\":\"{}\",\"clients\":{},\"latency\":{},\"read_prob\":{},\"seed\":{},\
          \"committed\":{},\"aborted\":{},\"measured\":{},\"mean_response\":{},\"dropped\":{},\
-         \"lease_expiries\":{},\"recovery_stall\":{},\"server_crashes\":{}}}",
+         \"lease_expiries\":{},\"recovery_stall\":{},\"server_crashes\":{},\
+         \"response_p99\":{},\"response_p999\":{}}}",
         meta.protocol.replace(['"', '\\'], "_"),
         meta.clients,
         meta.latency,
@@ -109,12 +117,32 @@ pub fn write_jsonl(meta: &RunMeta, events: &[SpanEvent]) -> String {
         meta.lease_expiries,
         json_f64(meta.recovery_stall),
         meta.server_crashes,
+        meta.response_p99,
+        meta.response_p999,
     );
     for ev in events {
         out.push_str(&event_to_json(ev));
         out.push('\n');
     }
     out
+}
+
+/// Synthesize the flight-recorder marker events appended after a trace's
+/// raw event stream: one [`SpanKind::SlowTxn`] per retained transaction,
+/// stamped at its commit-return end with `n` = 1-based rank (1 =
+/// slowest). Tail analyzers read these to find the worst transactions
+/// without recomputing the top-k.
+pub fn flight_markers(flight: &[TxnDetail]) -> Vec<SpanEvent> {
+    flight
+        .iter()
+        .enumerate()
+        .map(|(i, d)| {
+            let mut ev = SpanEvent::new(d.end, SpanKind::SlowTxn, Some(d.txn), None);
+            ev.n = (i + 1) as u32;
+            ev.measured = d.measured;
+            ev
+        })
+        .collect()
 }
 
 /// A parsed trace file.
@@ -273,6 +301,8 @@ fn parse_meta(map: &BTreeMap<String, Val>) -> Result<RunMeta, String> {
         lease_expiries: get_u("lease_expiries").unwrap_or(0),
         recovery_stall: get_f("recovery_stall").unwrap_or(0.0),
         server_crashes: get_u("server_crashes").unwrap_or(0),
+        response_p99: get_u("response_p99").unwrap_or(0),
+        response_p999: get_u("response_p999").unwrap_or(0),
     })
 }
 
@@ -349,6 +379,8 @@ mod tests {
             lease_expiries: 2,
             recovery_stall: 77.5,
             server_crashes: 1,
+            response_p99: 1536,
+            response_p999: 2048,
         }
     }
 
@@ -360,6 +392,38 @@ mod tests {
         let legacy = text.replace(",\"server_crashes\":1", "");
         let parsed = parse_jsonl(&legacy).expect("legacy meta parses");
         assert_eq!(parsed.meta.server_crashes, 0);
+    }
+
+    #[test]
+    fn pre_tail_traces_parse_with_zero_quantiles() {
+        let text = write_jsonl(&meta(), &[]);
+        let legacy = text.replace(",\"response_p99\":1536,\"response_p999\":2048", "");
+        let parsed = parse_jsonl(&legacy).expect("legacy meta parses");
+        assert_eq!(parsed.meta.response_p99, 0);
+        assert_eq!(parsed.meta.response_p999, 0);
+    }
+
+    #[test]
+    fn flight_markers_round_trip_with_ranks() {
+        use crate::span::Phase;
+        let detail = |id: u32, end: u64| TxnDetail {
+            txn: TxnId::new(id),
+            start: SimTime::new(0),
+            commit: SimTime::new(end - 10),
+            end: SimTime::new(end),
+            phases: [0; 6],
+            rounds: 3,
+            measured: true,
+            intervals: vec![(Phase::ReqProp, SimTime::new(0), SimTime::new(1))],
+        };
+        let markers = flight_markers(&[detail(9, 500), detail(4, 300)]);
+        assert_eq!(markers.len(), 2);
+        assert_eq!(markers[0].kind, SpanKind::SlowTxn);
+        assert_eq!((markers[0].txn, markers[0].n), (Some(TxnId::new(9)), 1));
+        assert_eq!((markers[1].txn, markers[1].n), (Some(TxnId::new(4)), 2));
+        let text = write_jsonl(&meta(), &markers);
+        let parsed = parse_jsonl(&text).expect("markers parse");
+        assert_eq!(parsed.events, markers);
     }
 
     #[test]

@@ -22,6 +22,6 @@ pub mod export;
 pub mod span;
 pub mod tracker;
 
-pub use export::{parse_jsonl, write_jsonl, RunMeta, TraceFile};
+pub use export::{event_to_json, flight_markers, parse_jsonl, write_jsonl, RunMeta, TraceFile};
 pub use span::{Phase, SpanEvent, SpanKind};
-pub use tracker::{ObsReport, PhaseBreakdown, SpanRecorder, TxnDetail, MAX_RAW_EVENTS};
+pub use tracker::{ObsReport, PhaseBreakdown, SpanRecorder, TxnDetail, FLIGHT_K, MAX_RAW_EVENTS};

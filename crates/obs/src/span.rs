@@ -130,6 +130,13 @@ pub enum SpanKind {
     WindowClosed,
     /// The transaction aborted; its open span state is discarded.
     Aborted,
+    /// Flight-recorder marker appended at export time: `txn` is one of
+    /// the run's top-k slowest measured committed transactions and `n`
+    /// is its 1-based rank (1 = slowest). Engines never emit this
+    /// mid-run; the tracker ignores it on replay. It exists so tail
+    /// analyzers can locate the worst transactions in a JSONL trace
+    /// without recomputing the top-k.
+    SlowTxn,
 }
 
 impl SpanKind {
@@ -146,6 +153,7 @@ impl SpanKind {
             SpanKind::ReleaseArrived => "release_arrived",
             SpanKind::WindowClosed => "window_closed",
             SpanKind::Aborted => "aborted",
+            SpanKind::SlowTxn => "slow_txn",
         }
     }
 
@@ -162,6 +170,7 @@ impl SpanKind {
             SpanKind::ReleaseArrived,
             SpanKind::WindowClosed,
             SpanKind::Aborted,
+            SpanKind::SlowTxn,
         ];
         all.into_iter().find(|k| k.name() == s)
     }
@@ -227,6 +236,7 @@ mod tests {
             SpanKind::ReleaseArrived,
             SpanKind::WindowClosed,
             SpanKind::Aborted,
+            SpanKind::SlowTxn,
         ] {
             assert_eq!(SpanKind::from_name(k.name()), Some(k));
         }

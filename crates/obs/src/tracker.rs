@@ -33,14 +33,20 @@
 
 use crate::span::{Phase, SpanEvent, SpanKind};
 use g2pl_simcore::{ItemId, SimTime, TxnId};
-use g2pl_stats::{Histogram, RunningStats};
+use g2pl_stats::{Histogram, RunningStats, TailSketch};
 use serde::Serialize;
+use std::cmp::Reverse;
 use std::collections::BTreeMap;
 
 /// Cap on raw recorded span events, so an accidentally enabled recorder
 /// cannot eat the heap. Beyond it events still aggregate — only the raw
 /// log stops growing, and the drop count is reported.
 pub const MAX_RAW_EVENTS: usize = 4_000_000;
+
+/// Flight-recorder capacity: the `FLIGHT_K` worst measured committed
+/// transactions (by response time) are retained with their full phase
+/// totals, whatever mode the recorder runs in.
+pub const FLIGHT_K: usize = 16;
 
 /// Width of the round-count histogram buckets (1 = exact counts).
 const ROUND_BUCKETS: usize = 64;
@@ -52,6 +58,10 @@ pub struct PhaseBreakdown {
     /// [`Phase::RESPONSE_PHASES`] entries partition response time; the
     /// last is the post-commit return tail.
     pub per_phase: [RunningStats; 6],
+    /// Per-phase quantile sketches over the same measured commits as
+    /// [`per_phase`](Self::per_phase), so each phase reports its own
+    /// p50/p90/p99/p999/max alongside the mean.
+    pub tails: [TailSketch; 6],
     /// Histogram of per-transaction sequential round counts (bucket
     /// width 1, so bucket `r` counts transactions that took `r` rounds).
     pub rounds: Histogram,
@@ -78,6 +88,7 @@ impl PhaseBreakdown {
     pub fn new() -> Self {
         PhaseBreakdown {
             per_phase: std::array::from_fn(|_| RunningStats::new()),
+            tails: std::array::from_fn(|_| TailSketch::new()),
             rounds: Histogram::new(1.0, ROUND_BUCKETS),
             rounds_total: 0,
             measured_commits: 0,
@@ -89,6 +100,11 @@ impl PhaseBreakdown {
     /// Statistics for one phase.
     pub fn phase(&self, p: Phase) -> &RunningStats {
         &self.per_phase[p.index()]
+    }
+
+    /// Quantile sketch for one phase.
+    pub fn tail(&self, p: Phase) -> &TailSketch {
+        &self.tails[p.index()]
     }
 
     /// Sum of the mean response-phase times — equals the mean response
@@ -134,9 +150,10 @@ struct Post {
     intervals: Vec<(Phase, SimTime, SimTime)>,
 }
 
-/// Fully attributed lifetime of one committed transaction (produced only
-/// in detail mode, for timeline rendering).
-#[derive(Clone, Debug, Serialize)]
+/// Fully attributed lifetime of one committed transaction (kept by the
+/// flight recorder for the worst transactions, and for every commit in
+/// detail mode). `intervals` are collected only in detail mode.
+#[derive(Clone, Debug, PartialEq, Serialize)]
 pub struct TxnDetail {
     /// The transaction.
     pub txn: TxnId,
@@ -166,6 +183,9 @@ pub struct ObsReport {
     pub raw: Option<Vec<SpanEvent>>,
     /// Per-transaction detail, when detail mode was on.
     pub details: Vec<TxnDetail>,
+    /// The flight recorder: up to [`FLIGHT_K`] worst measured committed
+    /// transactions, worst (longest response) first. Always collected.
+    pub flight: Vec<TxnDetail>,
 }
 
 /// The streaming recorder the engines feed. Recording is passive: it
@@ -180,6 +200,7 @@ pub struct SpanRecorder {
     post: BTreeMap<TxnId, Post>,
     agg: PhaseBreakdown,
     details: Vec<TxnDetail>,
+    flight: Vec<TxnDetail>,
 }
 
 /// The phase an interval opened by `mark` belongs to.
@@ -208,6 +229,7 @@ impl SpanRecorder {
             post: BTreeMap::new(),
             agg: PhaseBreakdown::new(),
             details: Vec::new(),
+            flight: Vec::new(),
         }
     }
 
@@ -389,6 +411,7 @@ impl SpanRecorder {
                     self.agg.measured_commits += 1;
                     for (i, &a) in open.acc.iter().enumerate() {
                         self.agg.per_phase[i].record(a as f64);
+                        self.agg.tails[i].record(a);
                     }
                 }
                 let post = Post {
@@ -427,6 +450,7 @@ impl SpanRecorder {
                 }
             }
             SpanKind::WindowClosed => {} // raw-log only
+            SpanKind::SlowTxn => {}      // export-time marker, carries no tracker state
             SpanKind::Aborted => {
                 let Some(txn) = ev.txn else { return };
                 self.open.remove(&txn);
@@ -453,28 +477,59 @@ impl SpanRecorder {
         let tail = post.last.units().saturating_sub(post.commit.units());
         if post.measured {
             self.agg.per_phase[Phase::CommitReturn.index()].record(tail as f64);
+            self.agg.tails[Phase::CommitReturn.index()].record(tail);
             self.agg.rounds.record(f64::from(post.rounds));
             self.agg.rounds_total += u64::from(post.rounds);
         }
-        if self.detail {
-            let mut phases = [0u64; 6];
-            phases[..Phase::RESPONSE_PHASES].copy_from_slice(&post.acc);
-            phases[Phase::CommitReturn.index()] = tail;
-            let mut intervals = post.intervals;
-            if tail > 0 {
-                intervals.push((Phase::CommitReturn, post.commit, post.last));
-            }
-            self.details.push(TxnDetail {
-                txn,
-                start: post.start,
-                commit: post.commit,
-                end: post.last,
-                phases,
-                rounds: post.rounds,
-                measured: post.measured,
-                intervals,
-            });
+        if !self.detail && !post.measured {
+            return; // nothing retains warm-up commits outside detail mode
         }
+        let mut phases = [0u64; 6];
+        phases[..Phase::RESPONSE_PHASES].copy_from_slice(&post.acc);
+        phases[Phase::CommitReturn.index()] = tail;
+        let mut intervals = post.intervals;
+        if tail > 0 && self.detail {
+            intervals.push((Phase::CommitReturn, post.commit, post.last));
+        }
+        let d = TxnDetail {
+            txn,
+            start: post.start,
+            commit: post.commit,
+            end: post.last,
+            phases,
+            rounds: post.rounds,
+            measured: post.measured,
+            intervals,
+        };
+        if post.measured {
+            self.offer_flight(&d);
+        }
+        if self.detail {
+            self.details.push(d);
+        }
+    }
+
+    /// Worst-first total order for flight entries: longest response
+    /// first, ties broken by earlier start then lower transaction id —
+    /// the id is unique, so the order (and hence the retained set) is
+    /// independent of finalize order.
+    fn flight_key(d: &TxnDetail) -> (Reverse<u64>, SimTime, TxnId) {
+        let response = d.commit.units().saturating_sub(d.start.units());
+        (Reverse(response), d.start, d.txn)
+    }
+
+    /// Consider a measured commit for the flight recorder's top-k.
+    fn offer_flight(&mut self, d: &TxnDetail) {
+        let key = Self::flight_key(d);
+        if self.flight.len() >= FLIGHT_K {
+            match self.flight.last() {
+                Some(worst) if key >= Self::flight_key(worst) => return,
+                _ => {}
+            }
+        }
+        let pos = self.flight.partition_point(|e| Self::flight_key(e) < key);
+        self.flight.insert(pos, d.clone());
+        self.flight.truncate(FLIGHT_K);
     }
 
     /// Raw events dropped past [`MAX_RAW_EVENTS`].
@@ -496,6 +551,7 @@ impl SpanRecorder {
             breakdown: self.agg,
             raw: self.record_raw.then_some(self.raw),
             details: self.details,
+            flight: self.flight,
         }
     }
 }
@@ -637,6 +693,79 @@ mod tests {
         let b = r.finish().breakdown;
         assert_eq!(b.measured_commits, 1);
         assert_eq!(b.rounds_total, 2);
+    }
+
+    /// One single-item commit for txn `id`, starting at `base` with the
+    /// grant arriving `slow` ticks later (response = slow + 2).
+    fn commit_with_response(r: &mut SpanRecorder, id: u32, base: u64, slow: u64, measured: bool) {
+        let txn = TxnId::new(id);
+        r.req_sent(t(base), txn, X0);
+        r.req_arrived(t(base + 1), txn, X0);
+        r.dispatched(t(base + 1), txn, X0);
+        r.hop_departed(t(base + 1), txn, X0);
+        r.granted(t(base + 1 + slow), txn, X0);
+        r.commit_local(t(base + 2 + slow), txn, 0, measured);
+    }
+
+    #[test]
+    fn flight_recorder_keeps_worst_k_sorted() {
+        let mut r = SpanRecorder::new(false);
+        // 3*FLIGHT_K commits with responses 2, 12, 22, ... — the top-k
+        // are the last k by response, not by arrival order.
+        let n = 3 * FLIGHT_K as u64;
+        for i in 0..n {
+            // Interleave slow and fast arrivals.
+            let slow = if i % 2 == 0 { i * 10 } else { i };
+            commit_with_response(&mut r, i as u32, i * 10_000, slow, true);
+        }
+        let rep = r.finish();
+        let flight = &rep.flight;
+        assert_eq!(flight.len(), FLIGHT_K);
+        let resp = |d: &TxnDetail| d.commit.units() - d.start.units();
+        for w in flight.windows(2) {
+            assert!(resp(&w[0]) >= resp(&w[1]), "flight must be worst-first");
+        }
+        // The single worst transaction is the largest even index.
+        assert_eq!(flight[0].txn, TxnId::new((n - 2) as u32));
+        assert_eq!(resp(&flight[0]), (n - 2) * 10 + 2);
+        // Every retained entry beats every evicted response.
+        assert!(resp(&flight[FLIGHT_K - 1]) > n);
+    }
+
+    #[test]
+    fn flight_recorder_ignores_warmup_and_aborts() {
+        let mut r = SpanRecorder::new(false);
+        commit_with_response(&mut r, 0, 0, 100_000, false); // warm-up, huge
+        r.req_sent(t(500_000), TxnId::new(1), X0);
+        r.aborted(t(900_000), TxnId::new(1));
+        commit_with_response(&mut r, 2, 1_000_000, 5, true);
+        let rep = r.finish();
+        assert_eq!(rep.flight.len(), 1);
+        assert_eq!(rep.flight[0].txn, TxnId::new(2));
+        assert!(rep.flight[0].measured);
+    }
+
+    #[test]
+    fn per_phase_tails_cover_every_measured_commit() {
+        let mut r = SpanRecorder::new(false);
+        for i in 0..10 {
+            commit_with_response(&mut r, i, u64::from(i) * 1000, u64::from(i) * 7, true);
+        }
+        let b = r.finish().breakdown;
+        for p in Phase::ALL {
+            assert_eq!(
+                b.tail(p).count(),
+                b.measured_commits,
+                "{p} sketch misses commits"
+            );
+            // The sketch's mean-free summary must bracket the mean.
+            if let Some(max) = b.tail(p).max() {
+                assert!(b.phase(p).mean() <= max as f64);
+            }
+        }
+        // DispatchProp saw exactly `slow` = 7i ticks, i in 0..10.
+        assert_eq!(b.tail(Phase::DispatchProp).max(), Some(63));
+        assert_eq!(b.tail(Phase::DispatchProp).quantile(0.5), Some(4 * 7));
     }
 
     #[test]

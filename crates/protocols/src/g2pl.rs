@@ -462,6 +462,7 @@ impl G2plEngine {
             abort_depth: self.collector.abort_depth,
             response_by_size: self.collector.response_by_size,
             response_hist: self.collector.response_hist,
+            response_tail: self.collector.response_tail,
             wal: self.wal.map(|sites| {
                 let mut r = WalReport::default();
                 for site in &sites {
@@ -470,6 +471,7 @@ impl G2plEngine {
                 r
             }),
             phases: obs.breakdown,
+            flight: obs.flight,
             spans: obs.raw,
             trace_dropped,
             events,

@@ -4,9 +4,9 @@ use crate::history::History;
 use crate::tracelog::TraceEvent;
 use g2pl_faults::FaultCounts;
 use g2pl_netmodel::NetAccounting;
-use g2pl_obs::{PhaseBreakdown, SpanEvent};
+use g2pl_obs::{PhaseBreakdown, SpanEvent, TxnDetail};
 use g2pl_simcore::SimTime;
-use g2pl_stats::{Counter, Histogram, RunningStats, WarmupFilter};
+use g2pl_stats::{Counter, Histogram, RunningStats, TailSketch, TailSummary, WarmupFilter};
 use g2pl_wal::LogMetrics;
 use serde::Serialize;
 
@@ -57,6 +57,15 @@ pub struct RunMetrics {
     /// Response-time histogram over measured commits (bucket width scales
     /// with the configured latency), for tail percentiles.
     pub response_hist: Histogram,
+    /// Deterministic quantile sketch over the same measured responses as
+    /// [`response`](Self::response) — the authoritative p50/p90/p99/p999
+    /// source (the fixed-width histogram saturates into its overflow
+    /// bucket; the sketch never does).
+    pub response_tail: TailSketch,
+    /// The flight recorder: the run's worst measured committed
+    /// transactions (up to [`g2pl_obs::FLIGHT_K`]), worst-first, with
+    /// full per-phase attribution.
+    pub flight: Vec<TxnDetail>,
     /// Critical-path attribution: per-phase mean/max over measured
     /// commits, plus the empirical sequential-round histogram. Always
     /// computed (the streaming aggregation is cheap).
@@ -167,6 +176,12 @@ impl RunMetrics {
         self.response_hist.quantile(q)
     }
 
+    /// The p50/p90/p99/p999/max response-time summary from the
+    /// deterministic sketch (all zeros when nothing was measured).
+    pub fn tail_summary(&self) -> TailSummary {
+        self.response_tail.summary()
+    }
+
     /// Whether the recorded event trace is incomplete (the bounded log
     /// overflowed and dropped events).
     pub fn trace_truncated(&self) -> bool {
@@ -202,6 +217,8 @@ pub struct Collector {
     filter: WarmupFilter,
     /// Response-time histogram over measured commits.
     pub response_hist: Histogram,
+    /// Quantile sketch over the same measured responses (in ticks).
+    pub response_tail: TailSketch,
     /// Per-access wait times (request → grant), all grants.
     pub access_wait: RunningStats,
     /// Aborted-transaction lifetimes.
@@ -230,6 +247,7 @@ impl Collector {
         Collector {
             filter: WarmupFilter::new(warmup, Some(measured)),
             response_hist: Histogram::new(hist_bucket.max(1) as f64, 4096),
+            response_tail: TailSketch::new(),
             access_wait: RunningStats::new(),
             abort_waste: RunningStats::new(),
             abort_depth: RunningStats::new(),
@@ -256,6 +274,7 @@ impl Collector {
         if measured {
             self.response.record(response.as_f64());
             self.response_hist.record(response.as_f64());
+            self.response_tail.record(response.units());
             if size < self.response_by_size.len() {
                 self.response_by_size[size].record(response.as_f64());
             }
@@ -320,6 +339,22 @@ mod tests {
         assert_eq!(c.read_only_aborts, 1);
         assert_eq!(c.committed_total, 3);
         assert_eq!(c.aborted_total, 2);
+    }
+
+    #[test]
+    fn sketch_tracks_the_same_commits_as_the_mean() {
+        let mut c = Collector::new(1, 4);
+        c.on_commit(SimTime::new(9_999_999)); // warm-up, must not pollute
+        for t in [100u64, 200, 300, 4000] {
+            c.on_commit(SimTime::new(t));
+        }
+        assert_eq!(c.response_tail.count(), c.response.count());
+        assert_eq!(c.response_tail.quantile(1.0), Some(4000));
+        // The sketch's p50 upper edge sits within its error bound of the
+        // true median position (200 is exact: 200 < 2^(6+1) is false, but
+        // 200's bucket edge is within 1/64).
+        let p50 = c.response_tail.quantile(0.5).unwrap();
+        assert!((200..=204).contains(&p50), "p50 = {p50}");
     }
 
     #[test]

@@ -302,6 +302,7 @@ impl S2plEngine {
             abort_depth: self.collector.abort_depth,
             response_by_size: self.collector.response_by_size,
             response_hist: self.collector.response_hist,
+            response_tail: self.collector.response_tail,
             wal: self.wal.map(|sites| {
                 let mut r = WalReport::default();
                 for site in &sites {
@@ -310,6 +311,7 @@ impl S2plEngine {
                 r
             }),
             phases: obs.breakdown,
+            flight: obs.flight,
             spans: obs.raw,
             trace_dropped,
         }

@@ -58,6 +58,29 @@ impl Histogram {
         &self.counts
     }
 
+    /// Fold `other` into `self` by element-wise count addition —
+    /// commutative and associative, like [`crate::TailSketch::merge`],
+    /// so merge order never matters.
+    ///
+    /// # Panics
+    /// Panics if the two histograms have different bucket geometry
+    /// (width or bucket count): their counts are not comparable.
+    pub fn merge(&mut self, other: &Histogram) {
+        assert!(
+            self.bucket_width == other.bucket_width && self.counts.len() == other.counts.len(),
+            "histogram merge requires identical geometry: {}x{} vs {}x{}",
+            self.counts.len(),
+            self.bucket_width,
+            other.counts.len(),
+            other.bucket_width,
+        );
+        for (a, b) in self.counts.iter_mut().zip(&other.counts) {
+            *a += b;
+        }
+        self.overflow += other.overflow;
+        self.total += other.total;
+    }
+
     /// Approximate `q`-quantile (0 ≤ q ≤ 1) by bucket upper edge; `None`
     /// for an empty histogram. The overflow bucket reports `f64::INFINITY`.
     pub fn quantile(&self, q: f64) -> Option<f64> {
@@ -106,6 +129,28 @@ mod tests {
         assert!(q50 <= q90 && q90 <= q99);
         assert!((q50 - 50.0).abs() <= 1.0);
         assert!((q90 - 90.0).abs() <= 1.0);
+    }
+
+    #[test]
+    fn merge_adds_counts_and_overflow() {
+        let mut a = Histogram::new(10.0, 3);
+        let mut b = Histogram::new(10.0, 3);
+        a.record(5.0);
+        a.record(35.0); // overflow
+        b.record(5.0);
+        b.record(15.0);
+        a.merge(&b);
+        assert_eq!(a.counts(), &[2, 1, 0]);
+        assert_eq!(a.overflow(), 1);
+        assert_eq!(a.total(), 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "identical geometry")]
+    fn merge_rejects_mismatched_geometry() {
+        let mut a = Histogram::new(10.0, 3);
+        let b = Histogram::new(5.0, 3);
+        a.merge(&b);
     }
 
     #[test]

@@ -17,13 +17,17 @@
 //! * [`Counter`] — ratio counters (e.g. percentage of transactions
 //!   aborted);
 //! * [`BatchMeans`] — single-run batch-means intervals with an
-//!   autocorrelation diagnostic.
+//!   autocorrelation diagnostic;
+//! * [`TailSketch`] — deterministic, mergeable log-bucketed quantile
+//!   sketch over integer ticks (p50/p90/p99/p999/max with a
+//!   `2^-SUB_BITS` relative-error bound).
 
 pub mod batch;
 pub mod counter;
 pub mod histogram;
 pub mod replication;
 pub mod running;
+pub mod sketch;
 pub mod tdist;
 pub mod warmup;
 
@@ -32,4 +36,5 @@ pub use counter::Counter;
 pub use histogram::Histogram;
 pub use replication::{ConfidenceInterval, Replications};
 pub use running::RunningStats;
+pub use sketch::{TailSketch, TailSummary};
 pub use warmup::WarmupFilter;

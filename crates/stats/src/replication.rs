@@ -6,6 +6,7 @@
 //! values". [`Replications`] reproduces that analysis for any metric.
 
 use crate::running::RunningStats;
+use crate::sketch::TailSketch;
 use crate::tdist::t_975;
 use serde::{Deserialize, Serialize};
 
@@ -55,6 +56,10 @@ impl ConfidenceInterval {
 pub struct Replications {
     stats: RunningStats,
     values: Vec<f64>,
+    /// Pooled quantile sketch across replications, when the metric has
+    /// one (response-time metrics do; ratio metrics don't). Lazily
+    /// allocated so sketch-less metrics pay nothing.
+    pooled: Option<TailSketch>,
 }
 
 impl Replications {
@@ -76,6 +81,23 @@ impl Replications {
     pub fn record(&mut self, value: f64) {
         self.stats.record(value);
         self.values.push(value);
+    }
+
+    /// Merge one replication's per-observation quantile sketch into the
+    /// pooled across-replication sketch. Pooling is element-wise count
+    /// addition, so — unlike the mean-of-means CI — the pooled quantiles
+    /// weight every *observation* equally and are independent of the
+    /// order replications arrive in.
+    pub fn absorb_sketch(&mut self, sketch: &TailSketch) {
+        self.pooled
+            .get_or_insert_with(TailSketch::new)
+            .merge(sketch);
+    }
+
+    /// The pooled across-replication sketch; `None` until the first
+    /// [`absorb_sketch`](Self::absorb_sketch).
+    pub fn pooled_sketch(&self) -> Option<&TailSketch> {
+        self.pooled.as_ref()
     }
 
     /// Number of replications recorded.
@@ -142,6 +164,28 @@ mod tests {
         let ci = r.interval_95();
         assert_eq!(ci.mean, 7.0);
         assert_eq!(ci.half_width, 0.0);
+    }
+
+    #[test]
+    fn pooled_sketch_weights_observations_not_replications() {
+        let mut r = Replications::new();
+        assert!(r.pooled_sketch().is_none());
+        // Rep 1: 9 obs of 10; rep 2: 1 obs of 1000. Pooled p90 must see
+        // a 10-obs stream (9 fast + 1 slow), not a 2-value mean stream.
+        let mut a = TailSketch::new();
+        for _ in 0..9 {
+            a.record(10);
+        }
+        let mut b = TailSketch::new();
+        b.record(1000);
+        r.record(10.0);
+        r.absorb_sketch(&a);
+        r.record(1000.0);
+        r.absorb_sketch(&b);
+        let pooled = r.pooled_sketch().unwrap();
+        assert_eq!(pooled.count(), 10);
+        assert_eq!(pooled.quantile(0.9), Some(10));
+        assert_eq!(pooled.quantile(1.0), Some(1000));
     }
 
     #[test]

@@ -1,0 +1,300 @@
+//! Deterministic, mergeable quantile sketch over integer simulation ticks.
+//!
+//! The paper reports means; the tail work (ROADMAP item 5) needs
+//! p99/p999. A sampling-based sketch (GK, KLL, t-digest) would trade
+//! determinism for memory, but the simulation clock is *integral*, so a
+//! log-bucketed histogram in the style of HDR histograms gives exact,
+//! order-independent behaviour with a hard relative-error bound:
+//!
+//! * every `record` maps a tick count to one of ~3.8k fixed buckets —
+//!   no data-dependent splits, no randomness;
+//! * `merge` is element-wise count addition, which is commutative and
+//!   associative, so replication merges in `run_grid` produce identical
+//!   sketches regardless of worker interleaving (the serial==parallel
+//!   invariant of `tests/grid_determinism.rs` extends to quantiles);
+//! * values below `2^(SUB_BITS+1)` are stored exactly; above that, each
+//!   octave is split into `2^SUB_BITS` sub-buckets, bounding the
+//!   relative quantile error by `2^-SUB_BITS` (1.5625% at the default
+//!   `SUB_BITS = 6`).
+//!
+//! Reported quantiles are bucket *upper edges* clamped to the observed
+//! maximum, so `quantile(1.0)` is the exact max and every estimate is a
+//! conservative (never-understated) tail bound.
+
+use serde::{Deserialize, Serialize};
+
+/// Sub-bucket resolution: each power-of-two octave is split into
+/// `2^SUB_BITS` buckets, so relative bucket width — and therefore the
+/// worst-case relative quantile error — is `2^-SUB_BITS` ≈ 1.5625%.
+pub const SUB_BITS: u32 = 6;
+
+const SUB: u64 = 1 << SUB_BITS;
+/// Octaves with exponent `e in SUB_BITS..=63` each contribute `SUB`
+/// buckets, plus the exact region `[0, 2^SUB_BITS)` at the front.
+const BUCKETS: usize = (64 - SUB_BITS as usize + 1) << SUB_BITS;
+
+/// The five-number tail summary a sketch reports.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Serialize, Deserialize)]
+pub struct TailSummary {
+    /// Observations summarised.
+    pub count: u64,
+    /// Median (ticks, conservative upper edge).
+    pub p50: u64,
+    /// 90th percentile.
+    pub p90: u64,
+    /// 99th percentile.
+    pub p99: u64,
+    /// 99.9th percentile.
+    pub p999: u64,
+    /// Exact maximum observation.
+    pub max: u64,
+}
+
+/// Log-bucketed integer histogram with deterministic quantiles and
+/// order-independent merge. See the module docs for the design.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct TailSketch {
+    counts: Vec<u64>,
+    total: u64,
+    max: u64,
+}
+
+impl Default for TailSketch {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// Bucket index for a value: exact below `SUB`, otherwise
+/// `(msb - SUB_BITS + 1)` octaves in, sub-indexed by the `SUB_BITS`
+/// bits below the leading one.
+fn index(v: u64) -> usize {
+    if v < SUB {
+        v as usize
+    } else {
+        let e = 63 - v.leading_zeros();
+        let sub = (v >> (e - SUB_BITS)) - SUB;
+        (((e - SUB_BITS + 1) << SUB_BITS) + sub as u32) as usize
+    }
+}
+
+/// Largest value mapping to bucket `i` (the reported quantile edge).
+fn upper(i: usize) -> u64 {
+    let i = i as u64;
+    if i < SUB {
+        i
+    } else {
+        let octave = i >> SUB_BITS; // = e - SUB_BITS + 1, ≥ 1
+        let sub = i & (SUB - 1);
+        let shift = (octave - 1) as u32; // = e - SUB_BITS
+                                         // `((sub + SUB + 1) << shift) - 1`, written to avoid the u64
+                                         // overflow in the very top bucket (where the edge is u64::MAX).
+        ((sub + SUB) << shift) + ((1u64 << shift) - 1)
+    }
+}
+
+impl TailSketch {
+    /// Empty sketch (allocates the full fixed bucket array, ~30 KiB).
+    pub fn new() -> Self {
+        TailSketch {
+            counts: vec![0; BUCKETS],
+            total: 0,
+            max: 0,
+        }
+    }
+
+    /// Record one observation (in ticks).
+    #[inline]
+    pub fn record(&mut self, value: u64) {
+        self.counts[index(value)] += 1;
+        self.total += 1;
+        self.max = self.max.max(value);
+    }
+
+    /// Total observations recorded (including via merges).
+    pub fn count(&self) -> u64 {
+        self.total
+    }
+
+    /// Whether the sketch has seen no observations.
+    pub fn is_empty(&self) -> bool {
+        self.total == 0
+    }
+
+    /// Exact maximum observation; `None` when empty.
+    pub fn max(&self) -> Option<u64> {
+        (self.total > 0).then_some(self.max)
+    }
+
+    /// Fold `other` into `self`: element-wise count addition. Commutative
+    /// and associative, so any merge tree over the same multiset of
+    /// observations yields an identical sketch.
+    pub fn merge(&mut self, other: &TailSketch) {
+        debug_assert_eq!(self.counts.len(), other.counts.len());
+        for (a, b) in self.counts.iter_mut().zip(&other.counts) {
+            *a += b;
+        }
+        self.total += other.total;
+        self.max = self.max.max(other.max);
+    }
+
+    /// `q`-quantile (0 ≤ q ≤ 1) as a bucket upper edge clamped to the
+    /// observed max, so the estimate never understates the tail and
+    /// `quantile(1.0)` is exact. `None` when empty.
+    ///
+    /// # Panics
+    /// Panics if `q` is outside `[0, 1]`.
+    pub fn quantile(&self, q: f64) -> Option<u64> {
+        assert!((0.0..=1.0).contains(&q), "quantile out of range: {q}");
+        if self.total == 0 {
+            return None;
+        }
+        let target = ((q * self.total as f64).ceil() as u64).clamp(1, self.total);
+        let mut cum = 0;
+        for (i, &c) in self.counts.iter().enumerate() {
+            cum += c;
+            if cum >= target {
+                return Some(upper(i).min(self.max));
+            }
+        }
+        // Unreachable: cumulative counts sum to `total >= target`.
+        Some(self.max)
+    }
+
+    /// The p50/p90/p99/p999/max summary (all zeros when empty).
+    pub fn summary(&self) -> TailSummary {
+        TailSummary {
+            count: self.total,
+            p50: self.quantile(0.50).unwrap_or(0),
+            p90: self.quantile(0.90).unwrap_or(0),
+            p99: self.quantile(0.99).unwrap_or(0),
+            p999: self.quantile(0.999).unwrap_or(0),
+            max: self.max().unwrap_or(0),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn small_values_are_exact() {
+        // Everything below 2^(SUB_BITS+1) lands in a width-1 bucket.
+        for v in 0..(2 * SUB) {
+            let i = index(v);
+            assert_eq!(upper(i), v, "value {v} not exact");
+        }
+    }
+
+    #[test]
+    fn buckets_are_contiguous_and_monotone() {
+        // Walking v upward never skips or reverses a bucket, and each
+        // bucket's upper edge really is its largest member.
+        let mut prev = 0;
+        for v in 0..4096u64 {
+            let i = index(v);
+            assert!(i == prev || i == prev + 1, "gap at {v}: {prev} -> {i}");
+            assert!(upper(i) >= v, "upper({i}) < {v}");
+            if index(v + 1) != i {
+                assert_eq!(upper(i), v, "upper edge of bucket {i}");
+            }
+            prev = i;
+        }
+        assert_eq!(index(u64::MAX), BUCKETS - 1);
+    }
+
+    #[test]
+    fn relative_error_is_bounded() {
+        let bound = 1.0 / SUB as f64;
+        for &v in &[1000u64, 12_345, 999_999, 1 << 40, u64::MAX / 3] {
+            let u = upper(index(v));
+            let err = (u - v) as f64 / v as f64;
+            assert!(err <= bound, "value {v}: edge {u}, err {err}");
+        }
+    }
+
+    #[test]
+    fn golden_quantiles_uniform() {
+        // 1..=10_000 uniform: q-quantile is q*10_000, within the bound.
+        let mut s = TailSketch::new();
+        for v in 1..=10_000u64 {
+            s.record(v);
+        }
+        let sum = s.summary();
+        assert_eq!(sum.count, 10_000);
+        assert_eq!(sum.max, 10_000);
+        for (got, want) in [
+            (sum.p50, 5_000.0),
+            (sum.p90, 9_000.0),
+            (sum.p99, 9_900.0),
+            (sum.p999, 9_990.0),
+        ] {
+            assert!(got as f64 >= want, "conservative: {got} < {want}");
+            assert!(
+                got as f64 <= want * (1.0 + 1.0 / SUB as f64) + 1.0,
+                "estimate {got} too far above {want}"
+            );
+        }
+    }
+
+    #[test]
+    fn golden_quantiles_bimodal() {
+        // 99% fast (10 ticks) + 1% slow (100_000 ticks): the p99 splits
+        // the modes, p999 and max sit on the slow mode.
+        let mut s = TailSketch::new();
+        for _ in 0..990 {
+            s.record(10);
+        }
+        for _ in 0..10 {
+            s.record(100_000);
+        }
+        let sum = s.summary();
+        assert_eq!(sum.p50, 10);
+        assert_eq!(sum.p90, 10);
+        assert_eq!(sum.p99, 10);
+        assert!(sum.p999 >= 100_000 && sum.p999 <= 101_563);
+        assert_eq!(sum.max, 100_000);
+    }
+
+    #[test]
+    fn quantile_one_is_exact_max() {
+        let mut s = TailSketch::new();
+        for &v in &[3u64, 7, 12_345, 999] {
+            s.record(v);
+        }
+        assert_eq!(s.quantile(1.0), Some(12_345));
+        assert_eq!(s.max(), Some(12_345));
+    }
+
+    #[test]
+    fn empty_sketch_reports_none() {
+        let s = TailSketch::new();
+        assert!(s.is_empty());
+        assert_eq!(s.quantile(0.5), None);
+        assert_eq!(s.max(), None);
+        assert_eq!(s.summary(), TailSummary::default());
+    }
+
+    #[test]
+    fn merge_equals_single_stream() {
+        let mut all = TailSketch::new();
+        let mut a = TailSketch::new();
+        let mut b = TailSketch::new();
+        for v in 0..1000u64 {
+            let x = v * v % 7919;
+            all.record(x);
+            if v % 2 == 0 {
+                a.record(x);
+            } else {
+                b.record(x);
+            }
+        }
+        let mut ab = a.clone();
+        ab.merge(&b);
+        let mut ba = b.clone();
+        ba.merge(&a);
+        assert_eq!(ab, all, "merge must equal the unsplit stream");
+        assert_eq!(ba, all, "merge must be order-independent");
+    }
+}

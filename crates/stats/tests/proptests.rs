@@ -1,6 +1,6 @@
 //! Property-based tests of the statistics toolkit.
 
-use g2pl_stats::{Counter, Histogram, Replications, RunningStats, WarmupFilter};
+use g2pl_stats::{Counter, Histogram, Replications, RunningStats, TailSketch, WarmupFilter};
 use proptest::prelude::*;
 
 fn naive_mean_var(data: &[f64]) -> (f64, f64) {
@@ -95,6 +95,68 @@ proptest! {
         prop_assert_eq!(in_buckets + h.overflow(), h.total());
         let q = [0.1, 0.5, 0.9, 1.0].map(|q| h.quantile(q).unwrap());
         prop_assert!(q.windows(2).all(|w| w[0] <= w[1]));
+    }
+
+    /// Merging per-partition sketches equals one sketch over the whole
+    /// stream, for any chunking and in any merge order — the property
+    /// `run_grid` relies on when pooling replications.
+    #[test]
+    fn sketch_merge_any_split_any_order(
+        data in proptest::collection::vec(0u64..5_000_000, 1..300),
+        chunk in 1usize..50,
+    ) {
+        let mut whole = TailSketch::new();
+        for &v in &data {
+            whole.record(v);
+        }
+        let parts: Vec<TailSketch> = data
+            .chunks(chunk)
+            .map(|c| {
+                let mut s = TailSketch::new();
+                for &v in c {
+                    s.record(v);
+                }
+                s
+            })
+            .collect();
+        let mut fwd = TailSketch::new();
+        for p in &parts {
+            fwd.merge(p);
+        }
+        let mut rev = TailSketch::new();
+        for p in parts.iter().rev() {
+            rev.merge(p);
+        }
+        prop_assert_eq!(&fwd, &whole);
+        prop_assert_eq!(&rev, &whole);
+    }
+
+    /// On the same integer stream, the sketch's quantiles agree with the
+    /// fixed-width histogram's to within the two structures' combined
+    /// bucketing error: both report a conservative upper edge for the
+    /// same order statistic (same `ceil(q·n)` target rule), the
+    /// histogram within one bucket width, the sketch within a 2^-6
+    /// relative bound.
+    #[test]
+    fn sketch_quantiles_match_histogram_within_bucket_error(
+        data in proptest::collection::vec(0u64..50_000, 1..300),
+    ) {
+        const WIDTH: f64 = 64.0;
+        let mut h = Histogram::new(WIDTH, 800); // covers [0, 51200): no overflow
+        let mut s = TailSketch::new();
+        for &v in &data {
+            h.record(v as f64);
+            s.record(v);
+        }
+        for q in [0.5, 0.9, 0.99, 1.0] {
+            let hq = h.quantile(q).unwrap();
+            let sq = s.quantile(q).unwrap() as f64;
+            let tol = WIDTH + sq / 64.0 + 1.0;
+            prop_assert!(
+                (hq - sq).abs() <= tol,
+                "q={}: hist {} vs sketch {} (tol {})", q, hq, sq, tol
+            );
+        }
     }
 
     /// Counter fraction is always hits/trials.

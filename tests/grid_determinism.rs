@@ -50,3 +50,47 @@ fn fig11_custom_sweep_is_identical_serial_and_parallel() {
     assert_eq!(serial, parallel, "worker count changed figure output");
     assert_eq!(serial.series.len(), 1);
 }
+
+#[test]
+fn fig_tail_sweep_is_identical_serial_and_parallel() {
+    // `FigureData` equality covers the tail columns too, so this pins
+    // the pooled quantile sketches — not just the means — against
+    // worker-count effects.
+    let (serial, parallel) = serial_and_parallel(|| {
+        experiments::figure("fig_tail")
+            .expect("registered")
+            .build(Scale::Smoke)
+    });
+    assert_eq!(serial, parallel, "worker count changed tail-figure output");
+    // p99 + p999 curves per engine, one tail series per engine.
+    assert_eq!(serial.series.len(), 6);
+    assert_eq!(serial.tails.len(), 3);
+    for t in &serial.tails {
+        assert_eq!(t.points.len(), experiments::CLIENT_SWEEP.len());
+        for p in &t.points {
+            assert!(
+                p.p50 <= p.p90 && p.p90 <= p.p99 && p.p99 <= p.p999 && p.p999 <= p.max,
+                "{}: quantiles not monotone at x={}",
+                t.label,
+                p.x
+            );
+            assert!(p.count > 0, "{}: empty pooled sketch at x={}", t.label, p.x);
+        }
+    }
+}
+
+#[test]
+fn pooled_sketch_is_identical_serial_and_parallel() {
+    // Below the figure layer: the pooled replication sketch itself must
+    // be bit-identical at any worker count.
+    let mut cfg = EngineConfig::table1(ProtocolKind::g2pl_paper(), 8, 250, 0.25);
+    cfg.warmup_txns = 50;
+    cfg.measured_txns = 300;
+    let (serial, parallel) = serial_and_parallel(|| run_replicated(&cfg, 3));
+    assert_eq!(serial.response_tail(), parallel.response_tail());
+    assert_eq!(
+        serial.tail_summary().p999,
+        parallel.tail_summary().p999,
+        "pooled p999 differs across worker counts"
+    );
+}

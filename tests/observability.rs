@@ -10,7 +10,11 @@
 //! only the last holder sends a data message back to the server.
 
 use g2pl_core::prelude::*;
-use g2pl_obs::{ObsReport, Phase, SpanRecorder};
+use g2pl_obs::{ObsReport, Phase, SpanKind, SpanRecorder, FLIGHT_K};
+
+/// `set_trace_out` is process-global; tests that flip it must not
+/// interleave.
+static TRACE_LOCK: std::sync::Mutex<()> = std::sync::Mutex::new(());
 
 /// The §3.1 worked example: one hot item, exclusive single-item
 /// transactions, drain at the end so every commit's release accounting
@@ -123,7 +127,86 @@ fn aggregates_stay_consistent_under_heavy_aborts() {
 }
 
 #[test]
+fn response_sketch_and_flight_recorder_ride_in_run_metrics() {
+    let mut cfg = EngineConfig::table1(ProtocolKind::g2pl_paper(), 8, 250, 0.25);
+    cfg.warmup_txns = 30;
+    cfg.measured_txns = 200;
+    let m = run(&cfg).expect("valid config");
+    // The sketch counts exactly the commits the mean counts, and its
+    // max is the exact observed maximum (quantile(1.0) is clamped).
+    assert_eq!(m.response_tail.count(), m.response.count());
+    let max = m.response_tail.max().expect("measured commits exist");
+    assert_eq!(
+        max as f64,
+        m.response.max().expect("measured commits exist")
+    );
+    let t = m.tail_summary();
+    assert!(t.p50 <= t.p90 && t.p90 <= t.p99 && t.p99 <= t.p999 && t.p999 <= t.max);
+    // Each response phase's tail sketch saw every measured commit.
+    for p in Phase::ALL.iter().take(Phase::RESPONSE_PHASES) {
+        assert_eq!(m.phases.tail(*p).count(), m.phases.measured_commits);
+    }
+    // Flight recorder: bounded, measured-only, worst-first, and its
+    // worst entry is the sketch's exact maximum.
+    assert!(!m.flight.is_empty());
+    assert!(m.flight.len() <= FLIGHT_K);
+    assert!(m.flight.iter().all(|d| d.measured));
+    let responses: Vec<u64> = m
+        .flight
+        .iter()
+        .map(|d| d.commit.units() - d.start.units())
+        .collect();
+    assert!(
+        responses.windows(2).all(|w| w[0] >= w[1]),
+        "flight not sorted worst-first: {responses:?}"
+    );
+    assert_eq!(responses[0], max);
+}
+
+#[test]
+fn trace_export_round_trips_flight_markers() {
+    let _guard = TRACE_LOCK.lock().expect("trace lock poisoned");
+    let dir = std::env::temp_dir().join(format!("g2pl-obs-tail-test-{}", std::process::id()));
+    let mut cfg = EngineConfig::table1(ProtocolKind::S2pl, 6, 200, 0.25);
+    cfg.warmup_txns = 10;
+    cfg.measured_txns = 100;
+    set_trace_out(Some(dir.clone()));
+    let _ = run_replicated(&cfg, 1);
+    set_trace_out(None);
+
+    let entries: Vec<_> = std::fs::read_dir(&dir)
+        .expect("export directory exists")
+        .map(|e| e.expect("dir entry").path())
+        .collect();
+    assert_eq!(entries.len(), 1);
+    let text = std::fs::read_to_string(&entries[0]).expect("trace readable");
+    let tf = g2pl_obs::parse_jsonl(&text).expect("trace parses");
+    assert!(tf.meta.response_p99 > 0, "meta carries engine-side p99");
+    assert!(tf.meta.response_p99 <= tf.meta.response_p999);
+
+    // The exporter appended one slow_txn marker per flight entry, in
+    // rank order; replaying the same events must rebuild that flight.
+    let markers: Vec<_> = tf
+        .events
+        .iter()
+        .filter(|e| e.kind == SpanKind::SlowTxn)
+        .collect();
+    assert!(!markers.is_empty());
+    let report = SpanRecorder::replay(&tf.events).finish();
+    assert_eq!(markers.len(), report.flight.len());
+    for (i, (ev, d)) in markers.iter().zip(report.flight.iter()).enumerate() {
+        assert_eq!(ev.n as usize, i + 1, "markers out of rank order");
+        assert_eq!(ev.txn, Some(d.txn));
+        assert_eq!(ev.at, d.end);
+        assert!(ev.measured);
+    }
+
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
 fn trace_out_exports_a_parseable_jsonl_trace() {
+    let _guard = TRACE_LOCK.lock().expect("trace lock poisoned");
     let dir = std::env::temp_dir().join(format!("g2pl-obs-test-{}", std::process::id()));
     let mut cfg = EngineConfig::table1(ProtocolKind::g2pl_paper(), 4, 150, 0.25);
     cfg.warmup_txns = 10;
