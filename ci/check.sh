@@ -79,7 +79,27 @@ echo "==> server-fault smoke (fig_server_faults outage sweep, P1-P9 verification
 cargo run -q --release -p g2pl-bench --bin repro -- --scale smoke --out "$trace_dir" fig_server_faults >/dev/null
 test -f "$trace_dir/fig_server_faults.csv" || { echo "server-fault smoke: fig_server_faults.csv missing"; exit 1; }
 
-echo "==> chaos smoke (randomized fault-plan search with shrinking)"
+echo "==> scale smoke (fig_scale clients x shards grid on the PDES)"
+# Every cell of the sharded scale-out grid runs on the conservative PDES
+# (one LP per shard, link latency as lookahead), drains to quiescence,
+# and verifies its lock tables and client states before reporting; the
+# figure must emit both the mean curves and the side tail CSV.
+cargo run -q --release -p g2pl-bench --bin repro -- --scale smoke --out "$trace_dir" fig_scale >/dev/null
+test -f "$trace_dir/fig_scale.csv" || { echo "scale smoke: fig_scale.csv missing"; exit 1; }
+test -f "$trace_dir/fig_scale_tail.csv" || { echo "scale smoke: fig_scale_tail.csv missing"; exit 1; }
+grep -q "^x,series,p50,p90,p99,p999,max,count$" "$trace_dir/fig_scale_tail.csv" \
+  || { echo "scale smoke: quantile header missing"; exit 1; }
+
+echo "==> scale-bench smoke (10k clients x 4 shards PDES datapoint)"
+# One mid-size sharded cell end to end: drain + quiescence verification
+# are part of the run; the datapoint JSON must parse under the schema
+# the committed results/scale_datapoint.json uses.
+cargo run -q --release -p g2pl-bench --bin repro -- --scale smoke scale-bench \
+  --bench-out target/scale_datapoint_smoke.json >/dev/null
+grep -q '"schema": "g2pl-scale-bench/1"' target/scale_datapoint_smoke.json \
+  || { echo "scale-bench smoke: datapoint schema missing"; exit 1; }
+
+echo "==> chaos smoke (randomized fault-plan search with shrinking, shard-aware)"
 # A small fixed-seed search: samples (seed, FaultPlan) pairs across all
 # three engines, verifies every run end to end, and fails the gate with
 # a minimal shrunk reproducer command line if any trial breaks.

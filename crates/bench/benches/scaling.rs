@@ -32,7 +32,7 @@ fn item_pool_scaling(c: &mut Criterion) {
     group.sample_size(10);
     for items in [5u32, 25, 100] {
         let mut cfg = EngineConfig::table1(ProtocolKind::g2pl_paper(), 50, 500, 0.25);
-        cfg.num_items = items;
+        cfg.items = g2pl_protocols::ItemSpace::single(items);
         cfg.warmup_txns = 50;
         cfg.measured_txns = 400;
         group.bench_with_input(BenchmarkId::from_parameter(items), &cfg, |b, cfg| {

@@ -6,7 +6,8 @@
 //!
 //! artifacts: table1 table2 fig1 fig2 fig3 fig4 fig5 fig6 fig7 fig8 fig9
 //!            fig10 fig11 fig12 fig13 fig14 fig15 headline all bench
-//!            fig_faults fig_faults_aborts fig_server_faults fig_tail list
+//!            fig_faults fig_faults_aborts fig_server_faults fig_tail
+//!            fig_scale scale-bench list
 //! ```
 //!
 //! Figures are dispatched from the declarative registry
@@ -35,6 +36,12 @@
 //! to `--bench-out FILE` (default `BENCH_pr7.json`). With
 //! `--baseline FILE`, the run fails if aggregate engine throughput
 //! regressed more than 30% below the baseline's — the CI gate.
+//!
+//! `repro scale-bench` runs one big sharded scale-out cell on the
+//! conservative PDES (10k/100k/1M clients at smoke/default/full scale),
+//! prints the datapoint, and writes it as JSON to `--bench-out FILE`
+//! (default `results/scale_datapoint.json`). `--baseline FILE` adds the
+//! committed engine-cell throughput for comparison.
 
 use g2pl_bench::harness;
 use g2pl_core::experiments::{self, Scale};
@@ -77,7 +84,10 @@ fn usage() -> ! {
          trace for trace-explain\n\
          bench times engine cells + figure sweeps, writes --bench-out \
          (default BENCH_pr7.json), and fails on >30% throughput regression \
-         vs --baseline FILE",
+         vs --baseline FILE\n\
+         scale-bench runs one big sharded PDES cell, writes --bench-out \
+         (default results/scale_datapoint.json); --baseline FILE adds the \
+         engine-cell throughput comparison",
         ALL.join(" "),
         EXTS.join(" ")
     );
@@ -111,7 +121,7 @@ fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut scale = Scale::Default;
     let mut out_dir: Option<PathBuf> = None;
-    let mut bench_out = PathBuf::from("BENCH_pr7.json");
+    let mut bench_out: Option<PathBuf> = None;
     let mut baseline: Option<PathBuf> = None;
     let mut artifacts: Vec<String> = Vec::new();
 
@@ -142,7 +152,7 @@ fn main() {
             "--verify" | "--verify=on" => g2pl_core::set_verify(true),
             "--bench-out" => {
                 i += 1;
-                bench_out = PathBuf::from(args.get(i).unwrap_or_else(|| usage()));
+                bench_out = Some(PathBuf::from(args.get(i).unwrap_or_else(|| usage())));
             }
             "--baseline" => {
                 i += 1;
@@ -152,6 +162,7 @@ fn main() {
             "ext" => artifacts.extend(EXTS.iter().map(std::string::ToString::to_string)),
             "scorecard" => artifacts.push("scorecard".to_string()),
             "bench" => artifacts.push("bench".to_string()),
+            "scale-bench" => artifacts.push("scale-bench".to_string()),
             "list" => artifacts.push("list".to_string()),
             a if ALL.contains(&a) || EXTS.contains(&a) || experiments::figure(a).is_some() => {
                 artifacts.push(a.to_string());
@@ -199,9 +210,12 @@ fn main() {
             "bench" => {
                 let report = harness::run_bench(scale);
                 println!("{}", report.render());
+                let path = bench_out
+                    .clone()
+                    .unwrap_or_else(|| PathBuf::from("BENCH_pr7.json"));
                 // lint:allow(L3): CLI fails fast when the bench report cannot be written
-                std::fs::write(&bench_out, report.to_json()).expect("write bench report");
-                eprintln!("wrote {}", bench_out.display());
+                std::fs::write(&path, report.to_json()).expect("write bench report");
+                eprintln!("wrote {}", path.display());
                 if let Some(base) = &baseline {
                     // lint:allow(L3): CLI fails fast when the --baseline file is unreadable
                     let text = std::fs::read_to_string(base).expect("read bench baseline");
@@ -215,6 +229,26 @@ fn main() {
                         }
                     }
                 }
+            }
+            "scale-bench" => {
+                let (clients, shards) = harness::scale_bench_size(scale);
+                let baseline_text = baseline
+                    .as_deref()
+                    .or(Some(std::path::Path::new("BENCH_pr7.json")))
+                    .and_then(|p| std::fs::read_to_string(p).ok());
+                let (md, json) =
+                    harness::run_scale_bench(scale, clients, shards, baseline_text.as_deref());
+                println!("{md}");
+                let path = bench_out
+                    .clone()
+                    .unwrap_or_else(|| PathBuf::from("results/scale_datapoint.json"));
+                if let Some(dir) = path.parent().filter(|d| !d.as_os_str().is_empty()) {
+                    // lint:allow(L3): CLI fails fast when the output directory cannot be created
+                    std::fs::create_dir_all(dir).expect("create output directory");
+                }
+                // lint:allow(L3): CLI fails fast when the datapoint cannot be written
+                std::fs::write(&path, json).expect("write scale datapoint");
+                eprintln!("wrote {}", path.display());
             }
             _ => unreachable!("validated above"),
         }

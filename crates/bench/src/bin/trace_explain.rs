@@ -353,7 +353,7 @@ fn explain_file(path: &str, timelines: usize, tail: bool) -> bool {
 /// transactions, nothing can deadlock, every commit is measured.
 fn best_case_cfg(protocol: ProtocolKind) -> EngineConfig {
     let mut cfg = EngineConfig::table1(protocol, 8, 200, 0.0);
-    cfg.num_items = 1;
+    cfg.items = g2pl_protocols::ItemSpace::single(1);
     cfg.profile.min_items = 1;
     cfg.profile.max_items = 1;
     cfg.warmup_txns = 0;

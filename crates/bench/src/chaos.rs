@@ -13,7 +13,9 @@
 //! smoke search on every commit.
 
 use g2pl_core::{check_serializable, check_trace_with, TraceCheckOpts};
-use g2pl_protocols::{run, CrashWindow, EngineConfig, FaultPlan, ProtocolKind, ServerCrashWindow};
+use g2pl_protocols::{
+    run, CrashWindow, EngineConfig, FaultPlan, ItemSpace, ProtocolKind, ServerCrashWindow, ShardMix,
+};
 use g2pl_simcore::RngStream;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 
@@ -44,6 +46,9 @@ pub struct ChaosCase {
     pub seed: u64,
     /// The sampled fault plan.
     pub plan: FaultPlan,
+    /// Server shard count (1 = the paper's single server). Crash
+    /// windows always hit shard 0; the other shards must ride them out.
+    pub shards: u32,
 }
 
 /// Canonicalize an engine label to its `'static` spelling.
@@ -95,7 +100,15 @@ pub fn sample_case(master: u64, trial: u64, engine: Option<&'static str>) -> Cha
             down_for: rng.uniform_incl(500, 3_000),
         });
     }
-    ChaosCase { engine, seed, plan }
+    // A third of the trials run sharded: faults must compose with
+    // multi-home commit, and the P9 crash-window checks are per site.
+    let shards = [1, 1, 2, 4][rng.index(4)];
+    ChaosCase {
+        engine,
+        seed,
+        plan,
+        shards,
+    }
 }
 
 /// The fixed simulation cell a case runs in: small enough for hundreds
@@ -111,6 +124,15 @@ pub fn case_config(case: &ChaosCase) -> Option<EngineConfig> {
     cfg.trace_events = true;
     cfg.record_history = true;
     cfg.enable_wal = true;
+    if case.shards > 1 {
+        // Keep the pool at the paper's hot size, spread across shards,
+        // with 30% of transactions crossing shard boundaries.
+        cfg.items = ItemSpace::sharded(case.shards, 25_u32.div_ceil(case.shards));
+        cfg.profile.shard_mix = Some(ShardMix {
+            cross_frac: 0.3,
+            shard_theta: 0.5,
+        });
+    }
     cfg.faults = Some(case.plan.clone());
     Some(cfg)
 }
@@ -190,6 +212,13 @@ pub fn shrink(case: &ChaosCase, error: String) -> (ChaosCase, String, u32) {
 /// Candidate one-step simplifications of a case, simplest-first.
 fn candidates(case: &ChaosCase) -> Vec<ChaosCase> {
     let mut out = Vec::new();
+    if case.shards > 1 {
+        // Simplest first: does the failure survive without sharding?
+        out.push(ChaosCase {
+            shards: 1,
+            ..case.clone()
+        });
+    }
     let mut push = |plan: FaultPlan| {
         out.push(ChaosCase {
             plan,
@@ -265,6 +294,9 @@ pub fn repro_command(case: &ChaosCase) -> String {
     for w in &p.crashes {
         let _ = write!(cmd, " --client-crash {}:{}:{}", w.client, w.at, w.down_for);
     }
+    if case.shards > 1 {
+        let _ = write!(cmd, " --shards {}", case.shards);
+    }
     cmd
 }
 
@@ -273,6 +305,7 @@ pub fn repro_command(case: &ChaosCase) -> String {
 pub fn parse_case(args: &[String]) -> Result<ChaosCase, String> {
     let mut engine = None;
     let mut seed = None;
+    let mut shards = 1u32;
     let mut plan = FaultPlan::default();
     let mut it = args.iter();
     let next_val = |flag: &str, it: &mut std::slice::Iter<'_, String>| {
@@ -287,6 +320,13 @@ pub fn parse_case(args: &[String]) -> Result<ChaosCase, String> {
                 engine = Some(intern_engine(&v).ok_or_else(|| format!("unknown engine {v:?}"))?);
             }
             "--seed" => seed = Some(parse_num(&next_val("--seed", &mut it)?)?),
+            "--shards" => {
+                let v = parse_num(&next_val("--shards", &mut it)?)?;
+                shards = u32::try_from(v)
+                    .ok()
+                    .filter(|s| (1..=64).contains(s))
+                    .ok_or_else(|| format!("shard count out of range: {v}"))?;
+            }
             "--drop" => plan.drop_prob = parse_prob(&next_val("--drop", &mut it)?)?,
             "--dup" => plan.dup_prob = parse_prob(&next_val("--dup", &mut it)?)?,
             "--delay" => plan.delay_prob = parse_prob(&next_val("--delay", &mut it)?)?,
@@ -318,7 +358,12 @@ pub fn parse_case(args: &[String]) -> Result<ChaosCase, String> {
     }
     let engine = engine.ok_or("--repro needs --engine")?;
     let seed = seed.ok_or("--repro needs --seed")?;
-    Ok(ChaosCase { engine, seed, plan })
+    Ok(ChaosCase {
+        engine,
+        seed,
+        plan,
+        shards,
+    })
 }
 
 fn parse_num(s: &str) -> Result<u64, String> {
@@ -454,6 +499,7 @@ mod tests {
             engine: "g2pl",
             seed: 7,
             plan,
+            shards: 1,
         };
         let (small, _, runs) = shrink_with(&case, "e".to_string(), |_| Some("e".to_string()), 2);
         assert_eq!(runs, 2);
@@ -471,5 +517,29 @@ mod tests {
             let case = sample_case(5, i as u64, intern_engine(engine));
             assert_eq!(run_case(&case), Ok(()), "{engine} trial failed");
         }
+    }
+
+    #[test]
+    fn sharded_chaos_trials_pass_on_every_engine() {
+        // Crashing shard 0 while other shards stay live, with 30%
+        // multi-home transactions: faults must compose with sharding.
+        for (i, engine) in ENGINES.iter().enumerate() {
+            let mut case = sample_case(21, i as u64, intern_engine(engine));
+            case.shards = 4;
+            assert_eq!(run_case(&case), Ok(()), "{engine} sharded trial failed");
+        }
+    }
+
+    #[test]
+    fn sampler_emits_sharded_cases() {
+        let mut seen_multi = false;
+        let mut seen_single = false;
+        for trial in 0..30 {
+            let case = sample_case(13, trial, None);
+            assert!((1..=64).contains(&case.shards));
+            seen_multi |= case.shards > 1;
+            seen_single |= case.shards == 1;
+        }
+        assert!(seen_multi && seen_single, "both layouts must be sampled");
     }
 }

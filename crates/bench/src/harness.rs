@@ -217,6 +217,101 @@ impl BenchReport {
     }
 }
 
+/// The cell sizes `repro scale-bench` runs per `--scale`: (clients,
+/// shards). The default-scale datapoint (100k clients) is the committed
+/// `results/scale_datapoint.json`; full is the million-client target.
+pub fn scale_bench_size(scale: Scale) -> (u32, u32) {
+    match scale {
+        Scale::Smoke => (10_000, 4),
+        Scale::Default => (100_000, 8),
+        Scale::Full => (1_000_000, 64),
+    }
+}
+
+/// One big sharded scale-out datapoint (`repro scale-bench`): run a
+/// `fig_scale`-flavored cell at the given size on the PDES (one worker
+/// per shard up to the core count), and report simulation throughput
+/// next to the committed engine baseline's aggregate cell number when a
+/// `BENCH_*.json` document is supplied. Returns `(markdown, json)`.
+pub fn run_scale_bench(
+    scale: Scale,
+    clients: u32,
+    shards: u32,
+    baseline_json: Option<&str>,
+) -> (String, String) {
+    let cfg = experiments::scale_cell(clients, shards);
+    // lint:allow(L3): the registry cell is valid by construction
+    let m = run_scale(&cfg).unwrap_or_else(|e| panic!("scale-bench: {e}"));
+    let eps = m.events_per_sec();
+    let tail = m.tail.summary();
+    let baseline = baseline_json.and_then(|j| json_number_field(j, "cells_events_per_sec"));
+
+    let mut md = String::new();
+    let _ = writeln!(
+        md,
+        "### scale-bench — sharded PDES scale-out, scale={}",
+        scale_name(scale)
+    );
+    let _ = writeln!(
+        md,
+        "| clients | shards | committed | multi-home | events | wall (s) | events/s | p99 resp |"
+    );
+    let _ = writeln!(md, "|---|---|---|---|---|---|---|---|");
+    let _ = writeln!(
+        md,
+        "| {} | {} | {} | {} | {} | {:.2} | {:.2}M | {} |",
+        m.clients,
+        m.shards,
+        m.committed,
+        m.multi_home,
+        m.events,
+        m.wall.as_secs_f64(),
+        eps / 1e6,
+        tail.p99
+    );
+    if let Some(base) = baseline {
+        let _ = writeln!(
+            md,
+            "\nvs committed engine-cell baseline: {:.2}M events/s (scale-out at {:.2}x)",
+            base / 1e6,
+            eps / base
+        );
+    }
+
+    let mut json = String::new();
+    let _ = write!(
+        json,
+        "{{\n  \"schema\": \"g2pl-scale-bench/1\",\n  \"scale\": \"{}\",\n  \
+         \"clients\": {},\n  \"shards\": {},\n  \"committed\": {},\n  \
+         \"multi_home\": {},\n  \"events\": {},\n  \"messages\": {},\n  \
+         \"rounds\": {},\n  \"cross_messages\": {},\n  \"mean_response\": {:.4},\n  \
+         \"p99_response\": {},\n  \"wall_secs\": {:.4},\n  \"events_per_sec\": {:.0}",
+        scale_name(scale),
+        m.clients,
+        m.shards,
+        m.committed,
+        m.multi_home,
+        m.events,
+        m.messages,
+        m.rounds,
+        m.cross_messages,
+        m.response.mean(),
+        tail.p99,
+        m.wall.as_secs_f64(),
+        eps
+    );
+    if let Some(base) = baseline {
+        let _ = write!(
+            json,
+            ",\n  \"baseline_cells_events_per_sec\": {base:.0},\n  \
+             \"vs_baseline_cells\": {:.3}",
+            eps / base
+        );
+    }
+    json.push_str("\n}\n");
+    (md, json)
+}
+
 /// Extract a top-level numeric field from a `BENCH_*.json` document.
 /// (The workspace vendors no JSON parser; the schema is flat enough for
 /// a textual scan.)

@@ -23,13 +23,14 @@
 //! | `fig_faults_aborts` | abort % vs message-loss probability, 3 engines |
 //! | `fig_server_faults` | response time vs server outage duration, 3 engines |
 //! | `fig_tail` | p99/p999 response time vs number of clients, 3 engines |
+//! | `fig_scale` | response time vs clients × shard count, PDES scale-out |
 //! | `headline` | the 20–25% response-time improvement claim |
 
 use crate::figure::{FigureData, Series, TailPoint, TailSeries};
 use crate::runner::run_grid;
 use g2pl_faults::FaultPlan;
 use g2pl_netmodel::NetworkEnv;
-use g2pl_protocols::{run, EngineConfig, ProtocolKind, TraceEvent};
+use g2pl_protocols::{run, run_scale, EngineConfig, ProtocolKind, ScaleCfg, ShardMix, TraceEvent};
 use std::fmt::Write as _;
 
 /// How much compute to spend per experiment.
@@ -210,7 +211,7 @@ pub fn table1() -> String {
     let _ = writeln!(out, "|---|---|");
     let _ = writeln!(out, "| Number of servers | 1 |");
     let _ = writeln!(out, "| Number of clients | varying (50 in Figs 2–11) |");
-    let _ = writeln!(out, "| Number of hot data items | {} |", cfg.num_items);
+    let _ = writeln!(out, "| Number of hot data items | {} |", cfg.num_items());
     let _ = writeln!(out, "| Transaction execution pattern | Sequential |");
     let _ = writeln!(
         out,
@@ -263,7 +264,7 @@ pub fn table2() -> String {
 pub fn fig1() -> String {
     fn trace_of(protocol: ProtocolKind) -> (Vec<TraceEvent>, Vec<u64>, u64) {
         let mut cfg = EngineConfig::table1(protocol, 3, 2, 0.0);
-        cfg.num_items = 1;
+        cfg.items = g2pl_protocols::ItemSpace::single(1);
         cfg.profile.min_items = 1;
         cfg.profile.max_items = 1;
         cfg.profile.think_min = 1;
@@ -367,6 +368,13 @@ pub enum Sweep {
     /// time from the pooled quantile sketch instead of the mean
     /// (`fig_tail`).
     TailLoad,
+    /// Client count × shard count under the sharded scale-out engine
+    /// (`fig_scale`): every cell runs the lean multi-home s-2PL harness
+    /// on the conservative PDES with one LP per shard, 20% multi-home
+    /// transactions over mildly skewed shard popularity, then drains
+    /// and verifies quiescence. One series per shard count; tail rows
+    /// come from the merged per-LP sketches.
+    ScaleOut,
 }
 
 /// One registered figure: id, caption material, metric and sweep. The
@@ -493,6 +501,12 @@ pub static FIGURES: &[FigureSpec] = &[
         blurb: "p99/p999 response time vs number of clients, 3 engines",
         metric: Metric::Response,
         sweep: Sweep::TailLoad,
+    },
+    FigureSpec {
+        id: "fig_scale",
+        blurb: "response time vs clients x shard count, sharded PDES scale-out",
+        metric: Metric::Response,
+        sweep: Sweep::ScaleOut,
     },
 ];
 
@@ -630,6 +644,7 @@ impl FigureSpec {
                 },
             ),
             Sweep::TailLoad => self.build_tail(scale),
+            Sweep::ScaleOut => self.build_scale(scale),
         }
     }
 
@@ -730,6 +745,86 @@ impl FigureSpec {
             tails,
         }
     }
+
+    /// `fig_scale`: mean response time over a clients × shard-count
+    /// grid of the sharded scale-out engine. Each cell is one PDES run
+    /// (one LP per shard, link latency as the lookahead) that drains to
+    /// quiescence and verifies its lock tables before reporting, so
+    /// every plotted point is backed by a clean multi-home history. The
+    /// per-LP statistics merge deterministically, making the whole
+    /// figure bit-identical at any worker count.
+    fn build_scale(&self, scale: Scale) -> FigureData {
+        let (clients_axis, shard_axis): (&[u32], &[u32]) = match scale {
+            Scale::Smoke => (&[64, 128, 256], &[1, 2, 4]),
+            Scale::Default => (&[1_000, 10_000, 100_000], &[1, 4, 8]),
+            Scale::Full => (&[100_000, 400_000, 1_000_000], &[4, 16, 64]),
+        };
+        let mut series = Vec::with_capacity(shard_axis.len());
+        let mut tails = Vec::with_capacity(shard_axis.len());
+        for &shards in shard_axis {
+            let label = if shards == 1 {
+                "1 shard".to_string()
+            } else {
+                format!("{shards} shards")
+            };
+            let mut points = Vec::with_capacity(clients_axis.len());
+            let mut tail_points = Vec::with_capacity(clients_axis.len());
+            for &clients in clients_axis {
+                let mut cfg = scale_cell(clients, shards);
+                if scale == Scale::Smoke {
+                    cfg.warmup = 50;
+                    cfg.measured = 200;
+                }
+                // lint:allow(L3): the registry grid is valid by construction
+                let m = run_scale(&cfg).unwrap_or_else(|e| panic!("fig_scale cell: {e}"));
+                let x = clients as f64;
+                points.push((x, m.response.mean(), 0.0));
+                let t = m.tail.summary();
+                tail_points.push(TailPoint {
+                    x,
+                    p50: t.p50,
+                    p90: t.p90,
+                    p99: t.p99,
+                    p999: t.p999,
+                    max: t.max,
+                    count: t.count,
+                });
+            }
+            series.push(Series {
+                label: label.clone(),
+                points,
+            });
+            tails.push(TailSeries {
+                label,
+                points: tail_points,
+            });
+        }
+        FigureData {
+            id: self.id.into(),
+            title: "Response time vs number of clients per shard count, pr=0.6, \
+                    20% multi-home, sharded scale-out"
+                .into(),
+            x_label: "number of clients".into(),
+            y_label: "response time".into(),
+            series,
+            tails,
+        }
+    }
+}
+
+/// One `fig_scale` grid cell: Table-1-flavored workload at pr = 0.6,
+/// link latency 10 (the PDES lookahead), and — beyond one shard — 20%
+/// multi-home transactions over mildly skewed (θ = 0.5) shard
+/// popularity.
+pub fn scale_cell(clients: u32, shards: u32) -> ScaleCfg {
+    let mut cfg = ScaleCfg::cell(clients, shards, 10, 0.6);
+    if shards > 1 {
+        cfg.profile.shard_mix = Some(ShardMix {
+            cross_frac: 0.2,
+            shard_theta: 0.5,
+        });
+    }
+    cfg
 }
 
 // ---- the headline claim ----

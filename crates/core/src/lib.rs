@@ -69,7 +69,9 @@ pub mod prelude {
     pub use crate::verify::check_serializable;
     pub use g2pl_netmodel::NetworkEnv;
     pub use g2pl_protocols::{
-        run, AbortEffect, EngineConfig, G2plOpts, LatencyCfg, ProtocolKind, RunMetrics,
+        run, run_scale, run_scale_with_workers, AbortEffect, EngineConfig, G2plOpts, ItemSpace,
+        LatencyCfg, ProtocolKind, RunMetrics, ScaleCfg, ScaleMetrics, ShardMix, Topology,
+        TxnProfile,
     };
     pub use g2pl_simcore::SimTime;
     pub use g2pl_stats::ConfidenceInterval;

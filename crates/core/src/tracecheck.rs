@@ -31,17 +31,18 @@
 //!   events in a no-fault trace are themselves violations.
 //! * **P9 (server crash recovery)** — fault-injection runs only: server
 //!   crash windows are well-formed (`ServerCrashed` alternates with
-//!   `ServerRecovered`, `Reregister` reports appear only inside an open
-//!   window, and every window closes before the trace ends), the server
-//!   is silent while down — no dispatch, window-close, forward-list or
-//!   lease activity between a crash and its recovery, so no grant can
-//!   stem from pre-crash forward-list state — and no acknowledged commit
-//!   is ever lost: a transaction that committed before a crash must
-//!   never abort after it. Like P8, any server-crash event in a no-fault
-//!   trace is itself a violation.
+//!   `ServerRecovered` *per server site*, `Reregister` reports appear
+//!   only inside an open window, and every window closes before the
+//!   trace ends), a crashed shard is silent while down — no dispatch,
+//!   window-close, forward-list or lease activity attributed to that
+//!   site between its crash and its recovery, so no grant can stem from
+//!   pre-crash forward-list state; surviving shards stay live — and no
+//!   acknowledged commit is ever lost: a transaction that committed
+//!   before a crash must never abort after it. Like P8, any
+//!   server-crash event in a no-fault trace is itself a violation.
 
 use g2pl_protocols::{EngineConfig, ProtocolKind, TraceEvent, TraceKind};
-use g2pl_simcore::{ItemId, SimTime, TxnId};
+use g2pl_simcore::{ItemId, SimTime, SiteId, TxnId};
 use std::collections::{BTreeMap, HashMap, HashSet};
 
 /// What the checker may assume about the run that produced a trace.
@@ -126,8 +127,10 @@ pub fn check_trace_with(events: &[TraceEvent], opts: TraceCheckOpts) -> Result<(
     let mut fl_order: HashSet<(TxnId, TxnId)> = HashSet::new();
     // Lease expiries not yet resolved by a redispatch (P8b).
     let mut open_expiries: Vec<(Option<TxnId>, Option<ItemId>, SimTime)> = Vec::new();
-    // True between a ServerCrashed and its ServerRecovered (P9).
-    let mut server_down = false;
+    // Server sites currently inside a crash window, each tracked
+    // independently (P9): in a sharded space only the crashed shard must
+    // fall silent — the surviving shards keep serving.
+    let mut down_servers: HashSet<SiteId> = HashSet::new();
     // Whether any server crash has occurred yet (P9 lost-commit check).
     let mut server_crashed_once = false;
     let mut last_t = SimTime::ZERO;
@@ -142,13 +145,14 @@ pub fn check_trace_with(events: &[TraceEvent], opts: TraceCheckOpts) -> Result<(
         if !matches!(e.kind, TraceKind::FlOrdered) {
             open_group = None;
         }
-        // The server is silent from crash to recovery: any server-side
-        // decision inside the window would have to stem from pre-crash
-        // volatile state, which died with the server. (`Dispatched` is
-        // absent from this set: committing clients keep forwarding
-        // segments client-to-client while the server is down, and those
-        // hops record `Dispatched` for each receiver.)
-        if server_down
+        // A crashed server site is silent from crash to recovery: any
+        // decision it records inside the window would have to stem from
+        // pre-crash volatile state, which died with it. Events attributed
+        // to a *live* shard are legal while another shard is down.
+        // (`Dispatched` is absent from this set: committing clients keep
+        // forwarding segments client-to-client while a server is down,
+        // and those hops record `Dispatched` for each receiver.)
+        if down_servers.contains(&e.site)
             && matches!(
                 e.kind,
                 TraceKind::WindowClosed
@@ -331,26 +335,24 @@ pub fn check_trace_with(events: &[TraceEvent], opts: TraceCheckOpts) -> Result<(
                 if !opts.faults {
                     return Err(format!("P9: server crash on a reliable network at {e}"));
                 }
-                if server_down {
+                if !down_servers.insert(e.site) {
                     return Err(format!("P9: server crashed while already down at {e}"));
                 }
-                server_down = true;
                 server_crashed_once = true;
             }
             TraceKind::ServerRecovered => {
                 if !opts.faults {
                     return Err(format!("P9: server recovery on a reliable network at {e}"));
                 }
-                if !server_down {
+                if !down_servers.remove(&e.site) {
                     return Err(format!("P9: server recovered without a crash at {e}"));
                 }
-                server_down = false;
             }
             TraceKind::Reregister => {
                 if !opts.faults {
                     return Err(format!("P9: re-registration on a reliable network at {e}"));
                 }
-                if !server_down {
+                if down_servers.is_empty() {
                     return Err(format!(
                         "P9: re-registration outside a recovery window at {e}"
                     ));
@@ -360,8 +362,8 @@ pub fn check_trace_with(events: &[TraceEvent], opts: TraceCheckOpts) -> Result<(
         }
     }
     if opts.faults {
-        if server_down {
-            return Err("P9: the server crashed but never recovered".to_string());
+        if !down_servers.is_empty() {
+            return Err("P9: a server crashed but never recovered".to_string());
         }
         if let Some((txn, item, at)) = open_expiries.first() {
             return Err(format!(
@@ -402,7 +404,7 @@ mod tests {
             kind,
             txn: Some(TxnId::new(txn)),
             item: item.map(ItemId::new),
-            site: SiteId::Server,
+            site: SiteId::SERVER0,
         }
     }
 
@@ -554,7 +556,7 @@ mod tests {
             kind: TraceKind::WindowClosed,
             txn: None,
             item: Some(ItemId::new(item)),
-            site: SiteId::Server,
+            site: SiteId::SERVER0,
         }
     }
 
@@ -714,7 +716,7 @@ mod tests {
             kind,
             txn: None,
             item: None,
-            site: SiteId::Server,
+            site: SiteId::SERVER0,
         }
     }
 

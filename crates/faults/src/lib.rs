@@ -96,10 +96,14 @@ pub struct LinkPartition {
 /// A serializable stand-in for [`SiteId`] in fault plans.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
 pub enum Endpoint {
-    /// The data server.
+    /// The data server (shard 0 — the paper's single server). Kept as a
+    /// unit variant so pre-sharding fault plans deserialize unchanged.
     Server,
     /// Client with the given raw index.
     Client(u32),
+    /// Server shard with the given raw index (`Shard(0)` is equivalent to
+    /// [`Endpoint::Server`]).
+    Shard(u32),
 }
 
 impl Endpoint {
@@ -107,7 +111,8 @@ impl Endpoint {
     #[inline]
     pub fn matches(self, site: SiteId) -> bool {
         match (self, site) {
-            (Endpoint::Server, SiteId::Server) => true,
+            (Endpoint::Server, SiteId::Server(s)) => s.index() == 0,
+            (Endpoint::Shard(k), SiteId::Server(s)) => s.index() == k as usize,
             (Endpoint::Client(c), SiteId::Client(id)) => id.index() == c as usize,
             _ => false,
         }
@@ -117,7 +122,8 @@ impl Endpoint {
 impl From<SiteId> for Endpoint {
     fn from(s: SiteId) -> Self {
         match s {
-            SiteId::Server => Endpoint::Server,
+            SiteId::Server(s) if s.index() == 0 => Endpoint::Server,
+            SiteId::Server(s) => Endpoint::Shard(s.0),
             SiteId::Client(c) => Endpoint::Client(c.0),
         }
     }
@@ -542,8 +548,8 @@ mod tests {
         let mut b = FaultInjector::new(plan, 42);
         for i in 0..500u32 {
             let from = SiteId::Client(ClientId::new(i % 5));
-            let v1 = a.judge(from, SiteId::Server, SimTime::new(u64::from(i)));
-            let v2 = b.judge(from, SiteId::Server, SimTime::new(u64::from(i)));
+            let v1 = a.judge(from, SiteId::SERVER0, SimTime::new(u64::from(i)));
+            let v2 = b.judge(from, SiteId::SERVER0, SimTime::new(u64::from(i)));
             assert_eq!(v1, v2);
         }
         assert_eq!(a.counts, b.counts);
@@ -565,23 +571,23 @@ mod tests {
         let c2 = SiteId::Client(ClientId::new(2));
         let c3 = SiteId::Client(ClientId::new(3));
         assert_eq!(
-            inj.judge(SiteId::Server, c2, SimTime::new(9)),
+            inj.judge(SiteId::SERVER0, c2, SimTime::new(9)),
             Verdict::Deliver
         );
         assert_eq!(
-            inj.judge(SiteId::Server, c2, SimTime::new(10)),
+            inj.judge(SiteId::SERVER0, c2, SimTime::new(10)),
             Verdict::Drop
         );
         assert_eq!(
-            inj.judge(c2, SiteId::Server, SimTime::new(19)),
+            inj.judge(c2, SiteId::SERVER0, SimTime::new(19)),
             Verdict::Drop
         );
         assert_eq!(
-            inj.judge(SiteId::Server, c2, SimTime::new(20)),
+            inj.judge(SiteId::SERVER0, c2, SimTime::new(20)),
             Verdict::Deliver
         );
         assert_eq!(
-            inj.judge(SiteId::Server, c3, SimTime::new(15)),
+            inj.judge(SiteId::SERVER0, c3, SimTime::new(15)),
             Verdict::Deliver
         );
         assert_eq!(inj.counts.partition_drops, 2);
@@ -644,7 +650,7 @@ mod tests {
         // injector only: the "server-faults" stream must be unaffected.
         for i in 0..64u32 {
             let from = SiteId::Client(ClientId::new(i % 3));
-            let _ = a.judge(from, SiteId::Server, SimTime::new(u64::from(i)));
+            let _ = a.judge(from, SiteId::SERVER0, SimTime::new(u64::from(i)));
         }
         let sa = a.server_crash_schedule();
         let sb = b.server_crash_schedule();

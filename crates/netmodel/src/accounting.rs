@@ -19,14 +19,19 @@ pub enum Direction {
     ServerToClient,
     /// Client → client (g-2PL data migration and reader releases).
     ClientToClient,
+    /// Server shard → server shard (reserved for future inter-shard
+    /// coordination; the current engines coordinate cross-shard commits
+    /// at the client, so this stays zero).
+    ServerToServer,
 }
 
 impl Direction {
     /// Classify a (from, to) endpoint pair.
     pub fn of(from: SiteId, to: SiteId) -> Direction {
         match (from, to) {
-            (SiteId::Server, _) => Direction::ServerToClient,
-            (SiteId::Client(_), SiteId::Server) => Direction::ClientToServer,
+            (SiteId::Server(_), SiteId::Server(_)) => Direction::ServerToServer,
+            (SiteId::Server(_), SiteId::Client(_)) => Direction::ServerToClient,
+            (SiteId::Client(_), SiteId::Server(_)) => Direction::ClientToServer,
             (SiteId::Client(_), SiteId::Client(_)) => Direction::ClientToClient,
         }
     }
@@ -119,11 +124,11 @@ mod tests {
     #[test]
     fn direction_classification() {
         assert_eq!(
-            Direction::of(SiteId::Server, c(0)),
+            Direction::of(SiteId::SERVER0, c(0)),
             Direction::ServerToClient
         );
         assert_eq!(
-            Direction::of(c(0), SiteId::Server),
+            Direction::of(c(0), SiteId::SERVER0),
             Direction::ClientToServer
         );
         assert_eq!(Direction::of(c(0), c(1)), Direction::ClientToClient);
@@ -132,8 +137,8 @@ mod tests {
     #[test]
     fn counters_accumulate() {
         let mut a = NetAccounting::new();
-        a.record(c(0), SiteId::Server, "lock_request", 64);
-        a.record(SiteId::Server, c(0), "grant", 1024);
+        a.record(c(0), SiteId::SERVER0, "lock_request", 64);
+        a.record(SiteId::SERVER0, c(0), "grant", 1024);
         a.record(c(0), c(1), "forward", 1024);
         assert_eq!(a.messages(), 3);
         assert_eq!(a.bytes(), 2112);
@@ -151,10 +156,10 @@ mod tests {
     #[test]
     fn merge_adds_everything() {
         let mut a = NetAccounting::new();
-        a.record(c(0), SiteId::Server, "req", 10);
+        a.record(c(0), SiteId::SERVER0, "req", 10);
         let mut b = NetAccounting::new();
         b.record(c(1), c(2), "fwd", 20);
-        b.record(c(0), SiteId::Server, "req", 10);
+        b.record(c(0), SiteId::SERVER0, "req", 10);
         a.merge(&b);
         assert_eq!(a.messages(), 3);
         assert_eq!(a.bytes(), 40);
@@ -165,8 +170,8 @@ mod tests {
     #[test]
     fn kinds_iterates_in_label_order() {
         let mut a = NetAccounting::new();
-        a.record(c(0), SiteId::Server, "zeta", 1);
-        a.record(c(0), SiteId::Server, "alpha", 1);
+        a.record(c(0), SiteId::SERVER0, "zeta", 1);
+        a.record(c(0), SiteId::SERVER0, "alpha", 1);
         let labels: Vec<&str> = a.kinds().map(|(k, _)| k).collect();
         assert_eq!(labels, vec!["alpha", "zeta"]);
     }

@@ -75,28 +75,42 @@ impl LatencyModel for JitteredLatency {
 /// Per-pair latency matrix for asymmetric topologies (e.g. clients spread
 /// over sites at different distances from the server).
 ///
-/// Site indexing: the server is index 0, client `i` is index `i + 1`.
+/// Site indexing: server shard `s` is index `s`, client `i` is index
+/// `i + num_shards`. The single-server constructor keeps the historical
+/// layout (server at 0, client `i` at `i + 1`).
 #[derive(Clone, Debug)]
 pub struct MatrixLatency {
     n: usize,
+    shards: usize,
     matrix: Vec<SimTime>,
 }
 
 impl MatrixLatency {
     /// A symmetric all-equal matrix over `num_clients` clients (plus the
-    /// server), which can then be tuned per pair with [`Self::set`].
+    /// single server), which can then be tuned per pair with [`Self::set`].
     pub fn uniform(num_clients: usize, latency: SimTime) -> Self {
-        let n = num_clients + 1;
+        Self::uniform_sharded(1, num_clients, latency)
+    }
+
+    /// A symmetric all-equal matrix over `num_shards` server shards and
+    /// `num_clients` clients.
+    ///
+    /// # Panics
+    /// Panics if `num_shards == 0`.
+    pub fn uniform_sharded(num_shards: usize, num_clients: usize, latency: SimTime) -> Self {
+        assert!(num_shards > 0, "at least one server shard");
+        let n = num_shards + num_clients;
         MatrixLatency {
             n,
+            shards: num_shards,
             matrix: vec![latency; n * n],
         }
     }
 
     fn idx(&self, site: SiteId) -> usize {
         match site {
-            SiteId::Server => 0,
-            SiteId::Client(c) => c.index() + 1,
+            SiteId::Server(s) => s.index(),
+            SiteId::Client(c) => c.index() + self.shards,
         }
     }
 
@@ -180,7 +194,7 @@ mod tests {
         let m = ConstantLatency::new(SimTime::new(250));
         let mut r = rng();
         assert_eq!(
-            m.delay(SiteId::Server, SiteId::Client(ClientId::new(0)), 0, &mut r),
+            m.delay(SiteId::SERVER0, SiteId::Client(ClientId::new(0)), 0, &mut r),
             SimTime::new(250)
         );
         assert_eq!(
@@ -201,7 +215,7 @@ mod tests {
         let mut r = rng();
         for _ in 0..500 {
             let d = m
-                .delay(SiteId::Server, SiteId::Client(ClientId::new(0)), 0, &mut r)
+                .delay(SiteId::SERVER0, SiteId::Client(ClientId::new(0)), 0, &mut r)
                 .units();
             assert!((100..=120).contains(&d), "delay {d} out of band");
         }
@@ -212,10 +226,10 @@ mod tests {
     fn matrix_is_directional() {
         let c0 = SiteId::Client(ClientId::new(0));
         let mut m = MatrixLatency::uniform(2, SimTime::new(10));
-        m.set(SiteId::Server, c0, SimTime::new(99));
+        m.set(SiteId::SERVER0, c0, SimTime::new(99));
         let mut r = rng();
-        assert_eq!(m.delay(SiteId::Server, c0, 0, &mut r), SimTime::new(99));
-        assert_eq!(m.delay(c0, SiteId::Server, 0, &mut r), SimTime::new(10));
+        assert_eq!(m.delay(SiteId::SERVER0, c0, 0, &mut r), SimTime::new(99));
+        assert_eq!(m.delay(c0, SiteId::SERVER0, 0, &mut r), SimTime::new(10));
     }
 
     #[test]
@@ -235,12 +249,12 @@ mod tests {
         let mut r = rng();
         // Empty message: pure latency.
         assert_eq!(
-            m.delay(SiteId::Server, SiteId::Server, 0, &mut r),
+            m.delay(SiteId::SERVER0, SiteId::SERVER0, 0, &mut r),
             SimTime::new(100)
         );
         // 2500 bytes at 1000 B/unit: ceil = 3 extra units.
         assert_eq!(
-            m.delay(SiteId::Server, SiteId::Server, 2500, &mut r),
+            m.delay(SiteId::SERVER0, SiteId::SERVER0, 2500, &mut r),
             SimTime::new(103)
         );
     }

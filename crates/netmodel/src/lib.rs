@@ -24,6 +24,7 @@ pub mod cfg;
 pub mod env;
 pub mod latency;
 pub mod lossy;
+pub mod topology;
 
 pub use accounting::NetAccounting;
 pub use cfg::LatencyCfg;
@@ -32,3 +33,4 @@ pub use latency::{
     BandwidthLatency, ConstantLatency, JitteredLatency, LatencyModel, MatrixLatency,
 };
 pub use lossy::LossyLink;
+pub use topology::Topology;

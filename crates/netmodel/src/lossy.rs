@@ -133,7 +133,7 @@ mod tests {
         let mut out = Vec::new();
         let injected = link.transmit(
             site(0),
-            SiteId::Server,
+            SiteId::SERVER0,
             64,
             SimTime::ZERO,
             &mut rng,
@@ -157,7 +157,7 @@ mod tests {
         for _ in 0..10 {
             let injected = link.transmit(
                 site(0),
-                SiteId::Server,
+                SiteId::SERVER0,
                 64,
                 SimTime::ZERO,
                 &mut rng,
@@ -181,7 +181,7 @@ mod tests {
         let mut out = Vec::new();
         link.transmit(
             site(0),
-            SiteId::Server,
+            SiteId::SERVER0,
             64,
             SimTime::ZERO,
             &mut rng,
@@ -201,7 +201,7 @@ mod tests {
         );
         link.transmit(
             site(0),
-            SiteId::Server,
+            SiteId::SERVER0,
             64,
             SimTime::ZERO,
             &mut rng,

@@ -1,0 +1,214 @@
+//! Site-to-site topology over the serializable latency configuration.
+//!
+//! The paper assumes a *full mesh*: "the network latency between any two
+//! sites (server-client, client-client) and in either direction is the
+//! same". With directory sharding the link structure becomes richer —
+//! cross-shard commit slices travel client→server to several shards, and
+//! g-2PL data migration rides client→client links — so experiments want
+//! to price those link classes differently without giving up the
+//! serializable, seed-stable [`LatencyCfg`] description.
+//!
+//! [`Topology`] is that surface: a base [`LatencyCfg`] for every link
+//! (the full-mesh default, byte-identical to using the base config
+//! directly) plus optional per-class overrides, consulted through the
+//! per-link [`Topology::latency`] hook.
+
+use crate::cfg::LatencyCfg;
+use crate::latency::LatencyModel;
+use g2pl_simcore::{RngStream, SimTime, SiteId};
+use serde::{Deserialize, Serialize};
+
+/// A full-mesh network with optional per-link-class latency overrides.
+///
+/// The default ([`Topology::full_mesh`]) prices every link with `base`,
+/// reproducing the paper's uniform-latency assumption exactly: building
+/// it yields the very same model object the bare [`LatencyCfg`] would,
+/// so figures that predate the topology surface are unaffected.
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub struct Topology {
+    /// Latency of every link without a more specific override.
+    pub base: LatencyCfg,
+    /// Override for client↔client links (g-2PL data migration hops).
+    pub client_client: Option<LatencyCfg>,
+    /// Override for server↔server links (cross-shard coordination).
+    pub server_server: Option<LatencyCfg>,
+}
+
+impl Topology {
+    /// The paper's topology: every link takes the base latency.
+    pub fn full_mesh(base: LatencyCfg) -> Self {
+        Topology {
+            base,
+            client_client: None,
+            server_server: None,
+        }
+    }
+
+    /// Price client↔client forwarding links differently (both directions).
+    #[must_use]
+    pub fn with_client_client(mut self, cfg: LatencyCfg) -> Self {
+        self.client_client = Some(cfg);
+        self
+    }
+
+    /// Price server↔server cross-shard links differently (both directions).
+    #[must_use]
+    pub fn with_server_server(mut self, cfg: LatencyCfg) -> Self {
+        self.server_server = Some(cfg);
+        self
+    }
+
+    /// The effective latency configuration of the `from → to` link.
+    ///
+    /// This is the per-link hook: callers that need a one-way figure for
+    /// a specific pair (timeout derivation, lookahead bounds) resolve it
+    /// here instead of assuming the base is uniform.
+    pub fn latency(&self, from: SiteId, to: SiteId) -> LatencyCfg {
+        match (from.is_server(), to.is_server()) {
+            (false, false) => self.client_client.unwrap_or(self.base),
+            (true, true) => self.server_server.unwrap_or(self.base),
+            _ => self.base,
+        }
+    }
+
+    /// Smallest nominal one-way latency over all link classes.
+    ///
+    /// Conservative PDES uses this as the lookahead bound: no message can
+    /// arrive sooner than the cheapest link delivers it.
+    pub fn min_nominal(&self) -> u64 {
+        [Some(self.base), self.client_client, self.server_server]
+            .into_iter()
+            .flatten()
+            .map(LatencyCfg::nominal)
+            .min()
+            // lint:allow(L3): the array always contains Some(self.base)
+            .expect("base is always present")
+    }
+
+    /// True when every link uses the base configuration.
+    pub fn is_uniform(&self) -> bool {
+        self.client_client.is_none() && self.server_server.is_none()
+    }
+
+    /// Build the runtime latency model.
+    ///
+    /// A uniform topology builds the plain base model — the same object
+    /// `self.base.build()` returns — so the full-mesh default cannot
+    /// perturb any existing figure.
+    pub fn build(&self) -> Box<dyn LatencyModel> {
+        if self.is_uniform() {
+            return self.base.build();
+        }
+        Box::new(TopologyLatency {
+            base: self.base.build(),
+            client_client: self.client_client.map(LatencyCfg::build),
+            server_server: self.server_server.map(LatencyCfg::build),
+        })
+    }
+}
+
+/// Runtime model dispatching on link class before delegating to the
+/// per-class model.
+struct TopologyLatency {
+    base: Box<dyn LatencyModel>,
+    client_client: Option<Box<dyn LatencyModel>>,
+    server_server: Option<Box<dyn LatencyModel>>,
+}
+
+impl LatencyModel for TopologyLatency {
+    fn delay(&self, from: SiteId, to: SiteId, size_bytes: u64, rng: &mut RngStream) -> SimTime {
+        let model = match (from.is_server(), to.is_server()) {
+            (false, false) => self.client_client.as_deref().unwrap_or(&*self.base),
+            (true, true) => self.server_server.as_deref().unwrap_or(&*self.base),
+            _ => &*self.base,
+        };
+        model.delay(from, to, size_bytes, rng)
+    }
+
+    fn nominal(&self) -> SimTime {
+        self.base.nominal()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use g2pl_simcore::{ClientId, ShardId};
+
+    fn client(i: u32) -> SiteId {
+        SiteId::Client(ClientId::new(i))
+    }
+
+    fn server(s: u32) -> SiteId {
+        SiteId::Server(ShardId::new(s))
+    }
+
+    #[test]
+    fn full_mesh_is_uniform_and_prices_all_links_equally() {
+        let t = Topology::full_mesh(LatencyCfg::Constant(250));
+        assert!(t.is_uniform());
+        assert_eq!(t.min_nominal(), 250);
+        for (from, to) in [
+            (client(0), server(0)),
+            (server(1), client(3)),
+            (client(0), client(1)),
+            (server(0), server(1)),
+        ] {
+            assert_eq!(t.latency(from, to), LatencyCfg::Constant(250));
+        }
+        let mut rng = RngStream::new(1);
+        let m = t.build();
+        assert_eq!(
+            m.delay(client(0), server(0), 0, &mut rng),
+            SimTime::new(250)
+        );
+    }
+
+    #[test]
+    fn per_link_overrides_resolve_by_class() {
+        let t = Topology::full_mesh(LatencyCfg::Constant(250))
+            .with_client_client(LatencyCfg::Constant(40))
+            .with_server_server(LatencyCfg::Constant(900));
+        assert!(!t.is_uniform());
+        assert_eq!(t.latency(client(0), client(1)), LatencyCfg::Constant(40));
+        assert_eq!(t.latency(server(0), server(2)), LatencyCfg::Constant(900));
+        assert_eq!(t.latency(client(0), server(2)), LatencyCfg::Constant(250));
+        assert_eq!(t.latency(server(2), client(0)), LatencyCfg::Constant(250));
+        assert_eq!(t.min_nominal(), 40);
+
+        let mut rng = RngStream::new(1);
+        let m = t.build();
+        assert_eq!(m.delay(client(0), client(1), 0, &mut rng), SimTime::new(40));
+        assert_eq!(
+            m.delay(server(0), server(1), 0, &mut rng),
+            SimTime::new(900)
+        );
+        assert_eq!(
+            m.delay(server(0), client(1), 0, &mut rng),
+            SimTime::new(250)
+        );
+        assert_eq!(m.nominal(), SimTime::new(250));
+    }
+
+    #[test]
+    fn uniform_topology_builds_the_base_model_exactly() {
+        // The full-mesh default must delegate to the bare LatencyCfg
+        // path, so pre-topology figures cannot shift by construction.
+        let base = LatencyCfg::Jittered {
+            base: 10,
+            jitter: 6,
+        };
+        let t = Topology::full_mesh(base);
+        let mut a = RngStream::new(42);
+        let mut b = RngStream::new(42);
+        let (tm, bm) = (t.build(), base.build());
+        for i in 0..200 {
+            let from = client(i % 5);
+            let to = if i % 3 == 0 { server(0) } else { client(i % 7) };
+            assert_eq!(
+                tm.delay(from, to, u64::from(i), &mut a),
+                bm.delay(from, to, u64::from(i), &mut b)
+            );
+        }
+    }
+}

@@ -9,7 +9,7 @@ use proptest::prelude::*;
 
 fn site(raw: u32, clients: u32) -> SiteId {
     if raw.is_multiple_of(clients + 1) {
-        SiteId::Server
+        SiteId::SERVER0
     } else {
         SiteId::Client(ClientId::new(raw % (clients + 1) - 1))
     }
@@ -33,7 +33,7 @@ proptest! {
         let m = JitteredLatency::new(SimTime::new(base), jitter);
         let mut rng = RngStream::new(seed);
         for _ in 0..50 {
-            let d = m.delay(SiteId::Server, SiteId::Server, 0, &mut rng).units();
+            let d = m.delay(SiteId::SERVER0, SiteId::SERVER0, 0, &mut rng).units();
             prop_assert!(d >= base && d <= base + jitter);
         }
     }
@@ -45,8 +45,8 @@ proptest! {
         let m = BandwidthLatency::new(SimTime::new(l), bpu);
         let mut rng = RngStream::new(3);
         let (lo, hi) = if s1 <= s2 { (s1, s2) } else { (s2, s1) };
-        let dlo = m.delay(SiteId::Server, SiteId::Server, lo, &mut rng);
-        let dhi = m.delay(SiteId::Server, SiteId::Server, hi, &mut rng);
+        let dlo = m.delay(SiteId::SERVER0, SiteId::SERVER0, lo, &mut rng);
+        let dhi = m.delay(SiteId::SERVER0, SiteId::SERVER0, hi, &mut rng);
         prop_assert!(dlo <= dhi);
         prop_assert!(dlo >= SimTime::new(l));
     }
@@ -62,7 +62,7 @@ proptest! {
         let mut rng = RngStream::new(4);
         prop_assert_eq!(m.delay(sa, sb, 0, &mut rng), SimTime::new(special));
         prop_assert_eq!(m.delay(sb, sa, 0, &mut rng), SimTime::new(special));
-        prop_assert_eq!(m.delay(sa, SiteId::Server, 0, &mut rng), SimTime::new(default));
+        prop_assert_eq!(m.delay(sa, SiteId::SERVER0, 0, &mut rng), SimTime::new(default));
     }
 
     /// Accounting totals always equal the sum over kinds and directions.

@@ -37,6 +37,10 @@ use g2pl_lockmgr::{AcquireOutcome, LockMode, LockTable};
 use g2pl_obs::SpanRecorder;
 use g2pl_simcore::{Calendar, ClientId, ItemId, SimTime, SiteId, TxnId, Version};
 use g2pl_wal::{LogRecord, ServerImage, ServerLog, ServerRecord, SiteLog};
+
+/// Per-shard slice of a committing transaction: written `(item,
+/// version)` pairs plus read-only items, bound for one home server.
+type ShardCommitGroup = (Vec<(ItemId, Version)>, Vec<ItemId>);
 use g2pl_workload::AccessMode;
 use g2pl_workload::TxnGenerator;
 use std::collections::BTreeMap;
@@ -53,7 +57,8 @@ pub struct C2plEngine {
     cfg: EngineConfig,
     cal: Calendar<Ev>,
     net: Net,
-    server_cpu: ServerCpu,
+    /// One serial CPU per server shard.
+    server_cpu: Vec<ServerCpu>,
     clients: Vec<ClientCore>,
     /// Per-client cache contents, indexed by `ItemId::index()`: `Some(v)`
     /// when the client caches version `v` of the item.
@@ -69,9 +74,12 @@ pub struct C2plEngine {
     /// recalled twice across dismantled barriers.
     deferred_callbacks: Vec<Vec<ItemId>>,
     table: TxnTable,
-    locks: LockTable,
+    /// One lock table per server shard; an item's locks live at the
+    /// shard owning it ([`EngineConfig::shard_of`]).
+    locks: Vec<LockTable>,
     /// Server-side cache directory: which clients cache each item, as a
     /// sorted vector per item (so recall fan-out needs no re-sort).
+    /// Indexed globally by item; each row is owned by the item's shard.
     directory: Vec<Vec<ClientId>>,
     /// Exclusive grants waiting for callback acknowledgements, indexed
     /// by `ItemId::index()` (at most one barrier per item).
@@ -102,9 +110,10 @@ pub struct C2plEngine {
     leased: Vec<bool>,
     /// Whether the plan schedules server crashes (see the s-2PL engine).
     srv_faults_on: bool,
-    /// The server's durable log (present iff `srv_faults_on`).
-    slog: Option<ServerLog>,
-    /// True between a server crash and its restart.
+    /// One durable log per shard (present iff `srv_faults_on`); only
+    /// shard 0 ever crashes, so only `slog[0]` is ever replayed.
+    slog: Option<Vec<ServerLog>>,
+    /// True between a shard-0 crash and its restart.
     server_down: bool,
     /// True while the re-registration handshake is open.
     recovering: bool,
@@ -116,8 +125,10 @@ pub struct C2plEngine {
     reregistered: Vec<bool>,
     /// Durable image replayed at the last restart.
     recovery_image: Option<ServerImage>,
-    /// Volatile mirror of the durable applied-commit set.
-    committed_srv: Vec<bool>,
+    /// Which shards have applied each transaction's commit slice (bit
+    /// `s` of `applied[txn]`; see the s-2PL engine). The shard-0 bit
+    /// mirrors the durable applied set.
+    applied: Vec<u64>,
     /// Fault-injection and recovery counters.
     fsum: FaultSummary,
 }
@@ -125,7 +136,11 @@ pub struct C2plEngine {
 impl C2plEngine {
     /// Build an engine for `cfg`.
     pub fn new(cfg: EngineConfig) -> Self {
-        let generator = TxnGenerator::new(cfg.profile.clone(), cfg.num_items);
+        let generator = TxnGenerator::new_sharded(
+            cfg.profile.clone(),
+            cfg.items.num_shards,
+            cfg.items.items_per_shard,
+        );
         let n = cfg.num_clients as usize;
         let replay = cfg.replay.clone().map(std::rc::Rc::new);
         let clients = (0..cfg.num_clients)
@@ -139,12 +154,12 @@ impl C2plEngine {
         let nominal = cfg.latency.nominal();
         let (net, lease, retry_base) = match cfg.active_faults() {
             Some(plan) => (
-                Net::with_faults(cfg.latency.build(), plan.clone(), cfg.seed),
+                Net::with_faults(cfg.build_latency(), plan.clone(), cfg.seed),
                 lease_period(plan, nominal),
                 retry_period(plan, nominal),
             ),
             None => (
-                Net::new(cfg.latency.build(), cfg.seed),
+                Net::new(cfg.build_latency(), cfg.seed),
                 SimTime::MAX,
                 SimTime::MAX,
             ),
@@ -152,6 +167,7 @@ impl C2plEngine {
         let srv_faults = cfg
             .active_faults()
             .is_some_and(g2pl_faults::FaultPlan::has_server_crashes);
+        let nshards = cfg.num_shards() as usize;
         C2plEngine {
             faults_on: net.faults_active(),
             net,
@@ -160,26 +176,26 @@ impl C2plEngine {
             last_activity: Vec::new(),
             leased: Vec::new(),
             srv_faults_on: srv_faults,
-            slog: srv_faults.then(ServerLog::new),
+            slog: srv_faults.then(|| (0..nshards).map(|_| ServerLog::new()).collect()),
             server_down: false,
             recovering: false,
             recovery_epoch: 0,
             recovery_started: SimTime::ZERO,
             reregistered: Vec::new(),
             recovery_image: None,
-            committed_srv: Vec::new(),
+            applied: Vec::new(),
             fsum: FaultSummary::default(),
-            server_cpu: ServerCpu::new(cfg.server_cpu_per_op),
+            server_cpu: vec![ServerCpu::new(cfg.server_cpu_per_op); nshards],
             cal: Calendar::new(),
             clients,
-            caches: vec![vec![None; cfg.num_items as usize]; n],
+            caches: vec![vec![None; cfg.num_items() as usize]; n],
             reading_cached: vec![Vec::new(); n],
             deferred_callbacks: vec![Vec::new(); n],
             table: TxnTable::new(),
-            locks: LockTable::new(),
-            directory: vec![Vec::new(); cfg.num_items as usize],
-            barriers: (0..cfg.num_items).map(|_| None).collect(),
-            versions: vec![0; cfg.num_items as usize],
+            locks: (0..nshards).map(|_| LockTable::new()).collect(),
+            directory: vec![Vec::new(); cfg.num_items() as usize],
+            barriers: (0..cfg.num_items()).map(|_| None).collect(),
+            versions: vec![0; cfg.num_items() as usize],
             generator,
             collector: Collector::with_histogram(
                 cfg.warmup_txns,
@@ -235,25 +251,32 @@ impl C2plEngine {
                 Ev::WindowTimer { .. } | Ev::LeaseCheck { .. } => {
                     unreachable!("event is not part of the c-2PL protocol")
                 }
-                Ev::ServerProc { msg } => {
+                Ev::ServerProc { shard, msg } => {
                     // Re-checked after the CPU delay: a crash may have hit
                     // while the message sat in the service queue.
-                    if self.server_accepts(&msg) {
-                        self.on_server_msg(now, msg);
+                    if self.server_accepts(shard as usize, &msg) {
+                        self.on_server_msg(now, shard as usize, msg);
                     } else {
                         self.fsum.server_msgs_lost += 1;
                     }
                 }
                 Ev::Deliver { to, msg } => match to {
-                    SiteId::Server => {
-                        if !self.server_accepts(&msg) {
+                    SiteId::Server(shard) => {
+                        let s = shard.index();
+                        if !self.server_accepts(s, &msg) {
                             self.fsum.server_msgs_lost += 1;
                         } else {
-                            let d = self.server_cpu.service(now);
+                            let d = self.server_cpu[s].service(now);
                             if d == g2pl_simcore::SimTime::ZERO {
-                                self.on_server_msg(now, msg);
+                                self.on_server_msg(now, s, msg);
                             } else {
-                                self.cal.schedule_in(d, Ev::ServerProc { msg });
+                                self.cal.schedule_in(
+                                    d,
+                                    Ev::ServerProc {
+                                        shard: shard.0,
+                                        msg,
+                                    },
+                                );
                             }
                         }
                     }
@@ -292,7 +315,10 @@ impl C2plEngine {
         // Under an active fault plan the end-of-run snapshot may hold
         // residue (see the s-2PL engine); liveness is property P8's job.
         if self.cfg.drain && !self.faults_on {
-            assert!(self.locks.is_quiescent(), "locks leaked after drain");
+            assert!(
+                self.locks.iter().all(LockTable::is_quiescent),
+                "locks leaked after drain"
+            );
             assert!(
                 self.barriers.iter().all(Option::is_none),
                 "callback barriers leaked"
@@ -395,8 +421,8 @@ impl C2plEngine {
         if c.retry_epoch != epoch {
             return;
         }
-        if c.pending_commit.is_some() {
-            self.resend_pending_commit(now, client);
+        if !c.pending_commits.is_empty() {
+            self.resend_pending_commits(now, client);
         } else if matches!(&c.txn, Some(a) if matches!(a.phase, ClientPhase::WaitingGrant(_))) {
             self.resend_request(now, client);
         }
@@ -434,7 +460,7 @@ impl C2plEngine {
         self.net.send(
             &mut self.cal,
             client.into(),
-            SiteId::Server,
+            self.cfg.shard_site(item),
             "c2pl.lock_request",
             CTRL_BYTES,
             Message::SLockReq {
@@ -447,27 +473,30 @@ impl C2plEngine {
         self.arm_retry(client);
     }
 
-    /// Re-send the unacknowledged commit-release (the client's WAL tail).
-    fn resend_pending_commit(&mut self, now: SimTime, client: ClientId) {
+    /// Re-send every unacknowledged commit slice (the client's WAL tail).
+    fn resend_pending_commits(&mut self, now: SimTime, client: ClientId) {
+        let pending = self.clients[client.index()].pending_commits.clone();
+        if pending.is_empty() {
+            return;
+        }
         let c = &mut self.clients[client.index()];
-        let Some(msg) = c.pending_commit.clone() else {
-            return;
-        };
-        let Message::SCommit { writes, .. } = &msg else {
-            return;
-        };
-        let bytes = CTRL_BYTES + writes.len() as u64 * self.cfg.item_size_bytes;
         c.retry_attempts = c.retry_attempts.saturating_add(1);
-        self.fsum.retries += 1;
         let _ = now;
-        self.net.send(
-            &mut self.cal,
-            client.into(),
-            SiteId::Server,
-            "c2pl.commit_release",
-            bytes,
-            msg,
-        );
+        for (shard, msg) in pending {
+            let Message::SCommit { writes, .. } = &msg else {
+                continue;
+            };
+            let bytes = CTRL_BYTES + writes.len() as u64 * self.cfg.item_size_bytes;
+            self.fsum.retries += 1;
+            self.net.send(
+                &mut self.cal,
+                client.into(),
+                SiteId::server(shard),
+                "c2pl.commit_release",
+                bytes,
+                msg,
+            );
+        }
         self.arm_retry(client);
     }
 
@@ -504,8 +533,8 @@ impl C2plEngine {
         }
         c.crashed = false;
         c.retry_progress();
-        if c.pending_commit.is_some() {
-            self.resend_pending_commit(now, client);
+        if !c.pending_commits.is_empty() {
+            self.resend_pending_commits(now, client);
             return;
         }
         let Some(active) = &c.txn else {
@@ -595,7 +624,7 @@ impl C2plEngine {
         self.net.send(
             &mut self.cal,
             client.into(),
-            SiteId::Server,
+            self.cfg.shard_site(item),
             "c2pl.lock_request",
             CTRL_BYTES,
             Message::SLockReq {
@@ -625,20 +654,19 @@ impl C2plEngine {
         let measured = self
             .collector
             .on_commit_sized(now.since(active.start), active.spec.len());
-        // One combined commit/release message back to the server.
-        self.spans.commit_local(now, txn, 1, measured);
-        self.trace
-            .record(now, TraceKind::Committed, Some(txn), None, client.into());
 
-        let mut writes = Vec::new();
-        let mut reads = Vec::new();
+        // One combined commit/release message per involved shard, in
+        // ascending shard order. A single-shard space degenerates to
+        // exactly the old single message.
+        let mut by_shard: BTreeMap<u32, ShardCommitGroup> = BTreeMap::new();
         let mut records = Vec::new();
         for (idx, &(item, mode)) in active.spec.accesses.iter().enumerate() {
             let observed = active.versions[idx];
+            let slice = by_shard.entry(self.cfg.shard_of(item)).or_default();
             match mode {
                 AccessMode::Write => {
                     let installed = observed + 1;
-                    writes.push((item, installed));
+                    slice.0.push((item, installed));
                     records.push(AccessRecord {
                         item,
                         mode,
@@ -648,7 +676,7 @@ impl C2plEngine {
                     self.caches[client.index()][item.index()] = Some(installed);
                 }
                 AccessMode::Read => {
-                    reads.push(item);
+                    slice.1.push(item);
                     records.push(AccessRecord {
                         item,
                         mode,
@@ -658,6 +686,10 @@ impl C2plEngine {
                 }
             }
         }
+        self.spans
+            .commit_local(now, txn, by_shard.len() as u32, measured);
+        self.trace
+            .record(now, TraceKind::Committed, Some(txn), None, client.into());
         if let Some(h) = &mut self.history {
             h.push(CommitRecord {
                 txn,
@@ -668,34 +700,50 @@ impl C2plEngine {
 
         if let Some(wal) = &mut self.wal {
             let log = &mut wal[client.index()];
-            for &(item, new) in &writes {
-                log.append(LogRecord::Update {
-                    txn,
-                    item,
-                    old: new - 1,
-                    new,
-                });
+            for (writes, _) in by_shard.values() {
+                for &(item, new) in writes {
+                    log.append(LogRecord::Update {
+                        txn,
+                        item,
+                        old: new - 1,
+                        new,
+                    });
+                }
             }
             log.append(LogRecord::Commit { txn });
         }
 
-        let bytes = CTRL_BYTES + writes.len() as u64 * self.cfg.item_size_bytes;
-        let msg = Message::SCommit { txn, writes, reads };
         if self.faults_on {
-            // Commit durability under loss: retransmit until the server
-            // acknowledges; the idle period starts on the ack.
+            // Commit durability under loss: retransmit every slice until
+            // its shard acknowledges; the idle period starts on the last
+            // ack.
             let c = &mut self.clients[client.index()];
             c.retry_progress();
-            c.pending_commit = Some(msg.clone());
+            c.pending_commits = by_shard
+                .iter()
+                .map(|(&shard, (writes, reads))| {
+                    (
+                        shard,
+                        Message::SCommit {
+                            txn,
+                            writes: writes.clone(),
+                            reads: reads.clone(),
+                        },
+                    )
+                })
+                .collect();
         }
-        self.net.send(
-            &mut self.cal,
-            client.into(),
-            SiteId::Server,
-            "c2pl.commit_release",
-            bytes,
-            msg,
-        );
+        for (shard, (writes, reads)) in by_shard {
+            let bytes = CTRL_BYTES + writes.len() as u64 * self.cfg.item_size_bytes;
+            self.net.send(
+                &mut self.cal,
+                client.into(),
+                SiteId::server(shard),
+                "c2pl.commit_release",
+                bytes,
+                Message::SCommit { txn, writes, reads },
+            );
+        }
         // Pins release and deferred callbacks answer at transaction end
         // regardless; only the next transaction's start is gated on the
         // ack under faults.
@@ -719,7 +767,7 @@ impl C2plEngine {
             self.net.send(
                 &mut self.cal,
                 client.into(),
-                SiteId::Server,
+                self.cfg.shard_site(item),
                 "c2pl.callback_ack",
                 CTRL_BYTES,
                 Message::CallbackAck { client, item },
@@ -791,16 +839,21 @@ impl C2plEngine {
                 );
             }
             Message::SAbortNotice { txn } => self.finalize_abort(now, client, txn),
-            Message::SCommitAck { txn } => {
+            Message::SCommitAck { txn, shard } => {
                 let c = &mut self.clients[client.index()];
-                let acked =
-                    matches!(&c.pending_commit, Some(Message::SCommit { txn: t, .. }) if *t == txn);
-                if !acked {
-                    return; // duplicate ack of an older commit
-                }
-                c.pending_commit = None;
+                let Some(pos) = c.pending_commits.iter().position(|(s, m)| {
+                    *s == shard && matches!(m, Message::SCommit { txn: t, .. } if *t == txn)
+                }) else {
+                    return; // duplicate ack of an older commit or slice
+                };
+                c.pending_commits.remove(pos);
                 c.retry_progress();
-                self.schedule_next_txn(client);
+                if c.pending_commits.is_empty() {
+                    self.schedule_next_txn(client);
+                } else {
+                    // Remaining slices restart from a fresh backoff.
+                    self.arm_retry(client);
+                }
             }
             Message::Callback { item } => {
                 if self.reading_cached[client.index()].contains(&item) {
@@ -812,7 +865,7 @@ impl C2plEngine {
                     self.net.send(
                         &mut self.cal,
                         client.into(),
-                        SiteId::Server,
+                        self.cfg.shard_site(item),
                         "c2pl.callback_ack",
                         CTRL_BYTES,
                         Message::CallbackAck { client, item },
@@ -820,11 +873,12 @@ impl C2plEngine {
                 }
             }
             Message::ReregisterReq { epoch } => {
-                // Re-report everything the client holds of the server's:
-                // server-granted accesses of the live transaction (cache
-                // pins never took a server lock, so they are excluded),
-                // the unacknowledged commit, and the cached copies the
-                // rebuilt directory must know about.
+                // Re-report everything the client holds of the crashed
+                // shard's (only shard 0 crashes): server-granted accesses
+                // of the live transaction (cache pins never took a server
+                // lock, so they are excluded), the unacknowledged shard-0
+                // commit slice, and the shard-0 cached copies the rebuilt
+                // directory must know about.
                 let pins = &self.reading_cached[client.index()];
                 let c = &self.clients[client.index()];
                 let mut held = Vec::new();
@@ -833,27 +887,32 @@ impl C2plEngine {
                     txn = Some(active.id);
                     for idx in 0..active.granted {
                         let (item, mode) = active.spec.access(idx);
-                        if !pins.contains(&item) {
+                        if !pins.contains(&item) && self.cfg.shard_of(item) == 0 {
                             held.push((item, lock_mode(mode)));
                         }
                     }
                 }
-                let pending = c.pending_commit.as_ref().and_then(|m| match m {
-                    Message::SCommit { txn, writes, reads } => {
-                        Some((*txn, writes.clone(), reads.clone()))
-                    }
-                    _ => None,
-                });
+                let pending = c
+                    .pending_commits
+                    .iter()
+                    .find(|(shard, _)| *shard == 0)
+                    .and_then(|(_, m)| match m {
+                        Message::SCommit { txn, writes, reads } => {
+                            Some((*txn, writes.clone(), reads.clone()))
+                        }
+                        _ => None,
+                    });
                 let cached: Vec<ItemId> = self.caches[client.index()]
                     .iter()
                     .enumerate()
                     .filter_map(|(i, v)| v.map(|_| ItemId::new(i as u32)))
+                    .filter(|&item| self.cfg.shard_of(item) == 0)
                     .collect();
                 let bytes = CTRL_BYTES + 8 * (held.len() + cached.len()) as u64;
                 self.net.send(
                     &mut self.cal,
                     client.into(),
-                    SiteId::Server,
+                    SiteId::SERVER0,
                     "c2pl.reregister",
                     bytes,
                     Message::SReregister {
@@ -899,9 +958,12 @@ impl C2plEngine {
 
     // ---- server crash recovery ----
 
-    /// Whether the server can process `msg` right now (see the s-2PL
-    /// engine for the protocol).
-    fn server_accepts(&self, msg: &Message) -> bool {
+    /// Whether shard `shard` can process `msg` right now (see the s-2PL
+    /// engine for the protocol). Only shard 0 ever crashes.
+    fn server_accepts(&self, shard: usize, msg: &Message) -> bool {
+        if shard != 0 {
+            return true;
+        }
         if self.server_down {
             return false;
         }
@@ -929,17 +991,25 @@ impl C2plEngine {
         self.recovering = false;
         self.fsum.server_crashes += 1;
         self.trace
-            .record(now, TraceKind::ServerCrashed, None, None, SiteId::Server);
-        self.locks = LockTable::new();
-        self.server_cpu = ServerCpu::new(self.cfg.server_cpu_per_op);
-        self.directory.iter_mut().for_each(Vec::clear);
-        self.barriers.iter_mut().for_each(|b| *b = None);
-        self.versions.iter_mut().for_each(|v| *v = 0);
+            .record(now, TraceKind::ServerCrashed, None, None, SiteId::SERVER0);
+        let shard0_items = self.cfg.items.items_per_shard as usize;
+        self.locks[0] = LockTable::new();
+        self.server_cpu[0] = ServerCpu::new(self.cfg.server_cpu_per_op);
+        self.directory[..shard0_items]
+            .iter_mut()
+            .for_each(Vec::clear);
+        self.barriers[..shard0_items]
+            .iter_mut()
+            .for_each(|b| *b = None);
+        self.versions[..shard0_items]
+            .iter_mut()
+            .for_each(|v| *v = 0);
+        // Leases are coordinated at shard 0, so they die with it.
         self.leased.iter_mut().for_each(|l| *l = false);
         self.last_activity
             .iter_mut()
             .for_each(|t| *t = SimTime::ZERO);
-        self.committed_srv.iter_mut().for_each(|c| *c = false);
+        self.applied.iter_mut().for_each(|a| *a &= !1);
     }
 
     /// The server restarts: replay the durable log, restore versions and
@@ -953,12 +1023,12 @@ impl C2plEngine {
         self.recovery_started = now;
         self.reregistered = vec![false; self.cfg.num_clients as usize];
         // lint:allow(L3): the log exists whenever server crashes are planned
-        let img = self.slog.as_ref().expect("server log enabled").replay();
+        let img = self.slog.as_ref().expect("server log enabled")[0].replay();
         for (&item, &v) in &img.versions {
             self.versions[item.index()] = v;
         }
         for &txn in &img.committed {
-            self.mark_committed_srv(txn);
+            self.mark_applied(txn, 0);
         }
         self.recovery_image = Some(img);
         self.broadcast_reregister(false);
@@ -983,7 +1053,7 @@ impl C2plEngine {
             }
             self.net.send(
                 &mut self.cal,
-                SiteId::Server,
+                SiteId::SERVER0,
                 c.into(),
                 "c2pl.reregister_req",
                 CTRL_BYTES,
@@ -1084,7 +1154,7 @@ impl C2plEngine {
         }
         self.recovering = false;
         self.trace
-            .record(now, TraceKind::ServerRecovered, None, None, SiteId::Server);
+            .record(now, TraceKind::ServerRecovered, None, None, SiteId::SERVER0);
         for txn in silent_victims {
             self.abort_victim(now, txn);
         }
@@ -1101,7 +1171,8 @@ impl C2plEngine {
             } else {
                 LockMode::Shared
             };
-            let outcome = self.locks.acquire(txn, item, mode);
+            let shard = self.cfg.shard_of(item) as usize;
+            let outcome = self.locks[shard].acquire(txn, item, mode);
             debug_assert!(
                 matches!(outcome, AcquireOutcome::Granted),
                 "restored grants conflict: {txn} {item}"
@@ -1110,25 +1181,31 @@ impl C2plEngine {
         }
     }
 
-    fn mark_committed_srv(&mut self, txn: TxnId) {
+    /// Record that `shard` has applied `txn`'s commit slice.
+    fn mark_applied(&mut self, txn: TxnId, shard: usize) {
         let i = txn.index();
-        if self.committed_srv.len() <= i {
-            self.committed_srv.resize(i + 1, false);
+        if self.applied.len() <= i {
+            self.applied.resize(i + 1, 0);
         }
-        self.committed_srv[i] = true;
+        self.applied[i] |= 1u64 << shard;
     }
 
-    /// Whether `txn`'s commit has been applied at the server.
-    fn committed_at_server(&self, txn: TxnId) -> bool {
-        self.committed_srv
+    /// Whether `shard` has applied `txn`'s commit slice.
+    fn applied_at(&self, txn: TxnId, shard: usize) -> bool {
+        self.applied
             .get(txn.index())
-            .copied()
-            .unwrap_or(false)
+            .is_some_and(|a| a & (1u64 << shard) != 0)
+    }
+
+    /// Whether `txn`'s commit slice has been applied at shard 0 (the
+    /// crash-prone shard; the bit mirrors the durable applied set).
+    fn committed_at_server(&self, txn: TxnId) -> bool {
+        self.applied_at(txn, 0)
     }
 
     // ---- server side ----
 
-    fn on_server_msg(&mut self, now: SimTime, msg: Message) {
+    fn on_server_msg(&mut self, now: SimTime, shard: usize, msg: Message) {
         match msg {
             Message::SLockReq {
                 txn,
@@ -1136,6 +1213,11 @@ impl C2plEngine {
                 item,
                 mode,
             } => {
+                debug_assert_eq!(
+                    self.cfg.shard_of(item) as usize,
+                    shard,
+                    "lock request routed to the wrong shard"
+                );
                 match self.table.status(txn) {
                     TxnStatus::Active => {}
                     TxnStatus::Aborting | TxnStatus::Aborted if self.faults_on => {
@@ -1143,7 +1225,7 @@ impl C2plEngine {
                         // notice may have been lost: answer it again.
                         self.net.send(
                             &mut self.cal,
-                            SiteId::Server,
+                            SiteId::server(shard as u32),
                             client.into(),
                             "c2pl.abort_notice",
                             CTRL_BYTES,
@@ -1155,7 +1237,7 @@ impl C2plEngine {
                 }
                 if self.faults_on {
                     self.touch(now, txn);
-                    if self.locks.mode_of(txn, item).is_some() {
+                    if self.locks[shard].mode_of(txn, item).is_some() {
                         // Already granted. Unless the exclusive grant is
                         // still gated on a callback barrier (in which case
                         // the callback-retry timer drives progress),
@@ -1168,12 +1250,12 @@ impl C2plEngine {
                         }
                         return;
                     }
-                    if self.locks.queued_on(txn) == Some(item) {
+                    if self.locks[shard].queued_on(txn) == Some(item) {
                         return; // duplicate of a still-queued request
                     }
                 }
                 self.spans.req_arrived(now, txn, item);
-                match self.locks.acquire(txn, item, mode) {
+                match self.locks[shard].acquire(txn, item, mode) {
                     AcquireOutcome::Granted => {
                         self.on_lock_granted(now, client, txn, item, mode);
                     }
@@ -1183,30 +1265,26 @@ impl C2plEngine {
             Message::SCommit { txn, writes, reads } => {
                 let committer = self.table.info(txn).client;
                 if self.faults_on {
-                    // Duplicate commit-release (already applied): the ack
-                    // was lost, so just acknowledge again. Under server
-                    // crashes the applied set must be the durable one —
-                    // the volatile lease flag dies with the server.
-                    let duplicate = if self.srv_faults_on {
-                        self.committed_at_server(txn)
-                    } else {
-                        !self.leased.get(txn.index()).copied().unwrap_or(false)
-                    };
-                    if duplicate {
-                        self.send_commit_ack(committer, txn);
+                    // Duplicate commit-release slice (already applied at
+                    // this shard): the ack was lost, so just acknowledge
+                    // again. The per-shard applied bitmask subsumes the old
+                    // volatile lease check, and its shard-0 bit mirrors the
+                    // durable applied set restored at recovery.
+                    if self.applied_at(txn, shard) {
+                        self.send_commit_ack(shard, committer, txn);
                         return;
                     }
                     if let Some(l) = self.leased.get_mut(txn.index()) {
                         *l = false;
                     }
                 }
+                self.mark_applied(txn, shard);
                 if self.srv_faults_on {
-                    self.mark_committed_srv(txn);
-                    // Write-ahead: the applied commit, its installed
+                    // Write-ahead: the applied commit slice, its installed
                     // versions, and the release are durable before the
-                    // ack leaves the server.
+                    // ack leaves the shard.
                     // lint:allow(L3): the log exists whenever srv_faults_on
-                    let slog = self.slog.as_mut().expect("server log enabled");
+                    let slog = &mut self.slog.as_mut().expect("server log enabled")[shard];
                     slog.append(ServerRecord::Committed { txn });
                     for &(item, version) in &writes {
                         slog.append(ServerRecord::Permanent { item, version });
@@ -1244,16 +1322,16 @@ impl C2plEngine {
                     TraceKind::ReleasedAtServer,
                     Some(txn),
                     None,
-                    SiteId::Server,
+                    SiteId::server(shard as u32),
                 );
                 self.spans.release_arrived(now, txn, true);
-                let woken = self.locks.release_all(txn);
+                let woken = self.locks[shard].release_all(txn);
                 for (item, t, mode) in woken {
                     let c = self.table.info(t).client;
                     self.on_lock_granted(now, c, t, item, mode);
                 }
                 if self.faults_on {
-                    self.send_commit_ack(committer, txn);
+                    self.send_commit_ack(shard, committer, txn);
                 }
             }
             Message::CallbackAck { client, item } => {
@@ -1318,7 +1396,7 @@ impl C2plEngine {
                 for &target in &remote {
                     self.net.send(
                         &mut self.cal,
-                        SiteId::Server,
+                        self.cfg.shard_site(item),
                         target.into(),
                         "c2pl.callback",
                         CTRL_BYTES,
@@ -1348,11 +1426,15 @@ impl C2plEngine {
     }
 
     fn send_grant(&mut self, now: SimTime, client: ClientId, txn: TxnId, item: ItemId) {
+        let shard = self.cfg.shard_of(item) as usize;
         if self.srv_faults_on {
             // Write-ahead: the grant is durable before it leaves.
-            let exclusive = matches!(self.locks.mode_of(txn, item), Some(LockMode::Exclusive));
+            let exclusive = matches!(
+                self.locks[shard].mode_of(txn, item),
+                Some(LockMode::Exclusive)
+            );
             if let Some(slog) = &mut self.slog {
-                slog.append(ServerRecord::Grant {
+                slog[shard].append(ServerRecord::Grant {
                     txn,
                     item,
                     exclusive,
@@ -1370,7 +1452,7 @@ impl C2plEngine {
         self.spans.hop_departed(now, txn, item);
         self.net.send(
             &mut self.cal,
-            SiteId::Server,
+            SiteId::server(shard as u32),
             client.into(),
             "c2pl.grant",
             CTRL_BYTES + self.cfg.item_size_bytes,
@@ -1400,8 +1482,13 @@ impl C2plEngine {
                 if !table.is_live(t) {
                     return;
                 }
-                if let Some(item) = locks.queued_on(t) {
-                    locks.waits_for_into(t, item, out);
+                // Accesses are sequential, so a transaction queues on at
+                // most one item globally — scan the shards for it.
+                for lt in locks {
+                    if let Some(item) = lt.queued_on(t) {
+                        lt.waits_for_into(t, item, out);
+                        break;
+                    }
                 }
                 for (i, slot) in barriers.iter().enumerate() {
                     let Some(barrier) = slot else { continue };
@@ -1419,10 +1506,9 @@ impl C2plEngine {
                 }
             });
             let Some(cycle) = found else { break };
-            let victim = self
-                .cfg
-                .victim
-                .choose(cycle, |t| self.locks.held_by(t).len());
+            let victim = self.cfg.victim.choose(cycle, |t| {
+                self.locks.iter().map(|lt| lt.held_by(t).len()).sum()
+            });
             self.abort_victim(now, victim);
             if victim == trigger {
                 break;
@@ -1446,15 +1532,18 @@ impl C2plEngine {
         }
     }
 
-    /// Acknowledge a processed commit-release (faults only).
-    fn send_commit_ack(&mut self, client: ClientId, txn: TxnId) {
+    /// Acknowledge a processed commit-release slice (faults only).
+    fn send_commit_ack(&mut self, shard: usize, client: ClientId, txn: TxnId) {
         self.net.send(
             &mut self.cal,
-            SiteId::Server,
+            SiteId::server(shard as u32),
             client.into(),
             "c2pl.commit_ack",
             CTRL_BYTES,
-            Message::SCommitAck { txn },
+            Message::SCommitAck {
+                txn,
+                shard: shard as u32,
+            },
         );
     }
 
@@ -1483,12 +1572,12 @@ impl C2plEngine {
                     TraceKind::LeaseExpired,
                     Some(txn),
                     None,
-                    SiteId::Server,
+                    SiteId::SERVER0,
                 );
                 self.abort_victim(now, txn);
                 self.fsum.redispatches += 1;
                 self.trace
-                    .record(now, TraceKind::Redispatch, Some(txn), None, SiteId::Server);
+                    .record(now, TraceKind::Redispatch, Some(txn), None, SiteId::SERVER0);
             }
             TxnStatus::Aborting | TxnStatus::Aborted => {
                 self.leased[txn.index()] = false;
@@ -1521,7 +1610,7 @@ impl C2plEngine {
                 self.fsum.retries += 1;
                 self.net.send(
                     &mut self.cal,
-                    SiteId::Server,
+                    self.cfg.shard_site(item),
                     target.into(),
                     "c2pl.callback",
                     CTRL_BYTES,
@@ -1559,8 +1648,12 @@ impl C2plEngine {
         self.table.set_status(victim, TxnStatus::Aborting);
         if self.srv_faults_on {
             // The victim's grants die with it; compaction may fold them.
+            // Every shard's log gets the release — the victim may hold
+            // grants anywhere.
             if let Some(slog) = &mut self.slog {
-                slog.append(ServerRecord::Released { txn: victim });
+                for s in slog.iter_mut() {
+                    s.append(ServerRecord::Released { txn: victim });
+                }
             }
         }
         if let Some(l) = self.leased.get_mut(victim.index()) {
@@ -1576,7 +1669,11 @@ impl C2plEngine {
                 *slot = None;
             }
         }
-        let woken = self.locks.release_all(victim);
+        // Release across shards in ascending order for determinism.
+        let mut woken = Vec::new();
+        for lt in &mut self.locks {
+            woken.extend(lt.release_all(victim));
+        }
         for (item, t, mode) in woken {
             let c = self.table.info(t).client;
             self.on_lock_granted(now, c, t, item, mode);
@@ -1584,7 +1681,7 @@ impl C2plEngine {
         let client = self.table.info(victim).client;
         self.net.send(
             &mut self.cal,
-            SiteId::Server,
+            SiteId::SERVER0,
             client.into(),
             "c2pl.abort_notice",
             CTRL_BYTES,
@@ -1610,7 +1707,7 @@ mod tests {
     #[test]
     fn single_client_read_only_hits_cache() {
         let mut c = cfg(1, 100, 1.0);
-        c.num_items = 3; // tiny pool: every item is soon cached
+        c.items = crate::config::ItemSpace::single(3); // tiny pool: every item is soon cached
         c.profile.max_items = 3;
         let m = C2plEngine::new(c).run();
         assert_eq!(m.aborted_total, 0);

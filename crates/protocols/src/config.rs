@@ -10,7 +10,7 @@ use std::fmt;
 // The latency-model configuration lives with the latency models themselves
 // (single source of truth for the lossy-link wrapper); re-exported here so
 // `g2pl_protocols::LatencyCfg` keeps working.
-pub use g2pl_netmodel::LatencyCfg;
+pub use g2pl_netmodel::{LatencyCfg, Topology};
 
 /// Which protocol engine to run.
 #[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
@@ -83,15 +83,70 @@ impl Default for G2plOpts {
     }
 }
 
+/// Partition of the hot-item pool across server shards.
+///
+/// Directory sharding over contiguous ranges: shard `s` owns items
+/// `s * items_per_shard .. (s + 1) * items_per_shard`, so
+/// `shard_of(i) = i / items_per_shard`. The paper's single-server model
+/// is [`ItemSpace::single`] — one shard owning the whole pool.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ItemSpace {
+    /// Number of server shards (Table 1: 1).
+    pub num_shards: u32,
+    /// Hot items owned by each shard (Table 1: 25 on the single shard).
+    pub items_per_shard: u32,
+}
+
+impl ItemSpace {
+    /// The paper's layout: one shard owning all `num_items` hot items.
+    pub const fn single(num_items: u32) -> Self {
+        ItemSpace {
+            num_shards: 1,
+            items_per_shard: num_items,
+        }
+    }
+
+    /// `num_shards` shards of `items_per_shard` items each.
+    pub const fn sharded(num_shards: u32, items_per_shard: u32) -> Self {
+        ItemSpace {
+            num_shards,
+            items_per_shard,
+        }
+    }
+
+    /// Total hot items across every shard.
+    pub const fn num_items(&self) -> u32 {
+        self.num_shards * self.items_per_shard
+    }
+
+    /// The shard owning `item` (raw index).
+    #[inline]
+    pub const fn shard_of(&self, item: g2pl_simcore::ItemId) -> u32 {
+        item.0 / self.items_per_shard
+    }
+
+    /// The server endpoint owning `item`.
+    #[inline]
+    pub const fn site_of(&self, item: g2pl_simcore::ItemId) -> g2pl_simcore::SiteId {
+        g2pl_simcore::SiteId::server(self.shard_of(item))
+    }
+}
+
 /// Full configuration of one simulation run.
 #[derive(Clone, Debug, Serialize, Deserialize)]
 pub struct EngineConfig {
     /// Number of client sites (Table 1: "varying"; Figs 2–11 use 50).
     pub num_clients: u32,
-    /// Number of hot data items at the server (Table 1: 25).
-    pub num_items: u32,
+    /// The hot-item pool and its partition across server shards
+    /// (Table 1: one shard of 25 items).
+    pub items: ItemSpace,
     /// Network latency model (Table 2 values under `Constant`).
     pub latency: LatencyCfg,
+    /// Optional link topology over `latency`: per-link-class overrides
+    /// for client↔client and server↔server (cross-shard) hops. `None`
+    /// means the paper's full mesh — every link prices at `latency`,
+    /// byte-identical to the pre-topology engines.
+    pub topology: Option<Topology>,
     /// Per-client transaction profile (Table 1).
     pub profile: TxnProfile,
     /// Optional recorded workload: when set, each client replays its
@@ -181,8 +236,9 @@ impl EngineConfig {
     pub fn table1(protocol: ProtocolKind, num_clients: u32, latency: u64, read_prob: f64) -> Self {
         EngineConfig {
             num_clients,
-            num_items: 25,
+            items: ItemSpace::single(25),
             latency: LatencyCfg::Constant(latency),
+            topology: None,
             profile: TxnProfile::table1(read_prob),
             replay: None,
             protocol,
@@ -209,6 +265,28 @@ impl EngineConfig {
         }
     }
 
+    /// Total hot items across every shard.
+    pub fn num_items(&self) -> u32 {
+        self.items.num_items()
+    }
+
+    /// Number of server shards.
+    pub fn num_shards(&self) -> u32 {
+        self.items.num_shards
+    }
+
+    /// The shard owning `item` (raw index).
+    #[inline]
+    pub fn shard_of(&self, item: g2pl_simcore::ItemId) -> u32 {
+        self.items.shard_of(item)
+    }
+
+    /// The server endpoint owning `item`.
+    #[inline]
+    pub fn shard_site(&self, item: g2pl_simcore::ItemId) -> g2pl_simcore::SiteId {
+        self.items.site_of(item)
+    }
+
     /// The fault plan, if one is set *and* can inject at least one fault.
     /// This is the single gate the engines consult: an inert plan must be
     /// indistinguishable from no plan at all.
@@ -216,16 +294,44 @@ impl EngineConfig {
         self.faults.as_ref().filter(|p| p.is_active())
     }
 
+    /// The effective link topology: the configured one, or the paper's
+    /// full mesh over `latency`.
+    pub fn effective_topology(&self) -> Topology {
+        self.topology
+            .unwrap_or_else(|| Topology::full_mesh(self.latency))
+    }
+
+    /// The effective latency configuration of one specific link — the
+    /// per-link hook the topology surface exposes.
+    pub fn link_latency(&self, from: g2pl_simcore::SiteId, to: g2pl_simcore::SiteId) -> LatencyCfg {
+        self.effective_topology().latency(from, to)
+    }
+
+    /// Build the runtime latency model, honouring the topology when set.
+    /// A uniform (or absent) topology builds exactly `latency.build()`.
+    pub fn build_latency(&self) -> Box<dyn g2pl_netmodel::latency::LatencyModel> {
+        self.effective_topology().build()
+    }
+
     /// Check internal consistency.
     pub fn validate(&self) -> Result<(), ConfigError> {
         if self.num_clients == 0 {
             return Err(ConfigError::NoClients);
         }
-        if self.num_items == 0 {
+        if self.items.num_shards == 0 {
+            return Err(ConfigError::NoShards);
+        }
+        // The per-transaction commit-applied set is a u64 shard bitmask.
+        if self.items.num_shards > 64 {
+            return Err(ConfigError::TooManyShards {
+                num_shards: self.items.num_shards,
+            });
+        }
+        if self.items.items_per_shard == 0 {
             return Err(ConfigError::NoItems);
         }
         self.profile
-            .validate(self.num_items)
+            .validate(self.num_items())
             .map_err(ConfigError::Profile)?;
         if self.measured_txns == 0 {
             return Err(ConfigError::NoMeasuredTxns);
@@ -233,6 +339,14 @@ impl EngineConfig {
         if let ProtocolKind::G2pl(opts) = &self.protocol {
             if opts.fl_cap == Some(0) {
                 return Err(ConfigError::ZeroFlCap);
+            }
+        }
+        if let Some(t) = &self.topology {
+            // One source of truth: a topology's base must restate the
+            // run's nominal latency, not silently replace it (timeouts
+            // and lease periods derive from `latency.nominal()`).
+            if t.base != self.latency {
+                return Err(ConfigError::TopologyBaseMismatch);
             }
         }
         if let Some(plan) = &self.faults {
@@ -255,7 +369,15 @@ impl EngineConfig {
 pub enum ConfigError {
     /// `num_clients == 0`.
     NoClients,
-    /// `num_items == 0`.
+    /// `items.num_shards == 0`.
+    NoShards,
+    /// `items.num_shards > 64` (the commit-applied shard set is a u64
+    /// bitmask).
+    TooManyShards {
+        /// Requested shard count.
+        num_shards: u32,
+    },
+    /// `items.items_per_shard == 0`.
     NoItems,
     /// The transaction profile is inconsistent (message carries details).
     Profile(String),
@@ -263,6 +385,8 @@ pub enum ConfigError {
     NoMeasuredTxns,
     /// A forward-list cap of 0 would never dispatch.
     ZeroFlCap,
+    /// `topology.base` disagrees with `latency`.
+    TopologyBaseMismatch,
     /// The fault plan is invalid.
     Faults(g2pl_faults::FaultPlanError),
     /// A crash window names a client outside `0..num_clients`.
@@ -278,10 +402,18 @@ impl fmt::Display for ConfigError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             ConfigError::NoClients => write!(f, "need at least one client"),
-            ConfigError::NoItems => write!(f, "need at least one data item"),
+            ConfigError::NoShards => write!(f, "need at least one server shard"),
+            ConfigError::TooManyShards { num_shards } => {
+                write!(f, "{num_shards} shards exceed the 64-shard engine limit")
+            }
+            ConfigError::NoItems => write!(f, "need at least one data item per shard"),
             ConfigError::Profile(msg) => write!(f, "invalid transaction profile: {msg}"),
             ConfigError::NoMeasuredTxns => write!(f, "measured_txns must be positive"),
             ConfigError::ZeroFlCap => write!(f, "fl_cap of 0 would never dispatch"),
+            ConfigError::TopologyBaseMismatch => write!(
+                f,
+                "topology.base must equal the run's latency (timeouts derive from it)"
+            ),
             ConfigError::Faults(e) => write!(f, "invalid fault plan: {e}"),
             ConfigError::CrashClientOutOfRange {
                 client,
@@ -329,10 +461,36 @@ impl EngineConfigBuilder {
         self
     }
 
-    /// Number of hot data items at the server.
+    /// Number of hot data items at the (single) server.
+    #[deprecated(
+        note = "use `shards(n)` + `items_per_shard(m)`; this maps to one shard of n items"
+    )]
     #[must_use]
     pub fn num_items(mut self, n: u32) -> Self {
-        self.cfg.num_items = n;
+        self.cfg.items = ItemSpace::single(n);
+        self
+    }
+
+    /// Number of server shards. The items-per-shard count is preserved
+    /// (Table 1's 25 unless overridden), so `shards(4)` yields a 100-item
+    /// pool partitioned 25 per shard.
+    #[must_use]
+    pub fn shards(mut self, n: u32) -> Self {
+        self.cfg.items.num_shards = n;
+        self
+    }
+
+    /// Hot items owned by each shard.
+    #[must_use]
+    pub fn items_per_shard(mut self, m: u32) -> Self {
+        self.cfg.items.items_per_shard = m;
+        self
+    }
+
+    /// The full item-space partition in one call.
+    #[must_use]
+    pub fn item_space(mut self, items: ItemSpace) -> Self {
+        self.cfg.items = items;
         self
     }
 
@@ -347,6 +505,16 @@ impl EngineConfigBuilder {
     #[must_use]
     pub fn latency_const(self, units: u64) -> Self {
         self.latency(LatencyCfg::Constant(units))
+    }
+
+    /// Link topology with per-class overrides. Also adopts the
+    /// topology's base as the run latency, keeping the two coherent
+    /// (validation rejects a mismatch).
+    #[must_use]
+    pub fn topology(mut self, t: Topology) -> Self {
+        self.cfg.latency = t.base;
+        self.cfg.topology = Some(t);
+        self
     }
 
     /// Per-client transaction profile.
@@ -468,8 +636,58 @@ mod tests {
     fn table1_config_is_valid() {
         let c = EngineConfig::table1(ProtocolKind::S2pl, 50, 500, 0.6);
         assert!(c.validate().is_ok());
-        assert_eq!(c.num_items, 25);
+        assert_eq!(c.num_items(), 25);
+        assert_eq!(c.num_shards(), 1);
         assert_eq!(c.latency.nominal(), 500);
+    }
+
+    #[test]
+    fn item_space_partitions_contiguously() {
+        use g2pl_simcore::ItemId;
+        let s = ItemSpace::sharded(4, 25);
+        assert_eq!(s.num_items(), 100);
+        assert_eq!(s.shard_of(ItemId::new(0)), 0);
+        assert_eq!(s.shard_of(ItemId::new(24)), 0);
+        assert_eq!(s.shard_of(ItemId::new(25)), 1);
+        assert_eq!(s.shard_of(ItemId::new(99)), 3);
+        assert_eq!(format!("{}", s.site_of(ItemId::new(99))), "S3");
+        assert_eq!(
+            format!("{}", ItemSpace::single(25).site_of(ItemId::new(7))),
+            "S"
+        );
+    }
+
+    #[test]
+    fn deprecated_num_items_shim_maps_to_one_shard() {
+        #[allow(deprecated)]
+        let cfg = EngineConfig::builder(ProtocolKind::S2pl)
+            .num_items(40)
+            .build()
+            .expect("valid");
+        assert_eq!(cfg.items, ItemSpace::single(40));
+        assert_eq!(cfg.num_items(), 40);
+    }
+
+    #[test]
+    fn sharded_builder_and_validation() {
+        let cfg = EngineConfig::builder(ProtocolKind::S2pl)
+            .shards(3)
+            .items_per_shard(10)
+            .build()
+            .expect("valid");
+        assert_eq!(cfg.num_shards(), 3);
+        assert_eq!(cfg.num_items(), 30);
+
+        let err = EngineConfig::builder(ProtocolKind::S2pl)
+            .shards(0)
+            .build()
+            .unwrap_err();
+        assert_eq!(err, ConfigError::NoShards);
+        let err = EngineConfig::builder(ProtocolKind::S2pl)
+            .shards(65)
+            .build()
+            .unwrap_err();
+        assert!(matches!(err, ConfigError::TooManyShards { num_shards: 65 }));
     }
 
     #[test]
@@ -501,7 +719,7 @@ mod tests {
     fn builder_overrides_and_validates() {
         let cfg = EngineConfig::builder(ProtocolKind::S2pl)
             .num_clients(10)
-            .num_items(5)
+            .items_per_shard(5)
             .latency_const(42)
             .read_prob(1.0)
             .seed(3)

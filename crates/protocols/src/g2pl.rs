@@ -170,7 +170,8 @@ pub struct G2plEngine {
     opts: G2plOpts,
     cal: Calendar<Ev>,
     net: Net,
-    server_cpu: ServerCpu,
+    /// One serial CPU per server shard.
+    server_cpu: Vec<ServerCpu>,
     clients: Vec<ClientCore>,
     table: TxnTable,
     items: Vec<ItemState>,
@@ -218,8 +219,9 @@ pub struct G2plEngine {
     /// server log and the recovery protocol, so loss-only plans keep
     /// the exact crash-free fault paths.
     srv_faults_on: bool,
-    /// The server's durable recovery log (server crashes only).
-    slog: Option<ServerLog>,
+    /// One durable recovery log per shard (server crashes only); only
+    /// shard 0 ever crashes, so only `slog[0]` is ever replayed.
+    slog: Option<Vec<ServerLog>>,
     /// True while the server is crashed.
     server_down: bool,
     /// True while the post-restart re-registration handshake is open.
@@ -242,7 +244,11 @@ impl G2plEngine {
             // lint:allow(L3): constructor precondition, caught by config validation
             panic!("G2plEngine requires a g-2PL configuration");
         };
-        let generator = TxnGenerator::new(cfg.profile.clone(), cfg.num_items);
+        let generator = TxnGenerator::new_sharded(
+            cfg.profile.clone(),
+            cfg.items.num_shards,
+            cfg.items.items_per_shard,
+        );
         let replay = cfg.replay.clone().map(std::rc::Rc::new);
         let clients = (0..cfg.num_clients)
             .map(|i| match &replay {
@@ -252,7 +258,7 @@ impl G2plEngine {
                 None => ClientCore::new(ClientId::new(i), cfg.seed),
             })
             .collect();
-        let items = (0..cfg.num_items)
+        let items = (0..cfg.num_items())
             .map(|_| ItemState {
                 version: 0,
                 epoch: 0,
@@ -265,12 +271,12 @@ impl G2plEngine {
         let nominal = cfg.latency.nominal();
         let (net, lease, retry_base) = match cfg.active_faults() {
             Some(plan) => (
-                Net::with_faults(cfg.latency.build(), plan.clone(), cfg.seed),
+                Net::with_faults(cfg.build_latency(), plan.clone(), cfg.seed),
                 lease_period(plan, nominal),
                 retry_period(plan, nominal),
             ),
             None => (
-                Net::new(cfg.latency.build(), cfg.seed),
+                Net::new(cfg.build_latency(), cfg.seed),
                 SimTime::MAX,
                 SimTime::MAX,
             ),
@@ -278,6 +284,7 @@ impl G2plEngine {
         let srv_faults = cfg
             .active_faults()
             .is_some_and(g2pl_faults::FaultPlan::has_server_crashes);
+        let nshards = cfg.num_shards() as usize;
         G2plEngine {
             faults_on: net.faults_active(),
             net,
@@ -285,14 +292,14 @@ impl G2plEngine {
             retry_base,
             fsum: FaultSummary::default(),
             srv_faults_on: srv_faults,
-            slog: srv_faults.then(ServerLog::new),
+            slog: srv_faults.then(|| (0..nshards).map(|_| ServerLog::new()).collect()),
             server_down: false,
             recovering: false,
             recovery_epoch: 0,
             recovery_started: SimTime::ZERO,
             reregistered: Vec::new(),
             recovery_image: None,
-            server_cpu: ServerCpu::new(cfg.server_cpu_per_op),
+            server_cpu: vec![ServerCpu::new(cfg.server_cpu_per_op); nshards],
             cal: Calendar::new(),
             clients,
             table: TxnTable::new(),
@@ -359,25 +366,32 @@ impl G2plEngine {
                     }
                 }
                 Ev::WindowTimer { item } => self.on_window_timer(now, item),
-                Ev::ServerProc { msg } => {
+                Ev::ServerProc { shard, msg } => {
                     // The crash may have struck while the message sat in
                     // the CPU queue: it dies with the queue.
-                    if self.server_accepts(&msg) {
-                        self.on_server_msg(now, msg);
+                    if self.server_accepts(shard as usize, &msg) {
+                        self.on_server_msg(now, shard as usize, msg);
                     } else {
                         self.fsum.server_msgs_lost += 1;
                     }
                 }
                 Ev::Deliver { to, msg } => match to {
-                    SiteId::Server => {
-                        if !self.server_accepts(&msg) {
+                    SiteId::Server(shard) => {
+                        let s = shard.index();
+                        if !self.server_accepts(s, &msg) {
                             self.fsum.server_msgs_lost += 1;
                         } else {
-                            let d = self.server_cpu.service(now);
+                            let d = self.server_cpu[s].service(now);
                             if d == g2pl_simcore::SimTime::ZERO {
-                                self.on_server_msg(now, msg);
+                                self.on_server_msg(now, s, msg);
                             } else {
-                                self.cal.schedule_in(d, Ev::ServerProc { msg });
+                                self.cal.schedule_in(
+                                    d,
+                                    Ev::ServerProc {
+                                        shard: shard.0,
+                                        msg,
+                                    },
+                                );
                             }
                         }
                     }
@@ -622,7 +636,7 @@ impl G2plEngine {
         self.net.send(
             &mut self.cal,
             client.into(),
-            SiteId::Server,
+            self.cfg.shard_site(item),
             "g2pl.lock_request",
             CTRL_BYTES,
             Message::GLockReq {
@@ -682,7 +696,7 @@ impl G2plEngine {
         self.net.send(
             &mut self.cal,
             client.into(),
-            SiteId::Server,
+            self.cfg.shard_site(item),
             "g2pl.lock_request",
             CTRL_BYTES,
             Message::GLockReq {
@@ -903,7 +917,11 @@ impl G2plEngine {
                     };
                     (SiteId::Client(fl.entry(w).client), Some(w), bytes)
                 }
-                None => (SiteId::Server, None, CTRL_BYTES + self.cfg.item_size_bytes),
+                None => (
+                    self.cfg.shard_site(item),
+                    None,
+                    CTRL_BYTES + self.cfg.item_size_bytes,
+                ),
             };
             let msg = Message::GReaderRelease {
                 item,
@@ -974,7 +992,7 @@ impl G2plEngine {
                         self.net.send_with_delay(
                             &mut self.cal,
                             client.into(),
-                            SiteId::Server,
+                            self.cfg.shard_site(item),
                             "g2pl.return",
                             CTRL_BYTES + self.cfg.item_size_bytes,
                             msg,
@@ -984,7 +1002,7 @@ impl G2plEngine {
                         self.net.send(
                             &mut self.cal,
                             client.into(),
-                            SiteId::Server,
+                            self.cfg.shard_site(item),
                             "g2pl.return",
                             CTRL_BYTES + self.cfg.item_size_bytes,
                             msg,
@@ -1158,13 +1176,17 @@ impl G2plEngine {
                 // Report every live (unforwarded) forward-list slot this
                 // client holds or anticipates — checked-out items,
                 // in-flight positions, and committed-but-unreturned
-                // versions all ride in the same report. A pure function
-                // of client state, so duplicated deliveries are
-                // idempotent at the server.
+                // versions all ride in the same report. Only shard 0 ever
+                // crashes, so the report covers shard-0 items only. A
+                // pure function of client state, so duplicated deliveries
+                // are idempotent at the server.
                 let mut holds = Vec::new();
                 for (_, slots) in self.holds.iter() {
                     for (item, h) in slots {
-                        if h.forwarded || h.fl.entry(h.pos).client != client {
+                        if h.forwarded
+                            || h.fl.entry(h.pos).client != client
+                            || self.cfg.shard_of(*item) != 0
+                        {
                             continue;
                         }
                         holds.push(HoldReport {
@@ -1182,7 +1204,7 @@ impl G2plEngine {
                 self.net.send(
                     &mut self.cal,
                     client.into(),
-                    SiteId::Server,
+                    SiteId::SERVER0,
                     "g2pl.reregister",
                     bytes,
                     Message::GReregister {
@@ -1307,10 +1329,13 @@ impl G2plEngine {
 
     // ---- server crash recovery ----
 
-    /// Whether the server can process `msg` right now: everything while
-    /// up, nothing while down, only re-registration reports while the
-    /// recovery handshake is open.
-    fn server_accepts(&self, msg: &Message) -> bool {
+    /// Whether shard `shard` can process `msg` right now: everything
+    /// while up, nothing while down, only re-registration reports while
+    /// the recovery handshake is open. Only shard 0 ever crashes.
+    fn server_accepts(&self, shard: usize, msg: &Message) -> bool {
+        if shard != 0 {
+            return true;
+        }
         if self.server_down {
             return false;
         }
@@ -1326,23 +1351,28 @@ impl G2plEngine {
         }
     }
 
-    /// The data server dies: every piece of volatile state — checkout
-    /// and window bookkeeping, dispatch epochs, installed versions, the
-    /// precedence DAG, the CPU queue — is gone. Only the durable log
-    /// survives. Client-side holds are other sites and live on;
-    /// `unpermanent_writers` is kept because it mirrors the *clients'*
-    /// log obligations, which a server crash does not discharge.
+    /// Shard 0 dies: every piece of its volatile state — checkout and
+    /// window bookkeeping, dispatch epochs, installed versions, the CPU
+    /// queue — is gone. Only the durable log survives. Client-side holds
+    /// are other sites and live on; `unpermanent_writers` is kept because
+    /// it mirrors the *clients'* log obligations, which a server crash
+    /// does not discharge. Other shards keep their state untouched, so
+    /// the (global) precedence DAG is reset only in the single-shard
+    /// case; at multi-shard, surviving shards' edges must live on, and
+    /// shard-0 survivors are re-dispatched in durable-record order, which
+    /// cannot contradict their existing edges.
     fn crash_server(&mut self, now: SimTime) {
         debug_assert!(!self.server_down, "server crashed while already down");
         self.server_down = true;
         self.recovering = false;
         self.fsum.server_crashes += 1;
         self.trace
-            .record(now, TraceKind::ServerCrashed, None, None, SiteId::Server);
-        self.server_cpu = ServerCpu::new(self.cfg.server_cpu_per_op);
+            .record(now, TraceKind::ServerCrashed, None, None, SiteId::SERVER0);
+        self.server_cpu[0] = ServerCpu::new(self.cfg.server_cpu_per_op);
+        let shard0_items = self.cfg.items.items_per_shard as usize;
         let mut orphaned = std::mem::take(&mut self.start_scratch);
         orphaned.clear();
-        for idx in 0..self.items.len() {
+        for idx in 0..shard0_items {
             let item = ItemId::new(idx as u32);
             if let Some(out) = self.items[idx].out.take() {
                 self.clear_entry_index(&out, item);
@@ -1363,7 +1393,9 @@ impl G2plEngine {
             }
         }
         self.start_scratch = orphaned;
-        self.dag = PrecedenceDag::new();
+        if self.cfg.num_shards() == 1 {
+            self.dag = PrecedenceDag::new();
+        }
     }
 
     /// The server restarts: replay the durable log, restore per-item
@@ -1379,7 +1411,7 @@ impl G2plEngine {
         self.recovery_started = now;
         self.reregistered = vec![false; self.cfg.num_clients as usize];
         // lint:allow(L3): the log exists whenever server crashes are planned
-        let img = self.slog.as_ref().expect("server log enabled").replay();
+        let img = self.slog.as_ref().expect("server log enabled")[0].replay();
         for (&item, &v) in &img.versions {
             self.items[item.index()].version = v;
         }
@@ -1413,7 +1445,7 @@ impl G2plEngine {
             }
             self.net.send(
                 &mut self.cal,
-                SiteId::Server,
+                SiteId::SERVER0,
                 c.into(),
                 "g2pl.reregister_req",
                 CTRL_BYTES,
@@ -1544,12 +1576,13 @@ impl G2plEngine {
         }
         self.recovering = false;
         self.trace
-            .record(now, TraceKind::ServerRecovered, None, None, SiteId::Server);
+            .record(now, TraceKind::ServerRecovered, None, None, SiteId::SERVER0);
         for (item, survivors) in redispatch {
             if survivors.is_empty() {
                 let version = self.items[item.index()].version;
+                let shard = self.cfg.shard_of(item) as usize;
                 // lint:allow(L3): the log exists whenever srv_faults_on
-                let slog = self.slog.as_mut().expect("server log enabled");
+                let slog = &mut self.slog.as_mut().expect("server log enabled")[shard];
                 slog.append(ServerRecord::Home { item, version });
                 self.mark_writers_permanent(item);
                 self.close_window(now, item);
@@ -1569,7 +1602,7 @@ impl G2plEngine {
 
     // ---- server side ----
 
-    fn on_server_msg(&mut self, now: SimTime, msg: Message) {
+    fn on_server_msg(&mut self, now: SimTime, shard: usize, msg: Message) {
         match msg {
             Message::GLockReq {
                 txn,
@@ -1577,6 +1610,11 @@ impl G2plEngine {
                 item,
                 mode,
             } => {
+                debug_assert_eq!(
+                    self.cfg.shard_of(item) as usize,
+                    shard,
+                    "lock request routed to the wrong shard"
+                );
                 match self.table.status(txn) {
                     TxnStatus::Active => {}
                     TxnStatus::Aborting | TxnStatus::Aborted if self.faults_on => {
@@ -1584,7 +1622,7 @@ impl G2plEngine {
                         // notice may have been lost: answer it again.
                         self.net.send(
                             &mut self.cal,
-                            SiteId::Server,
+                            SiteId::server(shard as u32),
                             client.into(),
                             "g2pl.abort_notice",
                             CTRL_BYTES,
@@ -1632,7 +1670,7 @@ impl G2plEngine {
                     TraceKind::ReleasedAtServer,
                     None,
                     Some(item),
-                    SiteId::Server,
+                    SiteId::server(shard as u32),
                 );
                 // The final holder's release reaches the server: its one
                 // extra sequential round (the "+1" of `2m + 1`).
@@ -1643,7 +1681,7 @@ impl G2plEngine {
                 let out = st.out.take().expect("just checked"); // lint:allow(L3): debug_assert above
                 self.clear_entry_index(&out, item);
                 if let Some(slog) = &mut self.slog {
-                    slog.append(ServerRecord::Home { item, version });
+                    slog[shard].append(ServerRecord::Home { item, version });
                 }
                 self.mark_writers_permanent(item);
                 self.close_window(now, item);
@@ -1675,7 +1713,7 @@ impl G2plEngine {
                     TraceKind::ReleasedAtServer,
                     None,
                     Some(item),
-                    SiteId::Server,
+                    SiteId::server(shard as u32),
                 );
                 // A tail-group reader's release travels to the server: a
                 // full sequential round for that reader.
@@ -1693,7 +1731,7 @@ impl G2plEngine {
                     let out = st.out.take().expect("item is out"); // lint:allow(L3): as_mut above
                     self.clear_entry_index(&out, item);
                     if let Some(slog) = &mut self.slog {
-                        slog.append(ServerRecord::Home { item, version });
+                        slog[shard].append(ServerRecord::Home { item, version });
                     }
                     self.mark_writers_permanent(item);
                     self.close_window(now, item);
@@ -1762,7 +1800,7 @@ impl G2plEngine {
                     TraceKind::FlExtended,
                     Some(txn),
                     Some(item),
-                    SiteId::Server,
+                    self.cfg.shard_site(item),
                 );
                 out.completed.push(false);
                 out.final_releases_left += 1;
@@ -1784,7 +1822,7 @@ impl G2plEngine {
                 self.spans.hop_departed(now, txn, item);
                 self.net.send(
                     &mut self.cal,
-                    SiteId::Server,
+                    self.cfg.shard_site(item),
                     client.into(),
                     "g2pl.data",
                     data_bytes,
@@ -1906,7 +1944,7 @@ impl G2plEngine {
             TraceKind::LeaseExpired,
             victim,
             Some(item),
-            SiteId::Server,
+            self.cfg.shard_site(item),
         );
         match victim.map(|t| (t, self.table.status(t))) {
             Some((t, TxnStatus::Active)) => self.abort_victim(now, t),
@@ -1916,7 +1954,7 @@ impl G2plEngine {
                 // lint:allow(L6): an abort notice promises nothing durable; the later append logs the survivors' redispatch, unrelated to this message
                 self.net.send(
                     &mut self.cal,
-                    SiteId::Server,
+                    self.cfg.shard_site(item),
                     self.table.info(t).client.into(),
                     "g2pl.abort_notice",
                     CTRL_BYTES,
@@ -1976,13 +2014,14 @@ impl G2plEngine {
             TraceKind::Redispatch,
             victim,
             Some(item),
-            SiteId::Server,
+            self.cfg.shard_site(item),
         );
         if survivors.is_empty() {
             // No live suffix: the item simply comes home.
             if let Some(slog) = &mut self.slog {
                 let version = self.items[item.index()].version;
-                slog.append(ServerRecord::Home { item, version });
+                let shard = self.cfg.shard_of(item) as usize;
+                slog[shard].append(ServerRecord::Home { item, version });
             }
             self.mark_writers_permanent(item);
             self.close_window(now, item);
@@ -2012,7 +2051,7 @@ impl G2plEngine {
             TraceKind::WindowClosed,
             None,
             Some(item),
-            SiteId::Server,
+            self.cfg.shard_site(item),
         );
         self.spans.window_closed(now, item, fl.len());
         for e in fl.entries() {
@@ -2021,7 +2060,7 @@ impl G2plEngine {
                 TraceKind::FlOrdered,
                 Some(e.txn),
                 Some(item),
-                SiteId::Server,
+                self.cfg.shard_site(item),
             );
             // Every list member leaves the server queue at window close;
             // entries past the first segment then sit in Migration until
@@ -2060,7 +2099,8 @@ impl G2plEngine {
         if let Some(slog) = &mut self.slog {
             // Write-ahead: the list construction/reorder decision is
             // durable before the first data segment leaves the server.
-            slog.append(ServerRecord::Dispatch {
+            let shard = self.cfg.shard_of(item) as usize;
+            slog[shard].append(ServerRecord::Dispatch {
                 item,
                 epoch,
                 base: version,
@@ -2071,7 +2111,7 @@ impl G2plEngine {
                     .collect(),
             });
         }
-        self.send_segment(now, SiteId::Server, item, version, &fl, 0, epoch);
+        self.send_segment(now, self.cfg.shard_site(item), item, version, &fl, 0, epoch);
 
         // A dispatch creates new waits-for edges (the list's internal
         // order, plus whatever was already pending against these
@@ -2208,10 +2248,12 @@ impl G2plEngine {
         }
         self.dag.remove_txn(victim);
         let client = self.table.info(victim).client;
+        // Abort coordination stays at shard 0 (leases and deadlock
+        // detection are centralized there).
         if self.cfg.abort_effect == AbortEffect::Instant {
             self.net.send_with_delay(
                 &mut self.cal,
-                SiteId::Server,
+                SiteId::SERVER0,
                 client.into(),
                 "g2pl.abort_notice",
                 CTRL_BYTES,
@@ -2221,7 +2263,7 @@ impl G2plEngine {
         } else {
             self.net.send(
                 &mut self.cal,
-                SiteId::Server,
+                SiteId::SERVER0,
                 client.into(),
                 "g2pl.abort_notice",
                 CTRL_BYTES,
@@ -2256,7 +2298,7 @@ impl G2plEngine {
             for to in targets {
                 self.net.send(
                     &mut self.cal,
-                    SiteId::Server,
+                    self.cfg.shard_site(item),
                     to.into(),
                     "g2pl.prune",
                     CTRL_BYTES,
@@ -2293,7 +2335,7 @@ mod tests {
         // One client, one item: the item is always home when requested,
         // so the singleton dispatch gives response = 2L + one think.
         let mut c = cfg(1, 100, 0.0);
-        c.num_items = 1;
+        c.items = crate::config::ItemSpace::single(1);
         c.profile.min_items = 1;
         c.profile.max_items = 1;
         let m = G2plEngine::new(c).run();
@@ -2315,7 +2357,7 @@ mod tests {
         // Many clients hammering few items must produce multi-entry
         // lists and client-to-client migration.
         let mut c = cfg(20, 200, 0.0);
-        c.num_items = 2;
+        c.items = crate::config::ItemSpace::single(2);
         c.profile.max_items = 2;
         let m = G2plEngine::new(c).run();
         assert!(
@@ -2380,7 +2422,7 @@ mod tests {
     #[test]
     fn fl_cap_bounds_dispatched_lists() {
         let mut c = cfg(20, 200, 0.0);
-        c.num_items = 2;
+        c.items = crate::config::ItemSpace::single(2);
         c.profile.max_items = 2;
         if let ProtocolKind::G2pl(o) = &mut c.protocol {
             o.fl_cap = Some(3);
@@ -2394,7 +2436,7 @@ mod tests {
         // Holding returned items open gathers larger windows than
         // immediate dispatch under the same workload.
         let mut immediate = cfg(20, 100, 0.0);
-        immediate.num_items = 2;
+        immediate.items = crate::config::ItemSpace::single(2);
         immediate.profile.max_items = 2;
         let mut held = immediate.clone();
         if let ProtocolKind::G2pl(o) = &mut held.protocol {

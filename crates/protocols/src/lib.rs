@@ -33,16 +33,20 @@ pub mod history;
 pub mod metrics;
 pub mod runtime;
 pub mod s2pl;
+pub mod scale;
 pub mod tracelog;
 
 pub use config::{
-    AbortEffect, ConfigError, EngineConfig, EngineConfigBuilder, G2plOpts, LatencyCfg, ProtocolKind,
+    AbortEffect, ConfigError, EngineConfig, EngineConfigBuilder, G2plOpts, ItemSpace, LatencyCfg,
+    ProtocolKind, Topology,
 };
 pub use g2pl_faults::{
     CrashWindow, Endpoint, FaultCounts, FaultPlan, LinkPartition, ServerCrashWindow,
 };
+pub use g2pl_workload::{ShardMix, TxnProfile};
 pub use history::{CommitRecord, History};
 pub use metrics::{FaultSummary, RunMetrics};
+pub use scale::{run_scale, run_scale_with_workers, ScaleCfg, ScaleMetrics};
 pub use tracelog::{TraceEvent, TraceKind};
 
 /// Run one simulation of the configured protocol and return its metrics,

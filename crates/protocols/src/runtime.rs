@@ -83,6 +83,10 @@ pub enum Message {
     SCommitAck {
         /// Acknowledged transaction.
         txn: TxnId,
+        /// The shard acknowledging its slice of the commit (a multi-home
+        /// commit sends one [`Message::SCommit`] per involved shard, each
+        /// acknowledged independently).
+        shard: u32,
     },
     /// Server → client (c-2PL): recall the cached copy of an item.
     Callback {
@@ -264,9 +268,11 @@ pub enum Ev {
         /// The held item.
         item: ItemId,
     },
-    /// The server CPU finished processing a message that had queued
+    /// A server-shard CPU finished processing a message that had queued
     /// behind earlier work (only when `server_cpu_per_op > 0`).
     ServerProc {
+        /// The shard whose CPU completes the work.
+        shard: u32,
         /// The message whose processing completes now.
         msg: Message,
     },
@@ -634,11 +640,12 @@ pub struct ClientCore {
     /// Consecutive retransmissions of the current outstanding operation
     /// (exponential-backoff exponent; reset on progress).
     pub retry_attempts: u32,
-    /// Commit-release message awaiting [`Message::SCommitAck`] (armed
-    /// only under an active fault plan): survives crashes — it stands in
-    /// for the client's WAL tail, from which a restarted client resumes
-    /// retransmission.
-    pub pending_commit: Option<Message>,
+    /// Commit-release messages awaiting [`Message::SCommitAck`], one per
+    /// involved shard, keyed by shard index (armed only under an active
+    /// fault plan): survives crashes — it stands in for the client's WAL
+    /// tail, from which a restarted client resumes retransmission. Kept
+    /// in ascending shard order.
+    pub pending_commits: Vec<(u32, Message)>,
 }
 
 impl ClientCore {
@@ -655,7 +662,7 @@ impl ClientCore {
             crashed: false,
             retry_epoch: 0,
             retry_attempts: 0,
-            pending_commit: None,
+            pending_commits: Vec::new(),
         }
     }
 
@@ -752,7 +759,7 @@ mod tests {
         let mut net = Net::new(Box::new(ConstantLatency::new(SimTime::new(7))), 1);
         net.send(
             &mut cal,
-            SiteId::Server,
+            SiteId::SERVER0,
             SiteId::Client(ClientId::new(0)),
             "grant",
             64,
@@ -775,7 +782,7 @@ mod tests {
         );
         net.send(
             &mut cal,
-            SiteId::Server,
+            SiteId::SERVER0,
             SiteId::Client(ClientId::new(0)),
             "grant",
             64,

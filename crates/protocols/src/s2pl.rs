@@ -21,6 +21,10 @@ use g2pl_lockmgr::{AcquireOutcome, LockMode, LockTable};
 use g2pl_obs::SpanRecorder;
 use g2pl_simcore::{Calendar, ClientId, ItemId, SimTime, SiteId, TxnId, Version};
 use g2pl_wal::{LogRecord, ServerImage, ServerLog, ServerRecord, SiteLog};
+
+/// Per-shard slice of a committing transaction: written `(item,
+/// version)` pairs plus read-only items, bound for one home server.
+type ShardCommitGroup = (Vec<(ItemId, Version)>, Vec<ItemId>);
 use g2pl_workload::{AccessMode, TxnGenerator};
 use std::collections::BTreeMap;
 
@@ -43,10 +47,13 @@ pub struct S2plEngine {
     cfg: EngineConfig,
     cal: Calendar<Ev>,
     net: Net,
-    server_cpu: ServerCpu,
+    /// One serial CPU per server shard.
+    server_cpu: Vec<ServerCpu>,
     clients: Vec<ClientCore>,
     table: TxnTable,
-    locks: LockTable,
+    /// One lock table per server shard; an item's locks live at the
+    /// shard owning it ([`EngineConfig::shard_of`]).
+    locks: Vec<LockTable>,
     versions: Vec<Version>,
     generator: TxnGenerator,
     collector: Collector,
@@ -72,10 +79,13 @@ pub struct S2plEngine {
     /// durable log and the durable commit-duplicate check, so plans
     /// without server crashes take the exact pre-existing fault path.
     srv_faults_on: bool,
-    /// The server's durable log (present iff `srv_faults_on`).
-    slog: Option<ServerLog>,
-    /// True between a server crash and its restart: every server-bound
-    /// message is lost and no server-side action happens.
+    /// One durable log per shard (present iff `srv_faults_on`). Only
+    /// shard 0 ever crashes (the fault plan addresses "the server"),
+    /// so only `slog[0]` is ever replayed.
+    slog: Option<Vec<ServerLog>>,
+    /// True between a shard-0 crash and its restart: every message bound
+    /// for shard 0 is lost and no shard-0 action happens. Other shards
+    /// keep serving.
     server_down: bool,
     /// True between a restart and the end of the re-registration
     /// handshake: only [`Message::SReregister`] is processed.
@@ -90,9 +100,12 @@ pub struct S2plEngine {
     /// Durable image replayed at the last restart; `finish_recovery`
     /// restores outstanding grants from it.
     recovery_image: Option<ServerImage>,
-    /// Volatile mirror of the durable applied-commit set, indexed by
-    /// transaction (rebuilt from the image after a crash).
-    committed_srv: Vec<bool>,
+    /// Which shards have applied each transaction's commit slice: bit
+    /// `s` of `applied[txn]` is set once shard `s` installed the slice
+    /// (the 64-shard cap in config validation keeps this a `u64`). The
+    /// shard-0 bit mirrors the durable applied set and is rebuilt from
+    /// the log image after a crash.
+    applied: Vec<u64>,
     /// Fault-injection and recovery counters.
     fsum: FaultSummary,
 }
@@ -100,7 +113,11 @@ pub struct S2plEngine {
 impl S2plEngine {
     /// Build an engine for `cfg`.
     pub fn new(cfg: EngineConfig) -> Self {
-        let generator = TxnGenerator::new(cfg.profile.clone(), cfg.num_items);
+        let generator = TxnGenerator::new_sharded(
+            cfg.profile.clone(),
+            cfg.items.num_shards,
+            cfg.items.items_per_shard,
+        );
         let replay = cfg.replay.clone().map(std::rc::Rc::new);
         let clients = (0..cfg.num_clients)
             .map(|i| match &replay {
@@ -113,12 +130,12 @@ impl S2plEngine {
         let nominal = cfg.latency.nominal();
         let (net, lease, retry_base) = match cfg.active_faults() {
             Some(plan) => (
-                Net::with_faults(cfg.latency.build(), plan.clone(), cfg.seed),
+                Net::with_faults(cfg.build_latency(), plan.clone(), cfg.seed),
                 lease_period(plan, nominal),
                 retry_period(plan, nominal),
             ),
             None => (
-                Net::new(cfg.latency.build(), cfg.seed),
+                Net::new(cfg.build_latency(), cfg.seed),
                 SimTime::MAX,
                 SimTime::MAX,
             ),
@@ -126,6 +143,7 @@ impl S2plEngine {
         let srv_faults = cfg
             .active_faults()
             .is_some_and(g2pl_faults::FaultPlan::has_server_crashes);
+        let nshards = cfg.num_shards() as usize;
         S2plEngine {
             faults_on: net.faults_active(),
             net,
@@ -134,21 +152,21 @@ impl S2plEngine {
             last_activity: Vec::new(),
             leased: Vec::new(),
             srv_faults_on: srv_faults,
-            slog: srv_faults.then(ServerLog::new),
+            slog: srv_faults.then(|| (0..nshards).map(|_| ServerLog::new()).collect()),
             server_down: false,
             recovering: false,
             recovery_epoch: 0,
             recovery_started: SimTime::ZERO,
             reregistered: Vec::new(),
             recovery_image: None,
-            committed_srv: Vec::new(),
+            applied: Vec::new(),
             fsum: FaultSummary::default(),
-            server_cpu: ServerCpu::new(cfg.server_cpu_per_op),
+            server_cpu: vec![ServerCpu::new(cfg.server_cpu_per_op); nshards],
             cal: Calendar::new(),
             clients,
             table: TxnTable::new(),
-            locks: LockTable::new(),
-            versions: vec![0; cfg.num_items as usize],
+            locks: (0..nshards).map(|_| LockTable::new()).collect(),
+            versions: vec![0; cfg.num_items() as usize],
             generator,
             collector: Collector::with_histogram(
                 cfg.warmup_txns,
@@ -206,25 +224,32 @@ impl S2plEngine {
                 Ev::WindowTimer { .. } | Ev::LeaseCheck { .. } | Ev::CallbackRetry { .. } => {
                     unreachable!("event is not part of the s-2PL protocol")
                 }
-                Ev::ServerProc { msg } => {
+                Ev::ServerProc { shard, msg } => {
                     // Re-checked after the CPU delay: a crash may have hit
                     // while the message sat in the service queue.
-                    if self.server_accepts(&msg) {
-                        self.on_server_msg(now, msg);
+                    if self.server_accepts(shard as usize, &msg) {
+                        self.on_server_msg(now, shard as usize, msg);
                     } else {
                         self.fsum.server_msgs_lost += 1;
                     }
                 }
                 Ev::Deliver { to, msg } => match to {
-                    SiteId::Server => {
-                        if !self.server_accepts(&msg) {
+                    SiteId::Server(shard) => {
+                        let s = shard.index();
+                        if !self.server_accepts(s, &msg) {
                             self.fsum.server_msgs_lost += 1;
                         } else {
-                            let d = self.server_cpu.service(now);
+                            let d = self.server_cpu[s].service(now);
                             if d == g2pl_simcore::SimTime::ZERO {
-                                self.on_server_msg(now, msg);
+                                self.on_server_msg(now, s, msg);
                             } else {
-                                self.cal.schedule_in(d, Ev::ServerProc { msg });
+                                self.cal.schedule_in(
+                                    d,
+                                    Ev::ServerProc {
+                                        shard: shard.0,
+                                        msg,
+                                    },
+                                );
                             }
                         }
                     }
@@ -264,7 +289,10 @@ impl S2plEngine {
         // restarted before the calendar emptied); liveness is checked by
         // trace property P8 instead of these structural asserts.
         if self.cfg.drain && !self.faults_on {
-            assert!(self.locks.is_quiescent(), "locks leaked after drain");
+            assert!(
+                self.locks.iter().all(LockTable::is_quiescent),
+                "locks leaked after drain"
+            );
             if let Some(wal) = &self.wal {
                 assert!(
                     wal.iter().all(SiteLog::is_empty),
@@ -365,8 +393,8 @@ impl S2plEngine {
         if c.retry_epoch != epoch {
             return; // progress since arming: stale timer
         }
-        if c.pending_commit.is_some() {
-            self.resend_pending_commit(now, client);
+        if !c.pending_commits.is_empty() {
+            self.resend_pending_commits(now, client);
         } else if matches!(&c.txn, Some(a) if matches!(a.phase, ClientPhase::WaitingGrant(_))) {
             self.resend_request(now, client);
         }
@@ -405,7 +433,7 @@ impl S2plEngine {
         self.net.send(
             &mut self.cal,
             client.into(),
-            SiteId::Server,
+            self.cfg.shard_site(item),
             "s2pl.lock_request",
             CTRL_BYTES,
             Message::SLockReq {
@@ -418,27 +446,31 @@ impl S2plEngine {
         self.arm_retry(client);
     }
 
-    /// Re-send the unacknowledged commit-release (the client's WAL tail).
-    fn resend_pending_commit(&mut self, now: SimTime, client: ClientId) {
+    /// Re-send every unacknowledged commit-release slice (the client's
+    /// WAL tail), one per still-unacknowledged shard.
+    fn resend_pending_commits(&mut self, now: SimTime, client: ClientId) {
         let c = &mut self.clients[client.index()];
-        let Some(msg) = c.pending_commit.clone() else {
+        let pending = c.pending_commits.clone();
+        if pending.is_empty() {
             return;
-        };
-        let Message::SCommit { writes, .. } = &msg else {
-            return;
-        };
-        let bytes = CTRL_BYTES + writes.len() as u64 * self.cfg.item_size_bytes;
+        }
         c.retry_attempts = c.retry_attempts.saturating_add(1);
-        self.fsum.retries += 1;
         let _ = now;
-        self.net.send(
-            &mut self.cal,
-            client.into(),
-            SiteId::Server,
-            "s2pl.commit_release",
-            bytes,
-            msg,
-        );
+        for (shard, msg) in pending {
+            let Message::SCommit { writes, .. } = &msg else {
+                continue;
+            };
+            let bytes = CTRL_BYTES + writes.len() as u64 * self.cfg.item_size_bytes;
+            self.fsum.retries += 1;
+            self.net.send(
+                &mut self.cal,
+                client.into(),
+                SiteId::server(shard),
+                "s2pl.commit_release",
+                bytes,
+                msg,
+            );
+        }
         self.arm_retry(client);
     }
 
@@ -471,8 +503,8 @@ impl S2plEngine {
         }
         c.crashed = false;
         c.retry_progress();
-        if c.pending_commit.is_some() {
-            self.resend_pending_commit(now, client);
+        if !c.pending_commits.is_empty() {
+            self.resend_pending_commits(now, client);
             return;
         }
         let Some(active) = &c.txn else {
@@ -529,7 +561,7 @@ impl S2plEngine {
         self.net.send(
             &mut self.cal,
             client.into(),
-            SiteId::Server,
+            self.cfg.shard_site(item),
             "s2pl.lock_request",
             CTRL_BYTES,
             Message::SLockReq {
@@ -559,19 +591,20 @@ impl S2plEngine {
         let measured = self
             .collector
             .on_commit_sized(now.since(active.start), active.spec.len());
-        // One combined commit/release round trip back to the server.
-        self.spans.commit_local(now, txn, 1, measured);
         self.trace
             .record(now, TraceKind::Committed, Some(txn), None, client.into());
 
-        let mut writes = Vec::new();
-        let mut reads = Vec::new();
+        // Group the transaction's accesses by owning shard: a multi-home
+        // commit sends one combined commit/release message per involved
+        // shard (§3.1's single message, per home), all in the same round.
+        let mut by_shard: BTreeMap<u32, ShardCommitGroup> = BTreeMap::new();
         let mut records = Vec::new();
         for (idx, &(item, mode)) in active.spec.accesses.iter().enumerate() {
             let observed = active.versions[idx];
+            let slot = by_shard.entry(self.cfg.shard_of(item)).or_default();
             match mode {
                 AccessMode::Write => {
-                    writes.push((item, observed + 1));
+                    slot.0.push((item, observed + 1));
                     records.push(AccessRecord {
                         item,
                         mode,
@@ -579,7 +612,7 @@ impl S2plEngine {
                     });
                 }
                 AccessMode::Read => {
-                    reads.push(item);
+                    slot.1.push(item);
                     records.push(AccessRecord {
                         item,
                         mode,
@@ -588,6 +621,9 @@ impl S2plEngine {
                 }
             }
         }
+        // One commit/release round trip per involved shard, in parallel.
+        self.spans
+            .commit_local(now, txn, by_shard.len() as u32, measured);
         if let Some(h) = &mut self.history {
             h.push(CommitRecord {
                 txn,
@@ -598,26 +634,38 @@ impl S2plEngine {
 
         if let Some(wal) = &mut self.wal {
             let log = &mut wal[client.index()];
-            for &(item, new) in &writes {
-                log.append(LogRecord::Update {
-                    txn,
-                    item,
-                    old: new - 1,
-                    new,
-                });
+            for (writes, _) in by_shard.values() {
+                for &(item, new) in writes {
+                    log.append(LogRecord::Update {
+                        txn,
+                        item,
+                        old: new - 1,
+                        new,
+                    });
+                }
             }
             log.append(LogRecord::Commit { txn });
         }
 
-        // One message carries every dirty item plus the release (§3.1).
-        let bytes = CTRL_BYTES + writes.len() as u64 * self.cfg.item_size_bytes;
-        let msg = Message::SCommit { txn, writes, reads };
         if self.faults_on {
-            // Commit durability under loss: retransmit the release until
-            // the server acknowledges; the next transaction starts only
-            // on the ack (see the SCommitAck handler).
+            // Commit durability under loss: retransmit each shard's
+            // release until that shard acknowledges; the next transaction
+            // starts only when every slice is acked (see the SCommitAck
+            // handler).
             c.retry_progress();
-            c.pending_commit = Some(msg.clone());
+            c.pending_commits = by_shard
+                .iter()
+                .map(|(&shard, (writes, reads))| {
+                    (
+                        shard,
+                        Message::SCommit {
+                            txn,
+                            writes: writes.clone(),
+                            reads: reads.clone(),
+                        },
+                    )
+                })
+                .collect();
         } else {
             let idle = self.cfg.profile.draw_idle(&mut c.time_rng);
             self.cal.schedule_in(
@@ -628,14 +676,17 @@ impl S2plEngine {
                 },
             );
         }
-        self.net.send(
-            &mut self.cal,
-            client.into(),
-            SiteId::Server,
-            "s2pl.commit_release",
-            bytes,
-            msg,
-        );
+        for (shard, (writes, reads)) in by_shard {
+            let bytes = CTRL_BYTES + writes.len() as u64 * self.cfg.item_size_bytes;
+            self.net.send(
+                &mut self.cal,
+                client.into(),
+                SiteId::server(shard),
+                "s2pl.commit_release",
+                bytes,
+                Message::SCommit { txn, writes, reads },
+            );
+        }
         if self.faults_on {
             self.arm_retry(client);
         }
@@ -687,27 +738,35 @@ impl S2plEngine {
                 );
             }
             Message::SAbortNotice { txn } => self.finalize_abort(now, client, txn),
-            Message::SCommitAck { txn } => {
+            Message::SCommitAck { txn, shard } => {
                 let c = &mut self.clients[client.index()];
-                let acked =
-                    matches!(&c.pending_commit, Some(Message::SCommit { txn: t, .. }) if *t == txn);
-                if !acked {
-                    return; // duplicate ack of an older commit
-                }
-                c.pending_commit = None;
+                let pos = c.pending_commits.iter().position(|(s, m)| {
+                    *s == shard && matches!(m, Message::SCommit { txn: t, .. } if *t == txn)
+                });
+                let Some(pos) = pos else {
+                    return; // duplicate ack of an older commit slice
+                };
+                c.pending_commits.remove(pos);
                 c.retry_progress();
-                let idle = self.cfg.profile.draw_idle(&mut c.time_rng);
-                self.cal.schedule_in(
-                    idle,
-                    Ev::Timer {
-                        client,
-                        kind: TimerKind::IdleDone,
-                    },
-                );
+                if c.pending_commits.is_empty() {
+                    let idle = self.cfg.profile.draw_idle(&mut c.time_rng);
+                    self.cal.schedule_in(
+                        idle,
+                        Ev::Timer {
+                            client,
+                            kind: TimerKind::IdleDone,
+                        },
+                    );
+                } else {
+                    // Other shards still owe acks: keep retransmitting
+                    // their slices from a fresh backoff.
+                    self.arm_retry(client);
+                }
             }
             Message::ReregisterReq { epoch } => {
-                // Re-report everything the client holds of the server's:
-                // granted items of the live transaction and the writes of
+                // Re-report everything the client holds of the crashed
+                // shard's (only shard 0 ever crashes): granted shard-0
+                // items of the live transaction and the shard-0 slice of
                 // an unacknowledged (committed-but-unreleased) commit.
                 let c = &self.clients[client.index()];
                 let mut held = Vec::new();
@@ -716,20 +775,26 @@ impl S2plEngine {
                     txn = Some(active.id);
                     for idx in 0..active.granted {
                         let (item, mode) = active.spec.access(idx);
-                        held.push((item, lock_mode(mode)));
+                        if self.cfg.shard_of(item) == 0 {
+                            held.push((item, lock_mode(mode)));
+                        }
                     }
                 }
-                let pending = c.pending_commit.as_ref().and_then(|m| match m {
-                    Message::SCommit { txn, writes, reads } => {
-                        Some((*txn, writes.clone(), reads.clone()))
-                    }
-                    _ => None,
-                });
+                let pending = c
+                    .pending_commits
+                    .iter()
+                    .find(|(s, _)| *s == 0)
+                    .and_then(|(_, m)| match m {
+                        Message::SCommit { txn, writes, reads } => {
+                            Some((*txn, writes.clone(), reads.clone()))
+                        }
+                        _ => None,
+                    });
                 let bytes = CTRL_BYTES + 8 * held.len() as u64;
                 self.net.send(
                     &mut self.cal,
                     client.into(),
-                    SiteId::Server,
+                    SiteId::SERVER0,
                     "s2pl.reregister",
                     bytes,
                     Message::SReregister {
@@ -785,10 +850,14 @@ impl S2plEngine {
 
     // ---- server crash recovery ----
 
-    /// Whether the server can process `msg` right now: everything while
-    /// up, nothing while down, only re-registration reports while the
-    /// recovery handshake is open.
-    fn server_accepts(&self, msg: &Message) -> bool {
+    /// Whether shard `shard` can process `msg` right now: everything
+    /// while up, nothing while down, only re-registration reports while
+    /// the recovery handshake is open. Only shard 0 ever crashes (the
+    /// fault plan addresses "the server"), so other shards always accept.
+    fn server_accepts(&self, shard: usize, msg: &Message) -> bool {
+        if shard != 0 {
+            return true;
+        }
         if self.server_down {
             return false;
         }
@@ -804,24 +873,28 @@ impl S2plEngine {
         }
     }
 
-    /// The data server dies: every piece of volatile state — lock table,
-    /// lease bookkeeping, installed versions, the applied-commit set —
-    /// is gone. Only the durable log survives.
+    /// Shard 0 dies: every piece of its volatile state — lock table,
+    /// lease bookkeeping (leases are coordinated at shard 0), its items'
+    /// installed versions, its bit of the applied-commit set — is gone.
+    /// Only the durable log survives. Other shards are untouched.
     fn crash_server(&mut self, now: SimTime) {
         debug_assert!(!self.server_down, "server crashed while already down");
         self.server_down = true;
         self.recovering = false;
         self.fsum.server_crashes += 1;
         self.trace
-            .record(now, TraceKind::ServerCrashed, None, None, SiteId::Server);
-        self.locks = LockTable::new();
-        self.server_cpu = ServerCpu::new(self.cfg.server_cpu_per_op);
-        self.versions.iter_mut().for_each(|v| *v = 0);
+            .record(now, TraceKind::ServerCrashed, None, None, SiteId::SERVER0);
+        self.locks[0] = LockTable::new();
+        self.server_cpu[0] = ServerCpu::new(self.cfg.server_cpu_per_op);
+        let shard0_items = self.cfg.items.items_per_shard as usize;
+        self.versions[..shard0_items]
+            .iter_mut()
+            .for_each(|v| *v = 0);
         self.leased.iter_mut().for_each(|l| *l = false);
         self.last_activity
             .iter_mut()
             .for_each(|t| *t = SimTime::ZERO);
-        self.committed_srv.iter_mut().for_each(|c| *c = false);
+        self.applied.iter_mut().for_each(|a| *a &= !1);
     }
 
     /// The server restarts: replay the durable log into an image,
@@ -835,12 +908,12 @@ impl S2plEngine {
         self.recovery_started = now;
         self.reregistered = vec![false; self.cfg.num_clients as usize];
         // lint:allow(L3): the log exists whenever server crashes are planned
-        let img = self.slog.as_ref().expect("server log enabled").replay();
+        let img = self.slog.as_ref().expect("server log enabled")[0].replay();
         for (&item, &v) in &img.versions {
             self.versions[item.index()] = v;
         }
         for &txn in &img.committed {
-            self.mark_committed_srv(txn);
+            self.mark_applied(txn, 0);
         }
         self.recovery_image = Some(img);
         self.broadcast_reregister(false);
@@ -865,7 +938,7 @@ impl S2plEngine {
             }
             self.net.send(
                 &mut self.cal,
-                SiteId::Server,
+                SiteId::SERVER0,
                 c.into(),
                 "s2pl.reregister_req",
                 CTRL_BYTES,
@@ -928,7 +1001,7 @@ impl S2plEngine {
                 if self.table.status(t) == TxnStatus::Active {
                     for &(item, _) in held {
                         debug_assert!(
-                            img.was_granted(t, item) || self.locks.mode_of(t, item).is_some(),
+                            img.was_granted(t, item) || self.locks[0].mode_of(t, item).is_some(),
                             "{client} re-reported a grant the log never saw: {t} {item}"
                         );
                     }
@@ -991,15 +1064,15 @@ impl S2plEngine {
         }
         self.recovering = false;
         self.trace
-            .record(now, TraceKind::ServerRecovered, None, None, SiteId::Server);
+            .record(now, TraceKind::ServerRecovered, None, None, SiteId::SERVER0);
         for txn in silent_victims {
             self.abort_victim(now, txn);
         }
     }
 
     /// Re-insert `txn`'s durably recorded grants into the fresh lock
-    /// table. Pre-crash holders coexisted, so every re-acquisition must
-    /// succeed immediately.
+    /// table of the owning shard. Pre-crash holders coexisted, so every
+    /// re-acquisition must succeed immediately.
     fn restore_grants(&mut self, txn: TxnId, items: &BTreeMap<ItemId, bool>) {
         for (&item, &exclusive) in items {
             let mode = if exclusive {
@@ -1007,7 +1080,8 @@ impl S2plEngine {
             } else {
                 LockMode::Shared
             };
-            let outcome = self.locks.acquire(txn, item, mode);
+            let shard = self.cfg.shard_of(item) as usize;
+            let outcome = self.locks[shard].acquire(txn, item, mode);
             debug_assert!(
                 matches!(outcome, AcquireOutcome::Granted),
                 "restored grants conflict: {txn} {item}"
@@ -1016,26 +1090,33 @@ impl S2plEngine {
         }
     }
 
-    fn mark_committed_srv(&mut self, txn: TxnId) {
+    /// Record that shard `shard` has applied `txn`'s commit slice.
+    fn mark_applied(&mut self, txn: TxnId, shard: usize) {
         let i = txn.index();
-        if self.committed_srv.len() <= i {
-            self.committed_srv.resize(i + 1, false);
+        if self.applied.len() <= i {
+            self.applied.resize(i + 1, 0);
         }
-        self.committed_srv[i] = true;
+        self.applied[i] |= 1u64 << shard;
     }
 
-    /// Whether `txn`'s commit has been applied at the server (durable
-    /// applied-set mirror; survives crashes via log replay).
-    fn committed_at_server(&self, txn: TxnId) -> bool {
-        self.committed_srv
+    /// Whether shard `shard` has applied `txn`'s commit slice. The
+    /// shard-0 bit mirrors the durable applied set and survives crashes
+    /// via log replay.
+    fn applied_at(&self, txn: TxnId, shard: usize) -> bool {
+        self.applied
             .get(txn.index())
-            .copied()
-            .unwrap_or(false)
+            .is_some_and(|m| m & (1u64 << shard) != 0)
+    }
+
+    /// Whether `txn`'s commit has been applied at the crashed shard
+    /// (shard 0) — the durable applied-set mirror recovery works from.
+    fn committed_at_server(&self, txn: TxnId) -> bool {
+        self.applied_at(txn, 0)
     }
 
     // ---- server side ----
 
-    fn on_server_msg(&mut self, now: SimTime, msg: Message) {
+    fn on_server_msg(&mut self, now: SimTime, shard: usize, msg: Message) {
         match msg {
             Message::SLockReq {
                 txn,
@@ -1043,6 +1124,11 @@ impl S2plEngine {
                 item,
                 mode,
             } => {
+                debug_assert_eq!(
+                    self.cfg.shard_of(item) as usize,
+                    shard,
+                    "lock request routed to the wrong shard"
+                );
                 match self.table.status(txn) {
                     TxnStatus::Active => {}
                     TxnStatus::Aborting | TxnStatus::Aborted if self.faults_on => {
@@ -1050,7 +1136,7 @@ impl S2plEngine {
                         // notice may have been lost: answer it again.
                         self.net.send(
                             &mut self.cal,
-                            SiteId::Server,
+                            SiteId::server(shard as u32),
                             client.into(),
                             "s2pl.abort_notice",
                             CTRL_BYTES,
@@ -1062,19 +1148,19 @@ impl S2plEngine {
                 }
                 if self.faults_on {
                     self.touch(now, txn);
-                    if self.locks.mode_of(txn, item).is_some() {
+                    if self.locks[shard].mode_of(txn, item).is_some() {
                         // Duplicate of an already-granted request (the
                         // grant or the original request was lost or
                         // duplicated): re-ship the grant.
                         self.send_grant(now, client, txn, item);
                         return;
                     }
-                    if self.locks.queued_on(txn) == Some(item) {
+                    if self.locks[shard].queued_on(txn) == Some(item) {
                         return; // duplicate of a still-queued request
                     }
                 }
                 self.spans.req_arrived(now, txn, item);
-                match self.locks.acquire(txn, item, mode) {
+                match self.locks[shard].acquire(txn, item, mode) {
                     AcquireOutcome::Granted => self.send_grant(now, client, txn, item),
                     AcquireOutcome::Queued => self.detect_deadlocks(now, txn),
                 }
@@ -1082,30 +1168,25 @@ impl S2plEngine {
             Message::SCommit { txn, writes, .. } => {
                 let committer = self.table.info(txn).client;
                 if self.faults_on {
-                    // Duplicate commit-release (already applied): the ack
-                    // was lost, so just acknowledge again. Under server
-                    // crashes the applied set must be the durable one —
-                    // the volatile lease flag dies with the server.
-                    let duplicate = if self.srv_faults_on {
-                        self.committed_at_server(txn)
-                    } else {
-                        !self.leased.get(txn.index()).copied().unwrap_or(false)
-                    };
-                    if duplicate {
-                        self.send_commit_ack(committer, txn);
+                    // Duplicate commit-release slice (already applied at
+                    // this shard): the ack was lost, so just acknowledge
+                    // again. The shard-0 bit of the applied set is the
+                    // durable one — it survives crashes via log replay.
+                    if self.applied_at(txn, shard) {
+                        self.send_commit_ack(shard, committer, txn);
                         return;
                     }
                     if let Some(l) = self.leased.get_mut(txn.index()) {
                         *l = false;
                     }
                 }
+                self.mark_applied(txn, shard);
                 if self.srv_faults_on {
-                    self.mark_committed_srv(txn);
-                    // Write-ahead: the applied commit, its installed
+                    // Write-ahead: the applied commit slice, its installed
                     // versions, and the release are durable before the
-                    // ack leaves the server.
+                    // ack leaves the shard.
                     // lint:allow(L3): the log exists whenever srv_faults_on
-                    let slog = self.slog.as_mut().expect("server log enabled");
+                    let slog = &mut self.slog.as_mut().expect("server log enabled")[shard];
                     slog.append(ServerRecord::Committed { txn });
                     for &(item, version) in &writes {
                         slog.append(ServerRecord::Permanent { item, version });
@@ -1128,16 +1209,16 @@ impl S2plEngine {
                     TraceKind::ReleasedAtServer,
                     Some(txn),
                     None,
-                    SiteId::Server,
+                    SiteId::server(shard as u32),
                 );
                 self.spans.release_arrived(now, txn, true);
-                let woken = self.locks.release_all(txn);
+                let woken = self.locks[shard].release_all(txn);
                 for (item, t, _) in woken {
                     let c = self.table.info(t).client;
                     self.send_grant(now, c, t, item);
                 }
                 if self.faults_on {
-                    self.send_commit_ack(committer, txn);
+                    self.send_commit_ack(shard, committer, txn);
                 }
             }
             Message::SReregister {
@@ -1167,15 +1248,18 @@ impl S2plEngine {
         }
     }
 
-    /// Acknowledge a processed commit-release (faults only).
-    fn send_commit_ack(&mut self, client: ClientId, txn: TxnId) {
+    /// Acknowledge a processed commit-release slice (faults only).
+    fn send_commit_ack(&mut self, shard: usize, client: ClientId, txn: TxnId) {
         self.net.send(
             &mut self.cal,
-            SiteId::Server,
+            SiteId::server(shard as u32),
             client.into(),
             "s2pl.commit_ack",
             CTRL_BYTES,
-            Message::SCommitAck { txn },
+            Message::SCommitAck {
+                txn,
+                shard: shard as u32,
+            },
         );
     }
 
@@ -1207,12 +1291,12 @@ impl S2plEngine {
                     TraceKind::LeaseExpired,
                     Some(txn),
                     None,
-                    SiteId::Server,
+                    SiteId::SERVER0,
                 );
                 self.abort_victim(now, txn);
                 self.fsum.redispatches += 1;
                 self.trace
-                    .record(now, TraceKind::Redispatch, Some(txn), None, SiteId::Server);
+                    .record(now, TraceKind::Redispatch, Some(txn), None, SiteId::SERVER0);
             }
             TxnStatus::Aborting | TxnStatus::Aborted => {
                 self.leased[txn.index()] = false;
@@ -1221,11 +1305,15 @@ impl S2plEngine {
     }
 
     fn send_grant(&mut self, now: SimTime, client: ClientId, txn: TxnId, item: ItemId) {
+        let shard = self.cfg.shard_of(item) as usize;
         if self.srv_faults_on {
             // Write-ahead: the grant is durable before it leaves.
-            let exclusive = matches!(self.locks.mode_of(txn, item), Some(LockMode::Exclusive));
-            if let Some(slog) = &mut self.slog {
-                slog.append(ServerRecord::Grant {
+            let exclusive = matches!(
+                self.locks[shard].mode_of(txn, item),
+                Some(LockMode::Exclusive)
+            );
+            if let Some(slogs) = &mut self.slog {
+                slogs[shard].append(ServerRecord::Grant {
                     txn,
                     item,
                     exclusive,
@@ -1243,7 +1331,7 @@ impl S2plEngine {
         self.spans.hop_departed(now, txn, item);
         self.net.send(
             &mut self.cal,
-            SiteId::Server,
+            SiteId::server(shard as u32),
             client.into(),
             "s2pl.grant",
             CTRL_BYTES + self.cfg.item_size_bytes,
@@ -1267,16 +1355,21 @@ impl S2plEngine {
         let mut finder = std::mem::take(&mut self.finder);
         loop {
             let locks = &self.locks;
+            // Deadlock detection stays centralized: accesses are
+            // sequential, so a transaction queues on at most one item
+            // globally — the scan finds the (unique) shard it waits at.
             let found = finder.find_cycle(trigger, |t, out| {
-                if let Some(item) = locks.queued_on(t) {
-                    locks.waits_for_into(t, item, out);
+                for lt in locks {
+                    if let Some(item) = lt.queued_on(t) {
+                        lt.waits_for_into(t, item, out);
+                        break;
+                    }
                 }
             });
             let Some(cycle) = found else { break };
-            let victim = self
-                .cfg
-                .victim
-                .choose(cycle, |t| self.locks.held_by(t).len());
+            let victim = self.cfg.victim.choose(cycle, |t| {
+                self.locks.iter().map(|lt| lt.held_by(t).len()).sum()
+            });
             self.abort_victim(now, victim);
             if victim == trigger {
                 break;
@@ -1291,17 +1384,22 @@ impl S2plEngine {
         self.table.set_status(victim, TxnStatus::Aborting);
         if self.srv_faults_on {
             // The victim's grants die with it; compaction may fold them.
-            if let Some(slog) = &mut self.slog {
-                slog.append(ServerRecord::Released { txn: victim });
+            if let Some(slogs) = &mut self.slog {
+                for slog in slogs.iter_mut() {
+                    slog.append(ServerRecord::Released { txn: victim });
+                }
             }
         }
         if let Some(l) = self.leased.get_mut(victim.index()) {
             *l = false;
         }
-        // The server owns the authoritative copies, so it releases the
-        // victim's locks immediately; the client only learns of the abort
-        // one latency later.
-        let woken = self.locks.release_all(victim);
+        // The shards own the authoritative copies, so the victim's locks
+        // are released immediately on every shard (in ascending shard
+        // order); the client only learns of the abort one latency later.
+        let mut woken = Vec::new();
+        for lt in &mut self.locks {
+            woken.extend(lt.release_all(victim));
+        }
         for (item, t, _) in woken {
             let c = self.table.info(t).client;
             self.send_grant(now, c, t, item);
@@ -1309,7 +1407,7 @@ impl S2plEngine {
         let client = self.table.info(victim).client;
         self.net.send(
             &mut self.cal,
-            SiteId::Server,
+            SiteId::SERVER0,
             client.into(),
             "s2pl.abort_notice",
             CTRL_BYTES,
@@ -1346,7 +1444,7 @@ mod tests {
         // One client, one item, exactly one access per txn: response =
         // 2 * latency (request + grant) + one think time in [1,3].
         let mut c = cfg(1, 100, 1.0);
-        c.num_items = 1;
+        c.items = crate::config::ItemSpace::single(1);
         c.profile.min_items = 1;
         c.profile.max_items = 1;
         let m = S2plEngine::new(c).run();

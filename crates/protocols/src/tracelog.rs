@@ -204,7 +204,7 @@ mod tests {
             TraceKind::Committed,
             None,
             None,
-            SiteId::Server,
+            SiteId::SERVER0,
         );
         assert!(log.events().is_empty());
     }
@@ -217,14 +217,14 @@ mod tests {
             TraceKind::RequestSent,
             Some(TxnId::new(0)),
             Some(ItemId::new(3)),
-            SiteId::Server,
+            SiteId::SERVER0,
         );
         log.record(
             SimTime::new(2),
             TraceKind::Committed,
             Some(TxnId::new(0)),
             None,
-            SiteId::Server,
+            SiteId::SERVER0,
         );
         assert_eq!(log.events().len(), 2);
         assert_eq!(log.events()[0].kind, TraceKind::RequestSent);
@@ -239,7 +239,7 @@ mod tests {
                 TraceKind::RequestSent,
                 Some(TxnId::new(i as u32)),
                 None,
-                SiteId::Server,
+                SiteId::SERVER0,
             );
         }
         assert_eq!(log.events().len(), 2, "cap respected");
@@ -257,7 +257,7 @@ mod tests {
             kind: TraceKind::Forwarded,
             txn: Some(TxnId::new(2)),
             item: Some(ItemId::new(0)),
-            site: SiteId::Server,
+            site: SiteId::SERVER0,
         };
         let s = format!("{e}");
         assert!(s.contains("Forwarded"));

@@ -71,35 +71,63 @@ dense_id!(
     "T"
 );
 
+dense_id!(
+    /// A server shard. The paper's model has exactly one server (Table 1:
+    /// "Number of Servers: 1"), which is shard 0; the sharded scale-out
+    /// partitions the hot-item pool across `0..num_shards`.
+    ShardId,
+    "S"
+);
+
 /// A committed version number of a data item. The server's initial copy of
 /// every item is version 0; each committed writer increments it.
 pub type Version = u64;
 
-/// A network endpoint: the (single) data server or one of the clients.
+/// A network endpoint: one of the data-server shards or one of the clients.
 ///
 /// The paper's model is a shared-nothing system with exactly one server
-/// (Table 1: "Number of Servers: 1"), so the server needs no id.
+/// (Table 1: "Number of Servers: 1"); that case is `Server(ShardId(0))`,
+/// available as [`SiteId::SERVER0`], and renders as plain `S` so
+/// single-server traces and logs are unchanged.
 #[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
 pub enum SiteId {
-    /// The data server that owns the authoritative copy of every item.
-    Server,
+    /// The data-server shard owning the authoritative copy of its items.
+    Server(ShardId),
     /// A client workstation running transactions.
     Client(ClientId),
 }
 
 impl SiteId {
-    /// True if this is the server endpoint.
+    /// The single server of the paper's one-server model: shard 0.
+    pub const SERVER0: SiteId = SiteId::Server(ShardId(0));
+
+    /// The server endpoint for the given raw shard index.
+    #[inline]
+    pub const fn server(shard: u32) -> SiteId {
+        SiteId::Server(ShardId(shard))
+    }
+
+    /// True if this is a server endpoint (any shard).
     #[inline]
     pub fn is_server(self) -> bool {
-        matches!(self, SiteId::Server)
+        matches!(self, SiteId::Server(_))
     }
 
     /// The client id, if this is a client endpoint.
     #[inline]
     pub fn client(self) -> Option<ClientId> {
         match self {
-            SiteId::Server => None,
+            SiteId::Server(_) => None,
             SiteId::Client(c) => Some(c),
+        }
+    }
+
+    /// The shard id, if this is a server endpoint.
+    #[inline]
+    pub fn shard(self) -> Option<ShardId> {
+        match self {
+            SiteId::Server(s) => Some(s),
+            SiteId::Client(_) => None,
         }
     }
 }
@@ -107,7 +135,10 @@ impl SiteId {
 impl fmt::Debug for SiteId {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
-            SiteId::Server => write!(f, "S"),
+            // Shard 0 renders as plain `S` so single-server traces keep
+            // their pre-sharding shape byte for byte.
+            SiteId::Server(ShardId(0)) => write!(f, "S"),
+            SiteId::Server(s) => write!(f, "{s:?}"),
             SiteId::Client(c) => write!(f, "{c:?}"),
         }
     }
@@ -122,6 +153,12 @@ impl fmt::Display for SiteId {
 impl From<ClientId> for SiteId {
     fn from(c: ClientId) -> Self {
         SiteId::Client(c)
+    }
+}
+
+impl From<ShardId> for SiteId {
+    fn from(s: ShardId) -> Self {
+        SiteId::Server(s)
     }
 }
 
@@ -146,11 +183,23 @@ mod tests {
 
     #[test]
     fn site_id_accessors() {
-        assert!(SiteId::Server.is_server());
-        assert_eq!(SiteId::Server.client(), None);
+        assert!(SiteId::SERVER0.is_server());
+        assert_eq!(SiteId::SERVER0.client(), None);
         let s: SiteId = ClientId::new(4).into();
         assert_eq!(s.client(), Some(ClientId::new(4)));
         assert_eq!(format!("{s}"), "C4");
-        assert_eq!(format!("{}", SiteId::Server), "S");
+        assert_eq!(format!("{}", SiteId::SERVER0), "S");
+        assert_eq!(SiteId::SERVER0.shard(), Some(ShardId::new(0)));
+    }
+
+    #[test]
+    fn server_shards_render_compactly() {
+        // Shard 0 keeps the historical single-server rendering; higher
+        // shards are distinguishable.
+        assert_eq!(format!("{}", SiteId::server(0)), "S");
+        assert_eq!(format!("{}", SiteId::server(3)), "S3");
+        assert_eq!(SiteId::server(3).shard(), Some(ShardId::new(3)));
+        let s: SiteId = ShardId::new(2).into();
+        assert_eq!(s, SiteId::server(2));
     }
 }

@@ -25,12 +25,13 @@
 
 pub mod calendar;
 pub mod ids;
+pub mod pdes;
 pub mod rng;
 pub mod slab;
 pub mod time;
 
 pub use calendar::{Calendar, EventHandle};
-pub use ids::{ClientId, ItemId, SiteId, TxnId, Version};
+pub use ids::{ClientId, ItemId, ShardId, SiteId, TxnId, Version};
 pub use rng::RngStream;
 pub use slab::Slab;
 pub use time::SimTime;

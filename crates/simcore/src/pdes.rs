@@ -1,0 +1,327 @@
+//! Conservative parallel DES over per-partition calendars.
+//!
+//! The serial [`crate::Calendar`] totally orders one run's events. To
+//! execute a sharded simulation on multiple cores without giving up
+//! bit-for-bit determinism, this module implements the classic
+//! *conservative window* scheme (Chandy–Misra style, synchronous
+//! variant): the model is split into logical processes (LPs), each
+//! owning a private calendar, and time advances in global windows of
+//! width `lookahead`.
+//!
+//! The contract that makes it correct:
+//!
+//! * every cross-LP interaction is an explicit message handed to the
+//!   executor, delivered no sooner than `lookahead` after the sender's
+//!   current time (in the database model, `lookahead` is the minimum
+//!   one-way link latency — no remote effect can propagate faster than
+//!   the network);
+//! * within a window `[T, T + lookahead)`, where `T` is the global
+//!   minimum next-event time, each LP processes only its own events, so
+//!   LPs are data-independent and can run on any number of threads;
+//! * messages emitted during a window are exchanged at the barrier and
+//!   sorted into receiver calendars in a fixed order (source LP index,
+//!   then emission order), so calendar sequence numbers — and therefore
+//!   every tie-break — are identical no matter how threads interleave.
+//!
+//! The result: `run(..., workers = 1)` and `run(..., workers = k)`
+//! visit the exact same event trajectory, which the scale-out tests
+//! assert down to the last bit.
+
+use crate::time::SimTime;
+
+/// Buffer of outgoing cross-LP messages emitted during one window.
+///
+/// Order is preserved: the executor delivers a source's messages in
+/// emission order, after all messages from lower-indexed sources.
+pub struct Outbox<M> {
+    sends: Vec<(usize, SimTime, M)>,
+}
+
+impl<M> Default for Outbox<M> {
+    fn default() -> Self {
+        Outbox { sends: Vec::new() }
+    }
+}
+
+impl<M> Outbox<M> {
+    /// Queue `msg` for delivery to LP `dest` at absolute time `at`.
+    ///
+    /// `at` must be at or after the current window's horizon — i.e. at
+    /// least `lookahead` after any event the sender processed this
+    /// window. The executor asserts this conservative bound at the
+    /// exchange barrier.
+    pub fn send(&mut self, dest: usize, at: SimTime, msg: M) {
+        self.sends.push((dest, at, msg));
+    }
+}
+
+/// One logical process: a partition of the model owning a private
+/// calendar.
+pub trait Lp: Send {
+    /// Cross-LP message type.
+    type Msg: Send;
+
+    /// Timestamp of the earliest pending local event, or `None` when
+    /// this LP is idle. An idle LP may still be woken by a delivery.
+    fn next_time(&mut self) -> Option<SimTime>;
+
+    /// Process every local event with timestamp strictly before
+    /// `horizon`, including events the processing itself schedules
+    /// inside the window. Cross-LP sends go through `outbox`; local
+    /// scheduling stays on the LP's own calendar.
+    fn execute(&mut self, horizon: SimTime, outbox: &mut Outbox<Self::Msg>);
+
+    /// Accept a message sent by another LP (or by this LP through the
+    /// exchange), scheduling its effect at time `at`. Called at the
+    /// window barrier, in deterministic order.
+    fn deliver(&mut self, at: SimTime, msg: Self::Msg);
+}
+
+/// Executor accounting for one [`run`] call.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct PdesReport {
+    /// Synchronization windows executed.
+    pub rounds: u64,
+    /// Messages exchanged across LP boundaries.
+    pub cross_messages: u64,
+}
+
+/// Run the LP set to quiescence: rounds of *window execute → barrier →
+/// message exchange* until no LP has a pending event.
+///
+/// `workers == 1` executes windows serially; `workers > 1` fans each
+/// window over that many OS threads (capped at the LP count). Both
+/// produce bit-identical LP end states by construction.
+///
+/// # Panics
+/// Panics if `lookahead` is zero (a zero-latency link admits no
+/// conservative window), or if an LP emits a cross-LP message that
+/// would arrive before the window horizon (a causality violation — the
+/// model's minimum link latency is smaller than the promised
+/// lookahead).
+pub fn run<L: Lp>(lps: &mut [L], lookahead: SimTime, workers: usize) -> PdesReport {
+    assert!(
+        lookahead > SimTime::ZERO,
+        "conservative PDES needs a positive lookahead"
+    );
+    let n = lps.len();
+    let workers = workers.clamp(1, n.max(1));
+    let mut report = PdesReport::default();
+    let mut outboxes: Vec<Outbox<L::Msg>> = (0..n).map(|_| Outbox::default()).collect();
+    loop {
+        let Some(t_min) = lps.iter_mut().filter_map(Lp::next_time).min() else {
+            return report;
+        };
+        let horizon = t_min.after(lookahead);
+        if workers == 1 {
+            for (lp, outbox) in lps.iter_mut().zip(outboxes.iter_mut()) {
+                lp.execute(horizon, outbox);
+            }
+        } else {
+            // Disjoint contiguous chunks per worker; the scoped threads
+            // borrow their chunk mutably and join at the window barrier.
+            let chunk = n.div_ceil(workers);
+            std::thread::scope(|scope| {
+                for (lp_chunk, outbox_chunk) in
+                    lps.chunks_mut(chunk).zip(outboxes.chunks_mut(chunk))
+                {
+                    scope.spawn(move || {
+                        for (lp, outbox) in lp_chunk.iter_mut().zip(outbox_chunk.iter_mut()) {
+                            lp.execute(horizon, outbox);
+                        }
+                    });
+                }
+            });
+        }
+        // Exchange in fixed (source LP, emission) order so receiver
+        // calendars assign identical sequence numbers on every run and
+        // at every worker count.
+        for outbox in &mut outboxes {
+            for (dest, at, msg) in outbox.sends.drain(..) {
+                assert!(
+                    at >= horizon,
+                    "cross-LP message at {at:?} violates the window horizon {horizon:?}"
+                );
+                lps[dest].deliver(at, msg);
+                report.cross_messages += 1;
+            }
+        }
+        report.rounds += 1;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::calendar::Calendar;
+
+    /// Toy model: a ring of LPs passing a decrementing token; each hop
+    /// takes exactly the link latency, and every LP also runs a local
+    /// chatter timer to exercise intra-window scheduling.
+    struct RingLp {
+        index: usize,
+        n: usize,
+        latency: SimTime,
+        cal: Calendar<RingEv>,
+        log: Vec<(u64, u64)>, // (time, token)
+        chatter: u64,
+    }
+
+    #[derive(PartialEq, Eq)]
+    enum RingEv {
+        Token(u64),
+        Chatter(u64),
+    }
+
+    impl Lp for RingLp {
+        type Msg = u64;
+
+        fn next_time(&mut self) -> Option<SimTime> {
+            self.cal.next_time()
+        }
+
+        fn execute(&mut self, horizon: SimTime, outbox: &mut Outbox<u64>) {
+            while self.cal.next_time().is_some_and(|t| t < horizon) {
+                // lint:allow(L3): guarded by the peek above
+                let (now, ev) = self.cal.pop().expect("peeked");
+                match ev {
+                    RingEv::Token(t) => {
+                        self.log.push((now.units(), t));
+                        if t > 0 {
+                            let dest = (self.index + 1) % self.n;
+                            let at = now.after(self.latency);
+                            if dest == self.index {
+                                self.cal.schedule(at, RingEv::Token(t - 1));
+                            } else {
+                                outbox.send(dest, at, t - 1);
+                            }
+                        }
+                    }
+                    RingEv::Chatter(k) => {
+                        self.chatter += 1;
+                        if k > 0 {
+                            // Sub-lookahead local event: must run in the
+                            // same window it was scheduled in.
+                            self.cal
+                                .schedule(now.after(SimTime::new(1)), RingEv::Chatter(k - 1));
+                        }
+                    }
+                }
+            }
+        }
+
+        fn deliver(&mut self, at: SimTime, token: u64) {
+            self.cal.schedule(at, RingEv::Token(token));
+        }
+    }
+
+    fn ring(n: usize, hops: u64) -> Vec<RingLp> {
+        let latency = SimTime::new(5);
+        (0..n)
+            .map(|index| {
+                let mut cal = Calendar::new();
+                if index == 0 {
+                    cal.schedule(SimTime::new(3), RingEv::Token(hops));
+                    cal.schedule(SimTime::new(1), RingEv::Chatter(7));
+                }
+                RingLp {
+                    index,
+                    n,
+                    latency,
+                    cal,
+                    log: Vec::new(),
+                    chatter: 0,
+                }
+            })
+            .collect()
+    }
+
+    fn full_log(lps: &[RingLp]) -> Vec<(u64, usize, u64)> {
+        let mut out = Vec::new();
+        for lp in lps {
+            for &(t, tok) in &lp.log {
+                out.push((t, lp.index, tok));
+            }
+        }
+        out.sort_unstable();
+        out
+    }
+
+    #[test]
+    fn token_walks_the_ring_at_link_latency() {
+        let mut lps = ring(4, 9);
+        let report = run(&mut lps, SimTime::new(5), 1);
+        let log = full_log(&lps);
+        assert_eq!(log.len(), 10, "token seen hops+1 times");
+        // Hop i lands on LP (i % 4) at 3 + 5i.
+        for (i, &(t, lp, tok)) in log.iter().enumerate() {
+            let i = i as u64;
+            assert_eq!(t, 3 + 5 * i);
+            assert_eq!(lp as u64, i % 4);
+            assert_eq!(tok, 9 - i);
+        }
+        assert_eq!(report.cross_messages, 9);
+        assert_eq!(lps[0].chatter, 8, "local chatter all ran");
+    }
+
+    #[test]
+    fn serial_and_parallel_agree_bit_for_bit() {
+        for workers in [2, 3, 8] {
+            let mut serial = ring(5, 23);
+            let mut parallel = ring(5, 23);
+            let rs = run(&mut serial, SimTime::new(5), 1);
+            let rp = run(&mut parallel, SimTime::new(5), workers);
+            assert_eq!(rs, rp);
+            assert_eq!(full_log(&serial), full_log(&parallel), "workers={workers}");
+            for (a, b) in serial.iter().zip(parallel.iter()) {
+                assert_eq!(a.chatter, b.chatter);
+            }
+        }
+    }
+
+    #[test]
+    fn empty_lp_set_terminates_immediately() {
+        let mut lps: Vec<RingLp> = Vec::new();
+        let report = run(&mut lps, SimTime::new(1), 4);
+        assert_eq!(report, PdesReport::default());
+    }
+
+    #[test]
+    #[should_panic(expected = "positive lookahead")]
+    fn zero_lookahead_is_rejected() {
+        let mut lps = ring(2, 1);
+        run(&mut lps, SimTime::ZERO, 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "violates the window horizon")]
+    fn undercutting_the_horizon_is_caught() {
+        struct BadLp {
+            cal: Calendar<()>,
+        }
+        impl Lp for BadLp {
+            type Msg = ();
+            fn next_time(&mut self) -> Option<SimTime> {
+                self.cal.next_time()
+            }
+            fn execute(&mut self, _horizon: SimTime, outbox: &mut Outbox<()>) {
+                if let Some((now, ())) = self.cal.pop() {
+                    // Claims a 10-unit lookahead but sends at +1.
+                    outbox.send(1, now.after(SimTime::new(1)), ());
+                }
+            }
+            fn deliver(&mut self, at: SimTime, (): ()) {
+                self.cal.schedule(at, ());
+            }
+        }
+        let mut a = Calendar::new();
+        a.schedule(SimTime::new(1), ());
+        let mut lps = vec![
+            BadLp { cal: a },
+            BadLp {
+                cal: Calendar::new(),
+            },
+        ];
+        run(&mut lps, SimTime::new(10), 1);
+    }
+}

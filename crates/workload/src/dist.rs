@@ -24,6 +24,23 @@ pub enum AccessDistribution {
 }
 
 impl AccessDistribution {
+    /// Draw one item index from `0..pool`.
+    ///
+    /// # Panics
+    /// Panics if `pool == 0`.
+    pub fn draw_one(&self, pool: usize, rng: &mut RngStream) -> u32 {
+        assert!(pool > 0, "empty pool");
+        match self {
+            AccessDistribution::Uniform => rng.uniform_incl(0, pool as u64 - 1) as u32,
+            AccessDistribution::Zipf { theta } => {
+                let weights = zipf_cdf(pool, *theta);
+                let u = rng.unit_f64();
+                let idx = weights.partition_point(|&c| c < u) as u32;
+                idx.min(pool as u32 - 1)
+            }
+        }
+    }
+
     /// Draw `k` *distinct* item indices from `0..pool`.
     ///
     /// # Panics
@@ -52,7 +69,7 @@ impl AccessDistribution {
 }
 
 /// Cumulative Zipf distribution over `n` ranks with exponent `theta`.
-fn zipf_cdf(n: usize, theta: f64) -> Vec<f64> {
+pub(crate) fn zipf_cdf(n: usize, theta: f64) -> Vec<f64> {
     assert!(n > 0, "empty pool");
     assert!(theta >= 0.0, "negative Zipf exponent");
     let mut cdf = Vec::with_capacity(n);

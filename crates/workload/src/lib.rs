@@ -24,5 +24,5 @@ pub mod trace;
 
 pub use dist::AccessDistribution;
 pub use generator::{AccessMode, TxnGenerator, TxnSpec};
-pub use profile::TxnProfile;
+pub use profile::{ShardMix, TxnProfile};
 pub use trace::Trace;

@@ -4,6 +4,39 @@ use crate::dist::AccessDistribution;
 use g2pl_simcore::{RngStream, SimTime};
 use serde::{Deserialize, Serialize};
 
+/// Cross-shard access mix for sharded item spaces.
+///
+/// The paper's single-server workload has no notion of placement; with
+/// the item pool partitioned across server shards, these two knobs
+/// control how transactions span it:
+///
+/// * `cross_frac` — among transactions with two or more accesses, the
+///   probability that the transaction is *multi-home*, i.e. guaranteed
+///   to touch at least two shards (single-access transactions can never
+///   cross). The rest pin every access to one home shard.
+/// * `shard_theta` — Zipf exponent over shard popularity: 0 spreads
+///   homes uniformly, larger values concentrate traffic on low-numbered
+///   shards (hot-shard skew).
+///
+/// On a one-shard space the mix is inert by construction.
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub struct ShardMix {
+    /// Fraction of eligible (≥2-access) transactions forced multi-home.
+    pub cross_frac: f64,
+    /// Zipf exponent of the shard-popularity distribution (0 = uniform).
+    pub shard_theta: f64,
+}
+
+impl ShardMix {
+    /// Uniform shard popularity with the given multi-home fraction.
+    pub fn uniform(cross_frac: f64) -> Self {
+        ShardMix {
+            cross_frac,
+            shard_theta: 0.0,
+        }
+    }
+}
+
 /// Statistical profile of the transactions a client runs.
 ///
 /// Defaults are exactly Table 1:
@@ -35,6 +68,10 @@ pub struct TxnProfile {
     /// nearly so for g-2PL — an ablation for separating deadlock costs
     /// from pipeline costs. The paper's workload does not sort.
     pub sorted_access: bool,
+    /// Cross-shard mix for sharded item spaces. `None` draws items over
+    /// the whole pool with no placement awareness — on one shard this is
+    /// the paper's workload, bit for bit.
+    pub shard_mix: Option<ShardMix>,
 }
 
 impl TxnProfile {
@@ -57,6 +94,7 @@ impl TxnProfile {
             idle_max: 10,
             access: AccessDistribution::Uniform,
             sorted_access: false,
+            shard_mix: None,
         }
     }
 
@@ -96,6 +134,20 @@ impl TxnProfile {
         }
         if self.idle_min > self.idle_max {
             return Err("idle_min exceeds idle_max".into());
+        }
+        if let Some(mix) = &self.shard_mix {
+            if !(0.0..=1.0).contains(&mix.cross_frac) {
+                return Err(format!(
+                    "shard_mix.cross_frac out of [0,1]: {}",
+                    mix.cross_frac
+                ));
+            }
+            if mix.shard_theta.is_nan() || mix.shard_theta < 0.0 {
+                return Err(format!(
+                    "shard_mix.shard_theta must be non-negative: {}",
+                    mix.shard_theta
+                ));
+            }
         }
         Ok(())
     }

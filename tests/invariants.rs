@@ -42,7 +42,7 @@ fn arb_config() -> impl Strategy<Value = EngineConfig> {
                 let mut cfg =
                     EngineConfig::table1(protocol, clients, latency, f64::from(pr10) / 10.0);
                 cfg.profile.max_items = max_items;
-                cfg.num_items = 8;
+                cfg.items = g2pl_protocols::ItemSpace::single(8);
                 cfg.warmup_txns = 20;
                 cfg.measured_txns = 150;
                 cfg.seed = seed;

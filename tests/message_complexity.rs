@@ -16,7 +16,7 @@ use g2pl_core::prelude::*;
 
 fn single_item_cfg(protocol: ProtocolKind, clients: u32) -> EngineConfig {
     let mut cfg = EngineConfig::table1(protocol, clients, 200, 0.0);
-    cfg.num_items = 1; // one scorching-hot item: maximal grouping
+    cfg.items = g2pl_protocols::ItemSpace::single(1); // one scorching-hot item: maximal grouping
     cfg.profile.min_items = 1;
     cfg.profile.max_items = 1;
     cfg.warmup_txns = 100;

@@ -21,7 +21,7 @@ static TRACE_LOCK: std::sync::Mutex<()> = std::sync::Mutex::new(());
 /// completes.
 fn best_case(protocol: ProtocolKind, clients: u32, latency: u64) -> EngineConfig {
     let mut cfg = EngineConfig::table1(protocol, clients, latency, 0.0);
-    cfg.num_items = 1;
+    cfg.items = g2pl_protocols::ItemSpace::single(1);
     cfg.profile.min_items = 1;
     cfg.profile.max_items = 1;
     cfg.warmup_txns = 0;
@@ -105,7 +105,7 @@ fn aggregates_stay_consistent_under_heavy_aborts() {
     // Five clients hammering a five-item pool with write-only five-item
     // transactions: deadlocks and victim aborts throughout.
     let mut cfg = EngineConfig::table1(ProtocolKind::S2pl, 10, 100, 0.0);
-    cfg.num_items = 5;
+    cfg.items = g2pl_protocols::ItemSpace::single(5);
     cfg.profile.min_items = 5;
     cfg.profile.max_items = 5;
     cfg.warmup_txns = 10;
