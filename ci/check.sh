@@ -79,6 +79,16 @@ echo "==> server-fault smoke (fig_server_faults outage sweep, P1-P9 verification
 cargo run -q --release -p g2pl-bench --bin repro -- --scale smoke --out "$trace_dir" fig_server_faults >/dev/null
 test -f "$trace_dir/fig_server_faults.csv" || { echo "server-fault smoke: fig_server_faults.csv missing"; exit 1; }
 
+echo "==> shard-fault smoke (fig_shard_faults per-shard outage sweep, P1-P10 verification on)"
+# Each cell beyond one shard mixes 30% multi-home transactions and
+# crashes the highest shard twice mid-run; verification re-checks every
+# trace against P1-P10 (cross-shard atomicity: no lost acknowledged
+# commit, no unresolved prepare vote) plus serializability, and drain
+# mode proves recovery liveness across 1/2/4/8 fault domains.
+cargo run -q --release -p g2pl-bench --bin repro -- --scale smoke --out "$trace_dir" fig_shard_faults >/dev/null
+test -f "$trace_dir/fig_shard_faults.csv" || { echo "shard-fault smoke: fig_shard_faults.csv missing"; exit 1; }
+test -f "$trace_dir/fig_shard_faults_tail.csv" || { echo "shard-fault smoke: fig_shard_faults_tail.csv missing"; exit 1; }
+
 echo "==> scale smoke (fig_scale clients x shards grid on the PDES)"
 # Every cell of the sharded scale-out grid runs on the conservative PDES
 # (one LP per shard, link latency as lookahead), drains to quiescence,
@@ -104,6 +114,16 @@ echo "==> chaos smoke (randomized fault-plan search with shrinking, shard-aware)
 # three engines, verifies every run end to end, and fails the gate with
 # a minimal shrunk reproducer command line if any trial breaks.
 cargo run -q --release -p g2pl-bench --bin chaos -- --trials 6 --seed 1
+
+echo "==> multi-shard chaos smoke (seeded repro: crash a non-zero shard mid-run)"
+# One pinned multi-shard case per engine: 4 fault domains, 30% multi-home
+# transactions, shard 2 crashed mid multi-home commitment plus an
+# inter-shard partition — the exact scenario P10 exists to police.
+for engine in g2pl s2pl c2pl; do
+  cargo run -q --release -p g2pl-bench --bin chaos -- --repro --engine "$engine" --seed 7 \
+    --shards 4 --server-crash 2:5000:1200:0 --shard-partition 1:2:6000:9000 \
+    || { echo "multi-shard chaos smoke: $engine failed"; exit 1; }
+done
 
 echo "==> bench smoke (engine throughput vs committed baseline)"
 # The engine cells are scale-independent (fixed workload, best-of-3), so

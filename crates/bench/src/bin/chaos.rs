@@ -8,7 +8,7 @@
 //! Search mode samples `--trials` `(seed, FaultPlan)` pairs from the
 //! master `--seed` (every trial is its own derived RNG stream, so the
 //! whole search replays bit-for-bit), runs each through a short drained
-//! simulation, and verifies engine invariants, trace properties P1–P9
+//! simulation, and verifies engine invariants, trace properties P1–P10
 //! and conflict-serializability. Failures are shrunk to a minimal
 //! reproducer and printed as a ready-to-paste `--repro` command line;
 //! the exit code is the number of failing trials (capped at process
@@ -24,10 +24,11 @@ fn usage() -> ExitCode {
     eprintln!(
         "usage: chaos [--trials N] [--seed S] [--engine g2pl|s2pl|c2pl] [--verbose]\n\
          \u{20}      chaos --repro --engine E --seed S [--drop P] [--dup P]\n\
-         \u{20}            [--delay P --delay-extra T] [--server-crash at:down:jitter]...\n\
-         \u{20}            [--client-crash client:at:down]...\n\
+         \u{20}            [--delay P --delay-extra T] [--server-crash shard:at:down:jitter]...\n\
+         \u{20}            [--client-crash client:at:down]... [--shard-partition a:b:from:until]...\n\
+         \u{20}            [--shards N]\n\
          search mode samples (seed, FaultPlan) pairs, verifies each run\n\
-         (P1-P9 + serializability + drain invariants), and shrinks any\n\
+         (P1-P10 + serializability + drain invariants), and shrinks any\n\
          failure to a minimal reproducer command line"
     );
     ExitCode::from(2)
@@ -53,7 +54,7 @@ fn run_repro(args: &[String]) -> ExitCode {
     println!("replaying {}", chaos::repro_command(&case));
     match chaos::run_case(&case) {
         Ok(()) => {
-            println!("PASS: the case verifies (P1-P9, serializability, drain)");
+            println!("PASS: the case verifies (P1-P10, serializability, drain)");
             ExitCode::SUCCESS
         }
         Err(e) => {
@@ -123,7 +124,7 @@ fn run_search(args: &[String]) -> ExitCode {
         println!("  reproduce with:\n  {}", chaos::repro_command(&small));
     }
     if failures == 0 {
-        println!("chaos: all {trials} trials verified (P1-P9, serializability, drain)");
+        println!("chaos: all {trials} trials verified (P1-P10, serializability, drain)");
         ExitCode::SUCCESS
     } else {
         println!("chaos: {failures}/{trials} trials failed");

@@ -4,7 +4,7 @@
 //! trial index, so the whole search is reproducible), runs a short
 //! drained simulation of one engine under that fault plan, and verifies
 //! the result end to end: engine-internal drain invariants (via panic
-//! capture), trace properties P1–P9 and conflict-serializability. A
+//! capture), trace properties P1–P10 and conflict-serializability. A
 //! failing case is then *shrunk* — fault components are removed or
 //! simplified greedily while the failure persists — and reported as a
 //! minimal single-case reproducer command line.
@@ -14,7 +14,8 @@
 
 use g2pl_core::{check_serializable, check_trace_with, TraceCheckOpts};
 use g2pl_protocols::{
-    run, CrashWindow, EngineConfig, FaultPlan, ItemSpace, ProtocolKind, ServerCrashWindow, ShardMix,
+    run, CrashWindow, Endpoint, EngineConfig, FaultPlan, ItemSpace, LinkPartition, ProtocolKind,
+    ServerCrashWindow, ShardMix,
 };
 use g2pl_simcore::RngStream;
 use std::panic::{catch_unwind, AssertUnwindSafe};
@@ -47,7 +48,8 @@ pub struct ChaosCase {
     /// The sampled fault plan.
     pub plan: FaultPlan,
     /// Server shard count (1 = the paper's single server). Crash
-    /// windows always hit shard 0; the other shards must ride them out.
+    /// windows may hit any shard; the surviving shards must ride them
+    /// out, and in-flight multi-home commits must stay atomic.
     pub shards: u32,
 }
 
@@ -66,6 +68,10 @@ pub fn sample_case(master: u64, trial: u64, engine: Option<&'static str>) -> Cha
     let mut rng = RngStream::derive_indexed(master, "chaos-trial", trial);
     let engine = engine.unwrap_or_else(|| ENGINES[rng.index(ENGINES.len())]);
     let seed = rng.uniform_incl(0, u64::from(u32::MAX));
+    // Half the trials run sharded: faults must compose with multi-home
+    // commit, and the P9/P10 crash-window checks are per site. Sampled
+    // up front so crash windows can target any shard.
+    let shards: u32 = [1, 1, 2, 4][rng.index(4)];
     let mut plan = FaultPlan::default();
     if rng.bernoulli(0.5) {
         plan.drop_prob = rng.unit_f64() * 0.04;
@@ -78,13 +84,18 @@ pub fn sample_case(master: u64, trial: u64, engine: Option<&'static str>) -> Cha
         plan.delay_extra = rng.uniform_incl(50, 500);
     }
     // One or two server outages, spaced so windows can never overlap
-    // even at maximum jitter (FaultPlan::validate rejects overlap).
+    // even at maximum jitter (FaultPlan::validate rejects per-shard
+    // overlap; the global spacing is stricter than it demands). Each
+    // window picks its own victim shard, so a sharded trial can lose a
+    // non-zero shard mid multi-home commit.
     let outages = 1 + usize::from(rng.bernoulli(0.4));
     let mut cursor = rng.uniform_incl(2_000, 8_000);
     for _ in 0..outages {
+        let shard = rng.index(shards as usize) as u32;
         let down_for = rng.uniform_incl(100, 2_000);
         let jitter = rng.uniform_incl(0, 400);
         plan.server_crashes.push(ServerCrashWindow {
+            shard,
             at: cursor,
             down_for,
             jitter,
@@ -100,9 +111,17 @@ pub fn sample_case(master: u64, trial: u64, engine: Option<&'static str>) -> Cha
             down_for: rng.uniform_incl(500, 3_000),
         });
     }
-    // A third of the trials run sharded: faults must compose with
-    // multi-home commit, and the P9 crash-window checks are per site.
-    let shards = [1, 1, 2, 4][rng.index(4)];
+    // Sharded trials sometimes sever a shard-to-shard link: recovery
+    // commit queries must survive a partitioned peer (retry until the
+    // window lifts, or fall back to the commit oracle).
+    if shards > 1 && rng.bernoulli(0.35) {
+        let a = rng.index(shards as usize) as u32;
+        let b = (a + 1 + rng.index(shards as usize - 1) as u32) % shards;
+        let from = rng.uniform_incl(2_000, 12_000);
+        let until = from + rng.uniform_incl(300, 2_500);
+        plan.partitions
+            .push(LinkPartition::between_shards(a, b, from, until));
+    }
     ChaosCase {
         engine,
         seed,
@@ -214,10 +233,23 @@ fn candidates(case: &ChaosCase) -> Vec<ChaosCase> {
     let mut out = Vec::new();
     if case.shards > 1 {
         // Simplest first: does the failure survive without sharding?
-        out.push(ChaosCase {
-            shards: 1,
-            ..case.clone()
-        });
+        // Collapsing retargets every crash window at the sole remaining
+        // shard and drops shard partitions (the link no longer exists);
+        // retargeting can merge windows into a per-shard overlap, in
+        // which case the candidate is skipped as invalid.
+        let mut p = case.plan.clone();
+        for w in &mut p.server_crashes {
+            w.shard = 0;
+        }
+        p.partitions
+            .retain(|lp| !matches!((lp.a, lp.b), (Endpoint::Shard(_), Endpoint::Shard(_))));
+        if p.validate().is_ok() {
+            out.push(ChaosCase {
+                shards: 1,
+                plan: p,
+                ..case.clone()
+            });
+        }
     }
     let mut push = |plan: FaultPlan| {
         out.push(ChaosCase {
@@ -225,6 +257,18 @@ fn candidates(case: &ChaosCase) -> Vec<ChaosCase> {
             ..case.clone()
         });
     };
+    // Drop every window of one victim shard at once (a whole fault
+    // domain at a time), then windows one by one.
+    let mut victim_shards: Vec<u32> = case.plan.server_crashes.iter().map(|w| w.shard).collect();
+    victim_shards.sort_unstable();
+    victim_shards.dedup();
+    if victim_shards.len() > 1 {
+        for s in victim_shards {
+            let mut p = case.plan.clone();
+            p.server_crashes.retain(|w| w.shard != s);
+            push(p);
+        }
+    }
     for i in 0..case.plan.server_crashes.len() {
         let mut p = case.plan.clone();
         p.server_crashes.remove(i);
@@ -233,6 +277,11 @@ fn candidates(case: &ChaosCase) -> Vec<ChaosCase> {
     for i in 0..case.plan.crashes.len() {
         let mut p = case.plan.clone();
         p.crashes.remove(i);
+        push(p);
+    }
+    for i in 0..case.plan.partitions.len() {
+        let mut p = case.plan.clone();
+        p.partitions.remove(i);
         push(p);
     }
     if case.plan.drop_prob > 0.0 {
@@ -289,10 +338,19 @@ pub fn repro_command(case: &ChaosCase) -> String {
         );
     }
     for w in &p.server_crashes {
-        let _ = write!(cmd, " --server-crash {}:{}:{}", w.at, w.down_for, w.jitter);
+        let _ = write!(
+            cmd,
+            " --server-crash {}:{}:{}:{}",
+            w.shard, w.at, w.down_for, w.jitter
+        );
     }
     for w in &p.crashes {
         let _ = write!(cmd, " --client-crash {}:{}:{}", w.client, w.at, w.down_for);
+    }
+    for lp in &p.partitions {
+        if let (Endpoint::Shard(a), Endpoint::Shard(b)) = (lp.a, lp.b) {
+            let _ = write!(cmd, " --shard-partition {a}:{b}:{}:{}", lp.from, lp.until);
+        }
     }
     if case.shards > 1 {
         let _ = write!(cmd, " --shards {}", case.shards);
@@ -335,12 +393,37 @@ pub fn parse_case(args: &[String]) -> Result<ChaosCase, String> {
             }
             "--server-crash" => {
                 let v = next_val("--server-crash", &mut it)?;
-                let [at, down_for, jitter] = parse_triple(&v)?;
+                // Four fields address a shard; the legacy three-field
+                // form described "the server" and keeps meaning shard 0.
+                let (shard, at, down_for, jitter) = match parse_parts(&v)?[..] {
+                    [at, down_for, jitter] => (0, at, down_for, jitter),
+                    [shard, at, down_for, jitter] => (
+                        u32::try_from(shard).map_err(|_| format!("shard {shard} out of range"))?,
+                        at,
+                        down_for,
+                        jitter,
+                    ),
+                    _ => return Err(format!("expected [shard:]at:down:jitter, got {v:?}")),
+                };
                 plan.server_crashes.push(ServerCrashWindow {
+                    shard,
                     at,
                     down_for,
                     jitter,
                 });
+            }
+            "--shard-partition" => {
+                let v = next_val("--shard-partition", &mut it)?;
+                let [a, b, from, until] = parse_parts(&v)?[..] else {
+                    return Err(format!("expected a:b:from:until, got {v:?}"));
+                };
+                let shard = |x: u64| u32::try_from(x).map_err(|_| format!("shard {x} too large"));
+                plan.partitions.push(LinkPartition::between_shards(
+                    shard(a)?,
+                    shard(b)?,
+                    from,
+                    until,
+                ));
             }
             "--client-crash" => {
                 let v = next_val("--client-crash", &mut it)?;
@@ -378,19 +461,15 @@ fn parse_prob(s: &str) -> Result<f64, String> {
 }
 
 fn parse_triple(s: &str) -> Result<[u64; 3], String> {
-    let mut parts = s.split(':');
-    let mut out = [0u64; 3];
-    for slot in &mut out {
-        *slot = parse_num(
-            parts
-                .next()
-                .ok_or_else(|| format!("expected a:b:c, got {s:?}"))?,
-        )?;
+    match parse_parts(s)?[..] {
+        [a, b, c] => Ok([a, b, c]),
+        _ => Err(format!("expected a:b:c, got {s:?}")),
     }
-    if parts.next().is_some() {
-        return Err(format!("expected a:b:c, got {s:?}"));
-    }
-    Ok(out)
+}
+
+/// Split a colon-separated numeric tuple of any arity.
+fn parse_parts(s: &str) -> Result<Vec<u64>, String> {
+    s.split(':').map(parse_num).collect()
 }
 
 #[cfg(test)]

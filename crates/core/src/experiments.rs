@@ -22,6 +22,7 @@
 //! | `fig_faults` | response time vs message-loss probability, 3 engines |
 //! | `fig_faults_aborts` | abort % vs message-loss probability, 3 engines |
 //! | `fig_server_faults` | response time vs server outage duration, 3 engines |
+//! | `fig_shard_faults` | commit rate & p99 vs per-shard outage duration, 1–8 shards |
 //! | `fig_tail` | p99/p999 response time vs number of clients, 3 engines |
 //! | `fig_scale` | response time vs clients × shard count, PDES scale-out |
 //! | `headline` | the 20–25% response-time improvement claim |
@@ -76,6 +77,11 @@ pub const LOSS_SWEEP: [f64; 6] = [0.0, 0.01, 0.02, 0.05, 0.08, 0.10];
 /// time units per outage (two outages per run; 0 = no crash, the inert
 /// anchor point).
 pub const OUTAGE_SWEEP: [u64; 5] = [0, 200, 500, 1_000, 2_000];
+
+/// The shard counts swept by `fig_shard_faults`: one series each. The
+/// hot set stays 24 items total so the series differ only in how the
+/// directory is partitioned into fault domains.
+pub const SHARD_FAULT_SHARDS: [u32; 4] = [1, 2, 4, 8];
 
 fn base_cfg(
     protocol: ProtocolKind,
@@ -363,6 +369,15 @@ pub enum Sweep {
     /// per run, WAL replay plus the re-registration handshake on each
     /// restart.
     ServerOutage,
+    /// Per-shard outage duration over [`OUTAGE_SWEEP`], one s-2PL series
+    /// per shard count in [`SHARD_FAULT_SHARDS`] (`fig_shard_faults`).
+    /// Every run beyond one shard mixes 30% multi-home transactions, the
+    /// crash always takes down the *highest* shard (a non-zero fault
+    /// domain whenever one exists), and x = 0 runs with no fault plan at
+    /// all — the inert anchor. Runs drain, so the commit-rate dip and
+    /// the p99 tail both reflect recovery plus the atomic-commitment
+    /// detour, never dropped work.
+    ShardFaults,
     /// Client count over [`CLIENT_SWEEP`] in the MAN, pr = 0.6, all
     /// three engines, draining every run: plots p99 and p999 response
     /// time from the pooled quantile sketch instead of the mean
@@ -495,6 +510,12 @@ pub static FIGURES: &[FigureSpec] = &[
         blurb: "response time vs server outage duration, 3 engines",
         metric: Metric::Response,
         sweep: Sweep::ServerOutage,
+    },
+    FigureSpec {
+        id: "fig_shard_faults",
+        blurb: "commit rate & p99 vs per-shard outage duration, 1/2/4/8 shards",
+        metric: Metric::Response,
+        sweep: Sweep::ShardFaults,
     },
     FigureSpec {
         id: "fig_tail",
@@ -643,6 +664,7 @@ impl FigureSpec {
                     cfg
                 },
             ),
+            Sweep::ShardFaults => self.build_shard_faults(scale),
             Sweep::TailLoad => self.build_tail(scale),
             Sweep::ScaleOut => self.build_scale(scale),
         }
@@ -681,6 +703,104 @@ impl FigureSpec {
                 points,
             }],
             tails: Vec::new(),
+        }
+    }
+
+    /// `fig_shard_faults`: shard fault domains under the s-2PL engine.
+    /// One series pair per shard count in [`SHARD_FAULT_SHARDS`]; the
+    /// x-axis is [`OUTAGE_SWEEP`] outage durations with both scheduled
+    /// crashes landing on the highest shard. Beyond one shard the
+    /// workload mixes 30% multi-home transactions (θ = 0.5 shard
+    /// popularity), so a crash strands in-doubt prepare votes that
+    /// recovery must resolve. Every run drains; replication 0 of every
+    /// point is trace-verified (P1–P10 plus serializability) by the
+    /// grid runner. The plotted commit rate is measured commits per
+    /// 1 000 simulated time units — sensitive to both the outage dead
+    /// time and the atomic-commitment round trips — and p99 comes from
+    /// the pooled quantile sketch.
+    fn build_shard_faults(&self, scale: Scale) -> FigureData {
+        let (_, _, reps) = scale.params();
+        let mut configs = Vec::with_capacity(SHARD_FAULT_SHARDS.len() * OUTAGE_SWEEP.len());
+        for &shards in &SHARD_FAULT_SHARDS {
+            for &down_for in &OUTAGE_SWEEP {
+                let mut cfg = base_cfg(ProtocolKind::S2pl, 50, 50, 0.6, scale);
+                // Hold the hot set at 24 items however it is partitioned,
+                // so the series differ only in fault-domain layout.
+                cfg.items = g2pl_protocols::ItemSpace::sharded(shards, 24 / shards);
+                if shards > 1 {
+                    cfg.profile.shard_mix = Some(ShardMix {
+                        cross_frac: 0.3,
+                        shard_theta: 0.5,
+                    });
+                }
+                // Acknowledged commits must survive the outage: drain so
+                // every non-aborted transaction finishes and is counted.
+                cfg.drain = true;
+                // x = 0 carries no plan at all — the inert anchor runs
+                // the pristine code path (no WAL forcing, no 2PC).
+                if down_for > 0 {
+                    cfg.faults = Some(FaultPlan::shard_outage(shards - 1, down_for));
+                }
+                configs.push(cfg);
+            }
+        }
+        let mut results = run_grid(&configs, reps).into_iter();
+        let mut series = Vec::with_capacity(2 * SHARD_FAULT_SHARDS.len());
+        let mut tails = Vec::with_capacity(SHARD_FAULT_SHARDS.len());
+        for &shards in &SHARD_FAULT_SHARDS {
+            let label = if shards == 1 {
+                "1 shard".to_string()
+            } else {
+                format!("{shards} shards")
+            };
+            let mut rate = Vec::with_capacity(OUTAGE_SWEEP.len());
+            let mut p99 = Vec::with_capacity(OUTAGE_SWEEP.len());
+            let mut tail_points = Vec::with_capacity(OUTAGE_SWEEP.len());
+            for &down_for in &OUTAGE_SWEEP {
+                let x = down_for as f64;
+                // lint:allow(L3): run_grid returns one result per config
+                let r = results.next().expect("one result per grid point");
+                let per_rep: Vec<f64> = r
+                    .runs
+                    .iter()
+                    .map(|m| 1_000.0 * m.committed_total as f64 / m.end_time.units() as f64)
+                    .collect();
+                let mean = per_rep.iter().sum::<f64>() / per_rep.len() as f64;
+                rate.push((x, mean, 0.0));
+                let t = r.tail_summary();
+                p99.push((x, t.p99 as f64, 0.0));
+                tail_points.push(TailPoint {
+                    x,
+                    p50: t.p50,
+                    p90: t.p90,
+                    p99: t.p99,
+                    p999: t.p999,
+                    max: t.max,
+                    count: t.count,
+                });
+            }
+            series.push(Series {
+                label: format!("{label} commit rate"),
+                points: rate,
+            });
+            series.push(Series {
+                label: format!("{label} p99"),
+                points: p99,
+            });
+            tails.push(TailSeries {
+                label,
+                points: tail_points,
+            });
+        }
+        FigureData {
+            id: self.id.into(),
+            title: "Commit rate and p99 response vs per-shard outage duration, \
+                    s-2PL, 30% multi-home beyond one shard"
+                .into(),
+            x_label: "outage duration per crash".into(),
+            y_label: "commits per 1k units / p99 response".into(),
+            series,
+            tails,
         }
     }
 
@@ -918,6 +1038,7 @@ mod tests {
         assert!(figure("fig_faults").is_some());
         assert!(figure("fig_faults_aborts").is_some());
         assert!(figure("fig_server_faults").is_some());
+        assert!(figure("fig_shard_faults").is_some());
         assert!(figure("fig_tail").is_some());
         assert!(figure("fig99").is_none());
     }
@@ -941,5 +1062,21 @@ mod tests {
         let active = FaultPlan::server_outage(OUTAGE_SWEEP[1]);
         assert!(active.has_server_crashes());
         assert!(active.validate().is_ok());
+    }
+
+    #[test]
+    fn shard_fault_sweep_targets_the_highest_shard() {
+        // The x = 0 point of every fig_shard_faults series must take the
+        // pristine code path, and every crash must land on the last
+        // fault domain of its series.
+        for &shards in &SHARD_FAULT_SHARDS {
+            assert_eq!(24 % shards, 0, "the 24-item hot set must partition evenly");
+            let inert = FaultPlan::shard_outage(shards - 1, OUTAGE_SWEEP[0]);
+            assert!(!inert.is_active(), "zero-outage plan must be inert");
+            let active = FaultPlan::shard_outage(shards - 1, OUTAGE_SWEEP[1]);
+            assert!(active.has_server_crashes());
+            assert!(active.validate().is_ok());
+            assert!(active.server_crashes.iter().all(|w| w.shard == shards - 1));
+        }
     }
 }

@@ -40,6 +40,19 @@
 //!   acknowledged commit is ever lost: a transaction that committed
 //!   before a crash must never abort after it. Like P8, any
 //!   server-crash event in a no-fault trace is itself a violation.
+//! * **P10 (cross-shard atomicity)** — fault-injection runs only: the
+//!   two-phase commitment of multi-home transactions is atomic. A
+//!   `Prepared` vote is durably logged at most once per (transaction,
+//!   shard) and only for still-undecided transactions; a `CommitApplied`
+//!   appears only at a shard that voted, only after the coordinator's
+//!   `Committed`, and never for an aborted transaction; and on a drained
+//!   run every prepared shard of a committed transaction eventually
+//!   applies it — no acknowledged multi-home commit leaves a shard
+//!   behind, and no prepared vote of a decided transaction dangles. An
+//!   aborted transaction may leave voted shards unapplied (presumed
+//!   abort retires those votes with unlogged-to-the-trace release
+//!   records). Like P8/P9, any 2PC event in a no-fault trace is itself
+//!   a violation.
 
 use g2pl_protocols::{EngineConfig, ProtocolKind, TraceEvent, TraceKind};
 use g2pl_simcore::{ItemId, SimTime, SiteId, TxnId};
@@ -133,6 +146,10 @@ pub fn check_trace_with(events: &[TraceEvent], opts: TraceCheckOpts) -> Result<(
     let mut down_servers: HashSet<SiteId> = HashSet::new();
     // Whether any server crash has occurred yet (P9 lost-commit check).
     let mut server_crashed_once = false;
+    // Outstanding prepared votes per transaction: shards that logged a
+    // vote and have not yet applied the commit (P10). BTreeMap so the
+    // end-of-trace report names a deterministic transaction.
+    let mut prepared: BTreeMap<TxnId, HashSet<SiteId>> = BTreeMap::new();
     let mut last_t = SimTime::ZERO;
 
     for e in events {
@@ -161,8 +178,12 @@ pub fn check_trace_with(events: &[TraceEvent], opts: TraceCheckOpts) -> Result<(
                     | TraceKind::ReleasedAtServer
                     | TraceKind::LeaseExpired
                     | TraceKind::Redispatch
+                    | TraceKind::Prepared
             )
         {
+            // `CommitApplied` is deliberately absent from this set: a
+            // recovering shard resolves in-doubt votes (and records the
+            // apply) *inside* its crash window, before `ServerRecovered`.
             return Err(format!("P9: server activity inside a crash window at {e}"));
         }
         match e.kind {
@@ -358,6 +379,41 @@ pub fn check_trace_with(events: &[TraceEvent], opts: TraceCheckOpts) -> Result<(
                     ));
                 }
             }
+            TraceKind::Prepared => {
+                if !opts.faults {
+                    return Err(format!("P10: prepare vote on a reliable network at {e}"));
+                }
+                let txn = e.txn.ok_or_else(|| format!("prepare without txn: {e}"))?;
+                if committed.contains_key(&txn) || aborted.contains(&txn) {
+                    return Err(format!(
+                        "P10: prepare vote for a decided transaction at {e}"
+                    ));
+                }
+                if !prepared.entry(txn).or_default().insert(e.site) {
+                    return Err(format!("P10: shard voted twice at {e}"));
+                }
+            }
+            TraceKind::CommitApplied => {
+                if !opts.faults {
+                    return Err(format!("P10: commit applied on a reliable network at {e}"));
+                }
+                let txn = e.txn.ok_or_else(|| format!("apply without txn: {e}"))?;
+                if aborted.contains(&txn) {
+                    return Err(format!(
+                        "P10: commit applied for an aborted transaction at {e}"
+                    ));
+                }
+                if !committed.contains_key(&txn) {
+                    return Err(format!(
+                        "P10: commit applied before the coordinator decided at {e}"
+                    ));
+                }
+                if !prepared.get_mut(&txn).is_some_and(|s| s.remove(&e.site)) {
+                    return Err(format!(
+                        "P10: commit applied at a shard that never prepared at {e}"
+                    ));
+                }
+            }
             TraceKind::Dispatched | TraceKind::ReleasedAtServer => {}
         }
     }
@@ -379,6 +435,24 @@ pub fn check_trace_with(events: &[TraceEvent], opts: TraceCheckOpts) -> Result<(
                 return Err(format!(
                     "P8: {txn} sent requests but neither committed nor aborted"
                 ));
+            }
+        }
+        // Atomic commitment: a committed multi-home transaction must not
+        // leave any voted shard unapplied; an aborted one may (its votes
+        // are retired by release records the trace does not carry), but
+        // an undecided one with outstanding votes blocks those shards
+        // forever.
+        for (txn, shards) in &prepared {
+            if shards.is_empty() {
+                continue;
+            }
+            if committed.contains_key(txn) {
+                return Err(format!(
+                    "P10: {txn} committed but a prepared shard never applied it"
+                ));
+            }
+            if !aborted.contains(txn) {
+                return Err(format!("P10: prepared vote of {txn} was never resolved"));
             }
         }
     }
@@ -805,6 +879,158 @@ mod tests {
             ev(3, TraceKind::FlOrdered, 1, Some(0)),
         ];
         check_trace_with(&trace, faulty()).unwrap_or_else(|e| panic!("{e}"));
+    }
+
+    /// A 2PC event at a given server site.
+    fn shard_ev(at: u64, kind: TraceKind, txn: u32, shard: u32) -> TraceEvent {
+        TraceEvent {
+            at: SimTime::new(at),
+            kind,
+            txn: Some(TxnId::new(txn)),
+            item: None,
+            site: SiteId::server(shard),
+        }
+    }
+
+    #[test]
+    fn rejects_p10_events_on_reliable_network() {
+        for kind in [TraceKind::Prepared, TraceKind::CommitApplied] {
+            let err = check_trace(&[shard_ev(1, kind, 1, 0)]).unwrap_err();
+            assert!(err.contains("P10"), "{kind:?}: {err}");
+        }
+    }
+
+    #[test]
+    fn rejects_apply_without_prepare() {
+        // Shard 1 voted; shard 2 applied without ever voting.
+        let trace = vec![
+            shard_ev(1, TraceKind::Prepared, 1, 1),
+            ev(2, TraceKind::Committed, 1, None),
+            shard_ev(3, TraceKind::CommitApplied, 1, 2),
+        ];
+        let err = check_trace_with(&trace, faulty()).unwrap_err();
+        assert!(err.contains("P10"), "{err}");
+        assert!(err.contains("never prepared"), "{err}");
+    }
+
+    #[test]
+    fn rejects_apply_for_undecided_or_aborted_txn() {
+        // Applied before the coordinator decided.
+        let trace = vec![
+            shard_ev(1, TraceKind::Prepared, 1, 1),
+            shard_ev(2, TraceKind::CommitApplied, 1, 1),
+        ];
+        let err = check_trace_with(&trace, faulty()).unwrap_err();
+        assert!(err.contains("P10"), "{err}");
+        // Applied for a transaction that aborted.
+        let trace = vec![
+            shard_ev(1, TraceKind::Prepared, 1, 1),
+            ev(2, TraceKind::Aborted, 1, None),
+            shard_ev(3, TraceKind::CommitApplied, 1, 1),
+        ];
+        let err = check_trace_with(&trace, faulty()).unwrap_err();
+        assert!(err.contains("aborted"), "{err}");
+    }
+
+    #[test]
+    fn rejects_double_vote_and_double_apply() {
+        let trace = vec![
+            shard_ev(1, TraceKind::Prepared, 1, 1),
+            shard_ev(2, TraceKind::Prepared, 1, 1),
+        ];
+        let err = check_trace_with(&trace, faulty()).unwrap_err();
+        assert!(err.contains("voted twice"), "{err}");
+        // A second apply at the same shard has no outstanding vote left.
+        let trace = vec![
+            shard_ev(1, TraceKind::Prepared, 1, 1),
+            ev(2, TraceKind::Committed, 1, None),
+            shard_ev(3, TraceKind::CommitApplied, 1, 1),
+            shard_ev(4, TraceKind::CommitApplied, 1, 1),
+        ];
+        let err = check_trace_with(&trace, faulty()).unwrap_err();
+        assert!(err.contains("P10"), "{err}");
+    }
+
+    #[test]
+    fn rejects_committed_txn_with_unapplied_vote() {
+        // Both shards voted, the coordinator committed, but shard 2
+        // never applied the decision — a drained run must not end here.
+        let trace = vec![
+            shard_ev(1, TraceKind::Prepared, 1, 1),
+            shard_ev(1, TraceKind::Prepared, 1, 2),
+            ev(2, TraceKind::Committed, 1, None),
+            shard_ev(3, TraceKind::CommitApplied, 1, 1),
+        ];
+        let err = check_trace_with(&trace, faulty()).unwrap_err();
+        assert!(err.contains("P10"), "{err}");
+        assert!(err.contains("never applied"), "{err}");
+    }
+
+    #[test]
+    fn accepts_atomic_two_phase_commitment() {
+        // The happy path: vote everywhere, decide, apply everywhere —
+        // and an aborted sibling may leave its vote to presumed abort.
+        let trace = vec![
+            shard_ev(1, TraceKind::Prepared, 1, 1),
+            shard_ev(1, TraceKind::Prepared, 1, 2),
+            ev(2, TraceKind::Committed, 1, None),
+            shard_ev(3, TraceKind::CommitApplied, 1, 1),
+            shard_ev(3, TraceKind::CommitApplied, 1, 2),
+            shard_ev(4, TraceKind::Prepared, 2, 1),
+            ev(5, TraceKind::Aborted, 2, None),
+        ];
+        check_trace_with(&trace, faulty()).unwrap_or_else(|e| panic!("{e}"));
+    }
+
+    #[test]
+    fn sharded_crash_engine_traces_validate_under_p10() {
+        use g2pl_faults::{FaultPlan, ServerCrashWindow};
+        use g2pl_protocols::{ItemSpace, ShardMix};
+        // Crash a non-zero shard mid-run with 30% multi-home commits in
+        // flight: every engine must drain with P1-P10 intact, and the
+        // trace must actually exercise the 2PC events (non-vacuous).
+        for protocol in [
+            ProtocolKind::S2pl,
+            ProtocolKind::g2pl_paper(),
+            ProtocolKind::C2pl,
+        ] {
+            let label = format!("{protocol:?}");
+            let mut cfg = EngineConfig::table1(protocol, 8, 50, 0.4);
+            cfg.warmup_txns = 0;
+            cfg.measured_txns = 250;
+            cfg.trace_events = true;
+            cfg.drain = true;
+            cfg.items = ItemSpace::sharded(4, 7);
+            cfg.profile.shard_mix = Some(ShardMix {
+                cross_frac: 0.3,
+                shard_theta: 0.5,
+            });
+            cfg.faults = Some(FaultPlan {
+                server_crashes: vec![ServerCrashWindow {
+                    shard: 2,
+                    at: 5_000,
+                    down_for: 1_200,
+                    jitter: 0,
+                }],
+                ..Default::default()
+            });
+            let m = run(&cfg).expect("valid config");
+            assert_eq!(m.faults.server_crashes, 1, "{label}: crash executed");
+            let trace = m.trace.expect("trace on");
+            let prepares = trace
+                .iter()
+                .filter(|e| e.kind == TraceKind::Prepared)
+                .count();
+            assert!(prepares > 0, "{label}: no multi-home votes recorded");
+            assert!(
+                trace
+                    .iter()
+                    .any(|e| e.kind == TraceKind::ServerCrashed && e.site == SiteId::server(2)),
+                "{label}: crash not attributed to shard 2"
+            );
+            check_trace_with(&trace, TraceCheckOpts::for_config(&cfg))
+                .unwrap_or_else(|e| panic!("{label}: {e}"));
+        }
     }
 
     #[test]

@@ -69,11 +69,12 @@ impl LossyLink {
             .map_or_else(Vec::new, FaultInjector::crash_schedule)
     }
 
-    /// The server crash/restart schedule of the plan (empty when
-    /// reliable). Consumes the injector's dedicated `"server-faults"`
-    /// jitter draws, so it must be called exactly once per run, at
-    /// engine start, like [`LossyLink::crash_schedule`].
-    pub fn server_crash_schedule(&mut self) -> Vec<(SimTime, bool)> {
+    /// The per-shard server crash/restart schedule of the plan as
+    /// `(shard, at, up)` triples (empty when reliable). Consumes the
+    /// injector's dedicated per-shard `"server-faults"` jitter draws, so
+    /// it must be called exactly once per run, at engine start, like
+    /// [`LossyLink::crash_schedule`].
+    pub fn server_crash_schedule(&mut self) -> Vec<(u32, SimTime, bool)> {
         self.injector
             .as_mut()
             .map_or_else(Vec::new, FaultInjector::server_crash_schedule)

@@ -28,15 +28,15 @@ use crate::cycle::CycleFinder;
 use crate::history::{AccessRecord, CommitRecord, History};
 use crate::metrics::{Collector, FaultSummary, RunMetrics, WalReport};
 use crate::runtime::{
-    lease_period, retry_period, ClientCore, ClientPhase, Ev, Message, Net, ServerCpu, TimerKind,
-    TxnStatus, TxnTable,
+    lease_period, retry_period, ClientCore, ClientPhase, Ev, Message, Net, ServerCpu,
+    ShardFaultState, TimerKind, TxnStatus, TxnTable,
 };
 use crate::s2pl::{lock_mode, CTRL_BYTES, EVENT_BUDGET};
 use crate::tracelog::{TraceKind, TraceLog};
 use g2pl_lockmgr::{AcquireOutcome, LockMode, LockTable};
 use g2pl_obs::SpanRecorder;
 use g2pl_simcore::{Calendar, ClientId, ItemId, SimTime, SiteId, TxnId, Version};
-use g2pl_wal::{LogRecord, ServerImage, ServerLog, ServerRecord, SiteLog};
+use g2pl_wal::{LogRecord, ServerLog, ServerRecord, SiteLog};
 
 /// Per-shard slice of a committing transaction: written `(item,
 /// version)` pairs plus read-only items, bound for one home server.
@@ -110,25 +110,18 @@ pub struct C2plEngine {
     leased: Vec<bool>,
     /// Whether the plan schedules server crashes (see the s-2PL engine).
     srv_faults_on: bool,
-    /// One durable log per shard (present iff `srv_faults_on`); only
-    /// shard 0 ever crashes, so only `slog[0]` is ever replayed.
+    /// One durable log per shard (present iff `srv_faults_on`): each
+    /// shard is its own fault domain and replays only its own log.
     slog: Option<Vec<ServerLog>>,
-    /// True between a shard-0 crash and its restart.
-    server_down: bool,
-    /// True while the re-registration handshake is open.
-    recovering: bool,
-    /// Monotonic recovery generation (stale-timer/report filter).
-    recovery_epoch: u64,
-    /// When the current handshake opened.
-    recovery_started: SimTime,
-    /// Which clients have re-registered in the current handshake.
-    reregistered: Vec<bool>,
-    /// Durable image replayed at the last restart.
-    recovery_image: Option<ServerImage>,
+    /// Per-shard crash/recovery state (see the s-2PL engine).
+    fault_state: Vec<ShardFaultState>,
     /// Which shards have applied each transaction's commit slice (bit
-    /// `s` of `applied[txn]`; see the s-2PL engine). The shard-0 bit
-    /// mirrors the durable applied set.
+    /// `s` of `applied[txn]`; see the s-2PL engine). Each shard's bit
+    /// mirrors its durable applied set.
     applied: Vec<u64>,
+    /// Which shards hold a durable prepared (yes) vote for each
+    /// transaction (see the s-2PL engine).
+    prepared: Vec<u64>,
     /// Fault-injection and recovery counters.
     fsum: FaultSummary,
 }
@@ -177,13 +170,9 @@ impl C2plEngine {
             leased: Vec::new(),
             srv_faults_on: srv_faults,
             slog: srv_faults.then(|| (0..nshards).map(|_| ServerLog::new()).collect()),
-            server_down: false,
-            recovering: false,
-            recovery_epoch: 0,
-            recovery_started: SimTime::ZERO,
-            reregistered: Vec::new(),
-            recovery_image: None,
+            fault_state: vec![ShardFaultState::default(); nshards],
             applied: Vec::new(),
+            prepared: Vec::new(),
             fsum: FaultSummary::default(),
             server_cpu: vec![ServerCpu::new(cfg.server_cpu_per_op); nshards],
             cal: Calendar::new(),
@@ -234,8 +223,8 @@ impl C2plEngine {
         for (client, at, up) in self.net.crash_schedule() {
             self.cal.schedule(at, Ev::Fault { client, up });
         }
-        for (at, up) in self.net.server_crash_schedule() {
-            self.cal.schedule(at, Ev::ServerFault { up });
+        for (shard, at, up) in self.net.server_crash_schedule() {
+            self.cal.schedule(at, Ev::ServerFault { shard, up });
         }
 
         let mut events: u64 = 0;
@@ -287,12 +276,15 @@ impl C2plEngine {
                     }
                 },
                 Ev::Fault { client, up } => self.on_fault(now, client, up),
-                Ev::ServerFault { up } => self.on_server_fault(now, up),
-                Ev::RecoveryCheck { epoch } => self.on_recovery_check(now, epoch),
+                Ev::ServerFault { shard, up } => self.on_server_fault(now, shard as usize, up),
+                Ev::RecoveryCheck { shard, epoch } => {
+                    self.on_recovery_check(now, shard as usize, epoch);
+                }
                 Ev::TxnLease { txn } => {
-                    // A dead or still-recovering server holds no leases;
-                    // recovery re-arms them for every restored grant.
-                    if !self.server_down && !self.recovering {
+                    // Leases are coordinated at shard 0; a dead or
+                    // still-recovering coordinator holds none — recovery
+                    // re-arms them for every restored grant.
+                    if self.fault_state[0].is_up() {
                         self.on_txn_lease(now, txn);
                     }
                 }
@@ -411,6 +403,9 @@ impl C2plEngine {
                 }
             }
             TimerKind::Retry { epoch } => self.on_retry(now, client, epoch),
+            // c-2PL's phase 2 piggybacks on the regular commit-release
+            // retry epoch; the dedicated decide timer is g-2PL-only.
+            TimerKind::DecideRetry(_) => unreachable!("c-2PL never arms a decide timer"),
         }
     }
 
@@ -483,16 +478,22 @@ impl C2plEngine {
         c.retry_attempts = c.retry_attempts.saturating_add(1);
         let _ = now;
         for (shard, msg) in pending {
-            let Message::SCommit { writes, .. } = &msg else {
-                continue;
+            let (kind, bytes) = match &msg {
+                Message::SCommit { writes, .. } => (
+                    "c2pl.commit_release",
+                    CTRL_BYTES + writes.len() as u64 * self.cfg.item_size_bytes,
+                ),
+                Message::Prepare { writes, .. } => {
+                    ("c2pl.prepare", CTRL_BYTES + 12 * writes.len() as u64)
+                }
+                _ => continue,
             };
-            let bytes = CTRL_BYTES + writes.len() as u64 * self.cfg.item_size_bytes;
             self.fsum.retries += 1;
             self.net.send(
                 &mut self.cal,
                 client.into(),
                 SiteId::server(shard),
-                "c2pl.commit_release",
+                kind,
                 bytes,
                 msg,
             );
@@ -637,6 +638,7 @@ impl C2plEngine {
         self.arm_retry(client);
     }
 
+    // lint:allow(L5): the outcome is recorded downstream — commit_decided traces Committed on every path, and the voting detour traces Prepared/CommitApplied at the shards
     fn commit(&mut self, now: SimTime, client: ClientId, txn: TxnId) {
         // A lease expiry may have picked this transaction as victim while
         // its notice is still in flight (see the s-2PL engine).
@@ -644,10 +646,84 @@ impl C2plEngine {
             self.finalize_abort(now, client, txn);
             return;
         }
+        // Multi-home commits under a server-crash plan run presumed-abort
+        // two-phase commitment across the shard fault domains (see the
+        // s-2PL engine); cache hits count toward the involved mask too —
+        // their shard still releases the transactional footprint.
+        if self.srv_faults_on {
+            let c = &self.clients[client.index()];
+            // lint:allow(L3): commit is only reachable with an active txn
+            let active = c.txn.as_ref().expect("committing client has a transaction");
+            let mut involved = 0u64;
+            for &(item, _) in &active.spec.accesses {
+                involved |= 1u64 << self.cfg.shard_of(item);
+            }
+            if involved.count_ones() > 1 {
+                self.begin_prepare(now, client, txn, involved);
+                return;
+            }
+        }
+        self.commit_decided(now, client, txn);
+    }
+
+    /// Phase 1 of two-phase commitment (see the s-2PL engine): one
+    /// prepare per involved shard, retransmitted from `pending_commits`
+    /// until every yes vote is in. Cache state is untouched until the
+    /// decision — an abort may still win the race.
+    fn begin_prepare(&mut self, now: SimTime, client: ClientId, txn: TxnId, involved: u64) {
+        let _ = now;
+        let c = &mut self.clients[client.index()];
+        // lint:allow(L3): guarded by the caller
+        let active = c.txn.as_mut().expect("preparing client has a transaction");
+        debug_assert_eq!(active.id, txn);
+        active.phase = ClientPhase::CommitWait;
+        let mut by_shard: BTreeMap<u32, Vec<(ItemId, Version)>> = BTreeMap::new();
+        for (idx, &(item, mode)) in active.spec.accesses.iter().enumerate() {
+            let slot = by_shard.entry(self.cfg.shard_of(item)).or_default();
+            if mode == AccessMode::Write {
+                slot.push((item, active.versions[idx] + 1));
+            }
+        }
+        c.retry_progress();
+        c.pending_commits = by_shard
+            .iter()
+            .map(|(&shard, writes)| {
+                (
+                    shard,
+                    Message::Prepare {
+                        txn,
+                        writes: writes.clone(),
+                        involved,
+                    },
+                )
+            })
+            .collect();
+        for (shard, writes) in by_shard {
+            let bytes = CTRL_BYTES + 12 * writes.len() as u64;
+            self.net.send(
+                &mut self.cal,
+                client.into(),
+                SiteId::server(shard),
+                "c2pl.prepare",
+                bytes,
+                Message::Prepare {
+                    txn,
+                    writes,
+                    involved,
+                },
+            );
+        }
+        self.arm_retry(client);
+    }
+
+    /// The commit decision point (see the s-2PL engine): every involved
+    /// shard voted yes, or no votes were needed. The client's WAL
+    /// `Commit` record is the coordinator's durable decision record.
+    fn commit_decided(&mut self, now: SimTime, client: ClientId, txn: TxnId) {
         let active = self.clients[client.index()]
             .txn
             .take()
-            // lint:allow(L3): commit is only reachable from a client with an active txn
+            // lint:allow(L3): guarded by the caller
             .expect("committing client has a transaction");
         debug_assert_eq!(active.id, txn);
         self.table.set_status(txn, TxnStatus::Committed);
@@ -839,6 +915,28 @@ impl C2plEngine {
                 );
             }
             Message::SAbortNotice { txn } => self.finalize_abort(now, client, txn),
+            Message::PrepareAck { txn, shard } => {
+                let c = &mut self.clients[client.index()];
+                let pos = c.pending_commits.iter().position(|(s, m)| {
+                    *s == shard && matches!(m, Message::Prepare { txn: t, .. } if *t == txn)
+                });
+                let Some(pos) = pos else {
+                    return; // duplicate ack of an already-counted vote
+                };
+                c.pending_commits.remove(pos);
+                c.retry_progress();
+                if !c.pending_commits.is_empty() {
+                    self.arm_retry(client);
+                    return;
+                }
+                // Unanimous yes; an abort may still have raced the
+                // voting round (see the s-2PL engine).
+                if self.table.status(txn) != TxnStatus::Active {
+                    self.finalize_abort(now, client, txn);
+                    return;
+                }
+                self.commit_decided(now, client, txn);
+            }
             Message::SCommitAck { txn, shard } => {
                 let c = &mut self.clients[client.index()];
                 let Some(pos) = c.pending_commits.iter().position(|(s, m)| {
@@ -872,13 +970,13 @@ impl C2plEngine {
                     );
                 }
             }
-            Message::ReregisterReq { epoch } => {
-                // Re-report everything the client holds of the crashed
-                // shard's (only shard 0 crashes): server-granted accesses
-                // of the live transaction (cache pins never took a server
-                // lock, so they are excluded), the unacknowledged shard-0
-                // commit slice, and the shard-0 cached copies the rebuilt
-                // directory must know about.
+            Message::ReregisterReq { shard, epoch } => {
+                // Re-report everything the client holds of the restarted
+                // shard: server-granted accesses of the live transaction
+                // homed there (cache pins never took a server lock, so
+                // they are excluded), that shard's unacknowledged commit
+                // slice, and the cached copies the rebuilt directory
+                // must know about.
                 let pins = &self.reading_cached[client.index()];
                 let c = &self.clients[client.index()];
                 let mut held = Vec::new();
@@ -887,32 +985,28 @@ impl C2plEngine {
                     txn = Some(active.id);
                     for idx in 0..active.granted {
                         let (item, mode) = active.spec.access(idx);
-                        if !pins.contains(&item) && self.cfg.shard_of(item) == 0 {
+                        if !pins.contains(&item) && self.cfg.shard_of(item) == shard {
                             held.push((item, lock_mode(mode)));
                         }
                     }
                 }
-                let pending = c
-                    .pending_commits
-                    .iter()
-                    .find(|(shard, _)| *shard == 0)
-                    .and_then(|(_, m)| match m {
-                        Message::SCommit { txn, writes, reads } => {
-                            Some((*txn, writes.clone(), reads.clone()))
-                        }
-                        _ => None,
-                    });
+                let pending = c.pending_commits.iter().find_map(|(s, m)| match m {
+                    Message::SCommit { txn, writes, reads } if *s == shard => {
+                        Some((*txn, writes.clone(), reads.clone()))
+                    }
+                    _ => None,
+                });
                 let cached: Vec<ItemId> = self.caches[client.index()]
                     .iter()
                     .enumerate()
                     .filter_map(|(i, v)| v.map(|_| ItemId::new(i as u32)))
-                    .filter(|&item| self.cfg.shard_of(item) == 0)
+                    .filter(|&item| self.cfg.shard_of(item) == shard)
                     .collect();
                 let bytes = CTRL_BYTES + 8 * (held.len() + cached.len()) as u64;
                 self.net.send(
                     &mut self.cal,
                     client.into(),
-                    SiteId::SERVER0,
+                    SiteId::server(shard),
                     "c2pl.reregister",
                     bytes,
                     Message::SReregister {
@@ -942,6 +1036,10 @@ impl C2plEngine {
         let waste = now.since(active.start);
         let depth = active.granted;
         c.txn = None;
+        // An abort during the voting round withdraws the outstanding
+        // prepares (see the s-2PL engine).
+        c.pending_commits
+            .retain(|(_, m)| !matches!(m, Message::Prepare { txn: t, .. } if *t == txn));
         if self.faults_on {
             c.retry_progress();
         }
@@ -959,123 +1057,182 @@ impl C2plEngine {
     // ---- server crash recovery ----
 
     /// Whether shard `shard` can process `msg` right now (see the s-2PL
-    /// engine for the protocol). Only shard 0 ever crashes.
+    /// engine for the protocol).
     fn server_accepts(&self, shard: usize, msg: &Message) -> bool {
-        if shard != 0 {
-            return true;
-        }
-        if self.server_down {
+        let st = &self.fault_state[shard];
+        if st.down {
             return false;
         }
-        !self.recovering || matches!(msg, Message::SReregister { .. })
+        st.is_up()
+            || matches!(
+                msg,
+                Message::SReregister { .. }
+                    | Message::CommitQuery { .. }
+                    | Message::CommitVerdict { .. }
+            )
     }
 
-    /// A scheduled server crash or restart from the fault plan.
-    fn on_server_fault(&mut self, now: SimTime, up: bool) {
+    /// A scheduled server-shard crash or restart from the fault plan.
+    fn on_server_fault(&mut self, now: SimTime, shard: usize, up: bool) {
         if up {
-            self.begin_recovery(now);
+            self.begin_recovery(now, shard);
         } else {
-            self.crash_server(now);
+            self.crash_server(now, shard);
         }
     }
 
-    /// The data server dies. On top of the s-2PL volatile state, c-2PL
-    /// additionally loses the cache directory and every callback
-    /// barrier: the directory is rebuilt from re-registration reports,
-    /// and barrier owners re-form their recalls through the ordinary
-    /// request-retry path (their exclusive grant was never shipped, so
-    /// it is deliberately absent from the durable grant history).
-    fn crash_server(&mut self, now: SimTime) {
-        debug_assert!(!self.server_down, "server crashed while already down");
-        self.server_down = true;
-        self.recovering = false;
+    /// Shard `shard` dies. On top of the s-2PL volatile state, c-2PL
+    /// additionally loses its slice of the cache directory and every
+    /// callback barrier there: the directory is rebuilt from
+    /// re-registration reports, and barrier owners re-form their recalls
+    /// through the ordinary request-retry path (their exclusive grant
+    /// was never shipped, so it is deliberately absent from the durable
+    /// grant history).
+    fn crash_server(&mut self, now: SimTime, shard: usize) {
+        debug_assert!(
+            !self.fault_state[shard].down,
+            "shard crashed while already down"
+        );
+        self.fault_state[shard].crash();
         self.fsum.server_crashes += 1;
-        self.trace
-            .record(now, TraceKind::ServerCrashed, None, None, SiteId::SERVER0);
-        let shard0_items = self.cfg.items.items_per_shard as usize;
-        self.locks[0] = LockTable::new();
-        self.server_cpu[0] = ServerCpu::new(self.cfg.server_cpu_per_op);
-        self.directory[..shard0_items]
+        self.trace.record(
+            now,
+            TraceKind::ServerCrashed,
+            None,
+            None,
+            SiteId::server(shard as u32),
+        );
+        let per = self.cfg.items.items_per_shard as usize;
+        let range = shard * per..(shard + 1) * per;
+        self.locks[shard] = LockTable::new();
+        self.server_cpu[shard] = ServerCpu::new(self.cfg.server_cpu_per_op);
+        self.directory[range.clone()]
             .iter_mut()
             .for_each(Vec::clear);
-        self.barriers[..shard0_items]
+        self.barriers[range.clone()]
             .iter_mut()
             .for_each(|b| *b = None);
-        self.versions[..shard0_items]
-            .iter_mut()
-            .for_each(|v| *v = 0);
-        // Leases are coordinated at shard 0, so they die with it.
-        self.leased.iter_mut().for_each(|l| *l = false);
-        self.last_activity
-            .iter_mut()
-            .for_each(|t| *t = SimTime::ZERO);
-        self.applied.iter_mut().for_each(|a| *a &= !1);
+        self.versions[range].iter_mut().for_each(|v| *v = 0);
+        if shard == 0 {
+            // Leases are coordinated at shard 0, so they die with it.
+            self.leased.iter_mut().for_each(|l| *l = false);
+            self.last_activity
+                .iter_mut()
+                .for_each(|t| *t = SimTime::ZERO);
+        }
+        let bit = !(1u64 << shard);
+        self.applied.iter_mut().for_each(|a| *a &= bit);
+        self.prepared.iter_mut().for_each(|p| *p &= bit);
     }
 
-    /// The server restarts: replay the durable log, restore versions and
-    /// the applied-commit set, and open the handshake (see the s-2PL
-    /// engine).
-    fn begin_recovery(&mut self, now: SimTime) {
-        debug_assert!(self.server_down, "server restarted while up");
-        self.server_down = false;
-        self.recovering = true;
-        self.recovery_epoch += 1;
-        self.recovery_started = now;
-        self.reregistered = vec![false; self.cfg.num_clients as usize];
+    /// Shard `shard` restarts: replay its durable log, restore versions,
+    /// applied bits and in-doubt prepared votes, query surviving peers
+    /// about each in-doubt transaction, and open the handshake (see the
+    /// s-2PL engine).
+    fn begin_recovery(&mut self, now: SimTime, shard: usize) {
+        debug_assert!(self.fault_state[shard].down, "shard restarted while up");
         // lint:allow(L3): the log exists whenever server crashes are planned
-        let img = self.slog.as_ref().expect("server log enabled")[0].replay();
+        let img = self.slog.as_ref().expect("server log enabled")[shard].replay();
         for (&item, &v) in &img.versions {
             self.versions[item.index()] = v;
         }
         for &txn in &img.committed {
-            self.mark_applied(txn, 0);
+            self.mark_applied(txn, shard);
         }
-        self.recovery_image = Some(img);
-        self.broadcast_reregister(false);
+        let epoch = self.fault_state[shard].begin_recovery(now, self.cfg.num_clients as usize, img);
+        let in_doubt: Vec<TxnId> = self.fault_state[shard].in_doubt.keys().copied().collect();
+        for &txn in &in_doubt {
+            self.mark_prepared(txn, shard);
+        }
+        self.send_commit_queries(shard, false);
+        self.broadcast_reregister(shard, false);
         self.cal.schedule_in(
             self.retry_base,
             Ev::RecoveryCheck {
-                epoch: self.recovery_epoch,
+                shard: shard as u32,
+                epoch,
             },
         );
     }
 
+    /// Ask the surviving peers of every still-in-doubt transaction for
+    /// its commit outcome (see the s-2PL engine).
+    fn send_commit_queries(&mut self, shard: usize, retry: bool) {
+        let st = &self.fault_state[shard];
+        let epoch = st.epoch;
+        let queries: Vec<(TxnId, u64)> = st
+            .in_doubt
+            .iter()
+            .map(|(&txn, p)| (txn, p.involved))
+            .collect();
+        for (txn, involved) in queries {
+            for peer in 0..self.cfg.num_shards() {
+                if peer as usize == shard || involved & (1u64 << peer) == 0 {
+                    continue;
+                }
+                if retry {
+                    self.fsum.retries += 1;
+                }
+                self.net.send(
+                    &mut self.cal,
+                    SiteId::server(shard as u32),
+                    SiteId::server(peer),
+                    "c2pl.commit_query",
+                    CTRL_BYTES,
+                    Message::CommitQuery {
+                        txn,
+                        from_shard: shard as u32,
+                        epoch,
+                    },
+                );
+            }
+        }
+    }
+
     /// Poll clients for re-registration; `retry` restricts the poll to
     /// clients that have not yet answered and counts as retransmission.
-    fn broadcast_reregister(&mut self, retry: bool) {
+    fn broadcast_reregister(&mut self, shard: usize, retry: bool) {
         for i in 0..self.cfg.num_clients {
             let c = ClientId::new(i);
             if retry {
-                if self.reregistered[c.index()] {
+                if self.fault_state[shard].reregistered[c.index()] {
                     continue;
                 }
                 self.fsum.retries += 1;
             }
             self.net.send(
                 &mut self.cal,
-                SiteId::SERVER0,
+                SiteId::server(shard as u32),
                 c.into(),
                 "c2pl.reregister_req",
                 CTRL_BYTES,
                 Message::ReregisterReq {
-                    epoch: self.recovery_epoch,
+                    shard: shard as u32,
+                    epoch: self.fault_state[shard].epoch,
                 },
             );
         }
     }
 
     /// The recovery-handshake timer fired (see the s-2PL engine).
-    fn on_recovery_check(&mut self, now: SimTime, epoch: u64) {
-        if !self.recovering || epoch != self.recovery_epoch {
+    fn on_recovery_check(&mut self, now: SimTime, shard: usize, epoch: u64) {
+        let st = &self.fault_state[shard];
+        if !st.recovering || epoch != st.epoch {
             return; // stale timer of an older recovery
         }
-        if now.since(self.recovery_started) >= self.lease {
-            self.finish_recovery(now);
+        if now.since(st.started) >= self.lease {
+            self.finish_recovery(now, shard);
             return;
         }
-        self.broadcast_reregister(true);
-        self.cal
-            .schedule_in(self.retry_base, Ev::RecoveryCheck { epoch });
+        self.send_commit_queries(shard, true);
+        self.broadcast_reregister(shard, true);
+        self.cal.schedule_in(
+            self.retry_base,
+            Ev::RecoveryCheck {
+                shard: shard as u32,
+                epoch,
+            },
+        );
     }
 
     /// One client's re-registration report arrived: record liveness,
@@ -1084,22 +1241,25 @@ impl C2plEngine {
     /// A client that stays silent is presumed crashed, and a crashed
     /// c-2PL client lost its cache, so omitting its directory entries is
     /// exact, not merely safe.
+    #[allow(clippy::too_many_arguments)]
     fn on_reregister(
         &mut self,
         now: SimTime,
+        shard: usize,
         client: ClientId,
         epoch: u64,
         txn: Option<TxnId>,
         held: &[(ItemId, LockMode)],
         cached: &[ItemId],
     ) {
-        if !self.recovering || epoch != self.recovery_epoch {
+        let st = &mut self.fault_state[shard];
+        if !st.recovering || epoch != st.epoch {
             return; // late report of an older recovery
         }
-        if self.reregistered[client.index()] {
+        if st.reregistered[client.index()] {
             return; // duplicated report: absorbed
         }
-        self.reregistered[client.index()] = true;
+        st.reregistered[client.index()] = true;
         self.fsum.reregistrations += 1;
         self.trace
             .record(now, TraceKind::Reregister, txn, None, client.into());
@@ -1107,8 +1267,11 @@ impl C2plEngine {
             Self::directory_insert(&mut self.directory[item.index()], client);
         }
         if cfg!(debug_assertions) {
-            // lint:allow(L3): the image exists for the whole handshake
-            let img = self.recovery_image.as_ref().expect("recovery image");
+            let img = self.fault_state[shard]
+                .image
+                .as_ref()
+                // lint:allow(L3): the image exists for the whole handshake
+                .expect("recovery image");
             if let Some(t) = txn {
                 if self.table.status(t) == TxnStatus::Active {
                     for &(item, _) in held {
@@ -1120,23 +1283,38 @@ impl C2plEngine {
                 }
             }
         }
-        if self.reregistered.iter().all(|&r| r) {
-            self.finish_recovery(now);
+        if self.fault_state[shard].reregistered.iter().all(|&r| r) {
+            self.finish_recovery(now, shard);
         }
     }
 
-    /// Close the handshake and restore outstanding durable grants (see
-    /// the s-2PL engine for the status-by-status reasoning).
-    fn finish_recovery(&mut self, now: SimTime) {
-        debug_assert!(self.recovering);
+    /// Close the handshake: resolve any still-in-doubt prepared votes
+    /// directly against the commit oracle (peers that could have
+    /// answered the query were partitioned away or the verdicts were
+    /// lost), then restore outstanding durable grants (see the s-2PL
+    /// engine for the status-by-status reasoning).
+    fn finish_recovery(&mut self, now: SimTime, shard: usize) {
+        debug_assert!(self.fault_state[shard].recovering);
+        let unresolved: Vec<TxnId> = self.fault_state[shard].in_doubt.keys().copied().collect();
+        for txn in unresolved {
+            match self.table.status(txn) {
+                TxnStatus::Committed => self.resolve_indoubt_commit(now, shard, txn),
+                TxnStatus::Aborting | TxnStatus::Aborted => self.resolve_indoubt_abort(shard, txn),
+                // Presumed abort lets an undecided vote wait: the
+                // coordinator is still retrying its prepares and will
+                // drive the outcome through the normal message path.
+                TxnStatus::Active => {}
+            }
+        }
+        let st = &mut self.fault_state[shard];
         // lint:allow(L3): the image exists for the whole handshake
-        let img = self.recovery_image.take().expect("recovery image");
+        let img = st.image.take().expect("recovery image");
         let mut silent_victims = Vec::new();
         for (&txn, items) in &img.grants {
             let client = self.table.info(txn).client;
             match self.table.status(txn) {
                 TxnStatus::Active => {
-                    if self.reregistered[client.index()] {
+                    if self.fault_state[shard].reregistered[client.index()] {
                         self.restore_grants(txn, items);
                         self.touch(now, txn);
                     } else {
@@ -1144,7 +1322,7 @@ impl C2plEngine {
                     }
                 }
                 TxnStatus::Committed => {
-                    if !self.committed_at_server(txn) {
+                    if !self.applied_at(txn, shard) {
                         self.restore_grants(txn, items);
                         self.touch(now, txn);
                     }
@@ -1152,9 +1330,14 @@ impl C2plEngine {
                 TxnStatus::Aborting | TxnStatus::Aborted => {}
             }
         }
-        self.recovering = false;
-        self.trace
-            .record(now, TraceKind::ServerRecovered, None, None, SiteId::SERVER0);
+        self.fault_state[shard].recovering = false;
+        self.trace.record(
+            now,
+            TraceKind::ServerRecovered,
+            None,
+            None,
+            SiteId::server(shard as u32),
+        );
         for txn in silent_victims {
             self.abort_victim(now, txn);
         }
@@ -1197,10 +1380,92 @@ impl C2plEngine {
             .is_some_and(|a| a & (1u64 << shard) != 0)
     }
 
-    /// Whether `txn`'s commit slice has been applied at shard 0 (the
-    /// crash-prone shard; the bit mirrors the durable applied set).
-    fn committed_at_server(&self, txn: TxnId) -> bool {
-        self.applied_at(txn, 0)
+    /// Record that `shard` holds an unretired durable prepared vote for
+    /// `txn` (volatile mirror of the log's Prepared records).
+    fn mark_prepared(&mut self, txn: TxnId, shard: usize) {
+        let i = txn.index();
+        if self.prepared.len() <= i {
+            self.prepared.resize(i + 1, 0);
+        }
+        self.prepared[i] |= 1u64 << shard;
+    }
+
+    /// Whether `shard` holds an unretired prepared vote for `txn`.
+    fn prepared_at(&self, txn: TxnId, shard: usize) -> bool {
+        self.prepared
+            .get(txn.index())
+            .is_some_and(|p| p & (1u64 << shard) != 0)
+    }
+
+    /// Retire `shard`'s prepared vote for `txn`.
+    fn clear_prepared(&mut self, txn: TxnId, shard: usize) {
+        if let Some(p) = self.prepared.get_mut(txn.index()) {
+            *p &= !(1u64 << shard);
+        }
+    }
+
+    /// A recovered shard learned (from a peer's verdict or the commit
+    /// oracle) that an in-doubt transaction committed: durably retire
+    /// the vote, install its write slice, and hand the released locks
+    /// on. The cache directory is deliberately left alone — directory
+    /// truth after a crash comes exclusively from re-registration
+    /// reports, and a client that never re-registered has lost its
+    /// cache, so inventing entries here would resurrect dead copies.
+    fn resolve_indoubt_commit(&mut self, now: SimTime, shard: usize, txn: TxnId) {
+        let Some(pimg) = self.fault_state[shard].in_doubt.remove(&txn) else {
+            return;
+        };
+        let committer = self.table.info(txn).client;
+        // lint:allow(L3): the log exists whenever server crashes are planned
+        let slog = &mut self.slog.as_mut().expect("server log enabled")[shard];
+        slog.append(ServerRecord::Committed { txn });
+        for &(item, version) in &pimg.writes {
+            slog.append(ServerRecord::Permanent { item, version });
+        }
+        slog.append(ServerRecord::Released { txn });
+        for (item, version) in pimg.writes {
+            debug_assert_eq!(
+                version,
+                self.versions[item.index()] + 1,
+                "write version chain broken for {item}"
+            );
+            self.versions[item.index()] = version;
+            if let Some(wal) = &mut self.wal {
+                wal[committer.index()].mark_permanent(txn, item);
+            }
+        }
+        self.mark_applied(txn, shard);
+        self.clear_prepared(txn, shard);
+        self.trace.record(
+            now,
+            TraceKind::CommitApplied,
+            Some(txn),
+            None,
+            SiteId::server(shard as u32),
+        );
+        let woken = self.locks[shard].release_all(txn);
+        for (item, t, mode) in woken {
+            let c = self.table.info(t).client;
+            self.on_lock_granted(now, c, t, item, mode);
+        }
+    }
+
+    /// A recovered shard learned that an in-doubt transaction aborted:
+    /// durably retire the vote (presumed abort needs no abort record
+    /// beyond the release).
+    fn resolve_indoubt_abort(&mut self, shard: usize, txn: TxnId) {
+        let Some(_pimg) = self.fault_state[shard].in_doubt.remove(&txn) else {
+            return;
+        };
+        // lint:allow(L3): the log exists whenever server crashes are planned
+        self.slog.as_mut().expect("server log enabled")[shard]
+            .append(ServerRecord::Released { txn });
+        self.clear_prepared(txn, shard);
+        // No grants can be waiting behind the victim here: the shard's
+        // lock table was rebuilt at restart and the victim's locks are
+        // only restored after the in-doubt pass.
+        let woken = self.locks[shard].release_all(txn);
+        debug_assert!(woken.is_empty());
     }
 
     // ---- server side ----
@@ -1262,6 +1527,61 @@ impl C2plEngine {
                     AcquireOutcome::Queued => self.detect_deadlocks(now, txn),
                 }
             }
+            Message::Prepare {
+                txn,
+                writes,
+                involved,
+            } => {
+                let client = self.table.info(txn).client;
+                match self.table.status(txn) {
+                    TxnStatus::Aborting | TxnStatus::Aborted => {
+                        // The abort won the race with the voting round:
+                        // answer the (possibly lost) notice again.
+                        self.net.send(
+                            &mut self.cal,
+                            SiteId::server(shard as u32),
+                            client.into(),
+                            "c2pl.abort_notice",
+                            CTRL_BYTES,
+                            Message::SAbortNotice { txn },
+                        );
+                    }
+                    // Decision already made: this is a stale duplicate of
+                    // a consumed vote — re-ack without logging anything.
+                    TxnStatus::Committed => {
+                        self.send_prepare_ack(shard, client, txn);
+                    }
+                    TxnStatus::Active => {
+                        self.touch(now, txn);
+                        if self.prepared_at(txn, shard) {
+                            // Duplicate prepare (the ack was lost): the
+                            // vote is already durable, just re-ack it.
+                            self.send_prepare_ack(shard, client, txn);
+                            return;
+                        }
+                        // Write-ahead: the yes vote — write slice and
+                        // involved mask — is durable before the ack
+                        // leaves the shard.
+                        // lint:allow(L3): prepares are only sent when srv_faults_on
+                        self.slog.as_mut().expect("server log enabled")[shard].append(
+                            ServerRecord::Prepared {
+                                txn,
+                                writes,
+                                involved,
+                            },
+                        );
+                        self.mark_prepared(txn, shard);
+                        self.trace.record(
+                            now,
+                            TraceKind::Prepared,
+                            Some(txn),
+                            None,
+                            SiteId::server(shard as u32),
+                        );
+                        self.send_prepare_ack(shard, client, txn);
+                    }
+                }
+            }
             Message::SCommit { txn, writes, reads } => {
                 let committer = self.table.info(txn).client;
                 if self.faults_on {
@@ -1317,6 +1637,19 @@ impl C2plEngine {
                     }
                     Self::directory_insert(&mut self.directory[item.index()], committer);
                 }
+                if self.prepared_at(txn, shard) {
+                    // Phase 2 of a prepared multi-home commit landed:
+                    // the vote is consumed and the slice applied.
+                    self.clear_prepared(txn, shard);
+                    self.fault_state[shard].in_doubt.remove(&txn);
+                    self.trace.record(
+                        now,
+                        TraceKind::CommitApplied,
+                        Some(txn),
+                        None,
+                        SiteId::server(shard as u32),
+                    );
+                }
                 self.trace.record(
                     now,
                     TraceKind::ReleasedAtServer,
@@ -1366,7 +1699,42 @@ impl C2plEngine {
                 held,
                 pending: _,
                 cached,
-            } => self.on_reregister(now, client, epoch, txn, &held, &cached),
+            } => self.on_reregister(now, shard, client, epoch, txn, &held, &cached),
+            Message::CommitQuery {
+                txn,
+                from_shard,
+                epoch: _,
+            } => {
+                // Answer from the commit oracle — the shared transaction
+                // table stands in for the coordinator's durable decision
+                // record, which this surviving shard can consult. An
+                // Active transaction has no outcome yet: answer "unknown"
+                // and let the asker keep its vote in doubt (presumed
+                // abort never guesses).
+                let committed = match self.table.status(txn) {
+                    TxnStatus::Committed => Some(true),
+                    TxnStatus::Aborting | TxnStatus::Aborted => Some(false),
+                    TxnStatus::Active => None,
+                };
+                self.net.send(
+                    &mut self.cal,
+                    SiteId::server(shard as u32),
+                    SiteId::server(from_shard),
+                    "c2pl.commit_verdict",
+                    CTRL_BYTES,
+                    Message::CommitVerdict { txn, committed },
+                );
+            }
+            Message::CommitVerdict { txn, committed } => {
+                if !self.fault_state[shard].in_doubt.contains_key(&txn) {
+                    return; // already resolved (or never in doubt here)
+                }
+                match committed {
+                    Some(true) => self.resolve_indoubt_commit(now, shard, txn),
+                    Some(false) => self.resolve_indoubt_abort(shard, txn),
+                    None => {} // keep the vote in doubt and ask again
+                }
+            }
             other => unreachable!("c-2PL server cannot receive {other:?}"),
         }
     }
@@ -1547,6 +1915,21 @@ impl C2plEngine {
         );
     }
 
+    /// Acknowledge a durable prepared vote (two-phase commitment only).
+    fn send_prepare_ack(&mut self, shard: usize, client: ClientId, txn: TxnId) {
+        self.net.send(
+            &mut self.cal,
+            SiteId::server(shard as u32),
+            client.into(),
+            "c2pl.prepare_ack",
+            CTRL_BYTES,
+            Message::PrepareAck {
+                txn,
+                shard: shard as u32,
+            },
+        );
+    }
+
     /// The server-side transaction lease fired (see the s-2PL engine for
     /// the protocol; the reclaim additionally dismantles any callback
     /// barrier the presumed-dead transaction owned).
@@ -1647,13 +2030,22 @@ impl C2plEngine {
         debug_assert_eq!(self.table.status(victim), TxnStatus::Active);
         self.table.set_status(victim, TxnStatus::Aborting);
         if self.srv_faults_on {
-            // The victim's grants die with it; compaction may fold them.
-            // Every shard's log gets the release — the victim may hold
-            // grants anywhere.
-            if let Some(slog) = &mut self.slog {
-                for s in slog.iter_mut() {
-                    s.append(ServerRecord::Released { txn: victim });
+            // The victim's grants and any prepared votes die with it;
+            // compaction may fold them. A crashed shard cannot log the
+            // release — it learns the outcome at restart through its
+            // commit queries instead.
+            if let Some(slogs) = &mut self.slog {
+                for (s, slog) in slogs.iter_mut().enumerate() {
+                    if !self.fault_state[s].down {
+                        slog.append(ServerRecord::Released { txn: victim });
+                    }
                 }
+            }
+            if let Some(m) = self.prepared.get_mut(victim.index()) {
+                *m = 0;
+            }
+            for st in &mut self.fault_state {
+                st.in_doubt.remove(&victim);
             }
         }
         if let Some(l) = self.leased.get_mut(victim.index()) {
@@ -1863,6 +2255,7 @@ mod tests {
             c.faults = Some(g2pl_faults::FaultPlan {
                 drop_prob: 0.02,
                 server_crashes: vec![g2pl_faults::ServerCrashWindow {
+                    shard: 0,
                     at: 5_000,
                     down_for: 1_000,
                     jitter: 400,

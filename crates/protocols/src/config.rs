@@ -359,6 +359,35 @@ impl EngineConfig {
                     });
                 }
             }
+            for w in &plan.server_crashes {
+                if w.shard >= self.items.num_shards {
+                    return Err(ConfigError::CrashShardOutOfRange {
+                        shard: w.shard,
+                        num_shards: self.items.num_shards,
+                    });
+                }
+            }
+            for p in &plan.partitions {
+                for ep in [p.a, p.b] {
+                    match ep {
+                        g2pl_faults::Endpoint::Client(c) if c >= self.num_clients => {
+                            return Err(ConfigError::PartitionEndpointOutOfRange {
+                                endpoint: ep,
+                                num_clients: self.num_clients,
+                                num_shards: self.items.num_shards,
+                            });
+                        }
+                        g2pl_faults::Endpoint::Shard(s) if s >= self.items.num_shards => {
+                            return Err(ConfigError::PartitionEndpointOutOfRange {
+                                endpoint: ep,
+                                num_clients: self.num_clients,
+                                num_shards: self.items.num_shards,
+                            });
+                        }
+                        _ => {}
+                    }
+                }
+            }
         }
         Ok(())
     }
@@ -396,6 +425,22 @@ pub enum ConfigError {
         /// Configured client count.
         num_clients: u32,
     },
+    /// A server-crash window names a shard outside `0..num_shards`.
+    CrashShardOutOfRange {
+        /// Offending shard index.
+        shard: u32,
+        /// Configured shard count.
+        num_shards: u32,
+    },
+    /// A partition window names an endpoint outside the topology.
+    PartitionEndpointOutOfRange {
+        /// Offending endpoint.
+        endpoint: g2pl_faults::Endpoint,
+        /// Configured client count.
+        num_clients: u32,
+        /// Configured shard count.
+        num_shards: u32,
+    },
 }
 
 impl fmt::Display for ConfigError {
@@ -421,6 +466,19 @@ impl fmt::Display for ConfigError {
             } => write!(
                 f,
                 "crash window names client {client} but the run has {num_clients} clients"
+            ),
+            ConfigError::CrashShardOutOfRange { shard, num_shards } => write!(
+                f,
+                "server-crash window names shard {shard} but the run has {num_shards} shards"
+            ),
+            ConfigError::PartitionEndpointOutOfRange {
+                endpoint,
+                num_clients,
+                num_shards,
+            } => write!(
+                f,
+                "partition endpoint {endpoint:?} is outside the topology \
+                 ({num_clients} clients, {num_shards} shards)"
             ),
         }
     }

@@ -45,7 +45,7 @@ use crate::history::{AccessRecord, CommitRecord, History};
 use crate::metrics::{Collector, FaultSummary, RunMetrics, WalReport};
 use crate::runtime::{
     lease_period, retry_period, ClientCore, ClientPhase, Ev, HoldReport, Message, Net, ServerCpu,
-    TimerKind, TxnStatus, TxnTable,
+    ShardFaultState, TimerKind, TxnStatus, TxnTable,
 };
 use crate::s2pl::{lock_mode, CTRL_BYTES, EVENT_BUDGET};
 use crate::tracelog::{TraceKind, TraceLog};
@@ -54,8 +54,9 @@ use g2pl_fwdlist::{CollectionWindow, FlEntry, ForwardList, PrecedenceDag, Segmen
 use g2pl_lockmgr::LockMode;
 use g2pl_obs::SpanRecorder;
 use g2pl_simcore::{Calendar, ClientId, ItemId, SimTime, SiteId, Slab, TxnId, Version};
-use g2pl_wal::{LogRecord, ServerImage, ServerLog, ServerRecord, SiteLog};
+use g2pl_wal::{LogRecord, ServerLog, ServerRecord, SiteLog};
 use g2pl_workload::{AccessMode, TxnGenerator};
+use std::collections::BTreeMap;
 use std::rc::Rc;
 
 /// Per-entry size of a forward list inside a message, in bytes.
@@ -219,22 +220,21 @@ pub struct G2plEngine {
     /// server log and the recovery protocol, so loss-only plans keep
     /// the exact crash-free fault paths.
     srv_faults_on: bool,
-    /// One durable recovery log per shard (server crashes only); only
-    /// shard 0 ever crashes, so only `slog[0]` is ever replayed.
+    /// One durable recovery log per shard (server crashes only): each
+    /// shard is an independent fault domain and replays only its own log.
     slog: Option<Vec<ServerLog>>,
-    /// True while the server is crashed.
-    server_down: bool,
-    /// True while the post-restart re-registration handshake is open.
-    recovering: bool,
-    /// Bumped per restart; stale recovery timers and reports identify
-    /// themselves by a smaller epoch.
-    recovery_epoch: u64,
-    /// When the current handshake opened (deadline = one lease period).
-    recovery_started: SimTime,
-    /// Which clients have answered the current handshake.
-    reregistered: Vec<bool>,
-    /// Durable image replayed at restart; dropped when recovery ends.
-    recovery_image: Option<ServerImage>,
+    /// Per-shard crash/recovery state (server crashes only).
+    fault_state: Vec<ShardFaultState>,
+    /// Per-transaction bitmask of shards holding an unretired durable
+    /// prepared vote (volatile mirror of the logs' `Prepared` records;
+    /// rebuilt per shard from replay on restart).
+    prepared: Vec<u64>,
+    /// Coordinator-side phase-2 state: committed multi-home transactions
+    /// whose [`Message::Decide`] is still unacknowledged, mapped to the
+    /// bitmask of shards that still owe a [`Message::DecideAck`]. The
+    /// decision itself is durable (commit oracle + client WAL); this map
+    /// only drives retransmission.
+    pending_decides: BTreeMap<TxnId, u64>,
 }
 
 impl G2plEngine {
@@ -293,12 +293,9 @@ impl G2plEngine {
             fsum: FaultSummary::default(),
             srv_faults_on: srv_faults,
             slog: srv_faults.then(|| (0..nshards).map(|_| ServerLog::new()).collect()),
-            server_down: false,
-            recovering: false,
-            recovery_epoch: 0,
-            recovery_started: SimTime::ZERO,
-            reregistered: Vec::new(),
-            recovery_image: None,
+            fault_state: vec![ShardFaultState::default(); nshards],
+            prepared: Vec::new(),
+            pending_decides: BTreeMap::new(),
             server_cpu: vec![ServerCpu::new(cfg.server_cpu_per_op); nshards],
             cal: Calendar::new(),
             clients,
@@ -351,8 +348,8 @@ impl G2plEngine {
         for (client, at, up) in self.net.crash_schedule() {
             self.cal.schedule(at, Ev::Fault { client, up });
         }
-        for (at, up) in self.net.server_crash_schedule() {
-            self.cal.schedule(at, Ev::ServerFault { up });
+        for (shard, at, up) in self.net.server_crash_schedule() {
+            self.cal.schedule(at, Ev::ServerFault { shard, up });
         }
 
         let mut events: u64 = 0;
@@ -403,8 +400,10 @@ impl G2plEngine {
                 },
                 Ev::Fault { client, up } => self.on_fault(now, client, up),
                 Ev::LeaseCheck { item, epoch } => self.on_lease_check(now, item, epoch),
-                Ev::ServerFault { up } => self.on_server_fault(now, up),
-                Ev::RecoveryCheck { epoch } => self.on_recovery_check(now, epoch),
+                Ev::ServerFault { shard, up } => self.on_server_fault(now, shard as usize, up),
+                Ev::RecoveryCheck { shard, epoch } => {
+                    self.on_recovery_check(now, shard as usize, epoch);
+                }
                 Ev::TxnLease { .. } | Ev::CallbackRetry { .. } => {
                     unreachable!("event is not part of the g-2PL protocol")
                 }
@@ -582,6 +581,7 @@ impl G2plEngine {
                 }
             }
             TimerKind::Retry { epoch } => self.on_retry(now, client, epoch),
+            TimerKind::DecideRetry(txn) => self.on_decide_retry(now, client, txn),
         }
     }
 
@@ -599,19 +599,147 @@ impl G2plEngine {
             self.on_abort_notice(now, client, txn);
             return;
         }
-        let ready = {
+        if self.faults_on && !self.clients[client.index()].pending_commits.is_empty() {
+            return; // voting round already under way; acks drive progress
+        }
+        let (ready, involved) = {
             let active = self.clients[client.index()].txn();
-            active
+            let ready = active
                 .spec
                 .accesses
                 .iter()
-                .all(|&(item, _)| self.hold(item, txn).is_some_and(Hold::gates_passed))
+                .all(|&(item, _)| self.hold(item, txn).is_some_and(Hold::gates_passed));
+            let mut involved = 0u64;
+            for &(item, _) in &active.spec.accesses {
+                involved |= 1u64 << self.cfg.shard_of(item);
+            }
+            (ready, involved)
         };
         if ready {
+            if self.srv_faults_on && involved.count_ones() > 1 {
+                // Multi-home commitment under shard crashes is two-phase:
+                // collect a durable yes vote from every involved shard
+                // before the client-local commit point.
+                self.begin_prepare(now, client, txn, involved);
+                return;
+            }
             self.commit(now, client, txn);
         } else {
             self.clients[client.index()].txn_mut().phase = ClientPhase::CommitWait;
         }
+    }
+
+    /// Open the voting round of a multi-home commitment: ask every
+    /// involved shard to force a prepared record for `txn`. g-2PL
+    /// versions migrate client-to-client, so the vote carries no write
+    /// slice — it only pins the shard's promise that the decision will
+    /// be applied (durably recorded) once the coordinator decides.
+    fn begin_prepare(&mut self, now: SimTime, client: ClientId, txn: TxnId, involved: u64) {
+        let _ = now;
+        let c = &mut self.clients[client.index()];
+        c.txn_mut().phase = ClientPhase::CommitWait;
+        c.retry_progress();
+        debug_assert!(c.pending_commits.is_empty());
+        for shard in 0..self.cfg.num_shards() {
+            if involved & (1u64 << shard) == 0 {
+                continue;
+            }
+            let msg = Message::Prepare {
+                txn,
+                writes: Vec::new(),
+                involved,
+            };
+            self.clients[client.index()]
+                .pending_commits
+                .push((shard, msg.clone()));
+            self.net.send(
+                &mut self.cal,
+                client.into(),
+                SiteId::server(shard),
+                "g2pl.prepare",
+                CTRL_BYTES,
+                msg,
+            );
+        }
+        self.arm_retry(client);
+    }
+
+    /// Re-send every outstanding prepare of the client's voting round.
+    fn resend_pending_commits(&mut self, now: SimTime, client: ClientId) {
+        let _ = now;
+        let pending = self.clients[client.index()].pending_commits.clone();
+        for (shard, msg) in pending {
+            self.fsum.retries += 1;
+            self.net.send(
+                &mut self.cal,
+                client.into(),
+                SiteId::server(shard),
+                "g2pl.prepare",
+                CTRL_BYTES,
+                msg,
+            );
+        }
+        self.arm_retry(client);
+    }
+
+    /// Ship the commit decision to every involved shard and keep
+    /// retransmitting until each has durably applied it. The decision is
+    /// already durable at the coordinator (commit oracle + client WAL),
+    /// so phase 2 runs detached from the transaction slot — the client
+    /// moves on to its next transaction meanwhile.
+    fn send_decides(&mut self, now: SimTime, client: ClientId, txn: TxnId, involved: u64) {
+        let _ = now;
+        self.pending_decides.insert(txn, involved);
+        for shard in 0..self.cfg.num_shards() {
+            if involved & (1u64 << shard) == 0 {
+                continue;
+            }
+            self.net.send(
+                &mut self.cal,
+                client.into(),
+                SiteId::server(shard),
+                "g2pl.decide",
+                CTRL_BYTES,
+                Message::Decide { txn },
+            );
+        }
+        self.cal.schedule_in(
+            self.retry_base,
+            Ev::Timer {
+                client,
+                kind: TimerKind::DecideRetry(txn),
+            },
+        );
+    }
+
+    /// The phase-2 retransmission timer fired: re-send the decision to
+    /// every shard that has not yet acknowledged it.
+    fn on_decide_retry(&mut self, now: SimTime, client: ClientId, txn: TxnId) {
+        let _ = now;
+        let Some(&mask) = self.pending_decides.get(&txn) else {
+            return; // fully acknowledged: the timer dies
+        };
+        for shard in 0..self.cfg.num_shards() {
+            if mask & (1u64 << shard) == 0 {
+                continue;
+            }
+            self.fsum.retries += 1;
+            self.net.send(
+                &mut self.cal,
+                client.into(),
+                SiteId::server(shard),
+                "g2pl.decide",
+                CTRL_BYTES,
+                Message::Decide { txn },
+            );
+        }
+        self.cal.schedule_in(
+            self.retry_base,
+            Ev::Timer {
+                client,
+                kind: TimerKind::DecideRetry(txn),
+            },
+        );
     }
 
     fn send_request(
@@ -650,15 +778,18 @@ impl G2plEngine {
     }
 
     /// A retransmission timer fired: if the epoch still matches (no
-    /// progress since arming) and a lock request is outstanding, re-send
-    /// it. g-2PL commits are client-local, so requests are the only
-    /// retransmittable client operation.
+    /// progress since arming), re-send whatever is outstanding — a lock
+    /// request, or the prepares of an open voting round. g-2PL commits
+    /// are client-local, so these are the only retransmittable client
+    /// operations (phase-2 decides run on their own timer).
     fn on_retry(&mut self, now: SimTime, client: ClientId, epoch: u64) {
         let c = &self.clients[client.index()];
         if c.retry_epoch != epoch {
             return; // progress since arming: stale timer
         }
-        if matches!(&c.txn, Some(a) if matches!(a.phase, ClientPhase::WaitingGrant(_))) {
+        if !c.pending_commits.is_empty() {
+            self.resend_pending_commits(now, client);
+        } else if matches!(&c.txn, Some(a) if matches!(a.phase, ClientPhase::WaitingGrant(_))) {
             self.resend_request(now, client);
         }
     }
@@ -737,7 +868,27 @@ impl G2plEngine {
         }
         c.crashed = false;
         c.retry_progress();
+        // Phase-2 retransmission timers died with the crash; the pending
+        // decisions themselves are durable (oracle + WAL), so re-arm one
+        // timer per still-unacknowledged decision this client owns.
+        let unacked: Vec<TxnId> = self
+            .pending_decides
+            .keys()
+            .copied()
+            .filter(|&t| self.table.info(t).client == client)
+            .collect();
+        for txn in unacked {
+            self.cal.schedule_in(
+                SimTime::ZERO,
+                Ev::Timer {
+                    client,
+                    kind: TimerKind::DecideRetry(txn),
+                },
+            );
+        }
+        let c = &self.clients[client.index()];
         let Some(active) = &c.txn else {
+            let c = &mut self.clients[client.index()];
             let idle = self.cfg.profile.draw_idle(&mut c.time_rng);
             self.cal.schedule_in(
                 idle,
@@ -749,6 +900,7 @@ impl G2plEngine {
             return;
         };
         let (txn, phase) = (active.id, active.phase);
+        let voting = !c.pending_commits.is_empty();
         match self.table.status(txn) {
             TxnStatus::Aborting | TxnStatus::Aborted => self.on_abort_notice(now, client, txn),
             TxnStatus::Active => match phase {
@@ -762,6 +914,11 @@ impl G2plEngine {
                             kind: TimerKind::ThinkDone(txn),
                         },
                     );
+                }
+                ClientPhase::CommitWait if voting => {
+                    // An open voting round: its retry timer died with the
+                    // crash, so restart the retransmission loop.
+                    self.resend_pending_commits(now, client);
                 }
                 // A commit certification waits on reader releases; any
                 // dropped while down are recovered by the item lease.
@@ -1172,20 +1329,62 @@ impl G2plEngine {
                 self.after_gate_update(now, client, item, txn);
             }
             Message::GAbortNotice { txn } => self.on_abort_notice(now, client, txn),
-            Message::ReregisterReq { epoch } => {
+            Message::PrepareAck { txn, shard } => {
+                let c = &mut self.clients[client.index()];
+                let Some(pos) = c.pending_commits.iter().position(|(s, m)| {
+                    *s == shard && matches!(m, Message::Prepare { txn: t, .. } if *t == txn)
+                }) else {
+                    return; // stale or duplicated ack
+                };
+                c.pending_commits.remove(pos);
+                c.retry_progress();
+                if !c.pending_commits.is_empty() {
+                    self.arm_retry(client);
+                    return;
+                }
+                if self.table.status(txn) != TxnStatus::Active {
+                    // The abort won the voting race; the notice (or its
+                    // lease-driven re-send) drives the client-side
+                    // cleanup, and abort_victim retired the votes.
+                    return;
+                }
+                // Every involved shard voted yes: decide commit locally
+                // (the decision record is the client's WAL commit) and
+                // ship the decision as phase 2.
+                let involved = {
+                    let active = self.clients[client.index()].txn();
+                    debug_assert_eq!(active.id, txn, "foreign prepare ack");
+                    let mut m = 0u64;
+                    for &(item, _) in &active.spec.accesses {
+                        m |= 1u64 << self.cfg.shard_of(item);
+                    }
+                    m
+                };
+                self.commit(now, client, txn);
+                self.send_decides(now, client, txn, involved);
+            }
+            Message::DecideAck { txn, shard } => {
+                if let Some(mask) = self.pending_decides.get_mut(&txn) {
+                    *mask &= !(1u64 << shard);
+                    if *mask == 0 {
+                        self.pending_decides.remove(&txn);
+                    }
+                }
+            }
+            Message::ReregisterReq { shard, epoch } => {
                 // Report every live (unforwarded) forward-list slot this
                 // client holds or anticipates — checked-out items,
                 // in-flight positions, and committed-but-unreturned
-                // versions all ride in the same report. Only shard 0 ever
-                // crashes, so the report covers shard-0 items only. A
-                // pure function of client state, so duplicated deliveries
-                // are idempotent at the server.
+                // versions all ride in the same report. The report covers
+                // the restarted shard's items only: other shards' state
+                // never died. A pure function of client state, so
+                // duplicated deliveries are idempotent at the server.
                 let mut holds = Vec::new();
                 for (_, slots) in self.holds.iter() {
                     for (item, h) in slots {
                         if h.forwarded
                             || h.fl.entry(h.pos).client != client
-                            || self.cfg.shard_of(*item) != 0
+                            || self.cfg.shard_of(*item) != shard
                         {
                             continue;
                         }
@@ -1204,7 +1403,7 @@ impl G2plEngine {
                 self.net.send(
                     &mut self.cal,
                     client.into(),
-                    SiteId::SERVER0,
+                    SiteId::server(shard),
                     "g2pl.reregister",
                     bytes,
                     Message::GReregister {
@@ -1303,6 +1502,10 @@ impl G2plEngine {
             if self.faults_on {
                 c.retry_progress();
             }
+            // An abort during the voting round withdraws the outstanding
+            // prepares (abort_victim retired the shards' votes).
+            c.pending_commits
+                .retain(|(_, m)| !matches!(m, Message::Prepare { txn: t, .. } if *t == txn));
             self.collector.on_abort_diag(
                 active.spec.is_read_only(),
                 now.since(active.start),
@@ -1330,49 +1533,60 @@ impl G2plEngine {
     // ---- server crash recovery ----
 
     /// Whether shard `shard` can process `msg` right now: everything
-    /// while up, nothing while down, only re-registration reports while
-    /// the recovery handshake is open. Only shard 0 ever crashes.
+    /// while up, nothing while down, only re-registration reports and
+    /// commit-status traffic while the recovery handshake is open.
     fn server_accepts(&self, shard: usize, msg: &Message) -> bool {
-        if shard != 0 {
-            return true;
-        }
-        if self.server_down {
+        let st = &self.fault_state[shard];
+        if st.down {
             return false;
         }
-        !self.recovering || matches!(msg, Message::GReregister { .. })
+        st.is_up()
+            || matches!(
+                msg,
+                Message::GReregister { .. }
+                    | Message::CommitQuery { .. }
+                    | Message::CommitVerdict { .. }
+            )
     }
 
-    /// A scheduled server crash or restart from the fault plan.
-    fn on_server_fault(&mut self, now: SimTime, up: bool) {
+    /// A scheduled server-shard crash or restart from the fault plan.
+    fn on_server_fault(&mut self, now: SimTime, shard: usize, up: bool) {
         if up {
-            self.begin_recovery(now);
+            self.begin_recovery(now, shard);
         } else {
-            self.crash_server(now);
+            self.crash_server(now, shard);
         }
     }
 
-    /// Shard 0 dies: every piece of its volatile state — checkout and
-    /// window bookkeeping, dispatch epochs, installed versions, the CPU
-    /// queue — is gone. Only the durable log survives. Client-side holds
-    /// are other sites and live on; `unpermanent_writers` is kept because
-    /// it mirrors the *clients'* log obligations, which a server crash
-    /// does not discharge. Other shards keep their state untouched, so
-    /// the (global) precedence DAG is reset only in the single-shard
+    /// Shard `shard` dies: every piece of its volatile state — checkout
+    /// and window bookkeeping, dispatch epochs, installed versions, the
+    /// CPU queue — is gone. Only the durable log survives. Client-side
+    /// holds are other sites and live on; `unpermanent_writers` is kept
+    /// because it mirrors the *clients'* log obligations, which a server
+    /// crash does not discharge. Other shards keep their state untouched,
+    /// so the (global) precedence DAG is reset only in the single-shard
     /// case; at multi-shard, surviving shards' edges must live on, and
-    /// shard-0 survivors are re-dispatched in durable-record order, which
-    /// cannot contradict their existing edges.
-    fn crash_server(&mut self, now: SimTime) {
-        debug_assert!(!self.server_down, "server crashed while already down");
-        self.server_down = true;
-        self.recovering = false;
+    /// the crashed shard's survivors are re-dispatched in durable-record
+    /// order, which cannot contradict their existing edges.
+    fn crash_server(&mut self, now: SimTime, shard: usize) {
+        debug_assert!(
+            !self.fault_state[shard].down,
+            "shard crashed while already down"
+        );
+        self.fault_state[shard].crash();
         self.fsum.server_crashes += 1;
-        self.trace
-            .record(now, TraceKind::ServerCrashed, None, None, SiteId::SERVER0);
-        self.server_cpu[0] = ServerCpu::new(self.cfg.server_cpu_per_op);
-        let shard0_items = self.cfg.items.items_per_shard as usize;
+        self.trace.record(
+            now,
+            TraceKind::ServerCrashed,
+            None,
+            None,
+            SiteId::server(shard as u32),
+        );
+        self.server_cpu[shard] = ServerCpu::new(self.cfg.server_cpu_per_op);
+        let per = self.cfg.items.items_per_shard as usize;
         let mut orphaned = std::mem::take(&mut self.start_scratch);
         orphaned.clear();
-        for idx in 0..shard0_items {
+        for idx in shard * per..(shard + 1) * per {
             let item = ItemId::new(idx as u32);
             if let Some(out) = self.items[idx].out.take() {
                 self.clear_entry_index(&out, item);
@@ -1384,7 +1598,7 @@ impl G2plEngine {
             st.version = 0;
             st.epoch = 0;
         }
-        // Window entries die with the server; their owners' request
+        // Window entries die with the shard; their owners' request
         // retries re-enqueue them after recovery, which the
         // pending-request duplicate filter must not suppress.
         for txn in orphaned.drain(..) {
@@ -1393,25 +1607,23 @@ impl G2plEngine {
             }
         }
         self.start_scratch = orphaned;
+        let bit = !(1u64 << shard);
+        self.prepared.iter_mut().for_each(|p| *p &= bit);
         if self.cfg.num_shards() == 1 {
             self.dag = PrecedenceDag::new();
         }
     }
 
-    /// The server restarts: replay the durable log, restore per-item
-    /// versions and dispatch epochs from the image, then open the
-    /// re-registration handshake by polling every client. Outstanding
-    /// checkouts are resolved in [`Self::finish_recovery`] once the
-    /// reports are in.
-    fn begin_recovery(&mut self, now: SimTime) {
-        debug_assert!(self.server_down, "server restarted while up");
-        self.server_down = false;
-        self.recovering = true;
-        self.recovery_epoch += 1;
-        self.recovery_started = now;
-        self.reregistered = vec![false; self.cfg.num_clients as usize];
+    /// Shard `shard` restarts: replay its durable log, restore per-item
+    /// versions, dispatch epochs and in-doubt prepared votes from the
+    /// image, query surviving peers about each in-doubt transaction, and
+    /// open the re-registration handshake by polling every client.
+    /// Outstanding checkouts are resolved in [`Self::finish_recovery`]
+    /// once the reports are in.
+    fn begin_recovery(&mut self, now: SimTime, shard: usize) {
+        debug_assert!(self.fault_state[shard].down, "shard restarted while up");
         // lint:allow(L3): the log exists whenever server crashes are planned
-        let img = self.slog.as_ref().expect("server log enabled")[0].replay();
+        let img = self.slog.as_ref().expect("server log enabled")[shard].replay();
         for (&item, &v) in &img.versions {
             self.items[item.index()].version = v;
         }
@@ -1422,35 +1634,79 @@ impl G2plEngine {
         for (&item, d) in &img.dispatches {
             self.items[item.index()].epoch = d.epoch;
         }
-        self.recovery_image = Some(img);
-        self.broadcast_reregister(false);
+        let epoch = self.fault_state[shard].begin_recovery(now, self.cfg.num_clients as usize, img);
+        let in_doubt: Vec<TxnId> = self.fault_state[shard].in_doubt.keys().copied().collect();
+        for txn in in_doubt {
+            self.mark_prepared(txn, shard);
+        }
+        self.send_commit_queries(shard, false);
+        self.broadcast_reregister(shard, false);
         self.cal.schedule_in(
             self.retry_base,
             Ev::RecoveryCheck {
-                epoch: self.recovery_epoch,
+                shard: shard as u32,
+                epoch,
             },
         );
     }
 
+    /// Ask the surviving peers of every still-in-doubt transaction for
+    /// its commit outcome. The queries travel the ordinary network (so
+    /// shard-to-shard partitions delay them); unanswered ones are
+    /// re-sent by the recovery-check timer and the handshake deadline
+    /// falls back to the commit oracle.
+    fn send_commit_queries(&mut self, shard: usize, retry: bool) {
+        let st = &self.fault_state[shard];
+        let epoch = st.epoch;
+        let queries: Vec<(TxnId, u64)> = st
+            .in_doubt
+            .iter()
+            .map(|(&txn, p)| (txn, p.involved))
+            .collect();
+        for (txn, involved) in queries {
+            for peer in 0..self.cfg.num_shards() {
+                if peer as usize == shard || involved & (1u64 << peer) == 0 {
+                    continue;
+                }
+                if retry {
+                    self.fsum.retries += 1;
+                }
+                self.net.send(
+                    &mut self.cal,
+                    SiteId::server(shard as u32),
+                    SiteId::server(peer),
+                    "g2pl.commit_query",
+                    CTRL_BYTES,
+                    Message::CommitQuery {
+                        txn,
+                        from_shard: shard as u32,
+                        epoch,
+                    },
+                );
+            }
+        }
+    }
+
     /// Poll clients for re-registration; `retry` restricts the poll to
     /// clients that have not yet answered and counts as retransmission.
-    fn broadcast_reregister(&mut self, retry: bool) {
+    fn broadcast_reregister(&mut self, shard: usize, retry: bool) {
         for i in 0..self.cfg.num_clients {
             let c = ClientId::new(i);
             if retry {
-                if self.reregistered[c.index()] {
+                if self.fault_state[shard].reregistered[c.index()] {
                     continue;
                 }
                 self.fsum.retries += 1;
             }
             self.net.send(
                 &mut self.cal,
-                SiteId::SERVER0,
+                SiteId::server(shard as u32),
                 c.into(),
                 "g2pl.reregister_req",
                 CTRL_BYTES,
                 Message::ReregisterReq {
-                    epoch: self.recovery_epoch,
+                    shard: shard as u32,
+                    epoch: self.fault_state[shard].epoch,
                 },
             );
         }
@@ -1458,18 +1714,25 @@ impl G2plEngine {
 
     /// The recovery-handshake timer fired: finish if the handshake
     /// deadline (one lease period) has passed; otherwise poll the
-    /// silent clients again.
-    fn on_recovery_check(&mut self, now: SimTime, epoch: u64) {
-        if !self.recovering || epoch != self.recovery_epoch {
+    /// silent clients and peers again.
+    fn on_recovery_check(&mut self, now: SimTime, shard: usize, epoch: u64) {
+        let st = &self.fault_state[shard];
+        if !st.recovering || epoch != st.epoch {
             return; // stale timer of an older recovery
         }
-        if now.since(self.recovery_started) >= self.lease {
-            self.finish_recovery(now);
+        if now.since(st.started) >= self.lease {
+            self.finish_recovery(now, shard);
             return;
         }
-        self.broadcast_reregister(true);
-        self.cal
-            .schedule_in(self.retry_base, Ev::RecoveryCheck { epoch });
+        self.send_commit_queries(shard, true);
+        self.broadcast_reregister(shard, true);
+        self.cal.schedule_in(
+            self.retry_base,
+            Ev::RecoveryCheck {
+                shard: shard as u32,
+                epoch,
+            },
+        );
     }
 
     /// One client's re-registration report arrived: record liveness,
@@ -1477,14 +1740,22 @@ impl G2plEngine {
     /// durable dispatch history, and close the handshake once every
     /// client has answered. Duplicated reports are absorbed by the
     /// per-epoch `reregistered` flag (idempotent re-delivery).
-    fn on_reregister(&mut self, now: SimTime, client: ClientId, epoch: u64, holds: &[HoldReport]) {
-        if !self.recovering || epoch != self.recovery_epoch {
+    fn on_reregister(
+        &mut self,
+        now: SimTime,
+        shard: usize,
+        client: ClientId,
+        epoch: u64,
+        holds: &[HoldReport],
+    ) {
+        let st = &mut self.fault_state[shard];
+        if !st.recovering || epoch != st.epoch {
             return; // late report of an older recovery
         }
-        if self.reregistered[client.index()] {
+        if st.reregistered[client.index()] {
             return; // duplicated report: absorbed
         }
-        self.reregistered[client.index()] = true;
+        st.reregistered[client.index()] = true;
         self.fsum.reregistrations += 1;
         self.trace
             .record(now, TraceKind::Reregister, None, None, client.into());
@@ -1494,8 +1765,9 @@ impl G2plEngine {
         // client-side hold exists to report): a slot re-reported at the
         // last durable epoch must be on the logged list.
         if cfg!(debug_assertions) {
+            let st = &self.fault_state[shard];
             // lint:allow(L3): the image exists for the whole handshake
-            let img = self.recovery_image.as_ref().expect("recovery image");
+            let img = st.image.as_ref().expect("recovery image");
             for r in holds {
                 if let Some(d) = img.dispatches.get(&r.item) {
                     debug_assert!(
@@ -1507,8 +1779,8 @@ impl G2plEngine {
                 }
             }
         }
-        if self.reregistered.iter().all(|&r| r) {
-            self.finish_recovery(now);
+        if self.fault_state[shard].reregistered.iter().all(|&r| r) {
+            self.finish_recovery(now, shard);
         }
     }
 
@@ -1521,10 +1793,26 @@ impl G2plEngine {
     /// clients are presumed dead and aborted. With no survivors the
     /// item comes home at the version a fault-free drain would have
     /// installed.
-    fn finish_recovery(&mut self, now: SimTime) {
-        debug_assert!(self.recovering);
+    fn finish_recovery(&mut self, now: SimTime, shard: usize) {
+        debug_assert!(self.fault_state[shard].recovering);
+        // In-doubt prepared votes that no peer verdict resolved during
+        // the handshake fall back to the coordinator's durable decision
+        // record (the commit oracle). Still-undecided transactions stay
+        // in doubt: presumed abort lets the vote wait for the
+        // coordinator's retried decision message.
+        let in_doubt: Vec<TxnId> = self.fault_state[shard].in_doubt.keys().copied().collect();
+        for txn in in_doubt {
+            match self.table.status(txn) {
+                TxnStatus::Committed => self.resolve_indoubt_commit(now, shard, txn),
+                TxnStatus::Aborting | TxnStatus::Aborted => {
+                    self.resolve_indoubt_abort(shard, txn);
+                }
+                TxnStatus::Active => {}
+            }
+        }
+        let st = &mut self.fault_state[shard];
         // lint:allow(L3): the image exists for the whole handshake
-        let img = self.recovery_image.take().expect("recovery image");
+        let img = st.image.take().expect("recovery image");
         let mut silent_victims: Vec<TxnId> = Vec::new();
         let mut redispatch = Vec::new();
         for &item in &img.out {
@@ -1536,7 +1824,7 @@ impl G2plEngine {
                 match self.table.status(txn) {
                     TxnStatus::Active => {
                         let owner = self.table.info(txn).client;
-                        if self.reregistered[owner.index()] {
+                        if self.fault_state[shard].reregistered[owner.index()] {
                             let arrival = self.arrival_seq;
                             self.arrival_seq += 1;
                             let mode = if exclusive {
@@ -1574,9 +1862,14 @@ impl G2plEngine {
             self.items[item.index()].version = d.base + committed_writes;
             redispatch.push((item, survivors));
         }
-        self.recovering = false;
-        self.trace
-            .record(now, TraceKind::ServerRecovered, None, None, SiteId::SERVER0);
+        self.fault_state[shard].recovering = false;
+        self.trace.record(
+            now,
+            TraceKind::ServerRecovered,
+            None,
+            None,
+            SiteId::server(shard as u32),
+        );
         for (item, survivors) in redispatch {
             if survivors.is_empty() {
                 let version = self.items[item.index()].version;
@@ -1598,6 +1891,79 @@ impl G2plEngine {
                 self.abort_victim(now, txn);
             }
         }
+    }
+
+    /// Record in the volatile mirror that `txn` holds an unretired
+    /// prepared vote at `shard`.
+    fn mark_prepared(&mut self, txn: TxnId, shard: usize) {
+        let i = txn.index();
+        if self.prepared.len() <= i {
+            self.prepared.resize(i + 1, 0);
+        }
+        self.prepared[i] |= 1u64 << shard;
+    }
+
+    /// Whether `txn` holds an unretired prepared vote at `shard`.
+    fn prepared_at(&self, txn: TxnId, shard: usize) -> bool {
+        self.prepared
+            .get(txn.index())
+            .is_some_and(|p| p & (1u64 << shard) != 0)
+    }
+
+    /// Retire `txn`'s prepared vote at `shard` in the volatile mirror.
+    fn clear_prepared(&mut self, txn: TxnId, shard: usize) {
+        if let Some(p) = self.prepared.get_mut(txn.index()) {
+            *p &= !(1u64 << shard);
+        }
+    }
+
+    /// Acknowledge a (possibly retransmitted) prepare vote toward the
+    /// coordinating client.
+    fn send_prepare_ack(&mut self, shard: usize, client: ClientId, txn: TxnId) {
+        self.net.send(
+            &mut self.cal,
+            SiteId::server(shard as u32),
+            client.into(),
+            "g2pl.prepare_ack",
+            CTRL_BYTES,
+            Message::PrepareAck {
+                txn,
+                shard: shard as u32,
+            },
+        );
+    }
+
+    /// Recovery learned that in-doubt `txn` committed: retire the
+    /// prepared vote with a durable decision record. Unlike s-2PL there
+    /// is no write slice to install — the committed versions migrated
+    /// client-to-client and come home with the item returns.
+    fn resolve_indoubt_commit(&mut self, now: SimTime, shard: usize, txn: TxnId) {
+        let Some(_pimg) = self.fault_state[shard].in_doubt.remove(&txn) else {
+            return; // a racing verdict already resolved it
+        };
+        // lint:allow(L3): the log exists whenever srv_faults_on
+        let slog = &mut self.slog.as_mut().expect("server log enabled")[shard];
+        slog.append(ServerRecord::Committed { txn });
+        self.clear_prepared(txn, shard);
+        self.trace.record(
+            now,
+            TraceKind::CommitApplied,
+            Some(txn),
+            None,
+            SiteId::server(shard as u32),
+        );
+    }
+
+    /// Recovery learned that in-doubt `txn` aborted: retire the prepared
+    /// vote so replay stops resurrecting it.
+    fn resolve_indoubt_abort(&mut self, shard: usize, txn: TxnId) {
+        let Some(_pimg) = self.fault_state[shard].in_doubt.remove(&txn) else {
+            return; // a racing verdict already resolved it
+        };
+        // lint:allow(L3): the log exists whenever srv_faults_on
+        let slog = &mut self.slog.as_mut().expect("server log enabled")[shard];
+        slog.append(ServerRecord::Released { txn });
+        self.clear_prepared(txn, shard);
     }
 
     // ---- server side ----
@@ -1741,7 +2107,112 @@ impl G2plEngine {
                 client,
                 epoch,
                 holds,
-            } => self.on_reregister(now, client, epoch, &holds),
+            } => self.on_reregister(now, shard, client, epoch, &holds),
+            Message::Prepare {
+                txn,
+                writes,
+                involved,
+            } => {
+                debug_assert!(writes.is_empty(), "g-2PL versions migrate client-side");
+                match self.table.status(txn) {
+                    TxnStatus::Aborting | TxnStatus::Aborted => {
+                        // The vote request raced an abort: answer with the
+                        // (possibly lost) abort notice instead of a vote.
+                        let client = self.table.info(txn).client;
+                        self.net.send(
+                            &mut self.cal,
+                            SiteId::server(shard as u32),
+                            client.into(),
+                            "g2pl.abort_notice",
+                            CTRL_BYTES,
+                            Message::GAbortNotice { txn },
+                        );
+                    }
+                    TxnStatus::Committed => {
+                        // Decision already durable: the earlier ack was
+                        // lost, so re-ack without logging a second vote.
+                        self.send_prepare_ack(shard, self.table.info(txn).client, txn);
+                    }
+                    TxnStatus::Active => {
+                        if !self.prepared_at(txn, shard) {
+                            // lint:allow(L3): 2PC runs only with srv faults on
+                            let slog = &mut self.slog.as_mut().expect("server log enabled")[shard];
+                            slog.append(ServerRecord::Prepared {
+                                txn,
+                                writes,
+                                involved,
+                            });
+                            self.mark_prepared(txn, shard);
+                            self.trace.record(
+                                now,
+                                TraceKind::Prepared,
+                                Some(txn),
+                                None,
+                                SiteId::server(shard as u32),
+                            );
+                        }
+                        self.send_prepare_ack(shard, self.table.info(txn).client, txn);
+                    }
+                }
+            }
+            Message::Decide { txn } => {
+                if self.prepared_at(txn, shard) {
+                    // lint:allow(L3): 2PC runs only with srv faults on
+                    let slog = &mut self.slog.as_mut().expect("server log enabled")[shard];
+                    slog.append(ServerRecord::Committed { txn });
+                    self.clear_prepared(txn, shard);
+                    self.fault_state[shard].in_doubt.remove(&txn);
+                    self.trace.record(
+                        now,
+                        TraceKind::CommitApplied,
+                        Some(txn),
+                        None,
+                        SiteId::server(shard as u32),
+                    );
+                }
+                // Always ack — even when recovery already resolved the
+                // vote — so the coordinator's retry timer stops.
+                self.net.send(
+                    &mut self.cal,
+                    SiteId::server(shard as u32),
+                    self.table.info(txn).client.into(),
+                    "g2pl.decide_ack",
+                    CTRL_BYTES,
+                    Message::DecideAck {
+                        txn,
+                        shard: shard as u32,
+                    },
+                );
+            }
+            Message::CommitQuery {
+                txn, from_shard, ..
+            } => {
+                let committed = match self.table.status(txn) {
+                    TxnStatus::Committed => Some(true),
+                    TxnStatus::Aborting | TxnStatus::Aborted => Some(false),
+                    TxnStatus::Active => None,
+                };
+                self.net.send(
+                    &mut self.cal,
+                    SiteId::server(shard as u32),
+                    SiteId::server(from_shard),
+                    "g2pl.commit_verdict",
+                    CTRL_BYTES,
+                    Message::CommitVerdict { txn, committed },
+                );
+            }
+            Message::CommitVerdict { txn, committed } => {
+                if !self.fault_state[shard].in_doubt.contains_key(&txn) {
+                    return; // already resolved by an earlier verdict
+                }
+                match committed {
+                    Some(true) => self.resolve_indoubt_commit(now, shard, txn),
+                    Some(false) => self.resolve_indoubt_abort(shard, txn),
+                    // The peer has not decided either: the vote stays in
+                    // doubt (presumed abort keeps waiting safe).
+                    None => {}
+                }
+            }
             other => unreachable!("g-2PL server cannot receive {other:?}"),
         }
     }
@@ -2247,6 +2718,22 @@ impl G2plEngine {
             self.items[item.index()].window.remove_txn(victim);
         }
         self.dag.remove_txn(victim);
+        if self.srv_faults_on {
+            // Retire any prepared votes the victim's voting round left
+            // behind. Shards that are down will retire theirs during
+            // recovery (commit query or oracle fallback).
+            for s in 0..self.cfg.num_shards() as usize {
+                if self.prepared_at(victim, s) && !self.fault_state[s].down {
+                    // lint:allow(L3): the log exists whenever srv_faults_on
+                    let slog = &mut self.slog.as_mut().expect("server log enabled")[s];
+                    slog.append(ServerRecord::Released { txn: victim });
+                    self.clear_prepared(victim, s);
+                }
+            }
+            for st in &mut self.fault_state {
+                st.in_doubt.remove(&victim);
+            }
+        }
         let client = self.table.info(victim).client;
         // Abort coordination stays at shard 0 (leases and deadlock
         // detection are centralized there).
@@ -2594,6 +3081,7 @@ mod tests {
             c.faults = Some(g2pl_faults::FaultPlan {
                 drop_prob: 0.02,
                 server_crashes: vec![g2pl_faults::ServerCrashWindow {
+                    shard: 0,
                     at: 5_000,
                     down_for: 1_000,
                     jitter: 400,

@@ -29,6 +29,12 @@ pub enum TimerKind {
         /// Client retry epoch at arming time.
         epoch: u64,
     },
+    /// g-2PL phase-2 retransmission timer: re-send [`Message::Decide`]
+    /// for the committed transaction to every shard still owing a
+    /// [`Message::DecideAck`]. Runs independently of the client's main
+    /// retry epoch because the decision outlives the transaction slot
+    /// (the client may already be running its next transaction).
+    DecideRetry(TxnId),
 }
 
 /// A committed-but-unacknowledged commit release carried by an s/c-2PL
@@ -180,12 +186,82 @@ pub enum Message {
         txn: TxnId,
     },
 
+    // ---- two-phase commitment of multi-home transactions (all engines) ----
+    /// Client (coordinator) → involved shard: phase-1 prepare. The shard
+    /// forces a [`g2pl_wal::ServerRecord::Prepared`] with the write slice
+    /// and the involved-shard mask before its ack leaves, per presumed
+    /// abort. Sent only for multi-home transactions under a fault plan
+    /// with server crashes; single-home commits keep the one-phase path
+    /// (the single-participant presumed-abort optimization).
+    Prepare {
+        /// Preparing transaction.
+        txn: TxnId,
+        /// The write slice this shard would apply on commit.
+        writes: Vec<(ItemId, Version)>,
+        /// Bitmask of every involved shard (bit `k` = shard `k`).
+        involved: u64,
+    },
+    /// Shard → client: yes vote, durably logged. Retransmitted
+    /// [`Message::Prepare`]s are re-acked idempotently.
+    PrepareAck {
+        /// Prepared transaction.
+        txn: TxnId,
+        /// The voting shard.
+        shard: u32,
+    },
+    /// Client → involved shard (g-2PL): phase-2 commit decision. Under
+    /// g-2PL the commit itself is client-local and the data migrates via
+    /// forward lists, so the decision message only retires the shard's
+    /// prepared vote (forcing a `Committed` record). s-2PL/c-2PL reuse
+    /// [`Message::SCommit`] as their phase 2 — it carries the write
+    /// slice home anyway.
+    Decide {
+        /// Committed transaction.
+        txn: TxnId,
+    },
+    /// Shard → client (g-2PL): the commit decision is durable at this
+    /// shard; the client stops retransmitting [`Message::Decide`].
+    DecideAck {
+        /// Committed transaction.
+        txn: TxnId,
+        /// The acknowledging shard.
+        shard: u32,
+    },
+    /// Recovering shard → surviving involved shard: what became of this
+    /// transaction I hold a prepared vote for? Sent during the
+    /// re-registration handshake for every in-doubt transaction; subject
+    /// to shard↔shard partitions and retransmitted every recovery-check
+    /// tick until answered.
+    CommitQuery {
+        /// The in-doubt transaction.
+        txn: TxnId,
+        /// The asking (recovering) shard, so the verdict can route back.
+        from_shard: u32,
+        /// The asker's recovery epoch (diagnostic; verdicts are facts
+        /// about durable state and never go stale).
+        epoch: u64,
+    },
+    /// Surviving shard → recovering shard: the commit status of a queried
+    /// transaction, from this shard's durable state and the commit
+    /// oracle. `None` means this shard cannot prove either outcome yet —
+    /// the asker keeps the vote in doubt rather than presuming abort.
+    CommitVerdict {
+        /// The queried transaction.
+        txn: TxnId,
+        /// `Some(true)` = committed, `Some(false)` = aborted, `None` =
+        /// unknown here.
+        committed: Option<bool>,
+    },
+
     // ---- server crash recovery (all engines) ----
-    /// Restarted server → every client: report your server-visible state.
+    /// Restarted shard → every client: report your server-visible state.
     /// Broadcast at restart and re-broadcast to non-responders every
     /// retry period until the recovery deadline.
     ReregisterReq {
-        /// Recovery epoch: bumped per server restart, echoed by replies,
+        /// The recovering shard (clients answer with that shard's slice
+        /// of their state, to that shard).
+        shard: u32,
+        /// Recovery epoch: bumped per shard restart, echoed by replies,
         /// so reports from a superseded recovery are absorbed.
         epoch: u64,
     },
@@ -306,17 +382,22 @@ pub enum Ev {
         /// The barrier-owning transaction.
         txn: TxnId,
     },
-    /// A scheduled server crash (`up == false`) or restart (`up == true`)
-    /// from the fault plan.
+    /// A scheduled server-shard crash (`up == false`) or restart
+    /// (`up == true`) from the fault plan.
     ServerFault {
+        /// The shard crashing or restarting.
+        shard: u32,
         /// `false` = crash, `true` = restart.
         up: bool,
     },
-    /// Periodic check during the post-restart re-registration handshake:
-    /// re-broadcast [`Message::ReregisterReq`] to non-responders, or
-    /// finish recovery at the deadline. Stale if the server's recovery
+    /// Periodic check during a shard's post-restart re-registration
+    /// handshake: re-broadcast [`Message::ReregisterReq`] (and re-send
+    /// unanswered [`Message::CommitQuery`]s) to non-responders, or
+    /// finish recovery at the deadline. Stale if the shard's recovery
     /// epoch moved past `epoch` (a later crash superseded this recovery).
     RecoveryCheck {
+        /// The recovering shard.
+        shard: u32,
         /// Recovery epoch the check was armed for.
         epoch: u64,
     },
@@ -412,9 +493,10 @@ impl Net {
         self.link.crash_schedule()
     }
 
-    /// The plan's server crash/restart schedule (empty when reliable).
-    /// Consumes the dedicated jitter stream; call once, at engine start.
-    pub fn server_crash_schedule(&mut self) -> Vec<(SimTime, bool)> {
+    /// The plan's per-shard server crash/restart schedule as
+    /// `(shard, at, up)` triples (empty when reliable). Consumes the
+    /// dedicated per-shard jitter streams; call once, at engine start.
+    pub fn server_crash_schedule(&mut self) -> Vec<(u32, SimTime, bool)> {
         self.link.server_crash_schedule()
     }
 
@@ -478,6 +560,74 @@ impl Net {
     ) {
         self.acct.record(from, to, kind, size);
         cal.schedule_in(delay, Ev::Deliver { to, msg });
+    }
+}
+
+/// One shard's crash/recovery state. Each shard is an independent fault
+/// domain: it crashes, replays its own durable log, runs its own
+/// epoch-bumped re-registration handshake, and resolves its own in-doubt
+/// prepared votes, all without involving its peers beyond the
+/// commit-status queries.
+#[derive(Clone, Debug, Default)]
+pub struct ShardFaultState {
+    /// True while the shard is crashed (between the fault-plan crash and
+    /// restart instants): every message addressed to it is dropped.
+    pub down: bool,
+    /// True from restart until the re-registration handshake finishes:
+    /// only re-registration reports and commit-status traffic are
+    /// accepted.
+    pub recovering: bool,
+    /// Recovery epoch, bumped once per restart of this shard. Stale
+    /// recovery-check events and superseded re-registration replies
+    /// identify themselves by a mismatched epoch.
+    pub epoch: u64,
+    /// When the current recovery began (restart instant).
+    pub started: SimTime,
+    /// Which clients have answered the current handshake.
+    pub reregistered: Vec<bool>,
+    /// The durable image replayed at restart, consumed by
+    /// `finish_recovery`.
+    pub image: Option<g2pl_wal::ServerImage>,
+    /// In-doubt prepared transactions awaiting a commit verdict: the
+    /// replayed `prepared` map, drained as verdicts arrive (or at
+    /// handshake end via the commit oracle). Per presumed abort, an
+    /// entry leaves this map only on positive evidence of the outcome.
+    pub in_doubt: std::collections::BTreeMap<TxnId, g2pl_wal::PreparedImage>,
+}
+
+impl ShardFaultState {
+    /// Is the shard fully up (neither crashed nor in its handshake)?
+    pub fn is_up(&self) -> bool {
+        !self.down && !self.recovering
+    }
+
+    /// Transition to crashed: volatile recovery bookkeeping of any
+    /// in-progress handshake is lost with the rest of the shard.
+    pub fn crash(&mut self) {
+        self.down = true;
+        self.recovering = false;
+        self.reregistered.clear();
+        self.image = None;
+        self.in_doubt.clear();
+    }
+
+    /// Transition to recovering at `now`, bumping the epoch; the caller
+    /// supplies the replayed image and the client count. Returns the new
+    /// epoch.
+    pub fn begin_recovery(
+        &mut self,
+        now: SimTime,
+        num_clients: usize,
+        image: g2pl_wal::ServerImage,
+    ) -> u64 {
+        self.down = false;
+        self.recovering = true;
+        self.epoch += 1;
+        self.started = now;
+        self.reregistered = vec![false; num_clients];
+        self.in_doubt = image.prepared.clone();
+        self.image = Some(image);
+        self.epoch
     }
 }
 

@@ -14,13 +14,13 @@ use crate::history::{AccessRecord, CommitRecord, History};
 use crate::metrics::{Collector, FaultSummary, RunMetrics, WalReport};
 use crate::runtime::{
     lease_period, retry_period, ClientCore, ClientPhase, Ev, Message, Net, PendingCommit,
-    ServerCpu, TimerKind, TxnStatus, TxnTable,
+    ServerCpu, ShardFaultState, TimerKind, TxnStatus, TxnTable,
 };
 use crate::tracelog::{TraceKind, TraceLog};
 use g2pl_lockmgr::{AcquireOutcome, LockMode, LockTable};
 use g2pl_obs::SpanRecorder;
 use g2pl_simcore::{Calendar, ClientId, ItemId, SimTime, SiteId, TxnId, Version};
-use g2pl_wal::{LogRecord, ServerImage, ServerLog, ServerRecord, SiteLog};
+use g2pl_wal::{LogRecord, ServerLog, ServerRecord, SiteLog};
 
 /// Per-shard slice of a committing transaction: written `(item,
 /// version)` pairs plus read-only items, bound for one home server.
@@ -79,33 +79,24 @@ pub struct S2plEngine {
     /// durable log and the durable commit-duplicate check, so plans
     /// without server crashes take the exact pre-existing fault path.
     srv_faults_on: bool,
-    /// One durable log per shard (present iff `srv_faults_on`). Only
-    /// shard 0 ever crashes (the fault plan addresses "the server"),
-    /// so only `slog[0]` is ever replayed.
+    /// One durable log per shard (present iff `srv_faults_on`): each
+    /// shard is its own fault domain and replays only its own log.
     slog: Option<Vec<ServerLog>>,
-    /// True between a shard-0 crash and its restart: every message bound
-    /// for shard 0 is lost and no shard-0 action happens. Other shards
-    /// keep serving.
-    server_down: bool,
-    /// True between a restart and the end of the re-registration
-    /// handshake: only [`Message::SReregister`] is processed.
-    recovering: bool,
-    /// Monotonic recovery generation; stale `RecoveryCheck` timers and
-    /// reports from an older recovery are ignored through it.
-    recovery_epoch: u64,
-    /// When the current handshake opened (deadline accounting).
-    recovery_started: SimTime,
-    /// Which clients have re-registered in the current handshake.
-    reregistered: Vec<bool>,
-    /// Durable image replayed at the last restart; `finish_recovery`
-    /// restores outstanding grants from it.
-    recovery_image: Option<ServerImage>,
+    /// Per-shard crash/recovery state: down flag, handshake progress,
+    /// epoch, replayed image and in-doubt prepared votes. Indexed by
+    /// shard; all-up defaults when no server crashes are planned.
+    fault_state: Vec<ShardFaultState>,
     /// Which shards have applied each transaction's commit slice: bit
     /// `s` of `applied[txn]` is set once shard `s` installed the slice
-    /// (the 64-shard cap in config validation keeps this a `u64`). The
-    /// shard-0 bit mirrors the durable applied set and is rebuilt from
-    /// the log image after a crash.
+    /// (the 64-shard cap in config validation keeps this a `u64`). Each
+    /// shard's bit mirrors its durable applied set and is rebuilt from
+    /// that shard's log image after a crash.
     applied: Vec<u64>,
+    /// Which shards hold a durable prepared (yes) vote for each
+    /// transaction — the volatile mirror of the logs' unretired
+    /// [`ServerRecord::Prepared`] records, rebuilt per shard from its
+    /// image at restart.
+    prepared: Vec<u64>,
     /// Fault-injection and recovery counters.
     fsum: FaultSummary,
 }
@@ -153,13 +144,9 @@ impl S2plEngine {
             leased: Vec::new(),
             srv_faults_on: srv_faults,
             slog: srv_faults.then(|| (0..nshards).map(|_| ServerLog::new()).collect()),
-            server_down: false,
-            recovering: false,
-            recovery_epoch: 0,
-            recovery_started: SimTime::ZERO,
-            reregistered: Vec::new(),
-            recovery_image: None,
+            fault_state: vec![ShardFaultState::default(); nshards],
             applied: Vec::new(),
+            prepared: Vec::new(),
             fsum: FaultSummary::default(),
             server_cpu: vec![ServerCpu::new(cfg.server_cpu_per_op); nshards],
             cal: Calendar::new(),
@@ -207,8 +194,8 @@ impl S2plEngine {
         for (client, at, up) in self.net.crash_schedule() {
             self.cal.schedule(at, Ev::Fault { client, up });
         }
-        for (at, up) in self.net.server_crash_schedule() {
-            self.cal.schedule(at, Ev::ServerFault { up });
+        for (shard, at, up) in self.net.server_crash_schedule() {
+            self.cal.schedule(at, Ev::ServerFault { shard, up });
         }
 
         let mut events: u64 = 0;
@@ -260,12 +247,15 @@ impl S2plEngine {
                     }
                 },
                 Ev::Fault { client, up } => self.on_fault(now, client, up),
-                Ev::ServerFault { up } => self.on_server_fault(now, up),
-                Ev::RecoveryCheck { epoch } => self.on_recovery_check(now, epoch),
+                Ev::ServerFault { shard, up } => self.on_server_fault(now, shard as usize, up),
+                Ev::RecoveryCheck { shard, epoch } => {
+                    self.on_recovery_check(now, shard as usize, epoch);
+                }
                 Ev::TxnLease { txn } => {
-                    // A dead or still-recovering server holds no leases;
-                    // recovery re-arms them for every restored grant.
-                    if !self.server_down && !self.recovering {
+                    // Leases are coordinated at shard 0; a dead or
+                    // still-recovering coordinator holds none — recovery
+                    // re-arms them for every restored grant.
+                    if self.fault_state[0].is_up() {
                         self.on_txn_lease(now, txn);
                     }
                 }
@@ -381,6 +371,9 @@ impl S2plEngine {
                 }
             }
             TimerKind::Retry { epoch } => self.on_retry(now, client, epoch),
+            // s-2PL's phase 2 piggybacks on the regular commit-release
+            // retry epoch; the dedicated decide timer is g-2PL-only.
+            TimerKind::DecideRetry(_) => unreachable!("s-2PL never arms a decide timer"),
         }
     }
 
@@ -446,8 +439,10 @@ impl S2plEngine {
         self.arm_retry(client);
     }
 
-    /// Re-send every unacknowledged commit-release slice (the client's
-    /// WAL tail), one per still-unacknowledged shard.
+    /// Re-send every unacknowledged commit-phase slice (the client's
+    /// WAL tail), one per still-unanswered shard: commit-releases, or
+    /// — for a multi-home transaction still in its voting round —
+    /// prepares.
     fn resend_pending_commits(&mut self, now: SimTime, client: ClientId) {
         let c = &mut self.clients[client.index()];
         let pending = c.pending_commits.clone();
@@ -457,16 +452,22 @@ impl S2plEngine {
         c.retry_attempts = c.retry_attempts.saturating_add(1);
         let _ = now;
         for (shard, msg) in pending {
-            let Message::SCommit { writes, .. } = &msg else {
-                continue;
+            let (kind, bytes) = match &msg {
+                Message::SCommit { writes, .. } => (
+                    "s2pl.commit_release",
+                    CTRL_BYTES + writes.len() as u64 * self.cfg.item_size_bytes,
+                ),
+                Message::Prepare { writes, .. } => {
+                    ("s2pl.prepare", CTRL_BYTES + 12 * writes.len() as u64)
+                }
+                _ => continue,
             };
-            let bytes = CTRL_BYTES + writes.len() as u64 * self.cfg.item_size_bytes;
             self.fsum.retries += 1;
             self.net.send(
                 &mut self.cal,
                 client.into(),
                 SiteId::server(shard),
-                "s2pl.commit_release",
+                kind,
                 bytes,
                 msg,
             );
@@ -574,6 +575,7 @@ impl S2plEngine {
         self.arm_retry(client);
     }
 
+    // lint:allow(L5): the outcome is recorded downstream — commit_decided traces Committed on every path, and the voting detour traces Prepared/CommitApplied at the shards
     fn commit(&mut self, now: SimTime, client: ClientId, txn: TxnId) {
         // Under faults a lease expiry can pick a merely-slow (crashed and
         // restarted) transaction as victim while its abort notice is
@@ -583,6 +585,83 @@ impl S2plEngine {
             self.finalize_abort(now, client, txn);
             return;
         }
+        // Under a server-crash plan a multi-home commit must be atomic
+        // across shard fault domains: run presumed-abort two-phase
+        // commitment. Single-home commits keep the one-phase path (the
+        // single-participant optimization), as do all commits under
+        // plans without server crashes.
+        if self.srv_faults_on {
+            let c = &self.clients[client.index()];
+            // lint:allow(L3): commit is only reachable with an active txn
+            let active = c.txn.as_ref().expect("committing client has a transaction");
+            let mut involved = 0u64;
+            for &(item, _) in &active.spec.accesses {
+                involved |= 1u64 << self.cfg.shard_of(item);
+            }
+            if involved.count_ones() > 1 {
+                self.begin_prepare(now, client, txn, involved);
+                return;
+            }
+        }
+        self.commit_decided(now, client, txn);
+    }
+
+    /// Phase 1 of two-phase commitment: send each involved shard its
+    /// prepare (write slice + involved-shard mask) and wait for every
+    /// yes vote before deciding. The prepares sit in `pending_commits`
+    /// and retransmit on the usual backoff until acknowledged.
+    fn begin_prepare(&mut self, now: SimTime, client: ClientId, txn: TxnId, involved: u64) {
+        let _ = now;
+        let c = &mut self.clients[client.index()];
+        // lint:allow(L3): guarded by the caller
+        let active = c.txn.as_mut().expect("preparing client has a transaction");
+        debug_assert_eq!(active.id, txn);
+        active.phase = ClientPhase::CommitWait;
+        let mut by_shard: BTreeMap<u32, Vec<(ItemId, Version)>> = BTreeMap::new();
+        for (idx, &(item, mode)) in active.spec.accesses.iter().enumerate() {
+            let slot = by_shard.entry(self.cfg.shard_of(item)).or_default();
+            if mode == AccessMode::Write {
+                slot.push((item, active.versions[idx] + 1));
+            }
+        }
+        c.retry_progress();
+        c.pending_commits = by_shard
+            .iter()
+            .map(|(&shard, writes)| {
+                (
+                    shard,
+                    Message::Prepare {
+                        txn,
+                        writes: writes.clone(),
+                        involved,
+                    },
+                )
+            })
+            .collect();
+        for (shard, writes) in by_shard {
+            let bytes = CTRL_BYTES + 12 * writes.len() as u64;
+            self.net.send(
+                &mut self.cal,
+                client.into(),
+                SiteId::server(shard),
+                "s2pl.prepare",
+                bytes,
+                Message::Prepare {
+                    txn,
+                    writes,
+                    involved,
+                },
+            );
+        }
+        self.arm_retry(client);
+    }
+
+    /// The commit decision point: every involved shard has voted yes (or
+    /// the transaction is single-home and no votes were needed). From
+    /// here the commit is irrevocable — the client's WAL `Commit` record
+    /// below is the coordinator's durable decision record, and the
+    /// commit-release slices retransmit until every shard applies.
+    fn commit_decided(&mut self, now: SimTime, client: ClientId, txn: TxnId) {
         let c = &mut self.clients[client.index()];
         // lint:allow(L3): commit is only reachable from a client with an active txn
         let active = c.txn.take().expect("committing client has a transaction");
@@ -738,6 +817,32 @@ impl S2plEngine {
                 );
             }
             Message::SAbortNotice { txn } => self.finalize_abort(now, client, txn),
+            Message::PrepareAck { txn, shard } => {
+                let c = &mut self.clients[client.index()];
+                let pos = c.pending_commits.iter().position(|(s, m)| {
+                    *s == shard && matches!(m, Message::Prepare { txn: t, .. } if *t == txn)
+                });
+                let Some(pos) = pos else {
+                    return; // duplicate ack of an already-counted vote
+                };
+                c.pending_commits.remove(pos);
+                c.retry_progress();
+                if !c.pending_commits.is_empty() {
+                    // Other shards still owe votes: keep retransmitting
+                    // their prepares from a fresh backoff.
+                    self.arm_retry(client);
+                    return;
+                }
+                // Unanimous yes. An abort may still have raced the voting
+                // round (a lease victim whose notice is in flight); the
+                // oracle resolves it in the abort's favour — the shards'
+                // prepared votes are retired by the victim's releases.
+                if self.table.status(txn) != TxnStatus::Active {
+                    self.finalize_abort(now, client, txn);
+                    return;
+                }
+                self.commit_decided(now, client, txn);
+            }
             Message::SCommitAck { txn, shard } => {
                 let c = &mut self.clients[client.index()];
                 let pos = c.pending_commits.iter().position(|(s, m)| {
@@ -763,11 +868,11 @@ impl S2plEngine {
                     self.arm_retry(client);
                 }
             }
-            Message::ReregisterReq { epoch } => {
-                // Re-report everything the client holds of the crashed
-                // shard's (only shard 0 ever crashes): granted shard-0
-                // items of the live transaction and the shard-0 slice of
-                // an unacknowledged (committed-but-unreleased) commit.
+            Message::ReregisterReq { shard, epoch } => {
+                // Re-report everything the client holds of the restarted
+                // shard: granted items of the live transaction homed
+                // there and that shard's slice of an unacknowledged
+                // (committed-but-unreleased) commit.
                 let c = &self.clients[client.index()];
                 let mut held = Vec::new();
                 let mut txn = None;
@@ -775,26 +880,22 @@ impl S2plEngine {
                     txn = Some(active.id);
                     for idx in 0..active.granted {
                         let (item, mode) = active.spec.access(idx);
-                        if self.cfg.shard_of(item) == 0 {
+                        if self.cfg.shard_of(item) == shard {
                             held.push((item, lock_mode(mode)));
                         }
                     }
                 }
-                let pending = c
-                    .pending_commits
-                    .iter()
-                    .find(|(s, _)| *s == 0)
-                    .and_then(|(_, m)| match m {
-                        Message::SCommit { txn, writes, reads } => {
-                            Some((*txn, writes.clone(), reads.clone()))
-                        }
-                        _ => None,
-                    });
+                let pending = c.pending_commits.iter().find_map(|(s, m)| match m {
+                    Message::SCommit { txn, writes, reads } if *s == shard => {
+                        Some((*txn, writes.clone(), reads.clone()))
+                    }
+                    _ => None,
+                });
                 let bytes = CTRL_BYTES + 8 * held.len() as u64;
                 self.net.send(
                     &mut self.cal,
                     client.into(),
-                    SiteId::SERVER0,
+                    SiteId::server(shard),
                     "s2pl.reregister",
                     bytes,
                     Message::SReregister {
@@ -824,6 +925,11 @@ impl S2plEngine {
         let waste = now.since(active.start);
         let depth = active.granted;
         c.txn = None;
+        // An abort during the voting round withdraws the outstanding
+        // prepares; shards that already voted are cleaned up by the
+        // victim's releases.
+        c.pending_commits
+            .retain(|(_, m)| !matches!(m, Message::Prepare { txn: t, .. } if *t == txn));
         if self.faults_on {
             c.retry_progress();
         }
@@ -851,99 +957,159 @@ impl S2plEngine {
     // ---- server crash recovery ----
 
     /// Whether shard `shard` can process `msg` right now: everything
-    /// while up, nothing while down, only re-registration reports while
-    /// the recovery handshake is open. Only shard 0 ever crashes (the
-    /// fault plan addresses "the server"), so other shards always accept.
+    /// while up, nothing while down. While its recovery handshake is
+    /// open a shard processes only re-registration reports and the
+    /// commit-status query traffic that resolves in-doubt votes.
     fn server_accepts(&self, shard: usize, msg: &Message) -> bool {
-        if shard != 0 {
-            return true;
-        }
-        if self.server_down {
+        let st = &self.fault_state[shard];
+        if st.down {
             return false;
         }
-        !self.recovering || matches!(msg, Message::SReregister { .. })
+        st.is_up()
+            || matches!(
+                msg,
+                Message::SReregister { .. }
+                    | Message::CommitQuery { .. }
+                    | Message::CommitVerdict { .. }
+            )
     }
 
-    /// A scheduled server crash or restart from the fault plan.
-    fn on_server_fault(&mut self, now: SimTime, up: bool) {
+    /// A scheduled server-shard crash or restart from the fault plan.
+    fn on_server_fault(&mut self, now: SimTime, shard: usize, up: bool) {
         if up {
-            self.begin_recovery(now);
+            self.begin_recovery(now, shard);
         } else {
-            self.crash_server(now);
+            self.crash_server(now, shard);
         }
     }
 
-    /// Shard 0 dies: every piece of its volatile state — lock table,
-    /// lease bookkeeping (leases are coordinated at shard 0), its items'
-    /// installed versions, its bit of the applied-commit set — is gone.
-    /// Only the durable log survives. Other shards are untouched.
-    fn crash_server(&mut self, now: SimTime) {
-        debug_assert!(!self.server_down, "server crashed while already down");
-        self.server_down = true;
-        self.recovering = false;
+    /// Shard `shard` dies: every piece of its volatile state — lock
+    /// table, its items' installed versions, its bits of the applied and
+    /// prepared sets, and (for shard 0) the lease bookkeeping it
+    /// coordinates — is gone. Only its durable log survives. Other
+    /// shards are untouched: each shard is its own fault domain.
+    fn crash_server(&mut self, now: SimTime, shard: usize) {
+        debug_assert!(
+            !self.fault_state[shard].down,
+            "shard crashed while already down"
+        );
+        self.fault_state[shard].crash();
         self.fsum.server_crashes += 1;
-        self.trace
-            .record(now, TraceKind::ServerCrashed, None, None, SiteId::SERVER0);
-        self.locks[0] = LockTable::new();
-        self.server_cpu[0] = ServerCpu::new(self.cfg.server_cpu_per_op);
-        let shard0_items = self.cfg.items.items_per_shard as usize;
-        self.versions[..shard0_items]
+        self.trace.record(
+            now,
+            TraceKind::ServerCrashed,
+            None,
+            None,
+            SiteId::server(shard as u32),
+        );
+        self.locks[shard] = LockTable::new();
+        self.server_cpu[shard] = ServerCpu::new(self.cfg.server_cpu_per_op);
+        let per = self.cfg.items.items_per_shard as usize;
+        self.versions[shard * per..(shard + 1) * per]
             .iter_mut()
             .for_each(|v| *v = 0);
-        self.leased.iter_mut().for_each(|l| *l = false);
-        self.last_activity
-            .iter_mut()
-            .for_each(|t| *t = SimTime::ZERO);
-        self.applied.iter_mut().for_each(|a| *a &= !1);
+        if shard == 0 {
+            // Transaction leases are coordinated at shard 0 and die
+            // with it; recovery re-arms them.
+            self.leased.iter_mut().for_each(|l| *l = false);
+            self.last_activity
+                .iter_mut()
+                .for_each(|t| *t = SimTime::ZERO);
+        }
+        let bit = !(1u64 << shard);
+        self.applied.iter_mut().for_each(|a| *a &= bit);
+        self.prepared.iter_mut().for_each(|p| *p &= bit);
     }
 
-    /// The server restarts: replay the durable log into an image,
-    /// restore installed versions and the applied-commit set from it,
-    /// then open the re-registration handshake by polling every client.
-    fn begin_recovery(&mut self, now: SimTime) {
-        debug_assert!(self.server_down, "server restarted while up");
-        self.server_down = false;
-        self.recovering = true;
-        self.recovery_epoch += 1;
-        self.recovery_started = now;
-        self.reregistered = vec![false; self.cfg.num_clients as usize];
+    /// Shard `shard` restarts: replay its durable log into an image,
+    /// restore its installed versions, applied-commit bits and in-doubt
+    /// prepared votes from it, query the surviving peers of every
+    /// in-doubt transaction for the commit outcome, then open the
+    /// re-registration handshake by polling every client.
+    fn begin_recovery(&mut self, now: SimTime, shard: usize) {
+        debug_assert!(self.fault_state[shard].down, "shard restarted while up");
         // lint:allow(L3): the log exists whenever server crashes are planned
-        let img = self.slog.as_ref().expect("server log enabled")[0].replay();
+        let img = self.slog.as_ref().expect("server log enabled")[shard].replay();
         for (&item, &v) in &img.versions {
             self.versions[item.index()] = v;
         }
         for &txn in &img.committed {
-            self.mark_applied(txn, 0);
+            self.mark_applied(txn, shard);
         }
-        self.recovery_image = Some(img);
-        self.broadcast_reregister(false);
+        let epoch = self.fault_state[shard].begin_recovery(now, self.cfg.num_clients as usize, img);
+        let in_doubt: Vec<TxnId> = self.fault_state[shard].in_doubt.keys().copied().collect();
+        for &txn in &in_doubt {
+            self.mark_prepared(txn, shard);
+        }
+        self.send_commit_queries(shard, false);
+        self.broadcast_reregister(shard, false);
         self.cal.schedule_in(
             self.retry_base,
             Ev::RecoveryCheck {
-                epoch: self.recovery_epoch,
+                shard: shard as u32,
+                epoch,
             },
         );
     }
 
+    /// Ask the surviving peers of every still-in-doubt transaction for
+    /// its commit outcome (presumed abort: the vote is resolved only on
+    /// positive evidence, so the queries retransmit each recovery-check
+    /// tick until answered or the handshake deadline falls back to the
+    /// commit oracle). Subject to shard↔shard partitions like any other
+    /// message.
+    fn send_commit_queries(&mut self, shard: usize, retry: bool) {
+        let st = &self.fault_state[shard];
+        let epoch = st.epoch;
+        let queries: Vec<(TxnId, u64)> = st
+            .in_doubt
+            .iter()
+            .map(|(&txn, p)| (txn, p.involved))
+            .collect();
+        for (txn, involved) in queries {
+            for peer in 0..self.cfg.num_shards() {
+                if peer as usize == shard || involved & (1u64 << peer) == 0 {
+                    continue;
+                }
+                if retry {
+                    self.fsum.retries += 1;
+                }
+                self.net.send(
+                    &mut self.cal,
+                    SiteId::server(shard as u32),
+                    SiteId::server(peer),
+                    "s2pl.commit_query",
+                    CTRL_BYTES,
+                    Message::CommitQuery {
+                        txn,
+                        from_shard: shard as u32,
+                        epoch,
+                    },
+                );
+            }
+        }
+    }
+
     /// Poll clients for re-registration; `retry` restricts the poll to
     /// clients that have not yet answered and counts as retransmission.
-    fn broadcast_reregister(&mut self, retry: bool) {
+    fn broadcast_reregister(&mut self, shard: usize, retry: bool) {
         for i in 0..self.cfg.num_clients {
             let c = ClientId::new(i);
             if retry {
-                if self.reregistered[c.index()] {
+                if self.fault_state[shard].reregistered[c.index()] {
                     continue;
                 }
                 self.fsum.retries += 1;
             }
             self.net.send(
                 &mut self.cal,
-                SiteId::SERVER0,
+                SiteId::server(shard as u32),
                 c.into(),
                 "s2pl.reregister_req",
                 CTRL_BYTES,
                 Message::ReregisterReq {
-                    epoch: self.recovery_epoch,
+                    shard: shard as u32,
+                    epoch: self.fault_state[shard].epoch,
                 },
             );
         }
@@ -951,18 +1117,25 @@ impl S2plEngine {
 
     /// The recovery-handshake timer fired: finish if the handshake
     /// deadline (one lease period) has passed; otherwise poll the
-    /// silent clients again.
-    fn on_recovery_check(&mut self, now: SimTime, epoch: u64) {
-        if !self.recovering || epoch != self.recovery_epoch {
+    /// silent clients and unanswered peers again.
+    fn on_recovery_check(&mut self, now: SimTime, shard: usize, epoch: u64) {
+        let st = &self.fault_state[shard];
+        if !st.recovering || epoch != st.epoch {
             return; // stale timer of an older recovery
         }
-        if now.since(self.recovery_started) >= self.lease {
-            self.finish_recovery(now);
+        if now.since(st.started) >= self.lease {
+            self.finish_recovery(now, shard);
             return;
         }
-        self.broadcast_reregister(true);
-        self.cal
-            .schedule_in(self.retry_base, Ev::RecoveryCheck { epoch });
+        self.send_commit_queries(shard, true);
+        self.broadcast_reregister(shard, true);
+        self.cal.schedule_in(
+            self.retry_base,
+            Ev::RecoveryCheck {
+                shard: shard as u32,
+                epoch,
+            },
+        );
     }
 
     /// One client's re-registration report arrived during the handshake:
@@ -970,22 +1143,25 @@ impl S2plEngine {
     /// grant history, and close the handshake once every client has
     /// answered. Duplicated reports (lossy link) are absorbed by the
     /// per-epoch `reregistered` flag, making re-delivery idempotent.
+    #[allow(clippy::too_many_arguments)] // the report's fields, unpacked
     fn on_reregister(
         &mut self,
         now: SimTime,
+        shard: usize,
         client: ClientId,
         epoch: u64,
         txn: Option<TxnId>,
         held: &[(ItemId, LockMode)],
         pending: Option<&PendingCommit>,
     ) {
-        if !self.recovering || epoch != self.recovery_epoch {
+        let st = &mut self.fault_state[shard];
+        if !st.recovering || epoch != st.epoch {
             return; // late report of an older recovery
         }
-        if self.reregistered[client.index()] {
+        if st.reregistered[client.index()] {
             return; // duplicated report: absorbed
         }
-        self.reregistered[client.index()] = true;
+        st.reregistered[client.index()] = true;
         self.fsum.reregistrations += 1;
         self.trace
             .record(now, TraceKind::Reregister, txn, None, client.into());
@@ -995,20 +1171,24 @@ impl S2plEngine {
         // report): every claim a live client re-reports for a still-live
         // transaction must have been durably granted before the crash.
         if cfg!(debug_assertions) {
-            // lint:allow(L3): the image exists for the whole handshake
-            let img = self.recovery_image.as_ref().expect("recovery image");
+            let img = self.fault_state[shard]
+                .image
+                .as_ref()
+                // lint:allow(L3): the image exists for the whole handshake
+                .expect("recovery image");
             if let Some(t) = txn {
                 if self.table.status(t) == TxnStatus::Active {
                     for &(item, _) in held {
                         debug_assert!(
-                            img.was_granted(t, item) || self.locks[0].mode_of(t, item).is_some(),
+                            img.was_granted(t, item)
+                                || self.locks[shard].mode_of(t, item).is_some(),
                             "{client} re-reported a grant the log never saw: {t} {item}"
                         );
                     }
                 }
             }
             if let Some((t, writes, _)) = pending {
-                if !img.is_committed(*t) {
+                if !img.is_committed(*t) && !img.prepared.contains_key(t) {
                     for &(item, _) in writes {
                         debug_assert!(
                             img.was_granted(*t, item),
@@ -1018,19 +1198,41 @@ impl S2plEngine {
                 }
             }
         }
-        if self.reregistered.iter().all(|&r| r) {
-            self.finish_recovery(now);
+        if self.fault_state[shard].reregistered.iter().all(|&r| r) {
+            self.finish_recovery(now, shard);
         }
     }
 
-    /// Close the re-registration handshake: restore every outstanding
-    /// durable grant whose owner still needs it, resume normal service,
-    /// then abort the active transactions of clients that never answered
-    /// (presumed dead).
-    fn finish_recovery(&mut self, now: SimTime) {
-        debug_assert!(self.recovering);
-        // lint:allow(L3): the image exists for the whole handshake
-        let img = self.recovery_image.take().expect("recovery image");
+    /// Close shard `shard`'s re-registration handshake: resolve any
+    /// still-in-doubt prepared votes through the commit oracle (the
+    /// coordinator's decision record, which the surviving peers answer
+    /// queries from), restore every outstanding durable grant whose
+    /// owner still needs it, resume normal service, then abort the
+    /// active transactions of clients that never answered (presumed
+    /// dead).
+    fn finish_recovery(&mut self, now: SimTime, shard: usize) {
+        debug_assert!(self.fault_state[shard].recovering);
+        // In-doubt votes first, so the grants loop below sees the final
+        // applied bits. Per presumed abort, a vote is resolved only on
+        // positive evidence: a still-Active owner keeps its vote in
+        // doubt — either it answered the handshake (its grants are
+        // restored below and it will decide normally) or it stayed
+        // silent and is aborted as a victim below, retiring the vote.
+        let unresolved: Vec<TxnId> = self.fault_state[shard].in_doubt.keys().copied().collect();
+        for txn in unresolved {
+            match self.table.status(txn) {
+                TxnStatus::Committed => self.resolve_indoubt_commit(now, shard, txn),
+                TxnStatus::Aborting | TxnStatus::Aborted => {
+                    self.resolve_indoubt_abort(shard, txn);
+                }
+                TxnStatus::Active => {}
+            }
+        }
+        let img = self.fault_state[shard]
+            .image
+            .take()
+            // lint:allow(L3): the image exists for the whole handshake
+            .expect("recovery image");
         let mut silent_victims = Vec::new();
         for (&txn, items) in &img.grants {
             let client = self.table.info(txn).client;
@@ -1039,7 +1241,7 @@ impl S2plEngine {
                 // exactly as granted; a silent one is presumed dead and
                 // aborted below (its slots are simply never restored).
                 TxnStatus::Active => {
-                    if self.reregistered[client.index()] {
+                    if self.fault_state[shard].reregistered[client.index()] {
                         self.restore_grants(txn, items);
                         self.touch(now, txn);
                     } else {
@@ -1052,7 +1254,7 @@ impl S2plEngine {
                 // writer could slip in under it and break the version
                 // chain the acknowledged commit depends on.
                 TxnStatus::Committed => {
-                    if !self.committed_at_server(txn) {
+                    if !self.applied_at(txn, shard) {
                         self.restore_grants(txn, items);
                         self.touch(now, txn);
                     }
@@ -1062,12 +1264,79 @@ impl S2plEngine {
                 TxnStatus::Aborting | TxnStatus::Aborted => {}
             }
         }
-        self.recovering = false;
-        self.trace
-            .record(now, TraceKind::ServerRecovered, None, None, SiteId::SERVER0);
+        self.fault_state[shard].recovering = false;
+        self.trace.record(
+            now,
+            TraceKind::ServerRecovered,
+            None,
+            None,
+            SiteId::server(shard as u32),
+        );
         for txn in silent_victims {
             self.abort_victim(now, txn);
         }
+    }
+
+    /// Positive commit evidence arrived for an in-doubt prepared vote at
+    /// shard `shard`: apply the prepared write slice exactly as the lost
+    /// commit-release would have (durably, write-ahead of everything),
+    /// release the transaction's locks here and retire the vote.
+    fn resolve_indoubt_commit(&mut self, now: SimTime, shard: usize, txn: TxnId) {
+        let Some(pimg) = self.fault_state[shard].in_doubt.remove(&txn) else {
+            return;
+        };
+        let committer = self.table.info(txn).client;
+        // lint:allow(L3): the log exists whenever server crashes are planned
+        let slog = &mut self.slog.as_mut().expect("server log enabled")[shard];
+        slog.append(ServerRecord::Committed { txn });
+        for &(item, version) in &pimg.writes {
+            slog.append(ServerRecord::Permanent { item, version });
+        }
+        slog.append(ServerRecord::Released { txn });
+        for (item, version) in pimg.writes {
+            debug_assert_eq!(
+                version,
+                self.versions[item.index()] + 1,
+                "write version chain broken for {item}"
+            );
+            self.versions[item.index()] = version;
+            if let Some(wal) = &mut self.wal {
+                wal[committer.index()].mark_permanent(txn, item);
+            }
+        }
+        self.mark_applied(txn, shard);
+        self.clear_prepared(txn, shard);
+        self.trace.record(
+            now,
+            TraceKind::CommitApplied,
+            Some(txn),
+            None,
+            SiteId::server(shard as u32),
+        );
+        let woken = self.locks[shard].release_all(txn);
+        for (item, t, _) in woken {
+            let c = self.table.info(t).client;
+            self.send_grant(now, c, t, item);
+        }
+    }
+
+    /// Positive abort evidence arrived for an in-doubt prepared vote at
+    /// shard `shard`: retire the vote durably and release whatever the
+    /// victim held here. The abort itself was already decided (and
+    /// traced) elsewhere.
+    fn resolve_indoubt_abort(&mut self, shard: usize, txn: TxnId) {
+        let Some(_pimg) = self.fault_state[shard].in_doubt.remove(&txn) else {
+            return;
+        };
+        // lint:allow(L3): the log exists whenever server crashes are planned
+        self.slog.as_mut().expect("server log enabled")[shard]
+            .append(ServerRecord::Released { txn });
+        self.clear_prepared(txn, shard);
+        // No grants can be waiting behind the victim here: the shard's
+        // lock table was rebuilt at restart and the victim's locks are
+        // only restored after the in-doubt pass.
+        let woken = self.locks[shard].release_all(txn);
+        debug_assert!(woken.is_empty());
     }
 
     /// Re-insert `txn`'s durably recorded grants into the fresh lock
@@ -1099,8 +1368,8 @@ impl S2plEngine {
         self.applied[i] |= 1u64 << shard;
     }
 
-    /// Whether shard `shard` has applied `txn`'s commit slice. The
-    /// shard-0 bit mirrors the durable applied set and survives crashes
+    /// Whether shard `shard` has applied `txn`'s commit slice. Each
+    /// shard's bit mirrors its durable applied set and survives crashes
     /// via log replay.
     fn applied_at(&self, txn: TxnId, shard: usize) -> bool {
         self.applied
@@ -1108,10 +1377,29 @@ impl S2plEngine {
             .is_some_and(|m| m & (1u64 << shard) != 0)
     }
 
-    /// Whether `txn`'s commit has been applied at the crashed shard
-    /// (shard 0) — the durable applied-set mirror recovery works from.
-    fn committed_at_server(&self, txn: TxnId) -> bool {
-        self.applied_at(txn, 0)
+    /// Record that shard `shard` holds a durable prepared vote for `txn`.
+    fn mark_prepared(&mut self, txn: TxnId, shard: usize) {
+        let i = txn.index();
+        if self.prepared.len() <= i {
+            self.prepared.resize(i + 1, 0);
+        }
+        self.prepared[i] |= 1u64 << shard;
+    }
+
+    /// Whether shard `shard` holds a durable, unretired prepared vote
+    /// for `txn`.
+    fn prepared_at(&self, txn: TxnId, shard: usize) -> bool {
+        self.prepared
+            .get(txn.index())
+            .is_some_and(|m| m & (1u64 << shard) != 0)
+    }
+
+    /// Retire shard `shard`'s prepared vote for `txn` (its log holds the
+    /// retiring record).
+    fn clear_prepared(&mut self, txn: TxnId, shard: usize) {
+        if let Some(m) = self.prepared.get_mut(txn.index()) {
+            *m &= !(1u64 << shard);
+        }
     }
 
     // ---- server side ----
@@ -1165,13 +1453,68 @@ impl S2plEngine {
                     AcquireOutcome::Queued => self.detect_deadlocks(now, txn),
                 }
             }
+            Message::Prepare {
+                txn,
+                writes,
+                involved,
+            } => {
+                let client = self.table.info(txn).client;
+                match self.table.status(txn) {
+                    TxnStatus::Aborting | TxnStatus::Aborted => {
+                        // The abort won the race with the voting round:
+                        // answer the (possibly lost) notice again.
+                        self.net.send(
+                            &mut self.cal,
+                            SiteId::server(shard as u32),
+                            client.into(),
+                            "s2pl.abort_notice",
+                            CTRL_BYTES,
+                            Message::SAbortNotice { txn },
+                        );
+                    }
+                    // Decision already made: this is a stale duplicate of
+                    // a consumed vote — re-ack without logging anything.
+                    TxnStatus::Committed => {
+                        self.send_prepare_ack(shard, client, txn);
+                    }
+                    TxnStatus::Active => {
+                        self.touch(now, txn);
+                        if self.prepared_at(txn, shard) {
+                            // Duplicate prepare (the ack was lost): the
+                            // vote is already durable, just re-ack it.
+                            self.send_prepare_ack(shard, client, txn);
+                            return;
+                        }
+                        // Write-ahead: the yes vote — write slice and
+                        // involved mask — is durable before the ack
+                        // leaves the shard.
+                        // lint:allow(L3): prepares are only sent when srv_faults_on
+                        self.slog.as_mut().expect("server log enabled")[shard].append(
+                            ServerRecord::Prepared {
+                                txn,
+                                writes,
+                                involved,
+                            },
+                        );
+                        self.mark_prepared(txn, shard);
+                        self.trace.record(
+                            now,
+                            TraceKind::Prepared,
+                            Some(txn),
+                            None,
+                            SiteId::server(shard as u32),
+                        );
+                        self.send_prepare_ack(shard, client, txn);
+                    }
+                }
+            }
             Message::SCommit { txn, writes, .. } => {
                 let committer = self.table.info(txn).client;
                 if self.faults_on {
                     // Duplicate commit-release slice (already applied at
                     // this shard): the ack was lost, so just acknowledge
-                    // again. The shard-0 bit of the applied set is the
-                    // durable one — it survives crashes via log replay.
+                    // again. Each shard's bit of the applied set is
+                    // durable — it survives crashes via log replay.
                     if self.applied_at(txn, shard) {
                         self.send_commit_ack(shard, committer, txn);
                         return;
@@ -1184,7 +1527,8 @@ impl S2plEngine {
                 if self.srv_faults_on {
                     // Write-ahead: the applied commit slice, its installed
                     // versions, and the release are durable before the
-                    // ack leaves the shard.
+                    // ack leaves the shard. The `Released` record also
+                    // retires any prepared vote this shard held.
                     // lint:allow(L3): the log exists whenever srv_faults_on
                     let slog = &mut self.slog.as_mut().expect("server log enabled")[shard];
                     slog.append(ServerRecord::Committed { txn });
@@ -1203,6 +1547,19 @@ impl S2plEngine {
                     if let Some(wal) = &mut self.wal {
                         wal[committer.index()].mark_permanent(txn, item);
                     }
+                }
+                if self.prepared_at(txn, shard) {
+                    // Phase 2 of a prepared multi-home commit landed:
+                    // the vote is consumed and the slice applied.
+                    self.clear_prepared(txn, shard);
+                    self.fault_state[shard].in_doubt.remove(&txn);
+                    self.trace.record(
+                        now,
+                        TraceKind::CommitApplied,
+                        Some(txn),
+                        None,
+                        SiteId::server(shard as u32),
+                    );
                 }
                 self.trace.record(
                     now,
@@ -1228,7 +1585,42 @@ impl S2plEngine {
                 held,
                 pending,
                 cached: _,
-            } => self.on_reregister(now, client, epoch, txn, &held, pending.as_ref()),
+            } => self.on_reregister(now, shard, client, epoch, txn, &held, pending.as_ref()),
+            Message::CommitQuery {
+                txn,
+                from_shard,
+                epoch: _,
+            } => {
+                // Answer from the commit oracle — the shared transaction
+                // table stands in for the coordinator's durable decision
+                // record, which this surviving shard can consult. An
+                // Active transaction has no outcome yet: answer "unknown"
+                // and let the asker keep its vote in doubt (presumed
+                // abort never guesses).
+                let committed = match self.table.status(txn) {
+                    TxnStatus::Committed => Some(true),
+                    TxnStatus::Aborting | TxnStatus::Aborted => Some(false),
+                    TxnStatus::Active => None,
+                };
+                self.net.send(
+                    &mut self.cal,
+                    SiteId::server(shard as u32),
+                    SiteId::server(from_shard),
+                    "s2pl.commit_verdict",
+                    CTRL_BYTES,
+                    Message::CommitVerdict { txn, committed },
+                );
+            }
+            Message::CommitVerdict { txn, committed } => {
+                if !self.fault_state[shard].in_doubt.contains_key(&txn) {
+                    return; // already resolved (or never in doubt here)
+                }
+                match committed {
+                    Some(true) => self.resolve_indoubt_commit(now, shard, txn),
+                    Some(false) => self.resolve_indoubt_abort(shard, txn),
+                    None => {} // keep the vote in doubt and ask again
+                }
+            }
             other => unreachable!("s-2PL server cannot receive {other:?}"),
         }
     }
@@ -1246,6 +1638,21 @@ impl S2plEngine {
             self.leased[i] = true;
             self.cal.schedule_in(self.lease, Ev::TxnLease { txn });
         }
+    }
+
+    /// Acknowledge a durable prepared vote (two-phase commitment only).
+    fn send_prepare_ack(&mut self, shard: usize, client: ClientId, txn: TxnId) {
+        self.net.send(
+            &mut self.cal,
+            SiteId::server(shard as u32),
+            client.into(),
+            "s2pl.prepare_ack",
+            CTRL_BYTES,
+            Message::PrepareAck {
+                txn,
+                shard: shard as u32,
+            },
+        );
     }
 
     /// Acknowledge a processed commit-release slice (faults only).
@@ -1383,11 +1790,22 @@ impl S2plEngine {
         debug_assert_eq!(self.table.status(victim), TxnStatus::Active);
         self.table.set_status(victim, TxnStatus::Aborting);
         if self.srv_faults_on {
-            // The victim's grants die with it; compaction may fold them.
+            // The victim's grants and any prepared votes die with it;
+            // compaction may fold them. A crashed shard cannot log the
+            // release — it learns the outcome at restart through its
+            // commit queries instead.
             if let Some(slogs) = &mut self.slog {
-                for slog in slogs.iter_mut() {
-                    slog.append(ServerRecord::Released { txn: victim });
+                for (s, slog) in slogs.iter_mut().enumerate() {
+                    if !self.fault_state[s].down {
+                        slog.append(ServerRecord::Released { txn: victim });
+                    }
                 }
+            }
+            if let Some(m) = self.prepared.get_mut(victim.index()) {
+                *m = 0;
+            }
+            for st in &mut self.fault_state {
+                st.in_doubt.remove(&victim);
             }
         }
         if let Some(l) = self.leased.get_mut(victim.index()) {
@@ -1581,6 +1999,7 @@ mod tests {
             c.faults = Some(g2pl_faults::FaultPlan {
                 drop_prob: 0.02,
                 server_crashes: vec![g2pl_faults::ServerCrashWindow {
+                    shard: 0,
                     at: 5_000,
                     down_for: 1_000,
                     jitter: 400,

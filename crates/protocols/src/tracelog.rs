@@ -66,6 +66,19 @@ pub enum TraceKind {
     /// [`TraceKind::ServerCrashed`] and its
     /// [`TraceKind::ServerRecovered`] — property P9.
     Reregister,
+    /// A shard durably logged its yes vote for a multi-home transaction
+    /// (`site` is the voting shard): it promises to apply the
+    /// transaction's write slice if the coordinator decides commit.
+    /// Every prepared shard of a committed transaction must later show a
+    /// [`TraceKind::CommitApplied`], and no prepare may outlive a
+    /// drained run unresolved — property P10.
+    Prepared,
+    /// A shard applied the commit slice of a transaction it had prepared
+    /// (`site` is the applying shard), either from the coordinator's
+    /// decision message or by recovery-time resolution of an in-doubt
+    /// vote. Illegal for aborted transactions and at shards that never
+    /// prepared — property P10.
+    CommitApplied,
 }
 
 /// One trace event.

@@ -34,4 +34,6 @@ pub mod server;
 
 pub use log::{LogMetrics, SiteLog};
 pub use record::{LogRecord, Lsn};
-pub use server::{DispatchImage, ServerImage, ServerLog, ServerLogMetrics, ServerRecord};
+pub use server::{
+    DispatchImage, PreparedImage, ServerImage, ServerLog, ServerLogMetrics, ServerRecord,
+};

@@ -52,6 +52,24 @@ pub enum ServerRecord {
         /// Releasing transaction.
         txn: TxnId,
     },
+    /// `txn` is *prepared* at this shard: the shard votes yes in the
+    /// two-phase commitment of a multi-home transaction and promises to
+    /// apply `writes` if the coordinator decides commit. Forced before
+    /// the prepare ack leaves, so a crash after the vote leaves the
+    /// transaction in doubt (resolved by querying the other `involved`
+    /// shards) instead of silently forgotten. Retired by a subsequent
+    /// `Committed` or `Released` for the same transaction, per presumed
+    /// abort.
+    Prepared {
+        /// Prepared transaction.
+        txn: TxnId,
+        /// The write slice this shard promised to apply, as
+        /// `(item, version)` pairs.
+        writes: Vec<(ItemId, Version)>,
+        /// Bitmask of every shard involved in the transaction (bit `k`
+        /// set = shard `k` participates), so recovery knows whom to ask.
+        involved: u64,
+    },
     /// `txn`'s commit was applied at the server (s-2PL / c-2PL). Forced
     /// before the commit ack leaves, so a retransmitted commit after a
     /// crash is recognized as a duplicate instead of re-applied.
@@ -97,6 +115,7 @@ impl ServerRecord {
     fn size_bytes(&self) -> u64 {
         match self {
             ServerRecord::Dispatch { entries, .. } => 24 + 8 * entries.len() as u64,
+            ServerRecord::Prepared { writes, .. } => 24 + 12 * writes.len() as u64,
             _ => 24,
         }
     }
@@ -107,10 +126,22 @@ impl ServerRecord {
         matches!(
             self,
             ServerRecord::Grant { .. }
+                | ServerRecord::Prepared { .. }
                 | ServerRecord::Committed { .. }
                 | ServerRecord::Dispatch { .. }
         )
     }
+}
+
+/// One in-doubt prepared transaction, as recovered from the log: a
+/// durable `Prepared` record with no subsequent `Committed` or
+/// `Released` to retire it.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct PreparedImage {
+    /// The write slice this shard promised to apply on commit.
+    pub writes: Vec<(ItemId, Version)>,
+    /// Bitmask of every involved shard.
+    pub involved: u64,
 }
 
 /// The last dispatched forward list for one item, as recovered from the
@@ -137,6 +168,10 @@ pub struct ServerImage {
     pub grants: BTreeMap<TxnId, BTreeMap<ItemId, bool>>,
     /// Transactions whose commit was applied at the server.
     pub committed: BTreeSet<TxnId>,
+    /// In-doubt transactions: prepared here, with the commit decision
+    /// unknown at the instant the log ends. Seeds the recovery-time
+    /// commit-status queries to the other involved shards.
+    pub prepared: BTreeMap<TxnId, PreparedImage>,
     /// Last dispatch per item, whether or not it has since come home.
     pub dispatches: BTreeMap<ItemId, DispatchImage>,
     /// Items whose last dispatch has not come home: checked out at the
@@ -176,9 +211,24 @@ impl ServerImage {
             }
             ServerRecord::Released { txn } => {
                 self.grants.remove(txn);
+                self.prepared.remove(txn);
+            }
+            ServerRecord::Prepared {
+                txn,
+                writes,
+                involved,
+            } => {
+                self.prepared.insert(
+                    *txn,
+                    PreparedImage {
+                        writes: writes.clone(),
+                        involved: *involved,
+                    },
+                );
             }
             ServerRecord::Committed { txn } => {
                 self.committed.insert(*txn);
+                self.prepared.remove(txn);
             }
             ServerRecord::Permanent { item, version } => {
                 self.versions.insert(*item, *version);
@@ -394,6 +444,34 @@ mod tests {
         assert_eq!(a.replay(), b.replay());
         assert!(a.metrics().compactions > b.metrics().compactions);
         assert_eq!(a.metrics().records, 2000);
+    }
+
+    #[test]
+    fn prepared_stays_in_doubt_until_retired() {
+        let mut log = ServerLog::new();
+        let prep = |txn: TxnId| ServerRecord::Prepared {
+            txn,
+            writes: vec![(x(1), 3)],
+            involved: 0b101,
+        };
+        // Prepared then committed: retired, not in doubt.
+        log.append(prep(t(1)));
+        log.append(ServerRecord::Committed { txn: t(1) });
+        // Prepared then released (abort): retired too.
+        log.append(prep(t(2)));
+        log.append(ServerRecord::Released { txn: t(2) });
+        // Prepared with no decision: the crash leaves it in doubt.
+        log.append(prep(t(3)));
+        let img = log.replay();
+        assert!(!img.prepared.contains_key(&t(1)));
+        assert!(!img.prepared.contains_key(&t(2)));
+        let p = &img.prepared[&t(3)];
+        assert_eq!(p.writes, vec![(x(1), 3)]);
+        assert_eq!(p.involved, 0b101);
+        // The vote is forced before the ack leaves (write-ahead rule),
+        // and compaction does not lose in-doubt entries.
+        log.compact();
+        assert_eq!(log.replay().prepared, img.prepared);
     }
 
     #[test]

@@ -1,0 +1,202 @@
+//! End-to-end shard fault-domain checks across all three engines.
+//!
+//! The sharded sibling of `server_fault_recovery`: every test runs a
+//! drained simulation over a 4-shard directory with 30% multi-home
+//! transactions while a plan kills a *non-zero* shard twice — once early
+//! enough to land mid multi-home commitment. Verified contract: the run
+//! completes (drain = recovery liveness), the trace passes P1–P10
+//! (including cross-shard atomicity), the history is
+//! conflict-serializable, the WAL drains to empty, crash events name the
+//! actual crashed shard, the same `(seed, plan)` replays bit-for-bit,
+//! and an inert plan leaves the sharded pristine path byte-identical to
+//! having no plan at all.
+
+use g2pl_core::{check_serializable, check_trace_with, TraceCheckOpts};
+use g2pl_protocols::{
+    run, EngineConfig, FaultPlan, ItemSpace, LinkPartition, ProtocolKind, RunMetrics,
+    ServerCrashWindow, ShardMix, TraceKind,
+};
+use g2pl_simcore::SiteId;
+
+const CRASHED_SHARD: u32 = 2;
+
+fn engines() -> [ProtocolKind; 3] {
+    [
+        ProtocolKind::g2pl_paper(),
+        ProtocolKind::S2pl,
+        ProtocolKind::C2pl,
+    ]
+}
+
+fn shard_crash_cfg(protocol: ProtocolKind) -> EngineConfig {
+    let mut cfg = EngineConfig::table1(protocol, 8, 50, 0.4);
+    cfg.items = ItemSpace::sharded(4, 7);
+    cfg.profile.shard_mix = Some(ShardMix {
+        cross_frac: 0.3,
+        shard_theta: 0.5,
+    });
+    cfg.warmup_txns = 50;
+    cfg.measured_txns = 300;
+    cfg.drain = true;
+    cfg.trace_events = true;
+    cfg.record_history = true;
+    cfg.enable_wal = true;
+    cfg.faults = Some(FaultPlan {
+        server_crashes: vec![
+            ServerCrashWindow::on_shard(CRASHED_SHARD, 4_000, 1_200),
+            ServerCrashWindow::on_shard(CRASHED_SHARD, 15_000, 800),
+        ],
+        ..FaultPlan::default()
+    });
+    cfg
+}
+
+fn run_checked(cfg: &EngineConfig) -> RunMetrics {
+    let m = run(cfg).expect("valid config");
+    assert!(!m.trace_truncated(), "trace truncated; cannot verify");
+    m
+}
+
+fn count(m: &RunMetrics, kind: TraceKind) -> usize {
+    m.trace
+        .as_ref()
+        .expect("trace enabled")
+        .iter()
+        .filter(|e| e.kind == kind)
+        .count()
+}
+
+#[test]
+fn shard_crash_mid_multi_home_commit_verifies_end_to_end() {
+    for protocol in engines() {
+        let cfg = shard_crash_cfg(protocol);
+        let m = run_checked(&cfg);
+        assert_eq!(
+            m.faults.server_crashes, 2,
+            "{}: both scheduled shard crashes must fire",
+            m.protocol
+        );
+        assert!(
+            m.faults.reregistrations > 0,
+            "{}: recovery must hear from surviving clients",
+            m.protocol
+        );
+        assert!(m.committed_total > 0, "{}", m.protocol);
+        // The 30% multi-home mix must actually exercise atomic
+        // commitment: prepare votes recorded and commits applied at the
+        // voted shards.
+        assert!(
+            count(&m, TraceKind::Prepared) > 0,
+            "{}: no prepare votes — 2PC never engaged",
+            m.protocol
+        );
+        assert!(
+            count(&m, TraceKind::CommitApplied) > 0,
+            "{}: no applied commits at prepared shards",
+            m.protocol
+        );
+        // The crash events must name the shard that actually went down,
+        // not the paper's single server.
+        let trace = m.trace.as_ref().expect("trace enabled");
+        let crashed: Vec<SiteId> = trace
+            .iter()
+            .filter(|e| e.kind == TraceKind::ServerCrashed)
+            .map(|e| e.site)
+            .collect();
+        assert_eq!(
+            crashed,
+            vec![SiteId::server(CRASHED_SHARD); 2],
+            "{}: crash events must carry the crashed shard",
+            m.protocol
+        );
+        if let Err(e) = check_trace_with(trace, TraceCheckOpts::for_config(&cfg)) {
+            panic!("{}: P1-P10 violated under shard crashes: {e}", m.protocol);
+        }
+        let history = m.history.as_ref().expect("history enabled");
+        if let Err(e) = check_serializable(history) {
+            panic!("{}: serializability violated: {e}", m.protocol);
+        }
+        let wal = m.wal.as_ref().expect("wal enabled");
+        assert_eq!(
+            wal.end_live_records, 0,
+            "{}: WAL must drain after recovery (every version home)",
+            m.protocol
+        );
+    }
+}
+
+#[test]
+fn shard_crash_replays_bit_for_bit() {
+    for protocol in engines() {
+        let cfg = shard_crash_cfg(protocol);
+        let a = run_checked(&cfg);
+        let b = run_checked(&cfg);
+        assert_eq!(a.trace, b.trace, "{}: trace diverged on replay", a.protocol);
+        assert_eq!(a.committed_total, b.committed_total);
+        assert_eq!(a.aborted_total, b.aborted_total);
+        assert_eq!(a.end_time, b.end_time);
+        assert_eq!(a.faults.server_crashes, b.faults.server_crashes);
+        assert_eq!(a.faults.reregistrations, b.faults.reregistrations);
+    }
+}
+
+#[test]
+fn inert_plan_is_byte_identical_on_sharded_runs() {
+    // A plan that schedules nothing must leave the sharded engine on its
+    // fault-free code path — no WAL forcing, no prepare round trips —
+    // so the multi-home figures are unperturbed by the fault subsystem.
+    // This anchors the x = 0 point of fig_shard_faults.
+    for protocol in engines() {
+        let mut pristine = shard_crash_cfg(protocol);
+        pristine.faults = None;
+        let mut inert = pristine.clone();
+        inert.faults = Some(FaultPlan::default());
+        let a = run_checked(&pristine);
+        let b = run_checked(&inert);
+        assert_eq!(
+            a.trace, b.trace,
+            "{}: inert plan perturbed the sharded run",
+            a.protocol
+        );
+        assert_eq!(a.end_time, b.end_time);
+        assert_eq!(a.committed_total, b.committed_total);
+        assert_eq!(a.faults.server_crashes, 0);
+        assert_eq!(b.faults.server_crashes, 0);
+        // Without faults armed there is no 2PC detour at all.
+        assert_eq!(count(&a, TraceKind::Prepared), 0, "{}", a.protocol);
+    }
+}
+
+#[test]
+fn shard_crash_composes_with_client_faults_and_partitions() {
+    // The full fault surface at once: message loss and duplication, a
+    // client crash, an inter-shard partition, and the shard outages —
+    // still drained, still fully verified under P1–P10.
+    for protocol in engines() {
+        let mut cfg = shard_crash_cfg(protocol);
+        let plan = cfg.faults.as_mut().expect("plan set");
+        plan.drop_prob = 0.02;
+        plan.dup_prob = 0.01;
+        plan.crashes.push(g2pl_protocols::CrashWindow {
+            client: 3,
+            at: 8_000,
+            down_for: 2_000,
+        });
+        plan.partitions.push(LinkPartition::between_shards(
+            1,
+            CRASHED_SHARD,
+            6_000,
+            9_000,
+        ));
+        let m = run_checked(&cfg);
+        assert_eq!(m.faults.server_crashes, 2, "{}", m.protocol);
+        let trace = m.trace.as_ref().expect("trace enabled");
+        if let Err(e) = check_trace_with(trace, TraceCheckOpts::for_config(&cfg)) {
+            panic!("{}: P1-P10 violated under combined faults: {e}", m.protocol);
+        }
+        let history = m.history.as_ref().expect("history enabled");
+        if let Err(e) = check_serializable(history) {
+            panic!("{}: serializability violated: {e}", m.protocol);
+        }
+    }
+}
